@@ -1,0 +1,119 @@
+//! Shared user-approximation utilities.
+//!
+//! A-RA draws synthetic users from the embedding init distribution; A-HUM
+//! additionally *mines hard users* — gradient-descends the synthetic
+//! embeddings so they score the target poorly — before deriving poison from
+//! them. FedRecAttack fits approximate user embeddings to whatever public
+//! interactions it was granted.
+
+use frs_linalg::{sigmoid, vector};
+use frs_model::GlobalModel;
+use rand::Rng;
+
+/// `count` synthetic user embeddings drawn from `U(−scale, scale)` — the same
+/// family the base models initialize real embeddings from.
+pub fn random_user_embeddings<R: Rng + ?Sized>(
+    count: usize,
+    dim: usize,
+    scale: f32,
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-scale..=scale)).collect())
+        .collect()
+}
+
+/// Hard-user mining (A-HUM): gradient-descend each synthetic user embedding
+/// to *minimize* the target's predicted score — `L = −log(1 − σ(Ψ(û, t)))` —
+/// producing users who rate the target poorly. Poison derived from hard users
+/// must work even for the least receptive audience.
+pub fn hard_user_mining(
+    model: &GlobalModel,
+    users: &mut [Vec<f32>],
+    target: u32,
+    steps: usize,
+    lr: f32,
+) {
+    for user in users.iter_mut() {
+        for _ in 0..steps {
+            let logit = model.logit(user, target);
+            // ∂(−log(1−σ))/∂logit = σ(logit)
+            let delta = sigmoid(logit);
+            let g = model.user_grad_of_logit(user, target);
+            vector::axpy(-lr * delta, &g, user);
+        }
+    }
+}
+
+/// One epoch of fitting approximate user embeddings to public interactions:
+/// for each known (user, item) pair, a BCE step toward label 1 on the user
+/// side (items and interaction parameters frozen).
+pub fn fit_users_to_interactions(
+    model: &GlobalModel,
+    users: &mut [Vec<f32>],
+    interactions: &[(usize, u32)],
+    lr: f32,
+) {
+    for &(u, item) in interactions {
+        let user = &mut users[u];
+        let logit = model.logit(user, item);
+        let delta = sigmoid(logit) - 1.0;
+        let g = model.user_grad_of_logit(user, item);
+        vector::axpy(-lr * delta, &g, user);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_model::{GlobalModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> GlobalModel {
+        GlobalModel::new(&ModelConfig::mf(5), 10, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn random_users_respect_shape_and_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let users = random_user_embeddings(4, 5, 0.2, &mut rng);
+        assert_eq!(users.len(), 4);
+        assert!(users.iter().all(|u| u.len() == 5));
+        assert!(users
+            .iter()
+            .flat_map(|u| u.iter())
+            .all(|v| v.abs() <= 0.2 + 1e-6));
+    }
+
+    #[test]
+    fn hard_mining_lowers_target_score() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut users = random_user_embeddings(6, 5, 0.2, &mut rng);
+        let before: f32 = users.iter().map(|u| m.logit(u, 3)).sum();
+        hard_user_mining(&m, &mut users, 3, 20, 0.5);
+        let after: f32 = users.iter().map(|u| m.logit(u, 3)).sum();
+        assert!(after < before, "hard users score lower: {before} -> {after}");
+    }
+
+    #[test]
+    fn fitting_raises_interaction_scores() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut users = random_user_embeddings(2, 5, 0.2, &mut rng);
+        let interactions = vec![(0usize, 1u32), (0, 4), (1, 7)];
+        let before: f32 = interactions
+            .iter()
+            .map(|&(u, j)| m.logit(&users[u], j))
+            .sum();
+        for _ in 0..30 {
+            fit_users_to_interactions(&m, &mut users, &interactions, 0.5);
+        }
+        let after: f32 = interactions
+            .iter()
+            .map(|&(u, j)| m.logit(&users[u], j))
+            .sum();
+        assert!(after > before, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Attack catalogue: one enum the experiment harness iterates over
+//! (the rows of Table III).
+
+use frs_federation::Client;
+use pieck_core::{PieckClient, PieckConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::fedrecattack::FedRecAttack;
+use crate::interaction::{AHumClient, ARaClient};
+use crate::pipattack::PipAttack;
+use crate::scaled::ScaledClient;
+
+/// Norm cap applied to scaled gradient-style poison uploads.
+const POISON_NORM_CAP: f32 = 2.0;
+
+/// Every attack evaluated in the paper, in Table III row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// No malicious clients at all.
+    NoAttack,
+    /// FedRecAttack [32] (prior knowledge masked).
+    FedRecA,
+    /// PipAttack [42] (prior knowledge masked).
+    Pipa,
+    /// A-RA [31].
+    ARa,
+    /// A-HUM [31].
+    AHum,
+    /// PIECK-IPE (ours).
+    PieckIpe,
+    /// PIECK-UEA (ours).
+    PieckUea,
+}
+
+impl AttackKind {
+    /// All attacks, in the paper's table order.
+    pub fn all() -> [AttackKind; 7] {
+        [
+            AttackKind::NoAttack,
+            AttackKind::FedRecA,
+            AttackKind::Pipa,
+            AttackKind::ARa,
+            AttackKind::AHum,
+            AttackKind::PieckIpe,
+            AttackKind::PieckUea,
+        ]
+    }
+
+    /// Row label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::NoAttack => "NoAttack",
+            AttackKind::FedRecA => "FedRecA",
+            AttackKind::Pipa => "PipA",
+            AttackKind::ARa => "A-ra",
+            AttackKind::AHum => "A-hum",
+            AttackKind::PieckIpe => "PIECK-IPE",
+            AttackKind::PieckUea => "PIECK-UEA",
+        }
+    }
+
+    /// Builds `count` malicious clients with ids `first_id..first_id+count`,
+    /// all promoting `targets` with uploads scaled by `poison_scale`. Returns
+    /// an empty vector for [`AttackKind::NoAttack`]. Prior-knowledge attacks
+    /// are masked, matching the paper's protocol; `mined_top_n` applies to
+    /// PIECK variants.
+    pub fn build_clients(
+        &self,
+        first_id: usize,
+        count: usize,
+        targets: &[u32],
+        mined_top_n: usize,
+        poison_scale: f32,
+        seed: u64,
+    ) -> Vec<Box<dyn Client>> {
+        if *self == AttackKind::NoAttack {
+            return Vec::new();
+        }
+        let targets = targets.to_vec();
+        (0..count)
+            .map(|i| {
+                let id = first_id + i;
+                // One attacker controls every sybil (Section III-B), so the
+                // synthetic users / classifiers are shared across malicious
+                // clients: poison directions add up instead of cancelling.
+                let client_seed = seed ^ 0xA77AC;
+                let client: Box<dyn Client> = match self {
+                    AttackKind::NoAttack => unreachable!("returned above"),
+                    AttackKind::FedRecA => Box::new(FedRecAttack::new(
+                        id,
+                        targets.clone(),
+                        32,
+                        None,
+                        client_seed,
+                    )),
+                    AttackKind::Pipa => {
+                        Box::new(PipAttack::new(id, targets.clone(), 32, None, client_seed))
+                    }
+                    AttackKind::ARa => {
+                        Box::new(ARaClient::new(id, targets.clone(), 32, client_seed))
+                    }
+                    AttackKind::AHum => {
+                        Box::new(AHumClient::new(id, targets.clone(), 32, 10, client_seed))
+                    }
+                    AttackKind::PieckIpe => {
+                        let mut cfg = PieckConfig::ipe(targets.clone());
+                        cfg.top_n = mined_top_n;
+                        Box::new(PieckClient::new(id, cfg))
+                    }
+                    AttackKind::PieckUea => {
+                        let mut cfg = PieckConfig::uea(targets.clone());
+                        cfg.top_n = mined_top_n;
+                        Box::new(PieckClient::new(id, cfg))
+                    }
+                };
+                // UEA's poison is an absolute displacement toward the locally
+                // optimized embedding — scaling it overshoots the optimum and
+                // destabilizes the attack rather than strengthening it. All
+                // gradient-style attacks scale, with a norm cap to prevent
+                // runaway feedback (see ScaledClient::with_cap).
+                let scalable = !matches!(self, AttackKind::PieckUea);
+                if scalable && (poison_scale - 1.0).abs() > f32::EPSILON {
+                    Box::new(ScaledClient::new(client, poison_scale).with_cap(POISON_NORM_CAP))
+                        as Box<dyn Client>
+                } else {
+                    client
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_attack_builds_nothing() {
+        let clients = AttackKind::NoAttack.build_clients(10, 5, &[1], 10, 1.0, 0);
+        assert!(clients.is_empty());
+    }
+
+    #[test]
+    fn other_attacks_build_count_clients_with_dense_ids() {
+        for kind in AttackKind::all().into_iter().skip(1) {
+            let clients = kind.build_clients(100, 3, &[1, 2], 10, 2.0, 0);
+            assert_eq!(clients.len(), 3, "{kind:?}");
+            let ids: Vec<usize> = clients.iter().map(|c| c.id()).collect();
+            assert_eq!(ids, vec![100, 101, 102], "{kind:?}");
+            assert!(clients.iter().all(|c| c.is_malicious()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            AttackKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 7);
+    }
+}

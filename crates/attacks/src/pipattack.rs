@@ -1,0 +1,207 @@
+//! PipAttack [42]: explicit promotion + popularity enhancement via a
+//! popularity classifier.
+//!
+//! PipAttack trains a small logistic-regression *popularity estimator* on
+//! item embeddings using known popularity labels, then poisons target items
+//! to (a) be classified popular and (b) score highly for a set of
+//! approximated users (explicit promotion). Its prior knowledge is the label
+//! set: with labels masked (`None`, the paper's protocol) the classifier is
+//! fit to random labels and the popularity-enhancement term turns into noise,
+//! leaving only the weak random-user promotion — the degraded Table III rows.
+
+use frs_linalg::{sigmoid, vector};
+use frs_model::{GlobalGradients, GlobalModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use frs_federation::{Client, RoundContext};
+
+use crate::approx::random_user_embeddings;
+
+/// One PipAttack malicious client.
+pub struct PipAttack {
+    id: usize,
+    targets: Vec<u32>,
+    /// `popular_labels[j] = true` if item `j` is (believed) popular. `None` =
+    /// masked ⇒ random labels are drawn at first round.
+    popular_labels: Option<Vec<bool>>,
+    /// Logistic-regression weights of the popularity estimator (lazy).
+    classifier: Vec<f32>,
+    classifier_bias: f32,
+    approx_users: Vec<Vec<f32>>,
+    n_approx_users: usize,
+    /// Relative weight of the popularity-enhancement term vs promotion.
+    pop_weight: f32,
+    seed: u64,
+}
+
+impl PipAttack {
+    /// Builds the attack; `popular_labels.len()` must equal the item count
+    /// when provided.
+    pub fn new(
+        id: usize,
+        targets: Vec<u32>,
+        n_approx_users: usize,
+        popular_labels: Option<Vec<bool>>,
+        seed: u64,
+    ) -> Self {
+        assert!(!targets.is_empty(), "need targets");
+        Self {
+            id,
+            targets,
+            popular_labels,
+            classifier: Vec::new(),
+            classifier_bias: 0.0,
+            approx_users: Vec::new(),
+            n_approx_users: n_approx_users.max(1),
+            pop_weight: 1.0,
+            seed,
+        }
+    }
+
+    /// Whether real popularity labels were granted.
+    pub fn has_prior_knowledge(&self) -> bool {
+        self.popular_labels.is_some()
+    }
+
+    fn ensure_initialized(&mut self, model: &GlobalModel) {
+        if !self.classifier.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.classifier = (0..model.dim()).map(|_| rng.gen_range(-0.1..=0.1)).collect();
+        self.approx_users =
+            random_user_embeddings(self.n_approx_users, model.dim(), 0.1, &mut rng);
+        if self.popular_labels.is_none() {
+            // Masked: the attacker knows nothing — guess labels uniformly.
+            let labels = (0..model.n_items()).map(|_| rng.gen_bool(0.15)).collect();
+            self.popular_labels = Some(labels);
+        }
+    }
+
+    /// One SGD epoch of the popularity estimator over all items.
+    fn train_classifier(&mut self, model: &GlobalModel, lr: f32) {
+        let labels = self.popular_labels.as_ref().expect("initialized");
+        for j in 0..model.n_items() {
+            let emb = model.item_embedding(j as u32);
+            let logit = vector::dot(&self.classifier, emb) + self.classifier_bias;
+            let delta = sigmoid(logit) - if labels[j] { 1.0 } else { 0.0 };
+            vector::axpy(-lr * delta, emb, &mut self.classifier);
+            self.classifier_bias -= lr * delta;
+        }
+    }
+
+    /// Gradient (w.r.t. a target embedding) of the popularity-enhancement
+    /// loss `−log σ(w·v + b)` — push the target to classify as popular.
+    fn popularity_gradient(&self, emb: &[f32]) -> Vec<f32> {
+        let logit = vector::dot(&self.classifier, emb) + self.classifier_bias;
+        let delta = sigmoid(logit) - 1.0;
+        self.classifier.iter().map(|&w| delta * w).collect()
+    }
+}
+
+impl Client for PipAttack {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn is_malicious(&self) -> bool {
+        true
+    }
+
+    fn local_round(&mut self, _ctx: &RoundContext, model: &GlobalModel) -> GlobalGradients {
+        self.ensure_initialized(model);
+        self.train_classifier(model, 0.1);
+
+        let mut upload = GlobalGradients::new();
+        let user_scale = 1.0 / self.approx_users.len() as f32;
+        for &target in &self.targets {
+            let emb = model.item_embedding(target);
+            // Popularity-enhancement term.
+            let mut grad = self.popularity_gradient(emb);
+            vector::scale(&mut grad, self.pop_weight);
+            // Explicit-promotion term on approximated (random) users.
+            for user in &self.approx_users {
+                let logit = model.logit(user, target);
+                let delta = (sigmoid(logit) - 1.0) * user_scale;
+                let g = model.item_grad_of_logit(user, target);
+                vector::axpy(delta, &g, &mut grad);
+            }
+            upload.add_item_grad(target, &grad);
+        }
+        upload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_linalg::SeedStream;
+    use frs_model::{LossKind, ModelConfig};
+
+    fn model() -> GlobalModel {
+        GlobalModel::new(&ModelConfig::mf(6), 15, &mut StdRng::seed_from_u64(8))
+    }
+
+    fn ctx() -> RoundContext {
+        RoundContext::new(0, 1.0, 1.0, 1, LossKind::Bce, SeedStream::new(0))
+    }
+
+    #[test]
+    fn masked_attack_draws_random_labels() {
+        let mut atk = PipAttack::new(60, vec![2], 4, None, 7);
+        assert!(!atk.has_prior_knowledge());
+        atk.local_round(&ctx(), &model());
+        let labels = atk.popular_labels.as_ref().unwrap();
+        assert_eq!(labels.len(), 15);
+    }
+
+    #[test]
+    fn classifier_learns_separable_labels() {
+        let mut m = model();
+        // Plant separable structure: items 0..5 have positive first coord.
+        for j in 0..15u32 {
+            let emb = m.item_embedding_mut(j);
+            emb[0] = if j < 5 { 1.0 } else { -1.0 };
+        }
+        let labels: Vec<bool> = (0..15).map(|j| j < 5).collect();
+        let mut atk = PipAttack::new(60, vec![9], 4, Some(labels), 7);
+        atk.ensure_initialized(&m);
+        for _ in 0..50 {
+            atk.train_classifier(&m, 0.2);
+        }
+        // Popular items should classify above unpopular ones.
+        let s_pop = vector::dot(&atk.classifier, m.item_embedding(0)) + atk.classifier_bias;
+        let s_unpop = vector::dot(&atk.classifier, m.item_embedding(10)) + atk.classifier_bias;
+        assert!(s_pop > s_unpop, "{s_pop} vs {s_unpop}");
+    }
+
+    #[test]
+    fn upload_targets_only_item_embeddings() {
+        let mut atk = PipAttack::new(60, vec![2, 3], 4, None, 7);
+        let g = atk.local_round(&ctx(), &model());
+        assert_eq!(g.n_items(), 2);
+        assert!(g.mlp.is_none());
+    }
+
+    #[test]
+    fn unmasked_poison_moves_target_toward_popular_class() {
+        let mut m = model();
+        for j in 0..15u32 {
+            let emb = m.item_embedding_mut(j);
+            emb[0] = if j < 5 { 1.0 } else { -1.0 };
+        }
+        let labels: Vec<bool> = (0..15).map(|j| j < 5).collect();
+        let mut atk = PipAttack::new(60, vec![10], 2, Some(labels), 7);
+        // Let the classifier converge, then apply poison a few times.
+        for _ in 0..20 {
+            let g = atk.local_round(&ctx(), &m);
+            m.apply_gradients(&g, 1.0);
+        }
+        let logit = vector::dot(&atk.classifier, m.item_embedding(10)) + atk.classifier_bias;
+        assert!(
+            logit > 0.0,
+            "target should now classify popular: logit {logit}"
+        );
+    }
+}

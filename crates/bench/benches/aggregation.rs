@@ -1,0 +1,26 @@
+//! Server-side aggregation cost per defense — the Table IV rows' runtime
+//! counterpart: how expensive is each robust rule on one round's uploads?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frs_bench::bench_uploads;
+use frs_defense::DefenseKind;
+
+fn aggregation(c: &mut Criterion) {
+    let uploads = bench_uploads(64, 3, 400, 16);
+    let mut group = c.benchmark_group("aggregation");
+    for defense in DefenseKind::all() {
+        if defense == DefenseKind::Ours {
+            continue; // client-side; server part equals NoDefense
+        }
+        let agg = defense.build_aggregator(0.05, 0.05);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(defense.label()),
+            &uploads,
+            |b, uploads| b.iter(|| criterion::black_box(agg.aggregate(uploads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, aggregation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Poison-crafting cost per malicious client per round: the IPE alignment
+//! gradient, the UEA inner optimization, and A-HUM's hard-user mining —
+//! the paper's claim that PIECK adds negligible per-round cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frs_attacks::{hard_user_mining, random_user_embeddings};
+use frs_model::{GlobalModel, ModelConfig};
+use pieck_core::{ipe, uea, IpeConfig, UeaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn attack_crafting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = GlobalModel::new(&ModelConfig::mf(16), 2000, &mut rng);
+    let popular: Vec<u32> = (0..50).collect();
+    let popular_embs: Vec<&[f32]> = popular.iter().map(|&j| model.item_embedding(j)).collect();
+    let target_emb = model.item_embedding(1500).to_vec();
+
+    let mut group = c.benchmark_group("attack_crafting");
+    let ipe_cfg = IpeConfig::default();
+    group.bench_function("ipe_gradient_50_popular", |b| {
+        b.iter(|| criterion::black_box(ipe::ipe_gradient(&ipe_cfg, &popular_embs, &target_emb)));
+    });
+    let uea_cfg = UeaConfig::default();
+    group.bench_function("uea_poison_gradient", |b| {
+        b.iter(|| {
+            criterion::black_box(uea::uea_poison_gradient(&uea_cfg, &model, &popular, 1500, 1.0))
+        });
+    });
+    group.bench_function("ahum_hard_user_mining_32x10", |b| {
+        b.iter(|| {
+            let mut users = random_user_embeddings(32, 16, 0.1, &mut rng);
+            hard_user_mining(&model, &mut users, 1500, 10, 0.2);
+            criterion::black_box(users.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, attack_crafting);
+criterion_main!(benches);

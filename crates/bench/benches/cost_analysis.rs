@@ -1,0 +1,37 @@
+//! Fig. 6(b) as a microbenchmark: wall-clock time per communication round
+//! for the vanilla system, both PIECK variants, and our defense, on both
+//! base models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frs_attacks::AttackKind;
+use frs_bench::bench_simulation;
+use frs_defense::DefenseKind;
+use frs_model::ModelKind;
+
+fn round_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_time");
+    group.sample_size(10);
+    for kind in [ModelKind::Mf, ModelKind::Ncf] {
+        for (label, attack, defense) in [
+            ("none", AttackKind::NoAttack, DefenseKind::NoDefense),
+            ("pieck_ipe", AttackKind::PieckIpe, DefenseKind::NoDefense),
+            ("pieck_uea", AttackKind::PieckUea, DefenseKind::NoDefense),
+            ("defense_ours", AttackKind::NoAttack, DefenseKind::Ours),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), label),
+                &(kind, attack, defense),
+                |b, &(kind, attack, defense)| {
+                    let mut sim = bench_simulation(kind, attack, defense);
+                    // Warm up past the mining phase so the attack path runs.
+                    sim.run(4);
+                    b.iter(|| sim.run_round());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, round_time);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Evaluation-pass cost: ER@K and HR@K over the full benign population —
+//! the per-measurement cost of every table in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frs_bench::bench_world;
+use frs_data::TrainTestSplit;
+use frs_metrics::{ExposureReport, QualityReport};
+
+fn metrics_eval(c: &mut Criterion) {
+    let (model, users, data) = bench_world();
+    let benign: Vec<usize> = (0..data.n_users()).collect();
+    let targets = data.coldest_items(1);
+    let split = TrainTestSplit {
+        train: (*data).clone(),
+        test_item: vec![0; data.n_users()],
+    };
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    group.bench_function("er_at_10_full_population", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                ExposureReport::compute(&model, &users, &benign, &data, &targets, 10).mean,
+            )
+        });
+    });
+    group.bench_function("hr_at_10_full_population", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                QualityReport::compute(&model, &users, &benign, &split, 10).hr,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metrics_eval);
+criterion_main!(benches);

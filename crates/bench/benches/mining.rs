@@ -1,0 +1,33 @@
+//! Algorithm 1 cost: Δ-Norm accumulation per observed model (the dominant
+//! term — an O(items × dim) sweep) and the top-N extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frs_model::{GlobalModel, ModelConfig};
+use pieck_core::PopularItemMiner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popular_item_mining");
+    for n_items in [500usize, 2000, 8000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model_a = GlobalModel::new(&ModelConfig::mf(16), n_items, &mut rng);
+        let model_b = GlobalModel::new(&ModelConfig::mf(16), n_items, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("observe", n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| {
+                    let mut miner = PopularItemMiner::new(1, 10);
+                    miner.observe(&model_a);
+                    miner.observe(&model_b);
+                    criterion::black_box(miner.mined().unwrap().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mining);
+criterion_main!(benches);

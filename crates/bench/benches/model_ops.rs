@@ -1,0 +1,44 @@
+//! Base-model primitives: forward logits, full backward, and the full-catalog
+//! scoring sweep used by every evaluation pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frs_model::{bce_logit_delta, GlobalGradients, GlobalModel, ModelConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn model_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let models = [
+        GlobalModel::new(&ModelConfig::mf(16), 2000, &mut rng),
+        GlobalModel::new(&ModelConfig::ncf(16), 2000, &mut rng),
+    ];
+    let user: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.5..0.5)).collect();
+
+    let mut group = c.benchmark_group("model_ops");
+    for model in &models {
+        let label = match model.kind() {
+            ModelKind::Mf => "mf",
+            ModelKind::Ncf => "ncf",
+        };
+        group.bench_with_input(BenchmarkId::new("logit", label), model, |b, m| {
+            b.iter(|| criterion::black_box(m.logit(&user, 7)));
+        });
+        group.bench_with_input(BenchmarkId::new("backward", label), model, |b, m| {
+            b.iter(|| {
+                let (logit, cache) = m.forward(&user, 7);
+                let delta = bce_logit_delta(logit, 1.0);
+                let mut d_user = vec![0.0f32; 16];
+                let mut grads = GlobalGradients::new();
+                m.backward(&user, 7, &cache, delta, &mut d_user, &mut grads);
+                criterion::black_box(grads.n_items())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("score_all_items", label), model, |b, m| {
+            b.iter(|| criterion::black_box(m.scores_for_user(&user).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model_ops);
+criterion_main!(benches);

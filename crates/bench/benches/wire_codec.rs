@@ -1,0 +1,34 @@
+//! Upload wire-codec throughput: what a real deployment would pay to
+//! serialize/deserialize each round's gradient traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use frs_bench::bench_uploads;
+use frs_federation::wire;
+
+fn wire_codec(c: &mut Criterion) {
+    let uploads = bench_uploads(64, 3, 400, 16);
+    let total_bytes: usize = uploads.iter().map(wire::encoded_size).sum();
+    let encoded: Vec<bytes::Bytes> = uploads.iter().map(wire::encode).collect();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("encode_round", |b| {
+        b.iter(|| {
+            let n: usize = uploads.iter().map(|u| wire::encode(u).len()).sum();
+            criterion::black_box(n)
+        });
+    });
+    group.bench_function("decode_round", |b| {
+        b.iter(|| {
+            let n: usize = encoded
+                .iter()
+                .map(|e| wire::decode(e.clone()).unwrap().n_items())
+                .sum();
+            criterion::black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire_codec);
+criterion_main!(benches);

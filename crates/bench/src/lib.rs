@@ -1,0 +1,72 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Everything here builds *small but structurally faithful* worlds: real
+//! synthetic datasets, trained-for-a-few-rounds models, and realistic round
+//! uploads, so the benches measure the shapes that matter (per-round cost,
+//! aggregation cost vs defense, attack crafting cost) without taking minutes
+//! per sample.
+
+use std::sync::Arc;
+
+use frs_attacks::AttackKind;
+use frs_data::{Dataset, DatasetSpec};
+use frs_defense::DefenseKind;
+use frs_experiments::{paper_scenario, PaperDataset, ScenarioConfig};
+use frs_federation::Simulation;
+use frs_model::{GlobalGradients, GlobalModel, ModelConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Benchmark dataset scale (relative to the paper's ML-100K).
+pub const BENCH_SCALE: f64 = 0.15;
+
+/// A ready-to-run simulation for the given attack/defense pair.
+pub fn bench_simulation(
+    kind: ModelKind,
+    attack: AttackKind,
+    defense: DefenseKind,
+) -> Simulation {
+    let mut cfg: ScenarioConfig = paper_scenario(PaperDataset::Ml100k, kind, BENCH_SCALE, 42);
+    cfg.attack = attack;
+    cfg.defense = defense;
+    let (_, split, targets) = frs_experiments::scenario::build_world(&cfg);
+    let train = Arc::new(split.train);
+    frs_experiments::scenario::build_simulation(&cfg, train, &targets)
+}
+
+/// A small trained-ish model plus dataset for metric benches.
+pub fn bench_world() -> (GlobalModel, Vec<Vec<f32>>, Arc<Dataset>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = Arc::new(frs_data::synth::generate(
+        &DatasetSpec::ml100k_like().scaled(BENCH_SCALE),
+        &mut rng,
+    ));
+    let model = GlobalModel::new(&ModelConfig::mf(16), data.n_items(), &mut rng);
+    let users: Vec<Vec<f32>> = (0..data.n_users())
+        .map(|_| (0..16).map(|_| rng.gen_range(-0.5..0.5)).collect())
+        .collect();
+    (model, users, data)
+}
+
+/// Realistic per-round uploads: `n` sparse benign-like uploads over `items`
+/// items of `dim` dims, plus `n_poison` single-item poison uploads.
+pub fn bench_uploads(n: usize, n_poison: usize, items: u32, dim: usize) -> Vec<GlobalGradients> {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut uploads = Vec::with_capacity(n + n_poison);
+    for _ in 0..n {
+        let mut g = GlobalGradients::new();
+        for _ in 0..40 {
+            let item = rng.gen_range(0..items);
+            let grad: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect();
+            g.add_item_grad(item, &grad);
+        }
+        uploads.push(g);
+    }
+    for _ in 0..n_poison {
+        let mut g = GlobalGradients::new();
+        let grad: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        g.add_item_grad(0, &grad);
+        uploads.push(g);
+    }
+    uploads
+}

@@ -1,0 +1,185 @@
+//! Section V-A as executable code: why server-side filtering cannot stop
+//! PIECK.
+//!
+//! For a target item `v_j`, the expected fraction of *poisonous* gradients
+//! among all gradients the server receives for `v_j` in a round is (Eq. 11):
+//!
+//! `Ẽ(v_j) = p̃ / ((1 − p̃)·p_j + p̃)`
+//!
+//! where `p_j` (Eq. 12–13) is the probability that a benign user's round
+//! dataset contains `v_j`:
+//!
+//! `p_j = (1/|Ū|) Σ_i p_ij`, with `p_ij = q·|D⁺_i| / (|V| − |D⁺_i|)` for an
+//! uninteracted item and 1 for an interacted one.
+//!
+//! A majority-seeking defense (e.g. Median) needs `Ẽ(v_j) < 0.5`, i.e.
+//! `p_j > p̃/(1−p̃)` — and for cold target items `p_j` is tiny, so the
+//! requirement fails: the poison *is* the majority. [`DefenseFeasibility`]
+//! evaluates exactly this, per item, for a concrete dataset.
+
+use frs_data::{Dataset, NegativeSampler};
+use serde::{Deserialize, Serialize};
+
+/// Eq. 13: probability that `item` appears in benign user `user`'s round
+/// dataset (1 if interacted, else the negative-sampling inclusion rate).
+pub fn p_ij(data: &Dataset, sampler: &NegativeSampler, user: usize, item: u32) -> f64 {
+    sampler.inclusion_probability(data, user, item)
+}
+
+/// Eq. 12: mean of `p_ij` over all (benign) users.
+pub fn p_j(data: &Dataset, sampler: &NegativeSampler, item: u32) -> f64 {
+    let n = data.n_users();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|u| p_ij(data, sampler, u, item)).sum::<f64>() / n as f64
+}
+
+/// Eq. 11: expected poisonous-gradient fraction for `item` at malicious
+/// ratio `p̃`.
+pub fn expected_poison_fraction(pj: f64, malicious_ratio: f64) -> f64 {
+    let p = malicious_ratio.clamp(0.0, 1.0);
+    if p == 0.0 {
+        return 0.0;
+    }
+    p / ((1.0 - p) * pj + p)
+}
+
+/// The feasibility verdict for one item under a majority-seeking defense.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DefenseFeasibility {
+    pub item: u32,
+    /// Eq. 12 probability that a benign round-dataset contains the item.
+    pub p_j: f64,
+    /// Eq. 11 expected poisonous fraction of the item's gradients.
+    pub expected_poison_fraction: f64,
+    /// Whether a majority-based defense can work (`Ẽ(v_j) < 0.5`).
+    pub majority_defense_feasible: bool,
+}
+
+impl DefenseFeasibility {
+    /// Evaluates Eq. 11–13 for `item` on a concrete dataset.
+    pub fn evaluate(data: &Dataset, q: usize, malicious_ratio: f64, item: u32) -> Self {
+        let sampler = NegativeSampler::new(q.max(1));
+        let pj = p_j(data, &sampler, item);
+        let e = expected_poison_fraction(pj, malicious_ratio);
+        Self {
+            item,
+            p_j: pj,
+            expected_poison_fraction: e,
+            majority_defense_feasible: e < 0.5,
+        }
+    }
+}
+
+/// The paper's contradiction argument made concrete: the minimum `p_j` a
+/// majority defense requires at ratio `p̃` is `p̃/(1−p̃)`; returns that bound.
+pub fn required_p_j(malicious_ratio: f64) -> f64 {
+    let p = malicious_ratio.clamp(0.0, 0.999);
+    p / (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_data::{synth, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Dataset {
+        synth::generate(&DatasetSpec::tiny(), &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn eq11_limits() {
+        // p_j = 1 (everyone uploads): Ẽ = p̃ exactly (the conventional-FL case).
+        assert!((expected_poison_fraction(1.0, 0.05) - 0.05).abs() < 1e-12);
+        // p_j → 0: Ẽ → 1 (poison is everything).
+        assert!(expected_poison_fraction(1e-9, 0.05) > 0.99);
+        // No malicious users: Ẽ = 0.
+        assert_eq!(expected_poison_fraction(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn eq11_monotone_decreasing_in_pj() {
+        let e1 = expected_poison_fraction(0.01, 0.05);
+        let e2 = expected_poison_fraction(0.1, 0.05);
+        let e3 = expected_poison_fraction(0.9, 0.05);
+        assert!(e1 > e2 && e2 > e3);
+    }
+
+    #[test]
+    fn cold_items_have_poison_majority() {
+        let data = world();
+        let cold = data.coldest_items(1)[0];
+        let verdict = DefenseFeasibility::evaluate(&data, 1, 0.05, cold);
+        // Tiny preset: |D+| ≈ 25 of 120 items → p_j ≈ 25/95 ≈ 0.26 for the
+        // cold item; Ẽ ≈ 0.05/(0.95·0.26+0.05) ≈ 0.17. The *shape* to check:
+        // Ẽ is far above the conventional-FL p̃ = 5%.
+        assert!(verdict.expected_poison_fraction > 2.0 * 0.05);
+        assert!(verdict.p_j < 0.5);
+    }
+
+    #[test]
+    fn popular_items_are_defensible_cold_less_so() {
+        let data = world();
+        let popular = data.popularity_ranking()[0];
+        let cold = data.coldest_items(1)[0];
+        let vp = DefenseFeasibility::evaluate(&data, 1, 0.05, popular);
+        let vc = DefenseFeasibility::evaluate(&data, 1, 0.05, cold);
+        assert!(vp.p_j > vc.p_j, "popular items are in more round datasets");
+        assert!(
+            vp.expected_poison_fraction < vc.expected_poison_fraction,
+            "poison dilutes on popular items"
+        );
+    }
+
+    #[test]
+    fn sparse_real_scale_breaks_majority_defenses() {
+        // At ML-100K-like sparsity (|D+| ≪ |V|), p_j for a cold item falls
+        // below the p̃/(1−p̃) bound even at 5% malicious — the paper's
+        // MEDIAN contradiction.
+        let spec = DatasetSpec::ml100k_like().scaled(0.3);
+        let data = synth::generate(&spec, &mut StdRng::seed_from_u64(4));
+        let cold = data.coldest_items(1)[0];
+        let verdict = DefenseFeasibility::evaluate(&data, 1, 0.2, cold);
+        assert!(
+            verdict.p_j < required_p_j(0.2),
+            "p_j {} vs bound {}",
+            verdict.p_j,
+            required_p_j(0.2)
+        );
+        assert!(!verdict.majority_defense_feasible);
+    }
+
+    #[test]
+    fn required_pj_bound() {
+        assert!((required_p_j(0.5) - 1.0).abs() < 1e-12, "p̃=0.5 ⇒ p_j > 1: impossible");
+        assert!((required_p_j(0.05) - 0.0526).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empirical_pj_matches_analytic() {
+        // Sample actual round datasets and compare inclusion frequency to p_j.
+        let data = world();
+        let sampler = NegativeSampler::new(1);
+        let cold = data.coldest_items(1)[0];
+        let analytic = p_j(&data, &sampler, cold);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 300;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            for u in 0..data.n_users() {
+                if data.interacted(u, cold) || sampler.sample(&data, u, &mut rng).contains(&cold)
+                {
+                    hits += 1;
+                }
+            }
+        }
+        let empirical = hits as f64 / (trials * data.n_users()) as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! PIECK-IPE: item-popularity enhancement (Eq. 8).
+//!
+//! The attack loss aligns a target item's embedding with the mined popular
+//! embeddings:
+//!
+//! `L_IPE = −(1/|T|) Σ_{v_j∈T} Σ_{*∈{+,−}} λ · (Σ_{v_k∈P*_j} κ(v_k)·cos(v_k, v_j)) / |P*_j|`
+//!
+//! with `P⁺_j / P⁻_j` the popular items whose cosine with the target is
+//! positive / non-positive (the sign partition prevents over-fitting to the
+//! dominant direction), `κ` the normalized inverse mining rank (more popular
+//! ⇒ larger weight), and `λ ∈ (0,1]` the partition strength.
+//!
+//! The three switches that Table VI ablates are all configurable:
+//! [`SimilarityMetric`] (PCOS vs PKL), `use_rank_weights` (κ on/off) and
+//! `use_sign_partition` (P± on/off).
+
+use frs_linalg::{cosine, kl_divergence, kl_grad_wrt_q, vector};
+use serde::{Deserialize, Serialize};
+
+/// Similarity used to align target and popular embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityMetric {
+    /// Pairwise cosine (the paper's choice; "PCOS" in Table VI).
+    Cosine,
+    /// Pairwise softmax-KL (the Table VI ablation baseline; alignment
+    /// *minimizes* divergence).
+    Kl,
+}
+
+/// PIECK-IPE hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpeConfig {
+    pub metric: SimilarityMetric,
+    /// κ weighting by mining rank (Table VI column "κ(·)").
+    pub use_rank_weights: bool,
+    /// P± sign partitioning (Table VI column "P+/-").
+    pub use_sign_partition: bool,
+    /// Partition strength λ ∈ (0, 1].
+    pub lambda: f32,
+}
+
+impl Default for IpeConfig {
+    fn default() -> Self {
+        Self {
+            metric: SimilarityMetric::Cosine,
+            use_rank_weights: true,
+            use_sign_partition: true,
+            lambda: 1.0,
+        }
+    }
+}
+
+/// Normalized inverse-rank weights for `n` mined items: rank 0 (most popular)
+/// gets the largest weight; weights sum to 1.
+pub fn inverse_rank_weights(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f32 = (1..=n).map(|r| r as f32).sum();
+    (0..n).map(|rank| (n - rank) as f32 / total).collect()
+}
+
+/// Value of `L_IPE` restricted to one target (diagnostics and tests).
+pub fn ipe_loss(config: &IpeConfig, popular: &[&[f32]], target: &[f32]) -> f32 {
+    let (groups, weights) = partition(config, popular, target);
+    let mut loss = 0.0f32;
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        let mut acc = 0.0f32;
+        for &idx in &group {
+            let sim = match config.metric {
+                SimilarityMetric::Cosine => cosine(popular[idx], target),
+                SimilarityMetric::Kl => -kl_divergence(popular[idx], target),
+            };
+            acc += weights[idx] * sim;
+        }
+        loss -= config.lambda * acc / group.len() as f32;
+    }
+    loss
+}
+
+/// Gradient of `L_IPE` (one target's term) with respect to the target
+/// embedding; popular embeddings are constants.
+pub fn ipe_gradient(config: &IpeConfig, popular: &[&[f32]], target: &[f32]) -> Vec<f32> {
+    let (groups, weights) = partition(config, popular, target);
+    let mut grad = vec![0.0f32; target.len()];
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        let scale = -config.lambda / group.len() as f32;
+        for &idx in &group {
+            let g = match config.metric {
+                SimilarityMetric::Cosine => vector::cosine_grad_wrt_b(popular[idx], target),
+                SimilarityMetric::Kl => {
+                    // ∂(−KL(p‖t))/∂t = −(softmax(t) − softmax(p))
+                    let mut g = kl_grad_wrt_q(popular[idx], target);
+                    vector::scale(&mut g, -1.0);
+                    g
+                }
+            };
+            vector::axpy(scale * weights[idx], &g, &mut grad);
+        }
+    }
+    grad
+}
+
+/// Splits popular indices into the configured groups and computes κ weights.
+/// Returns (groups, per-item weight). With partitioning off there is a single
+/// group; with rank weighting off, weights are uniform `1/N`.
+fn partition(
+    config: &IpeConfig,
+    popular: &[&[f32]],
+    target: &[f32],
+) -> (Vec<Vec<usize>>, Vec<f32>) {
+    let n = popular.len();
+    let weights = if config.use_rank_weights {
+        inverse_rank_weights(n)
+    } else {
+        vec![1.0 / n.max(1) as f32; n]
+    };
+    let groups = if config.use_sign_partition {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (idx, p) in popular.iter().enumerate() {
+            if cosine(p, target) > 0.0 {
+                pos.push(idx);
+            } else {
+                neg.push(idx);
+            }
+        }
+        vec![pos, neg]
+    } else {
+        vec![(0..n).collect()]
+    };
+    (groups, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_grad(
+        config: &IpeConfig,
+        popular: &[&[f32]],
+        target: &[f32],
+    ) -> Vec<f32> {
+        let eps = 1e-3;
+        (0..target.len())
+            .map(|i| {
+                let mut tp = target.to_vec();
+                tp[i] += eps;
+                let mut tm = target.to_vec();
+                tm[i] -= eps;
+                (ipe_loss(config, popular, &tp) - ipe_loss(config, popular, &tm)) / (2.0 * eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inverse_rank_weights_normalized_and_decreasing() {
+        let w = inverse_rank_weights(4);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!(inverse_rank_weights(0).is_empty());
+    }
+
+    #[test]
+    fn loss_lower_when_aligned() {
+        let cfg = IpeConfig::default();
+        let p1 = [1.0f32, 0.0, 0.0];
+        let p2 = [0.9f32, 0.1, 0.0];
+        let popular: Vec<&[f32]> = vec![&p1, &p2];
+        let aligned = [1.0f32, 0.05, 0.0];
+        let orthogonal = [0.0f32, 0.0, 1.0];
+        assert!(ipe_loss(&cfg, &popular, &aligned) < ipe_loss(&cfg, &popular, &orthogonal));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_all_configs() {
+        let p1 = [0.8f32, -0.3, 0.5, 0.1];
+        let p2 = [-0.2f32, 0.7, 0.1, -0.4];
+        let p3 = [0.3f32, 0.3, -0.6, 0.2];
+        let popular: Vec<&[f32]> = vec![&p1, &p2, &p3];
+        let target = [0.1f32, 0.2, -0.1, 0.4];
+        for metric in [SimilarityMetric::Cosine, SimilarityMetric::Kl] {
+            for use_rank_weights in [false, true] {
+                for use_sign_partition in [false, true] {
+                    let cfg = IpeConfig {
+                        metric,
+                        use_rank_weights,
+                        use_sign_partition,
+                        lambda: 0.7,
+                    };
+                    let analytic = ipe_gradient(&cfg, &popular, &target);
+                    let numeric = finite_diff_grad(&cfg, &popular, &target);
+                    for (a, n) in analytic.iter().zip(&numeric) {
+                        assert!(
+                            (a - n).abs() < 2e-3,
+                            "{metric:?} κ={use_rank_weights} P±={use_sign_partition}: {a} vs {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descending_the_gradient_aligns_target() {
+        let cfg = IpeConfig::default();
+        let p1 = [1.0f32, 0.2, 0.0];
+        let p2 = [0.9f32, 0.3, 0.1];
+        let popular: Vec<&[f32]> = vec![&p1, &p2];
+        let mut target = vec![-0.5f32, 0.4, 0.8];
+        let before = cosine(&p1, &target);
+        for _ in 0..300 {
+            let g = ipe_gradient(&cfg, &popular, &target);
+            vector::axpy(-0.05, &g, &mut target);
+        }
+        let after = cosine(&p1, &target);
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.8, "should become well aligned, got {after}");
+    }
+
+    #[test]
+    fn rank_weights_prioritize_most_popular() {
+        // Two orthogonal "popular" directions; the rank-0 one must dominate
+        // the optimized target.
+        let cfg = IpeConfig { use_sign_partition: false, ..IpeConfig::default() };
+        let p1 = [1.0f32, 0.0];
+        let p2 = [0.0f32, 1.0];
+        let popular: Vec<&[f32]> = vec![&p1, &p2];
+        let mut target = vec![0.1f32, 0.1];
+        for _ in 0..200 {
+            let g = ipe_gradient(&cfg, &popular, &target);
+            vector::axpy(-0.05, &g, &mut target);
+        }
+        assert!(
+            cosine(&p1, &target) > cosine(&p2, &target),
+            "rank-0 direction should win: {target:?}"
+        );
+    }
+
+    #[test]
+    fn empty_popular_set_gives_zero_gradient() {
+        let cfg = IpeConfig::default();
+        let popular: Vec<&[f32]> = vec![];
+        let g = ipe_gradient(&cfg, &popular, &[0.5, 0.5]);
+        assert_eq!(g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn kl_metric_pulls_distributions_together() {
+        let cfg = IpeConfig {
+            metric: SimilarityMetric::Kl,
+            use_sign_partition: false,
+            ..IpeConfig::default()
+        };
+        let p = [2.0f32, -1.0, 0.5];
+        let popular: Vec<&[f32]> = vec![&p];
+        let mut target = vec![-1.0f32, 2.0, 0.0];
+        let before = kl_divergence(&p, &target);
+        for _ in 0..300 {
+            let g = ipe_gradient(&cfg, &popular, &target);
+            vector::axpy(-0.1, &g, &mut target);
+        }
+        let after = kl_divergence(&p, &target);
+        assert!(after < before * 0.5, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,39 @@
+//! PIECK — the Popular Item Embedding based attaCK, and its defense.
+//!
+//! This crate is the paper's primary contribution (Sections IV and V-B):
+//!
+//! - [`mining`]: **Algorithm 1** — popular-item mining from Δ-Norm
+//!   accumulation across the rounds a malicious (or defending benign) client
+//!   is sampled. Model-agnostic and prior-knowledge-free: it sees nothing but
+//!   the item tables the server ships.
+//! - [`ipe`]: **PIECK-IPE** (Algorithm 2) — the item-popularity-enhancement
+//!   loss of Eq. (8): rank-weighted, sign-partitioned cosine alignment of
+//!   target-item embeddings with mined popular embeddings. Ablation switches
+//!   (PKL vs PCOS metric, κ weighting, P± partitioning) reproduce Table VI.
+//! - [`uea`]: **PIECK-UEA** (Algorithm 3) — the user-embedding-approximation
+//!   loss of Eq. (10): mined popular embeddings stand in for the private
+//!   benign-user embeddings in the exposure surrogate, optionally optimized
+//!   over several local steps (the paper's batched variant).
+//! - [`attack`]: the malicious [`frs_federation::Client`] that wires mining +
+//!   IPE/UEA into the federation, including the Table IX multi-target
+//!   strategies.
+//! - [`defense`]: the paper's **new defense** (Section V-B) as a client-side
+//!   [`frs_federation::LocalRegularizer`]: `L_def = L − β·Re1 − γ·Re2` with
+//!   Re1 (Eq. 14) confusing popular/unpopular item features and Re2 (Eq. 15)
+//!   separating user embeddings from popular-item embeddings.
+
+pub mod analysis;
+pub mod attack;
+pub mod config;
+pub mod defense;
+pub mod ipe;
+pub mod mining;
+pub mod uea;
+
+pub use analysis::{expected_poison_fraction, DefenseFeasibility};
+pub use attack::{MultiTargetStrategy, PieckClient, PieckVariant};
+pub use config::PieckConfig;
+pub use defense::{DefenseConfig, PieckDefense};
+pub use ipe::{IpeConfig, SimilarityMetric};
+pub use mining::PopularItemMiner;
+pub use uea::UeaConfig;

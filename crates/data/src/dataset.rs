@@ -1,0 +1,178 @@
+//! The immutable interaction store.
+//!
+//! A [`Dataset`] is a set of (user, item) implicit-feedback interactions held
+//! as one sorted item list per user. That layout serves every consumer:
+//! clients iterate their own positives (`D⁺_i`), the negative sampler needs
+//! fast membership tests (binary search on the sorted list), and popularity
+//! counts are materialized once at construction for the miner ground truth.
+
+use serde::{Deserialize, Serialize};
+
+/// Implicit-feedback interaction data for `n_users × n_items`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    n_items: usize,
+    /// `user_items[u]` is the ascending list of items user `u` interacted with.
+    user_items: Vec<Vec<u32>>,
+    /// `item_pop[j]` = number of users that interacted with item `j`
+    /// (the paper's definition of popularity, Section IV-B).
+    item_pop: Vec<u32>,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user interaction lists. Lists are sorted and
+    /// deduplicated; out-of-range items panic.
+    pub fn from_user_items(n_items: usize, mut user_items: Vec<Vec<u32>>) -> Self {
+        let mut item_pop = vec![0u32; n_items];
+        for items in &mut user_items {
+            items.sort_unstable();
+            items.dedup();
+            for &j in items.iter() {
+                assert!((j as usize) < n_items, "item id {j} out of range");
+                item_pop[j as usize] += 1;
+            }
+        }
+        Self { n_items, user_items, item_pop }
+    }
+
+    /// Number of users (clients in the federation).
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// Number of items (rows of the shared embedding table).
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total interaction count.
+    pub fn n_interactions(&self) -> usize {
+        self.user_items.iter().map(Vec::len).sum()
+    }
+
+    /// The ascending interacted-item list `D⁺_u` of user `u`.
+    #[inline]
+    pub fn items_of(&self, user: usize) -> &[u32] {
+        &self.user_items[user]
+    }
+
+    /// True when `user` has interacted with `item` (O(log |D⁺_u|)).
+    #[inline]
+    pub fn interacted(&self, user: usize, item: u32) -> bool {
+        self.user_items[user].binary_search(&item).is_ok()
+    }
+
+    /// Popularity (interaction count) of every item.
+    #[inline]
+    pub fn item_popularity(&self) -> &[u32] {
+        &self.item_pop
+    }
+
+    /// Item ids sorted by descending popularity (ties by ascending id) —
+    /// the ground-truth "popularity ranking" axis of Fig. 3 and Fig. 4.
+    pub fn popularity_ranking(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.n_items as u32).collect();
+        ids.sort_unstable_by(|&a, &b| {
+            self.item_pop[b as usize]
+                .cmp(&self.item_pop[a as usize])
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// `rank[j]` = zero-based popularity rank of item `j` (0 = most popular).
+    pub fn popularity_rank_of(&self) -> Vec<usize> {
+        let ranking = self.popularity_ranking();
+        let mut rank = vec![0usize; self.n_items];
+        for (pos, &j) in ranking.iter().enumerate() {
+            rank[j as usize] = pos;
+        }
+        rank
+    }
+
+    /// The `count` coldest items (fewest interactions, ties by id), the pool
+    /// the paper draws target items from ("usually an extremely cold item",
+    /// Section V-A). Items with zero interactions come first.
+    pub fn coldest_items(&self, count: usize) -> Vec<u32> {
+        let mut ranking = self.popularity_ranking();
+        ranking.reverse();
+        ranking.truncate(count);
+        ranking
+    }
+
+    /// Returns a copy with interaction `(user, item)` removed (used by the
+    /// leave-one-out split). Popularity counts are recomputed.
+    pub fn without_interaction(&self, user: usize, item: u32) -> Self {
+        let mut user_items = self.user_items.clone();
+        if let Ok(pos) = user_items[user].binary_search(&item) {
+            user_items[user].remove(pos);
+        }
+        Self::from_user_items(self.n_items, user_items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        // 3 users, 4 items. Item 1 is most popular (3 users), item 3 untouched.
+        Dataset::from_user_items(4, vec![vec![0, 1], vec![1, 2], vec![1]])
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let d = small();
+        assert_eq!(d.n_users(), 3);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.n_interactions(), 5);
+        assert_eq!(d.item_popularity(), &[1, 3, 1, 0]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let d = small();
+        assert!(d.interacted(0, 1));
+        assert!(!d.interacted(0, 2));
+        assert!(!d.interacted(2, 3));
+    }
+
+    #[test]
+    fn duplicate_interactions_are_deduped() {
+        let d = Dataset::from_user_items(2, vec![vec![1, 1, 0, 1]]);
+        assert_eq!(d.items_of(0), &[0, 1]);
+        assert_eq!(d.item_popularity(), &[1, 1]);
+    }
+
+    #[test]
+    fn popularity_ranking_descending() {
+        let d = small();
+        assert_eq!(d.popularity_ranking(), vec![1, 0, 2, 3]);
+        let rank = d.popularity_rank_of();
+        assert_eq!(rank[1], 0);
+        assert_eq!(rank[3], 3);
+    }
+
+    #[test]
+    fn coldest_items_returns_tail() {
+        let d = small();
+        assert_eq!(d.coldest_items(1), vec![3]);
+        assert_eq!(d.coldest_items(2), vec![3, 2]);
+    }
+
+    #[test]
+    fn without_interaction_updates_popularity() {
+        let d = small().without_interaction(1, 1);
+        assert_eq!(d.item_popularity(), &[1, 2, 1, 0]);
+        assert!(!d.interacted(1, 1));
+        assert!(d.interacted(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        Dataset::from_user_items(2, vec![vec![2]]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-round negative sampling.
+//!
+//! Each client's local dataset `D_i = D⁺_i ∪ D⁻_i` pairs its interacted items
+//! with `q · |D⁺_i|` uninteracted items drawn uniformly without replacement
+//! (paper Section III-A; `q = 1` by default following [32]). Negatives are
+//! re-drawn every round — the standard implicit-feedback recipe — so the
+//! sampler is stateless and cheap.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Draws per-user negative samples at a fixed ratio `q`.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    /// Ratio of |D⁻| to |D⁺| (paper's `q`).
+    q: usize,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler with ratio `q ≥ 1`.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "negative ratio q must be ≥ 1");
+        Self { q }
+    }
+
+    /// The configured ratio.
+    pub fn ratio(&self) -> usize {
+        self.q
+    }
+
+    /// Samples `q·|D⁺_u|` distinct uninteracted items for `user`, capped at
+    /// the number of available uninteracted items.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        user: usize,
+        rng: &mut R,
+    ) -> Vec<u32> {
+        let positives = data.items_of(user);
+        let n_items = data.n_items();
+        let available = n_items - positives.len();
+        let want = (self.q * positives.len()).min(available);
+        if want == 0 {
+            return Vec::new();
+        }
+
+        // When we need most of the complement, enumerate it and do a partial
+        // Fisher-Yates; otherwise rejection-sample (the common, sparse case).
+        if want * 3 >= available {
+            let mut complement: Vec<u32> = (0..n_items as u32)
+                .filter(|&j| !data.interacted(user, j))
+                .collect();
+            for i in 0..want {
+                let pick = rng.gen_range(i..complement.len());
+                complement.swap(i, pick);
+            }
+            complement.truncate(want);
+            complement
+        } else {
+            let mut out = Vec::with_capacity(want);
+            let mut seen = std::collections::HashSet::with_capacity(want * 2);
+            while out.len() < want {
+                let j = rng.gen_range(0..n_items as u32);
+                if !data.interacted(user, j) && seen.insert(j) {
+                    out.push(j);
+                }
+            }
+            out
+        }
+    }
+
+    /// Probability that a *specific* uninteracted item lands in user `u`'s
+    /// round sample — the `p_ij` of Eq. (13):
+    /// `p_ij = q·|D⁺_i| / (|V| − |D⁺_i|)` (1.0 for interacted items).
+    pub fn inclusion_probability(&self, data: &Dataset, user: usize, item: u32) -> f64 {
+        if data.interacted(user, item) {
+            return 1.0;
+        }
+        let pos = data.items_of(user).len() as f64;
+        let denom = (data.n_items() as f64 - pos).max(1.0);
+        ((self.q as f64) * pos / denom).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DatasetSpec;
+    use crate::synth::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        generate(&DatasetSpec::tiny(), &mut StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn sample_size_is_q_times_positives_capped() {
+        let d = tiny();
+        let s = NegativeSampler::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        for u in 0..d.n_users() {
+            let pos = d.items_of(u).len();
+            let available = d.n_items() - pos;
+            let negs = s.sample(&d, u, &mut rng);
+            assert_eq!(negs.len(), pos.min(available), "user {u}");
+        }
+    }
+
+    #[test]
+    fn samples_are_uninteracted_and_distinct() {
+        let d = tiny();
+        let s = NegativeSampler::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for u in 0..d.n_users().min(10) {
+            let negs = s.sample(&d, u, &mut rng);
+            let mut sorted = negs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), negs.len(), "duplicates for user {u}");
+            for &j in &negs {
+                assert!(!d.interacted(u, j));
+            }
+        }
+    }
+
+    #[test]
+    fn want_capped_at_complement_size() {
+        // 1 user interacted with 3 of 5 items; q=10 can only yield 2 negatives.
+        let d = Dataset::from_user_items(5, vec![vec![0, 1, 2]]);
+        let s = NegativeSampler::new(10);
+        let negs = s.sample(&d, 0, &mut StdRng::seed_from_u64(2));
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![3, 4]);
+    }
+
+    #[test]
+    fn inclusion_probability_matches_eq13() {
+        let d = Dataset::from_user_items(10, vec![vec![0, 1]]);
+        let s = NegativeSampler::new(2);
+        // q·|D+|/(|V|−|D+|) = 2·2/(10−2) = 0.5
+        assert!((s.inclusion_probability(&d, 0, 5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.inclusion_probability(&d, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn inclusion_probability_empirically_consistent() {
+        let d = tiny();
+        let s = NegativeSampler::new(1);
+        let user = 0;
+        // Pick an uninteracted probe item.
+        let probe = (0..d.n_items() as u32)
+            .find(|&j| !d.interacted(user, j))
+            .unwrap();
+        let p = s.inclusion_probability(&d, user, probe);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 2000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if s.sample(&d, user, &mut rng).contains(&probe) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        assert!((emp - p).abs() < 0.05, "empirical {emp} vs analytic {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be ≥ 1")]
+    fn zero_ratio_rejected() {
+        NegativeSampler::new(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Dataset statistics (Table VIII and Fig. 3 views).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a dataset, as reported in the paper's Table VIII,
+/// plus the popularity-concentration curve behind Fig. 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub n_users: usize,
+    pub n_items: usize,
+    pub n_interactions: usize,
+    /// Interactions per user ("Rate").
+    pub rate: f64,
+    /// `1 − interactions/(users·items)` ("Sparsity").
+    pub sparsity: f64,
+    /// Item interaction counts sorted descending (the Fig. 3 curve).
+    pub popularity_curve: Vec<u32>,
+}
+
+impl DatasetStats {
+    /// Computes all statistics in one pass.
+    pub fn compute(data: &Dataset) -> Self {
+        let n_users = data.n_users();
+        let n_items = data.n_items();
+        let n_interactions = data.n_interactions();
+        let mut popularity_curve = data.item_popularity().to_vec();
+        popularity_curve.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            n_users,
+            n_items,
+            n_interactions,
+            rate: n_interactions as f64 / n_users.max(1) as f64,
+            sparsity: 1.0 - n_interactions as f64 / (n_users.max(1) * n_items.max(1)) as f64,
+            popularity_curve,
+        }
+    }
+
+    /// Fraction of interactions carried by the `top_fraction` most popular
+    /// items. Fig. 3's blue/red dotted lines: `head_share(0.15) > 0.5`.
+    pub fn head_share(&self, top_fraction: f64) -> f64 {
+        if self.n_interactions == 0 {
+            return 0.0;
+        }
+        let head = ((self.n_items as f64 * top_fraction).ceil() as usize).min(self.n_items);
+        let head_sum: u64 = self.popularity_curve[..head].iter().map(|&c| c as u64).sum();
+        head_sum as f64 / self.n_interactions as f64
+    }
+
+    /// Smallest fraction of items (by popularity) that covers `share` of all
+    /// interactions — the inverse view of [`Self::head_share`].
+    pub fn items_covering(&self, share: f64) -> f64 {
+        if self.n_interactions == 0 {
+            return 0.0;
+        }
+        let target = share * self.n_interactions as f64;
+        let mut acc = 0u64;
+        for (idx, &c) in self.popularity_curve.iter().enumerate() {
+            acc += c as u64;
+            if acc as f64 >= target {
+                return (idx + 1) as f64 / self.n_items as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Number of items with at least one interaction.
+    pub fn active_items(&self) -> usize {
+        self.popularity_curve.iter().take_while(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DatasetSpec;
+    use crate::synth::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_counts() {
+        let d = Dataset::from_user_items(4, vec![vec![0, 1], vec![1]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.n_interactions, 3);
+        assert!((s.rate - 1.5).abs() < 1e-12);
+        assert!((s.sparsity - (1.0 - 3.0 / 8.0)).abs() < 1e-12);
+        assert_eq!(s.popularity_curve, vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn head_share_full_is_one() {
+        let d = Dataset::from_user_items(4, vec![vec![0, 1], vec![1]]);
+        let s = DatasetStats::compute(&d);
+        assert!((s.head_share(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn items_covering_inverse_of_head_share() {
+        let d = generate(&DatasetSpec::tiny(), &mut StdRng::seed_from_u64(1));
+        let s = DatasetStats::compute(&d);
+        let frac = s.items_covering(0.5);
+        // That fraction of items should indeed cover ≥ 50%.
+        assert!(s.head_share(frac) >= 0.5 - 1e-9);
+        assert!(frac > 0.0 && frac <= 1.0);
+    }
+
+    #[test]
+    fn long_tail_on_tiny_preset() {
+        let d = generate(&DatasetSpec::tiny(), &mut StdRng::seed_from_u64(2));
+        let s = DatasetStats::compute(&d);
+        // Long-tail: half the interactions concentrated well below half the
+        // items.
+        assert!(s.items_covering(0.5) < 0.5);
+    }
+
+    #[test]
+    fn active_items_counts_nonzero() {
+        let d = Dataset::from_user_items(5, vec![vec![0], vec![0, 2]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.active_items(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let d = Dataset::from_user_items(3, vec![]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.head_share(0.5), 0.0);
+        assert_eq!(s.items_covering(0.5), 0.0);
+    }
+}

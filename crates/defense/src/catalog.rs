@@ -1,0 +1,128 @@
+//! Defense catalogue: the rows of Table IV.
+
+use frs_federation::{Aggregator, SumAggregator};
+use serde::{Deserialize, Serialize};
+
+use crate::krum::{Bulyan, Krum, MultiKrum};
+use crate::median::{Median, TrimmedMean};
+use crate::norm_bound::NormBound;
+
+/// Every defense evaluated in the paper, in Table IV row order. `Ours` is
+/// client-side (see `pieck_core::defense`) and pairs with plain-sum server
+/// aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefenseKind {
+    NoDefense,
+    NormBound,
+    Median,
+    TrimmedMean,
+    Krum,
+    MultiKrum,
+    Bulyan,
+    /// The paper's client-side regularization defense (Section V-B).
+    Ours,
+}
+
+impl DefenseKind {
+    /// All defenses in table order.
+    pub fn all() -> [DefenseKind; 8] {
+        [
+            DefenseKind::NoDefense,
+            DefenseKind::NormBound,
+            DefenseKind::Median,
+            DefenseKind::TrimmedMean,
+            DefenseKind::Krum,
+            DefenseKind::MultiKrum,
+            DefenseKind::Bulyan,
+            DefenseKind::Ours,
+        ]
+    }
+
+    /// Row label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::NoDefense => "NoDefense",
+            DefenseKind::NormBound => "NormBound",
+            DefenseKind::Median => "Median",
+            DefenseKind::TrimmedMean => "TrimmedMean",
+            DefenseKind::Krum => "Krum",
+            DefenseKind::MultiKrum => "MultiKrum",
+            DefenseKind::Bulyan => "Bulyan",
+            DefenseKind::Ours => "ours",
+        }
+    }
+
+    /// True for defenses that run inside benign clients rather than in the
+    /// server's aggregation rule.
+    pub fn is_client_side(&self) -> bool {
+        matches!(self, DefenseKind::Ours)
+    }
+
+    /// Builds the server-side aggregator for this defense. `assumed_ratio` is
+    /// the malicious fraction `p̃` the defense is tuned for;
+    /// `norm_bound_threshold` parameterizes [`NormBound`]. Client-side
+    /// defenses (and `NoDefense`) aggregate with a plain sum.
+    pub fn build_aggregator(
+        &self,
+        assumed_ratio: f64,
+        norm_bound_threshold: f32,
+    ) -> Box<dyn Aggregator> {
+        // Defenses assume a minority of malicious uploads; clamp for safety.
+        let ratio = assumed_ratio.clamp(0.0, 0.49);
+        match self {
+            DefenseKind::NoDefense | DefenseKind::Ours => Box::new(SumAggregator),
+            DefenseKind::NormBound => Box::new(NormBound::new(norm_bound_threshold)),
+            DefenseKind::Median => Box::new(Median),
+            DefenseKind::TrimmedMean => Box::new(TrimmedMean::new(ratio)),
+            DefenseKind::Krum => Box::new(Krum::new(ratio)),
+            DefenseKind::MultiKrum => Box::new(MultiKrum::new(ratio)),
+            DefenseKind::Bulyan => Box::new(Bulyan::new(ratio)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            DefenseKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn only_ours_is_client_side() {
+        for k in DefenseKind::all() {
+            assert_eq!(k.is_client_side(), k == DefenseKind::Ours, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn aggregators_build_and_name_sensibly() {
+        use frs_model::GlobalGradients;
+        for k in DefenseKind::all() {
+            let agg = k.build_aggregator(0.05, 1.0);
+            let mut u1 = GlobalGradients::new();
+            u1.add_item_grad(0, &[0.5, 0.5]);
+            let mut u2 = GlobalGradients::new();
+            u2.add_item_grad(0, &[0.4, 0.6]);
+            let out = agg.aggregate(&[u1, u2]);
+            let g = &out.items[&0];
+            assert_eq!(g.len(), 2, "{k:?}");
+            assert!(g.iter().all(|v| v.is_finite()), "{k:?}");
+            assert!(!agg.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn extreme_assumed_ratio_is_clamped() {
+        use frs_model::GlobalGradients;
+        // Must not panic even with a ratio >= 0.5.
+        let agg = DefenseKind::Krum.build_aggregator(0.9, 1.0);
+        let mut u = GlobalGradients::new();
+        u.add_item_grad(0, &[1.0]);
+        assert!(agg.aggregate(&[u]).items[&0][0].is_finite());
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension experiment (beyond the paper): how the attack and the defense
+//! reshape *popularity bias* in the served recommendations.
+//!
+//! The paper's mechanisms all revolve around popularity bias (finding F2);
+//! this experiment quantifies it: catalogue coverage@K, the Gini coefficient
+//! of recommendation frequency, and the mean popularity of recommended
+//! items — under no attack, under PIECK-UEA, and under the defense.
+//!
+//! Usage: `ext_popularity_bias [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::scenario::{build_simulation, build_world};
+use frs_experiments::{paper_scenario, CommonArgs, PaperDataset, Table};
+use frs_metrics::{
+    average_recommended_popularity, catalogue_coverage, gini_coefficient,
+    recommendation_frequency,
+};
+use frs_model::ModelKind;
+use std::sync::Arc;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("\n### Extension — popularity bias of served top-10 lists (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&[
+        "Scenario", "coverage@10", "Gini", "mean rec. popularity",
+    ]);
+    for (label, attack, defense) in [
+        ("clean", AttackKind::NoAttack, DefenseKind::NoDefense),
+        ("PIECK-UEA", AttackKind::PieckUea, DefenseKind::NoDefense),
+        ("UEA + ours", AttackKind::PieckUea, DefenseKind::Ours),
+        ("defense only", AttackKind::NoAttack, DefenseKind::Ours),
+    ] {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+        cfg.attack = attack;
+        cfg.defense = defense;
+        cfg.mined_top_n = 30;
+        let (_, split, targets) = build_world(&cfg);
+        let train = Arc::new(split.train.clone());
+        let mut sim = build_simulation(&cfg, Arc::clone(&train), &targets);
+        sim.run(args.rounds_or(150));
+        let benign = sim.benign_ids();
+        let freq =
+            recommendation_frequency(sim.model(), &sim.user_embeddings(), &benign, &train, 10);
+        table.row(&[
+            label.to_string(),
+            format!("{:.3}", catalogue_coverage(&freq)),
+            format!("{:.3}", gini_coefficient(&freq)),
+            format!("{:.1}", average_recommended_popularity(&freq, &train)),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!(
+        "Reading: PIECK-UEA drags a cold item into the lists (lower mean\n\
+         recommended popularity, Gini slightly up); the defense restores the\n\
+         clean profile without flattening the system's natural popularity skew."
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 5: effect of the malicious ratio p̃ (panels a–b) and of the mined
+//! popular-item number N (panels c–d) on both PIECK variants, with and
+//! without our defense, on MF-FRS.
+//!
+//! Usage: `fig5_params [--scale f] [--rounds n] [--seed s] [p|n]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn sweep(
+    args: &CommonArgs,
+    header: &str,
+    values: &[(String, f64, usize)], // (label, malicious_ratio, mined_n)
+    defense: DefenseKind,
+) {
+    println!("\n### Fig. 5 — {header} ({})", defense.label());
+    let mut table = Table::new(&[header, "IPE ER", "IPE HR", "UEA ER", "UEA HR"]);
+    for (label, ratio, n) in values {
+        let mut cells = vec![label.clone()];
+        for attack in [AttackKind::PieckIpe, AttackKind::PieckUea] {
+            let mut cfg =
+                paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+            cfg.attack = attack;
+            cfg.defense = defense;
+            cfg.rounds = args.rounds_or(150);
+            cfg.malicious_ratio = *ratio;
+            cfg.mined_top_n = *n;
+            let out = run(&cfg);
+            cells.push(pct(out.er_percent));
+            cells.push(pct(out.hr_percent));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.to_markdown());
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let which = args.positional.first().map(String::as_str).unwrap_or("both");
+
+    if which == "p" || which == "both" {
+        let ratios: Vec<(String, f64, usize)> = [0.01, 0.05, 0.10, 0.15]
+            .iter()
+            .map(|&p| (format!("{:.0}%", p * 100.0), p, 10))
+            .collect();
+        sweep(&args, "malicious ratio p̃", &ratios, DefenseKind::NoDefense);
+        sweep(&args, "malicious ratio p̃", &ratios, DefenseKind::Ours);
+    }
+    if which == "n" || which == "both" {
+        let ns: Vec<(String, f64, usize)> = [5usize, 10, 50, 250]
+            .iter()
+            .map(|&n| (n.to_string(), 0.05, n))
+            .collect();
+        sweep(&args, "mined popular item number N", &ns, DefenseKind::NoDefense);
+        sweep(&args, "mined popular item number N", &ns, DefenseKind::Ours);
+    }
+}

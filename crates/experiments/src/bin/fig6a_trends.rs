@@ -1,0 +1,57 @@
+//! Fig. 6(a): ER@10 convergence trends of PIECK-IPE vs PIECK-UEA on MF-FRS
+//! (paper: ML-1M, 1750 rounds — IPE decays as personalization sharpens while
+//! UEA stays high).
+//!
+//! Usage: `fig6a_trends [--scale f] [--rounds n] [--seed s] [dataset]`
+
+use frs_attacks::AttackKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let dataset = args
+        .positional
+        .first()
+        .map(|n| {
+            PaperDataset::from_name(n).unwrap_or_else(|| {
+                eprintln!("unknown dataset {n}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(PaperDataset::Ml1m);
+
+    let rounds = args.rounds_or(400);
+    let every = (rounds / 20).max(1);
+
+    let mut columns: Vec<(String, Vec<(usize, f64, f64)>)> = Vec::new();
+    for attack in [AttackKind::PieckIpe, AttackKind::PieckUea] {
+        let mut cfg = paper_scenario(dataset, ModelKind::Mf, args.scale, args.seed);
+        cfg.attack = attack;
+        cfg.rounds = rounds;
+        cfg.trend_every = every;
+        cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+        let out = run(&cfg);
+        columns.push((
+            attack.label().to_string(),
+            out.trend.iter().map(|p| (p.round, p.er, p.hr)).collect(),
+        ));
+    }
+
+    println!("\n### Fig. 6(a) — ER@10 / HR@10 trend on {:?} (MF-FRS)", dataset);
+    let mut table = Table::new(&["Round", "IPE ER", "IPE HR", "UEA ER", "UEA HR"]);
+    let n_points = columns[0].1.len();
+    for i in 0..n_points {
+        let (round, ipe_er, ipe_hr) = columns[0].1[i];
+        let (_, uea_er, uea_hr) = columns[1].1[i];
+        table.row(&[
+            round.to_string(),
+            pct(ipe_er),
+            pct(ipe_hr),
+            pct(uea_er),
+            pct(uea_hr),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+}

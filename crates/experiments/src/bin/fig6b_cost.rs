@@ -1,0 +1,38 @@
+//! Fig. 6(b): cost analysis — mean wall-clock time per communication round
+//! for the vanilla system, PIECK-IPE, PIECK-UEA, and our defense, on both
+//! model families. (Criterion microbenches of the same quantities live in
+//! `crates/bench/benches/cost_analysis.rs`.)
+//!
+//! Usage: `fig6b_cost [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let rounds = args.rounds_or(50);
+    println!("\n### Fig. 6(b) — mean time per round, ml1m-like (upload volume in parentheses)");
+    for kind in [ModelKind::Mf, ModelKind::Ncf] {
+        for (label, attack, defense) in [
+            ("No(Att.&Def.)", AttackKind::NoAttack, DefenseKind::NoDefense),
+            ("PIECK-IPE", AttackKind::PieckIpe, DefenseKind::NoDefense),
+            ("PIECK-UEA", AttackKind::PieckUea, DefenseKind::NoDefense),
+            ("DEFENSE(ours)", AttackKind::NoAttack, DefenseKind::Ours),
+        ] {
+            let mut cfg = paper_scenario(PaperDataset::Ml1m, kind, args.scale, args.seed);
+            cfg.attack = attack;
+            cfg.defense = defense;
+            cfg.rounds = rounds;
+            let out = run(&cfg);
+            println!(
+                "{:8} {:14} {:8.2} ms/round   ({:.1} KiB uploaded/round)",
+                kind.label(),
+                label,
+                out.mean_round_time.as_secs_f64() * 1e3,
+                out.total_upload_bytes as f64 / rounds as f64 / 1024.0
+            );
+        }
+    }
+}

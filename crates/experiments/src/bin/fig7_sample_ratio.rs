@@ -1,0 +1,23 @@
+//! Supplementary Fig. 7: recommendation performance (HR@10) as a function of
+//! the negative-sampling ratio q — rises to a plateau, then degrades for
+//! large q (MF-FRS, ML-100K, no attack).
+//!
+//! Usage: `fig7_sample_ratio [--scale f] [--rounds n] [--seed s]`
+
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("\n### Fig. 7 — HR@10 vs sampling ratio q (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&["q", "HR@10", "NDCG@10"]);
+    for q in [1usize, 2, 4, 6, 8, 10, 12, 16] {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+        cfg.federation.negative_ratio = q;
+        cfg.rounds = args.rounds_or(150);
+        let out = run(&cfg);
+        table.row(&[q.to_string(), pct(out.hr_percent), format!("{:.4}", out.ndcg)]);
+    }
+    print!("{}", table.to_markdown());
+}

@@ -1,0 +1,41 @@
+//! Supplementary Table X: inconsistent client/server learning rates — a
+//! static mismatch (client 1e-2 vs server 1e-0) and a dynamic cycling rate
+//! (1e-2…1e-0) — and their effect on the PIECK attacks (MF-FRS, ML-100K).
+//!
+//! Usage: `table10_learning_rates [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::AttackKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let scenarios: [(&str, Option<f32>, Option<(f32, f32)>); 3] = [
+        ("1e-0 (consistent)", None, None),
+        ("1e-2 (static)", Some(0.01), None),
+        ("1e-2..1e-0 (dynamic)", None, Some((0.01, 1.0))),
+    ];
+
+    println!("\n### Table X — inconsistent client learning rates (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&[
+        "Client η", "NoAtk ER", "NoAtk HR", "IPE ER", "IPE HR", "UEA ER", "UEA HR",
+    ]);
+    for (label, static_lr, cycle) in scenarios {
+        let mut cells = vec![label.to_string()];
+        for attack in [AttackKind::NoAttack, AttackKind::PieckIpe, AttackKind::PieckUea] {
+            let mut cfg =
+                paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+            cfg.attack = attack;
+            cfg.federation.client_learning_rate = static_lr;
+            cfg.federation.client_lr_cycle = cycle;
+            cfg.rounds = args.rounds_or(150);
+            cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+            let out = run(&cfg);
+            cells.push(pct(out.er_percent));
+            cells.push(pct(out.hr_percent));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.to_markdown());
+}

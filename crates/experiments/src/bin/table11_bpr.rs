@@ -1,0 +1,43 @@
+//! Supplementary Table XI: generalization to the BPR training loss — the
+//! PIECK attacks and our defense under BCE vs BPR (MF-FRS, ML-100K).
+//!
+//! Usage: `table11_bpr [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::{LossKind, ModelKind};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let rows: [(AttackKind, DefenseKind); 5] = [
+        (AttackKind::NoAttack, DefenseKind::NoDefense),
+        (AttackKind::PieckIpe, DefenseKind::NoDefense),
+        (AttackKind::PieckIpe, DefenseKind::Ours),
+        (AttackKind::PieckUea, DefenseKind::NoDefense),
+        (AttackKind::PieckUea, DefenseKind::Ours),
+    ];
+
+    println!("\n### Table XI — loss-function generalization (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&[
+        "Attack", "Defense", "BCE ER", "BCE HR", "BPR ER", "BPR HR",
+    ]);
+    for (attack, defense) in rows {
+        let mut cells = vec![attack.label().to_string(), defense.label().to_string()];
+        for loss in [LossKind::Bce, LossKind::Bpr] {
+            let mut cfg =
+                paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+            cfg.attack = attack;
+            cfg.defense = defense;
+            cfg.federation.loss = loss;
+            cfg.rounds = args.rounds_or(150);
+            cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+            let out = run(&cfg);
+            cells.push(pct(out.er_percent));
+            cells.push(pct(out.hr_percent));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.to_markdown());
+}

@@ -1,0 +1,55 @@
+//! Table III: ER@10 / HR@10 of every attack × {MF-FRS, DL-FRS} × datasets,
+//! with no defense and the default p̃ = 5% malicious users.
+//!
+//! Usage: `table3_attacks [--scale f] [--rounds n] [--seed s] [datasets...]`
+//! where datasets ⊆ {ml100k, ml1m, az} (default: ml100k).
+
+use frs_attacks::AttackKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let datasets: Vec<PaperDataset> = if args.positional.is_empty() {
+        vec![PaperDataset::Ml100k]
+    } else {
+        args.positional
+            .iter()
+            .map(|name| {
+                PaperDataset::from_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown dataset {name}; use ml100k|ml1m|az");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    for kind in [ModelKind::Mf, ModelKind::Ncf] {
+        for &dataset in &datasets {
+            let probe = paper_scenario(dataset, kind, args.scale, args.seed);
+            println!(
+                "\n### Table III — {} on {} ({} users, {} items)",
+                kind.label(),
+                probe.dataset.name,
+                probe.dataset.n_users,
+                probe.dataset.n_items
+            );
+            let mut table = Table::new(&["Attack", "ER@10", "HR@10"]);
+            for attack in AttackKind::all() {
+                let mut cfg = paper_scenario(dataset, kind, args.scale, args.seed);
+                cfg.attack = attack;
+                cfg.rounds = args.rounds_or(150);
+                // UEA mines a larger popular set (paper: N=50 vs 10 for IPE).
+                cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+                let out = run(&cfg);
+                table.row(&[
+                    attack.label().to_string(),
+                    pct(out.er_percent),
+                    pct(out.hr_percent),
+                ]);
+            }
+            print!("{}", table.to_markdown());
+        }
+    }
+}

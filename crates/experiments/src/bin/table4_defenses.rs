@@ -1,0 +1,46 @@
+//! Table IV: every defense × the top-3 attacks (A-HUM, PIECK-IPE, PIECK-UEA)
+//! on ML-100K, both model families, p̃ = 5%.
+//!
+//! Usage: `table4_defenses [--scale f] [--rounds n] [--seed s] [mf|ncf]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let kinds: Vec<ModelKind> = match args.positional.first().map(String::as_str) {
+        Some("mf") => vec![ModelKind::Mf],
+        Some("ncf") => vec![ModelKind::Ncf],
+        None => vec![ModelKind::Mf, ModelKind::Ncf],
+        Some(other) => {
+            eprintln!("unknown model {other}; use mf|ncf");
+            std::process::exit(2);
+        }
+    };
+    let attacks = [AttackKind::AHum, AttackKind::PieckIpe, AttackKind::PieckUea];
+
+    for kind in kinds {
+        println!("\n### Table IV — defenses on ml100k-like ({})", kind.label());
+        let mut table = Table::new(&[
+            "Defense", "A-hum ER", "A-hum HR", "IPE ER", "IPE HR", "UEA ER", "UEA HR",
+        ]);
+        for defense in DefenseKind::all() {
+            let mut cells = vec![defense.label().to_string()];
+            for attack in attacks {
+                let mut cfg = paper_scenario(PaperDataset::Ml100k, kind, args.scale, args.seed);
+                cfg.attack = attack;
+                cfg.defense = defense;
+                cfg.rounds = args.rounds_or(150);
+                cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+                let out = run(&cfg);
+                cells.push(pct(out.er_percent));
+                cells.push(pct(out.hr_percent));
+            }
+            table.row(&cells);
+        }
+        print!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,107 @@
+//! Table VI: ablations of the IPE attack loss L_IPE (similarity metric,
+//! κ rank-weighting, P± sign partition) and of the defense loss L_def
+//! (Re1 / Re2), on MF-FRS + ML-100K.
+//!
+//! Usage: `table6_ablation [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::{AttackKind, ScaledClient};
+use frs_defense::DefenseKind;
+use frs_experiments::report::pct;
+use frs_experiments::scenario::run_with;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_federation::Client;
+use frs_model::ModelKind;
+use pieck_core::{IpeConfig, PieckClient, PieckConfig, SimilarityMetric};
+
+fn run_ipe_variant(args: &CommonArgs, ipe: IpeConfig) -> (f64, f64) {
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+    cfg.attack = AttackKind::PieckIpe;
+    cfg.rounds = args.rounds_or(150);
+    let poison_scale = cfg.poison_scale;
+    let seed = cfg.federation.seed;
+    let out = run_with(&cfg, |first_id, count, targets| {
+        (0..count)
+            .map(|i| {
+                let mut pieck = PieckConfig::ipe(targets.to_vec());
+                pieck.variant = pieck_core::PieckVariant::Ipe(ipe.clone());
+                pieck.top_n = 10;
+                let client: Box<dyn Client> = Box::new(PieckClient::new(first_id + i, pieck));
+                let _ = seed;
+                Box::new(ScaledClient::new(client, poison_scale).with_cap(2.0)) as Box<dyn Client>
+            })
+            .collect()
+    });
+    (out.er_percent, out.hr_percent)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+
+    println!("\n### Table VI (left) — L_IPE ablation (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&["Metric", "κ(·)", "P+/-", "ER@10", "HR@10"]);
+    let variants: [(&str, IpeConfig); 4] = [
+        (
+            "PKL",
+            IpeConfig {
+                metric: SimilarityMetric::Kl,
+                use_rank_weights: false,
+                use_sign_partition: false,
+                lambda: 1.0,
+            },
+        ),
+        (
+            "PCOS",
+            IpeConfig {
+                metric: SimilarityMetric::Cosine,
+                use_rank_weights: false,
+                use_sign_partition: false,
+                lambda: 1.0,
+            },
+        ),
+        (
+            "PCOS",
+            IpeConfig {
+                metric: SimilarityMetric::Cosine,
+                use_rank_weights: true,
+                use_sign_partition: false,
+                lambda: 1.0,
+            },
+        ),
+        ("PCOS", IpeConfig::default()),
+    ];
+    for (name, ipe) in variants {
+        let kappa = if ipe.use_rank_weights { "+" } else { "" };
+        let part = if ipe.use_sign_partition { "+" } else { "" };
+        let (er, hr) = run_ipe_variant(&args, ipe);
+        table.row(&[name.to_string(), kappa.into(), part.into(), pct(er), pct(hr)]);
+    }
+    print!("{}", table.to_markdown());
+
+    println!("\n### Table VI (right) — L_def ablation (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&["Re1", "Re2", "IPE ER", "IPE HR", "UEA ER", "UEA HR"]);
+    for (use_re1, use_re2) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut cells = vec![
+            if use_re1 { "+" } else { "" }.to_string(),
+            if use_re2 { "+" } else { "" }.to_string(),
+        ];
+        for attack in [AttackKind::PieckIpe, AttackKind::PieckUea] {
+            let mut cfg =
+                paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+            cfg.attack = attack;
+            cfg.defense = if use_re1 || use_re2 {
+                DefenseKind::Ours
+            } else {
+                DefenseKind::NoDefense
+            };
+            cfg.our_defense.use_re1 = use_re1;
+            cfg.our_defense.use_re2 = use_re2;
+            cfg.rounds = args.rounds_or(150);
+            cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+            let out = run(&cfg);
+            cells.push(pct(out.er_percent));
+            cells.push(pct(out.hr_percent));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.to_markdown());
+}

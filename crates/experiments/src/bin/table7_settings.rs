@@ -1,0 +1,52 @@
+//! Table VII: system-setting variations — a large sampling ratio (q = 10)
+//! and multiple target items (|T| = 3) — for the PIECK attacks with and
+//! without our defense (MF-FRS, ML-100K).
+//!
+//! Usage: `table7_settings [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::AttackKind;
+use frs_defense::DefenseKind;
+use frs_experiments::report::pct;
+use frs_experiments::{paper_scenario, run, CommonArgs, PaperDataset, Table};
+use frs_model::ModelKind;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let rows: [(AttackKind, DefenseKind); 5] = [
+        (AttackKind::NoAttack, DefenseKind::NoDefense),
+        (AttackKind::PieckIpe, DefenseKind::NoDefense),
+        (AttackKind::PieckIpe, DefenseKind::Ours),
+        (AttackKind::PieckUea, DefenseKind::NoDefense),
+        (AttackKind::PieckUea, DefenseKind::Ours),
+    ];
+
+    println!("\n### Table VII — q=10 and |T|=3 (MF-FRS, ml100k-like)");
+    let mut table = Table::new(&[
+        "Attack", "Defense", "q=10 ER", "q=10 HR", "|T|=3 ER", "|T|=3 HR",
+    ]);
+    for (attack, defense) in rows {
+        let mut cells = vec![attack.label().to_string(), defense.label().to_string()];
+        // Column pair 1: q = 10.
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+        cfg.attack = attack;
+        cfg.defense = defense;
+        cfg.federation.negative_ratio = 10;
+        cfg.rounds = args.rounds_or(150);
+        cfg.mined_top_n = if attack == AttackKind::PieckUea { 15 } else { 10 };
+        let out = run(&cfg);
+        cells.push(pct(out.er_percent));
+        cells.push(pct(out.hr_percent));
+        // Column pair 2: |T| = 3 (Train-One-Then-Copy).
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+        cfg.attack = attack;
+        cfg.defense = defense;
+        cfg.n_targets = 3;
+        cfg.rounds = args.rounds_or(150);
+        cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+        let out = run(&cfg);
+        cells.push(pct(out.er_percent));
+        cells.push(pct(out.hr_percent));
+        table.row(&cells);
+    }
+    print!("{}", table.to_markdown());
+}

@@ -1,0 +1,69 @@
+//! Supplementary Table IX: promoting |T| ∈ {2,3,4,5} targets with the two
+//! strategies — Train-Together vs Train-One-Then-Copy (MF-FRS, ML-100K).
+//!
+//! Usage: `table9_multi_target [--scale f] [--rounds n] [--seed s]`
+
+use frs_attacks::{AttackKind, ScaledClient};
+use frs_experiments::report::pct;
+use frs_experiments::scenario::run_with;
+use frs_experiments::{paper_scenario, CommonArgs, PaperDataset, Table};
+use frs_federation::Client;
+use frs_model::ModelKind;
+use pieck_core::{MultiTargetStrategy, PieckClient, PieckConfig};
+
+fn run_strategy(
+    args: &CommonArgs,
+    attack: AttackKind,
+    n_targets: usize,
+    strategy: MultiTargetStrategy,
+) -> (f64, f64) {
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, args.scale, args.seed);
+    cfg.attack = attack;
+    cfg.n_targets = n_targets;
+    cfg.rounds = args.rounds_or(150);
+    let poison_scale = cfg.poison_scale;
+    let uea = attack == AttackKind::PieckUea;
+    let out = run_with(&cfg, |first_id, count, targets| {
+        (0..count)
+            .map(|i| {
+                let mut pieck = if uea {
+                    PieckConfig::uea(targets.to_vec())
+                } else {
+                    PieckConfig::ipe(targets.to_vec())
+                };
+                pieck.multi_target = strategy;
+                pieck.top_n = if uea { 30 } else { 10 };
+                let client: Box<dyn Client> = Box::new(PieckClient::new(first_id + i, pieck));
+                if uea {
+                    client
+                } else {
+                    Box::new(ScaledClient::new(client, poison_scale).with_cap(2.0))
+                        as Box<dyn Client>
+                }
+            })
+            .collect()
+    });
+    (out.er_percent, out.hr_percent)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    for strategy in [MultiTargetStrategy::TrainTogether, MultiTargetStrategy::TrainOneThenCopy] {
+        println!("\n### Table IX — {strategy:?} (MF-FRS, ml100k-like)");
+        let mut table = Table::new(&["|T|", "IPE ER", "IPE HR", "UEA ER", "UEA HR"]);
+        for n_targets in [2usize, 3, 4, 5] {
+            let (ipe_er, ipe_hr) =
+                run_strategy(&args, AttackKind::PieckIpe, n_targets, strategy);
+            let (uea_er, uea_hr) =
+                run_strategy(&args, AttackKind::PieckUea, n_targets, strategy);
+            table.row(&[
+                n_targets.to_string(),
+                pct(ipe_er),
+                pct(ipe_hr),
+                pct(uea_er),
+                pct(uea_hr),
+            ]);
+        }
+        print!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal argument parsing shared by all experiment binaries.
+//!
+//! Kept dependency-free (no clap in the sanctioned crate set): flags are
+//! `--name value` pairs plus positional arguments.
+
+/// Arguments every experiment binary understands.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Dataset scale factor in (0, 1]; presets shrink shape-preservingly.
+    pub scale: f64,
+    /// Override for the number of communication rounds.
+    pub rounds: Option<usize>,
+    /// Root seed.
+    pub seed: u64,
+    /// Remaining positional arguments (experiment-specific).
+    pub positional: Vec<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self { scale: 0.25, rounds: None, seed: 7, positional: Vec::new() }
+    }
+}
+
+impl CommonArgs {
+    /// Parses from an iterator of arguments (excluding argv[0]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = CommonArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().ok_or("--scale needs a value")?;
+                    out.scale = v.parse().map_err(|_| format!("bad --scale: {v}"))?;
+                    if out.scale <= 0.0 || out.scale > 1.0 {
+                        return Err("--scale must be in (0, 1]".into());
+                    }
+                }
+                "--rounds" => {
+                    let v = iter.next().ok_or("--rounds needs a value")?;
+                    out.rounds =
+                        Some(v.parse().map_err(|_| format!("bad --rounds: {v}"))?);
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad --seed: {v}"))?;
+                }
+                "--full" => out.scale = 1.0,
+                other => out.positional.push(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process environment, exiting with a message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("argument error: {msg}");
+                eprintln!("usage: [--scale f] [--rounds n] [--seed s] [--full] [extra...]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Rounds to run, with an experiment-provided default.
+    pub fn rounds_or(&self, default: usize) -> usize {
+        self.rounds.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 0.25);
+        assert!(a.rounds.is_none());
+        assert_eq!(a.rounds_or(100), 100);
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = parse(&["--scale", "0.5", "--rounds", "50", "--seed", "9", "p", "n"]).unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.rounds_or(1), 50);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.positional, vec!["p", "n"]);
+    }
+
+    #[test]
+    fn full_sets_scale_one() {
+        assert_eq!(parse(&["--full"]).unwrap().scale, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+        assert!(parse(&["--rounds"]).is_err());
+    }
+}

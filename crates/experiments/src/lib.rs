@@ -1,0 +1,22 @@
+//! Experiment harness reproducing every table and figure of the PIECK paper.
+//!
+//! The unit of work is a [`scenario::ScenarioConfig`] — dataset × model ×
+//! attack × defense × hyper-parameters — executed by [`scenario::run`] into a
+//! [`scenario::ScenarioOutcome`] (ER@K, HR@K, timings, optional round-by-round
+//! trend). Every experiment binary in `src/bin/` is a thin loop over
+//! scenarios plus a [`report`] table.
+//!
+//! Scale control: all binaries accept `--scale f` (shrinking the dataset
+//! presets while preserving their long-tail shape) and `--rounds n`, so the
+//! full grid runs in CI minutes, while `--scale 1.0` reproduces paper-scale
+//! workloads.
+
+pub mod cli;
+pub mod presets;
+pub mod report;
+pub mod scenario;
+
+pub use cli::CommonArgs;
+pub use presets::{paper_scenario, PaperDataset};
+pub use report::Table;
+pub use scenario::{run, ScenarioConfig, ScenarioOutcome};

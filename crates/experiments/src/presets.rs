@@ -1,0 +1,110 @@
+//! Paper-faithful scenario presets with scale-aware adjustments.
+//!
+//! The paper's protocol parameters are tied to dataset size (256 users
+//! sampled per round on ML-100K/ML-1M, 1024 on AZ for MF). When a dataset is
+//! scaled down for CI, the round batch must scale with it, otherwise every
+//! client participates every round and both attack and defense dynamics
+//! change character. This module centralizes those couplings so every
+//! experiment binary builds identical baselines.
+
+use frs_data::DatasetSpec;
+use frs_model::ModelKind;
+
+use crate::scenario::ScenarioConfig;
+
+/// Which paper dataset a scenario models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperDataset {
+    Ml100k,
+    Ml1m,
+    Az,
+}
+
+impl PaperDataset {
+    /// Parses the CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ml100k" => Some(Self::Ml100k),
+            "ml1m" => Some(Self::Ml1m),
+            "az" => Some(Self::Az),
+            _ => None,
+        }
+    }
+
+    /// The unscaled generator spec.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Self::Ml100k => DatasetSpec::ml100k_like(),
+            Self::Ml1m => DatasetSpec::ml1m_like(),
+            Self::Az => DatasetSpec::az_like(),
+        }
+    }
+
+    /// Users sampled per round at full scale (paper Section VII-A2):
+    /// 256 everywhere except 1024 for AZ under MF.
+    pub fn users_per_round(&self, kind: ModelKind) -> usize {
+        match (self, kind) {
+            (Self::Az, ModelKind::Mf) => 1024,
+            _ => 256,
+        }
+    }
+}
+
+/// Builds the paper-faithful baseline scenario for (dataset, model) at the
+/// given scale: the dataset shrinks shape-preservingly and the per-round user
+/// batch shrinks proportionally (floored so rounds stay meaningful).
+pub fn paper_scenario(
+    dataset: PaperDataset,
+    kind: ModelKind,
+    scale: f64,
+    seed: u64,
+) -> ScenarioConfig {
+    let spec = if scale < 1.0 { dataset.spec().scaled(scale) } else { dataset.spec() };
+    let mut cfg = ScenarioConfig::baseline(spec, kind, seed);
+    let full_batch = dataset.users_per_round(kind);
+    cfg.federation.users_per_round = if scale < 1.0 {
+        (((full_batch as f64) * scale).round() as usize).max(16)
+    } else {
+        full_batch
+    };
+    // Benign per-example gradients carry a 1/|D_i| factor, so shrinking the
+    // dataset by `scale` strengthens them by 1/scale relative to poison;
+    // compensate to keep the attack/defense balance scale-invariant.
+    cfg.poison_scale = (1.0 / scale) as f32;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names() {
+        assert_eq!(PaperDataset::from_name("ml100k"), Some(PaperDataset::Ml100k));
+        assert_eq!(PaperDataset::from_name("ml1m"), Some(PaperDataset::Ml1m));
+        assert_eq!(PaperDataset::from_name("az"), Some(PaperDataset::Az));
+        assert_eq!(PaperDataset::from_name("x"), None);
+    }
+
+    #[test]
+    fn az_mf_uses_large_batch() {
+        assert_eq!(PaperDataset::Az.users_per_round(ModelKind::Mf), 1024);
+        assert_eq!(PaperDataset::Az.users_per_round(ModelKind::Ncf), 256);
+        assert_eq!(PaperDataset::Ml100k.users_per_round(ModelKind::Mf), 256);
+    }
+
+    #[test]
+    fn batch_scales_with_dataset() {
+        let full = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 1.0, 0);
+        let quarter = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.25, 0);
+        assert_eq!(full.federation.users_per_round, 256);
+        assert_eq!(quarter.federation.users_per_round, 64);
+        assert!(quarter.dataset.n_users < full.dataset.n_users);
+    }
+
+    #[test]
+    fn batch_floor_respected() {
+        let tiny = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.01, 0);
+        assert!(tiny.federation.users_per_round >= 16);
+    }
+}

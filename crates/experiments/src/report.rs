@@ -1,0 +1,121 @@
+//! Plain-text table rendering for experiment binaries.
+//!
+//! Every binary prints the same rows the paper's tables report, aligned for
+//! terminal reading and pasteable into EXPERIMENTS.md as Markdown.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; panics if the width differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for string-literal + formatted cells.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        out.push_str(&Self::render_row(&self.header, &widths));
+        let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&Self::render_row(&dashes, &widths));
+        for row in &self.rows {
+            out.push_str(&Self::render_row(row, &widths));
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+
+    fn render_row(cells: &[String], widths: &[usize]) -> String {
+        let mut line = String::from("|");
+        for (cell, &w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    }
+}
+
+/// Formats a percentage the way the paper's tables do (two decimals).
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["Attack", "ER@10"]);
+        t.row_strs(&["NoAttack", "0.23"]);
+        t.row_strs(&["PIECK-UEA", "93.39"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Attack"));
+        assert!(lines[1].starts_with("|-") || lines[1].contains("---"));
+        assert!(lines[3].contains("PIECK-UEA"));
+        // All lines share the same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(93.392), "93.39");
+        assert_eq!(pct(0.0), "0.00");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row_strs(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

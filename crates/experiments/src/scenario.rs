@@ -1,0 +1,327 @@
+//! One experiment scenario: dataset × model × attack × defense.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use frs_attacks::AttackKind;
+use frs_data::{leave_one_out, synth, Dataset, DatasetSpec, TrainTestSplit};
+use frs_defense::DefenseKind;
+use frs_federation::{BenignClient, Client, FederationConfig, Simulation};
+use frs_metrics::{ExposureReport, QualityReport};
+use frs_model::{GlobalModel, ModelConfig, ModelKind};
+use pieck_core::{DefenseConfig, PieckDefense};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Full description of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    pub dataset: DatasetSpec,
+    pub model: ModelConfig,
+    pub federation: FederationConfig,
+    pub attack: AttackKind,
+    pub defense: DefenseKind,
+    /// Malicious fraction `p̃ = |Ũ|/|U|`.
+    pub malicious_ratio: f64,
+    /// Number of target items `|T|` (drawn from the coldest items).
+    pub n_targets: usize,
+    /// Mined popular-set size `N` for PIECK variants and for `Ours`.
+    pub mined_top_n: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Evaluation cutoff `K`.
+    pub eval_k: usize,
+    /// Evaluate ER/HR every this many rounds into
+    /// [`ScenarioOutcome::trend`] (0 = final evaluation only).
+    pub trend_every: usize,
+    /// Defense hyper-parameters when `defense == Ours`.
+    pub our_defense: DefenseConfig,
+    /// NormBound clipping threshold.
+    pub norm_bound_threshold: f32,
+    /// Scale factor applied to malicious uploads (see
+    /// `frs_attacks::ScaledClient`; 1.0 = raw attack gradients).
+    pub poison_scale: f32,
+}
+
+impl ScenarioConfig {
+    /// A sensible default scenario: MF on a scaled ML-100K-like dataset,
+    /// no attack, no defense. Binaries override fields from here.
+    pub fn baseline(dataset: DatasetSpec, kind: ModelKind, seed: u64) -> Self {
+        let model = match kind {
+            ModelKind::Mf => ModelConfig::mf(16),
+            ModelKind::Ncf => ModelConfig::ncf(16),
+        };
+        let federation = FederationConfig {
+            // The paper trains MF with η=1.0 and DL with a small rate.
+            learning_rate: match kind {
+                ModelKind::Mf => 1.0,
+                ModelKind::Ncf => 0.005,
+            },
+            client_learning_rate: match kind {
+                ModelKind::Mf => None,
+                // DL personal embeddings need a larger step than the summed
+                // global updates (one client's gradient vs a whole batch's).
+                ModelKind::Ncf => Some(0.05),
+            },
+            users_per_round: 256,
+            seed,
+            ..FederationConfig::default()
+        };
+        // The defense's β/γ are tuned per base model (the paper tunes them
+        // per setting): DL item updates land with a 200x smaller server
+        // learning rate, so the regularizers need proportionally more weight.
+        let our_defense = match kind {
+            ModelKind::Mf => DefenseConfig::default(),
+            ModelKind::Ncf => DefenseConfig {
+                beta: 5.0,
+                gamma: 10.0,
+                ..DefenseConfig::default()
+            },
+        };
+        Self {
+            dataset,
+            model,
+            federation,
+            attack: AttackKind::NoAttack,
+            defense: DefenseKind::NoDefense,
+            malicious_ratio: 0.05,
+            n_targets: 1,
+            mined_top_n: 10,
+            rounds: 200,
+            eval_k: 10,
+            trend_every: 0,
+            our_defense,
+            norm_bound_threshold: 0.05,
+            poison_scale: 1.0,
+        }
+    }
+
+    /// Number of malicious clients so that `p̃ = n_mal/(n_benign + n_mal)`.
+    pub fn n_malicious(&self, n_benign: usize) -> usize {
+        if self.attack == AttackKind::NoAttack || self.malicious_ratio <= 0.0 {
+            return 0;
+        }
+        let p = self.malicious_ratio.min(0.9);
+        ((p / (1.0 - p)) * n_benign as f64).round().max(1.0) as usize
+    }
+}
+
+/// One point on the convergence trend (Fig. 6a).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrendPoint {
+    pub round: usize,
+    pub er: f64,
+    pub hr: f64,
+}
+
+/// Results of one scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Mean ER@K over targets, in percent (paper units).
+    pub er_percent: f64,
+    /// HR@K over benign users, in percent.
+    pub hr_percent: f64,
+    /// NDCG@K over benign users (0–1).
+    pub ndcg: f64,
+    /// The promoted target items.
+    pub targets: Vec<u32>,
+    /// Mean wall-clock time per round.
+    #[serde(skip, default)]
+    pub mean_round_time: Duration,
+    /// Total bytes uploaded across the run.
+    pub total_upload_bytes: usize,
+    /// Round-by-round trend, when requested.
+    pub trend: Vec<TrendPoint>,
+}
+
+/// Builds the dataset/split/targets triple for a config (exposed so tests
+/// and figure binaries can inspect the same world the scenario ran in).
+pub fn build_world(cfg: &ScenarioConfig) -> (Dataset, TrainTestSplit, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(cfg.federation.seed ^ 0xDA7A);
+    let full = synth::generate(&cfg.dataset, &mut rng);
+    let split = leave_one_out(&full, &mut rng);
+    // Targets: the coldest items in the *training* data (paper: random
+    // uninteracted items; the synthetic tail is the uninteracted pool).
+    let targets = split.train.coldest_items(cfg.n_targets);
+    (full, split, targets)
+}
+
+/// Assembles the client population and simulation, with malicious clients
+/// produced by `malicious_builder(first_id, count)` — the hook the ablation
+/// binaries use to run custom PIECK configurations.
+pub fn build_simulation_with(
+    cfg: &ScenarioConfig,
+    train: Arc<Dataset>,
+    _targets: &[u32],
+    malicious_builder: impl FnOnce(usize, usize) -> Vec<Box<dyn Client>>,
+) -> Simulation {
+    let mut rng = StdRng::seed_from_u64(cfg.federation.seed ^ 0x0DE1);
+    let model = GlobalModel::new(&cfg.model, train.n_items(), &mut rng);
+    let n_benign = train.n_users();
+    let dim = cfg.model.embedding_dim;
+
+    let mut clients: Vec<Box<dyn Client>> = Vec::with_capacity(n_benign + 64);
+    for u in 0..n_benign {
+        let mut client = BenignClient::new(
+            u,
+            Arc::clone(&train),
+            dim,
+            cfg.model.init_scale,
+            cfg.federation.seed ^ ((u as u64) << 16) ^ 0xBE9,
+        );
+        if cfg.defense == DefenseKind::Ours {
+            let mut def_cfg = cfg.our_defense.clone();
+            def_cfg.top_n = cfg.mined_top_n.max(1);
+            client = client.with_regularizer(Box::new(PieckDefense::new(def_cfg)));
+        }
+        clients.push(Box::new(client));
+    }
+
+    let n_mal = cfg.n_malicious(n_benign);
+    clients.extend(malicious_builder(n_benign, n_mal));
+
+    let aggregator = cfg
+        .defense
+        .build_aggregator(cfg.malicious_ratio, cfg.norm_bound_threshold);
+    Simulation::new(model, clients, aggregator, cfg.federation.clone())
+}
+
+/// Assembles the client population and simulation for a config.
+pub fn build_simulation(cfg: &ScenarioConfig, train: Arc<Dataset>, targets: &[u32]) -> Simulation {
+    build_simulation_with(cfg, train, targets, |first_id, count| {
+        cfg.attack.build_clients(
+            first_id,
+            count,
+            targets,
+            cfg.mined_top_n,
+            cfg.poison_scale,
+            cfg.federation.seed,
+        )
+    })
+}
+
+/// Runs the scenario end to end with a custom malicious-client builder.
+pub fn run_with(
+    cfg: &ScenarioConfig,
+    malicious_builder: impl FnOnce(usize, usize, &[u32]) -> Vec<Box<dyn Client>>,
+) -> ScenarioOutcome {
+    let (_full, split, targets) = build_world(cfg);
+    let train = Arc::new(split.train.clone());
+    let mut sim = build_simulation_with(cfg, Arc::clone(&train), &targets, |first, count| {
+        malicious_builder(first, count, &targets)
+    });
+    finish_run(cfg, &mut sim, &split, &train, targets)
+}
+
+/// Runs the scenario end to end.
+pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
+    let (_full, split, targets) = build_world(cfg);
+    let train = Arc::new(split.train.clone());
+    let mut sim = build_simulation(cfg, Arc::clone(&train), &targets);
+    finish_run(cfg, &mut sim, &split, &train, targets)
+}
+
+/// Shared tail of a scenario run: the round loop, trend sampling, and the
+/// final evaluation.
+fn finish_run(
+    cfg: &ScenarioConfig,
+    sim: &mut Simulation,
+    split: &TrainTestSplit,
+    train: &Arc<Dataset>,
+    targets: Vec<u32>,
+) -> ScenarioOutcome {
+    let benign = sim.benign_ids();
+
+    let mut trend = Vec::new();
+    for r in 0..cfg.rounds {
+        sim.run_round();
+        if cfg.trend_every > 0 && (r + 1) % cfg.trend_every == 0 {
+            let embs = sim.user_embeddings();
+            let er = ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
+            let hr = QualityReport::compute(sim.model(), &embs, &benign, split, cfg.eval_k);
+            trend.push(TrendPoint {
+                round: r + 1,
+                er: er.mean_percent(),
+                hr: hr.hr_percent(),
+            });
+        }
+    }
+
+    let embs = sim.user_embeddings();
+    let er = ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
+    let hr = QualityReport::compute(sim.model(), &embs, &benign, split, cfg.eval_k);
+    ScenarioOutcome {
+        er_percent: er.mean_percent(),
+        hr_percent: hr.hr_percent(),
+        ndcg: hr.ndcg,
+        targets,
+        mean_round_time: sim.stats().mean_round_time(),
+        total_upload_bytes: sim.stats().total_upload_bytes,
+        trend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(attack: AttackKind, defense: DefenseKind) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
+        cfg.federation.users_per_round = 24;
+        cfg.rounds = 60;
+        cfg.attack = attack;
+        cfg.defense = defense;
+        cfg
+    }
+
+    #[test]
+    fn baseline_learns_and_exposes_nothing() {
+        let out = run(&tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense));
+        assert!(out.hr_percent > 10.0, "HR {}", out.hr_percent);
+        assert!(out.er_percent < 10.0, "ER {}", out.er_percent);
+        assert_eq!(out.targets.len(), 1);
+        assert!(out.total_upload_bytes > 0);
+    }
+
+    #[test]
+    fn uea_attack_exposes_target_on_mf() {
+        let base = run(&tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense));
+        let attacked = run(&tiny_cfg(AttackKind::PieckUea, DefenseKind::NoDefense));
+        assert!(
+            attacked.er_percent > base.er_percent + 30.0,
+            "UEA should expose the target: {} vs baseline {}",
+            attacked.er_percent,
+            base.er_percent
+        );
+    }
+
+    #[test]
+    fn n_malicious_matches_ratio() {
+        let mut cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::NoDefense);
+        cfg.malicious_ratio = 0.05;
+        let n_mal = cfg.n_malicious(950);
+        let ratio = n_mal as f64 / (950 + n_mal) as f64;
+        assert!((ratio - 0.05).abs() < 0.005, "{ratio}");
+        cfg.attack = AttackKind::NoAttack;
+        assert_eq!(cfg.n_malicious(950), 0);
+    }
+
+    #[test]
+    fn trend_is_recorded_when_requested() {
+        let mut cfg = tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense);
+        cfg.rounds = 20;
+        cfg.trend_every = 5;
+        let out = run(&cfg);
+        assert_eq!(out.trend.len(), 4);
+        assert_eq!(out.trend[0].round, 5);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
+        let b = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
+        assert_eq!(a.er_percent, b.er_percent);
+        assert_eq!(a.hr_percent, b.hr_percent);
+    }
+}

@@ -1,0 +1,197 @@
+//! Server-side aggregation — the defense hook.
+//!
+//! The paper's protocol updates each item embedding as
+//! `v_j ← v_j − η · Agg({∇v_j^i | u_i ∈ U^r, v_j ∈ D_i})` and, for DL-FRS,
+//! the MLP parameters with the same `Agg`. With no defense, `Agg` is a plain
+//! sum; robust defenses (crate `frs-defense`) replace it.
+//!
+//! The contract: [`Aggregator::aggregate`] receives *every* upload of the
+//! round — benign and poisonous alike, the server cannot tell them apart —
+//! in deterministic (client-id) order, and returns the single combined
+//! gradient set the update applies. Defenses differ in granularity: some
+//! filter whole uploads (Krum, NormBound), some reduce coordinate-wise per
+//! item ([`gather_item_gradients`] is the helper for those).
+
+use std::collections::BTreeMap;
+
+use frs_model::{GlobalGradients, MlpGradients};
+
+/// Pluggable aggregation rule over one round's uploads.
+pub trait Aggregator: Send + Sync {
+    /// Combines all uploads of a round into the applied update. `uploads` may
+    /// be empty (no client produced gradients), in which case the result
+    /// should be empty too.
+    fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The undefended baseline: plain sum (paper Section III-A step 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumAggregator;
+
+impl Aggregator for SumAggregator {
+    fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
+        sum_uploads(uploads)
+    }
+
+    fn name(&self) -> &'static str {
+        "NoDefense"
+    }
+}
+
+/// Sums a set of uploads item-wise and MLP-wise.
+pub fn sum_uploads(uploads: &[GlobalGradients]) -> GlobalGradients {
+    let mut out = GlobalGradients::new();
+    for upload in uploads {
+        out.axpy(1.0, upload);
+    }
+    out
+}
+
+/// Groups uploads per item: `item → [gradient of upload 1, …]`, preserving
+/// the (client-id-sorted) upload order the server established. The building
+/// block for coordinate-wise defenses (Median, TrimmedMean).
+pub fn gather_item_gradients(uploads: &[GlobalGradients]) -> BTreeMap<u32, Vec<&[f32]>> {
+    let mut by_item: BTreeMap<u32, Vec<&[f32]>> = BTreeMap::new();
+    for upload in uploads {
+        for (&item, grad) in &upload.items {
+            by_item.entry(item).or_default().push(grad.as_slice());
+        }
+    }
+    by_item
+}
+
+/// Collects the MLP gradient parts of a round's uploads.
+pub fn gather_mlp_gradients(uploads: &[GlobalGradients]) -> Vec<&MlpGradients> {
+    uploads.iter().filter_map(|u| u.mlp.as_ref()).collect()
+}
+
+/// Squared L2 distance between two *whole uploads*, treating items absent
+/// from one side as zero vectors and including the flattened MLP part.
+/// Krum-family defenses compare uploads in this space.
+pub fn upload_squared_distance(a: &GlobalGradients, b: &GlobalGradients) -> f32 {
+    let mut total = 0.0f32;
+    for (&item, ga) in &a.items {
+        match b.items.get(&item) {
+            Some(gb) => total += frs_linalg::squared_l2_distance(ga, gb),
+            None => total += frs_linalg::dot(ga, ga),
+        }
+    }
+    for (&item, gb) in &b.items {
+        if !a.items.contains_key(&item) {
+            total += frs_linalg::dot(gb, gb);
+        }
+    }
+    match (&a.mlp, &b.mlp) {
+        (Some(ma), Some(mb)) => {
+            let fa = ma.flatten();
+            let fb = mb.flatten();
+            total += frs_linalg::squared_l2_distance(&fa, &fb);
+        }
+        (Some(m), None) | (None, Some(m)) => {
+            let f = m.flatten();
+            total += frs_linalg::dot(&f, &f);
+        }
+        (None, None) => {}
+    }
+    total
+}
+
+/// Global L2 norm of one upload (items + MLP).
+pub fn upload_norm(upload: &GlobalGradients) -> f32 {
+    let mut sq = 0.0f32;
+    for grad in upload.items.values() {
+        sq += frs_linalg::dot(grad, grad);
+    }
+    if let Some(mlp) = &upload.mlp {
+        let n = mlp.l2_norm();
+        sq += n * n;
+    }
+    sq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(pairs: &[(u32, Vec<f32>)]) -> GlobalGradients {
+        let mut g = GlobalGradients::new();
+        for (item, grad) in pairs {
+            g.add_item_grad(*item, grad);
+        }
+        g
+    }
+
+    #[test]
+    fn sum_aggregator_sums_disjoint_and_overlapping() {
+        let u1 = upload(&[(1, vec![1.0, 0.0]), (2, vec![2.0, 2.0])]);
+        let u2 = upload(&[(2, vec![-1.0, 1.0])]);
+        let out = SumAggregator.aggregate(&[u1, u2]);
+        assert_eq!(out.items[&1], vec![1.0, 0.0]);
+        assert_eq!(out.items[&2], vec![1.0, 3.0]);
+        assert!(out.mlp.is_none());
+    }
+
+    #[test]
+    fn gather_groups_by_item() {
+        let u1 = upload(&[(1, vec![1.0]), (2, vec![2.0])]);
+        let u2 = upload(&[(2, vec![3.0])]);
+        let uploads = vec![u1, u2];
+        let by_item = gather_item_gradients(&uploads);
+        assert_eq!(by_item[&1].len(), 1);
+        assert_eq!(by_item[&2].len(), 2);
+        assert!(!by_item.contains_key(&0));
+    }
+
+    #[test]
+    fn mlp_summation_via_axpy() {
+        let mut u1 = GlobalGradients::new();
+        let mut m1 = MlpGradients::zeros(&[(2, 1)], 1);
+        m1.projection[0] = 1.0;
+        u1.mlp = Some(m1);
+        let mut u2 = GlobalGradients::new();
+        let mut m2 = MlpGradients::zeros(&[(2, 1)], 1);
+        m2.projection[0] = 2.0;
+        u2.mlp = Some(m2);
+        let out = SumAggregator.aggregate(&[u1, u2]);
+        assert_eq!(out.mlp.unwrap().projection[0], 3.0);
+    }
+
+    #[test]
+    fn empty_uploads_produce_empty_update() {
+        let out = SumAggregator.aggregate(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn upload_distance_handles_disjoint_support() {
+        let a = upload(&[(1, vec![3.0, 4.0])]);
+        let b = upload(&[(2, vec![1.0, 0.0])]);
+        // Disjoint: ‖a‖² + ‖b‖² = 25 + 1.
+        assert!((upload_squared_distance(&a, &b) - 26.0).abs() < 1e-5);
+        // Identity.
+        assert_eq!(upload_squared_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn upload_distance_symmetric() {
+        let a = upload(&[(1, vec![1.0]), (3, vec![2.0])]);
+        let b = upload(&[(1, vec![-1.0]), (2, vec![0.5])]);
+        assert_eq!(
+            upload_squared_distance(&a, &b),
+            upload_squared_distance(&b, &a)
+        );
+    }
+
+    #[test]
+    fn upload_norm_covers_items_and_mlp() {
+        let mut u = upload(&[(1, vec![3.0, 4.0])]);
+        assert!((upload_norm(&u) - 5.0).abs() < 1e-6);
+        let mut m = MlpGradients::zeros(&[(2, 1)], 1);
+        m.projection[0] = 12.0;
+        u.mlp = Some(m);
+        assert!((upload_norm(&u) - 13.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,308 @@
+//! Clients: the benign training logic and the trait malicious actors implement.
+
+use std::sync::Arc;
+
+use frs_data::{Dataset, NegativeSampler};
+use frs_linalg::vector;
+use frs_model::{
+    bce_logit_delta, bpr_logit_deltas, GlobalGradients, GlobalModel, LossKind,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::RoundContext;
+
+/// A participant in the federation. Implemented by [`BenignClient`] and by
+/// every attack in `pieck-core` / `frs-attacks`.
+pub trait Client: Send {
+    /// Stable client id (== user id for benign clients).
+    fn id(&self) -> usize;
+
+    /// Whether this client is controlled by the attacker (used only by
+    /// bookkeeping/metrics — the *server cannot see this*).
+    fn is_malicious(&self) -> bool {
+        false
+    }
+
+    /// One local round: receive the global model, train (or craft poison),
+    /// return the gradient upload.
+    fn local_round(&mut self, ctx: &RoundContext, model: &GlobalModel) -> GlobalGradients;
+
+    /// The private user embedding, when one exists (benign clients). Metrics
+    /// use this for evaluation; the server never does.
+    fn user_embedding(&self) -> Option<&[f32]> {
+        None
+    }
+}
+
+/// Client-side defense hook (the paper's Section V-B regularizers plug in
+/// here). Implementations keep their own state (e.g. Δ-Norm mining history).
+pub trait LocalRegularizer: Send {
+    /// Called every time the owning client is sampled, before training, with
+    /// the freshly received global model.
+    fn observe(&mut self, ctx: &RoundContext, model: &GlobalModel);
+
+    /// Contributes additional gradients from the regularization terms.
+    /// Implementations *add* their terms to `grads` (item side) and `d_user`
+    /// (user side); the benign client then applies/uploads them alongside the
+    /// base-loss gradients.
+    fn apply(
+        &mut self,
+        ctx: &RoundContext,
+        model: &GlobalModel,
+        user_embedding: &[f32],
+        local_items: &[u32],
+        grads: &mut GlobalGradients,
+        d_user: &mut [f32],
+    );
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// An honest user: trains on its private interactions and uploads true
+/// gradients (Section III-A steps 2–3).
+pub struct BenignClient {
+    user_id: usize,
+    train: Arc<Dataset>,
+    user_embedding: Vec<f32>,
+    regularizer: Option<Box<dyn LocalRegularizer>>,
+}
+
+impl BenignClient {
+    /// Creates the client with a small random personal embedding.
+    pub fn new(user_id: usize, train: Arc<Dataset>, dim: usize, init_scale: f32, seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user_embedding = (0..dim)
+            .map(|_| rng.gen_range(-init_scale..=init_scale))
+            .collect();
+        Self { user_id, train, user_embedding, regularizer: None }
+    }
+
+    /// Installs the client-side defense (our Section V-B method).
+    pub fn with_regularizer(mut self, reg: Box<dyn LocalRegularizer>) -> Self {
+        self.regularizer = Some(reg);
+        self
+    }
+
+    /// Mean BCE training loss over a local round dataset (diagnostics only).
+    pub fn local_loss(&self, model: &GlobalModel, positives: &[u32], negatives: &[u32]) -> f32 {
+        let total = positives.len() + negatives.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &j in positives {
+            sum += frs_model::bce_loss(model.logit(&self.user_embedding, j), 1.0);
+        }
+        for &j in negatives {
+            sum += frs_model::bce_loss(model.logit(&self.user_embedding, j), 0.0);
+        }
+        sum / total as f32
+    }
+
+    fn train_bce(
+        &self,
+        model: &GlobalModel,
+        positives: &[u32],
+        negatives: &[u32],
+        grads: &mut GlobalGradients,
+        d_user: &mut [f32],
+    ) {
+        let n = (positives.len() + negatives.len()).max(1) as f32;
+        let scale = 1.0 / n;
+        for (&item, label) in positives
+            .iter()
+            .zip(std::iter::repeat(1.0f32))
+            .chain(negatives.iter().zip(std::iter::repeat(0.0f32)))
+        {
+            let (logit, cache) = model.forward(&self.user_embedding, item);
+            let delta = bce_logit_delta(logit, label) * scale;
+            model.backward(&self.user_embedding, item, &cache, delta, d_user, grads);
+        }
+    }
+
+    fn train_bpr(
+        &self,
+        model: &GlobalModel,
+        positives: &[u32],
+        negatives: &[u32],
+        grads: &mut GlobalGradients,
+        d_user: &mut [f32],
+    ) {
+        if positives.is_empty() || negatives.is_empty() {
+            return;
+        }
+        // Pair positive i with negatives i, i+|P|, … (the sampler produced
+        // q·|P| negatives, so every negative is consumed exactly once).
+        let n_pairs = negatives.len();
+        let scale = 1.0 / n_pairs as f32;
+        for (pair_idx, &neg) in negatives.iter().enumerate() {
+            let pos = positives[pair_idx % positives.len()];
+            let (pos_logit, pos_cache) = model.forward(&self.user_embedding, pos);
+            let (neg_logit, neg_cache) = model.forward(&self.user_embedding, neg);
+            let (d_pos, d_neg) = bpr_logit_deltas(pos_logit, neg_logit);
+            model.backward(
+                &self.user_embedding,
+                pos,
+                &pos_cache,
+                d_pos * scale,
+                d_user,
+                grads,
+            );
+            model.backward(
+                &self.user_embedding,
+                neg,
+                &neg_cache,
+                d_neg * scale,
+                d_user,
+                grads,
+            );
+        }
+    }
+}
+
+impl Client for BenignClient {
+    fn id(&self) -> usize {
+        self.user_id
+    }
+
+    fn local_round(&mut self, ctx: &RoundContext, model: &GlobalModel) -> GlobalGradients {
+        if let Some(reg) = &mut self.regularizer {
+            reg.observe(ctx, model);
+        }
+
+        let mut rng = ctx.client_rng(self.user_id);
+        let sampler = NegativeSampler::new(ctx.negative_ratio);
+        let positives = self.train.items_of(self.user_id).to_vec();
+        let negatives = sampler.sample(&self.train, self.user_id, &mut rng);
+
+        let mut grads = GlobalGradients::new();
+        let mut d_user = vec![0.0f32; self.user_embedding.len()];
+        match ctx.loss {
+            LossKind::Bce => self.train_bce(model, &positives, &negatives, &mut grads, &mut d_user),
+            LossKind::Bpr => self.train_bpr(model, &positives, &negatives, &mut grads, &mut d_user),
+        }
+
+        // Defense regularizers contribute extra gradients on top of the
+        // original loss (Eq. 16: L_def = L − β·Re1 − γ·Re2 — the sign is the
+        // regularizer's responsibility).
+        if let Some(reg) = &mut self.regularizer {
+            let mut local_items = positives.clone();
+            local_items.extend_from_slice(&negatives);
+            reg.apply(
+                ctx,
+                model,
+                &self.user_embedding,
+                &local_items,
+                &mut grads,
+                &mut d_user,
+            );
+        }
+
+        // Local step on the private embedding (Section III-A step 3).
+        vector::axpy(-ctx.client_lr, &d_user, &mut self.user_embedding);
+        grads
+    }
+
+    fn user_embedding(&self) -> Option<&[f32]> {
+        Some(&self.user_embedding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_data::{synth, DatasetSpec};
+    use frs_linalg::SeedStream;
+    use frs_model::ModelConfig;
+
+    fn setup(loss: LossKind) -> (GlobalModel, BenignClient, RoundContext) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Arc::new(synth::generate(&DatasetSpec::tiny(), &mut rng));
+        let model = GlobalModel::new(&ModelConfig::mf(8), data.n_items(), &mut rng);
+        let client = BenignClient::new(0, data, 8, 0.1, 99);
+        let ctx = RoundContext::new(0, 0.5, 0.5, 1, loss, SeedStream::new(5));
+        (model, client, ctx)
+    }
+
+    #[test]
+    fn upload_covers_local_items_only() {
+        let (model, mut client, ctx) = setup(LossKind::Bce);
+        let positives: Vec<u32> = client.train.items_of(0).to_vec();
+        let grads = client.local_round(&ctx, &model);
+        // Every positive must carry a gradient; total items = positives +
+        // sampled negatives ≤ 2·|positives|.
+        for &j in &positives {
+            assert!(grads.items.contains_key(&j), "positive {j} missing");
+        }
+        assert!(grads.n_items() <= 2 * positives.len());
+        assert!(grads.mlp.is_none(), "MF uploads no MLP gradients");
+    }
+
+    #[test]
+    fn user_embedding_moves_during_training() {
+        let (model, mut client, ctx) = setup(LossKind::Bce);
+        let before = client.user_embedding().unwrap().to_vec();
+        client.local_round(&ctx, &model);
+        let after = client.user_embedding().unwrap();
+        assert!(vector::l2_distance(&before, after) > 0.0);
+    }
+
+    #[test]
+    fn repeated_rounds_reduce_local_loss() {
+        let (mut model, mut client, _) = setup(LossKind::Bce);
+        let positives: Vec<u32> = client.train.items_of(0).to_vec();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = NegativeSampler::new(1);
+        let negatives = sampler.sample(&client.train, 0, &mut rng);
+        let before = client.local_loss(&model, &positives, &negatives);
+        for r in 0..30 {
+            let ctx = RoundContext::new(r, 0.5, 0.5, 1, LossKind::Bce, SeedStream::new(5));
+            let grads = client.local_round(&ctx, &model);
+            model.apply_gradients(&grads, 0.5);
+        }
+        let after = client.local_loss(&model, &positives, &negatives);
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn bpr_training_also_learns() {
+        let (mut model, mut client, _) = setup(LossKind::Bpr);
+        let positives: Vec<u32> = client.train.items_of(0).to_vec();
+        for r in 0..30 {
+            let ctx = RoundContext::new(r, 0.5, 0.5, 1, LossKind::Bpr, SeedStream::new(5));
+            let grads = client.local_round(&ctx, &model);
+            model.apply_gradients(&grads, 0.5);
+        }
+        // After training, the mean positive logit should exceed the mean
+        // logit of uninteracted probe items.
+        let u = client.user_embedding().unwrap();
+        let pos_mean: f32 = positives.iter().map(|&j| model.logit(u, j)).sum::<f32>()
+            / positives.len() as f32;
+        let probe: Vec<u32> = (0..client.train.n_items() as u32)
+            .filter(|&j| !client.train.interacted(0, j))
+            .take(20)
+            .collect();
+        let neg_mean: f32 =
+            probe.iter().map(|&j| model.logit(u, j)).sum::<f32>() / probe.len() as f32;
+        assert!(pos_mean > neg_mean, "pos {pos_mean} vs neg {neg_mean}");
+    }
+
+    #[test]
+    fn rounds_are_deterministic() {
+        let (model, mut c1, ctx) = setup(LossKind::Bce);
+        let (_, mut c2, _) = setup(LossKind::Bce);
+        let g1 = c1.local_round(&ctx, &model);
+        let g2 = c2.local_round(&ctx, &model);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn benign_client_is_not_malicious() {
+        let (_, client, _) = setup(LossKind::Bce);
+        assert!(!client.is_malicious());
+        assert_eq!(client.id(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Federation-level hyper-parameters.
+
+use frs_model::LossKind;
+use serde::{Deserialize, Serialize};
+
+/// Protocol configuration (paper Section III-A plus the supplementary
+/// learning-rate and loss variations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Server learning rate `η` applied to aggregated gradients.
+    pub learning_rate: f32,
+    /// Client-side learning rate for the private user embedding. `None`
+    /// means "same as the server's" (the paper's standard, consistent
+    /// setting); `Some(lr)` reproduces the supplementary Table X
+    /// inconsistent-rate scenarios.
+    pub client_learning_rate: Option<f32>,
+    /// When set, the client learning rate cycles linearly between
+    /// `(min, max)` with a 100-round period — the supplementary Table X
+    /// "dynamic inconsistent learning rate" scenario.
+    pub client_lr_cycle: Option<(f32, f32)>,
+    /// Users sampled per round, `|U^r|` (256 in the paper; 1024 for AZ+MF).
+    pub users_per_round: usize,
+    /// Negative-sampling ratio `q` (1 by default, following [32]).
+    pub negative_ratio: usize,
+    /// Training loss (BCE by default; BPR for Table XI).
+    pub loss: LossKind,
+    /// Root seed — every random decision in the simulation derives from it.
+    pub seed: u64,
+    /// Fan client computation out over this many threads (1 = sequential).
+    /// Results are identical regardless of the value.
+    pub n_threads: usize,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 1.0,
+            client_learning_rate: None,
+            client_lr_cycle: None,
+            users_per_round: 256,
+            negative_ratio: 1,
+            loss: LossKind::Bce,
+            seed: 0x5eed,
+            n_threads: 1,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// Effective client learning rate for a given round (honours the cycling
+    /// schedule when configured).
+    pub fn client_lr_at(&self, round: usize) -> f32 {
+        if let Some((lo, hi)) = self.client_lr_cycle {
+            let period = 100.0;
+            let phase = (round % 100) as f32 / period;
+            return lo + (hi - lo) * phase;
+        }
+        self.client_lr()
+    }
+
+    /// Effective (static) client learning rate.
+    pub fn client_lr(&self) -> f32 {
+        self.client_learning_rate.unwrap_or(self.learning_rate)
+    }
+
+    /// Basic sanity checks, run once when a simulation is built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err("learning_rate must be positive and finite".into());
+        }
+        if let Some(lr) = self.client_learning_rate {
+            if lr <= 0.0 || !lr.is_finite() {
+                return Err("client_learning_rate must be positive and finite".into());
+            }
+        }
+        if let Some((lo, hi)) = self.client_lr_cycle {
+            if lo <= 0.0 || hi < lo || !hi.is_finite() {
+                return Err("client_lr_cycle must satisfy 0 < min ≤ max < ∞".into());
+            }
+        }
+        if self.users_per_round == 0 {
+            return Err("users_per_round must be positive".into());
+        }
+        if self.negative_ratio == 0 {
+            return Err("negative_ratio must be ≥ 1".into());
+        }
+        if self.n_threads == 0 {
+            return Err("n_threads must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(FederationConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn client_lr_falls_back_to_server() {
+        let mut c = FederationConfig::default();
+        assert_eq!(c.client_lr(), c.learning_rate);
+        c.client_learning_rate = Some(0.01);
+        assert_eq!(c.client_lr(), 0.01);
+    }
+
+    #[test]
+    fn cycling_lr_interpolates_over_period() {
+        let mut c = FederationConfig::default();
+        c.client_lr_cycle = Some((0.01, 1.0));
+        assert!(c.validate().is_ok());
+        assert!((c.client_lr_at(0) - 0.01).abs() < 1e-6);
+        assert!(c.client_lr_at(50) > 0.4 && c.client_lr_at(50) < 0.6);
+        assert!((c.client_lr_at(100) - 0.01).abs() < 1e-6, "period wraps");
+        let mut bad = FederationConfig::default();
+        bad.client_lr_cycle = Some((1.0, 0.5));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut c = FederationConfig::default();
+        c.learning_rate = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.users_per_round = 0;
+        assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.negative_ratio = 0;
+        assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.client_learning_rate = Some(f32::NAN);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-round information the server shares with sampled clients.
+
+use frs_linalg::SeedStream;
+use rand::rngs::StdRng;
+
+/// What a sampled client learns from the server in one round — exactly the
+/// attacker knowledge of Section III-B: the learning rate, the round index,
+/// and (via the `&GlobalModel` argument of
+/// [`crate::Client::local_round`]) the current global model.
+#[derive(Debug, Clone)]
+pub struct RoundContext {
+    /// Communication-round index `r`.
+    pub round: usize,
+    /// Server learning rate `η` (global, known to all participants).
+    pub server_lr: f32,
+    /// Client-side learning rate for personal embeddings.
+    pub client_lr: f32,
+    /// Negative-sampling ratio `q`.
+    pub negative_ratio: usize,
+    /// Loss the federation trains with.
+    pub loss: frs_model::LossKind,
+    /// Seed stream for this round; clients derive their private RNG from it
+    /// combined with their id, keeping the simulation reproducible under any
+    /// thread count.
+    seeds: SeedStream,
+}
+
+impl RoundContext {
+    /// Builds the context for round `round`.
+    pub fn new(
+        round: usize,
+        server_lr: f32,
+        client_lr: f32,
+        negative_ratio: usize,
+        loss: frs_model::LossKind,
+        seeds: SeedStream,
+    ) -> Self {
+        Self { round, server_lr, client_lr, negative_ratio, loss, seeds }
+    }
+
+    /// Deterministic RNG for (`client_id`, this round).
+    pub fn client_rng(&self, client_id: usize) -> StdRng {
+        self.seeds
+            .substream("round", self.round as u64)
+            .rng("client", client_id as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_model::LossKind;
+    use rand::Rng;
+
+    fn ctx(round: usize) -> RoundContext {
+        RoundContext::new(round, 1.0, 1.0, 1, LossKind::Bce, SeedStream::new(7))
+    }
+
+    #[test]
+    fn client_rng_reproducible() {
+        let a: u64 = ctx(3).client_rng(5).gen();
+        let b: u64 = ctx(3).client_rng(5).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn client_rng_varies_by_round_and_client() {
+        let a: u64 = ctx(3).client_rng(5).gen();
+        let b: u64 = ctx(4).client_rng(5).gen();
+        let c: u64 = ctx(3).client_rng(6).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

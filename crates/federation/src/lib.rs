@@ -1,0 +1,36 @@
+//! The federated-recommendation training protocol (paper Section III-A).
+//!
+//! One [`Simulation`] owns the global model, a population of [`Client`]s
+//! (benign and malicious), and a pluggable [`Aggregator`] — the defense hook.
+//! Each communication round:
+//!
+//! 1. the server samples a batch `U^r` of clients and ships them the current
+//!    global model;
+//! 2. each sampled client trains locally (BCE/BPR over its positives plus
+//!    freshly sampled negatives), updates its *private* user embedding, and
+//!    uploads sparse item gradients (plus MLP gradients for DL-FRS) — or, for
+//!    a malicious client, whatever poison its attack strategy crafts;
+//! 3. the server aggregates the uploads per item (and per MLP parameter)
+//!    through the `Aggregator` and applies `θ ← θ − η·Agg(∇)`.
+//!
+//! Everything is deterministic given the configuration seed; client work
+//! within a round can fan out over threads without affecting results
+//! (uploads are re-ordered by client id before aggregation).
+
+pub mod aggregate;
+pub mod client;
+pub mod config;
+pub mod context;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use aggregate::{
+    gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_norm,
+    upload_squared_distance, Aggregator, SumAggregator,
+};
+pub use client::{BenignClient, Client, LocalRegularizer};
+pub use config::FederationConfig;
+pub use context::RoundContext;
+pub use server::Simulation;
+pub use stats::{RoundStats, TrainingStats};

@@ -1,0 +1,322 @@
+//! The federation server and round loop.
+
+use std::time::Instant;
+
+use frs_linalg::SeedStream;
+use frs_model::{GlobalGradients, GlobalModel};
+use rand::Rng;
+
+use crate::aggregate::Aggregator;
+use crate::client::Client;
+use crate::config::FederationConfig;
+use crate::context::RoundContext;
+use crate::stats::{RoundStats, TrainingStats};
+use crate::wire;
+
+/// A complete federated training simulation: global model + client population
+/// + aggregation rule.
+pub struct Simulation {
+    model: GlobalModel,
+    clients: Vec<Box<dyn Client>>,
+    aggregator: Box<dyn Aggregator>,
+    config: FederationConfig,
+    seeds: SeedStream,
+    round: usize,
+    stats: TrainingStats,
+}
+
+impl Simulation {
+    /// Assembles a simulation. Client ids must be unique and dense in
+    /// `0..clients.len()` (benign clients use their user id; malicious
+    /// clients take the ids above the benign range).
+    pub fn new(
+        model: GlobalModel,
+        clients: Vec<Box<dyn Client>>,
+        aggregator: Box<dyn Aggregator>,
+        config: FederationConfig,
+    ) -> Self {
+        config.validate().expect("invalid federation config");
+        let mut ids: Vec<usize> = clients.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        for (expect, &got) in ids.iter().enumerate() {
+            assert_eq!(expect, got, "client ids must be dense 0..n");
+        }
+        let seeds = SeedStream::new(config.seed);
+        Self { model, clients, aggregator, config, seeds, round: 0, stats: TrainingStats::default() }
+    }
+
+    /// The current global model.
+    pub fn model(&self) -> &GlobalModel {
+        &self.model
+    }
+
+    /// Mutable model access for white-box experiments (e.g. planting
+    /// embeddings in unit tests). Real protocol flows never use this.
+    pub fn model_mut(&mut self) -> &mut GlobalModel {
+        &mut self.model
+    }
+
+    /// Number of participating clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Ids of benign clients (the evaluation population `Ū`).
+    pub fn benign_ids(&self) -> Vec<usize> {
+        self.clients
+            .iter()
+            .filter(|c| !c.is_malicious())
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// Ids of attacker-controlled clients (`Ũ`).
+    pub fn malicious_ids(&self) -> Vec<usize> {
+        self.clients
+            .iter()
+            .filter(|c| c.is_malicious())
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// Dense per-client-id embedding table for metric evaluation. Clients
+    /// without a personal embedding (malicious) get zero vectors — metrics
+    /// only ever index benign ids.
+    pub fn user_embeddings(&self) -> Vec<Vec<f32>> {
+        let dim = self.model.dim();
+        let mut out = vec![vec![0.0; dim]; self.clients.len()];
+        for c in &self.clients {
+            if let Some(emb) = c.user_embedding() {
+                out[c.id()] = emb.to_vec();
+            }
+        }
+        out
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TrainingStats {
+        &self.stats
+    }
+
+    /// The configured protocol parameters.
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
+    /// Completed round count.
+    pub fn rounds_done(&self) -> usize {
+        self.round
+    }
+
+    /// Samples `users_per_round` distinct client indices for this round.
+    fn sample_round_clients(&self) -> Vec<usize> {
+        let n = self.clients.len();
+        let k = self.config.users_per_round.min(n);
+        let mut rng = self.seeds.rng("server-sample", self.round as u64);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let pick = rng.gen_range(i..n);
+            idx.swap(i, pick);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Executes one communication round (Section III-A steps 1–4).
+    pub fn run_round(&mut self) -> RoundStats {
+        let start = Instant::now();
+        let ctx = RoundContext::new(
+            self.round,
+            self.config.learning_rate,
+            self.config.client_lr_at(self.round),
+            self.config.negative_ratio,
+            self.config.loss,
+            self.seeds,
+        );
+
+        let selected = self.sample_round_clients();
+        let mut selected_sorted = selected;
+        selected_sorted.sort_unstable();
+
+        // Pull disjoint mutable references to the sampled clients.
+        let mut participants: Vec<&mut Box<dyn Client>> = {
+            let mut flags = vec![false; self.clients.len()];
+            for &i in &selected_sorted {
+                flags[i] = true;
+            }
+            self.clients
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| flags[*i])
+                .map(|(_, c)| c)
+                .collect()
+        };
+
+        let model = &self.model;
+        let n_threads = self.config.n_threads.max(1);
+        let mut uploads: Vec<(usize, GlobalGradients)> = if n_threads == 1 {
+            participants
+                .iter_mut()
+                .map(|c| (c.id(), c.local_round(&ctx, model)))
+                .collect()
+        } else {
+            let chunk_size = participants.len().div_ceil(n_threads);
+            let mut results: Vec<Vec<(usize, GlobalGradients)>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = participants
+                    .chunks_mut(chunk_size.max(1))
+                    .map(|chunk| {
+                        let ctx = ctx.clone();
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter_mut()
+                                .map(|c| (c.id(), c.local_round(&ctx, model)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("client thread panicked"));
+                }
+            })
+            .expect("round thread scope failed");
+            results.into_iter().flatten().collect()
+        };
+
+        // Deterministic aggregation order regardless of thread interleaving.
+        uploads.sort_unstable_by_key(|(id, _)| *id);
+        let n_malicious_selected = {
+            let mal: std::collections::HashSet<usize> =
+                self.malicious_ids().into_iter().collect();
+            uploads.iter().filter(|(id, _)| mal.contains(id)).count()
+        };
+        let upload_bytes: usize = uploads.iter().map(|(_, g)| wire::encoded_size(g)).sum();
+        let grad_sets: Vec<GlobalGradients> = uploads.into_iter().map(|(_, g)| g).collect();
+
+        let combined = self.aggregator.aggregate(&grad_sets);
+        let n_items_updated = combined.n_items();
+        self.model.apply_gradients(&combined, self.config.learning_rate);
+
+        let stats = RoundStats {
+            round: self.round,
+            n_selected: grad_sets.len(),
+            n_malicious_selected,
+            n_items_updated,
+            upload_bytes,
+            elapsed: start.elapsed(),
+        };
+        self.stats.absorb(&stats);
+        self.round += 1;
+        stats
+    }
+
+    /// Runs `rounds` communication rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SumAggregator;
+    use crate::client::BenignClient;
+    use frs_data::{leave_one_out, synth, DatasetSpec};
+    use frs_metrics::hit_ratio_at_k;
+    use frs_model::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn build_sim(n_threads: usize, seed: u64) -> (Simulation, Arc<frs_data::Dataset>, frs_data::TrainTestSplit) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
+        let split = leave_one_out(&full, &mut rng);
+        let train = Arc::new(split.train.clone());
+        let model = GlobalModel::new(&ModelConfig::mf(8), train.n_items(), &mut rng);
+        let clients: Vec<Box<dyn Client>> = (0..train.n_users())
+            .map(|u| {
+                Box::new(BenignClient::new(u, Arc::clone(&train), 8, 0.1, seed + u as u64))
+                    as Box<dyn Client>
+            })
+            .collect();
+        let config = FederationConfig {
+            users_per_round: 32,
+            n_threads,
+            seed,
+            ..FederationConfig::default()
+        };
+        (
+            Simulation::new(model, clients, Box::new(SumAggregator), config),
+            train,
+            split,
+        )
+    }
+
+    #[test]
+    fn round_selects_expected_batch() {
+        let (mut sim, _, _) = build_sim(1, 1);
+        let stats = sim.run_round();
+        assert_eq!(stats.n_selected, 32);
+        assert_eq!(stats.n_malicious_selected, 0);
+        assert!(stats.n_items_updated > 0);
+        assert!(stats.upload_bytes > 0);
+        assert_eq!(sim.rounds_done(), 1);
+    }
+
+    #[test]
+    fn training_improves_hit_ratio() {
+        let (mut sim, _, split) = build_sim(1, 2);
+        let benign = sim.benign_ids();
+        let hr_before = hit_ratio_at_k(sim.model(), &sim.user_embeddings(), &benign, &split, 10);
+        sim.run(60);
+        let hr_after = hit_ratio_at_k(sim.model(), &sim.user_embeddings(), &benign, &split, 10);
+        assert!(
+            hr_after > hr_before + 0.05,
+            "HR@10 should improve: {hr_before} -> {hr_after}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_rounds_agree() {
+        let (mut seq, _, _) = build_sim(1, 3);
+        let (mut par, _, _) = build_sim(4, 3);
+        seq.run(5);
+        par.run(5);
+        assert_eq!(seq.model().items(), par.model().items());
+        assert_eq!(seq.user_embeddings(), par.user_embeddings());
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic() {
+        let (mut a, _, _) = build_sim(2, 4);
+        let (mut b, _, _) = build_sim(2, 4);
+        a.run(4);
+        b.run(4);
+        assert_eq!(a.model().items(), b.model().items());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (mut a, _, _) = build_sim(1, 5);
+        let (mut b, _, _) = build_sim(1, 6);
+        a.run(2);
+        b.run(2);
+        assert_ne!(a.model().items(), b.model().items());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
+        let train = Arc::new(full);
+        let model = GlobalModel::new(&ModelConfig::mf(4), train.n_items(), &mut rng);
+        // Single client with id 5 — not dense.
+        let clients: Vec<Box<dyn Client>> =
+            vec![Box::new(BenignClient::new(5, train, 4, 0.1, 0))];
+        Simulation::new(model, clients, Box::new(SumAggregator), FederationConfig::default());
+    }
+}

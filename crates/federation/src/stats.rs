@@ -1,0 +1,97 @@
+//! Per-round and cumulative training statistics (cost analysis, Fig. 6b).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// What one communication round did and cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundStats {
+    pub round: usize,
+    /// Clients sampled this round.
+    pub n_selected: usize,
+    /// Of those, how many were attacker-controlled.
+    pub n_malicious_selected: usize,
+    /// Distinct items that received gradient uploads.
+    pub n_items_updated: usize,
+    /// Serialized size of all uploads, in bytes (wire encoding).
+    pub upload_bytes: usize,
+    /// Wall-clock time of the whole round.
+    #[serde(skip, default)]
+    pub elapsed: Duration,
+}
+
+/// Aggregate over a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingStats {
+    pub rounds: usize,
+    pub total_selected: usize,
+    pub total_malicious_selected: usize,
+    pub total_upload_bytes: usize,
+    #[serde(skip, default)]
+    pub total_elapsed: Duration,
+}
+
+impl TrainingStats {
+    /// Folds one round into the running totals.
+    pub fn absorb(&mut self, round: &RoundStats) {
+        self.rounds += 1;
+        self.total_selected += round.n_selected;
+        self.total_malicious_selected += round.n_malicious_selected;
+        self.total_upload_bytes += round.upload_bytes;
+        self.total_elapsed += round.elapsed;
+    }
+
+    /// Mean wall-clock time per round — the Fig. 6(b) measure.
+    pub fn mean_round_time(&self) -> Duration {
+        if self.rounds == 0 {
+            Duration::ZERO
+        } else {
+            self.total_elapsed / self.rounds as u32
+        }
+    }
+
+    /// Empirical fraction of sampled clients that were malicious.
+    pub fn malicious_selection_rate(&self) -> f64 {
+        if self.total_selected == 0 {
+            0.0
+        } else {
+            self.total_malicious_selected as f64 / self.total_selected as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(n_sel: usize, n_mal: usize) -> RoundStats {
+        RoundStats {
+            round: 0,
+            n_selected: n_sel,
+            n_malicious_selected: n_mal,
+            n_items_updated: 10,
+            upload_bytes: 100,
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut t = TrainingStats::default();
+        t.absorb(&round(10, 1));
+        t.absorb(&round(10, 0));
+        assert_eq!(t.rounds, 2);
+        assert_eq!(t.total_selected, 20);
+        assert_eq!(t.total_malicious_selected, 1);
+        assert!((t.malicious_selection_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(t.mean_round_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let t = TrainingStats::default();
+        assert_eq!(t.mean_round_time(), Duration::ZERO);
+        assert_eq!(t.malicious_selection_rate(), 0.0);
+    }
+}

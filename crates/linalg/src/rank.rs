@@ -1,0 +1,127 @@
+//! Ranking and top-k selection.
+//!
+//! Recommendation lists are "top-K by predicted score over uninteracted
+//! items"; the popular-item miner is "top-N by accumulated Δ-Norm". Both run
+//! over every item, so selection uses a partial `select_nth_unstable` pass
+//! (O(m) expected) followed by a sort of only the k survivors.
+
+/// Indices `0..scores.len()` sorted by descending score. Ties break by
+/// ascending index so results are deterministic.
+pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// The `k` indices with the highest scores, in descending score order.
+/// Returns all indices when `k >= len`.
+pub fn top_k_desc(scores: &[f32], k: usize) -> Vec<usize> {
+    let n = scores.len();
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return argsort_desc(scores);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Partition so the k largest (by score, ties by low index) sit in idx[..k].
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// Like [`top_k_desc`] but only considers indices for which `eligible` returns
+/// true — e.g. ranking uninteracted items only (ER@K excludes interacted
+/// items, Eq. 3).
+pub fn top_k_desc_filtered(
+    scores: &[f32],
+    k: usize,
+    mut eligible: impl FnMut(usize) -> bool,
+) -> Vec<usize> {
+    let candidates: Vec<usize> = (0..scores.len()).filter(|&i| eligible(i)).collect();
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut idx = candidates;
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
+        });
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// Zero-based rank of `target` when all entries are sorted descending, i.e.
+/// the number of entries strictly greater than `scores[target]` (earlier
+/// indices win ties, matching [`argsort_desc`]). Used by HR@K: a hit means
+/// `rank_of(...) < K`.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    let t = scores[target];
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s > t || (s == t && i < target))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_orders_descending() {
+        assert_eq!(argsort_desc(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_breaks_ties_by_index() {
+        assert_eq!(argsort_desc(&[1.0, 1.0, 2.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn top_k_matches_argsort_prefix() {
+        let scores = [0.3, 0.7, 0.7, -0.2, 1.5, 0.0, 0.9];
+        for k in 0..=scores.len() + 1 {
+            let full = argsort_desc(&scores);
+            let got = top_k_desc(&scores, k);
+            assert_eq!(got, full[..k.min(scores.len())].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_filtered_excludes_ineligible() {
+        let scores = [10.0, 9.0, 8.0, 7.0];
+        let got = top_k_desc_filtered(&scores, 2, |i| i != 0);
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_filtered_fewer_candidates_than_k() {
+        let scores = [1.0, 2.0, 3.0];
+        let got = top_k_desc_filtered(&scores, 10, |i| i % 2 == 0);
+        assert_eq!(got, vec![2, 0]);
+    }
+
+    #[test]
+    fn rank_of_counts_strictly_greater() {
+        let scores = [0.5, 2.0, 1.0, 0.5];
+        assert_eq!(rank_of(&scores, 1), 0);
+        assert_eq!(rank_of(&scores, 2), 1);
+        assert_eq!(rank_of(&scores, 0), 2);
+        assert_eq!(rank_of(&scores, 3), 3); // tie resolved toward earlier index
+    }
+
+    #[test]
+    fn rank_consistent_with_argsort() {
+        let scores = [0.3, 0.7, -0.1, 0.7, 0.0];
+        let order = argsort_desc(&scores);
+        for (pos, &i) in order.iter().enumerate() {
+            assert_eq!(rank_of(&scores, i), pos, "item {i}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar and coordinate-wise statistics.
+//!
+//! The robust-aggregation defenses (Median, TrimmedMean, Bulyan) reduce a set
+//! of uploaded gradients coordinate by coordinate; the primitives here do the
+//! per-coordinate work. Medians use `select_nth_unstable` (expected O(n))
+//! rather than a full sort — aggregation runs once per item per round.
+
+/// Arithmetic mean; 0.0 for an empty slice (an empty aggregate is a no-op
+/// update, which is the behaviour the federation layer wants).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance (mean of squared deviations); 0.0 for fewer than two
+/// samples.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Median, reordering the buffer in place. Even-length inputs return the mean
+/// of the two central order statistics. 0.0 for an empty slice.
+pub fn median_inplace(xs: &mut [f32]) -> f32 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mid = n / 2;
+    let (_, &mut hi, _) = xs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    if n % 2 == 1 {
+        hi
+    } else {
+        // Largest element of the lower half.
+        let lo = xs[..mid].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        0.5 * (lo + hi)
+    }
+}
+
+/// Mean of the values that survive removing the `trim` smallest and `trim`
+/// largest entries. If `2*trim >= n` the trim is shrunk so at least one value
+/// remains (degenerating to the median-ish centre).
+pub fn trimmed_mean_inplace(xs: &mut [f32], trim: usize) -> f32 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let trim = trim.min((n - 1) / 2);
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+    mean(&xs[trim..n - trim])
+}
+
+/// Coordinate-wise median of a set of equal-length vectors — the Median
+/// defense [40] applied to one parameter group.
+pub fn coordinate_median(vectors: &[&[f32]]) -> Vec<f32> {
+    coordinate_reduce(vectors, |buf| median_inplace(buf))
+}
+
+/// Coordinate-wise `trim`-trimmed mean — the TrimmedMean defense [40].
+pub fn coordinate_trimmed_mean(vectors: &[&[f32]], trim: usize) -> Vec<f32> {
+    coordinate_reduce(vectors, |buf| trimmed_mean_inplace(buf, trim))
+}
+
+/// Shared driver: gathers coordinate `d` of every vector into a scratch buffer
+/// and applies `reduce`. Returns an empty vector for empty input.
+fn coordinate_reduce(vectors: &[&[f32]], mut reduce: impl FnMut(&mut [f32]) -> f32) -> Vec<f32> {
+    let Some(first) = vectors.first() else {
+        return Vec::new();
+    };
+    let dim = first.len();
+    debug_assert!(vectors.iter().all(|v| v.len() == dim));
+    let mut scratch = vec![0.0f32; vectors.len()];
+    let mut out = Vec::with_capacity(dim);
+    for d in 0..dim {
+        for (s, v) in scratch.iter_mut().zip(vectors) {
+            *s = v[d];
+        }
+        out.push(reduce(&mut scratch));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_inplace(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_inplace(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median_inplace(&mut []), 0.0);
+        assert_eq!(median_inplace(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_robust_to_outlier() {
+        // One adversarial value cannot move the median beyond the benign range.
+        let mut xs = [1.0, 1.1, 0.9, 1e9];
+        let m = median_inplace(&mut xs);
+        assert!(m >= 0.9 && m <= 1.1 + 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_removes_extremes() {
+        let mut xs = [0.0, 10.0, 10.0, 10.0, 1000.0];
+        assert_eq!(trimmed_mean_inplace(&mut xs, 1), 10.0);
+    }
+
+    #[test]
+    fn trimmed_mean_overtrim_degenerates_gracefully() {
+        let mut xs = [1.0, 2.0];
+        // trim=5 > n/2; must still return a finite sensible value.
+        let v = trimmed_mean_inplace(&mut xs, 5);
+        assert!(v >= 1.0 && v <= 2.0);
+    }
+
+    #[test]
+    fn coordinate_median_per_dim() {
+        let a = [1.0f32, 100.0];
+        let b = [2.0f32, -5.0];
+        let c = [3.0f32, 0.0];
+        let m = coordinate_median(&[&a, &b, &c]);
+        assert_eq!(m, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn coordinate_trimmed_mean_per_dim() {
+        let a = [0.0f32, 0.0];
+        let b = [1.0f32, 1.0];
+        let c = [2.0f32, 2.0];
+        let d = [100.0f32, -100.0];
+        let m = coordinate_trimmed_mean(&[&a, &b, &c, &d], 1);
+        assert_eq!(m, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    fn coordinate_reduce_empty_input() {
+        assert!(coordinate_median(&[]).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Distribution-similarity measures: PKL (Eq. 9) and UCR (Table II).
+//!
+//! These quantify the paper's Property 3 — in a symmetric recommender, the
+//! embeddings of mined popular items distribute like user embeddings:
+//!
+//! - **PKL**: average pairwise KL divergence between the popular-item
+//!   embedding set `V_P` and the covered-user embedding set `U_P` (smaller =
+//!   more similar), with embeddings softmax-normalized onto the simplex.
+//! - **UCR**: user coverage ratio `|U_P|/|U|`, the fraction of users whose
+//!   history touches at least one mined popular item.
+
+use frs_data::Dataset;
+use frs_linalg::kl_divergence;
+
+/// Average pairwise KL divergence between two embedding sets (Eq. 9):
+/// `PKL(V_P, U_P) = 1/(|V_P||U_P|) Σ_v Σ_u KL(v ‖ u)`.
+pub fn pairwise_kl(item_embeddings: &[&[f32]], user_embeddings: &[&[f32]]) -> f64 {
+    if item_embeddings.is_empty() || user_embeddings.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for v in item_embeddings {
+        for u in user_embeddings {
+            sum += kl_divergence(v, u) as f64;
+        }
+    }
+    sum / (item_embeddings.len() * user_embeddings.len()) as f64
+}
+
+/// Users covered by the popular set: `U_P = {u | ∃ v ∈ P: x_{uv} = 1}`.
+pub fn covered_users(data: &Dataset, popular: &[u32]) -> Vec<usize> {
+    (0..data.n_users())
+        .filter(|&u| popular.iter().any(|&p| data.interacted(u, p)))
+        .collect()
+}
+
+/// UCR = `|U_P| / |U|`.
+pub fn user_coverage_ratio(data: &Dataset, popular: &[u32]) -> f64 {
+    if data.n_users() == 0 {
+        return 0.0;
+    }
+    covered_users(data, popular).len() as f64 / data.n_users() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pkl_zero_for_identical_sets() {
+        let a = [0.5f32, -0.2, 0.1];
+        let items: Vec<&[f32]> = vec![&a];
+        let users: Vec<&[f32]> = vec![&a];
+        assert!(pairwise_kl(&items, &users) < 1e-9);
+    }
+
+    #[test]
+    fn pkl_positive_for_different_distributions() {
+        let a = [2.0f32, 0.0, -2.0];
+        let b = [-2.0f32, 0.0, 2.0];
+        let items: Vec<&[f32]> = vec![&a];
+        let users: Vec<&[f32]> = vec![&b];
+        assert!(pairwise_kl(&items, &users) > 0.1);
+    }
+
+    #[test]
+    fn pkl_averages_over_all_pairs() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let items: Vec<&[f32]> = vec![&a, &b];
+        let users: Vec<&[f32]> = vec![&a, &b];
+        let v = pairwise_kl(&items, &users);
+        // Two zero pairs (a,a),(b,b) and two equal positive pairs.
+        let cross = kl_divergence(&a, &b) as f64;
+        assert!((v - cross / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pkl_empty_inputs_are_zero() {
+        let a = [1.0f32];
+        let items: Vec<&[f32]> = vec![&a];
+        let empty: Vec<&[f32]> = vec![];
+        assert_eq!(pairwise_kl(&items, &empty), 0.0);
+        assert_eq!(pairwise_kl(&empty, &items), 0.0);
+    }
+
+    #[test]
+    fn ucr_counts_covered_users() {
+        // Users: {0,1}, {2}, {3}; popular = {0}: covers only user 0.
+        let d = Dataset::from_user_items(4, vec![vec![0, 1], vec![2], vec![3]]);
+        assert!((user_coverage_ratio(&d, &[0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((user_coverage_ratio(&d, &[0, 2]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((user_coverage_ratio(&d, &[0, 2, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ucr_empty_popular_set_is_zero() {
+        let d = Dataset::from_user_items(2, vec![vec![0], vec![1]]);
+        assert_eq!(user_coverage_ratio(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn covered_users_lists_exact_set() {
+        let d = Dataset::from_user_items(3, vec![vec![0], vec![1], vec![0, 1]]);
+        assert_eq!(covered_users(&d, &[0]), vec![0, 2]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which base model family the federation trains (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Matrix factorization: fixed dot-product interaction.
+    Mf,
+    /// Neural collaborative filtering: learnable MLP interaction.
+    Ncf,
+}
+
+impl ModelKind {
+    /// Short label used in experiment tables ("MF-FRS" / "DL-FRS").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Mf => "MF-FRS",
+            ModelKind::Ncf => "DL-FRS",
+        }
+    }
+}
+
+/// Hyper-parameters shared by both model families.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    pub kind: ModelKind,
+    /// Embedding dimension `d` for both users and items.
+    pub embedding_dim: usize,
+    /// Hidden-layer output sizes of the NCF MLP. The input layer consumes
+    /// the `3d` NeuMF features `u ⊕ v ⊕ (u ⊙ v)`; the projection `h`
+    /// consumes the last hidden size. Ignored for MF.
+    pub mlp_hidden: Vec<usize>,
+    /// Uniform init range for embeddings: `U(−init_scale, init_scale)`.
+    pub init_scale: f32,
+}
+
+impl ModelConfig {
+    /// Default MF-FRS configuration (paper-style small embeddings).
+    pub fn mf(embedding_dim: usize) -> Self {
+        Self {
+            kind: ModelKind::Mf,
+            embedding_dim,
+            mlp_hidden: Vec::new(),
+            init_scale: 0.1,
+        }
+    }
+
+    /// Default DL-FRS (NCF) configuration: a 2-layer pyramid `2d → d → d/2`
+    /// topped by the projection `h`, matching the paper's `L`-layer stack of
+    /// Eq. (1).
+    pub fn ncf(embedding_dim: usize) -> Self {
+        Self {
+            kind: ModelKind::Ncf,
+            embedding_dim,
+            mlp_hidden: vec![embedding_dim, (embedding_dim / 2).max(1)],
+            init_scale: 0.1,
+        }
+    }
+
+    /// Layer input/output size pairs of the MLP, starting from the `3d`
+    /// NeuMF input.
+    pub fn mlp_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = Vec::with_capacity(self.mlp_hidden.len());
+        let mut input = 3 * self.embedding_dim;
+        for &out in &self.mlp_hidden {
+            shapes.push((input, out));
+            input = out;
+        }
+        shapes
+    }
+
+    /// Validates internal consistency; call once before building a model.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embedding_dim == 0 {
+            return Err("embedding_dim must be positive".into());
+        }
+        if self.init_scale <= 0.0 || !self.init_scale.is_finite() {
+            return Err("init_scale must be positive and finite".into());
+        }
+        if self.kind == ModelKind::Ncf && self.mlp_hidden.is_empty() {
+            return Err("NCF requires at least one MLP layer".into());
+        }
+        if self.mlp_hidden.iter().any(|&h| h == 0) {
+            return Err("MLP hidden sizes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mf_defaults_validate() {
+        assert!(ModelConfig::mf(16).validate().is_ok());
+    }
+
+    #[test]
+    fn ncf_defaults_validate() {
+        let c = ModelConfig::ncf(16);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.mlp_shapes(), vec![(48, 16), (16, 8)]);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(ModelConfig::mf(0).validate().is_err());
+    }
+
+    #[test]
+    fn ncf_without_layers_rejected() {
+        let mut c = ModelConfig::ncf(8);
+        c.mlp_hidden.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ModelKind::Mf.label(), "MF-FRS");
+        assert_eq!(ModelKind::Ncf.label(), "DL-FRS");
+    }
+}

@@ -1,0 +1,292 @@
+//! Gradient containers for the shared (global) model parameters.
+//!
+//! A client's upload is sparse over items — only items in its local round
+//! dataset `D_i` (or, for attackers, the target items) carry gradients — plus,
+//! for DL-FRS, dense MLP gradients. [`GlobalGradients`] is both the client
+//! upload format and the server-side accumulator.
+
+use std::collections::BTreeMap;
+
+use frs_linalg::{vector, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Gradients of the NCF interaction parameters (`W_l`, `b_l`, `h` of Eq. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpGradients {
+    pub weights: Vec<Matrix>,
+    pub biases: Vec<Vec<f32>>,
+    pub projection: Vec<f32>,
+}
+
+impl MlpGradients {
+    /// Zero gradients matching the given layer shapes and projection size.
+    pub fn zeros(shapes: &[(usize, usize)], projection_len: usize) -> Self {
+        Self {
+            weights: shapes.iter().map(|&(i, o)| Matrix::zeros(o, i)).collect(),
+            biases: shapes.iter().map(|&(_, o)| vec![0.0; o]).collect(),
+            projection: vec![0.0; projection_len],
+        }
+    }
+
+    /// `self += alpha * other`, shape-checked.
+    pub fn axpy(&mut self, alpha: f32, other: &MlpGradients) {
+        assert_eq!(self.weights.len(), other.weights.len());
+        for (w, ow) in self.weights.iter_mut().zip(&other.weights) {
+            w.axpy_matrix(alpha, ow);
+        }
+        for (b, ob) in self.biases.iter_mut().zip(&other.biases) {
+            vector::axpy(alpha, ob, b);
+        }
+        vector::axpy(alpha, &other.projection, &mut self.projection);
+    }
+
+    /// Multiplies every gradient by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for w in &mut self.weights {
+            vector::scale(w.as_mut_slice(), alpha);
+        }
+        for b in &mut self.biases {
+            vector::scale(b, alpha);
+        }
+        vector::scale(&mut self.projection, alpha);
+    }
+
+    /// Global L2 norm over all parameters (for NormBound-style clipping).
+    pub fn l2_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for w in &self.weights {
+            let n = w.frobenius_norm();
+            sq += n * n;
+        }
+        for b in &self.biases {
+            let n = vector::l2_norm(b);
+            sq += n * n;
+        }
+        let n = vector::l2_norm(&self.projection);
+        sq += n * n;
+        sq.sqrt()
+    }
+
+    /// Clips the *global* norm to `max_norm`; returns the scaling applied.
+    pub fn clip_l2_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.l2_norm();
+        if norm > max_norm && norm > 0.0 {
+            let factor = max_norm / norm;
+            self.scale(factor);
+            factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Flattens all parameters into one vector (Krum-style defenses compare
+    /// whole uploads in a single Euclidean space).
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for w in &self.weights {
+            out.extend_from_slice(w.as_slice());
+        }
+        for b in &self.biases {
+            out.extend_from_slice(b);
+        }
+        out.extend_from_slice(&self.projection);
+        out
+    }
+
+    /// Rebuilds gradients from a flat vector laid out by [`Self::flatten`],
+    /// using `self` as the shape template. Panics on length mismatch.
+    pub fn unflatten_like(&self, flat: &[f32]) -> MlpGradients {
+        let mut offset = 0usize;
+        let mut take = |len: usize| {
+            let s = &flat[offset..offset + len];
+            offset += len;
+            s.to_vec()
+        };
+        let weights: Vec<Matrix> = self
+            .weights
+            .iter()
+            .map(|w| Matrix::from_vec(w.rows(), w.cols(), take(w.rows() * w.cols())))
+            .collect();
+        let biases: Vec<Vec<f32>> = self.biases.iter().map(|b| take(b.len())).collect();
+        let projection = take(self.projection.len());
+        assert_eq!(offset, flat.len(), "flat gradient length mismatch");
+        MlpGradients { weights, biases, projection }
+    }
+}
+
+/// A full gradient upload (or aggregate) for the global model: sparse item
+/// gradients plus optional MLP gradients.
+///
+/// Item gradients are keyed in a `BTreeMap` so iteration order — and therefore
+/// server-side aggregation — is deterministic regardless of upload order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GlobalGradients {
+    pub items: BTreeMap<u32, Vec<f32>>,
+    pub mlp: Option<MlpGradients>,
+}
+
+impl GlobalGradients {
+    /// Empty upload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `grad` into item `j`'s slot.
+    pub fn add_item_grad(&mut self, item: u32, grad: &[f32]) {
+        match self.items.get_mut(&item) {
+            Some(acc) => vector::add_assign(acc, grad),
+            None => {
+                self.items.insert(item, grad.to_vec());
+            }
+        }
+    }
+
+    /// `self += alpha * other` over both item and MLP parts.
+    pub fn axpy(&mut self, alpha: f32, other: &GlobalGradients) {
+        for (&item, grad) in &other.items {
+            match self.items.get_mut(&item) {
+                Some(acc) => vector::axpy(alpha, grad, acc),
+                None => {
+                    let mut g = grad.clone();
+                    vector::scale(&mut g, alpha);
+                    self.items.insert(item, g);
+                }
+            }
+        }
+        if let Some(omlp) = &other.mlp {
+            match &mut self.mlp {
+                Some(m) => m.axpy(alpha, omlp),
+                None => {
+                    let mut m = omlp.clone();
+                    m.scale(alpha);
+                    self.mlp = Some(m);
+                }
+            }
+        }
+    }
+
+    /// Multiplies everything by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for grad in self.items.values_mut() {
+            vector::scale(grad, alpha);
+        }
+        if let Some(m) = &mut self.mlp {
+            m.scale(alpha);
+        }
+    }
+
+    /// Number of items carrying a gradient.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there is nothing to upload.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.mlp.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp_grads() -> MlpGradients {
+        let mut g = MlpGradients::zeros(&[(4, 2), (2, 2)], 2);
+        g.weights[0].row_mut(0)[0] = 1.0;
+        g.biases[1][1] = 2.0;
+        g.projection[0] = 3.0;
+        g
+    }
+
+    #[test]
+    fn mlp_zeros_shapes() {
+        let g = MlpGradients::zeros(&[(4, 2), (2, 3)], 3);
+        assert_eq!(g.weights[0].rows(), 2);
+        assert_eq!(g.weights[0].cols(), 4);
+        assert_eq!(g.biases[1].len(), 3);
+        assert_eq!(g.projection.len(), 3);
+    }
+
+    #[test]
+    fn mlp_axpy_and_scale() {
+        let mut a = mlp_grads();
+        let b = mlp_grads();
+        a.axpy(2.0, &b);
+        assert_eq!(a.weights[0].row(0)[0], 3.0);
+        assert_eq!(a.biases[1][1], 6.0);
+        a.scale(0.5);
+        assert_eq!(a.projection[0], 4.5);
+    }
+
+    #[test]
+    fn mlp_norm_and_clip() {
+        let mut g = mlp_grads();
+        let norm = g.l2_norm();
+        assert!((norm - (1.0f32 + 4.0 + 9.0).sqrt()).abs() < 1e-6);
+        g.clip_l2_norm(1.0);
+        assert!((g.l2_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mlp_flatten_length() {
+        let g = MlpGradients::zeros(&[(4, 2), (2, 3)], 3);
+        assert_eq!(g.flatten().len(), 8 + 6 + 2 + 3 + 3);
+    }
+
+    #[test]
+    fn mlp_flatten_roundtrip() {
+        let g = mlp_grads();
+        let flat = g.flatten();
+        let back = g.unflatten_like(&flat);
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unflatten_wrong_length_panics() {
+        let g = mlp_grads();
+        let mut flat = g.flatten();
+        flat.push(0.0);
+        g.unflatten_like(&flat);
+    }
+
+    #[test]
+    fn item_grads_accumulate() {
+        let mut g = GlobalGradients::new();
+        g.add_item_grad(5, &[1.0, 2.0]);
+        g.add_item_grad(5, &[0.5, 0.5]);
+        g.add_item_grad(2, &[1.0, 0.0]);
+        assert_eq!(g.items[&5], vec![1.5, 2.5]);
+        assert_eq!(g.n_items(), 2);
+    }
+
+    #[test]
+    fn axpy_merges_disjoint_items() {
+        let mut a = GlobalGradients::new();
+        a.add_item_grad(1, &[1.0]);
+        let mut b = GlobalGradients::new();
+        b.add_item_grad(2, &[3.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.items[&1], vec![1.0]);
+        assert_eq!(a.items[&2], vec![6.0]);
+    }
+
+    #[test]
+    fn iteration_order_is_item_order() {
+        let mut g = GlobalGradients::new();
+        g.add_item_grad(9, &[0.0]);
+        g.add_item_grad(3, &[0.0]);
+        g.add_item_grad(7, &[0.0]);
+        let keys: Vec<u32> = g.items.keys().copied().collect();
+        assert_eq!(keys, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let g = GlobalGradients::new();
+        assert!(g.is_empty());
+        let mut g2 = GlobalGradients::new();
+        g2.mlp = Some(MlpGradients::zeros(&[(2, 1)], 1));
+        assert!(!g2.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Training losses.
+//!
+//! Both losses are expressed in *logit space*: the model produces a raw score
+//! `s = hᵀMLP(u⊕v)` (or `u·v` for MF), and the loss layer returns the loss
+//! value plus `∂L/∂s` ("logit delta"), which the model then backpropagates.
+//! This keeps the BCE numerics stable and makes MF and NCF share one training
+//! path.
+
+use frs_linalg::{log_sigmoid, sigmoid};
+use serde::{Deserialize, Serialize};
+
+/// Which loss the clients train with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Pointwise binary cross-entropy (paper Eq. 2; the default, after
+    /// A-HUM [31]).
+    Bce,
+    /// Pairwise Bayesian Personalized Ranking [30] (supplementary Table XI).
+    Bpr,
+}
+
+impl LossKind {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LossKind::Bce => "BCE",
+            LossKind::Bpr => "BPR",
+        }
+    }
+}
+
+/// BCE loss for one (logit, label) pair:
+/// `−[x·logσ(s) + (1−x)·log(1−σ(s))]`, computed stably.
+#[inline]
+pub fn bce_loss(logit: f32, label: f32) -> f32 {
+    -(label * log_sigmoid(logit) + (1.0 - label) * log_sigmoid(-logit))
+}
+
+/// `∂BCE/∂s = σ(s) − x`.
+#[inline]
+pub fn bce_logit_delta(logit: f32, label: f32) -> f32 {
+    sigmoid(logit) - label
+}
+
+/// BPR loss for one (positive, negative) logit pair: `−logσ(s⁺ − s⁻)`.
+#[inline]
+pub fn bpr_loss(pos_logit: f32, neg_logit: f32) -> f32 {
+    -log_sigmoid(pos_logit - neg_logit)
+}
+
+/// `(∂BPR/∂s⁺, ∂BPR/∂s⁻) = (σ(s⁺−s⁻) − 1, 1 − σ(s⁺−s⁻))`.
+#[inline]
+pub fn bpr_logit_deltas(pos_logit: f32, neg_logit: f32) -> (f32, f32) {
+    let s = sigmoid(pos_logit - neg_logit);
+    (s - 1.0, 1.0 - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let eps = 1e-3;
+        (f(x + eps) - f(x - eps)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn bce_at_confident_correct_is_small() {
+        assert!(bce_loss(10.0, 1.0) < 1e-3);
+        assert!(bce_loss(-10.0, 0.0) < 1e-3);
+    }
+
+    #[test]
+    fn bce_at_confident_wrong_is_large() {
+        assert!(bce_loss(10.0, 0.0) > 5.0);
+        assert!(bce_loss(-10.0, 1.0) > 5.0);
+    }
+
+    #[test]
+    fn bce_stable_at_extreme_logits() {
+        assert!(bce_loss(1e4, 0.0).is_finite());
+        assert!(bce_loss(-1e4, 1.0).is_finite());
+    }
+
+    #[test]
+    fn bce_delta_matches_finite_difference() {
+        for &(logit, label) in &[(0.5f32, 1.0f32), (-1.2, 0.0), (2.0, 0.0), (0.0, 1.0)] {
+            let analytic = bce_logit_delta(logit, label);
+            let numeric = fd(|s| bce_loss(s, label), logit);
+            assert!((analytic - numeric).abs() < 1e-3, "({logit}, {label})");
+        }
+    }
+
+    #[test]
+    fn bpr_prefers_positive_above_negative() {
+        assert!(bpr_loss(2.0, -2.0) < bpr_loss(-2.0, 2.0));
+        assert!((bpr_loss(0.0, 0.0) - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bpr_deltas_match_finite_difference() {
+        for &(p, n) in &[(0.5f32, -0.3f32), (-1.0, 1.0), (2.0, 1.9)] {
+            let (dp, dn) = bpr_logit_deltas(p, n);
+            assert!((dp - fd(|s| bpr_loss(s, n), p)).abs() < 1e-3);
+            assert!((dn - fd(|s| bpr_loss(p, s), n)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bpr_deltas_are_opposite() {
+        let (dp, dn) = bpr_logit_deltas(0.7, -0.2);
+        assert!((dp + dn).abs() < 1e-6);
+        assert!(dp < 0.0, "positive logit should be pushed up");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LossKind::Bce.label(), "BCE");
+        assert_eq!(LossKind::Bpr.label(), "BPR");
+    }
+}

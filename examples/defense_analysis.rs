@@ -1,0 +1,74 @@
+//! Section V-A, executable: *why* server-side filtering cannot stop PIECK.
+//!
+//! For each item we compute p_j (Eq. 12–13: the probability a benign user's
+//! round dataset contains it) and Ẽ(v_j) (Eq. 11: the expected fraction of
+//! poisonous gradients among the item's uploads). A majority-seeking defense
+//! needs Ẽ < 0.5 — true for popular items, false for the cold items
+//! attackers actually target.
+//!
+//! Run with: `cargo run --release --example defense_analysis`
+
+use pieck_frs::data::{synth, DatasetSpec};
+use pieck_frs::pieck::analysis::{required_p_j, DefenseFeasibility};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = DatasetSpec::ml100k_like().scaled(0.25);
+    let data = synth::generate(&spec, &mut StdRng::seed_from_u64(7));
+    let p_tilde = 0.05;
+    println!(
+        "dataset: {} users × {} items; malicious ratio p̃ = {:.0}%",
+        data.n_users(),
+        data.n_items(),
+        p_tilde * 100.0
+    );
+    println!(
+        "majority defenses need p_j > p̃/(1−p̃) = {:.4}\n",
+        required_p_j(p_tilde)
+    );
+
+    let ranking = data.popularity_ranking();
+    let probes = [
+        ("most popular", ranking[0]),
+        ("median item", ranking[ranking.len() / 2]),
+        ("coldest (attack target)", *ranking.last().unwrap()),
+    ];
+    println!(
+        "{:<26} {:>8} {:>10} {:>22}",
+        "item", "p_j", "Ẽ(v_j)", "majority defense works?"
+    );
+    for (label, item) in probes {
+        let v = DefenseFeasibility::evaluate(&data, 1, p_tilde, item);
+        println!(
+            "{:<26} {:>8.4} {:>10.4} {:>22}",
+            label,
+            v.p_j,
+            v.expected_poison_fraction,
+            if v.majority_defense_feasible { "yes" } else { "NO — poison majority" }
+        );
+    }
+    // The effect is starkest on sparse catalogues (AZ-like: rate 10 over
+    // ~12k items) — exactly the regime the paper's Eq. 11 argument targets.
+    let az = DatasetSpec::az_like().scaled(0.25);
+    let az_data = synth::generate(&az, &mut StdRng::seed_from_u64(7));
+    let cold = *az_data.popularity_ranking().last().unwrap();
+    let v = DefenseFeasibility::evaluate(&az_data, 1, p_tilde, cold);
+    println!(
+        "\naz-like (sparse, {} items): cold-target p_j = {:.5}, Ẽ(v_j) = {:.3} → {}",
+        az_data.n_items(),
+        v.p_j,
+        v.expected_poison_fraction,
+        if v.majority_defense_feasible {
+            "defensible"
+        } else {
+            "POISON IS THE MAJORITY — no filter can help"
+        }
+    );
+    println!(
+        "\nConclusion (paper Eq. 11): the colder the target and the sparser the\n\
+         data, the larger the poisonous share of its gradients — filtering\n\
+         can't find a benign majority that isn't there. Hence the paper's\n\
+         client-side Re1/Re2 defense."
+    );
+}

@@ -1,0 +1,39 @@
+//! Algorithm 1 in isolation: a malicious client that only *observes* the
+//! global model while sampled can identify the popular items from embedding
+//! Δ-Norms alone — no interaction data, no popularity oracle.
+//!
+//! Run with: `cargo run --release --example popular_item_mining`
+
+use pieck_frs::experiments::scenario::{build_simulation, build_world};
+use pieck_frs::experiments::{paper_scenario, PaperDataset};
+use pieck_frs::model::ModelKind;
+use pieck_frs::pieck::mining::{mining_precision, PopularItemMiner};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.25, 11);
+    let (_, split, _) = build_world(&cfg);
+    let train = Arc::new(split.train.clone());
+    let popularity_rank = train.popularity_rank_of();
+    let n_top15 = (train.n_items() as f64 * 0.15).ceil() as usize;
+    let mut sim = build_simulation(&cfg, Arc::clone(&train), &[]);
+
+    // The "attacker" observes the model at rounds 1..=R̃+1, like a client
+    // that got sampled three times in a row.
+    let mut miner = PopularItemMiner::new(2, 20);
+    miner.observe(sim.model());
+    while !miner.is_complete() {
+        sim.run_round();
+        miner.observe(sim.model());
+    }
+    let mined = miner.mined().unwrap();
+    println!("mined after {} observed transitions: {mined:?}", miner.transitions_seen());
+    println!(
+        "precision vs true top-15% popular items: {:.0}%",
+        mining_precision(mined, &popularity_rank, n_top15) * 100.0
+    );
+    println!("\nmined item → true popularity rank (of {} items):", train.n_items());
+    for &j in mined.iter().take(10) {
+        println!("  item {:>4} → rank {:>4}", j, popularity_rank[j as usize]);
+    }
+}

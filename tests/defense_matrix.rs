@@ -1,0 +1,77 @@
+//! Every server-side defense runs end-to-end without panicking and leaves a
+//! usable model; the client-side defense preserves quality against an
+//! active attack.
+
+use pieck_frs::attacks::AttackKind;
+use pieck_frs::defense::DefenseKind;
+use pieck_frs::experiments::{paper_scenario, run, PaperDataset};
+use pieck_frs::model::ModelKind;
+
+#[test]
+fn all_defenses_run_under_attack_mf() {
+    for defense in DefenseKind::all() {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 2);
+        cfg.attack = AttackKind::PieckIpe;
+        cfg.defense = defense;
+        cfg.rounds = 40;
+        let out = run(&cfg);
+        assert!(out.er_percent.is_finite(), "{defense:?}");
+        assert!(out.hr_percent.is_finite(), "{defense:?}");
+        assert!(
+            (0.0..=100.0).contains(&out.er_percent),
+            "{defense:?}: ER {}",
+            out.er_percent
+        );
+    }
+}
+
+#[test]
+fn all_defenses_run_under_attack_dl() {
+    for defense in [DefenseKind::Median, DefenseKind::MultiKrum, DefenseKind::Ours] {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Ncf, 0.1, 2);
+        cfg.attack = AttackKind::PieckUea;
+        cfg.defense = defense;
+        cfg.rounds = 40;
+        cfg.mined_top_n = 20;
+        let out = run(&cfg);
+        assert!(out.er_percent.is_finite() && out.hr_percent.is_finite(), "{defense:?}");
+    }
+}
+
+#[test]
+fn trimmed_mean_leaks_poison_on_mf() {
+    // The Table IV failure mode: TrimmedMean's fixed trim budget cannot
+    // remove a poison cluster that outnumbers it.
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 3);
+    cfg.attack = AttackKind::PieckUea;
+    cfg.defense = DefenseKind::TrimmedMean;
+    cfg.mined_top_n = 30;
+    cfg.rounds = 100;
+    let out = run(&cfg);
+    assert!(
+        out.er_percent > 10.0,
+        "TrimmedMean should leak meaningful exposure: {}",
+        out.er_percent
+    );
+}
+
+#[test]
+fn defense_without_attack_costs_little_quality() {
+    let clean = {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 4);
+        cfg.rounds = 100;
+        run(&cfg)
+    };
+    let defended = {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 4);
+        cfg.defense = DefenseKind::Ours;
+        cfg.rounds = 100;
+        run(&cfg)
+    };
+    assert!(
+        defended.hr_percent > clean.hr_percent - 8.0,
+        "defense overhead on clean training: {} vs {}",
+        defended.hr_percent,
+        clean.hr_percent
+    );
+}

@@ -1,0 +1,112 @@
+//! End-to-end reproduction of the paper's headline claims at CI scale:
+//! attack effectiveness (Table III), stealth (HR preserved), defense
+//! effectiveness (Table IV), and determinism of the whole pipeline.
+
+use pieck_frs::attacks::AttackKind;
+use pieck_frs::defense::DefenseKind;
+use pieck_frs::experiments::{paper_scenario, run, PaperDataset, ScenarioConfig};
+use pieck_frs::model::ModelKind;
+
+fn base(kind: ModelKind, seed: u64) -> ScenarioConfig {
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, kind, 0.12, seed);
+    cfg.rounds = 100;
+    cfg
+}
+
+#[test]
+fn uea_attack_dominates_on_mf() {
+    let baseline = run(&base(ModelKind::Mf, 5));
+    let mut cfg = base(ModelKind::Mf, 5);
+    cfg.attack = AttackKind::PieckUea;
+    cfg.mined_top_n = 30;
+    let attacked = run(&cfg);
+    assert!(
+        attacked.er_percent > baseline.er_percent + 40.0,
+        "UEA: {} vs baseline {}",
+        attacked.er_percent,
+        baseline.er_percent
+    );
+    // Stealth: recommendation quality within a few points of the baseline.
+    assert!(
+        (attacked.hr_percent - baseline.hr_percent).abs() < 10.0,
+        "HR must be preserved: {} vs {}",
+        attacked.hr_percent,
+        baseline.hr_percent
+    );
+}
+
+#[test]
+fn ipe_attack_raises_exposure_on_mf() {
+    let baseline = run(&base(ModelKind::Mf, 6));
+    let mut cfg = base(ModelKind::Mf, 6);
+    cfg.attack = AttackKind::PieckIpe;
+    let attacked = run(&cfg);
+    assert!(
+        attacked.er_percent > baseline.er_percent + 20.0,
+        "IPE: {} vs baseline {}",
+        attacked.er_percent,
+        baseline.er_percent
+    );
+}
+
+#[test]
+fn attacks_reach_full_exposure_on_dl() {
+    for attack in [AttackKind::PieckUea, AttackKind::ARa] {
+        let mut cfg = base(ModelKind::Ncf, 7);
+        cfg.attack = attack;
+        cfg.mined_top_n = 30;
+        let out = run(&cfg);
+        assert!(
+            out.er_percent > 80.0,
+            "{attack:?} on DL-FRS should reach near-full exposure: {}",
+            out.er_percent
+        );
+    }
+}
+
+#[test]
+fn masked_fedrecattack_equals_no_attack() {
+    let mut cfg = base(ModelKind::Mf, 8);
+    cfg.attack = AttackKind::FedRecA;
+    let out = run(&cfg);
+    assert!(out.er_percent < 5.0, "masked FedRecA must be inert: {}", out.er_percent);
+}
+
+#[test]
+fn our_defense_suppresses_uea_and_preserves_quality() {
+    let mut attacked = base(ModelKind::Mf, 9);
+    attacked.attack = AttackKind::PieckUea;
+    attacked.mined_top_n = 30;
+    let undefended = run(&attacked);
+
+    let mut defended = base(ModelKind::Mf, 9);
+    defended.attack = AttackKind::PieckUea;
+    defended.mined_top_n = 30;
+    defended.defense = DefenseKind::Ours;
+    let out = run(&defended);
+
+    assert!(
+        out.er_percent < undefended.er_percent / 3.0,
+        "defense must collapse ER: {} vs {}",
+        out.er_percent,
+        undefended.er_percent
+    );
+    assert!(
+        out.hr_percent > undefended.hr_percent - 10.0,
+        "defense must preserve HR: {} vs {}",
+        out.hr_percent,
+        undefended.hr_percent
+    );
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    let mut cfg = base(ModelKind::Mf, 10);
+    cfg.attack = AttackKind::PieckIpe;
+    cfg.rounds = 40;
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.er_percent, b.er_percent);
+    assert_eq!(a.hr_percent, b.hr_percent);
+    assert_eq!(a.targets, b.targets);
+}

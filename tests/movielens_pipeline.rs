@@ -1,0 +1,72 @@
+//! Real-data pipeline: a MovieLens-format file (written as a fixture) flows
+//! through the loader, the leave-one-out split, federated training, and the
+//! attack — proving the library is not synthetic-data-only.
+
+use pieck_frs::data::{leave_one_out, load_movielens, LoadOptions};
+use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation, SumAggregator};
+use pieck_frs::metrics::hit_ratio_at_k;
+use pieck_frs::model::{GlobalModel, ModelConfig};
+use pieck_frs::pieck::{PieckClient, PieckConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Writes a u.data-style fixture with a long-tail popularity profile:
+/// 40 users, 60 items, item popularity ∝ 1/(rank+1).
+fn write_fixture(path: &std::path::Path) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut lines = String::new();
+    for user in 1..=40u32 {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..12 {
+            // Zipf-ish item draw over ids 1..=60.
+            let r: f64 = rng.gen_range(0.0f64..1.0);
+            let item = ((60.0f64.powf(r) - 1.0).max(0.0) as u32 % 60) + 1;
+            if seen.insert(item) {
+                lines.push_str(&format!("{user}\t{item}\t5\t0\n"));
+            }
+        }
+    }
+    std::fs::write(path, lines).unwrap();
+}
+
+#[test]
+fn movielens_file_to_attack_pipeline() {
+    let path = std::env::temp_dir().join("pieck_frs_pipeline_u.data");
+    write_fixture(&path);
+
+    let (full, maps) = load_movielens(&path, &LoadOptions::ml100k()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(full.n_users() >= 30, "loader kept most users: {}", full.n_users());
+    assert!(!maps.item_from_dense.is_empty());
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = leave_one_out(&full, &mut rng);
+    let train = Arc::new(split.train.clone());
+    let model = GlobalModel::new(&ModelConfig::mf(8), train.n_items(), &mut rng);
+
+    // Benign population from the real file + 3 PIECK-UEA sybils.
+    let n_benign = train.n_users();
+    let target = train.coldest_items(1)[0];
+    let mut clients: Vec<Box<dyn Client>> = (0..n_benign)
+        .map(|u| {
+            Box::new(BenignClient::new(u, Arc::clone(&train), 8, 0.1, 10 + u as u64))
+                as Box<dyn Client>
+        })
+        .collect();
+    for i in 0..3 {
+        let mut cfg = PieckConfig::uea(vec![target]);
+        cfg.top_n = 10;
+        clients.push(Box::new(PieckClient::new(n_benign + i, cfg)));
+    }
+    let config = FederationConfig { users_per_round: 24, seed: 2, ..Default::default() };
+    let mut sim = Simulation::new(model, clients, Box::new(SumAggregator), config);
+    sim.run(60);
+
+    // The pipeline produced a functioning recommender...
+    let benign = sim.benign_ids();
+    let hr = hit_ratio_at_k(sim.model(), &sim.user_embeddings(), &benign, &split, 10);
+    assert!(hr > 0.05, "model should learn from the loaded file: HR {hr}");
+    // ...and the attack machinery ran against loaded data without issue.
+    assert!(sim.stats().total_malicious_selected > 0);
+}

@@ -1,0 +1,85 @@
+//! Property-based tests across crate boundaries: arbitrary gradient uploads
+//! survive the wire codec, aggregation rules stay within safe envelopes, and
+//! client training never produces non-finite gradients.
+
+use pieck_frs::defense::DefenseKind;
+use pieck_frs::federation::{upload_norm, wire};
+use pieck_frs::model::GlobalGradients;
+use proptest::prelude::*;
+
+fn upload_strategy() -> impl Strategy<Value = GlobalGradients> {
+    prop::collection::btree_map(
+        0u32..500,
+        prop::collection::vec(-10.0f32..10.0, 8),
+        0..12,
+    )
+    .prop_map(|items| {
+        let mut g = GlobalGradients::new();
+        for (item, grad) in items {
+            g.add_item_grad(item, &grad);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_arbitrary_uploads(upload in upload_strategy()) {
+        let encoded = wire::encode(&upload);
+        prop_assert_eq!(encoded.len(), wire::encoded_size(&upload));
+        let decoded = wire::decode(encoded).unwrap();
+        prop_assert_eq!(decoded, upload);
+    }
+
+    #[test]
+    fn truncated_wire_data_never_panics(upload in upload_strategy(), cut in 0usize..64) {
+        let encoded = wire::encode(&upload);
+        let cut = cut.min(encoded.len());
+        let _ = wire::decode(encoded.slice(..cut)); // must not panic
+    }
+
+    #[test]
+    fn aggregators_produce_finite_outputs(
+        uploads in prop::collection::vec(upload_strategy(), 1..8),
+        defense_idx in 0usize..7,
+    ) {
+        let defense = DefenseKind::all()[defense_idx];
+        let agg = defense.build_aggregator(0.05, 1.0);
+        let out = agg.aggregate(&uploads);
+        for grad in out.items.values() {
+            prop_assert!(grad.iter().all(|v| v.is_finite()), "{:?}", defense);
+        }
+    }
+
+    #[test]
+    fn norm_bound_envelope_holds(uploads in prop::collection::vec(upload_strategy(), 1..6)) {
+        let agg = DefenseKind::NormBound.build_aggregator(0.05, 1.0);
+        let out = agg.aggregate(&uploads);
+        // Sum of clipped uploads: ‖out‖ ≤ Σ min(‖u‖, threshold) ≤ n·threshold.
+        prop_assert!(upload_norm(&out) <= uploads.len() as f32 * 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn median_within_input_envelope(uploads in prop::collection::vec(upload_strategy(), 1..6)) {
+        let agg = DefenseKind::Median.build_aggregator(0.05, 1.0);
+        let out = agg.aggregate(&uploads);
+        for (item, grad) in &out.items {
+            let uploader_count = uploads.iter().filter(|u| u.items.contains_key(item)).count();
+            for (d, &v) in grad.iter().enumerate() {
+                let lo = uploads
+                    .iter()
+                    .filter_map(|u| u.items.get(item).map(|g| g[d]))
+                    .fold(f32::INFINITY, f32::min);
+                let hi = uploads
+                    .iter()
+                    .filter_map(|u| u.items.get(item).map(|g| g[d]))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                // Rescaled by uploader count, the median stays within count×[lo, hi].
+                let k = uploader_count as f32;
+                prop_assert!(v >= lo * k - 1e-3 && v <= hi * k + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Federation-protocol invariants that span crates: wire codec on real
+//! uploads, thread-count independence, malicious-population accounting.
+
+use pieck_frs::attacks::AttackKind;
+use pieck_frs::data::{synth, DatasetSpec};
+use pieck_frs::experiments::scenario::{build_simulation, build_world};
+use pieck_frs::experiments::{paper_scenario, PaperDataset};
+use pieck_frs::federation::{wire, BenignClient, Client, RoundContext};
+use pieck_frs::linalg::SeedStream;
+use pieck_frs::model::{GlobalModel, LossKind, ModelConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn real_client_uploads_survive_wire_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = Arc::new(synth::generate(&DatasetSpec::tiny(), &mut rng));
+    for config in [ModelConfig::mf(8), ModelConfig::ncf(8)] {
+        let model = GlobalModel::new(&config, data.n_items(), &mut rng);
+        let mut client = BenignClient::new(0, Arc::clone(&data), 8, 0.1, 3);
+        let ctx = RoundContext::new(0, 1.0, 1.0, 1, LossKind::Bce, SeedStream::new(4));
+        let upload = client.local_round(&ctx, &model);
+        let decoded = wire::decode(wire::encode(&upload)).expect("roundtrip");
+        assert_eq!(upload, decoded, "{:?}", config.kind);
+        assert_eq!(wire::encode(&upload).len(), wire::encoded_size(&upload));
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let build = |threads: usize| {
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 3);
+        cfg.attack = AttackKind::PieckUea;
+        cfg.federation.n_threads = threads;
+        let (_, split, targets) = build_world(&cfg);
+        let train = Arc::new(split.train);
+        let mut sim = build_simulation(&cfg, train, &targets);
+        sim.run(15);
+        sim.model().items().clone()
+    };
+    assert_eq!(build(1), build(4));
+}
+
+#[test]
+fn malicious_population_matches_ratio() {
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 4);
+    cfg.attack = AttackKind::PieckUea;
+    cfg.malicious_ratio = 0.10;
+    let (_, split, targets) = build_world(&cfg);
+    let train = Arc::new(split.train);
+    let n_benign = train.n_users();
+    let sim = build_simulation(&cfg, train, &targets);
+    let n_mal = sim.malicious_ids().len();
+    let ratio = n_mal as f64 / (n_benign + n_mal) as f64;
+    assert!((ratio - 0.10).abs() < 0.02, "p̃ = {ratio}");
+    assert_eq!(sim.n_clients(), n_benign + n_mal);
+}
+
+#[test]
+fn malicious_sampling_rate_converges_to_ratio() {
+    let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 5);
+    cfg.attack = AttackKind::PieckIpe;
+    cfg.malicious_ratio = 0.05;
+    let (_, split, targets) = build_world(&cfg);
+    let train = Arc::new(split.train);
+    let mut sim = build_simulation(&cfg, train, &targets);
+    sim.run(60);
+    let rate = sim.stats().malicious_selection_rate();
+    assert!((rate - 0.05).abs() < 0.03, "empirical selection rate {rate}");
+}
