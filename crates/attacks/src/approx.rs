@@ -94,7 +94,10 @@ mod tests {
         let before: f32 = users.iter().map(|u| m.logit(u, 3)).sum();
         hard_user_mining(&m, &mut users, 3, 20, 0.5);
         let after: f32 = users.iter().map(|u| m.logit(u, 3)).sum();
-        assert!(after < before, "hard users score lower: {before} -> {after}");
+        assert!(
+            after < before,
+            "hard users score lower: {before} -> {after}"
+        );
     }
 
     #[test]

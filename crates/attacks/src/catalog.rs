@@ -1,5 +1,12 @@
-//! Attack catalogue: one enum the experiment harness iterates over
-//! (the rows of Table III).
+//! Attack catalogue: the paper's Table III rows as a convenience enum.
+//!
+//! [`AttackKind`] enumerates the attacks evaluated in the paper. Since the
+//! registry redesign it is a *thin wrapper over registry lookups*
+//! (see [`crate::registry`]): the enum implements [`AttackFactory`] with the
+//! actual construction logic, registers itself as the builtin entries, and
+//! its legacy [`AttackKind::build_clients`] method resolves through the
+//! registry — so overriding a builtin by name affects enum callers too, and
+//! new attacks need no enum edits at all.
 
 use frs_federation::Client;
 use pieck_core::{PieckClient, PieckConfig};
@@ -8,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::fedrecattack::FedRecAttack;
 use crate::interaction::{AHumClient, ARaClient};
 use crate::pipattack::PipAttack;
+use crate::registry::{AttackBuildCtx, AttackFactory, AttackSel};
 use crate::scaled::ScaledClient;
 
 /// Norm cap applied to scaled gradient-style poison uploads.
@@ -46,6 +54,24 @@ impl AttackKind {
         ]
     }
 
+    /// Stable registry name (kebab-case).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::NoAttack => "none",
+            AttackKind::FedRecA => "fedrecattack",
+            AttackKind::Pipa => "pipattack",
+            AttackKind::ARa => "a-ra",
+            AttackKind::AHum => "a-hum",
+            AttackKind::PieckIpe => "pieck-ipe",
+            AttackKind::PieckUea => "pieck-uea",
+        }
+    }
+
+    /// Parses a registry name back into the enum.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Row label matching the paper's tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -59,11 +85,11 @@ impl AttackKind {
         }
     }
 
-    /// Builds `count` malicious clients with ids `first_id..first_id+count`,
-    /// all promoting `targets` with uploads scaled by `poison_scale`. Returns
-    /// an empty vector for [`AttackKind::NoAttack`]. Prior-knowledge attacks
-    /// are masked, matching the paper's protocol; `mined_top_n` applies to
-    /// PIECK variants.
+    /// Legacy entry point, kept for backwards compatibility: builds `count`
+    /// malicious clients with ids `first_id..first_id+count`, all promoting
+    /// `targets` with uploads scaled by `poison_scale`. Resolves through the
+    /// registry, so a factory re-registered under this kind's name takes
+    /// effect here too.
     pub fn build_clients(
         &self,
         first_id: usize,
@@ -73,17 +99,40 @@ impl AttackKind {
         poison_scale: f32,
         seed: u64,
     ) -> Vec<Box<dyn Client>> {
+        AttackSel::from(*self).build_clients(&AttackBuildCtx {
+            first_id,
+            count,
+            targets,
+            mined_top_n,
+            poison_scale,
+            seed,
+        })
+    }
+}
+
+/// The builtin construction logic (the old closed-enum dispatch, now one
+/// factory implementation among equals).
+impl AttackFactory for AttackKind {
+    fn name(&self) -> &str {
+        AttackKind::name(self)
+    }
+
+    fn label(&self) -> &str {
+        AttackKind::label(self)
+    }
+
+    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
         if *self == AttackKind::NoAttack {
             return Vec::new();
         }
-        let targets = targets.to_vec();
-        (0..count)
+        let targets = ctx.targets.to_vec();
+        (0..ctx.count)
             .map(|i| {
-                let id = first_id + i;
+                let id = ctx.first_id + i;
                 // One attacker controls every sybil (Section III-B), so the
                 // synthetic users / classifiers are shared across malicious
                 // clients: poison directions add up instead of cancelling.
-                let client_seed = seed ^ 0xA77AC;
+                let client_seed = ctx.seed ^ 0xA77AC;
                 let client: Box<dyn Client> = match self {
                     AttackKind::NoAttack => unreachable!("returned above"),
                     AttackKind::FedRecA => Box::new(FedRecAttack::new(
@@ -104,12 +153,12 @@ impl AttackKind {
                     }
                     AttackKind::PieckIpe => {
                         let mut cfg = PieckConfig::ipe(targets.clone());
-                        cfg.top_n = mined_top_n;
+                        cfg.top_n = ctx.mined_top_n;
                         Box::new(PieckClient::new(id, cfg))
                     }
                     AttackKind::PieckUea => {
                         let mut cfg = PieckConfig::uea(targets.clone());
-                        cfg.top_n = mined_top_n;
+                        cfg.top_n = ctx.mined_top_n;
                         Box::new(PieckClient::new(id, cfg))
                     }
                 };
@@ -119,8 +168,8 @@ impl AttackKind {
                 // gradient-style attacks scale, with a norm cap to prevent
                 // runaway feedback (see ScaledClient::with_cap).
                 let scalable = !matches!(self, AttackKind::PieckUea);
-                if scalable && (poison_scale - 1.0).abs() > f32::EPSILON {
-                    Box::new(ScaledClient::new(client, poison_scale).with_cap(POISON_NORM_CAP))
+                if scalable && (ctx.poison_scale - 1.0).abs() > f32::EPSILON {
+                    Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(POISON_NORM_CAP))
                         as Box<dyn Client>
                 } else {
                     client
@@ -152,9 +201,20 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_unique() {
+    fn labels_and_names_are_unique() {
         let labels: std::collections::HashSet<&str> =
             AttackKind::all().iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 7);
+        let names: std::collections::HashSet<&str> =
+            AttackKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in AttackKind::all() {
+            assert_eq!(AttackKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(AttackKind::from_name("nope"), None);
     }
 }

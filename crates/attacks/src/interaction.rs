@@ -66,7 +66,14 @@ impl InteractionAttack {
                 // parameter gradients — the interaction-function poison.
                 let mut d_user_scratch = vec![0.0f32; model.dim()];
                 let mut per_user = GlobalGradients::new();
-                model.backward(user, target, &cache, delta, &mut d_user_scratch, &mut per_user);
+                model.backward(
+                    user,
+                    target,
+                    &cache,
+                    delta,
+                    &mut d_user_scratch,
+                    &mut per_user,
+                );
                 if let Some(g) = per_user.items.get(&target) {
                     vector::add_assign(&mut item_grad, g);
                 }
@@ -140,7 +147,10 @@ impl AHumClient {
         seed: u64,
     ) -> Self {
         assert!(!targets.is_empty(), "need targets");
-        assert!(mining_steps > 0, "A-HUM needs mining steps; use ARaClient otherwise");
+        assert!(
+            mining_steps > 0,
+            "A-HUM needs mining steps; use ARaClient otherwise"
+        );
         Self {
             inner: InteractionAttack {
                 id,

@@ -22,6 +22,7 @@ pub mod catalog;
 pub mod fedrecattack;
 pub mod interaction;
 pub mod pipattack;
+pub mod registry;
 pub mod scaled;
 
 pub use approx::{hard_user_mining, random_user_embeddings};
@@ -29,4 +30,8 @@ pub use catalog::AttackKind;
 pub use fedrecattack::FedRecAttack;
 pub use interaction::{AHumClient, ARaClient};
 pub use pipattack::PipAttack;
+pub use registry::{
+    attack_factory, register_attack, registered_attacks, AttackBuildCtx, AttackFactory, AttackSel,
+    FnAttackFactory,
+};
 pub use scaled::ScaledClient;

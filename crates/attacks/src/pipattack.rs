@@ -69,9 +69,10 @@ impl PipAttack {
             return;
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.classifier = (0..model.dim()).map(|_| rng.gen_range(-0.1..=0.1)).collect();
-        self.approx_users =
-            random_user_embeddings(self.n_approx_users, model.dim(), 0.1, &mut rng);
+        self.classifier = (0..model.dim())
+            .map(|_| rng.gen_range(-0.1..=0.1))
+            .collect();
+        self.approx_users = random_user_embeddings(self.n_approx_users, model.dim(), 0.1, &mut rng);
         if self.popular_labels.is_none() {
             // Masked: the attacker knows nothing — guess labels uniformly.
             let labels = (0..model.n_items()).map(|_| rng.gen_bool(0.15)).collect();
@@ -80,6 +81,7 @@ impl PipAttack {
     }
 
     /// One SGD epoch of the popularity estimator over all items.
+    #[allow(clippy::needless_range_loop)] // j is the item id, not just an index
     fn train_classifier(&mut self, model: &GlobalModel, lr: f32) {
         let labels = self.popular_labels.as_ref().expect("initialized");
         for j in 0..model.n_items() {

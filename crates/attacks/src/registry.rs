@@ -1,0 +1,320 @@
+//! The open attack registry.
+//!
+//! The experiment harness used to dispatch over the closed [`AttackKind`]
+//! enum; every new attack meant editing core crates. This module inverts
+//! that: attacks are [`AttackFactory`] trait objects registered *by name* in
+//! a process-wide table. The enum still exists as a thin, backwards
+//! compatible wrapper over registry lookups, and out-of-crate attacks plug in
+//! through [`register_attack`] without touching any core code:
+//!
+//! ```
+//! use frs_attacks::{register_attack, AttackBuildCtx, AttackFactory, FnAttackFactory};
+//!
+//! register_attack(FnAttackFactory::new("my-attack", "MyAttack", |ctx: &AttackBuildCtx| {
+//!     Vec::new() // build `ctx.count` malicious clients here
+//! }));
+//! assert!(frs_attacks::attack_factory("my-attack").is_some());
+//! ```
+//!
+//! [`AttackKind`]: crate::AttackKind
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use frs_federation::Client;
+
+use crate::catalog::AttackKind;
+
+/// Everything a factory gets to build one scenario's malicious population.
+#[derive(Debug, Clone)]
+pub struct AttackBuildCtx<'a> {
+    /// First client id to assign; ids must be dense `first_id..first_id+count`.
+    pub first_id: usize,
+    /// Number of malicious clients to build.
+    pub count: usize,
+    /// Target items `T` to promote.
+    pub targets: &'a [u32],
+    /// Mined popular-set size `N` (PIECK variants and mining-based attacks).
+    pub mined_top_n: usize,
+    /// Scale applied to gradient-style poison uploads.
+    pub poison_scale: f32,
+    /// Scenario root seed.
+    pub seed: u64,
+}
+
+/// A named attack that can populate a scenario with malicious clients.
+pub trait AttackFactory: Send + Sync {
+    /// Stable registry key (kebab-case).
+    fn name(&self) -> &str;
+
+    /// Row label for experiment tables; defaults to the registry name.
+    fn label(&self) -> &str {
+        self.name()
+    }
+
+    /// Builds `ctx.count` malicious clients with dense ids starting at
+    /// `ctx.first_id`.
+    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>>;
+}
+
+type AttackBuildFn = Box<dyn Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync>;
+
+/// Closure-backed [`AttackFactory`] for ad-hoc attacks (ablations, tests,
+/// downstream experiments).
+pub struct FnAttackFactory {
+    name: String,
+    label: String,
+    build: AttackBuildFn,
+}
+
+impl FnAttackFactory {
+    pub fn new(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        build: impl Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            label: label.into(),
+            build: Box::new(build),
+        })
+    }
+}
+
+impl AttackFactory for FnAttackFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
+        (self.build)(ctx)
+    }
+}
+
+type Registry = RwLock<BTreeMap<String, Arc<dyn AttackFactory>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, Arc<dyn AttackFactory>> = BTreeMap::new();
+        for kind in AttackKind::all() {
+            map.insert(kind.name().to_string(), Arc::new(kind));
+        }
+        RwLock::new(map)
+    })
+}
+
+/// Registers (or replaces) an attack under `factory.name()`. Returns the
+/// previously registered factory of that name, if any.
+pub fn register_attack(factory: Arc<dyn AttackFactory>) -> Option<Arc<dyn AttackFactory>> {
+    registry()
+        .write()
+        .expect("attack registry poisoned")
+        .insert(factory.name().to_string(), factory)
+}
+
+/// Looks an attack up by registry name.
+pub fn attack_factory(name: &str) -> Option<Arc<dyn AttackFactory>> {
+    registry()
+        .read()
+        .expect("attack registry poisoned")
+        .get(name)
+        .cloned()
+}
+
+/// All registered attack names, sorted.
+pub fn registered_attacks() -> Vec<String> {
+    registry()
+        .read()
+        .expect("attack registry poisoned")
+        .keys()
+        .cloned()
+        .collect()
+}
+
+/// A serializable, registry-backed reference to an attack — what scenario
+/// configurations carry instead of the closed enum. Serializes as its plain
+/// name string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttackSel {
+    name: String,
+}
+
+impl AttackSel {
+    /// References a registered (or to-be-registered) attack by name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+
+    /// The benign baseline.
+    pub fn none() -> Self {
+        AttackKind::NoAttack.into()
+    }
+
+    /// Registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True for the no-attack baseline.
+    pub fn is_no_attack(&self) -> bool {
+        self.name == AttackKind::NoAttack.name()
+    }
+
+    /// Table row label: the factory's, falling back to the raw name for
+    /// not-yet-registered references.
+    pub fn label(&self) -> String {
+        match attack_factory(&self.name) {
+            Some(f) => f.label().to_string(),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Resolves through the registry.
+    pub fn resolve(&self) -> Option<Arc<dyn AttackFactory>> {
+        attack_factory(&self.name)
+    }
+
+    /// Builds the malicious population; panics with the list of known
+    /// attacks when the name is not registered (a configuration error).
+    pub fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
+        match self.resolve() {
+            Some(f) => f.build_clients(ctx),
+            None => panic!(
+                "attack `{}` is not registered (known: {:?})",
+                self.name,
+                registered_attacks()
+            ),
+        }
+    }
+}
+
+impl From<AttackKind> for AttackSel {
+    fn from(kind: AttackKind) -> Self {
+        AttackSel {
+            name: kind.name().to_string(),
+        }
+    }
+}
+
+impl From<&AttackKind> for AttackSel {
+    fn from(kind: &AttackKind) -> Self {
+        (*kind).into()
+    }
+}
+
+impl PartialEq<AttackKind> for AttackSel {
+    fn eq(&self, kind: &AttackKind) -> bool {
+        self.name == kind.name()
+    }
+}
+
+impl PartialEq<AttackSel> for AttackKind {
+    fn eq(&self, sel: &AttackSel) -> bool {
+        sel == self
+    }
+}
+
+impl std::fmt::Display for AttackSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl serde::Serialize for AttackSel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name.clone())
+    }
+}
+
+impl serde::Deserialize for AttackSel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        v.as_str()
+            .map(AttackSel::named)
+            .ok_or_else(|| serde::Error::new(format!("expected attack name, got {}", v.kind())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered() {
+        for kind in AttackKind::all() {
+            let f = attack_factory(kind.name()).unwrap_or_else(|| panic!("{kind:?}"));
+            assert_eq!(f.name(), kind.name());
+            assert_eq!(f.label(), kind.label());
+        }
+        assert!(registered_attacks().len() >= AttackKind::all().len());
+    }
+
+    #[test]
+    fn registry_path_matches_enum_path() {
+        let ctx = AttackBuildCtx {
+            first_id: 40,
+            count: 2,
+            targets: &[3, 4],
+            mined_top_n: 10,
+            poison_scale: 1.5,
+            seed: 9,
+        };
+        for kind in AttackKind::all() {
+            let via_enum = kind.build_clients(40, 2, &[3, 4], 10, 1.5, 9);
+            let via_registry = AttackSel::from(kind).build_clients(&ctx);
+            assert_eq!(via_enum.len(), via_registry.len(), "{kind:?}");
+            let enum_ids: Vec<usize> = via_enum.iter().map(|c| c.id()).collect();
+            let reg_ids: Vec<usize> = via_registry.iter().map(|c| c.id()).collect();
+            assert_eq!(enum_ids, reg_ids, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn custom_factory_round_trips() {
+        register_attack(FnAttackFactory::new("reg-test", "RegTest", |ctx| {
+            assert_eq!(ctx.count, 0);
+            Vec::new()
+        }));
+        let sel = AttackSel::named("reg-test");
+        assert_eq!(sel.label(), "RegTest");
+        let ctx = AttackBuildCtx {
+            first_id: 0,
+            count: 0,
+            targets: &[],
+            mined_top_n: 1,
+            poison_scale: 1.0,
+            seed: 0,
+        };
+        assert!(sel.build_clients(&ctx).is_empty());
+    }
+
+    #[test]
+    fn sel_compares_against_kinds_and_serializes_as_string() {
+        let sel: AttackSel = AttackKind::PieckUea.into();
+        assert_eq!(sel, AttackKind::PieckUea);
+        assert_ne!(sel, AttackKind::PieckIpe);
+        assert!(AttackSel::none().is_no_attack());
+        let v = serde::Serialize::to_value(&sel);
+        assert_eq!(v.as_str(), Some("pieck-uea"));
+        let back: AttackSel = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, sel);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_attack_panics_with_catalogue() {
+        AttackSel::named("does-not-exist").build_clients(&AttackBuildCtx {
+            first_id: 0,
+            count: 1,
+            targets: &[],
+            mined_top_n: 1,
+            poison_scale: 1.0,
+            seed: 0,
+        });
+    }
+}

@@ -21,8 +21,15 @@ pub struct ScaledClient {
 impl ScaledClient {
     /// Wraps `inner`; `factor` must be positive and finite.
     pub fn new(inner: Box<dyn Client>, factor: f32) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
-        Self { inner, factor, max_norm: None }
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "factor must be positive"
+        );
+        Self {
+            inner,
+            factor,
+            max_norm: None,
+        }
     }
 
     /// Additionally caps the (post-scaling) upload norm. Amplified
@@ -31,7 +38,10 @@ impl ScaledClient {
     /// that overflows `f32` and corrupts benign clients through their local
     /// updates. Real attackers bound their uploads for stealth anyway.
     pub fn with_cap(mut self, max_norm: f32) -> Self {
-        assert!(max_norm > 0.0 && max_norm.is_finite(), "cap must be positive");
+        assert!(
+            max_norm > 0.0 && max_norm.is_finite(),
+            "cap must be positive"
+        );
         self.max_norm = Some(max_norm);
         self
     }

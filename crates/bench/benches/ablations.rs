@@ -20,15 +20,24 @@ fn ipe_variants(c: &mut Criterion) {
         ("pcos_full", IpeConfig::default()),
         (
             "pcos_unweighted",
-            IpeConfig { use_rank_weights: false, ..IpeConfig::default() },
+            IpeConfig {
+                use_rank_weights: false,
+                ..IpeConfig::default()
+            },
         ),
         (
             "pcos_unpartitioned",
-            IpeConfig { use_sign_partition: false, ..IpeConfig::default() },
+            IpeConfig {
+                use_sign_partition: false,
+                ..IpeConfig::default()
+            },
         ),
         (
             "pkl",
-            IpeConfig { metric: SimilarityMetric::Kl, ..IpeConfig::default() },
+            IpeConfig {
+                metric: SimilarityMetric::Kl,
+                ..IpeConfig::default()
+            },
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
@@ -45,16 +54,15 @@ fn uea_depth(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("uea_ablation");
     for steps in [1usize, 3, 10] {
-        let cfg = UeaConfig { local_steps: steps, ..UeaConfig::default() };
-        group.bench_with_input(
-            BenchmarkId::new("local_steps", steps),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    criterion::black_box(uea::uea_poison_gradient(cfg, &model, &popular, 1999, 1.0))
-                });
-            },
-        );
+        let cfg = UeaConfig {
+            local_steps: steps,
+            ..UeaConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("local_steps", steps), &cfg, |b, cfg| {
+            b.iter(|| {
+                criterion::black_box(uea::uea_poison_gradient(cfg, &model, &popular, 1999, 1.0))
+            });
+        });
     }
     group.finish();
 }

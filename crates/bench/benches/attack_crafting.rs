@@ -24,7 +24,9 @@ fn attack_crafting(c: &mut Criterion) {
     let uea_cfg = UeaConfig::default();
     group.bench_function("uea_poison_gradient", |b| {
         b.iter(|| {
-            criterion::black_box(uea::uea_poison_gradient(&uea_cfg, &model, &popular, 1500, 1.0))
+            criterion::black_box(uea::uea_poison_gradient(
+                &uea_cfg, &model, &popular, 1500, 1.0,
+            ))
         });
     });
     group.bench_function("ahum_hard_user_mining_32x10", |b| {

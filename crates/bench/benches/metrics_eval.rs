@@ -26,9 +26,7 @@ fn metrics_eval(c: &mut Criterion) {
     });
     group.bench_function("hr_at_10_full_population", |b| {
         b.iter(|| {
-            criterion::black_box(
-                QualityReport::compute(&model, &users, &benign, &split, 10).hr,
-            )
+            criterion::black_box(QualityReport::compute(&model, &users, &benign, &split, 10).hr)
         });
     });
     group.finish();

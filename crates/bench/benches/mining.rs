@@ -13,18 +13,14 @@ fn mining(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let model_a = GlobalModel::new(&ModelConfig::mf(16), n_items, &mut rng);
         let model_b = GlobalModel::new(&ModelConfig::mf(16), n_items, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("observe", n_items),
-            &n_items,
-            |b, _| {
-                b.iter(|| {
-                    let mut miner = PopularItemMiner::new(1, 10);
-                    miner.observe(&model_a);
-                    miner.observe(&model_b);
-                    criterion::black_box(miner.mined().unwrap().len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("observe", n_items), &n_items, |b, _| {
+            b.iter(|| {
+                let mut miner = PopularItemMiner::new(1, 10);
+                miner.observe(&model_a);
+                miner.observe(&model_b);
+                criterion::black_box(miner.mined().unwrap().len())
+            });
+        });
     }
     group.finish();
 }

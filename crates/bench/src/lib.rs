@@ -21,14 +21,10 @@ use rand::{Rng, SeedableRng};
 pub const BENCH_SCALE: f64 = 0.15;
 
 /// A ready-to-run simulation for the given attack/defense pair.
-pub fn bench_simulation(
-    kind: ModelKind,
-    attack: AttackKind,
-    defense: DefenseKind,
-) -> Simulation {
+pub fn bench_simulation(kind: ModelKind, attack: AttackKind, defense: DefenseKind) -> Simulation {
     let mut cfg: ScenarioConfig = paper_scenario(PaperDataset::Ml100k, kind, BENCH_SCALE, 42);
-    cfg.attack = attack;
-    cfg.defense = defense;
+    cfg.attack = attack.into();
+    cfg.defense = defense.into();
     let (_, split, targets) = frs_experiments::scenario::build_world(&cfg);
     let train = Arc::new(split.train);
     frs_experiments::scenario::build_simulation(&cfg, train, &targets)

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn required_pj_bound() {
-        assert!((required_p_j(0.5) - 1.0).abs() < 1e-12, "p̃=0.5 ⇒ p_j > 1: impossible");
+        assert!(
+            (required_p_j(0.5) - 1.0).abs() < 1e-12,
+            "p̃=0.5 ⇒ p_j > 1: impossible"
+        );
         assert!((required_p_j(0.05) - 0.0526).abs() < 1e-3);
     }
 
@@ -170,8 +173,7 @@ mod tests {
         let mut hits = 0usize;
         for _ in 0..trials {
             for u in 0..data.n_users() {
-                if data.interacted(u, cold) || sampler.sample(&data, u, &mut rng).contains(&cold)
-                {
+                if data.interacted(u, cold) || sampler.sample(&data, u, &mut rng).contains(&cold) {
                     hits += 1;
                 }
             }

@@ -64,8 +64,7 @@ impl PieckClient {
                 ipe_gradient(ipe_cfg, &popular_embs, model.item_embedding(target))
             }
             PieckVariant::Uea(uea_cfg) => {
-                let filtered: Vec<u32> =
-                    popular.iter().copied().filter(|&k| k != target).collect();
+                let filtered: Vec<u32> = popular.iter().copied().filter(|&k| k != target).collect();
                 uea_poison_gradient(uea_cfg, model, &filtered, target, server_lr)
             }
         };
@@ -135,7 +134,7 @@ mod tests {
             // Perturb "popular" items 0..5 so mining has signal.
             let mut g = GlobalGradients::new();
             for j in 0..5u32 {
-                g.add_item_grad(j, &vec![0.5; 6]);
+                g.add_item_grad(j, &[0.5; 6]);
             }
             model.apply_gradients(&g, 1.0);
         }

@@ -103,12 +103,7 @@ impl PieckDefense {
     }
 
     /// Value of Re1 for diagnostics (Eq. 14).
-    pub fn re1_value(
-        &self,
-        model: &GlobalModel,
-        popular: &[u32],
-        unpopular_local: &[u32],
-    ) -> f32 {
+    pub fn re1_value(&self, model: &GlobalModel, popular: &[u32], unpopular_local: &[u32]) -> f32 {
         if unpopular_local.is_empty() || popular.is_empty() {
             return 0.0;
         }
@@ -217,7 +212,7 @@ mod tests {
             def.observe(&ctx(r), model);
             let mut g = GlobalGradients::new();
             for j in 0..4u32 {
-                g.add_item_grad(j, &vec![0.4; 6]);
+                g.add_item_grad(j, &[0.4; 6]);
             }
             model.apply_gradients(&g, 1.0);
         }
@@ -254,7 +249,14 @@ mod tests {
         let pop = popular[0];
         let mut grads = GlobalGradients::new();
         let mut d_user = vec![0.0f32; 6];
-        def.apply(&ctx(5), &m, &[0.1; 6], &[unpop, pop], &mut grads, &mut d_user);
+        def.apply(
+            &ctx(5),
+            &m,
+            &[0.1; 6],
+            &[unpop, pop],
+            &mut grads,
+            &mut d_user,
+        );
         assert!(grads.items.contains_key(&unpop));
         assert!(
             !grads.items.contains_key(&pop),
@@ -269,7 +271,10 @@ mod tests {
         let mut m = model();
         let mut def = mined_defense(&mut m);
         let popular = def.mined_popular().unwrap().to_vec();
-        let unpop: Vec<u32> = (0..16u32).filter(|j| !popular.contains(j)).take(3).collect();
+        let unpop: Vec<u32> = (0..16u32)
+            .filter(|j| !popular.contains(j))
+            .take(3)
+            .collect();
         let before = def.re1_value(&m, &popular, &unpop);
         for _ in 0..20 {
             let mut grads = GlobalGradients::new();
@@ -311,7 +316,7 @@ mod tests {
         for r in 0..3 {
             def.observe(&ctx(r), &m);
             let mut g = GlobalGradients::new();
-            g.add_item_grad(0, &vec![0.4; 6]);
+            g.add_item_grad(0, &[0.4; 6]);
             m.apply_gradients(&g, 1.0);
         }
         let mut grads = GlobalGradients::new();
@@ -324,12 +329,16 @@ mod tests {
     #[test]
     fn zero_weights_are_inert() {
         let mut m = model();
-        let cfg = DefenseConfig { beta: 0.0, gamma: 0.0, ..DefenseConfig::default() };
+        let cfg = DefenseConfig {
+            beta: 0.0,
+            gamma: 0.0,
+            ..DefenseConfig::default()
+        };
         let mut def = PieckDefense::new(cfg);
         for r in 0..3 {
             def.observe(&ctx(r), &m);
             let mut g = GlobalGradients::new();
-            g.add_item_grad(0, &vec![0.4; 6]);
+            g.add_item_grad(0, &[0.4; 6]);
             m.apply_gradients(&g, 1.0);
         }
         let mut grads = GlobalGradients::new();

@@ -142,11 +142,7 @@ fn partition(
 mod tests {
     use super::*;
 
-    fn finite_diff_grad(
-        config: &IpeConfig,
-        popular: &[&[f32]],
-        target: &[f32],
-    ) -> Vec<f32> {
+    fn finite_diff_grad(config: &IpeConfig, popular: &[&[f32]], target: &[f32]) -> Vec<f32> {
         let eps = 1e-3;
         (0..target.len())
             .map(|i| {
@@ -230,7 +226,10 @@ mod tests {
     fn rank_weights_prioritize_most_popular() {
         // Two orthogonal "popular" directions; the rank-0 one must dominate
         // the optimized target.
-        let cfg = IpeConfig { use_sign_partition: false, ..IpeConfig::default() };
+        let cfg = IpeConfig {
+            use_sign_partition: false,
+            ..IpeConfig::default()
+        };
         let p1 = [1.0f32, 0.0];
         let p2 = [0.0f32, 1.0];
         let popular: Vec<&[f32]> = vec![&p1, &p2];

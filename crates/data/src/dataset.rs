@@ -32,7 +32,11 @@ impl Dataset {
                 item_pop[j as usize] += 1;
             }
         }
-        Self { n_items, user_items, item_pop }
+        Self {
+            n_items,
+            user_items,
+            item_pop,
+        }
     }
 
     /// Number of users (clients in the federation).

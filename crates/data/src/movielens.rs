@@ -57,7 +57,10 @@ impl LoadOptions {
 
     /// Options for ML-1M `ratings.dat`.
     pub fn ml1m() -> Self {
-        Self { double_colon: true, ..Self::default() }
+        Self {
+            double_colon: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -186,7 +189,10 @@ pub fn load_reader<R: Read>(
     let dataset = Dataset::from_user_items(item_from_dense.len(), final_lists);
     Ok((
         dataset,
-        IdMaps { user_to_dense: final_user_map, item_from_dense },
+        IdMaps {
+            user_to_dense: final_user_map,
+            item_from_dense,
+        },
     ))
 }
 
@@ -215,7 +221,11 @@ mod tests {
 
     #[test]
     fn rating_threshold_filters() {
-        let opts = LoadOptions { min_rating: 3.0, min_interactions_per_user: 1, ..LoadOptions::ml100k() };
+        let opts = LoadOptions {
+            min_rating: 3.0,
+            min_interactions_per_user: 1,
+            ..LoadOptions::ml100k()
+        };
         let (data, _) = load_reader(Cursor::new(U_DATA), &opts).unwrap();
         // Only the two rating-3 lines survive.
         assert_eq!(data.n_interactions(), 2);
@@ -224,20 +234,30 @@ mod tests {
     #[test]
     fn parses_ml1m_double_colon() {
         let input = "1::1193::5::978300760\n1::661::3::978302109\n2::1193::4::978298413\n";
-        let opts = LoadOptions { min_interactions_per_user: 1, ..LoadOptions::ml1m() };
+        let opts = LoadOptions {
+            min_interactions_per_user: 1,
+            ..LoadOptions::ml1m()
+        };
         let (data, maps) = load_reader(Cursor::new(input), &opts).unwrap();
         assert_eq!(data.n_users(), 2);
         assert_eq!(data.n_items(), 2);
         assert_eq!(maps.item_from_dense.len(), 2);
         // Item 1193 was seen by both users.
-        let dense_1193 = maps.item_from_dense.iter().position(|&i| i == 1193).unwrap();
+        let dense_1193 = maps
+            .item_from_dense
+            .iter()
+            .position(|&i| i == 1193)
+            .unwrap();
         assert_eq!(data.item_popularity()[dense_1193], 2);
     }
 
     #[test]
     fn skips_comments_and_blank_lines() {
         let input = "# header\n\n1\t2\t5\t0\n1\t3\t5\t0\n";
-        let opts = LoadOptions { min_interactions_per_user: 1, ..LoadOptions::ml100k() };
+        let opts = LoadOptions {
+            min_interactions_per_user: 1,
+            ..LoadOptions::ml100k()
+        };
         let (data, _) = load_reader(Cursor::new(input), &opts).unwrap();
         assert_eq!(data.n_interactions(), 2);
     }
@@ -270,7 +290,10 @@ mod tests {
     #[test]
     fn duplicate_interactions_are_merged() {
         let input = "1\t2\t5\t0\n1\t2\t4\t1\n1\t3\t5\t0\n";
-        let opts = LoadOptions { min_interactions_per_user: 1, ..LoadOptions::ml100k() };
+        let opts = LoadOptions {
+            min_interactions_per_user: 1,
+            ..LoadOptions::ml100k()
+        };
         let (data, _) = load_reader(Cursor::new(input), &opts).unwrap();
         assert_eq!(data.n_interactions(), 2, "dup (1,2) merged by Dataset");
     }

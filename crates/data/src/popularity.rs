@@ -9,7 +9,9 @@ use rand::Rng;
 
 /// Unnormalized Zipf weights `w_r = 1/(r+1)^s` for ranks `0..n`.
 pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect()
+    (0..n)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(exponent))
+        .collect()
 }
 
 /// Cumulative-sum table for O(log n) weighted sampling.
@@ -32,14 +34,19 @@ impl CumulativeSampler {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "all weights zero");
-        Self { cumulative, total: acc }
+        Self {
+            cumulative,
+            total: acc,
+        }
     }
 
     /// Samples one index with probability proportional to its weight.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let x = rng.gen_range(0.0..self.total);
         // partition_point: first index whose cumulative weight exceeds x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Samples `count` *distinct* indices by rejection. Suitable when
@@ -66,9 +73,9 @@ impl CumulativeSampler {
             }
         }
         if out.len() < count {
-            for idx in 0..n {
-                if !seen[idx] {
-                    seen[idx] = true;
+            for (idx, seen_slot) in seen.iter_mut().enumerate() {
+                if !*seen_slot {
+                    *seen_slot = true;
                     out.push(idx);
                     if out.len() == count {
                         break;

@@ -90,7 +90,10 @@ impl DatasetSpec {
     /// Shrinks users/items/interactions by `factor` (0 < factor ≤ 1) while
     /// keeping the distributional shape. Floors keep the result usable.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         let scale = |x: usize, floor: usize| ((x as f64 * factor).round() as usize).max(floor);
         Self {
             name: format!("{}@{factor:.2}", self.name),
@@ -102,7 +105,7 @@ impl DatasetSpec {
                 .max(16 * self.min_interactions_per_user),
             item_zipf_exponent: self.item_zipf_exponent,
             user_zipf_exponent: self.user_zipf_exponent,
-            min_interactions_per_user: self.min_interactions_per_user.min(8).max(3),
+            min_interactions_per_user: self.min_interactions_per_user.clamp(3, 8),
         }
     }
 

@@ -31,12 +31,7 @@ impl NegativeSampler {
 
     /// Samples `q·|D⁺_u|` distinct uninteracted items for `user`, capped at
     /// the number of available uninteracted items.
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        data: &Dataset,
-        user: usize,
-        rng: &mut R,
-    ) -> Vec<u32> {
+    pub fn sample<R: Rng + ?Sized>(&self, data: &Dataset, user: usize, rng: &mut R) -> Vec<u32> {
         let positives = data.items_of(user);
         let n_items = data.n_items();
         let available = n_items - positives.len();

@@ -44,7 +44,10 @@ impl DatasetStats {
             return 0.0;
         }
         let head = ((self.n_items as f64 * top_fraction).ceil() as usize).min(self.n_items);
-        let head_sum: u64 = self.popularity_curve[..head].iter().map(|&c| c as u64).sum();
+        let head_sum: u64 = self.popularity_curve[..head]
+            .iter()
+            .map(|&c| c as u64)
+            .sum();
         head_sum as f64 / self.n_interactions as f64
     }
 

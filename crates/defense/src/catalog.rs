@@ -1,4 +1,10 @@
 //! Defense catalogue: the rows of Table IV.
+//!
+//! Like `frs_attacks::catalog`, [`DefenseKind`] is a thin wrapper over the
+//! open registry in [`crate::registry`]: the enum carries the builtin
+//! construction logic as its [`DefenseFactory`] implementation, and the
+//! legacy [`DefenseKind::build_aggregator`] method resolves by name so
+//! overrides and out-of-crate defenses compose with existing callers.
 
 use frs_federation::{Aggregator, SumAggregator};
 use serde::{Deserialize, Serialize};
@@ -6,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::krum::{Bulyan, Krum, MultiKrum};
 use crate::median::{Median, TrimmedMean};
 use crate::norm_bound::NormBound;
+use crate::registry::{DefenseBuildCtx, DefenseFactory, DefenseSel};
 
 /// Every defense evaluated in the paper, in Table IV row order. `Ours` is
 /// client-side (see `pieck_core::defense`) and pairs with plain-sum server
@@ -38,6 +45,25 @@ impl DefenseKind {
         ]
     }
 
+    /// Stable registry name (kebab-case).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefenseKind::NoDefense => "none",
+            DefenseKind::NormBound => "norm-bound",
+            DefenseKind::Median => "median",
+            DefenseKind::TrimmedMean => "trimmed-mean",
+            DefenseKind::Krum => "krum",
+            DefenseKind::MultiKrum => "multi-krum",
+            DefenseKind::Bulyan => "bulyan",
+            DefenseKind::Ours => "ours",
+        }
+    }
+
+    /// Parses a registry name back into the enum.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Row label matching the paper.
     pub fn label(&self) -> &'static str {
         match self {
@@ -58,20 +84,44 @@ impl DefenseKind {
         matches!(self, DefenseKind::Ours)
     }
 
-    /// Builds the server-side aggregator for this defense. `assumed_ratio` is
-    /// the malicious fraction `p̃` the defense is tuned for;
-    /// `norm_bound_threshold` parameterizes [`NormBound`]. Client-side
-    /// defenses (and `NoDefense`) aggregate with a plain sum.
+    /// Legacy entry point, kept for backwards compatibility: builds the
+    /// server-side aggregator for this defense. `assumed_ratio` is the
+    /// malicious fraction `p̃` the defense is tuned for;
+    /// `norm_bound_threshold` parameterizes [`NormBound`]. Resolves through
+    /// the registry, so re-registered names take effect here too.
     pub fn build_aggregator(
         &self,
         assumed_ratio: f64,
         norm_bound_threshold: f32,
     ) -> Box<dyn Aggregator> {
+        DefenseSel::from(*self).build_aggregator(&DefenseBuildCtx {
+            assumed_malicious_ratio: assumed_ratio,
+            norm_bound_threshold,
+        })
+    }
+}
+
+/// The builtin construction logic (the old closed-enum dispatch, now one
+/// factory implementation among equals).
+impl DefenseFactory for DefenseKind {
+    fn name(&self) -> &str {
+        DefenseKind::name(self)
+    }
+
+    fn label(&self) -> &str {
+        DefenseKind::label(self)
+    }
+
+    fn is_client_side(&self) -> bool {
+        DefenseKind::is_client_side(self)
+    }
+
+    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
         // Defenses assume a minority of malicious uploads; clamp for safety.
-        let ratio = assumed_ratio.clamp(0.0, 0.49);
+        let ratio = ctx.assumed_malicious_ratio.clamp(0.0, 0.49);
         match self {
             DefenseKind::NoDefense | DefenseKind::Ours => Box::new(SumAggregator),
-            DefenseKind::NormBound => Box::new(NormBound::new(norm_bound_threshold)),
+            DefenseKind::NormBound => Box::new(NormBound::new(ctx.norm_bound_threshold)),
             DefenseKind::Median => Box::new(Median),
             DefenseKind::TrimmedMean => Box::new(TrimmedMean::new(ratio)),
             DefenseKind::Krum => Box::new(Krum::new(ratio)),

@@ -24,6 +24,7 @@ use frs_linalg::coordinate_trimmed_mean;
 use frs_model::GlobalGradients;
 
 /// Krum score per upload. `None` when the rule is undefined for `n`.
+#[allow(clippy::needless_range_loop)] // dist is a symmetric matrix indexed both ways
 fn krum_scores(uploads: &[GlobalGradients], f: usize) -> Option<Vec<f32>> {
     let n = uploads.len();
     if n <= f + 2 {
@@ -71,7 +72,10 @@ pub struct Krum {
 impl Krum {
     /// Creates the defense for an assumed malicious ratio in `[0, 0.5)`.
     pub fn new(malicious_ratio: f64) -> Self {
-        assert!((0.0..0.5).contains(&malicious_ratio), "ratio must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&malicious_ratio),
+            "ratio must be in [0, 0.5)"
+        );
         Self { malicious_ratio }
     }
 }
@@ -106,7 +110,10 @@ pub struct MultiKrum {
 impl MultiKrum {
     /// Creates the defense for an assumed malicious ratio in `[0, 0.5)`.
     pub fn new(malicious_ratio: f64) -> Self {
-        assert!((0.0..0.5).contains(&malicious_ratio), "ratio must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&malicious_ratio),
+            "ratio must be in [0, 0.5)"
+        );
         Self { malicious_ratio }
     }
 }
@@ -117,7 +124,12 @@ impl MultiKrum {
         let f = f_of(n, self.malicious_ratio);
         let scores = krum_scores(uploads, f)?;
         let m = n.saturating_sub(2 * f).max(1);
-        Some(best_m(&scores, m).into_iter().map(|i| &uploads[i]).collect())
+        Some(
+            best_m(&scores, m)
+                .into_iter()
+                .map(|i| &uploads[i])
+                .collect(),
+        )
     }
 }
 
@@ -151,7 +163,10 @@ pub struct Bulyan {
 impl Bulyan {
     /// Creates the defense for an assumed malicious ratio in `[0, 0.5)`.
     pub fn new(malicious_ratio: f64) -> Self {
-        assert!((0.0..0.5).contains(&malicious_ratio), "ratio must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&malicious_ratio),
+            "ratio must be in [0, 0.5)"
+        );
         Self { malicious_ratio }
     }
 }

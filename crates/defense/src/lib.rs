@@ -22,8 +22,13 @@ pub mod catalog;
 pub mod krum;
 pub mod median;
 pub mod norm_bound;
+pub mod registry;
 
 pub use catalog::DefenseKind;
 pub use krum::{Bulyan, Krum, MultiKrum};
 pub use median::{Median, TrimmedMean};
 pub use norm_bound::NormBound;
+pub use registry::{
+    defense_factory, register_defense, registered_defenses, DefenseBuildCtx, DefenseFactory,
+    DefenseSel, FnDefenseFactory,
+};

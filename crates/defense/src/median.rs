@@ -45,7 +45,7 @@ pub struct Median;
 
 impl Aggregator for Median {
     fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
-        reduce_uploads(uploads, |grads| coordinate_median(grads))
+        reduce_uploads(uploads, coordinate_median)
     }
 
     fn name(&self) -> &'static str {
@@ -65,7 +65,10 @@ pub struct TrimmedMean {
 impl TrimmedMean {
     /// Creates the defense; `trim_ratio` must be in `[0, 0.5)`.
     pub fn new(trim_ratio: f64) -> Self {
-        assert!((0.0..0.5).contains(&trim_ratio), "trim ratio must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&trim_ratio),
+            "trim ratio must be in [0, 0.5)"
+        );
         Self { trim_ratio }
     }
 }

@@ -20,7 +20,10 @@ pub struct NormBound {
 impl NormBound {
     /// Creates the defense with the given clipping threshold.
     pub fn new(threshold: f32) -> Self {
-        assert!(threshold > 0.0 && threshold.is_finite(), "threshold must be positive");
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "threshold must be positive"
+        );
         Self { threshold }
     }
 }
@@ -30,7 +33,11 @@ impl Aggregator for NormBound {
         let mut out = GlobalGradients::new();
         for upload in uploads {
             let norm = upload_norm(upload);
-            let factor = if norm > self.threshold { self.threshold / norm } else { 1.0 };
+            let factor = if norm > self.threshold {
+                self.threshold / norm
+            } else {
+                1.0
+            };
             out.axpy(factor, upload);
         }
         out
@@ -84,8 +91,7 @@ mod tests {
     #[test]
     fn attacker_influence_bounded() {
         let nb = NormBound::new(0.5);
-        let benign: Vec<GlobalGradients> =
-            (0..9).map(|_| upload(&[(0, vec![0.1, 0.0])])).collect();
+        let benign: Vec<GlobalGradients> = (0..9).map(|_| upload(&[(0, vec![0.1, 0.0])])).collect();
         let mut all = benign;
         all.push(upload(&[(0, vec![1000.0, -1000.0])]));
         let out = nb.aggregate(&all);

@@ -1,0 +1,315 @@
+//! The open defense registry — mirror image of `frs_attacks::registry`.
+//!
+//! Defenses are [`DefenseFactory`] trait objects registered by name. A
+//! defense contributes a server-side [`Aggregator`] and, for client-side
+//! schemes, optionally a [`LocalRegularizer`] installed into every benign
+//! client. The legacy [`DefenseKind`] enum remains as a thin wrapper over
+//! registry lookups.
+//!
+//! [`DefenseKind`]: crate::DefenseKind
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use frs_federation::{Aggregator, LocalRegularizer};
+
+use crate::catalog::DefenseKind;
+
+/// Scenario-level parameters a defense may consume when instantiating.
+#[derive(Debug, Clone)]
+pub struct DefenseBuildCtx {
+    /// Malicious fraction `p̃` the defense is tuned for.
+    pub assumed_malicious_ratio: f64,
+    /// Clipping threshold for NormBound-style defenses.
+    pub norm_bound_threshold: f32,
+}
+
+/// A named defense that can arm a scenario.
+pub trait DefenseFactory: Send + Sync {
+    /// Stable registry key (kebab-case).
+    fn name(&self) -> &str;
+
+    /// Row label for experiment tables; defaults to the registry name.
+    fn label(&self) -> &str {
+        self.name()
+    }
+
+    /// True for defenses that run inside benign clients rather than in the
+    /// server's aggregation rule.
+    fn is_client_side(&self) -> bool {
+        false
+    }
+
+    /// The server-side aggregation rule (client-side defenses return a plain
+    /// sum here).
+    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator>;
+
+    /// A fresh per-client regularizer for client-side defenses; `None` for
+    /// pure server-side rules. The harness installs one instance into every
+    /// benign client. (The paper's own defense is wired specially by the
+    /// harness because its configuration lives in the scenario; out-of-crate
+    /// client-side defenses hook in here.)
+    fn build_regularizer(&self, ctx: &DefenseBuildCtx) -> Option<Box<dyn LocalRegularizer>> {
+        let _ = ctx;
+        None
+    }
+}
+
+type AggregatorBuildFn = Box<dyn Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync>;
+
+/// Closure-backed [`DefenseFactory`] for ad-hoc defenses.
+pub struct FnDefenseFactory {
+    name: String,
+    label: String,
+    client_side: bool,
+    aggregator: AggregatorBuildFn,
+}
+
+impl FnDefenseFactory {
+    pub fn new(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        aggregator: impl Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            label: label.into(),
+            client_side: false,
+            aggregator: Box::new(aggregator),
+        })
+    }
+}
+
+impl DefenseFactory for FnDefenseFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_client_side(&self) -> bool {
+        self.client_side
+    }
+
+    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
+        (self.aggregator)(ctx)
+    }
+}
+
+type Registry = RwLock<BTreeMap<String, Arc<dyn DefenseFactory>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, Arc<dyn DefenseFactory>> = BTreeMap::new();
+        for kind in DefenseKind::all() {
+            map.insert(kind.name().to_string(), Arc::new(kind));
+        }
+        RwLock::new(map)
+    })
+}
+
+/// Registers (or replaces) a defense under `factory.name()`. Returns the
+/// previously registered factory of that name, if any.
+pub fn register_defense(factory: Arc<dyn DefenseFactory>) -> Option<Arc<dyn DefenseFactory>> {
+    registry()
+        .write()
+        .expect("defense registry poisoned")
+        .insert(factory.name().to_string(), factory)
+}
+
+/// Looks a defense up by registry name.
+pub fn defense_factory(name: &str) -> Option<Arc<dyn DefenseFactory>> {
+    registry()
+        .read()
+        .expect("defense registry poisoned")
+        .get(name)
+        .cloned()
+}
+
+/// All registered defense names, sorted.
+pub fn registered_defenses() -> Vec<String> {
+    registry()
+        .read()
+        .expect("defense registry poisoned")
+        .keys()
+        .cloned()
+        .collect()
+}
+
+/// A serializable, registry-backed reference to a defense. Serializes as its
+/// plain name string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DefenseSel {
+    name: String,
+}
+
+impl DefenseSel {
+    /// References a registered (or to-be-registered) defense by name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+
+    /// The undefended baseline.
+    pub fn none() -> Self {
+        DefenseKind::NoDefense.into()
+    }
+
+    /// Registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True for the undefended baseline.
+    pub fn is_no_defense(&self) -> bool {
+        self.name == DefenseKind::NoDefense.name()
+    }
+
+    /// Table row label.
+    pub fn label(&self) -> String {
+        match defense_factory(&self.name) {
+            Some(f) => f.label().to_string(),
+            None => self.name.clone(),
+        }
+    }
+
+    /// True when the resolved defense runs client-side.
+    pub fn is_client_side(&self) -> bool {
+        self.resolve().map(|f| f.is_client_side()).unwrap_or(false)
+    }
+
+    /// Resolves through the registry.
+    pub fn resolve(&self) -> Option<Arc<dyn DefenseFactory>> {
+        defense_factory(&self.name)
+    }
+
+    /// Builds the aggregator; panics with the list of known defenses when
+    /// the name is not registered.
+    pub fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
+        match self.resolve() {
+            Some(f) => f.build_aggregator(ctx),
+            None => panic!(
+                "defense `{}` is not registered (known: {:?})",
+                self.name,
+                registered_defenses()
+            ),
+        }
+    }
+
+    /// Builds the per-client regularizer, when the defense provides one.
+    pub fn build_regularizer(&self, ctx: &DefenseBuildCtx) -> Option<Box<dyn LocalRegularizer>> {
+        self.resolve().and_then(|f| f.build_regularizer(ctx))
+    }
+}
+
+impl From<DefenseKind> for DefenseSel {
+    fn from(kind: DefenseKind) -> Self {
+        DefenseSel {
+            name: kind.name().to_string(),
+        }
+    }
+}
+
+impl From<&DefenseKind> for DefenseSel {
+    fn from(kind: &DefenseKind) -> Self {
+        (*kind).into()
+    }
+}
+
+impl PartialEq<DefenseKind> for DefenseSel {
+    fn eq(&self, kind: &DefenseKind) -> bool {
+        self.name == kind.name()
+    }
+}
+
+impl PartialEq<DefenseSel> for DefenseKind {
+    fn eq(&self, sel: &DefenseSel) -> bool {
+        sel == self
+    }
+}
+
+impl std::fmt::Display for DefenseSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl serde::Serialize for DefenseSel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name.clone())
+    }
+}
+
+impl serde::Deserialize for DefenseSel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        v.as_str()
+            .map(DefenseSel::named)
+            .ok_or_else(|| serde::Error::new(format!("expected defense name, got {}", v.kind())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_federation::SumAggregator;
+
+    #[test]
+    fn builtins_are_registered() {
+        for kind in DefenseKind::all() {
+            let f = defense_factory(kind.name()).unwrap_or_else(|| panic!("{kind:?}"));
+            assert_eq!(f.label(), kind.label());
+            assert_eq!(f.is_client_side(), kind.is_client_side());
+        }
+    }
+
+    #[test]
+    fn registry_path_matches_enum_path() {
+        use frs_model::GlobalGradients;
+        let ctx = DefenseBuildCtx {
+            assumed_malicious_ratio: 0.05,
+            norm_bound_threshold: 0.5,
+        };
+        let mut u1 = GlobalGradients::new();
+        u1.add_item_grad(0, &[0.5, 0.5]);
+        let mut u2 = GlobalGradients::new();
+        u2.add_item_grad(0, &[0.1, -0.4]);
+        let uploads = [u1, u2];
+        for kind in DefenseKind::all() {
+            let via_enum = kind.build_aggregator(0.05, 0.5).aggregate(&uploads);
+            let via_registry = DefenseSel::from(kind)
+                .build_aggregator(&ctx)
+                .aggregate(&uploads);
+            assert_eq!(via_enum, via_registry, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn custom_defense_round_trips() {
+        register_defense(FnDefenseFactory::new("sum-again", "SumAgain", |_| {
+            Box::new(SumAggregator)
+        }));
+        let sel = DefenseSel::named("sum-again");
+        assert_eq!(sel.label(), "SumAgain");
+        assert!(!sel.is_client_side());
+        let ctx = DefenseBuildCtx {
+            assumed_malicious_ratio: 0.0,
+            norm_bound_threshold: 1.0,
+        };
+        assert_eq!(sel.build_aggregator(&ctx).name(), "NoDefense");
+    }
+
+    #[test]
+    fn sel_compares_and_serializes() {
+        let sel: DefenseSel = DefenseKind::Ours.into();
+        assert_eq!(sel, DefenseKind::Ours);
+        assert!(sel.is_client_side());
+        assert!(DefenseSel::none().is_no_defense());
+        let v = serde::Serialize::to_value(&sel);
+        assert_eq!(v.as_str(), Some("ours"));
+        let back: DefenseSel = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, sel);
+    }
+}

@@ -1,0 +1,93 @@
+//! `paper` — the one CLI reproducing every table and figure of the PIECK
+//! paper.
+//!
+//! ```text
+//! paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]
+//!                 [--threads n] [--json dir] [--csv dir] [--quiet]
+//!
+//! paper list                 # available commands
+//! paper table4 --scale 0.25  # Table IV at quarter scale
+//! paper table3 ml100k ml1m   # Table III on two datasets
+//! paper all --json out/      # everything, with JSON reports in out/
+//! ```
+//!
+//! Every command prints a Markdown report to stdout (unless `--quiet`) and
+//! optionally writes the same report as JSON/CSV. Suite-backed commands run
+//! their scenario grid in parallel across `--threads` workers; results are
+//! identical regardless of thread count.
+
+use frs_experiments::paper::PaperCommand;
+use frs_experiments::{CommonArgs, Report, ReportFormat};
+
+fn print_usage() {
+    eprintln!("usage: paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]");
+    eprintln!("                       [--threads n] [--json dir] [--csv dir] [--quiet]");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  list             list every reproduction command");
+    eprintln!("  all              run every table and figure");
+    for cmd in PaperCommand::all() {
+        eprintln!("  {:<16} {}", cmd.name(), cmd.description());
+    }
+}
+
+fn emit(report: &Report, args: &CommonArgs) {
+    if !args.quiet {
+        print!("{}", report.to_markdown());
+    }
+    if let Some(dir) = &args.json {
+        match report.write_to(dir, ReportFormat::Json) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write JSON report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = &args.csv {
+        match report.write_to(dir, ReportFormat::Csv) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write CSV report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_or_exit(cmd: PaperCommand, args: &CommonArgs) -> Report {
+    cmd.run(args).unwrap_or_else(|msg| {
+        eprintln!("paper {}: {msg}", cmd.name());
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        print_usage();
+        std::process::exit(2);
+    };
+
+    match command {
+        "list" => {
+            for cmd in PaperCommand::all() {
+                println!("{:<16} {}", cmd.name(), cmd.description());
+            }
+        }
+        "all" => {
+            for cmd in PaperCommand::all() {
+                eprintln!("== paper {} ==", cmd.name());
+                emit(&run_or_exit(cmd, &args), &args);
+            }
+        }
+        name => match PaperCommand::from_name(name) {
+            Some(cmd) => emit(&run_or_exit(cmd, &args), &args),
+            None => {
+                eprintln!("unknown command `{name}`");
+                print_usage();
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,9 +1,14 @@
-//! Minimal argument parsing shared by all experiment binaries.
+//! Minimal argument parsing for the `paper` CLI.
 //!
 //! Kept dependency-free (no clap in the sanctioned crate set): flags are
-//! `--name value` pairs plus positional arguments.
+//! `--name value` pairs plus positional arguments (the subcommand and its
+//! operands).
 
-/// Arguments every experiment binary understands.
+use std::path::PathBuf;
+
+use crate::suite::{default_threads, RunOptions};
+
+/// Arguments every `paper` subcommand understands.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
     /// Dataset scale factor in (0, 1]; presets shrink shape-preservingly.
@@ -12,13 +17,30 @@ pub struct CommonArgs {
     pub rounds: Option<usize>,
     /// Root seed.
     pub seed: u64,
-    /// Remaining positional arguments (experiment-specific).
+    /// Worker threads executing suite cells in parallel.
+    pub threads: usize,
+    /// Directory to write the JSON report into (`--json out/`).
+    pub json: Option<PathBuf>,
+    /// Directory to write the CSV report into (`--csv out/`).
+    pub csv: Option<PathBuf>,
+    /// Suppress the Markdown report on stdout (`--quiet`).
+    pub quiet: bool,
+    /// Remaining positional arguments (subcommand + operands).
     pub positional: Vec<String>,
 }
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        Self { scale: 0.25, rounds: None, seed: 7, positional: Vec::new() }
+        Self {
+            scale: 0.25,
+            rounds: None,
+            seed: 7,
+            threads: default_threads(),
+            json: None,
+            csv: None,
+            quiet: false,
+            positional: Vec::new(),
+        }
     }
 }
 
@@ -38,14 +60,29 @@ impl CommonArgs {
                 }
                 "--rounds" => {
                     let v = iter.next().ok_or("--rounds needs a value")?;
-                    out.rounds =
-                        Some(v.parse().map_err(|_| format!("bad --rounds: {v}"))?);
+                    out.rounds = Some(v.parse().map_err(|_| format!("bad --rounds: {v}"))?);
                 }
                 "--seed" => {
                     let v = iter.next().ok_or("--seed needs a value")?;
                     out.seed = v.parse().map_err(|_| format!("bad --seed: {v}"))?;
                 }
                 "--full" => out.scale = 1.0,
+                "--threads" => {
+                    let v = iter.next().ok_or("--threads needs a value")?;
+                    out.threads = v.parse().map_err(|_| format!("bad --threads: {v}"))?;
+                    if out.threads == 0 {
+                        return Err("--threads must be ≥ 1".into());
+                    }
+                }
+                "--json" => {
+                    let v = iter.next().ok_or("--json needs a directory")?;
+                    out.json = Some(PathBuf::from(v));
+                }
+                "--csv" => {
+                    let v = iter.next().ok_or("--csv needs a directory")?;
+                    out.csv = Some(PathBuf::from(v));
+                }
+                "--quiet" => out.quiet = true,
                 other => out.positional.push(other.to_string()),
             }
         }
@@ -58,7 +95,10 @@ impl CommonArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("argument error: {msg}");
-                eprintln!("usage: [--scale f] [--rounds n] [--seed s] [--full] [extra...]");
+                eprintln!(
+                    "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
+                     [--threads n] [--json dir] [--csv dir] [--quiet] [extra...]"
+                );
                 std::process::exit(2);
             }
         }
@@ -67,6 +107,16 @@ impl CommonArgs {
     /// Rounds to run, with an experiment-provided default.
     pub fn rounds_or(&self, default: usize) -> usize {
         self.rounds.unwrap_or(default)
+    }
+
+    /// The suite-level run options these arguments describe.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            scale: self.scale,
+            seed: self.seed,
+            rounds: self.rounds,
+            threads: self.threads,
+        }
     }
 }
 
@@ -105,5 +155,30 @@ mod tests {
         assert!(parse(&["--scale", "2.0"]).is_err());
         assert!(parse(&["--scale", "x"]).is_err());
         assert!(parse(&["--rounds"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn parses_sink_and_thread_flags() {
+        let a = parse(&[
+            "table4",
+            "--threads",
+            "3",
+            "--json",
+            "out/j",
+            "--csv",
+            "out/c",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(a.positional, vec!["table4"]);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out/j")));
+        assert_eq!(a.csv.as_deref(), Some(std::path::Path::new("out/c")));
+        assert!(a.quiet);
+        let opts = a.run_options();
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.scale, 0.25);
     }
 }

@@ -1,22 +1,40 @@
 //! Experiment harness reproducing every table and figure of the PIECK paper.
 //!
-//! The unit of work is a [`scenario::ScenarioConfig`] — dataset × model ×
-//! attack × defense × hyper-parameters — executed by [`scenario::run`] into a
-//! [`scenario::ScenarioOutcome`] (ER@K, HR@K, timings, optional round-by-round
-//! trend). Every experiment binary in `src/bin/` is a thin loop over
-//! scenarios plus a [`report`] table.
+//! The stack, bottom up:
 //!
-//! Scale control: all binaries accept `--scale f` (shrinking the dataset
+//! - [`scenario`] — one grid cell: dataset × model × attack × defense ×
+//!   hyper-parameters, run end to end into a [`scenario::ScenarioOutcome`].
+//!   Attacks/defenses are referenced by registry name
+//!   ([`frs_attacks::AttackSel`] / [`frs_defense::DefenseSel`]), so
+//!   out-of-crate strategies registered at runtime run through the same path
+//!   as the paper's built-ins.
+//! - [`suite`] — the declarative layer: a [`suite::Sweep`] names its axes
+//!   (`Sweep::over_attacks(..).over_defenses(..).over_models(..)`), an
+//!   [`suite::ExperimentSuite`] groups sweeps, expands them into a scenario
+//!   grid, runs cells in parallel (bit-identical to sequential), and renders
+//!   a unified [`report::Report`].
+//! - [`report`] — Markdown / CSV / JSON sinks over titled table sections.
+//! - [`paper`] — one declaration per paper table/figure, consumed by the
+//!   single `paper` CLI binary (`paper table4 --scale 0.25`, `paper all
+//!   --json out/`).
+//!
+//! Scale control: everything accepts `--scale f` (shrinking the dataset
 //! presets while preserving their long-tail shape) and `--rounds n`, so the
 //! full grid runs in CI minutes, while `--scale 1.0` reproduces paper-scale
 //! workloads.
 
 pub mod cli;
+pub mod paper;
 pub mod presets;
 pub mod report;
 pub mod scenario;
+pub mod suite;
 
 pub use cli::CommonArgs;
 pub use presets::{paper_scenario, PaperDataset};
-pub use report::Table;
+pub use report::{Report, ReportFormat, Table};
 pub use scenario::{run, ScenarioConfig, ScenarioOutcome};
+pub use suite::{
+    Axis, Cell, CellResult, ConfigPatch, ExperimentSuite, RunOptions, SuiteResult, Sweep,
+    SweepResult,
+};

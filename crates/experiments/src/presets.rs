@@ -9,11 +9,12 @@
 
 use frs_data::DatasetSpec;
 use frs_model::ModelKind;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::ScenarioConfig;
 
 /// Which paper dataset a scenario models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PaperDataset {
     Ml100k,
     Ml1m,
@@ -21,6 +22,20 @@ pub enum PaperDataset {
 }
 
 impl PaperDataset {
+    /// All paper datasets, in Table VIII order.
+    pub fn all() -> [PaperDataset; 3] {
+        [Self::Ml100k, Self::Ml1m, Self::Az]
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ml100k => "ml100k",
+            Self::Ml1m => "ml1m",
+            Self::Az => "az",
+        }
+    }
+
     /// Parses the CLI name.
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
@@ -59,7 +74,11 @@ pub fn paper_scenario(
     scale: f64,
     seed: u64,
 ) -> ScenarioConfig {
-    let spec = if scale < 1.0 { dataset.spec().scaled(scale) } else { dataset.spec() };
+    let spec = if scale < 1.0 {
+        dataset.spec().scaled(scale)
+    } else {
+        dataset.spec()
+    };
     let mut cfg = ScenarioConfig::baseline(spec, kind, seed);
     let full_batch = dataset.users_per_round(kind);
     cfg.federation.users_per_round = if scale < 1.0 {
@@ -80,7 +99,10 @@ mod tests {
 
     #[test]
     fn parses_names() {
-        assert_eq!(PaperDataset::from_name("ml100k"), Some(PaperDataset::Ml100k));
+        assert_eq!(
+            PaperDataset::from_name("ml100k"),
+            Some(PaperDataset::Ml100k)
+        );
         assert_eq!(PaperDataset::from_name("ml1m"), Some(PaperDataset::Ml1m));
         assert_eq!(PaperDataset::from_name("az"), Some(PaperDataset::Az));
         assert_eq!(PaperDataset::from_name("x"), None);

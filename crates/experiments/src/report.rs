@@ -1,7 +1,13 @@
-//! Plain-text table rendering for experiment binaries.
+//! Unified result rendering for the experiment harness.
 //!
-//! Every binary prints the same rows the paper's tables report, aligned for
-//! terminal reading and pasteable into EXPERIMENTS.md as Markdown.
+//! [`Table`] is the column-aligned data holder every experiment fills;
+//! [`Report`] groups titled table sections (one per sweep or figure panel)
+//! and renders the whole thing as GitHub-flavoured Markdown, RFC-4180-style
+//! CSV, or JSON — the three sinks the `paper` CLI exposes via `--csv` /
+//! `--json`.
+
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A simple column-aligned table builder.
 #[derive(Debug, Clone)]
@@ -15,6 +21,14 @@ impl Table {
     pub fn new(header: &[&str]) -> Self {
         Self {
             header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table from owned column headers.
+    pub fn from_header(header: Vec<String>) -> Self {
+        Self {
+            header,
             rows: Vec::new(),
         }
     }
@@ -42,27 +56,85 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders as a GitHub-flavoured Markdown table.
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table. Literal `|` in cells
+    /// (e.g. the `|T|=3` variant labels) is escaped so GFM keeps the
+    /// column structure.
     pub fn to_markdown(&self) -> String {
-        let widths = self.column_widths();
+        let escape = |cells: &[String]| -> Vec<String> {
+            cells.iter().map(|c| c.replace('|', "\\|")).collect()
+        };
+        let header = escape(&self.header);
+        let rows: Vec<Vec<String>> = self.rows.iter().map(|r| escape(r)).collect();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
         let mut out = String::new();
-        out.push_str(&Self::render_row(&self.header, &widths));
+        out.push_str(&Self::render_row(&header, &widths));
         let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
         out.push_str(&Self::render_row(&dashes, &widths));
-        for row in &self.rows {
+        for row in &rows {
             out.push_str(&Self::render_row(row, &widths));
         }
         out
     }
 
-    fn column_widths(&self) -> Vec<usize> {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+    /// Renders as CSV (header first; fields quoted when they contain
+    /// separators, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&Self::render_csv_row(&self.header));
         for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
+            out.push_str(&Self::render_csv_row(row));
+        }
+        out
+    }
+
+    /// Renders as a JSON array of `{header: cell}` objects.
+    pub fn to_json_rows(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = Map::new();
+                    for (key, cell) in self.header.iter().zip(row) {
+                        obj.insert(key.clone(), Value::String(cell.clone()));
+                    }
+                    Value::Object(obj)
+                })
+                .collect(),
+        )
+    }
+
+    fn render_csv_row(cells: &[String]) -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                line.push('"');
+                line.push_str(&cell.replace('"', "\"\""));
+                line.push('"');
+            } else {
+                line.push_str(cell);
             }
         }
-        widths
+        line.push('\n');
+        line
     }
 
     fn render_row(cells: &[String], widths: &[usize]) -> String {
@@ -80,16 +152,169 @@ pub fn pct(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Output format of a [`Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    Markdown,
+    Csv,
+    Json,
+}
+
+impl ReportFormat {
+    /// File extension used by [`Report::write_to`].
+    pub fn extension(&self) -> &'static str {
+        match self {
+            ReportFormat::Markdown => "md",
+            ReportFormat::Csv => "csv",
+            ReportFormat::Json => "json",
+        }
+    }
+}
+
+/// One titled table within a report (one sweep, one figure panel).
+#[derive(Debug, Clone)]
+pub struct Section {
+    pub heading: String,
+    pub table: Table,
+    pub notes: Vec<String>,
+}
+
+/// A complete experiment report: titled sections rendered through one sink.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// File-name stem for [`Report::write_to`] (e.g. `table4`).
+    pub slug: String,
+    /// Human title (e.g. `Table IV — defenses`).
+    pub title: String,
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    pub fn new(slug: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            slug: slug.into(),
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section and returns it for note attachment.
+    pub fn section(&mut self, heading: impl Into<String>, table: Table) -> &mut Section {
+        self.sections.push(Section {
+            heading: heading.into(),
+            table,
+            notes: Vec::new(),
+        });
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Markdown => self.to_markdown(),
+            ReportFormat::Csv => self.to_csv(),
+            ReportFormat::Json => {
+                let mut text = serde_json::to_string_pretty(&self.to_json()).expect("report JSON");
+                text.push('\n');
+                text
+            }
+        }
+    }
+
+    /// Markdown: `##` title, `###` section headings, aligned tables, notes.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n", self.title);
+        for section in &self.sections {
+            out.push_str(&format!("\n### {}\n\n", section.heading));
+            out.push_str(&section.table.to_markdown());
+            for note in &section.notes {
+                out.push_str(&format!("\n{note}\n"));
+            }
+        }
+        out
+    }
+
+    /// CSV: one block per section, prefixed by a `# heading` comment line
+    /// (single-section reports are directly machine-readable; multi-section
+    /// ones split on blank lines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("# {}\n", section.heading));
+            out.push_str(&section.table.to_csv());
+        }
+        out
+    }
+
+    /// JSON: `{slug, title, sections: [{heading, columns, rows, notes}]}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        let sections: Vec<Value> = self
+            .sections
+            .iter()
+            .map(|s| {
+                let mut obj = Map::new();
+                obj.insert("heading".into(), Value::String(s.heading.clone()));
+                obj.insert(
+                    "columns".into(),
+                    Value::Array(
+                        s.table
+                            .header()
+                            .iter()
+                            .map(|h| Value::String(h.clone()))
+                            .collect(),
+                    ),
+                );
+                obj.insert("rows".into(), s.table.to_json_rows());
+                obj.insert(
+                    "notes".into(),
+                    Value::Array(s.notes.iter().map(|n| Value::String(n.clone())).collect()),
+                );
+                Value::Object(obj)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("slug".into(), Value::String(self.slug.clone()));
+        root.insert("title".into(), Value::String(self.title.clone()));
+        root.insert("sections".into(), Value::Array(sections));
+        Value::Object(root)
+    }
+
+    /// Writes `<dir>/<slug>.<ext>`, creating `dir` when missing, and returns
+    /// the path.
+    pub fn write_to(&self, dir: &Path, format: ReportFormat) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.{}", self.slug, format.extension()));
+        std::fs::write(&path, self.render(format))?;
+        Ok(path)
+    }
+}
+
+impl Section {
+    /// Attaches a free-form note below the section's table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn renders_aligned_markdown() {
+    fn sample() -> Table {
         let mut t = Table::new(&["Attack", "ER@10"]);
         t.row_strs(&["NoAttack", "0.23"]);
         t.row_strs(&["PIECK-UEA", "93.39"]);
-        let md = t.to_markdown();
+        t
+    }
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let md = sample().to_markdown();
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("Attack"));
@@ -117,5 +342,67 @@ mod tests {
         assert!(t.is_empty());
         t.row_strs(&["1"]);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row_strs(&["plain", "1,5"]);
+        t.row_strs(&["with \"quote\"", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,\"1,5\"");
+        assert_eq!(lines[2], "\"with \"\"quote\"\"\",x");
+    }
+
+    #[test]
+    fn json_rows_key_by_header() {
+        let json = sample().to_json_rows();
+        let rows = json.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_object().unwrap();
+        assert_eq!(first.get("Attack").unwrap().as_str(), Some("NoAttack"));
+        assert_eq!(first.get("ER@10").unwrap().as_str(), Some("0.23"));
+    }
+
+    #[test]
+    fn report_renders_all_formats() {
+        let mut report = Report::new("demo", "Demo report");
+        report.section("Panel A", sample()).note("a note");
+        report.section("Panel B", sample());
+
+        let md = report.render(ReportFormat::Markdown);
+        assert!(md.starts_with("## Demo report"));
+        assert!(md.contains("### Panel A") && md.contains("### Panel B"));
+        assert!(md.contains("a note"));
+
+        let csv = report.render(ReportFormat::Csv);
+        assert!(csv.starts_with("# Panel A\nAttack,ER@10\n"));
+        assert!(csv.contains("\n# Panel B\n"));
+
+        let json = report.render(ReportFormat::Json);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("slug").unwrap().as_str(), Some("demo"));
+        assert_eq!(obj.get("sections").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn report_writes_files() {
+        let dir = std::env::temp_dir().join("frs-report-sink-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut report = Report::new("t", "T");
+        report.section("S", sample());
+        for format in [
+            ReportFormat::Markdown,
+            ReportFormat::Csv,
+            ReportFormat::Json,
+        ] {
+            let path = report.write_to(&dir, format).unwrap();
+            assert!(path.ends_with(format!("t.{}", format.extension())));
+            assert!(std::fs::read_to_string(&path).unwrap().len() > 10);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

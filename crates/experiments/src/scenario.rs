@@ -1,11 +1,17 @@
 //! One experiment scenario: dataset × model × attack × defense.
+//!
+//! Attacks and defenses are referenced by *registry name* through
+//! [`AttackSel`] / [`DefenseSel`], so scenarios serialize to plain data and
+//! out-of-crate attacks registered via `frs_attacks::register_attack` run
+//! through the same path as the paper's built-ins. The legacy enums still
+//! convert into selections with `.into()`.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use frs_attacks::AttackKind;
+use frs_attacks::{AttackBuildCtx, AttackSel};
 use frs_data::{leave_one_out, synth, Dataset, DatasetSpec, TrainTestSplit};
-use frs_defense::DefenseKind;
+use frs_defense::{DefenseBuildCtx, DefenseKind, DefenseSel};
 use frs_federation::{BenignClient, Client, FederationConfig, Simulation};
 use frs_metrics::{ExposureReport, QualityReport};
 use frs_model::{GlobalModel, ModelConfig, ModelKind};
@@ -20,8 +26,10 @@ pub struct ScenarioConfig {
     pub dataset: DatasetSpec,
     pub model: ModelConfig,
     pub federation: FederationConfig,
-    pub attack: AttackKind,
-    pub defense: DefenseKind,
+    /// Attack, referenced by registry name (see `frs_attacks::registry`).
+    pub attack: AttackSel,
+    /// Defense, referenced by registry name (see `frs_defense::registry`).
+    pub defense: DefenseSel,
     /// Malicious fraction `p̃ = |Ũ|/|U|`.
     pub malicious_ratio: f64,
     /// Number of target items `|T|` (drawn from the coldest items).
@@ -46,7 +54,7 @@ pub struct ScenarioConfig {
 
 impl ScenarioConfig {
     /// A sensible default scenario: MF on a scaled ML-100K-like dataset,
-    /// no attack, no defense. Binaries override fields from here.
+    /// no attack, no defense. Callers override fields from here.
     pub fn baseline(dataset: DatasetSpec, kind: ModelKind, seed: u64) -> Self {
         let model = match kind {
             ModelKind::Mf => ModelConfig::mf(16),
@@ -83,8 +91,8 @@ impl ScenarioConfig {
             dataset,
             model,
             federation,
-            attack: AttackKind::NoAttack,
-            defense: DefenseKind::NoDefense,
+            attack: AttackSel::none(),
+            defense: DefenseSel::none(),
             malicious_ratio: 0.05,
             n_targets: 1,
             mined_top_n: 10,
@@ -99,11 +107,37 @@ impl ScenarioConfig {
 
     /// Number of malicious clients so that `p̃ = n_mal/(n_benign + n_mal)`.
     pub fn n_malicious(&self, n_benign: usize) -> usize {
-        if self.attack == AttackKind::NoAttack || self.malicious_ratio <= 0.0 {
+        if self.attack.is_no_attack() || self.malicious_ratio <= 0.0 {
             return 0;
         }
         let p = self.malicious_ratio.min(0.9);
         ((p / (1.0 - p)) * n_benign as f64).round().max(1.0) as usize
+    }
+
+    /// The registry context used to instantiate this scenario's defense.
+    pub fn defense_ctx(&self) -> DefenseBuildCtx {
+        DefenseBuildCtx {
+            assumed_malicious_ratio: self.malicious_ratio,
+            norm_bound_threshold: self.norm_bound_threshold,
+        }
+    }
+
+    /// The registry context used to instantiate this scenario's attack for
+    /// `count` clients starting at `first_id`.
+    pub fn attack_ctx<'a>(
+        &self,
+        first_id: usize,
+        count: usize,
+        targets: &'a [u32],
+    ) -> AttackBuildCtx<'a> {
+        AttackBuildCtx {
+            first_id,
+            count,
+            targets,
+            mined_top_n: self.mined_top_n,
+            poison_scale: self.poison_scale,
+            seed: self.federation.seed,
+        }
     }
 }
 
@@ -136,7 +170,7 @@ pub struct ScenarioOutcome {
 }
 
 /// Builds the dataset/split/targets triple for a config (exposed so tests
-/// and figure binaries can inspect the same world the scenario ran in).
+/// and figure commands can inspect the same world the scenario ran in).
 pub fn build_world(cfg: &ScenarioConfig) -> (Dataset, TrainTestSplit, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(cfg.federation.seed ^ 0xDA7A);
     let full = synth::generate(&cfg.dataset, &mut rng);
@@ -148,8 +182,8 @@ pub fn build_world(cfg: &ScenarioConfig) -> (Dataset, TrainTestSplit, Vec<u32>) 
 }
 
 /// Assembles the client population and simulation, with malicious clients
-/// produced by `malicious_builder(first_id, count)` — the hook the ablation
-/// binaries use to run custom PIECK configurations.
+/// produced by `malicious_builder(first_id, count)` — the hook ablation
+/// experiments use to run custom PIECK configurations.
 pub fn build_simulation_with(
     cfg: &ScenarioConfig,
     train: Arc<Dataset>,
@@ -160,6 +194,7 @@ pub fn build_simulation_with(
     let model = GlobalModel::new(&cfg.model, train.n_items(), &mut rng);
     let n_benign = train.n_users();
     let dim = cfg.model.embedding_dim;
+    let defense_ctx = cfg.defense_ctx();
 
     let mut clients: Vec<Box<dyn Client>> = Vec::with_capacity(n_benign + 64);
     for u in 0..n_benign {
@@ -171,9 +206,14 @@ pub fn build_simulation_with(
             cfg.federation.seed ^ ((u as u64) << 16) ^ 0xBE9,
         );
         if cfg.defense == DefenseKind::Ours {
+            // The paper's defense is configured from the scenario itself
+            // (`our_defense`), so the harness wires it directly.
             let mut def_cfg = cfg.our_defense.clone();
             def_cfg.top_n = cfg.mined_top_n.max(1);
             client = client.with_regularizer(Box::new(PieckDefense::new(def_cfg)));
+        } else if let Some(reg) = cfg.defense.build_regularizer(&defense_ctx) {
+            // Out-of-crate client-side defenses hook in through the registry.
+            client = client.with_regularizer(reg);
         }
         clients.push(Box::new(client));
     }
@@ -181,23 +221,18 @@ pub fn build_simulation_with(
     let n_mal = cfg.n_malicious(n_benign);
     clients.extend(malicious_builder(n_benign, n_mal));
 
-    let aggregator = cfg
-        .defense
-        .build_aggregator(cfg.malicious_ratio, cfg.norm_bound_threshold);
-    Simulation::new(model, clients, aggregator, cfg.federation.clone())
+    Simulation::builder(model)
+        .clients(clients)
+        .aggregator(cfg.defense.build_aggregator(&defense_ctx))
+        .config(cfg.federation.clone())
+        .build()
 }
 
 /// Assembles the client population and simulation for a config.
 pub fn build_simulation(cfg: &ScenarioConfig, train: Arc<Dataset>, targets: &[u32]) -> Simulation {
     build_simulation_with(cfg, train, targets, |first_id, count| {
-        cfg.attack.build_clients(
-            first_id,
-            count,
-            targets,
-            cfg.mined_top_n,
-            cfg.poison_scale,
-            cfg.federation.seed,
-        )
+        cfg.attack
+            .build_clients(&cfg.attack_ctx(first_id, count, targets))
     })
 }
 
@@ -214,12 +249,12 @@ pub fn run_with(
     finish_run(cfg, &mut sim, &split, &train, targets)
 }
 
-/// Runs the scenario end to end.
+/// Runs the scenario end to end with the configured attack.
 pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
-    let (_full, split, targets) = build_world(cfg);
-    let train = Arc::new(split.train.clone());
-    let mut sim = build_simulation(cfg, Arc::clone(&train), &targets);
-    finish_run(cfg, &mut sim, &split, &train, targets)
+    run_with(cfg, |first_id, count, targets| {
+        cfg.attack
+            .build_clients(&cfg.attack_ctx(first_id, count, targets))
+    })
 }
 
 /// Shared tail of a scenario run: the round loop, trend sampling, and the
@@ -238,7 +273,8 @@ fn finish_run(
         sim.run_round();
         if cfg.trend_every > 0 && (r + 1) % cfg.trend_every == 0 {
             let embs = sim.user_embeddings();
-            let er = ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
+            let er =
+                ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
             let hr = QualityReport::compute(sim.model(), &embs, &benign, split, cfg.eval_k);
             trend.push(TrendPoint {
                 round: r + 1,
@@ -265,13 +301,14 @@ fn finish_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frs_attacks::AttackKind;
 
     fn tiny_cfg(attack: AttackKind, defense: DefenseKind) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
         cfg.federation.users_per_round = 24;
         cfg.rounds = 60;
-        cfg.attack = attack;
-        cfg.defense = defense;
+        cfg.attack = attack.into();
+        cfg.defense = defense.into();
         cfg
     }
 
@@ -303,7 +340,7 @@ mod tests {
         let n_mal = cfg.n_malicious(950);
         let ratio = n_mal as f64 / (950 + n_mal) as f64;
         assert!((ratio - 0.05).abs() < 0.005, "{ratio}");
-        cfg.attack = AttackKind::NoAttack;
+        cfg.attack = AttackSel::none();
         assert_eq!(cfg.n_malicious(950), 0);
     }
 
@@ -323,5 +360,17 @@ mod tests {
         let b = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
         assert_eq!(a.er_percent, b.er_percent);
         assert_eq!(a.hr_percent, b.hr_percent);
+    }
+
+    #[test]
+    fn config_serializes_with_registry_names() {
+        let cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::Ours);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"attack\":\"pieck-uea\""), "{json}");
+        assert!(json.contains("\"defense\":\"ours\""), "{json}");
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attack, cfg.attack);
+        assert_eq!(back.defense, cfg.defense);
+        assert_eq!(back.rounds, cfg.rounds);
     }
 }

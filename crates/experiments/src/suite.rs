@@ -1,0 +1,751 @@
+//! Declarative experiment suites: the grid the paper's evidence lives on.
+//!
+//! The paper reports tables and figures over dataset × model × attack ×
+//! defense × hyper-parameter grids. Instead of hand-wiring those loops per
+//! binary, a [`Sweep`] *declares* its axes —
+//!
+//! ```ignore
+//! let sweep = Sweep::new("defenses", "Table IV — defenses (MF-FRS)")
+//!     .over_models([ModelKind::Mf])
+//!     .over_attacks([AttackKind::AHum, AttackKind::PieckIpe, AttackKind::PieckUea])
+//!     .over_defenses(DefenseKind::all())
+//!     .rounds(150);
+//! ```
+//!
+//! — and an [`ExperimentSuite`] groups named sweeps, expands them into a
+//! scenario grid ([`ExperimentSuite::cells`]), executes all cells **in
+//! parallel** across worker threads ([`ExperimentSuite::run`]; results are
+//! bit-identical to a sequential run because every cell is independently
+//! seeded and results are placed by grid index), and renders a unified
+//! [`Report`] with Markdown/CSV/JSON sinks.
+//!
+//! Everything in a suite is plain serde-serializable data: attacks and
+//! defenses are registry names ([`AttackSel`] / [`DefenseSel`]), variant
+//! axes are [`ConfigPatch`] value patches. A suite can therefore be written
+//! to JSON, inspected, or rebuilt elsewhere — and an attack registered at
+//! runtime via `frs_attacks::register_attack` sweeps exactly like a builtin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use frs_attacks::{AttackKind, AttackSel};
+use frs_defense::DefenseSel;
+use frs_model::{LossKind, ModelKind};
+use serde::{Deserialize, Serialize};
+
+use crate::presets::{paper_scenario, PaperDataset};
+use crate::report::{pct, Report, Table};
+use crate::scenario::{self, ScenarioConfig, ScenarioOutcome};
+
+/// A named, serializable patch over a [`ScenarioConfig`] — the "everything
+/// else" axis of a sweep (evaluation cutoff, learning-rate schedules, loss,
+/// defense ablation switches, …). Fields left `None` keep the base value.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPatch {
+    /// Row label in reports (empty for the identity patch).
+    pub label: String,
+    pub rounds: Option<usize>,
+    pub eval_k: Option<usize>,
+    pub n_targets: Option<usize>,
+    /// Overrides the mined popular-set size for every attack (the per-attack
+    /// default policy lives on the sweep).
+    pub mined_top_n: Option<usize>,
+    pub malicious_ratio: Option<f64>,
+    pub negative_ratio: Option<usize>,
+    pub loss: Option<LossKind>,
+    pub client_learning_rate: Option<f32>,
+    pub client_lr_cycle: Option<(f32, f32)>,
+    pub users_per_round: Option<usize>,
+    pub trend_every: Option<usize>,
+    pub poison_scale: Option<f32>,
+    pub norm_bound_threshold: Option<f32>,
+    /// `Ours`-defense ablation switches and weights (Table VI right).
+    pub use_re1: Option<bool>,
+    pub use_re2: Option<bool>,
+    pub beta: Option<f32>,
+    pub gamma: Option<f32>,
+}
+
+impl ConfigPatch {
+    /// An identity patch with a report label.
+    pub fn labeled(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Applies every set field onto `cfg`.
+    pub fn apply(&self, cfg: &mut ScenarioConfig) {
+        if let Some(v) = self.rounds {
+            cfg.rounds = v;
+        }
+        if let Some(v) = self.eval_k {
+            cfg.eval_k = v;
+        }
+        if let Some(v) = self.n_targets {
+            cfg.n_targets = v;
+        }
+        if let Some(v) = self.mined_top_n {
+            cfg.mined_top_n = v;
+        }
+        if let Some(v) = self.malicious_ratio {
+            cfg.malicious_ratio = v;
+        }
+        if let Some(v) = self.negative_ratio {
+            cfg.federation.negative_ratio = v;
+        }
+        if let Some(v) = self.loss {
+            cfg.federation.loss = v;
+        }
+        if let Some(v) = self.client_learning_rate {
+            cfg.federation.client_learning_rate = Some(v);
+        }
+        if let Some(v) = self.client_lr_cycle {
+            cfg.federation.client_lr_cycle = Some(v);
+        }
+        if let Some(v) = self.users_per_round {
+            cfg.federation.users_per_round = v;
+        }
+        if let Some(v) = self.trend_every {
+            cfg.trend_every = v;
+        }
+        if let Some(v) = self.poison_scale {
+            cfg.poison_scale = v;
+        }
+        if let Some(v) = self.norm_bound_threshold {
+            cfg.norm_bound_threshold = v;
+        }
+        if let Some(v) = self.use_re1 {
+            cfg.our_defense.use_re1 = v;
+        }
+        if let Some(v) = self.use_re2 {
+            cfg.our_defense.use_re2 = v;
+        }
+        if let Some(v) = self.beta {
+            cfg.our_defense.beta = v;
+        }
+        if let Some(v) = self.gamma {
+            cfg.our_defense.gamma = v;
+        }
+    }
+}
+
+/// Run-time knobs shared by every cell of a suite (the CLI's common flags).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Dataset scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Root seed.
+    pub seed: u64,
+    /// Overrides every sweep's round count when set.
+    pub rounds: Option<usize>,
+    /// Worker threads executing grid cells (1 = sequential; results are
+    /// identical either way).
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scale: 0.25,
+            seed: 7,
+            rounds: None,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Worker count matching the machine, bounded to keep memory sane.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// One declarative axis product over scenarios.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Stable identifier (used in report sections and cell coordinates).
+    pub name: String,
+    /// Section heading in reports.
+    pub title: String,
+    datasets: Vec<PaperDataset>,
+    models: Vec<ModelKind>,
+    attacks: Vec<AttackSel>,
+    defenses: Vec<DefenseSel>,
+    variants: Vec<ConfigPatch>,
+    rounds: usize,
+    /// Mined popular-set size `N` for non-UEA attacks.
+    mined_n: usize,
+    /// The paper mines a larger set for UEA (N=30 at reproduction scale).
+    uea_mined_n: usize,
+    eval_k: Option<usize>,
+    trend_every: usize,
+}
+
+impl Sweep {
+    /// A single-cell sweep (ML-100K, MF, no attack, no defense) to grow from.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            datasets: vec![PaperDataset::Ml100k],
+            models: vec![ModelKind::Mf],
+            attacks: vec![AttackSel::none()],
+            defenses: vec![DefenseSel::none()],
+            variants: vec![ConfigPatch::default()],
+            rounds: 150,
+            mined_n: 10,
+            uea_mined_n: 30,
+            eval_k: None,
+            trend_every: 0,
+        }
+    }
+
+    /// Sweeps over paper datasets.
+    pub fn over_datasets(mut self, datasets: impl IntoIterator<Item = PaperDataset>) -> Self {
+        self.datasets = datasets.into_iter().collect();
+        assert!(!self.datasets.is_empty(), "sweep needs ≥ 1 dataset");
+        self
+    }
+
+    /// Sweeps over base-model families.
+    pub fn over_models(mut self, models: impl IntoIterator<Item = ModelKind>) -> Self {
+        self.models = models.into_iter().collect();
+        assert!(!self.models.is_empty(), "sweep needs ≥ 1 model");
+        self
+    }
+
+    /// Sweeps over attacks — enum kinds or any registered name.
+    pub fn over_attacks<I, A>(mut self, attacks: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<AttackSel>,
+    {
+        self.attacks = attacks.into_iter().map(Into::into).collect();
+        assert!(!self.attacks.is_empty(), "sweep needs ≥ 1 attack");
+        self
+    }
+
+    /// Sweeps over defenses — enum kinds or any registered name.
+    pub fn over_defenses<I, D>(mut self, defenses: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: Into<DefenseSel>,
+    {
+        self.defenses = defenses.into_iter().map(Into::into).collect();
+        assert!(!self.defenses.is_empty(), "sweep needs ≥ 1 defense");
+        self
+    }
+
+    /// Sweeps over labelled configuration patches (the free-form axis).
+    pub fn over_variants(mut self, variants: impl IntoIterator<Item = ConfigPatch>) -> Self {
+        self.variants = variants.into_iter().collect();
+        assert!(!self.variants.is_empty(), "sweep needs ≥ 1 variant");
+        self
+    }
+
+    /// Communication rounds per cell (CLI `--rounds` overrides).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Evaluation cutoff `K`.
+    pub fn eval_k(mut self, k: usize) -> Self {
+        self.eval_k = Some(k);
+        self
+    }
+
+    /// Mined popular-set sizes: `default` for most attacks, `uea` for
+    /// PIECK-UEA (the paper mines a larger set there).
+    pub fn mined_n(mut self, default: usize, uea: usize) -> Self {
+        self.mined_n = default;
+        self.uea_mined_n = uea;
+        self
+    }
+
+    /// Records the ER/HR trend every `every` rounds (Fig. 6a).
+    pub fn trend_every(mut self, every: usize) -> Self {
+        self.trend_every = every;
+        self
+    }
+
+    /// Number of cells this sweep expands to.
+    pub fn cell_count(&self) -> usize {
+        self.datasets.len()
+            * self.models.len()
+            * self.attacks.len()
+            * self.defenses.len()
+            * self.variants.len()
+    }
+
+    /// Expands the axes into fully materialized cells, in deterministic
+    /// dataset → model → variant → attack → defense order.
+    pub fn expand(&self, opts: &RunOptions) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &dataset in &self.datasets {
+            for &model in &self.models {
+                for variant in &self.variants {
+                    for attack in &self.attacks {
+                        for defense in &self.defenses {
+                            let mut config = paper_scenario(dataset, model, opts.scale, opts.seed);
+                            config.attack = attack.clone();
+                            config.defense = defense.clone();
+                            config.rounds = opts.rounds.unwrap_or(self.rounds);
+                            config.trend_every = self.trend_every;
+                            if let Some(k) = self.eval_k {
+                                config.eval_k = k;
+                            }
+                            config.mined_top_n = if *attack == AttackKind::PieckUea {
+                                self.uea_mined_n
+                            } else {
+                                self.mined_n
+                            };
+                            variant.apply(&mut config);
+                            cells.push(Cell {
+                                sweep: self.name.clone(),
+                                dataset,
+                                model,
+                                attack: attack.clone(),
+                                defense: defense.clone(),
+                                variant: variant.label.clone(),
+                                config,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One grid point: its coordinates plus the fully materialized scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    pub sweep: String,
+    pub dataset: PaperDataset,
+    pub model: ModelKind,
+    pub attack: AttackSel,
+    pub defense: DefenseSel,
+    /// Label of the [`ConfigPatch`] variant (empty for the identity patch).
+    pub variant: String,
+    pub config: ScenarioConfig,
+}
+
+/// A finished cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    pub cell: Cell,
+    pub outcome: ScenarioOutcome,
+}
+
+/// A named collection of sweeps — one paper table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSuite {
+    /// Stable identifier; used as the report slug (`table4`, `fig5`, …).
+    pub name: String,
+    /// Report title.
+    pub title: String,
+    pub sweeps: Vec<Sweep>,
+}
+
+impl ExperimentSuite {
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// Appends a sweep (one report section).
+    pub fn sweep(mut self, sweep: Sweep) -> Self {
+        self.sweeps.push(sweep);
+        self
+    }
+
+    /// Total cells across all sweeps.
+    pub fn cell_count(&self) -> usize {
+        self.sweeps.iter().map(Sweep::cell_count).sum()
+    }
+
+    /// The full expanded grid, in declaration order.
+    pub fn cells(&self, opts: &RunOptions) -> Vec<Cell> {
+        self.sweeps.iter().flat_map(|s| s.expand(opts)).collect()
+    }
+
+    /// Runs every cell, fanning out over `opts.threads` workers. The result
+    /// is cell-for-cell identical regardless of thread count: cells are
+    /// independently seeded and land at their grid index.
+    pub fn run(&self, opts: &RunOptions) -> SuiteResult {
+        let cells = self.cells(opts);
+        let n = cells.len();
+        let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; n]);
+        let next = AtomicUsize::new(0);
+        let workers = opts.threads.clamp(1, n.max(1));
+
+        // A panicking cell (e.g. an unregistered attack name) propagates out
+        // of the scope as a panic; the Ok below is therefore unconditional
+        // with the vendored crossbeam shim (std::thread::scope semantics).
+        let _ = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let outcome = scenario::run(&cell.config);
+                    results.lock().expect("suite results poisoned")[i] = Some(CellResult {
+                        cell: cell.clone(),
+                        outcome,
+                    });
+                });
+            }
+        });
+
+        let all: Vec<CellResult> = results
+            .into_inner()
+            .expect("suite results poisoned")
+            .into_iter()
+            .map(|r| r.expect("cell not executed"))
+            .collect();
+
+        let sweeps = self
+            .sweeps
+            .iter()
+            .map(|s| SweepResult {
+                name: s.name.clone(),
+                title: s.title.clone(),
+                cells: all
+                    .iter()
+                    .filter(|r| r.cell.sweep == s.name)
+                    .cloned()
+                    .collect(),
+            })
+            .collect();
+
+        SuiteResult {
+            name: self.name.clone(),
+            title: self.title.clone(),
+            sweeps,
+        }
+    }
+}
+
+/// Results of one sweep, in grid order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    pub name: String,
+    pub title: String,
+    pub cells: Vec<CellResult>,
+}
+
+/// An axis of a sweep grid, for pivoted report tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Dataset,
+    Model,
+    Attack,
+    Defense,
+    Variant,
+}
+
+impl Axis {
+    fn key(&self, cell: &Cell) -> String {
+        match self {
+            Axis::Dataset => cell.dataset.name().to_string(),
+            Axis::Model => cell.model.label().to_string(),
+            Axis::Attack => cell.attack.label(),
+            Axis::Defense => cell.defense.label(),
+            Axis::Variant => cell.variant.clone(),
+        }
+    }
+
+    fn heading(&self) -> &'static str {
+        match self {
+            Axis::Dataset => "Dataset",
+            Axis::Model => "Model",
+            Axis::Attack => "Attack",
+            Axis::Defense => "Defense",
+            Axis::Variant => "Variant",
+        }
+    }
+}
+
+impl SweepResult {
+    /// Long-format table: one row per cell with every coordinate and metric —
+    /// the canonical CSV/JSON payload.
+    pub fn long_table(&self) -> Table {
+        let mut table = Table::new(&[
+            "dataset", "model", "attack", "defense", "variant", "rounds", "K", "ER", "HR", "NDCG",
+        ]);
+        for r in &self.cells {
+            table.row(&[
+                r.cell.dataset.name().to_string(),
+                r.cell.model.label().to_string(),
+                r.cell.attack.label(),
+                r.cell.defense.label(),
+                r.cell.variant.clone(),
+                r.cell.config.rounds.to_string(),
+                r.cell.config.eval_k.to_string(),
+                pct(r.outcome.er_percent),
+                pct(r.outcome.hr_percent),
+                format!("{:.4}", r.outcome.ndcg),
+            ]);
+        }
+        table
+    }
+
+    /// Paper-style pivot: `rows` axis down the side, `cols` axis across,
+    /// each column split into ER/HR. Cells missing from the grid render
+    /// as `-`; duplicate coordinates keep the first run.
+    pub fn pivot(&self, rows: Axis, cols: Axis) -> Table {
+        let mut row_keys: Vec<String> = Vec::new();
+        let mut col_keys: Vec<String> = Vec::new();
+        for r in &self.cells {
+            let rk = rows.key(&r.cell);
+            if !row_keys.contains(&rk) {
+                row_keys.push(rk);
+            }
+            let ck = cols.key(&r.cell);
+            if !col_keys.contains(&ck) {
+                col_keys.push(ck);
+            }
+        }
+        let mut header = vec![rows.heading().to_string()];
+        for ck in &col_keys {
+            // The identity variant has an empty label; bare ER/HR reads best.
+            let prefix = if ck.is_empty() {
+                String::new()
+            } else {
+                format!("{ck} ")
+            };
+            header.push(format!("{prefix}ER"));
+            header.push(format!("{prefix}HR"));
+        }
+        let mut table = Table::from_header(header);
+        for rk in &row_keys {
+            let mut cells = vec![rk.clone()];
+            for ck in &col_keys {
+                match self
+                    .cells
+                    .iter()
+                    .find(|r| &rows.key(&r.cell) == rk && &cols.key(&r.cell) == ck)
+                {
+                    Some(r) => {
+                        cells.push(pct(r.outcome.er_percent));
+                        cells.push(pct(r.outcome.hr_percent));
+                    }
+                    None => {
+                        cells.push("-".into());
+                        cells.push("-".into());
+                    }
+                }
+            }
+            table.row(&cells);
+        }
+        table
+    }
+}
+
+/// Results of a whole suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteResult {
+    pub name: String,
+    pub title: String,
+    pub sweeps: Vec<SweepResult>,
+}
+
+impl SuiteResult {
+    /// Renders every sweep as a long-format report section.
+    pub fn report(&self) -> Report {
+        let mut report = Report::new(self.name.clone(), self.title.clone());
+        for sweep in &self.sweeps {
+            report.section(sweep.title.clone(), sweep.long_table());
+        }
+        report
+    }
+
+    /// Renders every sweep pivoted (`rows` × `cols` ER/HR pairs) — the
+    /// layout most paper tables use.
+    pub fn pivot_report(&self, rows: Axis, cols: Axis) -> Report {
+        let mut report = Report::new(self.name.clone(), self.title.clone());
+        for sweep in &self.sweeps {
+            report.section(sweep.title.clone(), sweep.pivot(rows, cols));
+        }
+        report
+    }
+
+    /// Flattened access to every cell result.
+    pub fn all_cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.sweeps.iter().flat_map(|s| s.cells.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_defense::DefenseKind;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions {
+            scale: 0.05,
+            seed: 3,
+            rounds: Some(8),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_the_axis_product() {
+        let sweep = Sweep::new("s", "S")
+            .over_datasets([PaperDataset::Ml100k, PaperDataset::Ml1m])
+            .over_models([ModelKind::Mf, ModelKind::Ncf])
+            .over_attacks([
+                AttackKind::NoAttack,
+                AttackKind::PieckIpe,
+                AttackKind::PieckUea,
+            ])
+            .over_defenses([DefenseKind::NoDefense, DefenseKind::Ours])
+            .over_variants([ConfigPatch::labeled("a"), ConfigPatch::labeled("b")]);
+        assert_eq!(sweep.cell_count(), 2 * 2 * 3 * 2 * 2);
+        let cells = sweep.expand(&tiny_opts());
+        assert_eq!(cells.len(), sweep.cell_count());
+        // Deterministic order: defense is the innermost axis.
+        assert_eq!(cells[0].defense, DefenseKind::NoDefense);
+        assert_eq!(cells[1].defense, DefenseKind::Ours);
+        assert_eq!(cells[0].variant, "a");
+    }
+
+    #[test]
+    fn expansion_applies_policy_then_patch() {
+        let sweep = Sweep::new("s", "S")
+            .over_attacks([AttackKind::PieckIpe, AttackKind::PieckUea])
+            .mined_n(10, 15)
+            .rounds(33);
+        let opts = RunOptions {
+            rounds: None,
+            ..tiny_opts()
+        };
+        let cells = sweep.expand(&opts);
+        assert_eq!(cells[0].config.mined_top_n, 10);
+        assert_eq!(cells[1].config.mined_top_n, 15);
+        assert!(cells.iter().all(|c| c.config.rounds == 33));
+
+        let patched = Sweep::new("s", "S")
+            .over_variants([ConfigPatch {
+                label: "q10".into(),
+                negative_ratio: Some(10),
+                eval_k: Some(5),
+                ..ConfigPatch::default()
+            }])
+            .expand(&opts);
+        assert_eq!(patched[0].config.federation.negative_ratio, 10);
+        assert_eq!(patched[0].config.eval_k, 5);
+    }
+
+    #[test]
+    fn rounds_override_wins() {
+        let sweep = Sweep::new("s", "S").rounds(500);
+        let cells = sweep.expand(&tiny_opts());
+        assert_eq!(cells[0].config.rounds, 8);
+    }
+
+    #[test]
+    fn suite_runs_and_reports() {
+        let suite = ExperimentSuite::new("mini", "Mini suite")
+            .sweep(
+                Sweep::new("one", "Panel one")
+                    .over_attacks([AttackKind::NoAttack, AttackKind::PieckUea]),
+            )
+            .sweep(Sweep::new("two", "Panel two"));
+        assert_eq!(suite.cell_count(), 3);
+        let result = suite.run(&tiny_opts());
+        assert_eq!(result.sweeps.len(), 2);
+        assert_eq!(result.sweeps[0].cells.len(), 2);
+        assert_eq!(result.sweeps[1].cells.len(), 1);
+        let report = result.report();
+        assert_eq!(report.sections.len(), 2);
+        assert_eq!(report.sections[0].table.len(), 2);
+        let md = report.to_markdown();
+        assert!(md.contains("Panel one") && md.contains("PIECK-UEA"), "{md}");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_cell_for_cell() {
+        let suite = ExperimentSuite::new("det", "Determinism").sweep(
+            Sweep::new("grid", "Grid")
+                .over_attacks([
+                    AttackKind::NoAttack,
+                    AttackKind::PieckIpe,
+                    AttackKind::PieckUea,
+                ])
+                .over_defenses([DefenseKind::NoDefense, DefenseKind::Median]),
+        );
+        let sequential = suite.run(&RunOptions {
+            threads: 1,
+            ..tiny_opts()
+        });
+        let parallel = suite.run(&RunOptions {
+            threads: 4,
+            ..tiny_opts()
+        });
+        let seq: Vec<_> = sequential.all_cells().collect();
+        let par: Vec<_> = parallel.all_cells().collect();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.cell.attack, b.cell.attack);
+            assert_eq!(a.cell.defense, b.cell.defense);
+            assert_eq!(a.outcome.er_percent, b.outcome.er_percent, "{:?}", a.cell);
+            assert_eq!(a.outcome.hr_percent, b.outcome.hr_percent, "{:?}", a.cell);
+            assert_eq!(a.outcome.targets, b.outcome.targets, "{:?}", a.cell);
+        }
+    }
+
+    #[test]
+    fn pivot_lays_out_er_hr_pairs() {
+        let suite = ExperimentSuite::new("p", "Pivot").sweep(
+            Sweep::new("s", "S")
+                .over_attacks([AttackKind::NoAttack, AttackKind::PieckUea])
+                .over_defenses([DefenseKind::NoDefense, DefenseKind::Ours]),
+        );
+        let result = suite.run(&tiny_opts());
+        let pivot = result.sweeps[0].pivot(Axis::Defense, Axis::Attack);
+        assert_eq!(
+            pivot.header(),
+            &[
+                "Defense".to_string(),
+                "NoAttack ER".into(),
+                "NoAttack HR".into(),
+                "PIECK-UEA ER".into(),
+                "PIECK-UEA HR".into(),
+            ]
+        );
+        assert_eq!(pivot.len(), 2);
+    }
+
+    #[test]
+    fn suite_is_serde_serializable() {
+        let suite = ExperimentSuite::new("roundtrip", "Round trip").sweep(
+            Sweep::new("s", "S")
+                .over_attacks([AttackKind::PieckUea])
+                .over_variants([ConfigPatch {
+                    label: "bpr".into(),
+                    loss: Some(LossKind::Bpr),
+                    ..ConfigPatch::default()
+                }]),
+        );
+        let json = serde_json::to_string_pretty(&suite).unwrap();
+        let back: ExperimentSuite = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, suite.name);
+        assert_eq!(back.cell_count(), suite.cell_count());
+        let cells = back.sweeps[0].expand(&tiny_opts());
+        assert_eq!(cells[0].attack, AttackKind::PieckUea);
+        assert_eq!(cells[0].config.federation.loss, LossKind::Bpr);
+    }
+}

@@ -4,9 +4,7 @@ use std::sync::Arc;
 
 use frs_data::{Dataset, NegativeSampler};
 use frs_linalg::vector;
-use frs_model::{
-    bce_logit_delta, bpr_logit_deltas, GlobalGradients, GlobalModel, LossKind,
-};
+use frs_model::{bce_logit_delta, bpr_logit_deltas, GlobalGradients, GlobalModel, LossKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,13 +69,24 @@ pub struct BenignClient {
 
 impl BenignClient {
     /// Creates the client with a small random personal embedding.
-    pub fn new(user_id: usize, train: Arc<Dataset>, dim: usize, init_scale: f32, seed: u64) -> Self {
+    pub fn new(
+        user_id: usize,
+        train: Arc<Dataset>,
+        dim: usize,
+        init_scale: f32,
+        seed: u64,
+    ) -> Self {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let user_embedding = (0..dim)
             .map(|_| rng.gen_range(-init_scale..=init_scale))
             .collect();
-        Self { user_id, train, user_embedding, regularizer: None }
+        Self {
+            user_id,
+            train,
+            user_embedding,
+            regularizer: None,
+        }
     }
 
     /// Installs the client-side defense (our Section V-B method).
@@ -279,8 +288,8 @@ mod tests {
         // After training, the mean positive logit should exceed the mean
         // logit of uninteracted probe items.
         let u = client.user_embedding().unwrap();
-        let pos_mean: f32 = positives.iter().map(|&j| model.logit(u, j)).sum::<f32>()
-            / positives.len() as f32;
+        let pos_mean: f32 =
+            positives.iter().map(|&j| model.logit(u, j)).sum::<f32>() / positives.len() as f32;
         let probe: Vec<u32> = (0..client.train.n_items() as u32)
             .filter(|&j| !client.train.interacted(0, j))
             .take(20)

@@ -92,6 +92,7 @@ impl FederationConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // invalid configs are built field-by-field
 mod tests {
     use super::*;
 

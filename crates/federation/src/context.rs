@@ -35,7 +35,14 @@ impl RoundContext {
         loss: frs_model::LossKind,
         seeds: SeedStream,
     ) -> Self {
-        Self { round, server_lr, client_lr, negative_ratio, loss, seeds }
+        Self {
+            round,
+            server_lr,
+            client_lr,
+            negative_ratio,
+            loss,
+            seeds,
+        }
     }
 
     /// Deterministic RNG for (`client_id`, this round).

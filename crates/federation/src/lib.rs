@@ -26,11 +26,11 @@ pub mod stats;
 pub mod wire;
 
 pub use aggregate::{
-    gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_norm,
-    upload_squared_distance, Aggregator, SumAggregator,
+    gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_norm, upload_squared_distance,
+    Aggregator, SumAggregator,
 };
 pub use client::{BenignClient, Client, LocalRegularizer};
 pub use config::FederationConfig;
 pub use context::RoundContext;
-pub use server::Simulation;
+pub use server::{Simulation, SimulationBuilder};
 pub use stats::{RoundStats, TrainingStats};

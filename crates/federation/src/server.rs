@@ -6,7 +6,7 @@ use frs_linalg::SeedStream;
 use frs_model::{GlobalGradients, GlobalModel};
 use rand::Rng;
 
-use crate::aggregate::Aggregator;
+use crate::aggregate::{Aggregator, SumAggregator};
 use crate::client::Client;
 use crate::config::FederationConfig;
 use crate::context::RoundContext;
@@ -14,7 +14,15 @@ use crate::stats::{RoundStats, TrainingStats};
 use crate::wire;
 
 /// A complete federated training simulation: global model + client population
-/// + aggregation rule.
+/// + aggregation rule. Assembled through [`SimulationBuilder`]:
+///
+/// ```ignore
+/// let sim = Simulation::builder(model)
+///     .clients(clients)
+///     .aggregator(Box::new(SumAggregator))
+///     .config(FederationConfig::default())
+///     .build();
+/// ```
 pub struct Simulation {
     model: GlobalModel,
     clients: Vec<Box<dyn Client>>,
@@ -25,16 +33,52 @@ pub struct Simulation {
     stats: TrainingStats,
 }
 
-impl Simulation {
-    /// Assembles a simulation. Client ids must be unique and dense in
-    /// `0..clients.len()` (benign clients use their user id; malicious
-    /// clients take the ids above the benign range).
-    pub fn new(
-        model: GlobalModel,
-        clients: Vec<Box<dyn Client>>,
-        aggregator: Box<dyn Aggregator>,
-        config: FederationConfig,
-    ) -> Self {
+/// Step-by-step assembly of a [`Simulation`], replacing the old positional
+/// four-argument constructor. The aggregator defaults to a plain
+/// [`SumAggregator`] (no defense) and the configuration to
+/// [`FederationConfig::default`]; the model and clients must be provided.
+pub struct SimulationBuilder {
+    model: GlobalModel,
+    clients: Vec<Box<dyn Client>>,
+    aggregator: Box<dyn Aggregator>,
+    config: FederationConfig,
+}
+
+impl SimulationBuilder {
+    /// Replaces the whole client population.
+    pub fn clients(mut self, clients: Vec<Box<dyn Client>>) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Appends one client.
+    pub fn client(mut self, client: impl Client + 'static) -> Self {
+        self.clients.push(Box::new(client));
+        self
+    }
+
+    /// Sets the aggregation rule (the defense hook).
+    pub fn aggregator(mut self, aggregator: Box<dyn Aggregator>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Sets the protocol configuration.
+    pub fn config(mut self, config: FederationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validates and assembles the simulation. Client ids must be unique and
+    /// dense in `0..clients.len()` (benign clients use their user id;
+    /// malicious clients take the ids above the benign range).
+    pub fn build(self) -> Simulation {
+        let SimulationBuilder {
+            model,
+            clients,
+            aggregator,
+            config,
+        } = self;
         config.validate().expect("invalid federation config");
         let mut ids: Vec<usize> = clients.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
@@ -42,7 +86,27 @@ impl Simulation {
             assert_eq!(expect, got, "client ids must be dense 0..n");
         }
         let seeds = SeedStream::new(config.seed);
-        Self { model, clients, aggregator, config, seeds, round: 0, stats: TrainingStats::default() }
+        Simulation {
+            model,
+            clients,
+            aggregator,
+            config,
+            seeds,
+            round: 0,
+            stats: TrainingStats::default(),
+        }
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation around a global model.
+    pub fn builder(model: GlobalModel) -> SimulationBuilder {
+        SimulationBuilder {
+            model,
+            clients: Vec::new(),
+            aggregator: Box::new(SumAggregator),
+            config: FederationConfig::default(),
+        }
     }
 
     /// The current global model.
@@ -186,8 +250,7 @@ impl Simulation {
         // Deterministic aggregation order regardless of thread interleaving.
         uploads.sort_unstable_by_key(|(id, _)| *id);
         let n_malicious_selected = {
-            let mal: std::collections::HashSet<usize> =
-                self.malicious_ids().into_iter().collect();
+            let mal: std::collections::HashSet<usize> = self.malicious_ids().into_iter().collect();
             uploads.iter().filter(|(id, _)| mal.contains(id)).count()
         };
         let upload_bytes: usize = uploads.iter().map(|(_, g)| wire::encoded_size(g)).sum();
@@ -195,7 +258,8 @@ impl Simulation {
 
         let combined = self.aggregator.aggregate(&grad_sets);
         let n_items_updated = combined.n_items();
-        self.model.apply_gradients(&combined, self.config.learning_rate);
+        self.model
+            .apply_gradients(&combined, self.config.learning_rate);
 
         let stats = RoundStats {
             round: self.round,
@@ -221,7 +285,6 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::SumAggregator;
     use crate::client::BenignClient;
     use frs_data::{leave_one_out, synth, DatasetSpec};
     use frs_metrics::hit_ratio_at_k;
@@ -230,7 +293,10 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn build_sim(n_threads: usize, seed: u64) -> (Simulation, Arc<frs_data::Dataset>, frs_data::TrainTestSplit) {
+    fn build_sim(
+        n_threads: usize,
+        seed: u64,
+    ) -> (Simulation, Arc<frs_data::Dataset>, frs_data::TrainTestSplit) {
         let mut rng = StdRng::seed_from_u64(seed);
         let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
         let split = leave_one_out(&full, &mut rng);
@@ -238,8 +304,13 @@ mod tests {
         let model = GlobalModel::new(&ModelConfig::mf(8), train.n_items(), &mut rng);
         let clients: Vec<Box<dyn Client>> = (0..train.n_users())
             .map(|u| {
-                Box::new(BenignClient::new(u, Arc::clone(&train), 8, 0.1, seed + u as u64))
-                    as Box<dyn Client>
+                Box::new(BenignClient::new(
+                    u,
+                    Arc::clone(&train),
+                    8,
+                    0.1,
+                    seed + u as u64,
+                )) as Box<dyn Client>
             })
             .collect();
         let config = FederationConfig {
@@ -249,7 +320,10 @@ mod tests {
             ..FederationConfig::default()
         };
         (
-            Simulation::new(model, clients, Box::new(SumAggregator), config),
+            Simulation::builder(model)
+                .clients(clients)
+                .config(config)
+                .build(),
             train,
             split,
         )
@@ -308,6 +382,24 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_and_incremental_clients() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
+        let train = Arc::new(full);
+        let model = GlobalModel::new(&ModelConfig::mf(4), train.n_items(), &mut rng);
+        let mut builder = Simulation::builder(model);
+        for u in 0..3 {
+            builder = builder.client(BenignClient::new(u, Arc::clone(&train), 4, 0.1, u as u64));
+        }
+        let sim = builder.build();
+        assert_eq!(sim.n_clients(), 3);
+        assert_eq!(
+            sim.config().users_per_round,
+            FederationConfig::default().users_per_round
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "dense")]
     fn non_dense_ids_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
@@ -315,8 +407,7 @@ mod tests {
         let train = Arc::new(full);
         let model = GlobalModel::new(&ModelConfig::mf(4), train.n_items(), &mut rng);
         // Single client with id 5 — not dense.
-        let clients: Vec<Box<dyn Client>> =
-            vec![Box::new(BenignClient::new(5, train, 4, 0.1, 0))];
-        Simulation::new(model, clients, Box::new(SumAggregator), FederationConfig::default());
+        let clients: Vec<Box<dyn Client>> = vec![Box::new(BenignClient::new(5, train, 4, 0.1, 0))];
+        Simulation::builder(model).clients(clients).build();
     }
 }

@@ -146,7 +146,11 @@ pub fn decode(mut buf: Bytes) -> Result<GlobalGradients, WireError> {
             if rows.saturating_mul(cols).saturating_mul(4) > buf.remaining() {
                 return Err(WireError::CorruptLength);
             }
-            weights.push(Matrix::from_vec(rows, cols, get_f32_vec(&mut buf, rows * cols)?));
+            weights.push(Matrix::from_vec(
+                rows,
+                cols,
+                get_f32_vec(&mut buf, rows * cols)?,
+            ));
         }
         let mut biases = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
@@ -155,7 +159,11 @@ pub fn decode(mut buf: Bytes) -> Result<GlobalGradients, WireError> {
         }
         let len = get_len(&mut buf)?;
         let projection = get_f32_vec(&mut buf, len)?;
-        grads.mlp = Some(MlpGradients { weights, biases, projection });
+        grads.mlp = Some(MlpGradients {
+            weights,
+            biases,
+            projection,
+        });
     }
     Ok(grads)
 }
@@ -222,6 +230,9 @@ mod tests {
         raw[0] = 0xFF;
         raw[1] = 0xFF;
         let err = decode(raw.freeze()).unwrap_err();
-        assert!(matches!(err, WireError::CorruptLength | WireError::Truncated));
+        assert!(matches!(
+            err,
+            WireError::CorruptLength | WireError::Truncated
+        ));
     }
 }

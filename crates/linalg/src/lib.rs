@@ -19,7 +19,9 @@ pub mod softmax;
 pub mod stats;
 pub mod vector;
 
-pub use activation::{leaky_relu, leaky_relu_grad, log_sigmoid, relu, relu_grad, relu_inplace, sigmoid};
+pub use activation::{
+    leaky_relu, leaky_relu_grad, log_sigmoid, relu, relu_grad, relu_inplace, sigmoid,
+};
 pub use matrix::Matrix;
 pub use rank::{argsort_desc, rank_of, top_k_desc, top_k_desc_filtered};
 pub use rng::SeedStream;

@@ -22,7 +22,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix from an existing row-major buffer. Panics if the buffer length
@@ -35,7 +39,9 @@ impl Matrix {
     /// Uniform random matrix in `[-limit, limit]`; the paper's base models use
     /// small uniform init for embeddings.
     pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
         Self { rows, cols, data }
     }
 

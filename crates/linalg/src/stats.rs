@@ -58,7 +58,7 @@ pub fn trimmed_mean_inplace(xs: &mut [f32], trim: usize) -> f32 {
 /// Coordinate-wise median of a set of equal-length vectors — the Median
 /// defense [40] applied to one parameter group.
 pub fn coordinate_median(vectors: &[&[f32]]) -> Vec<f32> {
-    coordinate_reduce(vectors, |buf| median_inplace(buf))
+    coordinate_reduce(vectors, median_inplace)
 }
 
 /// Coordinate-wise `trim`-trimmed mean — the TrimmedMean defense [40].
@@ -110,7 +110,7 @@ mod tests {
         // One adversarial value cannot move the median beyond the benign range.
         let mut xs = [1.0, 1.1, 0.9, 1e9];
         let m = median_inplace(&mut xs);
-        assert!(m >= 0.9 && m <= 1.1 + 1e-6);
+        assert!((0.9..=1.1 + 1e-6).contains(&m));
     }
 
     #[test]
@@ -124,7 +124,7 @@ mod tests {
         let mut xs = [1.0, 2.0];
         // trim=5 > n/2; must still return a finite sensible value.
         let v = trimmed_mean_inplace(&mut xs, 5);
-        assert!(v >= 1.0 && v <= 2.0);
+        assert!((1.0..=2.0).contains(&v));
     }
 
     #[test]

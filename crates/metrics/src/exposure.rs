@@ -58,7 +58,11 @@ impl ExposureReport {
             .map(|(&e, &n)| if n == 0 { 0.0 } else { e as f64 / n as f64 })
             .collect();
         let mean = per_target.iter().sum::<f64>() / per_target.len() as f64;
-        Self { per_target, mean, k }
+        Self {
+            per_target,
+            mean,
+            k,
+        }
     }
 
     /// Mean ER as a percentage (the unit used in all of the paper's tables).
@@ -111,7 +115,10 @@ mod tests {
         let rep = ExposureReport::compute(&model, &embs, &benign, &data, &[4], 2);
         assert!((rep.mean - 1.0).abs() < 1e-12, "item 4 in everyone's top-2");
         let rep = ExposureReport::compute(&model, &embs, &benign, &data, &[3], 2);
-        assert!((rep.mean - 0.25).abs() < 1e-12, "item 3 only in user 0's top-2");
+        assert!(
+            (rep.mean - 0.25).abs() < 1e-12,
+            "item 3 only in user 0's top-2"
+        );
     }
 
     #[test]

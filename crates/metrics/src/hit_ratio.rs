@@ -111,7 +111,10 @@ mod tests {
         let embs = vec![vec![1.0, 0.0]; 2];
         // Train interactions: user 0 → {4}, user 1 → {} (all items eligible).
         let train = Dataset::from_user_items(5, vec![vec![4], vec![]]);
-        let split = TrainTestSplit { train, test_item: test_items };
+        let split = TrainTestSplit {
+            train,
+            test_item: test_items,
+        };
         (model, embs, split)
     }
 

@@ -81,7 +81,7 @@ impl ModelConfig {
         if self.kind == ModelKind::Ncf && self.mlp_hidden.is_empty() {
             return Err("NCF requires at least one MLP layer".into());
         }
-        if self.mlp_hidden.iter().any(|&h| h == 0) {
+        if self.mlp_hidden.contains(&0) {
             return Err("MLP hidden sizes must be positive".into());
         }
         Ok(())

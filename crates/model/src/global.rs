@@ -144,9 +144,7 @@ impl GlobalModel {
                 grads.add_item_grad(item, &d_item);
             }
             (GlobalModel::Ncf(m), ForwardCache::Ncf(mlp_cache)) => {
-                let mlp_grads = grads
-                    .mlp
-                    .get_or_insert_with(|| m.mlp().zero_gradients());
+                let mlp_grads = grads.mlp.get_or_insert_with(|| m.mlp().zero_gradients());
                 let d_item = m.backward(user_emb, item, mlp_cache, delta, d_user, mlp_grads);
                 grads.add_item_grad(item, &d_item);
             }
@@ -263,6 +261,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn scores_for_user_matches_pointwise_logits() {
         for m in both_models() {
             let u = [0.1, 0.4, -0.3, 0.2];
@@ -301,6 +300,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn item_grad_of_logit_finite_difference_both_kinds() {
         for m in both_models() {
             let u = [0.25, 0.15, -0.2, 0.3];

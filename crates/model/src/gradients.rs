@@ -110,7 +110,11 @@ impl MlpGradients {
         let biases: Vec<Vec<f32>> = self.biases.iter().map(|b| take(b.len())).collect();
         let projection = take(self.projection.len());
         assert_eq!(offset, flat.len(), "flat gradient length mismatch");
-        MlpGradients { weights, biases, projection }
+        MlpGradients {
+            weights,
+            biases,
+            projection,
+        }
     }
 }
 

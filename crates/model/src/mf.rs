@@ -18,7 +18,9 @@ pub struct MfModel {
 impl MfModel {
     /// Uniformly initialized item table (`U(−scale, scale)`).
     pub fn new<R: Rng + ?Sized>(n_items: usize, dim: usize, scale: f32, rng: &mut R) -> Self {
-        Self { items: Matrix::uniform(n_items, dim, scale, rng) }
+        Self {
+            items: Matrix::uniform(n_items, dim, scale, rng),
+        }
     }
 
     #[inline]
@@ -55,7 +57,13 @@ impl MfModel {
 
     /// Per-example backward: given `delta = ∂L/∂logit`, accumulates
     /// `∂L/∂u += delta·v` into `d_user` and returns `∂L/∂v = delta·u`.
-    pub fn backward(&self, user_emb: &[f32], item: u32, delta: f32, d_user: &mut [f32]) -> Vec<f32> {
+    pub fn backward(
+        &self,
+        user_emb: &[f32],
+        item: u32,
+        delta: f32,
+        d_user: &mut [f32],
+    ) -> Vec<f32> {
         let v = self.item_embedding(item);
         vector::axpy(delta, v, d_user);
         user_emb.iter().map(|&ui| delta * ui).collect()
@@ -106,6 +114,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn backward_matches_finite_difference() {
         let mut m = model();
         let u = [0.3, -0.8, 0.2];

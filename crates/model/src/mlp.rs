@@ -57,7 +57,11 @@ impl Mlp {
         let last = shapes.last().unwrap().1;
         let limit = (6.0 / (last + 1) as f32).sqrt();
         let projection = (0..last).map(|_| rng.gen_range(-limit..=limit)).collect();
-        Self { weights, biases, projection }
+        Self {
+            weights,
+            biases,
+            projection,
+        }
     }
 
     /// Input dimension (must be `2d`).
@@ -98,7 +102,11 @@ impl Mlp {
         let logit = vector::dot(&self.projection, &current);
         (
             logit,
-            MlpCache { input: input.to_vec(), pre_activations, activations },
+            MlpCache {
+                input: input.to_vec(),
+                pre_activations,
+                activations,
+            },
         )
     }
 

@@ -38,7 +38,11 @@ impl NcfModel {
         scale: f32,
         rng: &mut R,
     ) -> Self {
-        assert_eq!(shapes[0].0, 3 * dim, "MLP input must be 3·dim (u ⊕ v ⊕ u⊙v)");
+        assert_eq!(
+            shapes[0].0,
+            3 * dim,
+            "MLP input must be 3·dim (u ⊕ v ⊕ u⊙v)"
+        );
         Self {
             items: Matrix::uniform(n_items, dim, scale, rng),
             mlp: Mlp::new(shapes, rng),
@@ -208,6 +212,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn backward_splits_user_item_gradients() {
         let m = model();
         let u = [0.4, -0.1, 0.2, 0.3];
@@ -228,7 +233,11 @@ mod tests {
             let dn = m2.logit(&u, 1);
             m2.item_embedding_mut(1)[i] = orig;
             let fd = (up - dn) / (2.0 * eps);
-            assert!((d_item[i] - fd).abs() < 1e-2, "item grad {i}: {} vs {fd}", d_item[i]);
+            assert!(
+                (d_item[i] - fd).abs() < 1e-2,
+                "item grad {i}: {} vs {fd}",
+                d_item[i]
+            );
         }
 
         // Finite-difference check of d_user.
@@ -238,7 +247,11 @@ mod tests {
             let mut dn_u = u;
             dn_u[i] -= eps;
             let fd = (m.logit(&up_u, 1) - m.logit(&dn_u, 1)) / (2.0 * eps);
-            assert!((d_user[i] - fd).abs() < 1e-2, "user grad {i}: {} vs {fd}", d_user[i]);
+            assert!(
+                (d_user[i] - fd).abs() < 1e-2,
+                "user grad {i}: {} vs {fd}",
+                d_user[i]
+            );
         }
     }
 
@@ -282,11 +295,7 @@ mod tests {
         let u2: Vec<f32> = u.iter().map(|x| 2.0 * x).collect();
         let g1 = m.item_grad_of_logit(&u, 0);
         let g2 = m.item_grad_of_logit(&u2, 0);
-        let diff: f32 = g1
-            .iter()
-            .zip(&g2)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 = g1.iter().zip(&g2).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4, "item gradient must depend on the user: {diff}");
     }
 

@@ -8,8 +8,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn model_strategy() -> impl Strategy<Value = (GlobalModel, Vec<f32>)> {
-    (1u64..1000, 2usize..4, prop::collection::vec(-1.0f32..1.0, 8)).prop_map(
-        |(seed, kind_sel, user)| {
+    (
+        1u64..1000,
+        2usize..4,
+        prop::collection::vec(-1.0f32..1.0, 8),
+    )
+        .prop_map(|(seed, kind_sel, user)| {
             let mut rng = StdRng::seed_from_u64(seed);
             let config = if kind_sel % 2 == 0 {
                 ModelConfig::mf(8)
@@ -17,8 +21,7 @@ fn model_strategy() -> impl Strategy<Value = (GlobalModel, Vec<f32>)> {
                 ModelConfig::ncf(8)
             };
             (GlobalModel::new(&config, 12, &mut rng), user)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -11,15 +11,21 @@ use pieck_frs::model::ModelKind;
 fn main() {
     for attack in [AttackKind::NoAttack, AttackKind::PieckUea] {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.25, 7);
-        cfg.attack = attack;
+        cfg.attack = attack.into();
         cfg.rounds = 150;
         cfg.mined_top_n = 30;
         cfg.trend_every = 30;
         let out = run(&cfg);
         println!("\n=== {} ===", attack.label());
-        println!("target item(s): {:?} (coldest in the catalogue)", out.targets);
+        println!(
+            "target item(s): {:?} (coldest in the catalogue)",
+            out.targets
+        );
         for p in &out.trend {
-            println!("  round {:>4}: ER@10 = {:6.2}%   HR@10 = {:5.2}%", p.round, p.er, p.hr);
+            println!(
+                "  round {:>4}: ER@10 = {:6.2}%   HR@10 = {:5.2}%",
+                p.round, p.er, p.hr
+            );
         }
         println!(
             "final: ER@10 = {:.2}%  HR@10 = {:.2}% (recommendation quality untouched)",

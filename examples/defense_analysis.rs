@@ -45,7 +45,11 @@ fn main() {
             label,
             v.p_j,
             v.expected_poison_fraction,
-            if v.majority_defense_feasible { "yes" } else { "NO — poison majority" }
+            if v.majority_defense_feasible {
+                "yes"
+            } else {
+                "NO — poison majority"
+            }
         );
     }
     // The effect is starkest on sparse catalogues (AZ-like: rate 10 over

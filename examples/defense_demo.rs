@@ -10,14 +10,21 @@ use pieck_frs::experiments::{paper_scenario, run, PaperDataset};
 use pieck_frs::model::ModelKind;
 
 fn main() {
-    println!("{:<12} {:<12} {:>8} {:>8}", "attack", "defense", "ER@10", "HR@10");
+    println!(
+        "{:<12} {:<12} {:>8} {:>8}",
+        "attack", "defense", "ER@10", "HR@10"
+    );
     for attack in [AttackKind::PieckIpe, AttackKind::PieckUea] {
         for defense in [DefenseKind::NoDefense, DefenseKind::Ours] {
             let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.25, 7);
-            cfg.attack = attack;
-            cfg.defense = defense;
+            cfg.attack = attack.into();
+            cfg.defense = defense.into();
             cfg.rounds = 150;
-            cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+            cfg.mined_top_n = if attack == AttackKind::PieckUea {
+                30
+            } else {
+                10
+            };
             let out = run(&cfg);
             println!(
                 "{:<12} {:<12} {:>7.2}% {:>7.2}%",

@@ -9,13 +9,24 @@ use pieck_frs::experiments::{paper_scenario, run, PaperDataset};
 use pieck_frs::model::ModelKind;
 
 fn main() {
-    println!("{:<10} {:<12} {:>8} {:>8}", "model", "attack", "ER@10", "HR@10");
+    println!(
+        "{:<10} {:<12} {:>8} {:>8}",
+        "model", "attack", "ER@10", "HR@10"
+    );
     for kind in [ModelKind::Mf, ModelKind::Ncf] {
-        for attack in [AttackKind::NoAttack, AttackKind::PieckIpe, AttackKind::PieckUea] {
+        for attack in [
+            AttackKind::NoAttack,
+            AttackKind::PieckIpe,
+            AttackKind::PieckUea,
+        ] {
             let mut cfg = paper_scenario(PaperDataset::Ml100k, kind, 0.25, 7);
-            cfg.attack = attack;
+            cfg.attack = attack.into();
             cfg.rounds = 150;
-            cfg.mined_top_n = if attack == AttackKind::PieckUea { 30 } else { 10 };
+            cfg.mined_top_n = if attack == AttackKind::PieckUea {
+                30
+            } else {
+                10
+            };
             let out = run(&cfg);
             println!(
                 "{:<10} {:<12} {:>7.2}% {:>7.2}%",

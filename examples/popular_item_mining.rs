@@ -27,12 +27,18 @@ fn main() {
         miner.observe(sim.model());
     }
     let mined = miner.mined().unwrap();
-    println!("mined after {} observed transitions: {mined:?}", miner.transitions_seen());
+    println!(
+        "mined after {} observed transitions: {mined:?}",
+        miner.transitions_seen()
+    );
     println!(
         "precision vs true top-15% popular items: {:.0}%",
         mining_precision(mined, &popularity_rank, n_top15) * 100.0
     );
-    println!("\nmined item → true popularity rank (of {} items):", train.n_items());
+    println!(
+        "\nmined item → true popularity rank (of {} items):",
+        train.n_items()
+    );
     for &j in mined.iter().take(10) {
         println!("  item {:>4} → rank {:>4}", j, popularity_rank[j as usize]);
     }

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use pieck_frs::data::{leave_one_out, synth, DatasetSpec};
-use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation, SumAggregator};
+use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation};
 use pieck_frs::metrics::QualityReport;
 use pieck_frs::model::{GlobalModel, ModelConfig};
 use rand::rngs::StdRng;
@@ -33,12 +33,25 @@ fn main() {
     let model = GlobalModel::new(&ModelConfig::mf(16), train.n_items(), &mut rng);
     let clients: Vec<Box<dyn Client>> = (0..train.n_users())
         .map(|u| {
-            Box::new(BenignClient::new(u, Arc::clone(&train), 16, 0.1, 42 + u as u64))
-                as Box<dyn Client>
+            Box::new(BenignClient::new(
+                u,
+                Arc::clone(&train),
+                16,
+                0.1,
+                42 + u as u64,
+            )) as Box<dyn Client>
         })
         .collect();
-    let config = FederationConfig { users_per_round: 64, seed: 42, ..Default::default() };
-    let mut sim = Simulation::new(model, clients, Box::new(SumAggregator), config);
+    let config = FederationConfig {
+        users_per_round: 64,
+        seed: 42,
+        ..Default::default()
+    };
+    // The builder defaults to plain-sum aggregation (no defense).
+    let mut sim = Simulation::builder(model)
+        .clients(clients)
+        .config(config)
+        .build();
 
     // 4. Train for 150 communication rounds, reporting HR@10 as we go.
     let benign = sim.benign_ids();

@@ -11,8 +11,8 @@ use pieck_frs::model::ModelKind;
 fn all_defenses_run_under_attack_mf() {
     for defense in DefenseKind::all() {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 2);
-        cfg.attack = AttackKind::PieckIpe;
-        cfg.defense = defense;
+        cfg.attack = AttackKind::PieckIpe.into();
+        cfg.defense = defense.into();
         cfg.rounds = 40;
         let out = run(&cfg);
         assert!(out.er_percent.is_finite(), "{defense:?}");
@@ -27,14 +27,21 @@ fn all_defenses_run_under_attack_mf() {
 
 #[test]
 fn all_defenses_run_under_attack_dl() {
-    for defense in [DefenseKind::Median, DefenseKind::MultiKrum, DefenseKind::Ours] {
+    for defense in [
+        DefenseKind::Median,
+        DefenseKind::MultiKrum,
+        DefenseKind::Ours,
+    ] {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Ncf, 0.1, 2);
-        cfg.attack = AttackKind::PieckUea;
-        cfg.defense = defense;
+        cfg.attack = AttackKind::PieckUea.into();
+        cfg.defense = defense.into();
         cfg.rounds = 40;
         cfg.mined_top_n = 20;
         let out = run(&cfg);
-        assert!(out.er_percent.is_finite() && out.hr_percent.is_finite(), "{defense:?}");
+        assert!(
+            out.er_percent.is_finite() && out.hr_percent.is_finite(),
+            "{defense:?}"
+        );
     }
 }
 
@@ -43,8 +50,8 @@ fn trimmed_mean_leaks_poison_on_mf() {
     // The Table IV failure mode: TrimmedMean's fixed trim budget cannot
     // remove a poison cluster that outnumbers it.
     let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 3);
-    cfg.attack = AttackKind::PieckUea;
-    cfg.defense = DefenseKind::TrimmedMean;
+    cfg.attack = AttackKind::PieckUea.into();
+    cfg.defense = DefenseKind::TrimmedMean.into();
     cfg.mined_top_n = 30;
     cfg.rounds = 100;
     let out = run(&cfg);
@@ -64,7 +71,7 @@ fn defense_without_attack_costs_little_quality() {
     };
     let defended = {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 4);
-        cfg.defense = DefenseKind::Ours;
+        cfg.defense = DefenseKind::Ours.into();
         cfg.rounds = 100;
         run(&cfg)
     };

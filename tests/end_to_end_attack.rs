@@ -17,7 +17,7 @@ fn base(kind: ModelKind, seed: u64) -> ScenarioConfig {
 fn uea_attack_dominates_on_mf() {
     let baseline = run(&base(ModelKind::Mf, 5));
     let mut cfg = base(ModelKind::Mf, 5);
-    cfg.attack = AttackKind::PieckUea;
+    cfg.attack = AttackKind::PieckUea.into();
     cfg.mined_top_n = 30;
     let attacked = run(&cfg);
     assert!(
@@ -39,7 +39,7 @@ fn uea_attack_dominates_on_mf() {
 fn ipe_attack_raises_exposure_on_mf() {
     let baseline = run(&base(ModelKind::Mf, 6));
     let mut cfg = base(ModelKind::Mf, 6);
-    cfg.attack = AttackKind::PieckIpe;
+    cfg.attack = AttackKind::PieckIpe.into();
     let attacked = run(&cfg);
     assert!(
         attacked.er_percent > baseline.er_percent + 20.0,
@@ -53,7 +53,7 @@ fn ipe_attack_raises_exposure_on_mf() {
 fn attacks_reach_full_exposure_on_dl() {
     for attack in [AttackKind::PieckUea, AttackKind::ARa] {
         let mut cfg = base(ModelKind::Ncf, 7);
-        cfg.attack = attack;
+        cfg.attack = attack.into();
         cfg.mined_top_n = 30;
         let out = run(&cfg);
         assert!(
@@ -67,22 +67,26 @@ fn attacks_reach_full_exposure_on_dl() {
 #[test]
 fn masked_fedrecattack_equals_no_attack() {
     let mut cfg = base(ModelKind::Mf, 8);
-    cfg.attack = AttackKind::FedRecA;
+    cfg.attack = AttackKind::FedRecA.into();
     let out = run(&cfg);
-    assert!(out.er_percent < 5.0, "masked FedRecA must be inert: {}", out.er_percent);
+    assert!(
+        out.er_percent < 5.0,
+        "masked FedRecA must be inert: {}",
+        out.er_percent
+    );
 }
 
 #[test]
 fn our_defense_suppresses_uea_and_preserves_quality() {
     let mut attacked = base(ModelKind::Mf, 9);
-    attacked.attack = AttackKind::PieckUea;
+    attacked.attack = AttackKind::PieckUea.into();
     attacked.mined_top_n = 30;
     let undefended = run(&attacked);
 
     let mut defended = base(ModelKind::Mf, 9);
-    defended.attack = AttackKind::PieckUea;
+    defended.attack = AttackKind::PieckUea.into();
     defended.mined_top_n = 30;
-    defended.defense = DefenseKind::Ours;
+    defended.defense = DefenseKind::Ours.into();
     let out = run(&defended);
 
     assert!(
@@ -102,7 +106,7 @@ fn our_defense_suppresses_uea_and_preserves_quality() {
 #[test]
 fn scenarios_are_deterministic() {
     let mut cfg = base(ModelKind::Mf, 10);
-    cfg.attack = AttackKind::PieckIpe;
+    cfg.attack = AttackKind::PieckIpe.into();
     cfg.rounds = 40;
     let a = run(&cfg);
     let b = run(&cfg);

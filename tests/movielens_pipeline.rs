@@ -3,7 +3,7 @@
 //! attack — proving the library is not synthetic-data-only.
 
 use pieck_frs::data::{leave_one_out, load_movielens, LoadOptions};
-use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation, SumAggregator};
+use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation};
 use pieck_frs::metrics::hit_ratio_at_k;
 use pieck_frs::model::{GlobalModel, ModelConfig};
 use pieck_frs::pieck::{PieckClient, PieckConfig};
@@ -37,7 +37,11 @@ fn movielens_file_to_attack_pipeline() {
 
     let (full, maps) = load_movielens(&path, &LoadOptions::ml100k()).unwrap();
     std::fs::remove_file(&path).ok();
-    assert!(full.n_users() >= 30, "loader kept most users: {}", full.n_users());
+    assert!(
+        full.n_users() >= 30,
+        "loader kept most users: {}",
+        full.n_users()
+    );
     assert!(!maps.item_from_dense.is_empty());
 
     let mut rng = StdRng::seed_from_u64(1);
@@ -50,8 +54,13 @@ fn movielens_file_to_attack_pipeline() {
     let target = train.coldest_items(1)[0];
     let mut clients: Vec<Box<dyn Client>> = (0..n_benign)
         .map(|u| {
-            Box::new(BenignClient::new(u, Arc::clone(&train), 8, 0.1, 10 + u as u64))
-                as Box<dyn Client>
+            Box::new(BenignClient::new(
+                u,
+                Arc::clone(&train),
+                8,
+                0.1,
+                10 + u as u64,
+            )) as Box<dyn Client>
         })
         .collect();
     for i in 0..3 {
@@ -59,14 +68,24 @@ fn movielens_file_to_attack_pipeline() {
         cfg.top_n = 10;
         clients.push(Box::new(PieckClient::new(n_benign + i, cfg)));
     }
-    let config = FederationConfig { users_per_round: 24, seed: 2, ..Default::default() };
-    let mut sim = Simulation::new(model, clients, Box::new(SumAggregator), config);
+    let config = FederationConfig {
+        users_per_round: 24,
+        seed: 2,
+        ..Default::default()
+    };
+    let mut sim = Simulation::builder(model)
+        .clients(clients)
+        .config(config)
+        .build();
     sim.run(60);
 
     // The pipeline produced a functioning recommender...
     let benign = sim.benign_ids();
     let hr = hit_ratio_at_k(sim.model(), &sim.user_embeddings(), &benign, &split, 10);
-    assert!(hr > 0.05, "model should learn from the loaded file: HR {hr}");
+    assert!(
+        hr > 0.05,
+        "model should learn from the loaded file: HR {hr}"
+    );
     // ...and the attack machinery ran against loaded data without issue.
     assert!(sim.stats().total_malicious_selected > 0);
 }

@@ -8,18 +8,14 @@ use pieck_frs::model::GlobalGradients;
 use proptest::prelude::*;
 
 fn upload_strategy() -> impl Strategy<Value = GlobalGradients> {
-    prop::collection::btree_map(
-        0u32..500,
-        prop::collection::vec(-10.0f32..10.0, 8),
-        0..12,
-    )
-    .prop_map(|items| {
-        let mut g = GlobalGradients::new();
-        for (item, grad) in items {
-            g.add_item_grad(item, &grad);
-        }
-        g
-    })
+    prop::collection::btree_map(0u32..500, prop::collection::vec(-10.0f32..10.0, 8), 0..12)
+        .prop_map(|items| {
+            let mut g = GlobalGradients::new();
+            for (item, grad) in items {
+                g.add_item_grad(item, &grad);
+            }
+            g
+        })
 }
 
 proptest! {

@@ -31,7 +31,7 @@ fn real_client_uploads_survive_wire_roundtrip() {
 fn thread_count_does_not_change_results() {
     let build = |threads: usize| {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 3);
-        cfg.attack = AttackKind::PieckUea;
+        cfg.attack = AttackKind::PieckUea.into();
         cfg.federation.n_threads = threads;
         let (_, split, targets) = build_world(&cfg);
         let train = Arc::new(split.train);
@@ -45,7 +45,7 @@ fn thread_count_does_not_change_results() {
 #[test]
 fn malicious_population_matches_ratio() {
     let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 4);
-    cfg.attack = AttackKind::PieckUea;
+    cfg.attack = AttackKind::PieckUea.into();
     cfg.malicious_ratio = 0.10;
     let (_, split, targets) = build_world(&cfg);
     let train = Arc::new(split.train);
@@ -60,12 +60,15 @@ fn malicious_population_matches_ratio() {
 #[test]
 fn malicious_sampling_rate_converges_to_ratio() {
     let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 5);
-    cfg.attack = AttackKind::PieckIpe;
+    cfg.attack = AttackKind::PieckIpe.into();
     cfg.malicious_ratio = 0.05;
     let (_, split, targets) = build_world(&cfg);
     let train = Arc::new(split.train);
     let mut sim = build_simulation(&cfg, train, &targets);
     sim.run(60);
     let rate = sim.stats().malicious_selection_rate();
-    assert!((rate - 0.05).abs() < 0.03, "empirical selection rate {rate}");
+    assert!(
+        (rate - 0.05).abs() < 0.03,
+        "empirical selection rate {rate}"
+    );
 }

@@ -41,8 +41,12 @@ fn attacker_and_defender_mine_the_same_set() {
 fn defense_increases_user_popular_separation() {
     let run = |defense: DefenseKind| -> f64 {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 22);
-        cfg.defense = defense;
+        cfg.defense = defense.into();
         cfg.rounds = 80;
+        // Isolate Re2 (the term under test) so Re1's feature blurring cannot
+        // mask the separation it produces at this small scale.
+        cfg.our_defense.use_re1 = false;
+        cfg.our_defense.gamma = 2.0;
         let (_, split, _) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
         let mut sim = build_simulation(&cfg, Arc::clone(&train), &[]);
@@ -75,7 +79,7 @@ fn defense_increases_user_popular_separation() {
 fn defense_blurs_popular_unpopular_features() {
     let run = |defense: DefenseKind| -> f64 {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 23);
-        cfg.defense = defense;
+        cfg.defense = defense.into();
         cfg.rounds = 80;
         let (_, split, _) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
@@ -88,8 +92,7 @@ fn defense_blurs_popular_unpopular_features() {
         let mut count = 0usize;
         for &j in mid {
             for &k in popular {
-                sum += cosine(sim.model().item_embedding(k), sim.model().item_embedding(j))
-                    as f64;
+                sum += cosine(sim.model().item_embedding(k), sim.model().item_embedding(j)) as f64;
                 count += 1;
             }
         }
@@ -108,8 +111,8 @@ fn defense_blurs_popular_unpopular_features() {
 #[test]
 fn mining_still_works_under_defense() {
     let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.12, 24);
-    cfg.attack = AttackKind::PieckUea;
-    cfg.defense = DefenseKind::Ours;
+    cfg.attack = AttackKind::PieckUea.into();
+    cfg.defense = DefenseKind::Ours.into();
     let (_, split, targets) = build_world(&cfg);
     let train = Arc::new(split.train.clone());
     let rank = train.popularity_rank_of();

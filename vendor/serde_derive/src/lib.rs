@@ -1,0 +1,349 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Because the registry (and with it `syn`/`quote`) is unreachable, this
+//! derive macro parses the item declaration directly from the raw
+//! `proc_macro` token stream. It supports exactly the shapes the workspace
+//! declares:
+//!
+//! - structs with named fields (honouring `#[serde(skip, default)]`);
+//! - enums whose variants are unit or newtype (single unnamed field).
+//!
+//! Anything else (tuple structs, generics, struct variants) triggers a
+//! compile-time panic with a clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    /// `#[serde(skip, default)]` — omit when serializing, `Default` when
+    /// deserializing.
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// Unit variant when false; newtype (single unnamed payload) when true.
+    has_payload: bool,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "map.insert({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__inner) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert({v:?}.to_string(), ::serde::Serialize::to_value(__inner));\n\
+                             ::serde::Value::Object(map)\n\
+                         }}\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive produced invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match obj.get({n:?}) {{\n\
+                             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                 ::serde::Error::new(concat!(\"missing field `\", {n:?}, \"` for {name}\"))),\n\
+                         }},\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::new(\n\
+                             format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    payload_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::new(\n\
+                                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                                 let (__tag, __inner) = map.iter().next().unwrap();\n\
+                                 match __tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::new(\n\
+                                         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(\n\
+                                 format!(\"expected variant of {name}, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive produced invalid Rust")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+    let kw = expect_ident(&mut toks, "expected `struct` or `enum`");
+    let name = expect_ident(&mut toks, "expected item name");
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (on `{name}`)");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive expects a braced body for `{name}` \
+             (tuple/unit structs are unsupported), got {other:?}"
+        ),
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            fields: parse_fields(body, &name),
+            name,
+        },
+        "enum" => Item::Enum {
+            variants: parse_variants(body, &name),
+            name,
+        },
+        other => panic!("serde shim derive supports struct/enum only, got `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream, item: &str) -> Vec<Field> {
+    let mut toks: Tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let skip = attributes_request_skip(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut toks);
+        let name = expect_ident(&mut toks, &format!("expected field name in `{item}`"));
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{item}.{name}`, got {other:?}"),
+        }
+        consume_type(&mut toks);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, item: &str) -> Vec<Variant> {
+    let mut toks: Tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while toks.peek().is_some() {
+        skip_attributes(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks, &format!("expected variant name in `{item}`"));
+        let mut has_payload = false;
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                if top_level_commas(&payload) > 0 {
+                    panic!(
+                        "serde shim derive supports unit and single-field newtype \
+                         variants only; `{item}::{name}` has multiple fields"
+                    );
+                }
+                has_payload = true;
+                toks.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive does not support struct variants (`{item}::{name}`)");
+            }
+            _ => {}
+        }
+        match toks.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive does not support discriminants (`{item}::{name}`)")
+            }
+            other => panic!("unexpected token after variant `{item}::{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+/// Consumes a type up to (and including) the next top-level `,`, balancing
+/// `<`/`>` so generic arguments containing commas survive.
+fn consume_type(toks: &mut Tokens) {
+    let mut depth = 0i32;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0;
+    for (i, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma does not mean a second field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < tokens.len() => {
+                commas += 1
+            }
+            _ => {}
+        }
+    }
+    commas
+}
+
+/// Skips any `#[...]` attributes.
+fn skip_attributes(toks: &mut Tokens) {
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        toks.next(); // the bracketed attribute body
+    }
+}
+
+/// Skips attributes, reporting whether any was `#[serde(...)]` containing
+/// `skip`.
+fn attributes_request_skip(toks: &mut Tokens) -> bool {
+    let mut skip = false;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            let mut inner = g.stream().into_iter();
+            if matches!(&inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    let has = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+                    skip = skip || has;
+                }
+            }
+        }
+    }
+    skip
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        // `pub(crate)` and friends carry a parenthesised scope.
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, msg: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("{msg}, got {other:?}"),
+    }
+}
