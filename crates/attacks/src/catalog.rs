@@ -26,13 +26,13 @@ const POISON_NORM_CAP: f32 = 2.0;
 pub enum AttackKind {
     /// No malicious clients at all.
     NoAttack,
-    /// FedRecAttack [32] (prior knowledge masked).
+    /// FedRecAttack \[32\] (prior knowledge masked).
     FedRecA,
-    /// PipAttack [42] (prior knowledge masked).
+    /// PipAttack \[42\] (prior knowledge masked).
     Pipa,
-    /// A-RA [31].
+    /// A-RA \[31\].
     ARa,
-    /// A-HUM [31].
+    /// A-HUM \[31\].
     AHum,
     /// PIECK-IPE (ours).
     PieckIpe,

@@ -1,4 +1,4 @@
-//! FedRecAttack [32]: user-embedding approximation from *public* interactions.
+//! FedRecAttack \[32\]: user-embedding approximation from *public* interactions.
 //!
 //! The original attack assumes a small public fraction of benign users'
 //! histories; it fits approximate user embeddings to those interactions

@@ -1,4 +1,4 @@
-//! A-RA and A-HUM [31]: interaction-function poisoning.
+//! A-RA and A-HUM \[31\]: interaction-function poisoning.
 //!
 //! Both attacks synthesize user embeddings (no prior knowledge) and derive
 //! gradients that raise the targets' scores for those synthetic users —

@@ -2,10 +2,10 @@
 //!
 //! | Attack | Prior knowledge | MF-FRS | DL-FRS |
 //! |---|---|---|---|
-//! | [`FedRecAttack`] [32] | historical interactions | ✓ | ✓ |
-//! | [`PipAttack`] [42] | items' popularity levels | ✓ | ✓ |
-//! | [`ARaClient`] (A-RA) [31] | none | ✗ (inert) | ✓ |
-//! | [`AHumClient`] (A-HUM) [31] | none | partially | ✓ |
+//! | [`FedRecAttack`] \[32\] | historical interactions | ✓ | ✓ |
+//! | [`PipAttack`] \[42\] | items' popularity levels | ✓ | ✓ |
+//! | [`ARaClient`] (A-RA) \[31\] | none | ✗ (inert) | ✓ |
+//! | [`AHumClient`] (A-HUM) \[31\] | none | partially | ✓ |
 //!
 //! Following the paper's fair-comparison protocol (Section VII-A3), the prior
 //! knowledge of FedRecAttack and PipAttack is *masked by default* — each

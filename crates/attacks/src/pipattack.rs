@@ -1,4 +1,4 @@
-//! PipAttack [42]: explicit promotion + popularity enhancement via a
+//! PipAttack \[42\]: explicit promotion + popularity enhancement via a
 //! popularity classifier.
 //!
 //! PipAttack trains a small logistic-regression *popularity estimator* on

@@ -11,7 +11,7 @@
 //!
 //! Ids are remapped to dense `0..n` ranges (MovieLens ids are 1-based and
 //! sparse); ratings at or above [`LoadOptions::min_rating`] count as implicit
-//! positive feedback (the standard implicit-ization used by NCF [16] and the
+//! positive feedback (the standard implicit-ization used by NCF \[16\] and the
 //! FRS attack literature).
 
 use std::collections::HashMap;

@@ -2,7 +2,7 @@
 //!
 //! Each client's local dataset `D_i = D⁺_i ∪ D⁻_i` pairs its interacted items
 //! with `q · |D⁺_i|` uninteracted items drawn uniformly without replacement
-//! (paper Section III-A; `q = 1` by default following [32]). Negatives are
+//! (paper Section III-A; `q = 1` by default following \[32\]). Negatives are
 //! re-drawn every round — the standard implicit-feedback recipe — so the
 //! sampler is stateless and cheap.
 

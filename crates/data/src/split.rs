@@ -1,6 +1,6 @@
 //! Leave-one-out train/test split.
 //!
-//! Following He et al. [17] (and the paper's Section VII-A1), one interacted
+//! Following He et al. \[17\] (and the paper's Section VII-A1), one interacted
 //! item per user is held out as that user's test item; the recommender is
 //! evaluated by the rank of the held-out item among all items the user has
 //! not interacted with in the *training* data (HR@K).

@@ -1,4 +1,4 @@
-//! Krum, MultiKrum [5], and Bulyan [25] over whole uploads.
+//! Krum, MultiKrum \[5\], and Bulyan \[25\] over whole uploads.
 //!
 //! These defenses compare *entire client uploads* in one Euclidean space
 //! (items absent from an upload count as zero — see

@@ -4,19 +4,19 @@
 //! per-item gradient sets and (via the flatten default of
 //! [`frs_federation::Aggregator`]) the DL-FRS MLP uploads:
 //!
-//! - [`NormBound`] [33]: clip every upload's L2 norm, then sum.
-//! - [`Median`] [40]: coordinate-wise median.
-//! - [`TrimmedMean`] [40]: drop the `β`-fraction extremes per coordinate,
+//! - [`NormBound`] \[33\]: clip every upload's L2 norm, then sum.
+//! - [`Median`] \[40\]: coordinate-wise median.
+//! - [`TrimmedMean`] \[40\]: drop the `β`-fraction extremes per coordinate,
 //!   average the rest.
-//! - [`Krum`] / [`MultiKrum`] [5]: select the upload(s) closest to their
+//! - [`Krum`] / [`MultiKrum`] \[5\]: select the upload(s) closest to their
 //!   neighbours in squared-Euclidean space.
-//! - [`Bulyan`] [25]: MultiKrum selection followed by a trimmed mean.
+//! - [`Bulyan`] \[25\]: MultiKrum selection followed by a trimmed mean.
 //!
 //! Section V-A explains why all of them fail against PIECK: for a cold target
 //! item the *expected majority* of uploaded gradients is poisonous
 //! (`Ẽ(v_j) ≫ p̃`, Eq. 11), so majority-seeking statistics faithfully keep the
 //! poison. The paper's actual defense is client-side and lives in
-//! [`pieck_core::defense`].
+//! `pieck_core::defense`.
 
 pub mod catalog;
 pub mod krum;

@@ -1,4 +1,4 @@
-//! Coordinate-wise Median and TrimmedMean [40].
+//! Coordinate-wise Median and TrimmedMean \[40\].
 //!
 //! Both reduce the gradients *per item, per coordinate, over the clients that
 //! uploaded for that item* (items nobody touched simply don't update). The

@@ -1,4 +1,4 @@
-//! NormBound [33]: clip each *whole upload's* L2 norm, then sum.
+//! NormBound \[33\]: clip each *whole upload's* L2 norm, then sum.
 //!
 //! Bounding per-client influence is the classic backdoor mitigation. A benign
 //! upload spreads its norm across dozens of items, so per-item it loses

@@ -4,28 +4,40 @@
 //! ```text
 //! paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]
 //!                 [--threads n] [--json dir] [--csv dir] [--quiet]
+//!                 [--cache-dir dir] [--no-cache] [--progress file] [--resume]
 //!
 //! paper list                 # available commands
 //! paper table4 --scale 0.25  # Table IV at quarter scale
 //! paper table3 ml100k ml1m   # Table III on two datasets
 //! paper all --json out/      # everything, with JSON reports in out/
+//! paper all --cache-dir cache/ --progress run.jsonl   # cached + observable
+//! paper cache stats --cache-dir cache/                # inspect the cache
 //! ```
 //!
 //! Every command prints a Markdown report to stdout (unless `--quiet`) and
 //! optionally writes the same report as JSON/CSV. Suite-backed commands run
 //! their scenario grid in parallel across `--threads` workers; results are
 //! identical regardless of thread count.
+//!
+//! With `--cache-dir`, every finished grid cell persists under a content
+//! hash of its scenario config, so re-runs (and overlapping grids across
+//! commands) replay instead of recomputing — an interrupted `paper all`
+//! restarted with `--resume` executes only the missing cells. `--progress`
+//! streams one JSONL event per finished cell for mid-flight observability.
 
 use frs_experiments::paper::PaperCommand;
-use frs_experiments::{CommonArgs, Report, ReportFormat};
+use frs_experiments::suite::ExecOptions;
+use frs_experiments::{CommonArgs, JsonlSink, Report, ReportFormat, SuiteCache};
 
 fn print_usage() {
     eprintln!("usage: paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]");
     eprintln!("                       [--threads n] [--json dir] [--csv dir] [--quiet]");
+    eprintln!("                       [--cache-dir dir] [--no-cache] [--progress file] [--resume]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  list             list every reproduction command");
     eprintln!("  all              run every table and figure");
+    eprintln!("  cache <stats|gc|clear>   inspect / clean a --cache-dir");
     for cmd in PaperCommand::all() {
         eprintln!("  {:<16} {}", cmd.name(), cmd.description());
     }
@@ -55,11 +67,77 @@ fn emit(report: &Report, args: &CommonArgs) {
     }
 }
 
-fn run_or_exit(cmd: PaperCommand, args: &CommonArgs) -> Report {
-    cmd.run(args).unwrap_or_else(|msg| {
+fn run_or_exit(cmd: PaperCommand, args: &CommonArgs, exec: &ExecOptions<'_>) -> Report {
+    cmd.run(args, exec).unwrap_or_else(|msg| {
         eprintln!("paper {}: {msg}", cmd.name());
         std::process::exit(2);
     })
+}
+
+/// `paper cache <stats|gc|clear> --cache-dir dir`.
+fn cache_command(args: &CommonArgs) {
+    let Some(dir) = &args.cache_dir else {
+        eprintln!("paper cache: needs --cache-dir");
+        std::process::exit(2);
+    };
+    // Inspection must not conjure the directory: a typo'd path should say
+    // so, not report an empty cache (SuiteCache::open would create it).
+    if !dir.is_dir() {
+        eprintln!("paper cache: no such cache directory: {}", dir.display());
+        std::process::exit(1);
+    }
+    let cache = SuiteCache::open(dir).unwrap_or_else(|e| {
+        eprintln!("paper cache: cannot open {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let action = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("stats");
+    match action {
+        "stats" => match cache.stats() {
+            Ok(stats) => {
+                println!(
+                    "cache {}: {} entries ({} live, {} stale, {} corrupt), {} bytes",
+                    dir.display(),
+                    stats.files(),
+                    stats.live,
+                    stats.stale,
+                    stats.corrupt,
+                    stats.total_bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("paper cache stats: {e}");
+                std::process::exit(1);
+            }
+        },
+        "gc" | "clear" => match cache.gc(action == "clear") {
+            Ok(gc) => {
+                println!(
+                    "cache {}: removed {} entries, reclaimed {} bytes",
+                    dir.display(),
+                    gc.removed,
+                    gc.reclaimed_bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("paper cache {action}: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("paper cache: unknown action `{other}`; use stats|gc|clear");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A resolved run request (the commands that execute suites).
+enum Invocation {
+    All,
+    One(PaperCommand),
 }
 
 fn main() {
@@ -69,25 +147,68 @@ fn main() {
         std::process::exit(2);
     };
 
-    match command {
+    // Resolve the command *before* opening any sink: a typo'd command (or
+    // `list`) must not truncate an existing progress file.
+    let invocation = match command {
         "list" => {
             for cmd in PaperCommand::all() {
                 println!("{:<16} {}", cmd.name(), cmd.description());
             }
+            return;
         }
-        "all" => {
-            for cmd in PaperCommand::all() {
-                eprintln!("== paper {} ==", cmd.name());
-                emit(&run_or_exit(cmd, &args), &args);
-            }
+        "cache" => {
+            cache_command(&args);
+            return;
         }
+        "all" => Invocation::All,
         name => match PaperCommand::from_name(name) {
-            Some(cmd) => emit(&run_or_exit(cmd, &args), &args),
+            Some(cmd) => Invocation::One(cmd),
             None => {
                 eprintln!("unknown command `{name}`");
                 print_usage();
                 std::process::exit(2);
             }
         },
+    };
+
+    let cache = match (&args.cache_dir, args.no_cache) {
+        (Some(dir), false) => Some(SuiteCache::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open cache dir {}: {e}", dir.display());
+            std::process::exit(1);
+        })),
+        _ => None,
+    };
+    // Bespoke commands have no cell grid, so their sink would never receive
+    // an event (the file itself is safe either way — JsonlSink only
+    // truncates at the first event). Skip opening it and say so, instead of
+    // leaving the user waiting on a progress stream that stays empty.
+    let wants_sink = match &invocation {
+        Invocation::All => true,
+        Invocation::One(cmd) => cmd.emits_cell_events(),
+    };
+    if !wants_sink && args.progress.is_some() {
+        eprintln!("note: this command has no cell grid; --progress is not written");
+    }
+    let sink = args.progress.as_ref().filter(|_| wants_sink).map(|path| {
+        JsonlSink::open(path, args.resume).unwrap_or_else(|e| {
+            eprintln!("cannot open progress file {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    let exec = ExecOptions {
+        cache: cache.as_ref(),
+        sink: sink
+            .as_ref()
+            .map(|s| s as &dyn frs_experiments::ProgressSink),
+    };
+
+    match invocation {
+        Invocation::All => {
+            for cmd in PaperCommand::all() {
+                eprintln!("== paper {} ==", cmd.name());
+                emit(&run_or_exit(cmd, &args, &exec), &args);
+            }
+        }
+        Invocation::One(cmd) => emit(&run_or_exit(cmd, &args, &exec), &args),
     }
 }

@@ -1,0 +1,623 @@
+//! Content-addressed suite-level result cache.
+//!
+//! Every grid cell of an [`crate::suite::ExperimentSuite`] is a pure
+//! function of its serializable [`ScenarioConfig`] (same seed ⇒ same
+//! outcome), so finished [`ScenarioOutcome`]s can be persisted under a
+//! **content hash of the canonicalized config JSON** and replayed on any
+//! later run that materializes the same cell — repeated sweeps with
+//! overlapping grids (`paper all`, ablations sharing their baselines,
+//! interrupted runs restarted with `--resume`) become near-free.
+//!
+//! Layout: one JSON file per key, `<dir>/<sha256-hex>.json`, each holding a
+//! `CacheEntry` (schema version, key echo, the outcome, and the measured
+//! wall time — the one field serde skips — preserved as nanoseconds so a
+//! warm run reports the cold run's timings). Writes go through a temp file
+//! plus rename, so a killed run never leaves a torn entry behind; corrupt
+//! or schema-stale entries read as misses and are reclaimed by
+//! [`SuiteCache::gc`].
+//!
+//! The key is [`scenario_key`]: SHA-256 over a schema-version salt line
+//! followed by [`serde_json::to_string_canonical`] of the config. The
+//! canonical form is insertion-order independent (sorted keys, stable
+//! number formatting), so any two structurally equal configs — however
+//! they were built — address the same entry, and *any* config field flip
+//! addresses a different one.
+//!
+//! **Caveat — runtime-registered factories are identified by name.**
+//! Attacks/defenses live in the config as registry *names*
+//! (`AttackSel`/`DefenseSel`), so the key cannot see a factory's closed-over
+//! behaviour. If you re-register a factory under the same name with
+//! different parameters, cached entries from the old behaviour still match:
+//! use a new name (e.g. version-suffixed, as `paper table9` does) or run
+//! `paper cache clear` after changing a factory.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use std::{fs, io};
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
+
+/// Bump whenever the meaning of a config field, the outcome layout, or the
+/// simulation semantics change: the version salts every key, so old entries
+/// simply stop matching (and `gc` reclaims them) instead of serving stale
+/// results.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The content-addressed key of one scenario: SHA-256 (hex) over a
+/// schema-version salt and the canonical config JSON.
+///
+/// Execution-only knobs that provably don't change the outcome are
+/// normalized out before hashing — today that is
+/// `FederationConfig::n_threads` (results are identical at any value), so
+/// runs that differ only in intra-simulation parallelism share entries.
+pub fn scenario_key(cfg: &ScenarioConfig) -> String {
+    let mut normalized = cfg.clone();
+    normalized.federation.n_threads = 1;
+    let payload = format!(
+        "frs-scenario-v{CACHE_SCHEMA_VERSION}\n{}",
+        normalized.canonical_json()
+    );
+    sha256_hex(payload.as_bytes())
+}
+
+/// One persisted cache file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    /// Schema the entry was written under; mismatches read as misses.
+    schema: u32,
+    /// Echo of the file's key, guarding against renamed/copied files.
+    key: String,
+    /// `ScenarioOutcome::mean_round_time` survives here (serde skips it).
+    mean_round_time_ns: u64,
+    outcome: ScenarioOutcome,
+}
+
+/// Aggregate statistics over a cache directory (`paper cache stats`).
+///
+/// Only files matching the cache's own naming scheme (`<64-hex>.json`
+/// entries and `.<64-hex>.tmp.*` temp leftovers) are counted — anything
+/// else in the directory is foreign and left strictly alone, so sharing a
+/// directory with report sinks cannot lose data to `gc`/`clear`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Entries readable under the current schema.
+    pub live: usize,
+    /// Entries written under another schema version.
+    pub stale: usize,
+    /// Unreadable/torn entry files and leftover temp files.
+    pub corrupt: usize,
+    /// Total bytes across all cache-owned files.
+    pub total_bytes: u64,
+}
+
+impl CacheStats {
+    /// All files the stats cover.
+    pub fn files(&self) -> usize {
+        self.live + self.stale + self.corrupt
+    }
+}
+
+/// What [`SuiteCache::gc`] removed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GcOutcome {
+    /// Files deleted (stale schema, corrupt, or — with `clear` — live too).
+    pub removed: usize,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+/// A content-addressed store of scenario outcomes, one JSON file per key.
+///
+/// Safe to share across the suite's worker threads (`&self` everywhere) and
+/// across concurrent processes: writes are atomic renames and two writers
+/// racing on one key produce identical content by construction.
+#[derive(Debug)]
+pub struct SuiteCache {
+    dir: PathBuf,
+    /// Distinguishes temp files of concurrent in-process writers.
+    tmp_seq: AtomicU64,
+}
+
+impl SuiteCache {
+    /// Opens (creating if missing) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up the outcome stored under `key`. Missing, torn, schema-stale,
+    /// or mis-keyed entries all read as `None` — a miss is always safe, the
+    /// caller just recomputes.
+    pub fn load(&self, key: &str) -> Option<ScenarioOutcome> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.schema != CACHE_SCHEMA_VERSION || entry.key != key {
+            return None;
+        }
+        let mut outcome = entry.outcome;
+        outcome.mean_round_time = Duration::from_nanos(entry.mean_round_time_ns);
+        Some(outcome)
+    }
+
+    /// Persists `outcome` under `key` atomically (temp file + rename).
+    pub fn store(&self, key: &str, outcome: &ScenarioOutcome) -> io::Result<()> {
+        let entry = CacheEntry {
+            schema: CACHE_SCHEMA_VERSION,
+            key: key.to_string(),
+            mean_round_time_ns: outcome.mean_round_time.as_nanos().min(u64::MAX as u128) as u64,
+            outcome: outcome.clone(),
+        };
+        let text = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self.dir.join(format!(
+            ".{key}.tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, text)?;
+        match fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Classifies every cache-owned file in the directory (foreign files —
+    /// anything not named like an entry or one of our temp files — are
+    /// invisible to stats and untouchable by [`SuiteCache::gc`]).
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats::default();
+        for (path, bytes, kind) in self.owned_files()? {
+            stats.total_bytes += bytes;
+            match kind {
+                FileKind::Temp => stats.corrupt += 1,
+                FileKind::Entry => match Self::classify(&path) {
+                    EntryState::Live => stats.live += 1,
+                    EntryState::Stale => stats.stale += 1,
+                    EntryState::Corrupt => stats.corrupt += 1,
+                },
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Removes schema-stale and corrupt entries plus leftover temp files;
+    /// with `everything`, removes live entries too (`paper cache clear`).
+    /// Foreign files sharing the directory are never touched.
+    pub fn gc(&self, everything: bool) -> io::Result<GcOutcome> {
+        let mut out = GcOutcome::default();
+        for (path, bytes, kind) in self.owned_files()? {
+            let doomed = match kind {
+                FileKind::Temp => true,
+                FileKind::Entry => everything || Self::classify(&path) != EntryState::Live,
+            };
+            if doomed {
+                match fs::remove_file(&path) {
+                    Ok(()) => {
+                        out.removed += 1;
+                        out.reclaimed_bytes += bytes;
+                    }
+                    // A concurrent gc/clear (or external cleanup) already
+                    // removed it — the goal state is reached either way.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every cache-owned regular file with its size and name-derived kind,
+    /// skipping foreign files.
+    fn owned_files(&self) -> io::Result<Vec<(PathBuf, u64, FileKind)>> {
+        let mut files = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            let path = entry.path();
+            if let (true, Some(kind)) = (meta.is_file(), Self::file_kind(&path)) {
+                // Fresh temp files may be a concurrent store() mid-write;
+                // they only become "ours to reclaim" once stale.
+                if kind == FileKind::Temp && !temp_is_leftover(&path) {
+                    continue;
+                }
+                files.push((path, meta.len(), kind));
+            }
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(files)
+    }
+
+    /// `Some(Entry)` for `<64-hex>.json`, `Some(Temp)` for our
+    /// `.<64-hex>.tmp.*` writer leftovers, `None` for foreign files.
+    fn file_kind(path: &Path) -> Option<FileKind> {
+        let name = path.file_name()?.to_str()?;
+        if let Some(stem) = name.strip_suffix(".json") {
+            if is_hex_key(stem) {
+                return Some(FileKind::Entry);
+            }
+        }
+        // Byte-wise: foreign dotfile names may not have a char boundary at
+        // byte 64, so no string slicing here.
+        if let Some(rest) = name.strip_prefix('.') {
+            let bytes = rest.as_bytes();
+            let key_is_hex = bytes.len() > 64
+                && bytes[..64]
+                    .iter()
+                    .all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'));
+            if key_is_hex && bytes[64..].starts_with(b".tmp.") {
+                return Some(FileKind::Temp);
+            }
+        }
+        None
+    }
+
+    fn classify(path: &Path) -> EntryState {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return EntryState::Corrupt;
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return EntryState::Corrupt;
+        };
+        match serde_json::from_str::<CacheEntry>(&text) {
+            Ok(entry) if entry.schema == CACHE_SCHEMA_VERSION && entry.key == stem => {
+                EntryState::Live
+            }
+            Ok(_) => EntryState::Stale,
+            Err(_) => EntryState::Corrupt,
+        }
+    }
+}
+
+/// True for a 64-char lowercase-hex cache key.
+fn is_hex_key(s: &str) -> bool {
+    s.len() == 64 && s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+}
+
+/// Temp files older than this are leftovers of a dead writer. Younger ones
+/// may belong to an in-flight [`SuiteCache::store`] in another process —
+/// a store takes milliseconds, so an hour is conservatively safe — and are
+/// invisible to [`SuiteCache::stats`]/[`SuiteCache::gc`].
+const TEMP_LEFTOVER_AGE: Duration = Duration::from_secs(3600);
+
+/// Whether a temp file is old enough to be a dead writer's leftover.
+/// Unreadable or future mtimes read as "maybe in flight": never delete
+/// what might still be renamed.
+fn temp_is_leftover(path: &Path) -> bool {
+    fs::metadata(path)
+        .and_then(|meta| meta.modified())
+        .ok()
+        .and_then(|modified| modified.elapsed().ok())
+        .is_some_and(|age| age >= TEMP_LEFTOVER_AGE)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    Entry,
+    Temp,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum EntryState {
+    Live,
+    Stale,
+    Corrupt,
+}
+
+// --------------------------------------------------------------- SHA-256
+
+/// SHA-256 digest as lowercase hex. Self-contained (FIPS 180-4) because the
+/// sanctioned dependency set has no hashing crate; tested against published
+/// vectors below.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let digest = sha256(data);
+    let mut out = String::with_capacity(64);
+    for byte in digest {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Padding: 0x80, zeros, then the bit length as a big-endian u64.
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in message.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        for (state, add) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *state = state.wrapping_add(add);
+        }
+    }
+
+    let mut digest = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        digest[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TrendPoint;
+    use frs_data::DatasetSpec;
+    use frs_model::ModelKind;
+
+    fn temp_cache(tag: &str) -> SuiteCache {
+        let dir =
+            std::env::temp_dir().join(format!("frs-suite-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SuiteCache::open(dir).unwrap()
+    }
+
+    fn sample_outcome() -> ScenarioOutcome {
+        ScenarioOutcome {
+            er_percent: 93.39,
+            hr_percent: 41.5,
+            ndcg: 0.2172,
+            targets: vec![17, 230],
+            mean_round_time: Duration::from_micros(1234),
+            total_upload_bytes: 987_654,
+            trend: vec![TrendPoint {
+                round: 10,
+                er: 12.0,
+                hr: 30.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn sha256_matches_published_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (padding crosses a block boundary).
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn keys_are_stable_and_config_sensitive() {
+        let cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        let key = scenario_key(&cfg);
+        assert_eq!(key.len(), 64);
+        assert_eq!(key, scenario_key(&cfg.clone()));
+
+        let mut flipped = cfg.clone();
+        flipped.rounds += 1;
+        assert_ne!(key, scenario_key(&flipped));
+        let mut reseeded = cfg.clone();
+        reseeded.federation.seed ^= 1;
+        assert_ne!(key, scenario_key(&reseeded));
+
+        // Execution-only parallelism is normalized out: same outcome, same
+        // entry regardless of intra-simulation thread count.
+        let mut threaded = cfg;
+        threaded.federation.n_threads = 8;
+        assert_eq!(key, scenario_key(&threaded));
+    }
+
+    #[test]
+    fn store_load_round_trips_including_round_time() {
+        let cache = temp_cache("roundtrip");
+        let outcome = sample_outcome();
+        let key = "a".repeat(64);
+        assert!(cache.load(&key).is_none());
+        cache.store(&key, &outcome).unwrap();
+        let back = cache.load(&key).unwrap();
+        assert_eq!(back.er_percent, outcome.er_percent);
+        assert_eq!(back.hr_percent, outcome.hr_percent);
+        assert_eq!(back.ndcg, outcome.ndcg);
+        assert_eq!(back.targets, outcome.targets);
+        assert_eq!(back.total_upload_bytes, outcome.total_upload_bytes);
+        assert_eq!(back.trend.len(), 1);
+        // The serde-skipped wall time survives via the ns side channel.
+        assert_eq!(back.mean_round_time, outcome.mean_round_time);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn torn_stale_and_miskeyed_entries_read_as_misses() {
+        let cache = temp_cache("misses");
+        let key = "b".repeat(64);
+        fs::write(cache.entry_path(&key), "{ torn").unwrap();
+        assert!(cache.load(&key).is_none());
+
+        // A valid entry stored under the wrong file name misses too.
+        cache.store(&key, &sample_outcome()).unwrap();
+        let other = "c".repeat(64);
+        fs::copy(cache.entry_path(&key), cache.entry_path(&other)).unwrap();
+        assert!(cache.load(&other).is_none());
+        assert!(cache.load(&key).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_and_gc_classify_entries() {
+        let cache = temp_cache("gc");
+        let live = "d".repeat(64);
+        cache.store(&live, &sample_outcome()).unwrap();
+        fs::write(cache.dir().join(format!("{}.json", "e".repeat(64))), "junk").unwrap();
+        // A stale-schema entry: rewrite a valid one with schema 0.
+        let stale_key = "f".repeat(64);
+        cache.store(&stale_key, &sample_outcome()).unwrap();
+        let text = fs::read_to_string(cache.entry_path(&stale_key)).unwrap();
+        fs::write(
+            cache.entry_path(&stale_key),
+            text.replace(
+                &format!("\"schema\":{CACHE_SCHEMA_VERSION}"),
+                "\"schema\":0",
+            ),
+        )
+        .unwrap();
+
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.stale, stats.corrupt), (1, 1, 1));
+        assert!(stats.total_bytes > 0);
+
+        let gc = cache.gc(false).unwrap();
+        assert_eq!(gc.removed, 2);
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.stale, stats.corrupt), (1, 0, 0));
+
+        let cleared = cache.gc(true).unwrap();
+        assert_eq!(cleared.removed, 1);
+        assert_eq!(cache.stats().unwrap().files(), 0);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn foreign_files_are_invisible_and_survive_clear() {
+        // A cache dir shared with report sinks (`--cache-dir out --json out`)
+        // must never lose the reports to gc/clear.
+        let cache = temp_cache("foreign");
+        cache.store(&"a".repeat(64), &sample_outcome()).unwrap();
+        for foreign in ["table4.json", "table4.csv", "notes.txt", "UPPER.json"] {
+            fs::write(cache.dir().join(foreign), "user data").unwrap();
+        }
+        // Including a multibyte dotfile long enough that byte 64 is not a
+        // char boundary — stats/gc must skip it, not panic.
+        let multibyte = format!(".{}", "日".repeat(24));
+        fs::write(cache.dir().join(&multibyte), "user data").unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.stale, stats.corrupt), (1, 0, 0));
+
+        let cleared = cache.gc(true).unwrap();
+        assert_eq!(cleared.removed, 1, "only the cache's own entry goes");
+        for foreign in ["table4.json", "table4.csv", "notes.txt", "UPPER.json"] {
+            assert!(cache.dir().join(foreign).exists(), "{foreign} must survive");
+        }
+        assert!(cache.dir().join(&multibyte).exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn orphaned_temp_files_count_as_leftovers_and_are_collected() {
+        // A run killed between write and rename leaves `.<key>.tmp.<pid>.<n>`.
+        let cache = temp_cache("orphan");
+        let tmp_path = cache.dir().join(format!(".{}.tmp.999.0", "b".repeat(64)));
+        fs::write(&tmp_path, "{\"half\":").unwrap();
+
+        // Fresh: could be a concurrent writer mid-store — invisible, kept.
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.stale, stats.corrupt), (0, 0, 0));
+        assert_eq!(cache.gc(true).unwrap().removed, 0);
+        assert!(tmp_path.exists(), "in-flight temp must survive gc");
+
+        // Aged past the leftover threshold: counted and collected.
+        let old = std::time::SystemTime::now() - Duration::from_secs(2 * 3600);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&tmp_path)
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.stale, stats.corrupt), (0, 0, 1));
+        assert_eq!(cache.gc(false).unwrap().removed, 1);
+        assert!(!tmp_path.exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_gc_runs_both_succeed() {
+        // Two clears race on the same entries: each lists every file, so
+        // the loser of each per-file removal sees NotFound — which must
+        // read as "goal reached", not as an error aborting the sweep.
+        let cache = temp_cache("gc-race");
+        for i in 0..32 {
+            cache
+                .store(&format!("{i:02x}").repeat(32), &sample_outcome())
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2).map(|_| scope.spawn(|| cache.gc(true))).collect();
+            for handle in handles {
+                handle.join().unwrap().expect("racing gc must not error");
+            }
+        });
+        assert_eq!(cache.stats().unwrap().files(), 0);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

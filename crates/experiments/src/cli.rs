@@ -25,6 +25,16 @@ pub struct CommonArgs {
     pub csv: Option<PathBuf>,
     /// Suppress the Markdown report on stdout (`--quiet`).
     pub quiet: bool,
+    /// Content-addressed suite cache directory (`--cache-dir cache/`).
+    pub cache_dir: Option<PathBuf>,
+    /// Disables the cache even when `--cache-dir` is set (`--no-cache`).
+    pub no_cache: bool,
+    /// JSONL progress stream, one event per finished cell
+    /// (`--progress run.jsonl`).
+    pub progress: Option<PathBuf>,
+    /// Resume an interrupted run: requires `--cache-dir` (finished cells
+    /// replay as hits) and appends to `--progress` instead of truncating.
+    pub resume: bool,
     /// Remaining positional arguments (subcommand + operands).
     pub positional: Vec<String>,
 }
@@ -39,13 +49,17 @@ impl Default for CommonArgs {
             json: None,
             csv: None,
             quiet: false,
+            cache_dir: None,
+            no_cache: false,
+            progress: None,
+            resume: false,
             positional: Vec::new(),
         }
     }
 }
 
 impl CommonArgs {
-    /// Parses from an iterator of arguments (excluding argv[0]).
+    /// Parses from an iterator of arguments (excluding `argv[0]`).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = CommonArgs::default();
         let mut iter = args.into_iter();
@@ -83,8 +97,23 @@ impl CommonArgs {
                     out.csv = Some(PathBuf::from(v));
                 }
                 "--quiet" => out.quiet = true,
+                "--cache-dir" => {
+                    let v = iter.next().ok_or("--cache-dir needs a directory")?;
+                    out.cache_dir = Some(PathBuf::from(v));
+                }
+                "--no-cache" => out.no_cache = true,
+                "--progress" => {
+                    let v = iter.next().ok_or("--progress needs a file")?;
+                    out.progress = Some(PathBuf::from(v));
+                }
+                "--resume" => out.resume = true,
                 other => out.positional.push(other.to_string()),
             }
+        }
+        if out.resume && (out.cache_dir.is_none() || out.no_cache) {
+            return Err("--resume needs --cache-dir (and no --no-cache): \
+                        resuming replays finished cells from the cache"
+                .into());
         }
         Ok(out)
     }
@@ -97,7 +126,8 @@ impl CommonArgs {
                 eprintln!("argument error: {msg}");
                 eprintln!(
                     "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
-                     [--threads n] [--json dir] [--csv dir] [--quiet] [extra...]"
+                     [--threads n] [--json dir] [--csv dir] [--quiet] [--cache-dir dir] \
+                     [--no-cache] [--progress file] [--resume] [extra...]"
                 );
                 std::process::exit(2);
             }
@@ -180,5 +210,37 @@ mod tests {
         let opts = a.run_options();
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.scale, 0.25);
+    }
+
+    #[test]
+    fn parses_cache_and_progress_flags() {
+        let a = parse(&[
+            "table4",
+            "--cache-dir",
+            "cache",
+            "--progress",
+            "run.jsonl",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("cache")));
+        assert_eq!(
+            a.progress.as_deref(),
+            Some(std::path::Path::new("run.jsonl"))
+        );
+        assert!(a.resume);
+        assert!(!a.no_cache);
+
+        let a = parse(&["table4", "--cache-dir", "cache", "--no-cache"]).unwrap();
+        assert!(a.no_cache);
+    }
+
+    #[test]
+    fn resume_requires_a_usable_cache() {
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--resume", "--cache-dir", "c", "--no-cache"]).is_err());
+        assert!(parse(&["--resume", "--cache-dir", "c"]).is_ok());
+        assert!(parse(&["--cache-dir"]).is_err());
+        assert!(parse(&["--progress"]).is_err());
     }
 }

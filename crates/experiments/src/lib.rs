@@ -14,6 +14,12 @@
 //!   grid, runs cells in parallel (bit-identical to sequential), and renders
 //!   a unified [`report::Report`].
 //! - [`report`] — Markdown / CSV / JSON sinks over titled table sections.
+//! - [`cache`] — content-addressed suite cache: outcomes persist under a
+//!   SHA-256 of the canonical scenario JSON, so overlapping or repeated
+//!   grids replay instead of recomputing (`--cache-dir`, `--resume`).
+//! - [`progress`] — streaming run layer: one JSONL event per finished cell
+//!   (`--progress run.jsonl`), making long sweeps observable mid-flight and
+//!   abortable/resumable.
 //! - [`paper`] — one declaration per paper table/figure, consumed by the
 //!   single `paper` CLI binary (`paper table4 --scale 0.25`, `paper all
 //!   --json out/`).
@@ -23,18 +29,22 @@
 //! full grid runs in CI minutes, while `--scale 1.0` reproduces paper-scale
 //! workloads.
 
+pub mod cache;
 pub mod cli;
 pub mod paper;
 pub mod presets;
+pub mod progress;
 pub mod report;
 pub mod scenario;
 pub mod suite;
 
+pub use cache::{scenario_key, CacheStats, GcOutcome, SuiteCache, CACHE_SCHEMA_VERSION};
 pub use cli::CommonArgs;
 pub use presets::{paper_scenario, PaperDataset};
+pub use progress::{CellEvent, JsonlSink, MemorySink, ProgressSink, SuiteAborted};
 pub use report::{Report, ReportFormat, Table};
 pub use scenario::{run, ScenarioConfig, ScenarioOutcome};
 pub use suite::{
-    Axis, Cell, CellResult, ConfigPatch, ExperimentSuite, RunOptions, SuiteResult, Sweep,
-    SweepResult,
+    Axis, Cell, CellResult, ConfigPatch, ExecOptions, ExperimentSuite, RunOptions, SuiteResult,
+    Sweep, SweepResult,
 };

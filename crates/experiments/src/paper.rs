@@ -26,7 +26,7 @@ use crate::cli::CommonArgs;
 use crate::presets::{paper_scenario, PaperDataset};
 use crate::report::{pct, Report, Table};
 use crate::scenario::{build_simulation, build_world};
-use crate::suite::{Axis, ConfigPatch, ExperimentSuite, RunOptions, Sweep};
+use crate::suite::{Axis, ConfigPatch, ExecOptions, ExperimentSuite, RunOptions, Sweep};
 
 /// Every subcommand of the `paper` CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,16 @@ impl PaperCommand {
         Self::all().into_iter().find(|c| c.name() == name)
     }
 
+    /// Whether this command executes a cell grid — i.e. consults the suite
+    /// cache and emits progress events. The bespoke commands drive a
+    /// simulation directly and never touch either.
+    pub fn emits_cell_events(&self) -> bool {
+        !matches!(
+            self,
+            Self::Table2 | Self::Fig3 | Self::Fig4 | Self::PopularityBias
+        )
+    }
+
     /// One-line description for `paper list`.
     pub fn description(&self) -> &'static str {
         match self {
@@ -125,22 +135,30 @@ impl PaperCommand {
     /// Runs the command and returns its report. `args.positional[1..]` holds
     /// command operands (e.g. dataset names for `table3`); unknown operands
     /// are an `Err`, not a process exit, so programmatic callers can recover.
-    pub fn run(&self, args: &CommonArgs) -> Result<Report, String> {
+    ///
+    /// Suite-backed commands execute through `exec` — their cells consult
+    /// its cache and stream to its progress sink. The bespoke commands that
+    /// drive a simulation directly (`table2`, `fig3`, `fig4`,
+    /// `popularity-bias`) have no per-cell grid and bypass both.
+    pub fn run(&self, args: &CommonArgs, exec: &ExecOptions<'_>) -> Result<Report, String> {
         let opts = args.run_options();
         let operands = &args.positional.get(1..).unwrap_or_default();
         Ok(match self {
             Self::Table2 => table2(args, &opts),
             Self::Table3 => table3(operands)?
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Attack, Axis::Dataset),
             Self::Table4 => table4(operands)?
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Defense, Axis::Attack),
             Self::Table5 => table5()
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Attack, Axis::Variant),
             Self::Table6 => {
-                let result = table6().run(&opts);
+                let result = table6().run_with(&opts, exec).map_err(|e| e.to_string())?;
                 let mut report = Report::new(result.name.clone(), result.title.clone());
                 // The two panels read best under different pivots: ablation
                 // variants are rows on the left, defense switches on the right.
@@ -155,25 +173,33 @@ impl PaperCommand {
                 report
             }
             Self::Table7 => table7()
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Attack, Axis::Defense),
             Self::Table9 => table9()
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Variant, Axis::Attack),
             Self::Table10 => table10()
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Variant, Axis::Attack),
             Self::Table11 => table11()
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Attack, Axis::Variant),
             Self::Fig3 => fig3(args, operands, &opts)?,
             Self::Fig4 => fig4(&opts),
             Self::Fig5 => fig5(operands)
-                .run(&opts)
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Variant, Axis::Attack),
-            Self::Fig6a => fig6a(args, operands, &opts)?,
-            Self::Fig6b => fig6b(args, &opts),
-            Self::Fig7 => fig7().run(&opts).report(),
+            Self::Fig6a => fig6a(args, operands, &opts, exec)?,
+            Self::Fig6b => fig6b(args, &opts, exec).map_err(|e| e.to_string())?,
+            Self::Fig7 => fig7()
+                .run_with(&opts, exec)
+                .map_err(|e| e.to_string())?
+                .report(),
             Self::PopularityBias => popularity_bias(args, &opts),
         })
     }
@@ -743,7 +769,12 @@ fn fig4(opts: &RunOptions) -> Report {
 }
 
 /// Fig. 6(a): ER/HR convergence trends of IPE vs UEA.
-fn fig6a(args: &CommonArgs, operands: &[String], opts: &RunOptions) -> Result<Report, String> {
+fn fig6a(
+    args: &CommonArgs,
+    operands: &[String],
+    opts: &RunOptions,
+    exec: &ExecOptions<'_>,
+) -> Result<Report, String> {
     let dataset = datasets_from(operands, &[PaperDataset::Ml1m])?[0];
     let rounds = args.rounds_or(400);
     let every = (rounds / 20).max(1);
@@ -755,10 +786,15 @@ fn fig6a(args: &CommonArgs, operands: &[String], opts: &RunOptions) -> Result<Re
             .rounds(rounds)
             .trend_every(every),
     );
-    let result = suite.run(&RunOptions {
-        rounds: Some(rounds),
-        ..opts.clone()
-    });
+    let result = suite
+        .run_with(
+            &RunOptions {
+                rounds: Some(rounds),
+                ..opts.clone()
+            },
+            exec,
+        )
+        .map_err(|e| e.to_string())?;
     let cells = &result.sweeps[0].cells;
     let (ipe, uea) = (&cells[0], &cells[1]);
 
@@ -779,7 +815,14 @@ fn fig6a(args: &CommonArgs, operands: &[String], opts: &RunOptions) -> Result<Re
 }
 
 /// Fig. 6(b): mean wall-clock cost per round, per model family.
-fn fig6b(args: &CommonArgs, opts: &RunOptions) -> Report {
+///
+/// Timing-sensitive: a cache hit replays the *cold* run's measured wall
+/// time (the cache persists it), so warm reports stay byte-identical.
+fn fig6b(
+    args: &CommonArgs,
+    opts: &RunOptions,
+    exec: &ExecOptions<'_>,
+) -> Result<Report, crate::progress::SuiteAborted> {
     let rounds = args.rounds_or(50);
     let mut suite = ExperimentSuite::new("fig6b", "Fig. 6(b) — cost per round (ml1m-like)");
     for kind in [ModelKind::Mf, ModelKind::Ncf] {
@@ -811,10 +854,13 @@ fn fig6b(args: &CommonArgs, opts: &RunOptions) -> Report {
                 .rounds(rounds),
             );
     }
-    let result = suite.run(&RunOptions {
-        rounds: Some(rounds),
-        ..opts.clone()
-    });
+    let result = suite.run_with(
+        &RunOptions {
+            rounds: Some(rounds),
+            ..opts.clone()
+        },
+        exec,
+    )?;
 
     let mut table = Table::new(&["Model", "Scenario", "ms/round", "KiB uploaded/round"]);
     for r in result.all_cells() {
@@ -837,7 +883,7 @@ fn fig6b(args: &CommonArgs, opts: &RunOptions) -> Report {
     }
     let mut report = Report::new("fig6b", "Fig. 6(b) — cost per round (ml1m-like)");
     report.section("mean time and upload volume per communication round", table);
-    report
+    Ok(report)
 }
 
 /// Extension experiment: popularity bias of the served top-10 lists.

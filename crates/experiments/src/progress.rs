@@ -1,0 +1,273 @@
+//! Streaming progress for long suite runs.
+//!
+//! [`ExperimentSuite::run_with`](crate::suite::ExperimentSuite::run_with)
+//! reports every finished grid cell to a [`ProgressSink`] the moment it
+//! completes — cell coordinates, content-addressed cache key, headline
+//! metrics, wall time, and whether the result came from the cache — so a
+//! multi-hour `paper all --full` is observable mid-flight instead of silent
+//! until the final report. The JSONL sink ([`JsonlSink`]) appends one JSON
+//! object per line and flushes per event, which makes `tail -f run.jsonl`
+//! (or a CI grep for `"cache_hit":false`) the whole monitoring story.
+//!
+//! A sink can also *stop* the run: returning `false` from
+//! [`ProgressSink::cell_finished`] asks the suite to schedule no further
+//! cells (in-flight cells drain first). Together with the cache this gives
+//! resumability — an aborted or killed run leaves its finished cells
+//! persisted, and the next invocation replays them as hits and executes
+//! only the remainder.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::{fmt, io};
+
+use serde::{Deserialize, Serialize};
+
+/// One finished grid cell, as reported to a [`ProgressSink`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellEvent {
+    /// Suite slug (`table4`, `fig5`, …).
+    pub suite: String,
+    /// Sweep name within the suite.
+    pub sweep: String,
+    /// Grid index of the cell, in declaration order.
+    pub index: usize,
+    /// Total cells in the suite's grid.
+    pub total: usize,
+    /// Content-addressed key of the cell's scenario (see `crate::cache`).
+    pub key: String,
+    pub dataset: String,
+    pub model: String,
+    pub attack: String,
+    pub defense: String,
+    /// Variant label (empty for the identity patch).
+    pub variant: String,
+    pub rounds: usize,
+    /// True when the outcome was replayed from the suite cache.
+    pub cache_hit: bool,
+    /// Wall time spent on this cell (lookup or simulation), milliseconds.
+    pub wall_ms: f64,
+    pub er_percent: f64,
+    pub hr_percent: f64,
+}
+
+/// Receives cell-completion events from a running suite.
+///
+/// Implementations must be `Sync`: the suite's worker threads all report
+/// through one shared reference. ("No sink" is modelled as
+/// `ExecOptions::sink = None`, not a no-op implementation.)
+pub trait ProgressSink: Sync {
+    /// Called once per finished cell, in completion (not grid) order.
+    /// Returning `false` stops the suite from scheduling further cells.
+    fn cell_finished(&self, event: &CellEvent) -> bool;
+}
+
+/// Appends one JSON object per finished cell to a file, flushing per line
+/// so the stream is readable while the run is still going.
+///
+/// In non-append mode the file is truncated **at the first event**, not at
+/// open: an invocation that errors out before any cell finishes (bad
+/// operand, unknown dataset, …) leaves a previous run's history intact.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    /// Pending start-of-stream truncation (non-append mode only).
+    truncate_on_first_event: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlSink {
+    /// Opens the progress file for a fresh run (truncated at first event).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, false)
+    }
+
+    /// Opens the progress file, appending when `append` (the `--resume`
+    /// behaviour: one file accumulates the whole interrupted-run history).
+    pub fn open(path: impl AsRef<Path>, append: bool) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Always open in append mode: writability is validated eagerly, but
+        // existing content survives until the first event actually lands.
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+            truncate_on_first_event: std::sync::atomic::AtomicBool::new(!append),
+        })
+    }
+}
+
+impl ProgressSink for JsonlSink {
+    fn cell_finished(&self, event: &CellEvent) -> bool {
+        use std::sync::atomic::Ordering;
+
+        let line = serde_json::to_string(event).expect("cell event serializes");
+        let mut writer = self.writer.lock().expect("progress writer poisoned");
+        // A full disk shouldn't kill a multi-hour sweep; the report still
+        // lands at the end. Surface problems and keep going.
+        if self.truncate_on_first_event.swap(false, Ordering::SeqCst) {
+            // Append-mode writes land at EOF, so after set_len(0) the next
+            // write starts the fresh stream.
+            if let Err(e) = writer.get_mut().set_len(0) {
+                eprintln!("progress sink truncate failed: {e}");
+            }
+        }
+        if let Err(e) = writeln!(writer, "{line}").and_then(|_| writer.flush()) {
+            eprintln!("progress sink write failed: {e}");
+        }
+        true
+    }
+}
+
+/// Collects events in memory; test harnesses use it to observe a run and,
+/// optionally, to abort after a fixed number of cells (simulating a killed
+/// run without killing the process).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<CellEvent>>,
+    stop_after: Option<usize>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stops the run once `n` events have been recorded.
+    pub fn stop_after(n: usize) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            stop_after: Some(n),
+        }
+    }
+
+    /// Snapshot of the events seen so far, in completion order.
+    pub fn events(&self) -> Vec<CellEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// How many recorded events were cache hits.
+    pub fn hits(&self) -> usize {
+        self.events().iter().filter(|e| e.cache_hit).count()
+    }
+}
+
+impl ProgressSink for MemorySink {
+    fn cell_finished(&self, event: &CellEvent) -> bool {
+        let mut events = self.events.lock().expect("memory sink poisoned");
+        events.push(event.clone());
+        match self.stop_after {
+            Some(n) => events.len() < n,
+            None => true,
+        }
+    }
+}
+
+/// Why a suite run stopped before completing its grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteAborted {
+    /// Cells that finished (and, with a cache, were persisted).
+    pub completed: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Whether a cache was attached — i.e. whether the finished cells
+    /// survived the abort.
+    pub cached: bool,
+}
+
+impl fmt::Display for SuiteAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "suite aborted by its progress sink after {}/{} cells ({})",
+            self.completed,
+            self.total,
+            if self.cached {
+                "finished cells are cached; re-run with --resume"
+            } else {
+                "no cache attached, finished cells were discarded"
+            }
+        )
+    }
+}
+
+impl std::error::Error for SuiteAborted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(index: usize, cache_hit: bool) -> CellEvent {
+        CellEvent {
+            suite: "table4".into(),
+            sweep: "defenses-MF".into(),
+            index,
+            total: 48,
+            key: "ab".repeat(32),
+            dataset: "ml100k".into(),
+            model: "MF".into(),
+            attack: "PIECK-UEA".into(),
+            defense: "ours".into(),
+            variant: String::new(),
+            rounds: 150,
+            cache_hit,
+            wall_ms: 12.5,
+            er_percent: 93.39,
+            hr_percent: 41.5,
+        }
+    }
+
+    #[test]
+    fn events_round_trip_as_single_json_lines() {
+        let event = sample_event(3, true);
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"cache_hit\":true"), "{line}");
+        let back: CellEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.index, 3);
+        assert_eq!(back.key, event.key);
+        assert_eq!(back.er_percent, event.er_percent);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_and_truncates() {
+        let path = std::env::temp_dir().join(format!("frs-progress-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let sink = JsonlSink::create(&path).unwrap();
+        assert!(sink.cell_finished(&sample_event(0, false)));
+        assert!(sink.cell_finished(&sample_event(1, false)));
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+
+        // `--resume` append mode keeps the history…
+        let sink = JsonlSink::open(&path, true).unwrap();
+        sink.cell_finished(&sample_event(2, true));
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+
+        // …a fresh sink that never receives an event leaves it untouched
+        // (a failed invocation must not destroy a previous run's history)…
+        drop(JsonlSink::create(&path).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+
+        // …and a fresh run truncates at its first event.
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.cell_finished(&sample_event(0, false));
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_sink_stops_after_n() {
+        let sink = MemorySink::stop_after(2);
+        assert!(sink.cell_finished(&sample_event(0, false)));
+        assert!(!sink.cell_finished(&sample_event(1, true)));
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.hits(), 1);
+    }
+}

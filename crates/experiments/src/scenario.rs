@@ -105,6 +105,14 @@ impl ScenarioConfig {
         }
     }
 
+    /// The canonical (sorted-key, whitespace-free, stable-number) JSON text
+    /// of this config — the form the suite cache hashes. Structurally equal
+    /// configs always canonicalize to the same byte string, so this is the
+    /// cell's identity for content addressing (see `crate::cache`).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string_canonical(self).expect("scenario config serializes")
+    }
+
     /// Number of malicious clients so that `p̃ = n_mal/(n_benign + n_mal)`.
     pub fn n_malicious(&self, n_benign: usize) -> usize {
         if self.attack.is_no_attack() || self.malicious_ratio <= 0.0 {
@@ -360,6 +368,18 @@ mod tests {
         let b = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
         assert_eq!(a.er_percent, b.er_percent);
         assert_eq!(a.hr_percent, b.hr_percent);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_round_trips() {
+        let cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::Ours);
+        let canonical = cfg.canonical_json();
+        assert!(!canonical.contains('\n') && !canonical.contains(": "));
+        // Sorted keys: "attack" precedes "defense" precedes "rounds".
+        let pos = |k: &str| canonical.find(&format!("\"{k}\"")).unwrap();
+        assert!(pos("attack") < pos("defense") && pos("defense") < pos("rounds"));
+        let back: ScenarioConfig = serde_json::from_str(&canonical).unwrap();
+        assert_eq!(back.canonical_json(), canonical);
     }
 
     #[test]

@@ -25,15 +25,18 @@
 //! to JSON, inspected, or rebuilt elsewhere — and an attack registered at
 //! runtime via `frs_attacks::register_attack` sweeps exactly like a builtin.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use frs_attacks::{AttackKind, AttackSel};
 use frs_defense::DefenseSel;
 use frs_model::{LossKind, ModelKind};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{scenario_key, SuiteCache};
 use crate::presets::{paper_scenario, PaperDataset};
+use crate::progress::{CellEvent, ProgressSink, SuiteAborted};
 use crate::report::{pct, Report, Table};
 use crate::scenario::{self, ScenarioConfig, ScenarioOutcome};
 
@@ -382,10 +385,32 @@ impl ExperimentSuite {
     /// is cell-for-cell identical regardless of thread count: cells are
     /// independently seeded and land at their grid index.
     pub fn run(&self, opts: &RunOptions) -> SuiteResult {
+        self.run_with(opts, &ExecOptions::default())
+            .expect("no sink to abort an ExecOptions::default() run")
+    }
+
+    /// Runs every cell like [`ExperimentSuite::run`], additionally consulting
+    /// a content-addressed [`SuiteCache`] (hit ⇒ the simulation is skipped
+    /// entirely; miss ⇒ the fresh outcome is persisted) and streaming one
+    /// [`CellEvent`] per finished cell to `exec.sink`.
+    ///
+    /// Cached outcomes are bit-identical to fresh ones — the cell's config
+    /// fully seeds its simulation and the cache round-trips every metric —
+    /// so reports rendered from a warm run match the cold run byte for byte.
+    ///
+    /// Returns `Err(SuiteAborted)` when the sink stopped the run before the
+    /// grid completed; with a cache attached, everything finished up to that
+    /// point is persisted, and a re-run resumes from it.
+    pub fn run_with(
+        &self,
+        opts: &RunOptions,
+        exec: &ExecOptions<'_>,
+    ) -> Result<SuiteResult, SuiteAborted> {
         let cells = self.cells(opts);
         let n = cells.len();
         let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; n]);
         let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
         let workers = opts.threads.clamp(1, n.max(1));
 
         // A panicking cell (e.g. an unregistered attack name) propagates out
@@ -394,12 +419,55 @@ impl ExperimentSuite {
         let _ = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     if i >= n {
                         break;
                     }
                     let cell = &cells[i];
-                    let outcome = scenario::run(&cell.config);
+                    let started = Instant::now();
+                    // Canonical-JSON + SHA-256 per cell is only worth paying
+                    // when something consumes the key.
+                    let key = if exec.cache.is_some() || exec.sink.is_some() {
+                        scenario_key(&cell.config)
+                    } else {
+                        String::new()
+                    };
+                    let cached = exec.cache.and_then(|cache| cache.load(&key));
+                    let cache_hit = cached.is_some();
+                    let outcome = cached.unwrap_or_else(|| {
+                        let outcome = scenario::run(&cell.config);
+                        if let Some(cache) = exec.cache {
+                            if let Err(e) = cache.store(&key, &outcome) {
+                                eprintln!("suite cache store failed for {key}: {e}");
+                            }
+                        }
+                        outcome
+                    });
+                    if let Some(sink) = exec.sink {
+                        let event = CellEvent {
+                            suite: self.name.clone(),
+                            sweep: cell.sweep.clone(),
+                            index: i,
+                            total: n,
+                            key,
+                            dataset: cell.dataset.name().to_string(),
+                            model: cell.model.label().to_string(),
+                            attack: cell.attack.label(),
+                            defense: cell.defense.label(),
+                            variant: cell.variant.clone(),
+                            rounds: cell.config.rounds,
+                            cache_hit,
+                            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                            er_percent: outcome.er_percent,
+                            hr_percent: outcome.hr_percent,
+                        };
+                        if !sink.cell_finished(&event) {
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                    }
                     results.lock().expect("suite results poisoned")[i] = Some(CellResult {
                         cell: cell.clone(),
                         outcome,
@@ -408,9 +476,16 @@ impl ExperimentSuite {
             }
         });
 
-        let all: Vec<CellResult> = results
-            .into_inner()
-            .expect("suite results poisoned")
+        let finished = results.into_inner().expect("suite results poisoned");
+        let completed = finished.iter().filter(|r| r.is_some()).count();
+        if completed < n {
+            return Err(SuiteAborted {
+                completed,
+                total: n,
+                cached: exec.cache.is_some(),
+            });
+        }
+        let all: Vec<CellResult> = finished
             .into_iter()
             .map(|r| r.expect("cell not executed"))
             .collect();
@@ -429,12 +504,22 @@ impl ExperimentSuite {
             })
             .collect();
 
-        SuiteResult {
+        Ok(SuiteResult {
             name: self.name.clone(),
             title: self.title.clone(),
             sweeps,
-        }
+        })
     }
+}
+
+/// Execution-layer options for [`ExperimentSuite::run_with`]: shared across
+/// every cell of a run, orthogonal to the grid itself ([`RunOptions`]).
+#[derive(Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Content-addressed outcome cache; `None` recomputes every cell.
+    pub cache: Option<&'a SuiteCache>,
+    /// Per-cell progress sink; `None` runs silently.
+    pub sink: Option<&'a dyn ProgressSink>,
 }
 
 /// Results of one sweep, in grid order.
@@ -705,6 +790,92 @@ mod tests {
             assert_eq!(a.outcome.hr_percent, b.outcome.hr_percent, "{:?}", a.cell);
             assert_eq!(a.outcome.targets, b.outcome.targets, "{:?}", a.cell);
         }
+    }
+
+    #[test]
+    fn warm_cache_skips_execution_and_matches_cold_run() {
+        use crate::progress::MemorySink;
+
+        let dir = std::env::temp_dir().join(format!("frs-suite-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SuiteCache::open(&dir).unwrap();
+        let suite = ExperimentSuite::new("warm", "Warm cache").sweep(
+            Sweep::new("grid", "Grid").over_attacks([AttackKind::NoAttack, AttackKind::PieckUea]),
+        );
+        let opts = tiny_opts();
+
+        let cold_sink = MemorySink::new();
+        let cold = suite
+            .run_with(
+                &opts,
+                &ExecOptions {
+                    cache: Some(&cache),
+                    sink: Some(&cold_sink),
+                },
+            )
+            .unwrap();
+        assert_eq!(cold_sink.events().len(), 2);
+        assert_eq!(cold_sink.hits(), 0);
+
+        let warm_sink = MemorySink::new();
+        let warm = suite
+            .run_with(
+                &opts,
+                &ExecOptions {
+                    cache: Some(&cache),
+                    sink: Some(&warm_sink),
+                },
+            )
+            .unwrap();
+        assert_eq!(warm_sink.hits(), 2, "second run must be 100% cache hits");
+
+        // Bit-identical reports, cold vs warm.
+        use crate::report::ReportFormat;
+        for format in [
+            ReportFormat::Markdown,
+            ReportFormat::Csv,
+            ReportFormat::Json,
+        ] {
+            assert_eq!(cold.report().render(format), warm.report().render(format));
+        }
+        // Events carry the content-addressed keys, stable across runs.
+        let mut cold_keys: Vec<String> = cold_sink.events().into_iter().map(|e| e.key).collect();
+        assert!(cold_keys.iter().all(|k| k.len() == 64));
+        let mut warm_keys: Vec<String> = warm_sink.events().into_iter().map(|e| e.key).collect();
+        cold_keys.sort();
+        warm_keys.sort();
+        assert_eq!(cold_keys, warm_keys);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_abort_stops_scheduling_and_reports_progress() {
+        use crate::progress::MemorySink;
+
+        let suite = ExperimentSuite::new("abort", "Abort").sweep(
+            Sweep::new("grid", "Grid")
+                .over_attacks([AttackKind::NoAttack, AttackKind::PieckIpe])
+                .over_defenses([DefenseKind::NoDefense, DefenseKind::Median]),
+        );
+        let sink = MemorySink::stop_after(1);
+        let err = suite
+            .run_with(
+                &RunOptions {
+                    threads: 1,
+                    ..tiny_opts()
+                },
+                &ExecOptions {
+                    cache: None,
+                    sink: Some(&sink),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.total, 4);
+        assert_eq!(err.completed, 1);
+        assert!(!err.cached);
+        assert!(err.to_string().contains("1/4"), "{err}");
+        // No cache was attached, so the message must not promise --resume.
+        assert!(err.to_string().contains("discarded"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub struct FederationConfig {
     pub client_lr_cycle: Option<(f32, f32)>,
     /// Users sampled per round, `|U^r|` (256 in the paper; 1024 for AZ+MF).
     pub users_per_round: usize,
-    /// Negative-sampling ratio `q` (1 by default, following [32]).
+    /// Negative-sampling ratio `q` (1 by default, following \[32\]).
     pub negative_ratio: usize,
     /// Training loss (BCE by default; BPR for Table XI).
     pub loss: LossKind,

@@ -3,7 +3,7 @@
 //! Every numeric building block the federated-recommendation stack needs lives
 //! here: embedding vectors ([`vector`]), row-major embedding tables
 //! ([`matrix`]), numerically stable activations ([`activation`]), softmax-based
-//! KL divergence with analytic gradients ([`softmax`]), robust statistics used
+//! KL divergence with analytic gradients ([`mod@softmax`]), robust statistics used
 //! by the server-side defenses ([`stats`]), and ranking / top-k selection used
 //! by recommendation lists and the popular-item miner ([`rank`]).
 //!

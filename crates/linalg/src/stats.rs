@@ -56,12 +56,12 @@ pub fn trimmed_mean_inplace(xs: &mut [f32], trim: usize) -> f32 {
 }
 
 /// Coordinate-wise median of a set of equal-length vectors — the Median
-/// defense [40] applied to one parameter group.
+/// defense \[40\] applied to one parameter group.
 pub fn coordinate_median(vectors: &[&[f32]]) -> Vec<f32> {
     coordinate_reduce(vectors, median_inplace)
 }
 
-/// Coordinate-wise `trim`-trimmed mean — the TrimmedMean defense [40].
+/// Coordinate-wise `trim`-trimmed mean — the TrimmedMean defense \[40\].
 pub fn coordinate_trimmed_mean(vectors: &[&[f32]], trim: usize) -> Vec<f32> {
     coordinate_reduce(vectors, |buf| trimmed_mean_inplace(buf, trim))
 }

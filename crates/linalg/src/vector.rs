@@ -80,7 +80,7 @@ pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
 
 /// Rescales `a` in place so its L2 norm does not exceed `max_norm`.
 ///
-/// Used by the NormBound defense [33] and by clients that clip their own
+/// Used by the NormBound defense \[33\] and by clients that clip their own
 /// uploads. Returns the factor applied (1.0 when no clipping happened).
 pub fn clip_l2_norm(a: &mut [f32], max_norm: f32) -> f32 {
     let norm = l2_norm(a);

@@ -13,9 +13,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LossKind {
     /// Pointwise binary cross-entropy (paper Eq. 2; the default, after
-    /// A-HUM [31]).
+    /// A-HUM \[31\]).
     Bce,
-    /// Pairwise Bayesian Personalized Ranking [30] (supplementary Table XI).
+    /// Pairwise Bayesian Personalized Ranking \[30\] (supplementary Table XI).
     Bpr,
 }
 

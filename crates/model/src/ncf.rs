@@ -5,7 +5,7 @@
 //! and aggregated across clients, opening the interaction-function poisoning
 //! surface that A-RA/A-HUM exploit.
 //!
-//! The MLP input follows the NeuMF formulation of the NCF paper [16]:
+//! The MLP input follows the NeuMF formulation of the NCF paper \[16\]:
 //! `z₀ = u ⊕ v ⊕ (u ⊙ v)` — the concatenation augmented with the GMF
 //! element-wise product path. The product features make the learned score
 //! genuinely *multiplicative* in (user, item); without them a narrow MLP

@@ -6,8 +6,20 @@
 //! median-of-samples wall-clock harness. No statistics machinery, no HTML
 //! reports: each benchmark prints one `group/id  time/iter` line, which is
 //! what CI and quick local comparisons need.
+//!
+//! Two environment knobs support CI smoke runs:
+//!
+//! - `FRS_BENCH_QUICK=1` — quick mode: two samples per benchmark and a much
+//!   smaller per-sample time budget, trading precision for wall time so the
+//!   whole bench suite smoke-tests in seconds.
+//! - `FRS_BENCH_JSON=path` — besides printing, *append* one JSON object per
+//!   benchmark (`{"bench": "group/id", "ns_per_iter": …}`) to `path`.
+//!   Append (not truncate) because every bench target is its own process;
+//!   CI collects the lines into one artifact.
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value laundering.
@@ -50,6 +62,11 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// True when `FRS_BENCH_QUICK` requests the fast smoke configuration.
+fn quick_mode() -> bool {
+    std::env::var("FRS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Top-level harness handle.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -89,12 +106,21 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
+    /// Samples per benchmark, after the quick-mode override.
+    fn effective_sample_size(&self) -> usize {
+        if quick_mode() {
+            2
+        } else {
+            self.sample_size
+        }
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.effective_sample_size());
         f(&mut b);
         self.report(&id, &b);
         self
@@ -109,7 +135,7 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.effective_sample_size());
         f(&mut b, input);
         self.report(&id, &b);
         self
@@ -135,7 +161,58 @@ impl<'a> BenchmarkGroup<'a> {
             format!("{}/{}", self.name, id.0),
             per_iter
         );
+        if let Ok(path) = std::env::var("FRS_BENCH_JSON") {
+            if !path.is_empty() {
+                self.append_json(&path, id, per_iter);
+            }
+        }
     }
+
+    /// Appends one JSON object line for this benchmark to `path`.
+    fn append_json(&self, path: &str, id: &BenchmarkId, per_iter: Duration) {
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(n)) => format!(",\"throughput_bytes\":{n}"),
+            Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"bench\":\"{}/{}\",\"ns_per_iter\":{}{throughput},\"quick\":{}}}",
+            escape_json(&self.name),
+            escape_json(&id.0),
+            per_iter.as_nanos(),
+            quick_mode(),
+        );
+        let appended = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut file| writeln!(file, "{line}"));
+        if let Err(e) = appended {
+            eprintln!("FRS_BENCH_JSON: cannot append to {path}: {e}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping for benchmark names (no serde dependency
+/// here): quotes, backslashes, and every control character < 0x20, so any
+/// id a bench constructs still yields a parseable line.
+fn escape_json(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Measures the closure repeatedly and keeps per-sample timings.
@@ -159,7 +236,13 @@ impl Bencher {
         let probe = Instant::now();
         black_box(f());
         let once = probe.elapsed().max(Duration::from_nanos(1));
-        let budget = Duration::from_millis(20);
+        // Quick mode (FRS_BENCH_QUICK) shrinks the per-sample budget so even
+        // slow bodies finish in milliseconds — CI smoke, not measurement.
+        let budget = if quick_mode() {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(20)
+        };
         let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1000) as usize;
 
         self.samples.clear();
@@ -220,8 +303,40 @@ mod tests {
 
     criterion_group!(benches, sample_bench);
 
+    /// Serializes tests that touch the process-global env knobs.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn harness_runs_to_completion() {
+        let _guard = ENV_LOCK.lock().unwrap();
         benches();
+    }
+
+    #[test]
+    fn json_sink_appends_one_line_per_benchmark() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join(format!("frs-bench-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("FRS_BENCH_JSON", &path);
+        std::env::set_var("FRS_BENCH_QUICK", "1");
+        benches();
+        std::env::remove_var("FRS_BENCH_JSON");
+        std::env::remove_var("FRS_BENCH_QUICK");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"bench\":\"shim/sum\""), "{text}");
+        assert!(lines[0].contains("\"ns_per_iter\":"), "{text}");
+        assert!(lines[0].contains("\"quick\":true"), "{text}");
+        assert!(lines[1].contains("\"bench\":\"shim/scaled/2\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\tb\nc\r\u{1}"), "a\\tb\\nc\\r\\u0001");
     }
 }

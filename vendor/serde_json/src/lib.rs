@@ -37,6 +37,56 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_value(&parse(s)?)
 }
 
+/// **Canonical** JSON text, suitable for content hashing: object keys are
+/// emitted in sorted (byte-lexicographic) order, there is no insignificant
+/// whitespace, and numbers render in the shortest form that round-trips
+/// (`u64`/`i64` as plain integers, whole `f64`s with a trailing `.0`).
+///
+/// Two values that compare equal as [`Value`] trees — regardless of the
+/// order their object keys were inserted in — always canonicalize to the
+/// same byte string. The shim's [`Map`] is a `BTreeMap`, so plain
+/// [`to_string`] already satisfies this; this entry point *documents and
+/// guarantees* the property for callers that hash the output (see
+/// `frs_experiments::cache`), independent of how `Map` is represented in
+/// the future.
+pub fn to_string_canonical<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_canonical(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Canonical writer: like the compact writer, but sorts object keys
+/// explicitly instead of relying on the map's iteration order.
+fn write_canonical(out: &mut String, v: &Value) {
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            let mut entries: Vec<(&String, &Value)> = map.iter().collect();
+            entries.sort_by_key(|(k, _)| k.as_bytes());
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_canonical(out, value);
+            }
+            out.push('}');
+        }
+        scalar => write_value(out, scalar, None, 0),
+    }
+}
+
 // ------------------------------------------------------------------ writing
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
@@ -405,6 +455,41 @@ mod tests {
         let json = to_string(&v).unwrap();
         let back: Vec<(f32, f32)> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn canonical_matches_compact_and_sorts_keys() {
+        let json = r#"{"b":{"z":1,"a":[true,null]},"a":2.5}"#;
+        let v = parse(json).unwrap();
+        let canonical = to_string_canonical(&v).unwrap();
+        assert_eq!(canonical, r#"{"a":2.5,"b":{"a":[true,null],"z":1}}"#);
+        // With a BTreeMap-backed Map the compact writer agrees.
+        assert_eq!(canonical, to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn canonical_is_insertion_order_independent() {
+        let pairs = [("zeta", 0u64), ("alpha", 1), ("Mid", 2), ("03", 3)];
+        let mut forward = Map::new();
+        let mut backward = Map::new();
+        for &(key, n) in pairs.iter() {
+            forward.insert(key.to_string(), Value::Number(Number::U64(n)));
+        }
+        for &(key, n) in pairs.iter().rev() {
+            backward.insert(key.to_string(), Value::Number(Number::U64(n)));
+        }
+        assert_eq!(
+            to_string_canonical(&Value::Object(forward)).unwrap(),
+            to_string_canonical(&Value::Object(backward)).unwrap()
+        );
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let json = r#"{"seed":18446744073709551615,"w":[1.5,-2.0,"x"]}"#;
+        let v = parse(json).unwrap();
+        let canonical = to_string_canonical(&v).unwrap();
+        assert_eq!(parse(&canonical).unwrap(), v);
     }
 
     #[test]
