@@ -55,6 +55,22 @@ pub trait AttackFactory: Send + Sync {
     /// Builds `ctx.count` malicious clients with dense ids starting at
     /// `ctx.first_id`.
     fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>>;
+
+    /// Optional behaviour fingerprint, mixed into suite cache keys.
+    ///
+    /// Scenario configs reference attacks by *name*, so a cache cannot see
+    /// the parameters a runtime-registered factory closed over — two
+    /// factories registered under the same name with different behaviour
+    /// would share cache entries. A factory that returns a fingerprint
+    /// describing its parameters (any stable string; `format!("{cfg:?}")`
+    /// of its config is typical) closes that hole: the fingerprint is
+    /// hashed alongside the scenario config, so re-registering the name
+    /// with different parameters re-keys every affected cell. `None` (the
+    /// default, and what the built-ins use — their behaviour is code,
+    /// versioned by the cache schema) keeps name-only addressing.
+    fn fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 type AttackBuildFn = Box<dyn Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync>;
@@ -64,6 +80,7 @@ type AttackBuildFn = Box<dyn Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + S
 pub struct FnAttackFactory {
     name: String,
     label: String,
+    fingerprint: Option<String>,
     build: AttackBuildFn,
 }
 
@@ -76,6 +93,24 @@ impl FnAttackFactory {
         Arc::new(Self {
             name: name.into(),
             label: label.into(),
+            fingerprint: None,
+            build: Box::new(build),
+        })
+    }
+
+    /// Like [`FnAttackFactory::new`], additionally carrying a behaviour
+    /// fingerprint (see [`AttackFactory::fingerprint`]) so suite caches can
+    /// tell apart same-named registrations with different parameters.
+    pub fn fingerprinted(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        fingerprint: impl Into<String>,
+        build: impl Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            label: label.into(),
+            fingerprint: Some(fingerprint.into()),
             build: Box::new(build),
         })
     }
@@ -92,6 +127,10 @@ impl AttackFactory for FnAttackFactory {
 
     fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
         (self.build)(ctx)
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        self.fingerprint.clone()
     }
 }
 
@@ -178,6 +217,12 @@ impl AttackSel {
     /// Resolves through the registry.
     pub fn resolve(&self) -> Option<Arc<dyn AttackFactory>> {
         attack_factory(&self.name)
+    }
+
+    /// The resolved factory's behaviour fingerprint, if it declares one
+    /// (unregistered names and fingerprint-less factories yield `None`).
+    pub fn fingerprint(&self) -> Option<String> {
+        self.resolve().and_then(|f| f.fingerprint())
     }
 
     /// Builds the malicious population; panics with the list of known
@@ -272,6 +317,27 @@ mod tests {
             let reg_ids: Vec<usize> = via_registry.iter().map(|c| c.id()).collect();
             assert_eq!(enum_ids, reg_ids, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn fingerprints_surface_through_selections() {
+        assert!(AttackSel::named("never-registered").fingerprint().is_none());
+        register_attack(FnAttackFactory::new("fp-none", "FpNone", |_| Vec::new()));
+        assert!(AttackSel::named("fp-none").fingerprint().is_none());
+        register_attack(FnAttackFactory::fingerprinted(
+            "fp-some",
+            "FpSome",
+            "lambda=0.5",
+            |_| Vec::new(),
+        ));
+        assert_eq!(
+            AttackSel::named("fp-some").fingerprint().as_deref(),
+            Some("lambda=0.5")
+        );
+        // Built-ins are code, not closures: no fingerprint.
+        assert!(AttackSel::from(AttackKind::PieckUea)
+            .fingerprint()
+            .is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frs_attacks::AttackKind;
-use frs_bench::bench_simulation;
+use frs_bench::{bench_simulation, bench_simulation_at_width};
 use frs_defense::DefenseKind;
 use frs_model::ModelKind;
 
@@ -33,5 +33,26 @@ fn round_time(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, round_time);
+/// Per-round wall time as the round pool widens: the hot path the shared
+/// core budget hands spare cores to on warm-cache suite runs.
+fn round_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_width");
+    group.sample_size(10);
+    for width in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("mf_uea", width), &width, |b, &width| {
+            let mut sim = bench_simulation_at_width(
+                ModelKind::Mf,
+                AttackKind::PieckUea,
+                DefenseKind::NoDefense,
+                width,
+            );
+            // Warm up past the mining phase so the attack path runs.
+            sim.run(4);
+            b.iter(|| sim.run_round());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, round_time, round_width);
 criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `bench-gate` — the CI perf-regression gate over `BENCH_*.json` files.
+//!
+//! ```text
+//! bench-gate compare --baseline BENCH_baseline.json --current BENCH_quick.json
+//!            [--threshold 1.5] [--min-ns 100] [--summary gate.md]
+//! bench-gate collect bench-lines.jsonl   # JSONL → baseline JSON on stdout
+//! ```
+//!
+//! `compare` prints the Markdown delta table (and writes it to `--summary`
+//! when given, for `$GITHUB_STEP_SUMMARY`), then exits 1 if any named
+//! benchmark regressed past the threshold or vanished from the current run.
+//! The threshold can also come from `BENCH_GATE_THRESHOLD` (the flag wins).
+
+use std::process::exit;
+
+use frs_bench::gate::{self, DEFAULT_MIN_NS, DEFAULT_THRESHOLD};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-gate compare --baseline FILE --current FILE \
+         [--threshold x] [--min-ns n] [--summary FILE]\n\
+         \x20      bench-gate collect LINES_FILE"
+    );
+    exit(2);
+}
+
+fn read(path: &str) -> Vec<gate::BenchRecord> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-gate: cannot read {path}: {e}");
+        exit(2);
+    });
+    gate::parse_records(&text).unwrap_or_else(|e| {
+        eprintln!("bench-gate: cannot parse {path}: {e}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("collect") => {
+            let Some(path) = args.get(1) else { usage() };
+            print!("{}", gate::render_baseline(&read(path)));
+        }
+        Some("compare") => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut summary = None;
+            let mut threshold = std::env::var("BENCH_GATE_THRESHOLD")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_THRESHOLD);
+            let mut min_ns = DEFAULT_MIN_NS;
+            let mut iter = args[1..].iter();
+            while let Some(flag) = iter.next() {
+                let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
+                match flag.as_str() {
+                    "--baseline" => baseline = Some(value()),
+                    "--current" => current = Some(value()),
+                    "--summary" => summary = Some(value()),
+                    "--threshold" => {
+                        threshold = value().parse().unwrap_or_else(|_| usage());
+                    }
+                    "--min-ns" => min_ns = value().parse().unwrap_or_else(|_| usage()),
+                    _ => usage(),
+                }
+            }
+            let (Some(baseline), Some(current)) = (baseline, current) else {
+                usage()
+            };
+            if !(threshold.is_finite() && threshold >= 1.0) {
+                eprintln!("bench-gate: threshold must be ≥ 1.0");
+                exit(2);
+            }
+            let report = gate::compare(&read(&baseline), &read(&current), threshold, min_ns);
+            let markdown = report.to_markdown();
+            print!("{markdown}");
+            if let Some(path) = summary {
+                if let Err(e) = std::fs::write(&path, &markdown) {
+                    eprintln!("bench-gate: cannot write {path}: {e}");
+                    exit(2);
+                }
+            }
+            if !report.passed() {
+                let names: Vec<String> = report.failures().map(|r| r.bench.clone()).collect();
+                eprintln!(
+                    "bench-gate: {} benchmark(s) failed the {threshold:.2}x gate: {}",
+                    names.len(),
+                    names.join(", ")
+                );
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,461 @@
+//! The CI performance-regression gate.
+//!
+//! The bench-smoke job runs every Criterion bench in quick mode and collects
+//! one `{"bench": name, "ns_per_iter": n}` record per benchmark into
+//! `BENCH_quick.json`. This module compares such a run against the committed
+//! `BENCH_baseline.json`: any named benchmark slower than
+//! `threshold ×` its baseline (1.5× by default — quick mode takes two
+//! samples, so the tolerance absorbs scheduler noise while still catching
+//! real hot-path regressions) fails the gate, as does a benchmark that
+//! disappeared from the current run (a rename must update the baseline,
+//! otherwise it would silently dodge the gate). New benchmarks are reported
+//! but never fail — they simply have no baseline yet.
+//!
+//! The comparison renders as a Markdown delta table (one row per benchmark,
+//! slowest ratio first) for the CI job summary. Regenerate the baseline
+//! with:
+//!
+//! ```text
+//! FRS_BENCH_QUICK=1 FRS_BENCH_JSON=$PWD/bench-lines.jsonl cargo bench -p frs-bench
+//! cargo run -p frs-bench --bin bench-gate -- collect bench-lines.jsonl > BENCH_baseline.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Relative-slowdown tolerance: fail on `current > threshold * baseline`.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// Absolute noise slack in nanoseconds. A regression must exceed the ratio
+/// threshold **and** grow by at least this many absolute nanoseconds: on
+/// sub-microsecond benches a 1.5× excursion is routinely pure timer or
+/// scheduler jitter (a committed 97 ns baseline measuring 150 ns on a
+/// different runner is a 1.55× "slowdown" of 53 ns — noise, not a
+/// regression). Pairs where both sides sit under this floor are reported
+/// as below-floor and never failed.
+pub const DEFAULT_MIN_NS: u64 = 250;
+
+/// With at least this many paired benchmarks, ratios are divided by the
+/// fleet's **median drift** before thresholding: the committed baseline
+/// comes from whatever machine last regenerated it, and a CI runner that is
+/// uniformly ~2× slower would otherwise fail every millisecond-scale bench.
+/// A genuine regression moves one bench against the pack, not the whole
+/// pack. Unit-sized comparisons (fewer pairs) skip calibration, and the
+/// factor is clamped to [1/2.5, 2.5] so an across-the-board true slowdown
+/// cannot fully hide (the applied factor is always printed in the report).
+pub const CALIBRATION_MIN_PAIRS: usize = 8;
+
+/// Bounds on the machine-drift calibration factor.
+pub const CALIBRATION_CLAMP: f64 = 2.5;
+
+/// One benchmark's measurement, as recorded by the vendored Criterion shim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// `group/id` name.
+    pub bench: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub ns_per_iter: u64,
+}
+
+/// Parses a `BENCH_*.json` document: a JSON array of benchmark objects
+/// (later duplicates of a name win, matching "last run wins" for re-run
+/// bench targets). Also accepts the raw JSONL the bench processes append,
+/// so `collect` and `compare` share one reader.
+pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let values: Vec<serde_json::Value> = match serde_json::parse(text.trim()) {
+        Ok(serde_json::Value::Array(items)) => items,
+        Ok(other) => vec![other],
+        // Not a single document — try JSONL, one object per line.
+        Err(_) => text
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| serde_json::parse(line).map_err(|e| format!("bad bench line: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    for value in &values {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("bench record is not an object: {}", value.kind()))?;
+        let bench = obj
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .ok_or("bench record without a \"bench\" name")?;
+        let ns = obj
+            .get("ns_per_iter")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("bench {bench} without integer \"ns_per_iter\""))?;
+        by_name.insert(bench.to_string(), ns);
+    }
+    Ok(by_name
+        .into_iter()
+        .map(|(bench, ns_per_iter)| BenchRecord { bench, ns_per_iter })
+        .collect())
+}
+
+/// Renders records as the committed-baseline JSON document (sorted, one
+/// object per line — diff-friendly under version control).
+pub fn render_baseline(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  {{\"bench\":\"{}\",\"ns_per_iter\":{}}}{comma}",
+            r.bench.replace('\\', "\\\\").replace('"', "\\\""),
+            r.ns_per_iter
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// How one benchmark moved against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// Within tolerance (includes speedups).
+    Ok,
+    /// Both measurements under the noise floor: ignored, whatever the ratio.
+    BelowFloor,
+    /// Slower than `threshold ×` baseline — fails the gate.
+    Regressed,
+    /// In the baseline but not the current run — fails the gate.
+    Missing,
+    /// In the current run but not the baseline — informational.
+    New,
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    pub bench: String,
+    pub baseline_ns: Option<u64>,
+    pub current_ns: Option<u64>,
+    /// `current / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    pub delta: Delta,
+}
+
+/// The whole gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    pub threshold: f64,
+    pub min_ns: u64,
+    /// Machine-drift factor the ratios were divided by before thresholding
+    /// (1.0 when calibration did not apply).
+    pub scale: f64,
+    /// All rows, worst ratio first (rows without a ratio sort by severity).
+    pub rows: Vec<BenchDelta>,
+}
+
+impl GateReport {
+    /// Benchmarks that fail the gate (regressed or missing).
+    pub fn failures(&self) -> impl Iterator<Item = &BenchDelta> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.delta, Delta::Regressed | Delta::Missing))
+    }
+
+    /// True when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// The Markdown delta table for the CI job summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.passed() {
+            "✅ no regression"
+        } else {
+            "❌ REGRESSION"
+        };
+        let _ = writeln!(
+            out,
+            "### Bench gate: {verdict} (threshold {:.2}×, noise floor {} ns, \
+             machine-drift calibration {:.2}×)\n",
+            self.threshold, self.min_ns, self.scale
+        );
+        out.push_str("| bench | baseline ns/iter | current ns/iter | ratio | status |\n");
+        out.push_str("|---|---:|---:|---:|---|\n");
+        for row in &self.rows {
+            let fmt_ns = |ns: Option<u64>| ns.map_or("–".to_string(), |n| n.to_string());
+            let ratio = row.ratio.map_or("–".to_string(), |r| format!("{r:.2}×"));
+            let status = match row.delta {
+                Delta::Ok => "ok",
+                Delta::BelowFloor => "below noise floor",
+                Delta::Regressed => "**regressed**",
+                Delta::Missing => "**missing from current run**",
+                Delta::New => "new (no baseline)",
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {ratio} | {status} |",
+                row.bench,
+                fmt_ns(row.baseline_ns),
+                fmt_ns(row.current_ns)
+            );
+        }
+        out
+    }
+}
+
+/// Compares a current quick run against the committed baseline.
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    threshold: f64,
+    min_ns: u64,
+) -> GateReport {
+    let base: BTreeMap<&str, u64> = baseline
+        .iter()
+        .map(|r| (r.bench.as_str(), r.ns_per_iter))
+        .collect();
+    let cur: BTreeMap<&str, u64> = current
+        .iter()
+        .map(|r| (r.bench.as_str(), r.ns_per_iter))
+        .collect();
+
+    // Machine-drift calibration: the median ratio over all paired benches.
+    let mut paired_ratios: Vec<f64> = base
+        .iter()
+        .filter_map(|(bench, &baseline_ns)| {
+            cur.get(bench)
+                .map(|&current_ns| current_ns as f64 / baseline_ns.max(1) as f64)
+        })
+        .collect();
+    let scale = if paired_ratios.len() >= CALIBRATION_MIN_PAIRS {
+        paired_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = paired_ratios.len() / 2;
+        let median = if paired_ratios.len().is_multiple_of(2) {
+            (paired_ratios[mid - 1] + paired_ratios[mid]) / 2.0
+        } else {
+            paired_ratios[mid]
+        };
+        median.clamp(1.0 / CALIBRATION_CLAMP, CALIBRATION_CLAMP)
+    } else {
+        1.0
+    };
+
+    let mut rows = Vec::new();
+    for (&bench, &baseline_ns) in &base {
+        match cur.get(bench) {
+            Some(&current_ns) => {
+                let ratio = current_ns as f64 / baseline_ns.max(1) as f64;
+                let grew_past_noise = current_ns >= baseline_ns.saturating_add(min_ns);
+                let delta = if baseline_ns < min_ns && current_ns < min_ns {
+                    Delta::BelowFloor
+                } else if ratio / scale > threshold && grew_past_noise {
+                    Delta::Regressed
+                } else {
+                    Delta::Ok
+                };
+                rows.push(BenchDelta {
+                    bench: bench.to_string(),
+                    baseline_ns: Some(baseline_ns),
+                    current_ns: Some(current_ns),
+                    ratio: Some(ratio),
+                    delta,
+                });
+            }
+            None => rows.push(BenchDelta {
+                bench: bench.to_string(),
+                baseline_ns: Some(baseline_ns),
+                current_ns: None,
+                ratio: None,
+                delta: Delta::Missing,
+            }),
+        }
+    }
+    for (&bench, &current_ns) in &cur {
+        if !base.contains_key(bench) {
+            rows.push(BenchDelta {
+                bench: bench.to_string(),
+                baseline_ns: None,
+                current_ns: Some(current_ns),
+                ratio: None,
+                delta: Delta::New,
+            });
+        }
+    }
+    // Worst first: missing, then by descending ratio, then new/ok noise.
+    rows.sort_by(|a, b| {
+        let rank = |r: &BenchDelta| match r.delta {
+            Delta::Missing => 0,
+            Delta::Regressed => 1,
+            Delta::Ok | Delta::BelowFloor => 2,
+            Delta::New => 3,
+        };
+        rank(a).cmp(&rank(b)).then(
+            b.ratio
+                .unwrap_or(0.0)
+                .partial_cmp(&a.ratio.unwrap_or(0.0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.bench.cmp(&b.bench)),
+        )
+    });
+    GateReport {
+        threshold,
+        min_ns,
+        scale,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bench: &str, ns: u64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.into(),
+            ns_per_iter: ns,
+        }
+    }
+
+    #[test]
+    fn parses_arrays_and_jsonl() {
+        let array = r#"[{"bench":"a/x","ns_per_iter":100},{"bench":"b/y","ns_per_iter":200}]"#;
+        assert_eq!(
+            parse_records(array).unwrap(),
+            vec![rec("a/x", 100), rec("b/y", 200)]
+        );
+        let jsonl = "{\"bench\":\"a/x\",\"ns_per_iter\":100,\"quick\":true}\n\
+                     {\"bench\":\"b/y\",\"ns_per_iter\":200}\n";
+        assert_eq!(
+            parse_records(jsonl).unwrap(),
+            vec![rec("a/x", 100), rec("b/y", 200)]
+        );
+        // Duplicates: last wins (re-run bench target appends again).
+        let dup =
+            "{\"bench\":\"a/x\",\"ns_per_iter\":100}\n{\"bench\":\"a/x\",\"ns_per_iter\":150}\n";
+        assert_eq!(parse_records(dup).unwrap(), vec![rec("a/x", 150)]);
+        assert!(parse_records("[{\"ns_per_iter\":1}]").is_err());
+        assert!(parse_records("[{\"bench\":\"q\"}]").is_err());
+    }
+
+    #[test]
+    fn baseline_render_round_trips() {
+        let records = vec![rec("agg/sum", 1234), rec("round/mf", 56789)];
+        let text = render_baseline(&records);
+        assert_eq!(parse_records(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let report = compare(
+            &[rec("a", 1000), rec("b", 2000)],
+            &[rec("a", 1400), rec("b", 1000)],
+            1.5,
+            100,
+        );
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.delta == Delta::Ok));
+    }
+
+    #[test]
+    fn regression_fails_and_sorts_first() {
+        let report = compare(
+            &[rec("fast", 1000), rec("slow", 1000)],
+            &[rec("fast", 1001), rec("slow", 1501)],
+            1.5,
+            100,
+        );
+        assert!(!report.passed());
+        let failed: Vec<&str> = report.failures().map(|r| r.bench.as_str()).collect();
+        assert_eq!(failed, vec!["slow"]);
+        assert_eq!(report.rows[0].bench, "slow");
+        assert!(report.rows[0].ratio.unwrap() > 1.5);
+    }
+
+    #[test]
+    fn missing_bench_fails_but_new_bench_does_not() {
+        let report = compare(&[rec("gone", 500)], &[rec("fresh", 500)], 1.5, 100);
+        assert!(!report.passed());
+        assert_eq!(report.failures().count(), 1);
+        let gone = report.rows.iter().find(|r| r.bench == "gone").unwrap();
+        assert_eq!(gone.delta, Delta::Missing);
+        let fresh = report.rows.iter().find(|r| r.bench == "fresh").unwrap();
+        assert_eq!(fresh.delta, Delta::New);
+    }
+
+    #[test]
+    fn sub_floor_jitter_is_ignored() {
+        // 40 ns → 90 ns is a 2.25× "regression" entirely inside timer
+        // jitter; both sides under the floor → ignored.
+        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 90)], 1.5, 100);
+        assert!(report.passed());
+        assert_eq!(report.rows[0].delta, Delta::BelowFloor);
+        // But crossing the floor hard still fails.
+        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 400)], 1.5, 100);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn absolute_excess_guard_absorbs_small_ratio_excursions() {
+        // A 97 ns baseline measured at 150 ns elsewhere: 1.55× but only
+        // +53 ns — cross-machine jitter, not a regression.
+        let report = compare(&[rec("micro", 97)], &[rec("micro", 150)], 1.5, 100);
+        assert!(report.passed(), "{:?}", report.rows);
+        assert_eq!(report.rows[0].delta, Delta::Ok);
+        // The same ratio with real absolute growth still fails.
+        let report = compare(&[rec("big", 97_000)], &[rec("big", 150_000)], 1.5, 100);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn uniform_machine_drift_is_calibrated_away_but_outliers_still_fail() {
+        // Ten paired benches, all ~2× slower (a slower CI runner), except
+        // one that is 4× slower (a genuine regression on top of the drift).
+        let baseline: Vec<BenchRecord> =
+            (0..10).map(|i| rec(&format!("b{i}"), 1_000_000)).collect();
+        let current: Vec<BenchRecord> = (0..10)
+            .map(|i| {
+                let factor = if i == 3 { 4 } else { 2 };
+                rec(&format!("b{i}"), 1_000_000 * factor)
+            })
+            .collect();
+        let report = compare(&baseline, &current, 1.5, 250);
+        assert!((report.scale - 2.0).abs() < 1e-9, "{}", report.scale);
+        let failed: Vec<&str> = report.failures().map(|r| r.bench.as_str()).collect();
+        assert_eq!(failed, vec!["b3"], "only the outlier fails");
+        assert!(report.to_markdown().contains("calibration 2.00×"));
+
+        // Below the pair minimum, ratios are taken raw (scale 1.0): the
+        // unit-sized comparisons elsewhere in this suite rely on that.
+        let small = compare(&baseline[..2], &current[..2], 1.5, 250);
+        assert_eq!(small.scale, 1.0);
+        assert_eq!(small.failures().count(), 2);
+    }
+
+    #[test]
+    fn calibration_factor_is_clamped() {
+        // A pathological 10× uniform "drift" cannot be fully absorbed: the
+        // clamp caps the factor at 2.5, so every bench still fails loudly.
+        let baseline: Vec<BenchRecord> = (0..10).map(|i| rec(&format!("b{i}"), 100_000)).collect();
+        let current: Vec<BenchRecord> = (0..10).map(|i| rec(&format!("b{i}"), 1_000_000)).collect();
+        let report = compare(&baseline, &current, 1.5, 250);
+        assert_eq!(report.scale, 2.5);
+        assert_eq!(report.failures().count(), 10);
+    }
+
+    #[test]
+    fn markdown_table_lists_every_row() {
+        let report = compare(
+            &[rec("a", 1000), rec("b", 1000)],
+            &[rec("a", 2000), rec("c", 10)],
+            1.5,
+            100,
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("❌ REGRESSION"), "{md}");
+        assert!(
+            md.contains("| `a` | 1000 | 2000 | 2.00× | **regressed** |"),
+            "{md}"
+        );
+        assert!(md.contains("**missing from current run**"), "{md}");
+        assert!(md.contains("new (no baseline)"), "{md}");
+        let passing = compare(&[rec("a", 1000)], &[rec("a", 900)], 1.5, 100);
+        assert!(passing.to_markdown().contains("✅ no regression"));
+    }
+}

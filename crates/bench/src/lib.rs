@@ -5,6 +5,11 @@
 //! uploads, so the benches measure the shapes that matter (per-round cost,
 //! aggregation cost vs defense, attack crafting cost) without taking minutes
 //! per sample.
+//!
+//! The sibling [`gate`] module is the CI perf-regression gate comparing a
+//! quick-mode run against the committed `BENCH_baseline.json`.
+
+pub mod gate;
 
 use std::sync::Arc;
 
@@ -22,9 +27,21 @@ pub const BENCH_SCALE: f64 = 0.15;
 
 /// A ready-to-run simulation for the given attack/defense pair.
 pub fn bench_simulation(kind: ModelKind, attack: AttackKind, defense: DefenseKind) -> Simulation {
+    bench_simulation_at_width(kind, attack, defense, 1)
+}
+
+/// Like [`bench_simulation`], with a frozen per-round fan-out width — the
+/// fixture behind the `round_width` scaling bench.
+pub fn bench_simulation_at_width(
+    kind: ModelKind,
+    attack: AttackKind,
+    defense: DefenseKind,
+    width: usize,
+) -> Simulation {
     let mut cfg: ScenarioConfig = paper_scenario(PaperDataset::Ml100k, kind, BENCH_SCALE, 42);
     cfg.attack = attack.into();
     cfg.defense = defense.into();
+    cfg.federation.round_threads = frs_federation::RoundThreads::Fixed(width);
     let (_, split, targets) = frs_experiments::scenario::build_world(&cfg);
     let train = Arc::new(split.train);
     frs_experiments::scenario::build_simulation(&cfg, train, &targets)

@@ -53,6 +53,15 @@ pub trait DefenseFactory: Send + Sync {
         let _ = ctx;
         None
     }
+
+    /// Optional behaviour fingerprint, mixed into suite cache keys — same
+    /// contract as `AttackFactory::fingerprint` in `frs_attacks`: a stable
+    /// string describing closed-over parameters, so re-registering this
+    /// name with different behaviour re-keys cached cells. `None` (the
+    /// default, used by the built-ins) keeps name-only addressing.
+    fn fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 type AggregatorBuildFn = Box<dyn Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync>;
@@ -62,6 +71,7 @@ pub struct FnDefenseFactory {
     name: String,
     label: String,
     client_side: bool,
+    fingerprint: Option<String>,
     aggregator: AggregatorBuildFn,
 }
 
@@ -75,6 +85,24 @@ impl FnDefenseFactory {
             name: name.into(),
             label: label.into(),
             client_side: false,
+            fingerprint: None,
+            aggregator: Box::new(aggregator),
+        })
+    }
+
+    /// Like [`FnDefenseFactory::new`], additionally carrying a behaviour
+    /// fingerprint (see [`DefenseFactory::fingerprint`]).
+    pub fn fingerprinted(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        fingerprint: impl Into<String>,
+        aggregator: impl Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            label: label.into(),
+            client_side: false,
+            fingerprint: Some(fingerprint.into()),
             aggregator: Box::new(aggregator),
         })
     }
@@ -95,6 +123,10 @@ impl DefenseFactory for FnDefenseFactory {
 
     fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
         (self.aggregator)(ctx)
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        self.fingerprint.clone()
     }
 }
 
@@ -184,6 +216,11 @@ impl DefenseSel {
     /// Resolves through the registry.
     pub fn resolve(&self) -> Option<Arc<dyn DefenseFactory>> {
         defense_factory(&self.name)
+    }
+
+    /// The resolved factory's behaviour fingerprint, if it declares one.
+    pub fn fingerprint(&self) -> Option<String> {
+        self.resolve().and_then(|f| f.fingerprint())
     }
 
     /// Builds the aggregator; panics with the list of known defenses when
@@ -299,6 +336,24 @@ mod tests {
             norm_bound_threshold: 1.0,
         };
         assert_eq!(sel.build_aggregator(&ctx).name(), "NoDefense");
+    }
+
+    #[test]
+    fn fingerprints_surface_through_selections() {
+        register_defense(FnDefenseFactory::fingerprinted(
+            "fp-defense",
+            "FpDefense",
+            "threshold=0.25",
+            |_| Box::new(SumAggregator),
+        ));
+        assert_eq!(
+            DefenseSel::named("fp-defense").fingerprint().as_deref(),
+            Some("threshold=0.25")
+        );
+        assert!(DefenseSel::named("sum-again-absent")
+            .fingerprint()
+            .is_none());
+        assert!(DefenseSel::from(DefenseKind::Ours).fingerprint().is_none());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]
-//!                 [--threads n] [--json dir] [--csv dir] [--quiet]
-//!                 [--cache-dir dir] [--no-cache] [--progress file] [--resume]
+//!                 [--threads n] [--round-threads auto|n] [--json dir]
+//!                 [--csv dir] [--quiet] [--cache-dir dir] [--no-cache]
+//!                 [--progress file] [--resume]
 //!
 //! paper list                 # available commands
 //! paper table4 --scale 0.25  # Table IV at quarter scale
@@ -16,8 +17,11 @@
 //!
 //! Every command prints a Markdown report to stdout (unless `--quiet`) and
 //! optionally writes the same report as JSON/CSV. Suite-backed commands run
-//! their scenario grid in parallel across `--threads` workers; results are
-//! identical regardless of thread count.
+//! their scenario grid in parallel across `--threads` workers; with
+//! `--round-threads auto`, executing cells additionally lease spare workers
+//! for their intra-round client fan-out (the big win on warm-cache runs
+//! where only a few cells remain). Results are identical regardless of
+//! thread counts or policy.
 //!
 //! With `--cache-dir`, every finished grid cell persists under a content
 //! hash of its scenario config, so re-runs (and overlapping grids across
@@ -28,11 +32,13 @@
 use frs_experiments::paper::PaperCommand;
 use frs_experiments::suite::ExecOptions;
 use frs_experiments::{CommonArgs, JsonlSink, Report, ReportFormat, SuiteCache};
+use frs_federation::CoreBudget;
 
 fn print_usage() {
     eprintln!("usage: paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]");
-    eprintln!("                       [--threads n] [--json dir] [--csv dir] [--quiet]");
-    eprintln!("                       [--cache-dir dir] [--no-cache] [--progress file] [--resume]");
+    eprintln!("                       [--threads n] [--round-threads auto|n] [--json dir]");
+    eprintln!("                       [--csv dir] [--quiet] [--cache-dir dir] [--no-cache]");
+    eprintln!("                       [--progress file] [--resume]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  list             list every reproduction command");
@@ -195,11 +201,16 @@ fn main() {
             std::process::exit(1);
         })
     });
+    // One core budget for the whole invocation: `paper all` runs many suites
+    // through the same ledger, so their combined fan-out never oversubscribes
+    // the `--threads` grant.
+    let budget = CoreBudget::new(args.threads);
     let exec = ExecOptions {
         cache: cache.as_ref(),
         sink: sink
             .as_ref()
             .map(|s| s as &dyn frs_experiments::ProgressSink),
+        budget: Some(&budget),
     };
 
     match invocation {

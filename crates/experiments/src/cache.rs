@@ -23,13 +23,16 @@
 //! they were built — address the same entry, and *any* config field flip
 //! addresses a different one.
 //!
-//! **Caveat — runtime-registered factories are identified by name.**
-//! Attacks/defenses live in the config as registry *names*
-//! (`AttackSel`/`DefenseSel`), so the key cannot see a factory's closed-over
-//! behaviour. If you re-register a factory under the same name with
-//! different parameters, cached entries from the old behaviour still match:
-//! use a new name (e.g. version-suffixed, as `paper table9` does) or run
-//! `paper cache clear` after changing a factory.
+//! **Runtime-registered factories: declare a fingerprint.** Attacks and
+//! defenses live in the config as registry *names* (`AttackSel` /
+//! `DefenseSel`), so by itself the key cannot see a factory's closed-over
+//! behaviour. Factories may declare an optional behaviour **fingerprint**
+//! (`AttackFactory::fingerprint` / `DefenseFactory::fingerprint`), which
+//! [`scenario_key`] hashes alongside the config — re-registering a name
+//! with different parameters then re-keys every affected cell, as the
+//! `paper` ablation suites do. A factory without a fingerprint keeps
+//! name-only addressing, where stale hits after a same-name re-register
+//! remain possible: use a new name or `paper cache clear`.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,21 +47,34 @@ use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 /// simulation semantics change: the version salts every key, so old entries
 /// simply stop matching (and `gc` reclaims them) instead of serving stale
 /// results.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `FederationConfig::n_threads` became `round_threads` (a
+/// [`RoundThreads`](frs_federation::RoundThreads) policy), outcomes record
+/// `max_round_threads`, and registry fingerprints joined the hash payload.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// The content-addressed key of one scenario: SHA-256 (hex) over a
-/// schema-version salt and the canonical config JSON.
+/// schema-version salt, the canonical config JSON, and the registered
+/// attack/defense behaviour fingerprints (empty when undeclared).
 ///
 /// Execution-only knobs that provably don't change the outcome are
 /// normalized out before hashing — today that is
-/// `FederationConfig::n_threads` (results are identical at any value), so
-/// runs that differ only in intra-simulation parallelism share entries.
+/// `FederationConfig::round_threads` (results are bit-identical at any
+/// fan-out width or policy), so runs that differ only in intra-round
+/// parallelism share entries.
 pub fn scenario_key(cfg: &ScenarioConfig) -> String {
     let mut normalized = cfg.clone();
-    normalized.federation.n_threads = 1;
+    normalized.federation.round_threads = frs_federation::RoundThreads::default();
+    // Fingerprints are arbitrary strings (factories are told `{cfg:?}` is
+    // fine), so they enter the payload as their own SHA-256 rather than
+    // verbatim — a fingerprint containing a newline could otherwise forge
+    // the payload's line structure and collide two distinct registrations.
+    let digest = |fp: Option<String>| fp.map(|s| sha256_hex(s.as_bytes())).unwrap_or_default();
     let payload = format!(
-        "frs-scenario-v{CACHE_SCHEMA_VERSION}\n{}",
-        normalized.canonical_json()
+        "frs-scenario-v{CACHE_SCHEMA_VERSION}\n{}\nattack-fingerprint:{}\ndefense-fingerprint:{}",
+        normalized.canonical_json(),
+        digest(cfg.attack.fingerprint()),
+        digest(cfg.defense.fingerprint()),
     );
     sha256_hex(payload.as_bytes())
 }
@@ -432,6 +448,7 @@ mod tests {
             targets: vec![17, 230],
             mean_round_time: Duration::from_micros(1234),
             total_upload_bytes: 987_654,
+            max_round_threads: 3,
             trend: vec![TrendPoint {
                 round: 10,
                 er: 12.0,
@@ -472,10 +489,114 @@ mod tests {
         assert_ne!(key, scenario_key(&reseeded));
 
         // Execution-only parallelism is normalized out: same outcome, same
-        // entry regardless of intra-simulation thread count.
-        let mut threaded = cfg;
-        threaded.federation.n_threads = 8;
+        // entry regardless of intra-round width or policy.
+        use frs_federation::RoundThreads;
+        let mut threaded = cfg.clone();
+        threaded.federation.round_threads = RoundThreads::Fixed(8);
         assert_eq!(key, scenario_key(&threaded));
+        let mut auto = cfg;
+        auto.federation.round_threads = RoundThreads::Auto;
+        assert_eq!(key, scenario_key(&auto));
+    }
+
+    #[test]
+    fn factory_fingerprints_re_key_same_name_registrations() {
+        use frs_attacks::{register_attack, AttackSel, FnAttackFactory};
+
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        cfg.attack = AttackSel::named("fp-cache-probe");
+        // Unregistered and fingerprint-less registrations address by name
+        // alone — and identically.
+        let unregistered = scenario_key(&cfg);
+        register_attack(FnAttackFactory::new("fp-cache-probe", "Probe", |_| {
+            Vec::new()
+        }));
+        assert_eq!(unregistered, scenario_key(&cfg));
+
+        // A fingerprint joins the hash payload…
+        register_attack(FnAttackFactory::fingerprinted(
+            "fp-cache-probe",
+            "Probe",
+            "lambda=1.0",
+            |_| Vec::new(),
+        ));
+        let v1 = scenario_key(&cfg);
+        assert_ne!(unregistered, v1);
+
+        // …and re-registering the same name with different parameters
+        // addresses different entries (the staleness hole this closes).
+        register_attack(FnAttackFactory::fingerprinted(
+            "fp-cache-probe",
+            "Probe",
+            "lambda=2.0",
+            |_| Vec::new(),
+        ));
+        let v2 = scenario_key(&cfg);
+        assert_ne!(v1, v2);
+
+        // Re-registering the original parameters restores the original key.
+        register_attack(FnAttackFactory::fingerprinted(
+            "fp-cache-probe",
+            "Probe",
+            "lambda=1.0",
+            |_| Vec::new(),
+        ));
+        assert_eq!(v1, scenario_key(&cfg));
+    }
+
+    #[test]
+    fn newline_fingerprints_cannot_forge_the_payload() {
+        use frs_attacks::{register_attack, AttackSel, FnAttackFactory};
+        use frs_defense::{register_defense, DefenseSel, FnDefenseFactory};
+        use frs_federation::SumAggregator;
+
+        // Attack fingerprint embedding the defense label line vs. the same
+        // strings split across the two real fingerprints: the payloads
+        // would be byte-identical if fingerprints entered verbatim.
+        let mut forged = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        forged.attack = AttackSel::named("forge-attack");
+        forged.defense = DefenseSel::named("forge-defense");
+        register_attack(FnAttackFactory::fingerprinted(
+            "forge-attack",
+            "Forge",
+            "x\ndefense-fingerprint:y",
+            |_| Vec::new(),
+        ));
+        register_defense(FnDefenseFactory::new("forge-defense", "Forge", |_| {
+            Box::new(SumAggregator)
+        }));
+        let key_forged = scenario_key(&forged);
+
+        register_attack(FnAttackFactory::fingerprinted(
+            "forge-attack",
+            "Forge",
+            "x",
+            |_| Vec::new(),
+        ));
+        register_defense(FnDefenseFactory::fingerprinted(
+            "forge-defense",
+            "Forge",
+            "y",
+            |_| Box::new(SumAggregator),
+        ));
+        assert_ne!(key_forged, scenario_key(&forged));
+    }
+
+    #[test]
+    fn defense_fingerprints_also_re_key() {
+        use frs_defense::{register_defense, DefenseSel, FnDefenseFactory};
+        use frs_federation::SumAggregator;
+
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        cfg.defense = DefenseSel::named("fp-cache-defense");
+        let unfingerprinted = scenario_key(&cfg);
+        register_defense(FnDefenseFactory::fingerprinted(
+            "fp-cache-defense",
+            "Probe",
+            "tau=0.1",
+            |_| Box::new(SumAggregator),
+        ));
+        assert_ne!(unfingerprinted, scenario_key(&cfg));
     }
 
     #[test]

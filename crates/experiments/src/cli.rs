@@ -6,6 +6,8 @@
 
 use std::path::PathBuf;
 
+use frs_federation::RoundThreads;
+
 use crate::suite::{default_threads, RunOptions};
 
 /// Arguments every `paper` subcommand understands.
@@ -17,8 +19,13 @@ pub struct CommonArgs {
     pub rounds: Option<usize>,
     /// Root seed.
     pub seed: u64,
-    /// Worker threads executing suite cells in parallel.
+    /// Core budget of the run: worker threads executing suite cells, and —
+    /// with `--round-threads auto` — the pool per-cell leases draw from.
     pub threads: usize,
+    /// Per-round client fan-out policy (`--round-threads auto|N`). `auto`
+    /// leases each executing cell its fair share of `--threads`; a number
+    /// freezes the width. Results are identical under every setting.
+    pub round_threads: RoundThreads,
     /// Directory to write the JSON report into (`--json out/`).
     pub json: Option<PathBuf>,
     /// Directory to write the CSV report into (`--csv out/`).
@@ -46,6 +53,7 @@ impl Default for CommonArgs {
             rounds: None,
             seed: 7,
             threads: default_threads(),
+            round_threads: RoundThreads::default(),
             json: None,
             csv: None,
             quiet: false,
@@ -88,6 +96,13 @@ impl CommonArgs {
                         return Err("--threads must be ≥ 1".into());
                     }
                 }
+                "--round-threads" => {
+                    let v = iter
+                        .next()
+                        .ok_or("--round-threads needs `auto` or a count")?;
+                    out.round_threads =
+                        RoundThreads::parse(&v).map_err(|e| format!("bad --round-threads: {e}"))?;
+                }
                 "--json" => {
                     let v = iter.next().ok_or("--json needs a directory")?;
                     out.json = Some(PathBuf::from(v));
@@ -126,8 +141,9 @@ impl CommonArgs {
                 eprintln!("argument error: {msg}");
                 eprintln!(
                     "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
-                     [--threads n] [--json dir] [--csv dir] [--quiet] [--cache-dir dir] \
-                     [--no-cache] [--progress file] [--resume] [extra...]"
+                     [--threads n] [--round-threads auto|n] [--json dir] [--csv dir] \
+                     [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
+                     [--resume] [extra...]"
                 );
                 std::process::exit(2);
             }
@@ -146,6 +162,7 @@ impl CommonArgs {
             seed: self.seed,
             rounds: self.rounds,
             threads: self.threads,
+            round_threads: self.round_threads,
         }
     }
 }
@@ -187,6 +204,20 @@ mod tests {
         assert!(parse(&["--rounds"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--round-threads"]).is_err());
+        assert!(parse(&["--round-threads", "0"]).is_err());
+        assert!(parse(&["--round-threads", "turbo"]).is_err());
+    }
+
+    #[test]
+    fn parses_round_threads_policy() {
+        use frs_federation::RoundThreads;
+        assert_eq!(parse(&[]).unwrap().round_threads, RoundThreads::Fixed(1));
+        let auto = parse(&["table4", "--round-threads", "auto"]).unwrap();
+        assert_eq!(auto.round_threads, RoundThreads::Auto);
+        assert_eq!(auto.run_options().round_threads, RoundThreads::Auto);
+        let fixed = parse(&["--round-threads", "6"]).unwrap();
+        assert_eq!(fixed.round_threads, RoundThreads::Fixed(6));
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl PaperCommand {
         let opts = args.run_options();
         let operands = &args.positional.get(1..).unwrap_or_default();
         Ok(match self {
-            Self::Table2 => table2(args, &opts),
+            Self::Table2 => table2(args, &opts, exec),
             Self::Table3 => table3(operands)?
                 .run_with(&opts, exec)
                 .map_err(|e| e.to_string())?
@@ -189,7 +189,7 @@ impl PaperCommand {
                 .map_err(|e| e.to_string())?
                 .pivot_report(Axis::Attack, Axis::Variant),
             Self::Fig3 => fig3(args, operands, &opts)?,
-            Self::Fig4 => fig4(&opts),
+            Self::Fig4 => fig4(&opts, exec),
             Self::Fig5 => fig5(operands)
                 .run_with(&opts, exec)
                 .map_err(|e| e.to_string())?
@@ -200,7 +200,7 @@ impl PaperCommand {
                 .run_with(&opts, exec)
                 .map_err(|e| e.to_string())?
                 .report(),
-            Self::PopularityBias => popularity_bias(args, &opts),
+            Self::PopularityBias => popularity_bias(args, &opts, exec),
         })
     }
 }
@@ -344,19 +344,28 @@ fn register_ipe_ablations() -> Vec<AttackSel> {
     variants
         .into_iter()
         .map(|(name, label, ipe)| {
-            register_attack(FnAttackFactory::new(name, label, move |ctx| {
-                (0..ctx.count)
-                    .map(|i| {
-                        let mut pieck = PieckConfig::ipe(ctx.targets.to_vec());
-                        pieck.variant = pieck_core::PieckVariant::Ipe(ipe.clone());
-                        pieck.top_n = ctx.mined_top_n;
-                        let client: Box<dyn Client> =
-                            Box::new(PieckClient::new(ctx.first_id + i, pieck));
-                        Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(2.0))
-                            as Box<dyn Client>
-                    })
-                    .collect()
-            }));
+            // The fingerprint bakes the closed-over ablation parameters into
+            // suite cache keys, so editing a variant here re-keys its cells
+            // even though the registry name stays the same.
+            let fingerprint = format!("{ipe:?}");
+            register_attack(FnAttackFactory::fingerprinted(
+                name,
+                label,
+                fingerprint,
+                move |ctx| {
+                    (0..ctx.count)
+                        .map(|i| {
+                            let mut pieck = PieckConfig::ipe(ctx.targets.to_vec());
+                            pieck.variant = pieck_core::PieckVariant::Ipe(ipe.clone());
+                            pieck.top_n = ctx.mined_top_n;
+                            let client: Box<dyn Client> =
+                                Box::new(PieckClient::new(ctx.first_id + i, pieck));
+                            Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(2.0))
+                                as Box<dyn Client>
+                        })
+                        .collect()
+                },
+            ));
             AttackSel::named(name)
         })
         .collect()
@@ -444,9 +453,10 @@ fn register_multi_target(strategy: MultiTargetStrategy) -> Vec<AttackSel> {
         .map(|(kind, top_n)| {
             let uea = kind == AttackKind::PieckUea;
             let name = format!("{}-{suffix}", kind.name());
-            register_attack(FnAttackFactory::new(
+            register_attack(FnAttackFactory::fingerprinted(
                 name.clone(),
                 kind.label(),
+                format!("strategy={suffix} top_n={top_n}"),
                 move |ctx| {
                     (0..ctx.count)
                         .map(|i| {
@@ -635,17 +645,28 @@ fn fig7() -> ExperimentSuite {
 
 // --------------------------------------------------------- bespoke reports
 
+/// The bespoke commands drive one simulation at a time, so an `Auto` policy
+/// simply leases from the shared budget for the simulation's lifetime (the
+/// sole holder gets the whole grant).
+fn bespoke_lease(opts: &RunOptions, exec: &ExecOptions<'_>) -> Option<frs_federation::CoreLease> {
+    exec.budget
+        .filter(|_| opts.round_threads.is_auto())
+        .map(|budget| budget.lease())
+}
+
 /// Table II: PKL and UCR of the Δ-Norm-mined popular set, per model family.
-fn table2(args: &CommonArgs, opts: &RunOptions) -> Report {
+fn table2(args: &CommonArgs, opts: &RunOptions, exec: &ExecOptions<'_>) -> Report {
     let mut report = Report::new("table2", "Table II — PKL and UCR of mined popular sets");
     let sizes = [1usize, 10, 50, 150];
     let rounds = args.rounds_or(200);
 
     for kind in [ModelKind::Mf, ModelKind::Ncf] {
-        let cfg = paper_scenario(PaperDataset::Ml100k, kind, opts.scale, opts.seed);
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, kind, opts.scale, opts.seed);
+        cfg.federation.round_threads = opts.round_threads;
         let (_, split, _) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
         let mut sim = build_simulation(&cfg, Arc::clone(&train), &[]);
+        sim.set_core_lease(bespoke_lease(opts, exec));
 
         // Track Δ-Norm across the whole run so the mined set is the stable one.
         let mut tracker = DeltaNormTracker::new(train.n_items());
@@ -714,7 +735,7 @@ fn fig3(args: &CommonArgs, operands: &[String], opts: &RunOptions) -> Result<Rep
 }
 
 /// Fig. 4: popularity ranks of the top-50 items by Δ-Norm over rounds.
-fn fig4(opts: &RunOptions) -> Report {
+fn fig4(opts: &RunOptions, exec: &ExecOptions<'_>) -> Report {
     let mut report = Report::new("fig4", "Fig. 4 — Δ-Norm top-50 vs true popularity");
     // Snapshot rounds are pinned to the paper's panels; `--rounds` does not
     // apply here.
@@ -722,12 +743,14 @@ fn fig4(opts: &RunOptions) -> Report {
     let top_k = 50;
 
     for kind in [ModelKind::Mf, ModelKind::Ncf] {
-        let cfg = paper_scenario(PaperDataset::Ml100k, kind, opts.scale, opts.seed);
+        let mut cfg = paper_scenario(PaperDataset::Ml100k, kind, opts.scale, opts.seed);
+        cfg.federation.round_threads = opts.round_threads;
         let (_, split, _) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
         let popularity_rank = train.popularity_rank_of();
         let n_popular = (train.n_items() as f64 * 0.15).ceil() as usize;
         let mut sim = build_simulation(&cfg, Arc::clone(&train), &[]);
+        sim.set_core_lease(bespoke_lease(opts, exec));
 
         let mut table = Table::new(&[
             "Round",
@@ -887,7 +910,7 @@ fn fig6b(
 }
 
 /// Extension experiment: popularity bias of the served top-10 lists.
-fn popularity_bias(args: &CommonArgs, opts: &RunOptions) -> Report {
+fn popularity_bias(args: &CommonArgs, opts: &RunOptions, exec: &ExecOptions<'_>) -> Report {
     let mut table = Table::new(&["Scenario", "coverage@10", "Gini", "mean rec. popularity"]);
     for (label, attack, defense) in [
         ("clean", AttackKind::NoAttack, DefenseKind::NoDefense),
@@ -899,9 +922,11 @@ fn popularity_bias(args: &CommonArgs, opts: &RunOptions) -> Report {
         cfg.attack = attack.into();
         cfg.defense = defense.into();
         cfg.mined_top_n = 30;
+        cfg.federation.round_threads = opts.round_threads;
         let (_, split, targets) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
         let mut sim = build_simulation(&cfg, Arc::clone(&train), &targets);
+        sim.set_core_lease(bespoke_lease(opts, exec));
         sim.run(args.rounds_or(150));
         let benign = sim.benign_ids();
         let freq =

@@ -46,6 +46,10 @@ pub struct CellEvent {
     pub rounds: usize,
     /// True when the outcome was replayed from the suite cache.
     pub cache_hit: bool,
+    /// Largest per-round client fan-out width used to compute the outcome
+    /// (for cache hits, replayed from the run that computed it). Records the
+    /// effective parallelism a `--round-threads=auto` budget granted.
+    pub round_threads: usize,
     /// Wall time spent on this cell (lookup or simulation), milliseconds.
     pub wall_ms: f64,
     pub er_percent: f64,
@@ -214,6 +218,7 @@ mod tests {
             variant: String::new(),
             rounds: 150,
             cache_hit,
+            round_threads: 2,
             wall_ms: 12.5,
             er_percent: 93.39,
             hr_percent: 41.5,

@@ -12,7 +12,7 @@ use std::time::Duration;
 use frs_attacks::{AttackBuildCtx, AttackSel};
 use frs_data::{leave_one_out, synth, Dataset, DatasetSpec, TrainTestSplit};
 use frs_defense::{DefenseBuildCtx, DefenseKind, DefenseSel};
-use frs_federation::{BenignClient, Client, FederationConfig, Simulation};
+use frs_federation::{BenignClient, Client, CoreLease, FederationConfig, Simulation};
 use frs_metrics::{ExposureReport, QualityReport};
 use frs_model::{GlobalModel, ModelConfig, ModelKind};
 use pieck_core::{DefenseConfig, PieckDefense};
@@ -173,6 +173,10 @@ pub struct ScenarioOutcome {
     pub mean_round_time: Duration,
     /// Total bytes uploaded across the run.
     pub total_upload_bytes: usize,
+    /// Largest per-round client fan-out width the run used. Execution-only
+    /// telemetry (results are width-independent); surfaced through progress
+    /// events so JSONL streams record the effective parallelism.
+    pub max_round_threads: usize,
     /// Round-by-round trend, when requested.
     pub trend: Vec<TrendPoint>,
 }
@@ -249,17 +253,35 @@ pub fn run_with(
     cfg: &ScenarioConfig,
     malicious_builder: impl FnOnce(usize, usize, &[u32]) -> Vec<Box<dyn Client>>,
 ) -> ScenarioOutcome {
+    run_with_lease(cfg, None, malicious_builder)
+}
+
+/// Like [`run_with`], additionally attaching a [`CoreLease`] so a
+/// `RoundThreads::Auto` federation config takes its per-round fan-out width
+/// from a shared core budget (the suite execution path).
+pub fn run_with_lease(
+    cfg: &ScenarioConfig,
+    lease: Option<CoreLease>,
+    malicious_builder: impl FnOnce(usize, usize, &[u32]) -> Vec<Box<dyn Client>>,
+) -> ScenarioOutcome {
     let (_full, split, targets) = build_world(cfg);
     let train = Arc::new(split.train.clone());
     let mut sim = build_simulation_with(cfg, Arc::clone(&train), &targets, |first, count| {
         malicious_builder(first, count, &targets)
     });
+    sim.set_core_lease(lease);
     finish_run(cfg, &mut sim, &split, &train, targets)
 }
 
 /// Runs the scenario end to end with the configured attack.
 pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
-    run_with(cfg, |first_id, count, targets| {
+    run_leased(cfg, None)
+}
+
+/// Like [`run`], with an optional [`CoreLease`] granting budget-driven
+/// per-round parallelism (consulted only under `RoundThreads::Auto`).
+pub fn run_leased(cfg: &ScenarioConfig, lease: Option<CoreLease>) -> ScenarioOutcome {
+    run_with_lease(cfg, lease, |first_id, count, targets| {
         cfg.attack
             .build_clients(&cfg.attack_ctx(first_id, count, targets))
     })
@@ -302,6 +324,7 @@ fn finish_run(
         targets,
         mean_round_time: sim.stats().mean_round_time(),
         total_upload_bytes: sim.stats().total_upload_bytes,
+        max_round_threads: sim.stats().max_round_threads,
         trend,
     }
 }
@@ -368,6 +391,32 @@ mod tests {
         let b = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
         assert_eq!(a.er_percent, b.er_percent);
         assert_eq!(a.hr_percent, b.hr_percent);
+    }
+
+    #[test]
+    fn round_width_never_changes_outcomes() {
+        use frs_federation::{CoreBudget, RoundThreads};
+
+        let sequential = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
+        assert_eq!(sequential.max_round_threads, 1);
+
+        let mut wide_cfg = tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense);
+        wide_cfg.federation.round_threads = RoundThreads::Fixed(4);
+        let wide = run(&wide_cfg);
+        assert_eq!(wide.max_round_threads, 4);
+
+        let budget = CoreBudget::new(8);
+        let mut auto_cfg = tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense);
+        auto_cfg.federation.round_threads = RoundThreads::Auto;
+        let auto = run_leased(&auto_cfg, Some(budget.lease()));
+        assert_eq!(auto.max_round_threads, 8, "sole lease gets the budget");
+
+        for other in [&wide, &auto] {
+            assert_eq!(sequential.er_percent, other.er_percent);
+            assert_eq!(sequential.hr_percent, other.hr_percent);
+            assert_eq!(sequential.ndcg, other.ndcg);
+            assert_eq!(sequential.targets, other.targets);
+        }
     }
 
     #[test]

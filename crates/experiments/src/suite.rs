@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use frs_attacks::{AttackKind, AttackSel};
 use frs_defense::DefenseSel;
+use frs_federation::{CoreBudget, RoundThreads};
 use frs_model::{LossKind, ModelKind};
 use serde::{Deserialize, Serialize};
 
@@ -143,9 +144,16 @@ pub struct RunOptions {
     pub seed: u64,
     /// Overrides every sweep's round count when set.
     pub rounds: Option<usize>,
-    /// Worker threads executing grid cells (1 = sequential; results are
-    /// identical either way).
+    /// Core budget of the run: worker threads executing grid cells, and —
+    /// under `round_threads: Auto` — the pool the per-cell leases draw from
+    /// (1 = sequential; results are identical either way).
     pub threads: usize,
+    /// Per-round client fan-out policy stamped onto every cell.
+    /// [`RoundThreads::Auto`] leases each executing cell its fair share of
+    /// the `threads` budget, growing as the frontier drains; `Fixed(n)`
+    /// freezes the width. Execution-only: outcomes, reports, and cache keys
+    /// are identical under every policy.
+    pub round_threads: RoundThreads,
 }
 
 impl Default for RunOptions {
@@ -155,16 +163,15 @@ impl Default for RunOptions {
             seed: 7,
             rounds: None,
             threads: default_threads(),
+            round_threads: RoundThreads::default(),
         }
     }
 }
 
-/// Worker count matching the machine, bounded to keep memory sane.
+/// Worker count matching the machine (the size [`CoreBudget::machine`]
+/// reports), bounded to keep memory sane.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    CoreBudget::machine().total().min(16)
 }
 
 /// One declarative axis product over scenarios.
@@ -297,6 +304,7 @@ impl Sweep {
                             let mut config = paper_scenario(dataset, model, opts.scale, opts.seed);
                             config.attack = attack.clone();
                             config.defense = defense.clone();
+                            config.federation.round_threads = opts.round_threads;
                             config.rounds = opts.rounds.unwrap_or(self.rounds);
                             config.trend_every = self.trend_every;
                             if let Some(k) = self.eval_k {
@@ -412,6 +420,19 @@ impl ExperimentSuite {
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let workers = opts.threads.clamp(1, n.max(1));
+        // One scheduler for both parallelism layers: the suite's `threads`
+        // are the core budget, and every executing `Auto` cell leases its
+        // fair share for intra-round fan-out. A caller-provided budget
+        // (ExecOptions) spans several suites (`paper all`); otherwise the
+        // run owns a private one.
+        let own_budget;
+        let budget: &CoreBudget = match exec.budget {
+            Some(shared) => shared,
+            None => {
+                own_budget = CoreBudget::new(opts.threads);
+                &own_budget
+            }
+        };
 
         // A panicking cell (e.g. an unregistered attack name) propagates out
         // of the scope as a panic; the Ok below is therefore unconditional
@@ -438,7 +459,16 @@ impl ExperimentSuite {
                     let cached = exec.cache.and_then(|cache| cache.load(&key));
                     let cache_hit = cached.is_some();
                     let outcome = cached.unwrap_or_else(|| {
-                        let outcome = scenario::run(&cell.config);
+                        // Only cells that will actually simulate hold a
+                        // lease — cache hits must not dilute the shares of
+                        // the cells doing real work.
+                        let lease = cell
+                            .config
+                            .federation
+                            .round_threads
+                            .is_auto()
+                            .then(|| budget.lease());
+                        let outcome = scenario::run_leased(&cell.config, lease);
                         if let Some(cache) = exec.cache {
                             if let Err(e) = cache.store(&key, &outcome) {
                                 eprintln!("suite cache store failed for {key}: {e}");
@@ -460,6 +490,7 @@ impl ExperimentSuite {
                             variant: cell.variant.clone(),
                             rounds: cell.config.rounds,
                             cache_hit,
+                            round_threads: outcome.max_round_threads,
                             wall_ms: started.elapsed().as_secs_f64() * 1e3,
                             er_percent: outcome.er_percent,
                             hr_percent: outcome.hr_percent,
@@ -520,6 +551,11 @@ pub struct ExecOptions<'a> {
     pub cache: Option<&'a SuiteCache>,
     /// Per-cell progress sink; `None` runs silently.
     pub sink: Option<&'a dyn ProgressSink>,
+    /// Shared core budget for `RoundThreads::Auto` cells. `None` gives each
+    /// `run_with` call a private budget sized to `RunOptions::threads`; the
+    /// CLI passes one budget across all commands of an invocation so
+    /// `paper all` never oversubscribes the machine.
+    pub budget: Option<&'a CoreBudget>,
 }
 
 /// Results of one sweep, in grid order.
@@ -683,6 +719,7 @@ mod tests {
             seed: 3,
             rounds: Some(8),
             threads: 2,
+            round_threads: RoundThreads::default(),
         }
     }
 
@@ -811,6 +848,7 @@ mod tests {
                 &ExecOptions {
                     cache: Some(&cache),
                     sink: Some(&cold_sink),
+                    budget: None,
                 },
             )
             .unwrap();
@@ -824,6 +862,7 @@ mod tests {
                 &ExecOptions {
                     cache: Some(&cache),
                     sink: Some(&warm_sink),
+                    budget: None,
                 },
             )
             .unwrap();
@@ -867,6 +906,7 @@ mod tests {
                 &ExecOptions {
                     cache: None,
                     sink: Some(&sink),
+                    budget: None,
                 },
             )
             .unwrap_err();

@@ -1,0 +1,181 @@
+//! A shared core budget: one owner for the machine's parallelism.
+//!
+//! Two layers of this workspace want threads at once: an experiment suite
+//! fans grid cells out over workers, and each cell's [`Simulation`] can fan
+//! its per-round client computation out too. Freezing both widths up front
+//! wastes cores — when a warm cache leaves only two cells to execute on an
+//! eight-core machine, each cell should get four cores, and when one of the
+//! two finishes, the survivor should grow to eight *mid-run*.
+//!
+//! [`CoreBudget`] models that: it owns a total core count and hands out
+//! [`CoreLease`]s, one per concurrently executing workload. A lease's
+//! [`width`](CoreLease::width) is the holder's current fair share,
+//! `max(1, total / active_leases)`, recomputed on every call — so a
+//! long-lived holder that polls the width each round (as
+//! [`Simulation::run_round`] does) automatically picks up cores released by
+//! finished siblings. Dropping the lease returns the share.
+//!
+//! The budget only *advises* widths; it never spawns threads itself. Holders
+//! remain free to use fewer cores than granted (e.g. when a round has fewer
+//! participants than the lease width), and results must never depend on the
+//! width — parallelism is an execution detail, not a semantic one.
+//!
+//! [`Simulation`]: crate::Simulation
+//! [`Simulation::run_round`]: crate::Simulation::run_round
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of cores, leased out fairly to concurrent workloads.
+///
+/// Cheap to clone (all clones share one ledger) and safe to consult from any
+/// thread.
+#[derive(Debug, Clone)]
+pub struct CoreBudget {
+    inner: Arc<Ledger>,
+}
+
+#[derive(Debug)]
+struct Ledger {
+    total: usize,
+    active: AtomicUsize,
+}
+
+impl CoreBudget {
+    /// A budget owning `total` cores (clamped to at least one).
+    pub fn new(total: usize) -> Self {
+        Self {
+            inner: Arc::new(Ledger {
+                total: total.max(1),
+                active: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// A budget owning the machine's available parallelism.
+    pub fn machine() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(cores)
+    }
+
+    /// Total cores this budget owns.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Currently outstanding leases.
+    pub fn active_leases(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Takes out a lease. The lease's width is recomputed on every
+    /// [`CoreLease::width`] call, so it tracks the live lease population;
+    /// dropping the lease returns the share to the pool.
+    pub fn lease(&self) -> CoreLease {
+        self.inner.active.fetch_add(1, Ordering::SeqCst);
+        CoreLease {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// One workload's claim on a [`CoreBudget`]. Held for the workload's
+/// lifetime; consult [`width`](Self::width) whenever spawning fan-out.
+#[derive(Debug)]
+pub struct CoreLease {
+    inner: Arc<Ledger>,
+}
+
+impl CoreLease {
+    /// The holder's current fair share of the budget:
+    /// `max(1, total / active_leases)`. Grows as sibling leases drop,
+    /// shrinks (down to 1) when the budget is oversubscribed.
+    pub fn width(&self) -> usize {
+        let active = self.inner.active.load(Ordering::SeqCst).max(1);
+        (self.inner.total / active).max(1)
+    }
+}
+
+impl Drop for CoreLease {
+    fn drop(&mut self) {
+        self.inner.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_width_is_the_fair_share() {
+        let budget = CoreBudget::new(8);
+        assert_eq!(budget.total(), 8);
+        assert_eq!(budget.active_leases(), 0);
+
+        let a = budget.lease();
+        assert_eq!(a.width(), 8, "sole lease owns the machine");
+        let b = budget.lease();
+        assert_eq!((a.width(), b.width()), (4, 4));
+        let c = budget.lease();
+        assert_eq!(c.width(), 2, "8 / 3 floors to 2");
+        assert_eq!(budget.active_leases(), 3);
+
+        drop(b);
+        drop(c);
+        assert_eq!(a.width(), 8, "survivor grows mid-flight");
+        assert_eq!(budget.active_leases(), 1);
+    }
+
+    #[test]
+    fn oversubscription_floors_at_one() {
+        let budget = CoreBudget::new(2);
+        let leases: Vec<CoreLease> = (0..5).map(|_| budget.lease()).collect();
+        assert!(leases.iter().all(|l| l.width() == 1));
+        assert_eq!(budget.active_leases(), 5);
+    }
+
+    #[test]
+    fn zero_total_clamps_to_one() {
+        let budget = CoreBudget::new(0);
+        assert_eq!(budget.total(), 1);
+        assert_eq!(budget.lease().width(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_ledger() {
+        let budget = CoreBudget::new(4);
+        let twin = budget.clone();
+        let a = budget.lease();
+        let _b = twin.lease();
+        assert_eq!(a.width(), 2);
+        assert_eq!(budget.active_leases(), 2);
+        assert_eq!(twin.active_leases(), 2);
+    }
+
+    #[test]
+    fn machine_budget_is_positive() {
+        assert!(CoreBudget::machine().total() >= 1);
+    }
+
+    #[test]
+    fn leases_are_thread_safe() {
+        let budget = CoreBudget::new(16);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let lease = budget.lease();
+                        assert!(lease.width() >= 1);
+                        assert!(lease.width() <= 16);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(budget.active_leases(), 0, "all leases returned");
+    }
+}

@@ -3,6 +3,83 @@
 use frs_model::LossKind;
 use serde::{Deserialize, Serialize};
 
+/// Width policy for the per-round client fan-out (see
+/// [`Simulation::run_round`](crate::Simulation::run_round)).
+///
+/// Execution-only: results are bit-identical under every policy and width
+/// (uploads are re-ordered by client id before aggregation), so suite caches
+/// normalize this field out of their keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundThreads {
+    /// A frozen width: exactly `n` threads every round (1 = sequential).
+    Fixed(usize),
+    /// Take the width from the [`CoreLease`](crate::CoreLease) attached to
+    /// the simulation, re-read every round — so a long run picks up cores
+    /// released by finished sibling workloads mid-flight. Without an
+    /// attached lease this runs sequentially: parallelism is something the
+    /// budget grants, never assumed.
+    Auto,
+}
+
+impl Default for RoundThreads {
+    fn default() -> Self {
+        Self::Fixed(1)
+    }
+}
+
+impl RoundThreads {
+    /// Parses the CLI form: `auto` or a positive thread count.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Self::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(0) => Err("round threads must be ≥ 1 (or `auto`)".into()),
+            Ok(n) => Ok(Self::Fixed(n)),
+            Err(_) => Err(format!("bad round threads `{s}`; use a count or `auto`")),
+        }
+    }
+
+    /// True for the budget-driven policy.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, Self::Auto)
+    }
+}
+
+impl std::fmt::Display for RoundThreads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fixed(n) => write!(f, "{n}"),
+            Self::Auto => f.write_str("auto"),
+        }
+    }
+}
+
+// Serialized as what the CLI accepts: a number, or the string "auto".
+impl serde::Serialize for RoundThreads {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Self::Fixed(n) => serde::Value::Number(serde::Number::U64(*n as u64)),
+            Self::Auto => serde::Value::String("auto".into()),
+        }
+    }
+}
+
+impl serde::Deserialize for RoundThreads {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(n) = v.as_u64() {
+            return Ok(Self::Fixed(n as usize));
+        }
+        match v.as_str() {
+            Some("auto") => Ok(Self::Auto),
+            _ => Err(serde::Error::new(format!(
+                "expected thread count or \"auto\", got {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
 /// Protocol configuration (paper Section III-A plus the supplementary
 /// learning-rate and loss variations).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,9 +103,9 @@ pub struct FederationConfig {
     pub loss: LossKind,
     /// Root seed — every random decision in the simulation derives from it.
     pub seed: u64,
-    /// Fan client computation out over this many threads (1 = sequential).
-    /// Results are identical regardless of the value.
-    pub n_threads: usize,
+    /// Per-round client fan-out width policy. Execution-only: results are
+    /// identical under every value.
+    pub round_threads: RoundThreads,
 }
 
 impl Default for FederationConfig {
@@ -41,7 +118,7 @@ impl Default for FederationConfig {
             negative_ratio: 1,
             loss: LossKind::Bce,
             seed: 0x5eed,
-            n_threads: 1,
+            round_threads: RoundThreads::default(),
         }
     }
 }
@@ -84,8 +161,8 @@ impl FederationConfig {
         if self.negative_ratio == 0 {
             return Err("negative_ratio must be ≥ 1".into());
         }
-        if self.n_threads == 0 {
-            return Err("n_threads must be ≥ 1".into());
+        if self.round_threads == RoundThreads::Fixed(0) {
+            return Err("round_threads must be ≥ 1 (or auto)".into());
         }
         Ok(())
     }
@@ -136,5 +213,36 @@ mod tests {
         let mut c = FederationConfig::default();
         c.client_learning_rate = Some(f32::NAN);
         assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.round_threads = RoundThreads::Fixed(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn round_threads_parse_and_display() {
+        assert_eq!(RoundThreads::parse("auto"), Ok(RoundThreads::Auto));
+        assert_eq!(RoundThreads::parse("AUTO"), Ok(RoundThreads::Auto));
+        assert_eq!(RoundThreads::parse("4"), Ok(RoundThreads::Fixed(4)));
+        assert!(RoundThreads::parse("0").is_err());
+        assert!(RoundThreads::parse("several").is_err());
+        assert_eq!(RoundThreads::Auto.to_string(), "auto");
+        assert_eq!(RoundThreads::Fixed(8).to_string(), "8");
+        assert!(RoundThreads::Auto.is_auto());
+        assert!(!RoundThreads::default().is_auto());
+    }
+
+    #[test]
+    fn round_threads_serde_round_trips() {
+        use serde::{Deserialize as _, Serialize as _};
+        for policy in [
+            RoundThreads::Auto,
+            RoundThreads::Fixed(1),
+            RoundThreads::Fixed(7),
+        ] {
+            let v = policy.to_value();
+            assert_eq!(RoundThreads::from_value(&v), Ok(policy));
+        }
+        assert!(RoundThreads::from_value(&serde::Value::Bool(true)).is_err());
+        assert!(RoundThreads::from_value(&serde::Value::String("fast".into())).is_err());
     }
 }

@@ -15,12 +15,18 @@
 //!
 //! Everything is deterministic given the configuration seed; client work
 //! within a round can fan out over threads without affecting results
-//! (uploads are re-ordered by client id before aggregation).
+//! (uploads are re-ordered by client id before aggregation). The fan-out
+//! width is either frozen in the config ([`config::RoundThreads::Fixed`]) or
+//! leased per round from a shared [`CoreBudget`]
+//! ([`config::RoundThreads::Auto`]), so a simulation can widen mid-run as
+//! sibling workloads on the same machine finish.
 
 pub mod aggregate;
+pub mod budget;
 pub mod client;
 pub mod config;
 pub mod context;
+pub mod pool;
 pub mod server;
 pub mod stats;
 pub mod wire;
@@ -29,8 +35,9 @@ pub use aggregate::{
     gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_norm, upload_squared_distance,
     Aggregator, SumAggregator,
 };
+pub use budget::{CoreBudget, CoreLease};
 pub use client::{BenignClient, Client, LocalRegularizer};
-pub use config::FederationConfig;
+pub use config::{FederationConfig, RoundThreads};
 pub use context::RoundContext;
 pub use server::{Simulation, SimulationBuilder};
 pub use stats::{RoundStats, TrainingStats};

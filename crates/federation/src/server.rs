@@ -7,9 +7,11 @@ use frs_model::{GlobalGradients, GlobalModel};
 use rand::Rng;
 
 use crate::aggregate::{Aggregator, SumAggregator};
+use crate::budget::CoreLease;
 use crate::client::Client;
-use crate::config::FederationConfig;
+use crate::config::{FederationConfig, RoundThreads};
 use crate::context::RoundContext;
+use crate::pool;
 use crate::stats::{RoundStats, TrainingStats};
 use crate::wire;
 
@@ -31,6 +33,9 @@ pub struct Simulation {
     seeds: SeedStream,
     round: usize,
     stats: TrainingStats,
+    /// Claim on a shared [`CoreBudget`](crate::CoreBudget); consulted every
+    /// round when the config's policy is [`RoundThreads::Auto`].
+    lease: Option<CoreLease>,
 }
 
 /// Step-by-step assembly of a [`Simulation`], replacing the old positional
@@ -42,6 +47,7 @@ pub struct SimulationBuilder {
     clients: Vec<Box<dyn Client>>,
     aggregator: Box<dyn Aggregator>,
     config: FederationConfig,
+    lease: Option<CoreLease>,
 }
 
 impl SimulationBuilder {
@@ -69,6 +75,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a [`CoreLease`] from a shared [`CoreBudget`]: when the
+    /// configuration's policy is [`RoundThreads::Auto`], every round's
+    /// fan-out width is the lease's current fair share.
+    ///
+    /// [`CoreBudget`]: crate::CoreBudget
+    pub fn core_lease(mut self, lease: CoreLease) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
     /// Validates and assembles the simulation. Client ids must be unique and
     /// dense in `0..clients.len()` (benign clients use their user id;
     /// malicious clients take the ids above the benign range).
@@ -78,6 +94,7 @@ impl SimulationBuilder {
             clients,
             aggregator,
             config,
+            lease,
         } = self;
         config.validate().expect("invalid federation config");
         let mut ids: Vec<usize> = clients.iter().map(|c| c.id()).collect();
@@ -94,6 +111,7 @@ impl SimulationBuilder {
             seeds,
             round: 0,
             stats: TrainingStats::default(),
+            lease,
         }
     }
 }
@@ -106,7 +124,27 @@ impl Simulation {
             clients: Vec::new(),
             aggregator: Box::new(SumAggregator),
             config: FederationConfig::default(),
+            lease: None,
         }
+    }
+
+    /// Attaches (or detaches) a [`CoreLease`] after construction — the suite
+    /// path, where the lease is taken per cell at execution time.
+    pub fn set_core_lease(&mut self, lease: Option<CoreLease>) {
+        self.lease = lease;
+    }
+
+    /// The fan-out width the next round would use for `n_participants`
+    /// sampled clients: the configured fixed width, or the attached lease's
+    /// current fair share under [`RoundThreads::Auto`] (1 when no lease is
+    /// attached — parallelism is granted by a budget, never assumed).
+    pub fn effective_round_width(&self, n_participants: usize) -> usize {
+        let width = match (self.config.round_threads, &self.lease) {
+            (RoundThreads::Fixed(n), _) => n,
+            (RoundThreads::Auto, Some(lease)) => lease.width(),
+            (RoundThreads::Auto, None) => 1,
+        };
+        width.max(1).min(n_participants.max(1))
     }
 
     /// The current global model.
@@ -202,8 +240,13 @@ impl Simulation {
         let mut selected_sorted = selected;
         selected_sorted.sort_unstable();
 
+        // The fan-out width is re-read every round: under `Auto` an attached
+        // lease grows as sibling workloads on the shared budget finish, and
+        // the round pool picks the larger width up mid-run.
+        let width = self.effective_round_width(selected_sorted.len());
+
         // Pull disjoint mutable references to the sampled clients.
-        let mut participants: Vec<&mut Box<dyn Client>> = {
+        let participants: Vec<&mut Box<dyn Client>> = {
             let mut flags = vec![false; self.clients.len()];
             for &i in &selected_sorted {
                 flags[i] = true;
@@ -217,35 +260,10 @@ impl Simulation {
         };
 
         let model = &self.model;
-        let n_threads = self.config.n_threads.max(1);
-        let mut uploads: Vec<(usize, GlobalGradients)> = if n_threads == 1 {
-            participants
-                .iter_mut()
-                .map(|c| (c.id(), c.local_round(&ctx, model)))
-                .collect()
-        } else {
-            let chunk_size = participants.len().div_ceil(n_threads);
-            let mut results: Vec<Vec<(usize, GlobalGradients)>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = participants
-                    .chunks_mut(chunk_size.max(1))
-                    .map(|chunk| {
-                        let ctx = ctx.clone();
-                        scope.spawn(move |_| {
-                            chunk
-                                .iter_mut()
-                                .map(|c| (c.id(), c.local_round(&ctx, model)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("client thread panicked"));
-                }
-            })
-            .expect("round thread scope failed");
-            results.into_iter().flatten().collect()
-        };
+        let mut uploads: Vec<(usize, GlobalGradients)> =
+            pool::map_ordered(participants, width, |c| {
+                (c.id(), c.local_round(&ctx, model))
+            });
 
         // Deterministic aggregation order regardless of thread interleaving.
         uploads.sort_unstable_by_key(|(id, _)| *id);
@@ -267,6 +285,7 @@ impl Simulation {
             n_malicious_selected,
             n_items_updated,
             upload_bytes,
+            n_threads: width,
             elapsed: start.elapsed(),
         };
         self.stats.absorb(&stats);
@@ -285,6 +304,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::CoreBudget;
     use crate::client::BenignClient;
     use frs_data::{leave_one_out, synth, DatasetSpec};
     use frs_metrics::hit_ratio_at_k;
@@ -294,7 +314,7 @@ mod tests {
     use std::sync::Arc;
 
     fn build_sim(
-        n_threads: usize,
+        round_threads: RoundThreads,
         seed: u64,
     ) -> (Simulation, Arc<frs_data::Dataset>, frs_data::TrainTestSplit) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -315,7 +335,7 @@ mod tests {
             .collect();
         let config = FederationConfig {
             users_per_round: 32,
-            n_threads,
+            round_threads,
             seed,
             ..FederationConfig::default()
         };
@@ -331,18 +351,20 @@ mod tests {
 
     #[test]
     fn round_selects_expected_batch() {
-        let (mut sim, _, _) = build_sim(1, 1);
+        let (mut sim, _, _) = build_sim(RoundThreads::Fixed(1), 1);
         let stats = sim.run_round();
         assert_eq!(stats.n_selected, 32);
         assert_eq!(stats.n_malicious_selected, 0);
         assert!(stats.n_items_updated > 0);
         assert!(stats.upload_bytes > 0);
+        assert_eq!(stats.n_threads, 1);
         assert_eq!(sim.rounds_done(), 1);
+        assert_eq!(sim.stats().max_round_threads, 1);
     }
 
     #[test]
     fn training_improves_hit_ratio() {
-        let (mut sim, _, split) = build_sim(1, 2);
+        let (mut sim, _, split) = build_sim(RoundThreads::Fixed(1), 2);
         let benign = sim.benign_ids();
         let hr_before = hit_ratio_at_k(sim.model(), &sim.user_embeddings(), &benign, &split, 10);
         sim.run(60);
@@ -354,19 +376,57 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_rounds_agree() {
-        let (mut seq, _, _) = build_sim(1, 3);
-        let (mut par, _, _) = build_sim(4, 3);
+    fn every_width_matches_the_sequential_run() {
+        let (mut seq, _, _) = build_sim(RoundThreads::Fixed(1), 3);
         seq.run(5);
-        par.run(5);
-        assert_eq!(seq.model().items(), par.model().items());
-        assert_eq!(seq.user_embeddings(), par.user_embeddings());
+        for width in [2usize, 8] {
+            let (mut par, _, _) = build_sim(RoundThreads::Fixed(width), 3);
+            par.run(5);
+            assert_eq!(seq.model().items(), par.model().items(), "width {width}");
+            assert_eq!(
+                seq.user_embeddings(),
+                par.user_embeddings(),
+                "width {width}"
+            );
+            assert_eq!(par.stats().max_round_threads, width);
+        }
+    }
+
+    #[test]
+    fn auto_width_tracks_the_lease_and_stays_bit_identical() {
+        let (mut seq, _, _) = build_sim(RoundThreads::Fixed(1), 3);
+        seq.run(6);
+
+        let budget = CoreBudget::new(8);
+        let (mut auto, _, _) = build_sim(RoundThreads::Auto, 3);
+        // No lease attached yet: Auto degrades to sequential.
+        assert_eq!(auto.effective_round_width(32), 1);
+        auto.run(2);
+        assert_eq!(auto.stats().max_round_threads, 1);
+
+        // A contended lease (a sibling holds half the budget) grants 4…
+        auto.set_core_lease(Some(budget.lease()));
+        let sibling = budget.lease();
+        assert_eq!(auto.effective_round_width(32), 4);
+        auto.run(2);
+
+        // …and when the sibling finishes, the next round widens to 8
+        // mid-run without rebuilding the simulation.
+        drop(sibling);
+        assert_eq!(auto.effective_round_width(32), 8);
+        let stats = auto.run_round();
+        assert_eq!(stats.n_threads, 8);
+        auto.run(1);
+        assert_eq!(auto.stats().max_round_threads, 8);
+
+        assert_eq!(seq.model().items(), auto.model().items());
+        assert_eq!(seq.user_embeddings(), auto.user_embeddings());
     }
 
     #[test]
     fn simulation_is_seed_deterministic() {
-        let (mut a, _, _) = build_sim(2, 4);
-        let (mut b, _, _) = build_sim(2, 4);
+        let (mut a, _, _) = build_sim(RoundThreads::Fixed(2), 4);
+        let (mut b, _, _) = build_sim(RoundThreads::Fixed(2), 4);
         a.run(4);
         b.run(4);
         assert_eq!(a.model().items(), b.model().items());
@@ -374,11 +434,62 @@ mod tests {
 
     #[test]
     fn different_seeds_diverge() {
-        let (mut a, _, _) = build_sim(1, 5);
-        let (mut b, _, _) = build_sim(1, 6);
+        let (mut a, _, _) = build_sim(RoundThreads::Fixed(1), 5);
+        let (mut b, _, _) = build_sim(RoundThreads::Fixed(1), 6);
         a.run(2);
         b.run(2);
         assert_ne!(a.model().items(), b.model().items());
+    }
+
+    /// A client whose `local_round` panics once its id is sampled — the
+    /// round pool must surface that panic, not hang or swallow it.
+    struct ExplodingClient {
+        id: usize,
+    }
+
+    impl Client for ExplodingClient {
+        fn id(&self) -> usize {
+            self.id
+        }
+
+        fn local_round(&mut self, _ctx: &RoundContext, _model: &GlobalModel) -> GlobalGradients {
+            panic!("client {} exploded mid-round", self.id);
+        }
+    }
+
+    #[test]
+    fn client_panic_propagates_out_of_the_round_pool() {
+        for round_threads in [RoundThreads::Fixed(1), RoundThreads::Fixed(4)] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
+            let train = Arc::new(full);
+            let model = GlobalModel::new(&ModelConfig::mf(4), train.n_items(), &mut rng);
+            let clients: Vec<Box<dyn Client>> = (0..train.n_users())
+                .map(|u| Box::new(ExplodingClient { id: u }) as Box<dyn Client>)
+                .collect();
+            let mut sim = Simulation::builder(model)
+                .clients(clients)
+                .config(FederationConfig {
+                    users_per_round: 8,
+                    round_threads,
+                    seed: 9,
+                    ..FederationConfig::default()
+                })
+                .build();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sim.run_round();
+            }))
+            .expect_err("panic must propagate");
+            let message = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                message.contains("exploded mid-round"),
+                "{round_threads:?}: {message}"
+            );
+        }
     }
 
     #[test]

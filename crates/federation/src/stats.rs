@@ -16,6 +16,10 @@ pub struct RoundStats {
     pub n_items_updated: usize,
     /// Serialized size of all uploads, in bytes (wire encoding).
     pub upload_bytes: usize,
+    /// Fan-out width the round's client computation actually used (under
+    /// `RoundThreads::Auto` this can change between rounds as the shared
+    /// core budget's lease grows or shrinks).
+    pub n_threads: usize,
     /// Wall-clock time of the whole round.
     #[serde(skip, default)]
     pub elapsed: Duration,
@@ -28,6 +32,8 @@ pub struct TrainingStats {
     pub total_selected: usize,
     pub total_malicious_selected: usize,
     pub total_upload_bytes: usize,
+    /// Largest per-round fan-out width observed across the run.
+    pub max_round_threads: usize,
     #[serde(skip, default)]
     pub total_elapsed: Duration,
 }
@@ -39,6 +45,7 @@ impl TrainingStats {
         self.total_selected += round.n_selected;
         self.total_malicious_selected += round.n_malicious_selected;
         self.total_upload_bytes += round.upload_bytes;
+        self.max_round_threads = self.max_round_threads.max(round.n_threads);
         self.total_elapsed += round.elapsed;
     }
 
@@ -72,6 +79,7 @@ mod tests {
             n_malicious_selected: n_mal,
             n_items_updated: 10,
             upload_bytes: 100,
+            n_threads: 2,
             elapsed: Duration::from_millis(10),
         }
     }
@@ -86,6 +94,7 @@ mod tests {
         assert_eq!(t.total_malicious_selected, 1);
         assert!((t.malicious_selection_rate() - 0.05).abs() < 1e-12);
         assert_eq!(t.mean_round_time(), Duration::from_millis(10));
+        assert_eq!(t.max_round_threads, 2);
     }
 
     #[test]

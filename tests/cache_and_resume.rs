@@ -217,6 +217,7 @@ fn tiny_opts(threads: usize) -> RunOptions {
         seed: 23,
         rounds: Some(8),
         threads,
+        ..RunOptions::default()
     }
 }
 
@@ -248,6 +249,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
             &ExecOptions {
                 cache: Some(&cache),
                 sink: Some(&cold_sink),
+                budget: None,
             },
         )
         .unwrap();
@@ -262,6 +264,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
             &ExecOptions {
                 cache: Some(&cache),
                 sink: Some(&warm_sink),
+                budget: None,
             },
         )
         .unwrap();
@@ -310,6 +313,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
             &ExecOptions {
                 cache: Some(&cache),
                 sink: Some(&killer),
+                budget: None,
             },
         )
         .unwrap_err();
@@ -324,6 +328,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
             &ExecOptions {
                 cache: Some(&cache),
                 sink: Some(&resume_sink),
+                budget: None,
             },
         )
         .unwrap();

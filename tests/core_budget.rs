@@ -1,0 +1,120 @@
+//! End-to-end checks for the shared core budget: suite-level workers and
+//! intra-round fan-out draw from one ledger, reports stay byte-identical
+//! at every width/policy, and progress events record effective widths.
+
+use pieck_frs::attacks::AttackKind;
+use pieck_frs::experiments::report::ReportFormat;
+use pieck_frs::experiments::suite::{ExecOptions, ExperimentSuite, RunOptions, Sweep};
+use pieck_frs::experiments::{MemorySink, SuiteCache};
+use pieck_frs::federation::{CoreBudget, RoundThreads};
+
+fn small_suite() -> ExperimentSuite {
+    ExperimentSuite::new("budget", "Budget test").sweep(Sweep::new("grid", "Grid").over_attacks([
+        AttackKind::NoAttack,
+        AttackKind::PieckIpe,
+        AttackKind::PieckUea,
+    ]))
+}
+
+fn opts(threads: usize, round_threads: RoundThreads) -> RunOptions {
+    RunOptions {
+        scale: 0.05,
+        seed: 31,
+        rounds: Some(8),
+        threads,
+        round_threads,
+    }
+}
+
+#[test]
+fn auto_budget_reports_are_byte_identical_to_sequential() {
+    let suite = small_suite();
+    let sequential = suite.run(&opts(1, RoundThreads::Fixed(1)));
+    for round_threads in [RoundThreads::Fixed(4), RoundThreads::Auto] {
+        let parallel = suite.run(&opts(4, round_threads));
+        for format in [
+            ReportFormat::Markdown,
+            ReportFormat::Csv,
+            ReportFormat::Json,
+        ] {
+            assert_eq!(
+                sequential.report().render(format),
+                parallel.report().render(format),
+                "{round_threads:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_cells_lease_round_width_from_the_shared_budget() {
+    let suite = small_suite();
+    let budget = CoreBudget::new(8);
+    let sink = MemorySink::new();
+    // One suite worker at a time ⇒ each executing cell is the sole lease
+    // holder and gets the whole 8-core budget for its round fan-out.
+    suite
+        .run_with(
+            &opts(1, RoundThreads::Auto),
+            &ExecOptions {
+                cache: None,
+                sink: Some(&sink),
+                budget: Some(&budget),
+            },
+        )
+        .unwrap();
+    let events = sink.events();
+    assert_eq!(events.len(), 3);
+    assert!(
+        events.iter().all(|e| e.round_threads == 8),
+        "expected every cell to record the full lease width: {:?}",
+        events.iter().map(|e| e.round_threads).collect::<Vec<_>>()
+    );
+    assert_eq!(budget.active_leases(), 0, "leases returned after the run");
+}
+
+#[test]
+fn warm_cache_replays_identically_across_widths() {
+    let dir = std::env::temp_dir().join(format!("frs-budget-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = SuiteCache::open(&dir).unwrap();
+    let suite = small_suite();
+
+    // Cold: sequential, no budget in play.
+    let cold = suite
+        .run_with(
+            &opts(1, RoundThreads::Fixed(1)),
+            &ExecOptions {
+                cache: Some(&cache),
+                sink: None,
+                budget: None,
+            },
+        )
+        .unwrap();
+
+    // Warm: different worker count AND different round policy — the cache
+    // key normalizes the execution knobs, so every cell replays.
+    let warm_sink = MemorySink::new();
+    let budget = CoreBudget::new(8);
+    let warm = suite
+        .run_with(
+            &opts(4, RoundThreads::Auto),
+            &ExecOptions {
+                cache: Some(&cache),
+                sink: Some(&warm_sink),
+                budget: Some(&budget),
+            },
+        )
+        .unwrap();
+    assert_eq!(warm_sink.hits(), 3, "execution-only knobs must not re-key");
+    for format in [
+        ReportFormat::Markdown,
+        ReportFormat::Csv,
+        ReportFormat::Json,
+    ] {
+        assert_eq!(cold.report().render(format), warm.report().render(format));
+    }
+    // Replayed events carry the widths of the run that computed them.
+    assert!(warm_sink.events().iter().all(|e| e.round_threads == 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}

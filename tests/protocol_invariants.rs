@@ -29,17 +29,23 @@ fn real_client_uploads_survive_wire_roundtrip() {
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let build = |threads: usize| {
+    use pieck_frs::federation::{CoreBudget, RoundThreads};
+
+    let build = |round_threads: RoundThreads, lease_from: Option<&CoreBudget>| {
         let mut cfg = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.1, 3);
         cfg.attack = AttackKind::PieckUea.into();
-        cfg.federation.n_threads = threads;
+        cfg.federation.round_threads = round_threads;
         let (_, split, targets) = build_world(&cfg);
         let train = Arc::new(split.train);
         let mut sim = build_simulation(&cfg, train, &targets);
+        sim.set_core_lease(lease_from.map(CoreBudget::lease));
         sim.run(15);
         sim.model().items().clone()
     };
-    assert_eq!(build(1), build(4));
+    let budget = CoreBudget::new(4);
+    let sequential = build(RoundThreads::Fixed(1), None);
+    assert_eq!(sequential, build(RoundThreads::Fixed(4), None));
+    assert_eq!(sequential, build(RoundThreads::Auto, Some(&budget)));
 }
 
 #[test]

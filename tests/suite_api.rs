@@ -46,6 +46,7 @@ fn tiny_opts(threads: usize) -> RunOptions {
         seed: 11,
         rounds: Some(10),
         threads,
+        ..RunOptions::default()
     }
 }
 
