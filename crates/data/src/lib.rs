@@ -31,7 +31,7 @@ pub mod synth;
 
 pub use dataset::Dataset;
 pub use movielens::{load_path as load_movielens, LoadOptions};
-pub use presets::DatasetSpec;
+pub use presets::{DataSource, DatasetSpec};
 pub use sampling::NegativeSampler;
 pub use split::{leave_one_out, TrainTestSplit};
 pub use stats::DatasetStats;

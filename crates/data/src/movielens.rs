@@ -164,7 +164,10 @@ pub fn load_reader<R: Read>(
         per_user[u].push(j as u32);
     }
 
-    // Drop users below the interaction floor, keeping dense user ids.
+    // Drop users below the interaction floor. Survivors keep their dense
+    // ids in *file appearance order* — iterating the id map here would make
+    // the user numbering depend on HashMap iteration order, and with it
+    // every downstream seeded computation (splits, targets, training).
     let keep: Vec<bool> = per_user
         .iter()
         .map(|items| {
@@ -174,14 +177,18 @@ pub fn load_reader<R: Read>(
             distinct.len() >= options.min_interactions_per_user
         })
         .collect();
-    let mut final_user_map = HashMap::new();
+    let mut new_index: Vec<Option<usize>> = vec![None; per_user.len()];
     let mut final_lists = Vec::new();
-    for (orig, &dense) in &user_to_dense {
+    for (dense, items) in per_user.iter().enumerate() {
         if keep[dense] {
-            final_user_map.insert(*orig, final_lists.len());
-            final_lists.push(per_user[dense].clone());
+            new_index[dense] = Some(final_lists.len());
+            final_lists.push(items.clone());
         }
     }
+    let final_user_map: HashMap<u64, usize> = user_to_dense
+        .iter()
+        .filter_map(|(orig, &dense)| new_index[dense].map(|n| (*orig, n)))
+        .collect();
     if final_lists.iter().all(|l| l.is_empty()) {
         return Err(LoadError::Empty);
     }

@@ -15,6 +15,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Where a [`DatasetSpec`]'s interactions come from: the synthetic Zipf
+/// generator (`crate::synth`), or a real MovieLens-format dump on disk
+/// loaded through `crate::movielens`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataSource {
+    /// Generate synthetically from the spec's shape parameters.
+    #[default]
+    Synth,
+    /// Load from a MovieLens-format file (`u.data` tab-separated or
+    /// `ratings.dat` `::`-separated, chosen by extension). The shape
+    /// parameters of the spec are placeholders; the file decides.
+    File(String),
+}
+
 /// Parameters for the synthetic generator.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct DatasetSpec {
@@ -32,6 +46,8 @@ pub struct DatasetSpec {
     /// Every user gets at least this many interactions (≥ 2 keeps
     /// leave-one-out feasible while leaving a non-empty train set).
     pub min_interactions_per_user: usize,
+    /// Interaction source: synthetic (the default) or a real file.
+    pub source: DataSource,
 }
 
 impl DatasetSpec {
@@ -45,6 +61,7 @@ impl DatasetSpec {
             item_zipf_exponent: 0.9,
             user_zipf_exponent: 0.6,
             min_interactions_per_user: 20,
+            source: DataSource::Synth,
         }
     }
 
@@ -58,6 +75,7 @@ impl DatasetSpec {
             item_zipf_exponent: 0.95,
             user_zipf_exponent: 0.65,
             min_interactions_per_user: 20,
+            source: DataSource::Synth,
         }
     }
 
@@ -71,6 +89,7 @@ impl DatasetSpec {
             item_zipf_exponent: 1.0,
             user_zipf_exponent: 0.4,
             min_interactions_per_user: 5,
+            source: DataSource::Synth,
         }
     }
 
@@ -84,6 +103,32 @@ impl DatasetSpec {
             item_zipf_exponent: 0.9,
             user_zipf_exponent: 0.5,
             min_interactions_per_user: 5,
+            source: DataSource::Synth,
+        }
+    }
+
+    /// A spec backed by a real MovieLens-format file. The shape fields are
+    /// placeholders (the file decides users/items/interactions) and
+    /// [`DatasetSpec::scaled`] does not apply — real dumps are used as-is.
+    pub fn from_file(path: impl Into<String>) -> Self {
+        let path = path.into();
+        Self {
+            name: format!("file:{path}"),
+            n_users: 0,
+            n_items: 0,
+            n_interactions: 0,
+            item_zipf_exponent: 0.0,
+            user_zipf_exponent: 0.0,
+            min_interactions_per_user: 2,
+            source: DataSource::File(path),
+        }
+    }
+
+    /// The backing file path, when this spec is file-sourced.
+    pub fn file_path(&self) -> Option<&str> {
+        match &self.source {
+            DataSource::Synth => None,
+            DataSource::File(path) => Some(path),
         }
     }
 
@@ -106,6 +151,7 @@ impl DatasetSpec {
             item_zipf_exponent: self.item_zipf_exponent,
             user_zipf_exponent: self.user_zipf_exponent,
             min_interactions_per_user: self.min_interactions_per_user.clamp(3, 8),
+            source: self.source.clone(),
         }
     }
 
@@ -171,5 +217,18 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn scaled_rejects_zero() {
         DatasetSpec::tiny().scaled(0.0);
+    }
+
+    #[test]
+    fn file_specs_carry_their_source() {
+        let s = DatasetSpec::from_file("x/u.data");
+        assert_eq!(s.file_path(), Some("x/u.data"));
+        assert_eq!(s.name, "file:x/u.data");
+        assert!(DatasetSpec::tiny().file_path().is_none());
+        // serde round-trips keep the source (the cache identity depends
+        // on it).
+        let v = serde::Serialize::to_value(&s);
+        let back: DatasetSpec = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, s);
     }
 }

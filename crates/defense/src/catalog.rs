@@ -5,14 +5,22 @@
 //! construction logic as its [`DefenseFactory`] implementation, and the
 //! legacy [`DefenseKind::build_aggregator`] method resolves by name so
 //! overrides and out-of-crate defenses compose with existing callers.
+//!
+//! The paper's client-side defense (`Ours`, `pieck_core::defense`) is an
+//! ordinary factory here: it reads its β/γ weights, Re1/Re2 switches, and
+//! mining parameters from the selection's [`DefenseParams`], falling back
+//! to the model-tuned defaults the [`DefenseBuildCtx`] carries.
 
 use frs_federation::{Aggregator, SumAggregator};
+use pieck_core::{DefenseConfig, PieckDefense};
 use serde::{Deserialize, Serialize};
 
 use crate::krum::{Bulyan, Krum, MultiKrum};
 use crate::median::{Median, TrimmedMean};
 use crate::norm_bound::NormBound;
-use crate::registry::{DefenseBuildCtx, DefenseFactory, DefenseSel};
+use crate::registry::{
+    DefenseBuildCtx, DefenseFactory, DefenseInstance, DefenseParams, DefenseSel, ParamSpec,
+};
 
 /// Every defense evaluated in the paper, in Table IV row order. `Ours` is
 /// client-side (see `pieck_core::defense`) and pairs with plain-sum server
@@ -94,10 +102,12 @@ impl DefenseKind {
         assumed_ratio: f64,
         norm_bound_threshold: f32,
     ) -> Box<dyn Aggregator> {
-        DefenseSel::from(*self).build_aggregator(&DefenseBuildCtx {
-            assumed_malicious_ratio: assumed_ratio,
-            norm_bound_threshold,
-        })
+        DefenseSel::from(*self)
+            .build(&DefenseBuildCtx::minimal(
+                assumed_ratio,
+                norm_bound_threshold,
+            ))
+            .aggregator
     }
 }
 
@@ -116,18 +126,85 @@ impl DefenseFactory for DefenseKind {
         DefenseKind::is_client_side(self)
     }
 
-    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
-        // Defenses assume a minority of malicious uploads; clamp for safety.
-        let ratio = ctx.assumed_malicious_ratio.clamp(0.0, 0.49);
+    fn param_schema(&self) -> Vec<ParamSpec> {
         match self {
-            DefenseKind::NoDefense | DefenseKind::Ours => Box::new(SumAggregator),
-            DefenseKind::NormBound => Box::new(NormBound::new(ctx.norm_bound_threshold)),
-            DefenseKind::Median => Box::new(Median),
-            DefenseKind::TrimmedMean => Box::new(TrimmedMean::new(ratio)),
-            DefenseKind::Krum => Box::new(Krum::new(ratio)),
-            DefenseKind::MultiKrum => Box::new(MultiKrum::new(ratio)),
-            DefenseKind::Bulyan => Box::new(Bulyan::new(ratio)),
+            DefenseKind::NoDefense | DefenseKind::Median => Vec::new(),
+            DefenseKind::NormBound => vec![ParamSpec::new(
+                "threshold",
+                "L2 clipping threshold per upload",
+                "scenario norm_bound_threshold",
+            )],
+            DefenseKind::TrimmedMean
+            | DefenseKind::Krum
+            | DefenseKind::MultiKrum
+            | DefenseKind::Bulyan => vec![ParamSpec::new(
+                "ratio",
+                "assumed malicious fraction p̃ (clamped to [0, 0.49])",
+                "scenario malicious_ratio",
+            )],
+            DefenseKind::Ours => vec![
+                ParamSpec::new("beta", "weight β of Re1 (Eq. 14)", "model-tuned (ctx)"),
+                ParamSpec::new("gamma", "weight γ of Re2 (Eq. 15)", "model-tuned (ctx)"),
+                ParamSpec::new("re1", "enable the Re1 confusion term", "true"),
+                ParamSpec::new("re2", "enable the Re2 separation term", "true"),
+                ParamSpec::new("mining_rounds", "R̃ for the benign-side miner", "2"),
+                ParamSpec::new(
+                    "top_n",
+                    "N for the benign-side miner",
+                    "scenario mined_top_n",
+                ),
+            ],
         }
+    }
+
+    fn build(
+        &self,
+        ctx: &DefenseBuildCtx,
+        params: &DefenseParams,
+    ) -> Result<DefenseInstance, String> {
+        let schema = DefenseFactory::param_schema(self);
+        let known: Vec<&str> = schema.iter().map(|s| s.key.as_str()).collect();
+        params.check_known(&known, DefenseKind::name(self))?;
+        // Robust rules assume a minority of malicious uploads; clamp.
+        let ratio = params
+            .get_f64("ratio")?
+            .unwrap_or(ctx.assumed_malicious_ratio)
+            .clamp(0.0, 0.49);
+        Ok(match self {
+            DefenseKind::NoDefense => DefenseInstance::server(Box::new(SumAggregator)),
+            DefenseKind::NormBound => {
+                let threshold = params
+                    .get_f32("threshold")?
+                    .unwrap_or(ctx.norm_bound_threshold);
+                DefenseInstance::server(Box::new(NormBound::new(threshold)))
+            }
+            DefenseKind::Median => DefenseInstance::server(Box::new(Median)),
+            DefenseKind::TrimmedMean => DefenseInstance::server(Box::new(TrimmedMean::new(ratio))),
+            DefenseKind::Krum => DefenseInstance::server(Box::new(Krum::new(ratio))),
+            DefenseKind::MultiKrum => DefenseInstance::server(Box::new(MultiKrum::new(ratio))),
+            DefenseKind::Bulyan => DefenseInstance::server(Box::new(Bulyan::new(ratio))),
+            DefenseKind::Ours => {
+                let config = DefenseConfig {
+                    mining_rounds: params.get_usize("mining_rounds")?.unwrap_or(2),
+                    top_n: params
+                        .get_usize("top_n")?
+                        .unwrap_or_else(|| ctx.mined_top_n.max(1)),
+                    beta: params.get_f32("beta")?.unwrap_or(ctx.default_beta),
+                    gamma: params.get_f32("gamma")?.unwrap_or(ctx.default_gamma),
+                    use_re1: params.get_bool("re1")?.unwrap_or(true),
+                    use_re2: params.get_bool("re2")?.unwrap_or(true),
+                };
+                config
+                    .validate()
+                    .map_err(|e| format!("invalid `ours` parameters: {e}"))?;
+                DefenseInstance::client(
+                    Box::new(SumAggregator),
+                    // Mining state is per-client: every benign client gets
+                    // its own fresh PieckDefense.
+                    Box::new(move |_client_id| Box::new(PieckDefense::new(config.clone()))),
+                )
+            }
+        })
     }
 }
 
@@ -169,10 +246,68 @@ mod tests {
     #[test]
     fn extreme_assumed_ratio_is_clamped() {
         use frs_model::GlobalGradients;
-        // Must not panic even with a ratio >= 0.5.
+        // Must not panic even with a ratio >= 0.5 — from ctx or from params.
         let agg = DefenseKind::Krum.build_aggregator(0.9, 1.0);
         let mut u = GlobalGradients::new();
         u.add_item_grad(0, &[1.0]);
         assert!(agg.aggregate(&[u]).items[&0][0].is_finite());
+
+        let sel = DefenseSel::named("krum").with_param("ratio", 0.9f64);
+        let inst = sel.build(&DefenseBuildCtx::minimal(0.05, 1.0));
+        let mut u = GlobalGradients::new();
+        u.add_item_grad(0, &[1.0]);
+        assert!(inst.aggregator.aggregate(&[u]).items[&0][0].is_finite());
+    }
+
+    #[test]
+    fn ours_builds_a_per_client_regularizer_through_the_registry() {
+        let ctx = DefenseBuildCtx {
+            mined_top_n: 7,
+            ..DefenseBuildCtx::minimal(0.05, 0.5)
+        };
+        let inst = DefenseSel::named("ours").build(&ctx);
+        assert!(inst.regularizer_factory.is_some());
+        let reg = inst.regularizer_for(0).unwrap();
+        assert_eq!(reg.name(), "ours");
+        // Aggregation stays a plain sum (the defense is client-side).
+        assert_eq!(inst.aggregator.name(), "NoDefense");
+    }
+
+    #[test]
+    fn ours_params_override_context_defaults() {
+        let ctx = DefenseBuildCtx::minimal(0.05, 0.5);
+        // Invalid overrides are caught by DefenseConfig::validate.
+        let bad = DefenseSel::named("ours").with_param("mining_rounds", 0usize);
+        assert!(
+            bad.try_build(&ctx).unwrap_err().contains("invalid"),
+            "{bad}"
+        );
+        // Unknown keys are rejected against the schema.
+        let typo = DefenseSel::named("ours").with_param("betta", 1.0f32);
+        assert!(typo.try_build(&ctx).unwrap_err().contains("unknown"));
+        // A valid override builds fine.
+        let ok = DefenseSel::named("ours")
+            .with_param("beta", 0.9f32)
+            .with_param("re2", false);
+        assert!(ok.try_build(&ctx).is_ok());
+    }
+
+    #[test]
+    fn normbound_threshold_param_overrides_ctx() {
+        use frs_model::GlobalGradients;
+        let ctx = DefenseBuildCtx::minimal(0.05, 1000.0);
+        // With a tiny explicit threshold the upload is clipped hard.
+        let clipped = DefenseSel::named("norm-bound")
+            .with_param("threshold", 0.001f32)
+            .build(&ctx);
+        let mut u = GlobalGradients::new();
+        u.add_item_grad(0, &[3.0, 4.0]);
+        let out = clipped.aggregator.aggregate(&[u.clone()]);
+        let norm: f32 = out.items[&0].iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm <= 0.0011, "clipped to the param threshold: {norm}");
+        // Without the param, the huge ctx threshold leaves it untouched.
+        let loose = DefenseSel::named("norm-bound").build(&ctx);
+        let out = loose.aggregator.aggregate(&[u]);
+        assert_eq!(out.items[&0], vec![3.0, 4.0]);
     }
 }

@@ -15,8 +15,10 @@
 //! Section V-A explains why all of them fail against PIECK: for a cold target
 //! item the *expected majority* of uploaded gradients is poisonous
 //! (`Ẽ(v_j) ≫ p̃`, Eq. 11), so majority-seeking statistics faithfully keep the
-//! poison. The paper's actual defense is client-side and lives in
-//! `pieck_core::defense`.
+//! poison. The paper's actual defense is client-side
+//! (`pieck_core::defense`); it registers here as the ordinary `"ours"`
+//! factory, parameterized through [`DefenseParams`] like every other entry
+//! in the open [`registry`].
 
 pub mod catalog;
 pub mod krum;
@@ -30,5 +32,6 @@ pub use median::{Median, TrimmedMean};
 pub use norm_bound::NormBound;
 pub use registry::{
     defense_factory, register_defense, registered_defenses, DefenseBuildCtx, DefenseFactory,
-    DefenseSel, FnDefenseFactory,
+    DefenseInstance, DefenseParams, DefenseSel, FnDefenseFactory, IntoDefenseFactory, ParamSpec,
+    ParamValue, RegularizerFactory,
 };

@@ -1,10 +1,40 @@
 //! The open defense registry — mirror image of `frs_attacks::registry`.
 //!
 //! Defenses are [`DefenseFactory`] trait objects registered by name. A
-//! defense contributes a server-side [`Aggregator`] and, for client-side
-//! schemes, optionally a [`LocalRegularizer`] installed into every benign
-//! client. The legacy [`DefenseKind`] enum remains as a thin wrapper over
-//! registry lookups.
+//! factory turns a scenario-level [`DefenseBuildCtx`] plus a serializable
+//! [`DefenseParams`] payload into a [`DefenseInstance`]: the server-side
+//! [`Aggregator`] and — for client-side schemes like the paper's
+//! regularization defense — a per-client [`LocalRegularizer`] factory the
+//! harness invokes once per benign client.
+//!
+//! Scenarios reference defenses through [`DefenseSel`], a `{name, params}`
+//! pair that serializes as a plain string when the params are empty
+//! (`"ours"`) and as `{"name": "ours", "params": {"beta": 0.9}}` otherwise.
+//! The params map is sorted-key and canonical, so structurally equal
+//! selections always produce the same JSON bytes — which is what lets suite
+//! cache keys see defense hyper-parameters (see `frs_experiments::cache`).
+//!
+//! The paper's own defense (`"ours"`) goes through this registry like every
+//! other factory: its β/γ weights, the Re1/Re2 ablation switches, and the
+//! mining parameters are ordinary [`DefenseParams`] entries, with
+//! model-tuned defaults supplied by the [`DefenseBuildCtx`]. There is no
+//! harness special case.
+//!
+//! Ad-hoc defenses use [`FnDefenseFactory`]:
+//!
+//! ```
+//! use frs_defense::{register_defense, DefenseSel, FnDefenseFactory};
+//! use frs_federation::SumAggregator;
+//!
+//! register_defense(
+//!     FnDefenseFactory::new("plain-sum", "PlainSum", |_ctx| Box::new(SumAggregator))
+//!         .with_fingerprint("v1"),
+//! );
+//! assert!(DefenseSel::named("plain-sum").resolve().is_some());
+//! ```
+//!
+//! The legacy [`DefenseKind`] enum remains as a thin wrapper over registry
+//! lookups.
 //!
 //! [`DefenseKind`]: crate::DefenseKind
 
@@ -12,17 +42,463 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use frs_federation::{Aggregator, LocalRegularizer};
+use frs_model::ModelKind;
 
 use crate::catalog::DefenseKind;
 
-/// Scenario-level parameters a defense may consume when instantiating.
+// ------------------------------------------------------------------ params
+
+/// One defense hyper-parameter value. Kept deliberately JSON-shaped so the
+/// whole params map canonicalizes exactly like every other config field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    Bool(bool),
+    Int(u64),
+    Float(f64),
+    Str(String),
+}
+
+impl ParamValue {
+    /// Parses a CLI-style value: `true`/`false`, an unsigned integer, a
+    /// float, or (fallback) a bare string. Non-finite floats (`nan`,
+    /// `inf`) stay strings — they would canonicalize to JSON `null`,
+    /// colliding distinct configs onto one cache key, so the typed
+    /// accessors reject them with a clean type error instead.
+    pub fn parse(s: &str) -> Self {
+        match s {
+            "true" => ParamValue::Bool(true),
+            "false" => ParamValue::Bool(false),
+            _ => {
+                if let Ok(i) = s.parse::<u64>() {
+                    ParamValue::Int(i)
+                } else if let Ok(f) = s.parse::<f64>() {
+                    if f.is_finite() {
+                        // Same normalization as `From<f64>`: `beta=5.0`
+                        // must key like `beta=5`.
+                        normalized_float(f)
+                    } else {
+                        ParamValue::Str(s.to_string())
+                    }
+                } else {
+                    ParamValue::Str(s.to_string())
+                }
+            }
+        }
+    }
+}
+
+impl Eq for ParamValue {}
+
+#[allow(clippy::derived_hash_with_manual_eq)]
+impl std::hash::Hash for ParamValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            ParamValue::Bool(b) => (0u8, b).hash(state),
+            ParamValue::Int(i) => (1u8, i).hash(state),
+            ParamValue::Float(f) => (2u8, f.to_bits()).hash(state),
+            ParamValue::Str(s) => (3u8, s).hash(state),
+        }
+    }
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Bool(b) => write!(f, "{b}"),
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(x) => write!(f, "{x}"),
+            ParamValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Canonicalizes a finite float: whole non-negative values become
+/// [`ParamValue::Int`], so `beta=5` from the CLI, `with_param("beta",
+/// 5.0f32)`, and a JSON `"beta": 5.0` all produce the same variant — and
+/// with it the same canonical bytes and cache key. (Negative or huge whole
+/// floats stay `Float`; their Display text re-parses to `Float` too, so
+/// every path still agrees.)
+fn normalized_float(v: f64) -> ParamValue {
+    if v.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&v) {
+        ParamValue::Int(v as u64)
+    } else {
+        ParamValue::Float(v)
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+impl From<u64> for ParamValue {
+    fn from(v: u64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Int(v as u64)
+    }
+}
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::Int(v as u64)
+    }
+}
+impl From<f64> for ParamValue {
+    /// Whole non-negative values normalize to `Int` (matching what the CLI
+    /// parser produces for the same text). Panics on non-finite values:
+    /// the canonical JSON form has no NaN/∞ (they would serialize as
+    /// `null` and collide cache keys).
+    fn from(v: f64) -> Self {
+        assert!(v.is_finite(), "defense params must be finite, got {v}");
+        normalized_float(v)
+    }
+}
+impl From<f32> for ParamValue {
+    /// Converts via the value's shortest decimal representation, so an
+    /// `0.9f32` keys and displays identically to the CLI's `beta=0.9`
+    /// (a plain `as f64` widening would store `0.90000003…` and address a
+    /// different cache cell than the same value given on the command
+    /// line); whole values normalize to `Int` like the CLI's. The typed
+    /// `get_f32` accessor rounds back losslessly.
+    fn from(v: f32) -> Self {
+        assert!(v.is_finite(), "defense params must be finite, got {v}");
+        normalized_float(v.to_string().parse().expect("f32 display round-trips"))
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+impl serde::Serialize for ParamValue {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            ParamValue::Bool(b) => serde::Value::Bool(*b),
+            ParamValue::Int(i) => serde::Value::Number(serde::Number::U64(*i)),
+            ParamValue::Float(f) => serde::Value::Number(serde::Number::F64(*f)),
+            ParamValue::Str(s) => serde::Value::String(s.clone()),
+        }
+    }
+}
+
+impl serde::Deserialize for ParamValue {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Bool(b) => Ok(ParamValue::Bool(*b)),
+            serde::Value::String(s) => Ok(ParamValue::Str(s.clone())),
+            serde::Value::Number(serde::Number::U64(i)) => Ok(ParamValue::Int(*i)),
+            serde::Value::Number(serde::Number::I64(i)) if *i >= 0 => {
+                Ok(ParamValue::Int(*i as u64))
+            }
+            serde::Value::Number(serde::Number::I64(i)) => Ok(ParamValue::Float(*i as f64)),
+            serde::Value::Number(serde::Number::F64(f)) if f.is_finite() => {
+                // Same normalization as `From<f64>`: a hand-written
+                // `"beta": 5.0` must key like the CLI's `beta=5`.
+                Ok(normalized_float(*f))
+            }
+            serde::Value::Number(serde::Number::F64(f)) => Err(serde::Error::new(format!(
+                "defense param values must be finite, got {f}"
+            ))),
+            other => Err(serde::Error::new(format!(
+                "expected defense param value, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A canonical (sorted-key) map of defense hyper-parameters — the
+/// serializable payload a [`DefenseSel`] carries alongside its registry
+/// name. Missing keys mean "use the factory's context-derived default".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct DefenseParams {
+    entries: BTreeMap<String, ParamValue>,
+}
+
+impl DefenseParams {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sets a parameter (builder form).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Sets a parameter in place.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<ParamValue>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.entries.get(key)
+    }
+
+    /// Sorted parameter keys.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Sorted `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `f32` accessor; `Err` when the key holds a non-numeric value or one
+    /// that overflows `f32` (narrowing `1e39` to `f32::INFINITY` would
+    /// smuggle a non-finite weight past every finiteness guard).
+    pub fn get_f32(&self, key: &str) -> Result<Option<f32>, String> {
+        match self.get_f64(key)? {
+            None => Ok(None),
+            Some(x) => {
+                let narrowed = x as f32;
+                if narrowed.is_finite() {
+                    Ok(Some(narrowed))
+                } else {
+                    Err(format!("param `{key}` = {x} does not fit an f32"))
+                }
+            }
+        }
+    }
+
+    /// `f64` accessor; `Err` when the key holds a non-numeric value.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(ParamValue::Float(f)) => Ok(Some(*f)),
+            Some(ParamValue::Int(i)) => Ok(Some(*i as f64)),
+            Some(other) => Err(format!("param `{key}` must be a number, got `{other}`")),
+        }
+    }
+
+    /// `bool` accessor; `Err` when the key holds a non-boolean value.
+    pub fn get_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(ParamValue::Bool(b)) => Ok(Some(*b)),
+            Some(other) => Err(format!("param `{key}` must be a bool, got `{other}`")),
+        }
+    }
+
+    /// `usize` accessor; `Err` when the key holds a non-integer value.
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(ParamValue::Int(i)) => Ok(Some(*i as usize)),
+            Some(other) => Err(format!("param `{key}` must be an integer, got `{other}`")),
+        }
+    }
+
+    /// Errors when any key is not in `known` — factories call this first so
+    /// a typo'd `--defense ours:betta=1` fails loudly instead of silently
+    /// running the defaults.
+    pub fn check_known(&self, known: &[&str], defense: &str) -> Result<(), String> {
+        let unknown: Vec<&str> = self.keys().filter(|k| !known.contains(k)).collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown parameter(s) {unknown:?} for defense `{defense}` (known: {known:?})"
+            ))
+        }
+    }
+
+    /// Parses a CLI-style `k=v,k=v,…` list.
+    pub fn parse_list(s: &str) -> Result<Self, String> {
+        let mut params = Self::new();
+        for pair in s.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad defense param `{pair}`; expected key=value"))?;
+            if key.trim().is_empty() {
+                return Err(format!("bad defense param `{pair}`; empty key"));
+            }
+            params.set(key.trim(), ParamValue::parse(value.trim()));
+        }
+        Ok(params)
+    }
+}
+
+/// Renders as the CLI form: `k=v,k=v` in sorted key order (empty string for
+/// no params).
+impl std::fmt::Display for DefenseParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl serde::Serialize for DefenseParams {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Serialize::to_value(v)))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for DefenseParams {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::Error::new(format!("expected defense params object, got {}", v.kind()))
+        })?;
+        let mut entries = BTreeMap::new();
+        for (k, v) in obj {
+            entries.insert(k.clone(), serde::Deserialize::from_value(v)?);
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Declared schema entry of one defense parameter (`paper defenses list`
+/// and [`DefenseParams::check_known`] feed off the factory's schema).
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Parameter key (`beta`, `threshold`, …).
+    pub key: String,
+    /// One-line description.
+    pub doc: String,
+    /// Human-readable default ("0.5", "scenario malicious_ratio", …).
+    pub default: String,
+}
+
+impl ParamSpec {
+    pub fn new(key: impl Into<String>, doc: impl Into<String>, default: impl Into<String>) -> Self {
+        Self {
+            key: key.into(),
+            doc: doc.into(),
+            default: default.into(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- context
+
+/// Everything a scenario knows that a defense may consume when
+/// instantiating — the paper's defense needs most of it (mined `N`, the
+/// base-model family its β/γ are tuned per, the embedding dimension, and
+/// the root seed); server-side rules typically read only the first two
+/// fields.
 #[derive(Debug, Clone)]
 pub struct DefenseBuildCtx {
     /// Malicious fraction `p̃` the defense is tuned for.
     pub assumed_malicious_ratio: f64,
     /// Clipping threshold for NormBound-style defenses.
     pub norm_bound_threshold: f32,
+    /// Mined popular-set size `N` of the scenario (the defense miner
+    /// matches the attacker's, Section V-B).
+    pub mined_top_n: usize,
+    /// Base-model family the federation trains.
+    pub model: ModelKind,
+    /// Item/user embedding dimension.
+    pub embedding_dim: usize,
+    /// Model-tuned default weight β of Re1 (the paper tunes β/γ per base
+    /// model; DL item updates land with a much smaller server learning
+    /// rate, so its regularizers need proportionally more weight).
+    pub default_beta: f32,
+    /// Model-tuned default weight γ of Re2.
+    pub default_gamma: f32,
+    /// Scenario root seed, for defenses that randomize.
+    pub seed: u64,
 }
+
+impl DefenseBuildCtx {
+    /// A context carrying only the two classic server-side knobs; the rest
+    /// are neutral defaults. Used by the legacy
+    /// [`DefenseKind::build_aggregator`] entry point and by tests.
+    pub fn minimal(assumed_malicious_ratio: f64, norm_bound_threshold: f32) -> Self {
+        Self {
+            assumed_malicious_ratio,
+            norm_bound_threshold,
+            mined_top_n: 10,
+            model: ModelKind::Mf,
+            embedding_dim: 0,
+            default_beta: 0.5,
+            default_gamma: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- instance
+
+/// Builds one fresh [`LocalRegularizer`] per benign client (argument: the
+/// client/user id). Each client must get its own instance — regularizers
+/// keep per-client mining state.
+pub type RegularizerFactory = Box<dyn Fn(usize) -> Box<dyn LocalRegularizer> + Send + Sync>;
+
+/// A fully instantiated defense: what [`DefenseFactory::build`] returns and
+/// the harness wires into a simulation.
+pub struct DefenseInstance {
+    /// The server-side aggregation rule (client-side defenses pair with a
+    /// plain sum here).
+    pub aggregator: Box<dyn Aggregator>,
+    /// Per-client regularizer factory; `None` for pure server-side rules.
+    pub regularizer_factory: Option<RegularizerFactory>,
+}
+
+impl std::fmt::Debug for DefenseInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefenseInstance")
+            .field("aggregator", &self.aggregator.name())
+            .field("client_side", &self.regularizer_factory.is_some())
+            .finish()
+    }
+}
+
+impl DefenseInstance {
+    /// A pure server-side defense.
+    pub fn server(aggregator: Box<dyn Aggregator>) -> Self {
+        Self {
+            aggregator,
+            regularizer_factory: None,
+        }
+    }
+
+    /// A client-side defense: `factory` is invoked once per benign client.
+    pub fn client(aggregator: Box<dyn Aggregator>, factory: RegularizerFactory) -> Self {
+        Self {
+            aggregator,
+            regularizer_factory: Some(factory),
+        }
+    }
+
+    /// A fresh regularizer for `client_id`, when the defense is client-side.
+    pub fn regularizer_for(&self, client_id: usize) -> Option<Box<dyn LocalRegularizer>> {
+        self.regularizer_factory.as_ref().map(|f| f(client_id))
+    }
+}
+
+// ----------------------------------------------------------------- factory
 
 /// A named defense that can arm a scenario.
 pub trait DefenseFactory: Send + Sync {
@@ -40,54 +516,77 @@ pub trait DefenseFactory: Send + Sync {
         false
     }
 
-    /// The server-side aggregation rule (client-side defenses return a plain
-    /// sum here).
-    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator>;
-
-    /// A fresh per-client regularizer for client-side defenses; `None` for
-    /// pure server-side rules. The harness installs one instance into every
-    /// benign client. (The paper's own defense is wired specially by the
-    /// harness because its configuration lives in the scenario; out-of-crate
-    /// client-side defenses hook in here.)
-    fn build_regularizer(&self, ctx: &DefenseBuildCtx) -> Option<Box<dyn LocalRegularizer>> {
-        let _ = ctx;
-        None
+    /// The parameters this defense accepts, for validation and for
+    /// `paper defenses list`. Empty (the default) means "takes none".
+    fn param_schema(&self) -> Vec<ParamSpec> {
+        Vec::new()
     }
+
+    /// Instantiates the defense for one scenario. Implementations validate
+    /// `params` (unknown keys are an error) and fall back to
+    /// context-derived defaults for missing ones.
+    fn build(
+        &self,
+        ctx: &DefenseBuildCtx,
+        params: &DefenseParams,
+    ) -> Result<DefenseInstance, String>;
 
     /// Optional behaviour fingerprint, mixed into suite cache keys — same
     /// contract as `AttackFactory::fingerprint` in `frs_attacks`: a stable
     /// string describing closed-over parameters, so re-registering this
-    /// name with different behaviour re-keys cached cells. `None` (the
-    /// default, used by the built-ins) keeps name-only addressing.
+    /// name with different behaviour re-keys cached cells. (`DefenseSel`
+    /// *params* need no fingerprint — they live in the config JSON and key
+    /// the cache directly; the fingerprint covers what the factory closed
+    /// over.) `None` (the default, used by the built-ins) keeps name-only
+    /// addressing.
     fn fingerprint(&self) -> Option<String> {
         None
     }
 }
 
-type AggregatorBuildFn = Box<dyn Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync>;
+type AggregatorBuildFn =
+    Box<dyn Fn(&DefenseBuildCtx, &DefenseParams) -> Box<dyn Aggregator> + Send + Sync>;
+type RegularizerBuildFn =
+    Arc<dyn Fn(&DefenseBuildCtx, &DefenseParams, usize) -> Box<dyn LocalRegularizer> + Send + Sync>;
 
-/// Closure-backed [`DefenseFactory`] for ad-hoc defenses.
+/// Closure-backed [`DefenseFactory`] for ad-hoc defenses — server-side
+/// aggregation rules, client-side regularizer schemes, or both, without a
+/// hand-rolled trait impl:
+///
+/// ```ignore
+/// register_defense(
+///     FnDefenseFactory::new("my-defense", "MyDefense", |_ctx| Box::new(SumAggregator))
+///         .with_regularizer(|ctx| Box::new(MyRegularizer::new(ctx.mined_top_n)))
+///         .with_param_schema([ParamSpec::new("tau", "attenuation", "1.0")])
+///         .with_fingerprint("tau-default=1.0"),
+/// );
+/// ```
 pub struct FnDefenseFactory {
     name: String,
     label: String,
-    client_side: bool,
     fingerprint: Option<String>,
+    schema: Vec<ParamSpec>,
     aggregator: AggregatorBuildFn,
+    regularizer: Option<RegularizerBuildFn>,
 }
 
 impl FnDefenseFactory {
+    /// A server-side defense from an aggregator closure. Chain `with_*`
+    /// builder methods for regularizers, params, and fingerprints, then
+    /// hand the result to [`register_defense`].
     pub fn new(
         name: impl Into<String>,
         label: impl Into<String>,
         aggregator: impl Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync + 'static,
-    ) -> Arc<Self> {
-        Arc::new(Self {
+    ) -> Self {
+        Self {
             name: name.into(),
             label: label.into(),
-            client_side: false,
             fingerprint: None,
-            aggregator: Box::new(aggregator),
-        })
+            schema: Vec::new(),
+            aggregator: Box::new(move |ctx, _params| aggregator(ctx)),
+            regularizer: None,
+        }
     }
 
     /// Like [`FnDefenseFactory::new`], additionally carrying a behaviour
@@ -97,14 +596,69 @@ impl FnDefenseFactory {
         label: impl Into<String>,
         fingerprint: impl Into<String>,
         aggregator: impl Fn(&DefenseBuildCtx) -> Box<dyn Aggregator> + Send + Sync + 'static,
-    ) -> Arc<Self> {
-        Arc::new(Self {
+    ) -> Self {
+        Self::new(name, label, aggregator).with_fingerprint(fingerprint)
+    }
+
+    /// A params-aware server-side defense: the aggregator closure also sees
+    /// the selection's [`DefenseParams`]. Declare the accepted keys with
+    /// [`FnDefenseFactory::with_param_schema`], or every non-empty params
+    /// map is rejected.
+    pub fn parameterized(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        aggregator: impl Fn(&DefenseBuildCtx, &DefenseParams) -> Box<dyn Aggregator>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        Self {
             name: name.into(),
             label: label.into(),
-            client_side: false,
-            fingerprint: Some(fingerprint.into()),
+            fingerprint: None,
+            schema: Vec::new(),
             aggregator: Box::new(aggregator),
-        })
+            regularizer: None,
+        }
+    }
+
+    /// Declares a behaviour fingerprint (see [`DefenseFactory::fingerprint`]
+    /// — the PR-3 cache contract for runtime registrations).
+    pub fn with_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = Some(fingerprint.into());
+        self
+    }
+
+    /// Declares the accepted parameters. Without a schema, any non-empty
+    /// [`DefenseParams`] fails the build.
+    pub fn with_param_schema(mut self, schema: impl IntoIterator<Item = ParamSpec>) -> Self {
+        self.schema = schema.into_iter().collect();
+        self
+    }
+
+    /// Marks the defense client-side: `build` is invoked once per benign
+    /// client to produce that client's own [`LocalRegularizer`] (state is
+    /// per-client, so instances are never shared).
+    pub fn with_regularizer(
+        mut self,
+        build: impl Fn(&DefenseBuildCtx) -> Box<dyn LocalRegularizer> + Send + Sync + 'static,
+    ) -> Self {
+        self.regularizer = Some(Arc::new(move |ctx, _params, _client_id| build(ctx)));
+        self
+    }
+
+    /// Params-aware variant of [`FnDefenseFactory::with_regularizer`]: the
+    /// closure additionally sees the selection's [`DefenseParams`] and the
+    /// id of the client being armed.
+    pub fn with_params_regularizer(
+        mut self,
+        build: impl Fn(&DefenseBuildCtx, &DefenseParams, usize) -> Box<dyn LocalRegularizer>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.regularizer = Some(Arc::new(build));
+        self
     }
 }
 
@@ -118,17 +672,50 @@ impl DefenseFactory for FnDefenseFactory {
     }
 
     fn is_client_side(&self) -> bool {
-        self.client_side
+        self.regularizer.is_some()
     }
 
-    fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
-        (self.aggregator)(ctx)
+    fn param_schema(&self) -> Vec<ParamSpec> {
+        self.schema.clone()
+    }
+
+    fn build(
+        &self,
+        ctx: &DefenseBuildCtx,
+        params: &DefenseParams,
+    ) -> Result<DefenseInstance, String> {
+        if !params.is_empty() {
+            if self.schema.is_empty() {
+                return Err(format!(
+                    "defense `{}` takes no parameters (got `{params}`); declare a schema \
+                     with FnDefenseFactory::with_param_schema",
+                    self.name
+                ));
+            }
+            let known: Vec<&str> = self.schema.iter().map(|s| s.key.as_str()).collect();
+            params.check_known(&known, &self.name)?;
+        }
+        let aggregator = (self.aggregator)(ctx, params);
+        Ok(match &self.regularizer {
+            None => DefenseInstance::server(aggregator),
+            Some(build) => {
+                let build = Arc::clone(build);
+                let ctx = ctx.clone();
+                let params = params.clone();
+                DefenseInstance::client(
+                    aggregator,
+                    Box::new(move |client_id| build(&ctx, &params, client_id)),
+                )
+            }
+        })
     }
 
     fn fingerprint(&self) -> Option<String> {
         self.fingerprint.clone()
     }
 }
+
+// ---------------------------------------------------------------- registry
 
 type Registry = RwLock<BTreeMap<String, Arc<dyn DefenseFactory>>>;
 
@@ -138,15 +725,34 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| {
         let mut map: BTreeMap<String, Arc<dyn DefenseFactory>> = BTreeMap::new();
         for kind in DefenseKind::all() {
-            map.insert(kind.name().to_string(), Arc::new(kind));
+            map.insert(DefenseKind::name(&kind).to_string(), Arc::new(kind));
         }
         RwLock::new(map)
     })
 }
 
+/// Anything [`register_defense`] accepts: a factory by value (boxed into an
+/// `Arc` for you) or an already-shared `Arc<dyn DefenseFactory>`.
+pub trait IntoDefenseFactory {
+    fn into_defense_factory(self) -> Arc<dyn DefenseFactory>;
+}
+
+impl<F: DefenseFactory + 'static> IntoDefenseFactory for F {
+    fn into_defense_factory(self) -> Arc<dyn DefenseFactory> {
+        Arc::new(self)
+    }
+}
+
+impl IntoDefenseFactory for Arc<dyn DefenseFactory> {
+    fn into_defense_factory(self) -> Arc<dyn DefenseFactory> {
+        self
+    }
+}
+
 /// Registers (or replaces) a defense under `factory.name()`. Returns the
 /// previously registered factory of that name, if any.
-pub fn register_defense(factory: Arc<dyn DefenseFactory>) -> Option<Arc<dyn DefenseFactory>> {
+pub fn register_defense(factory: impl IntoDefenseFactory) -> Option<Arc<dyn DefenseFactory>> {
+    let factory = factory.into_defense_factory();
     registry()
         .write()
         .expect("defense registry poisoned")
@@ -172,17 +778,26 @@ pub fn registered_defenses() -> Vec<String> {
         .collect()
 }
 
-/// A serializable, registry-backed reference to a defense. Serializes as its
-/// plain name string.
+// --------------------------------------------------------------- selection
+
+/// A serializable, registry-backed reference to a defense: its registry
+/// name plus a canonical [`DefenseParams`] payload. Serializes as the plain
+/// name string when the params are empty, as `{"name", "params"}` otherwise
+/// — both forms deserialize.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DefenseSel {
     name: String,
+    params: DefenseParams,
 }
 
 impl DefenseSel {
-    /// References a registered (or to-be-registered) defense by name.
+    /// References a registered (or to-be-registered) defense by name, with
+    /// no parameter overrides.
     pub fn named(name: impl Into<String>) -> Self {
-        Self { name: name.into() }
+        Self {
+            name: name.into(),
+            params: DefenseParams::new(),
+        }
     }
 
     /// The undefended baseline.
@@ -190,9 +805,40 @@ impl DefenseSel {
         DefenseKind::NoDefense.into()
     }
 
+    /// Parses the CLI form `name[:k=v,…]` (e.g. `ours:beta=0.9,re2=false`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (name, params) = match spec.split_once(':') {
+            None => (spec.trim(), DefenseParams::new()),
+            Some((name, list)) => (name.trim(), DefenseParams::parse_list(list)?),
+        };
+        if name.is_empty() {
+            return Err("empty defense name".into());
+        }
+        Ok(Self {
+            name: name.to_string(),
+            params,
+        })
+    }
+
     /// Registry key.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The parameter payload.
+    pub fn params(&self) -> &DefenseParams {
+        &self.params
+    }
+
+    /// Sets a parameter (builder form).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// Sets a parameter in place ([`crate::registry::DefenseParams::set`]).
+    pub fn set_param(&mut self, key: impl Into<String>, value: impl Into<ParamValue>) {
+        self.params.set(key, value);
     }
 
     /// True for the undefended baseline.
@@ -200,7 +846,8 @@ impl DefenseSel {
         self.name == DefenseKind::NoDefense.name()
     }
 
-    /// Table row label.
+    /// Table row label (the factory's; params do not change the label —
+    /// they surface through the variant axis and progress events instead).
     pub fn label(&self) -> String {
         match defense_factory(&self.name) {
             Some(f) => f.label().to_string(),
@@ -223,30 +870,31 @@ impl DefenseSel {
         self.resolve().and_then(|f| f.fingerprint())
     }
 
-    /// Builds the aggregator; panics with the list of known defenses when
-    /// the name is not registered.
-    pub fn build_aggregator(&self, ctx: &DefenseBuildCtx) -> Box<dyn Aggregator> {
+    /// Instantiates the defense; `Err` for unregistered names or parameter
+    /// errors (unknown keys, type mismatches).
+    pub fn try_build(&self, ctx: &DefenseBuildCtx) -> Result<DefenseInstance, String> {
         match self.resolve() {
-            Some(f) => f.build_aggregator(ctx),
-            None => panic!(
+            Some(f) => f.build(ctx, &self.params),
+            None => Err(format!(
                 "defense `{}` is not registered (known: {:?})",
                 self.name,
                 registered_defenses()
-            ),
+            )),
         }
     }
 
-    /// Builds the per-client regularizer, when the defense provides one.
-    pub fn build_regularizer(&self, ctx: &DefenseBuildCtx) -> Option<Box<dyn LocalRegularizer>> {
-        self.resolve().and_then(|f| f.build_regularizer(ctx))
+    /// Instantiates the defense; panics on configuration errors (the
+    /// harness path — a scenario referencing a bad defense is a programming
+    /// error, mirroring `AttackSel::build_clients`).
+    pub fn build(&self, ctx: &DefenseBuildCtx) -> DefenseInstance {
+        self.try_build(ctx)
+            .unwrap_or_else(|e| panic!("cannot build defense `{self}`: {e}"))
     }
 }
 
 impl From<DefenseKind> for DefenseSel {
     fn from(kind: DefenseKind) -> Self {
-        DefenseSel {
-            name: kind.name().to_string(),
-        }
+        DefenseSel::named(kind.name())
     }
 }
 
@@ -256,6 +904,8 @@ impl From<&DefenseKind> for DefenseSel {
     }
 }
 
+/// Name-only comparison: a parameterized `ours:beta=0.9` still *is* the
+/// `Ours` defense for labelling/reporting purposes.
 impl PartialEq<DefenseKind> for DefenseSel {
     fn eq(&self, kind: &DefenseKind) -> bool {
         self.name == kind.name()
@@ -268,30 +918,61 @@ impl PartialEq<DefenseSel> for DefenseKind {
     }
 }
 
+/// The CLI form: `name` or `name:k=v,…`.
 impl std::fmt::Display for DefenseSel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(&self.name)?;
+        if !self.params.is_empty() {
+            write!(f, ":{}", self.params)?;
+        }
+        Ok(())
     }
 }
 
 impl serde::Serialize for DefenseSel {
     fn to_value(&self) -> serde::Value {
-        serde::Value::String(self.name.clone())
+        if self.params.is_empty() {
+            serde::Value::String(self.name.clone())
+        } else {
+            let mut map = serde::Map::new();
+            map.insert("name".into(), serde::Value::String(self.name.clone()));
+            map.insert("params".into(), serde::Serialize::to_value(&self.params));
+            serde::Value::Object(map)
+        }
     }
 }
 
 impl serde::Deserialize for DefenseSel {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        v.as_str()
-            .map(DefenseSel::named)
-            .ok_or_else(|| serde::Error::new(format!("expected defense name, got {}", v.kind())))
+        match v {
+            serde::Value::String(name) => Ok(DefenseSel::named(name)),
+            serde::Value::Object(map) => {
+                let name = map
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or_else(|| serde::Error::new("defense object needs a `name` string"))?;
+                let params = match map.get("params") {
+                    None => DefenseParams::new(),
+                    Some(p) => serde::Deserialize::from_value(p)?,
+                };
+                Ok(DefenseSel {
+                    name: name.to_string(),
+                    params,
+                })
+            }
+            other => Err(serde::Error::new(format!(
+                "expected defense name or {{name, params}}, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use frs_federation::SumAggregator;
+    use frs_federation::{RoundContext, SumAggregator};
+    use frs_model::{GlobalGradients, GlobalModel};
 
     #[test]
     fn builtins_are_registered() {
@@ -304,11 +985,7 @@ mod tests {
 
     #[test]
     fn registry_path_matches_enum_path() {
-        use frs_model::GlobalGradients;
-        let ctx = DefenseBuildCtx {
-            assumed_malicious_ratio: 0.05,
-            norm_bound_threshold: 0.5,
-        };
+        let ctx = DefenseBuildCtx::minimal(0.05, 0.5);
         let mut u1 = GlobalGradients::new();
         u1.add_item_grad(0, &[0.5, 0.5]);
         let mut u2 = GlobalGradients::new();
@@ -317,7 +994,8 @@ mod tests {
         for kind in DefenseKind::all() {
             let via_enum = kind.build_aggregator(0.05, 0.5).aggregate(&uploads);
             let via_registry = DefenseSel::from(kind)
-                .build_aggregator(&ctx)
+                .build(&ctx)
+                .aggregator
                 .aggregate(&uploads);
             assert_eq!(via_enum, via_registry, "{kind:?}");
         }
@@ -331,11 +1009,85 @@ mod tests {
         let sel = DefenseSel::named("sum-again");
         assert_eq!(sel.label(), "SumAgain");
         assert!(!sel.is_client_side());
-        let ctx = DefenseBuildCtx {
-            assumed_malicious_ratio: 0.0,
-            norm_bound_threshold: 1.0,
-        };
-        assert_eq!(sel.build_aggregator(&ctx).name(), "NoDefense");
+        let ctx = DefenseBuildCtx::minimal(0.0, 1.0);
+        assert_eq!(sel.build(&ctx).aggregator.name(), "NoDefense");
+    }
+
+    /// A do-nothing regularizer for client-side factory tests.
+    struct InertReg;
+    impl LocalRegularizer for InertReg {
+        fn observe(&mut self, _ctx: &RoundContext, _model: &GlobalModel) {}
+        fn apply(
+            &mut self,
+            _ctx: &RoundContext,
+            _model: &GlobalModel,
+            _user_embedding: &[f32],
+            _local_items: &[u32],
+            _grads: &mut GlobalGradients,
+            _d_user: &mut [f32],
+        ) {
+        }
+        fn name(&self) -> &'static str {
+            "inert"
+        }
+    }
+
+    #[test]
+    fn fn_factory_with_regularizer_is_client_side() {
+        register_defense(
+            FnDefenseFactory::new("inert-client", "InertClient", |_| Box::new(SumAggregator))
+                .with_regularizer(|_ctx| Box::new(InertReg))
+                .with_fingerprint("inert-v1"),
+        );
+        let sel = DefenseSel::named("inert-client");
+        assert!(sel.is_client_side());
+        assert_eq!(sel.fingerprint().as_deref(), Some("inert-v1"));
+        let instance = sel.build(&DefenseBuildCtx::minimal(0.05, 1.0));
+        assert!(instance.regularizer_for(3).is_some());
+        // Fresh instance per client.
+        assert!(instance.regularizer_for(4).is_some());
+    }
+
+    #[test]
+    fn fn_factory_rejects_params_without_schema() {
+        register_defense(FnDefenseFactory::new("no-params", "NoParams", |_| {
+            Box::new(SumAggregator)
+        }));
+        let sel = DefenseSel::named("no-params").with_param("tau", 0.5f32);
+        let err = sel
+            .try_build(&DefenseBuildCtx::minimal(0.05, 1.0))
+            .unwrap_err();
+        assert!(err.contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn params_aware_regularizer_sees_params_and_ids() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+
+        let seen = StdArc::new(AtomicUsize::new(0));
+        let seen2 = StdArc::clone(&seen);
+        register_defense(
+            FnDefenseFactory::new("param-client", "ParamClient", |_| Box::new(SumAggregator))
+                .with_param_schema([ParamSpec::new("tau", "attenuation factor", "1.0")])
+                .with_params_regularizer(move |_ctx, params, client_id| {
+                    assert_eq!(params.get_f32("tau").unwrap(), Some(0.25));
+                    seen2.fetch_add(client_id, Ordering::SeqCst);
+                    Box::new(InertReg)
+                }),
+        );
+        let sel = DefenseSel::named("param-client").with_param("tau", 0.25f32);
+        let instance = sel.build(&DefenseBuildCtx::minimal(0.05, 1.0));
+        instance.regularizer_for(5);
+        instance.regularizer_for(7);
+        assert_eq!(seen.load(Ordering::SeqCst), 12);
+
+        // Unknown keys still fail against the declared schema.
+        let bad = DefenseSel::named("param-client").with_param("tua", 0.25f32);
+        let err = bad
+            .try_build(&DefenseBuildCtx::minimal(0.05, 1.0))
+            .unwrap_err();
+        assert!(err.contains("unknown parameter"), "{err}");
     }
 
     #[test]
@@ -366,5 +1118,154 @@ mod tests {
         assert_eq!(v.as_str(), Some("ours"));
         let back: DefenseSel = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, sel);
+    }
+
+    #[test]
+    fn parameterized_sel_serializes_as_object_and_round_trips() {
+        let sel = DefenseSel::named("ours")
+            .with_param("beta", 0.9f32)
+            .with_param("re2", false);
+        let v = serde::Serialize::to_value(&sel);
+        let obj = v.as_object().expect("object form");
+        assert_eq!(obj.get("name").and_then(|n| n.as_str()), Some("ours"));
+        let back: DefenseSel = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, sel);
+        // Canonical text is stable regardless of insertion order.
+        let sel2 = DefenseSel::named("ours")
+            .with_param("re2", false)
+            .with_param("beta", 0.9f32);
+        assert_eq!(
+            serde_json_canonical(&sel),
+            serde_json_canonical(&sel2),
+            "sorted-key params canonicalize identically"
+        );
+        // A params difference is a selection difference.
+        assert_ne!(sel, DefenseSel::named("ours").with_param("beta", 1.0f32));
+        // …but name-vs-kind comparison ignores params.
+        assert_eq!(sel, DefenseKind::Ours);
+    }
+
+    fn serde_json_canonical(sel: &DefenseSel) -> String {
+        // Local mini-canonicalizer: Display is already canonical for params
+        // (sorted BTreeMap), so the CLI form doubles as a canonical text.
+        sel.to_string()
+    }
+
+    #[test]
+    fn parses_cli_specs() {
+        assert_eq!(
+            DefenseSel::parse("ours").unwrap(),
+            DefenseSel::named("ours")
+        );
+        let sel = DefenseSel::parse("ours:beta=0.9,re2=false,top_n=5").unwrap();
+        assert_eq!(sel.name(), "ours");
+        assert_eq!(sel.params().get_f32("beta").unwrap(), Some(0.9));
+        assert_eq!(sel.params().get_bool("re2").unwrap(), Some(false));
+        assert_eq!(sel.params().get_usize("top_n").unwrap(), Some(5));
+        assert_eq!(sel.to_string(), "ours:beta=0.9,re2=false,top_n=5");
+        assert_eq!(DefenseSel::parse(&sel.to_string()).unwrap(), sel);
+
+        assert!(DefenseSel::parse("").is_err());
+        assert!(DefenseSel::parse("ours:beta").is_err());
+        assert!(DefenseSel::parse(":beta=1").is_err());
+    }
+
+    #[test]
+    fn f32_params_key_like_their_cli_spelling() {
+        // `0.9f32 as f64` would be 0.90000003…, addressing a different
+        // cache cell than the CLI's `beta=0.9`; the From impl converts via
+        // the shortest decimal instead, and get_f32 rounds back losslessly.
+        let programmatic = DefenseSel::named("ours").with_param("beta", 0.9f32);
+        let cli = DefenseSel::parse("ours:beta=0.9").unwrap();
+        assert_eq!(programmatic, cli);
+        assert_eq!(programmatic.to_string(), "ours:beta=0.9");
+        assert_eq!(programmatic.params().get_f32("beta").unwrap(), Some(0.9));
+    }
+
+    #[test]
+    fn whole_floats_normalize_to_ints_across_all_paths() {
+        // NCF's tuned weights are integral (β=5, γ=10): the CLI text, the
+        // programmatic f32/f64, and the JSON wire form must all land on the
+        // same variant — and therefore the same canonical bytes/cache key.
+        let cli = DefenseSel::parse("ours:beta=5").unwrap();
+        let from_f32 = DefenseSel::named("ours").with_param("beta", 5.0f32);
+        let from_f64 = DefenseSel::named("ours").with_param("beta", 5.0f64);
+        assert_eq!(cli, from_f32);
+        assert_eq!(cli, from_f64);
+        assert_eq!(from_f32.params().get_f32("beta").unwrap(), Some(5.0));
+        // Display/parse round-trips.
+        assert_eq!(DefenseSel::parse(&from_f32.to_string()).unwrap(), from_f32);
+        // Wire form: a JSON 5.0 deserializes to the same selection.
+        let wire: ParamValue =
+            serde::Deserialize::from_value(&serde::Value::Number(serde::Number::F64(5.0))).unwrap();
+        assert_eq!(wire, ParamValue::Int(5));
+        // Fractional values stay floats and round-trip too.
+        let frac = DefenseSel::named("ours").with_param("beta", 0.9f32);
+        assert_eq!(DefenseSel::parse(&frac.to_string()).unwrap(), frac);
+        // The CLI text `beta=5.0` normalizes like everything else, and a
+        // serialize/deserialize round trip is idempotent.
+        let cli_float = DefenseSel::parse("ours:beta=5.0").unwrap();
+        assert_eq!(cli_float, cli);
+        let wire_rt: DefenseSel =
+            serde::Deserialize::from_value(&serde::Serialize::to_value(&cli_float)).unwrap();
+        assert_eq!(wire_rt, cli_float);
+    }
+
+    #[test]
+    fn f32_overflow_is_a_clean_error_not_infinity() {
+        // 1e39 is a finite f64 but narrows to f32::INFINITY — it must not
+        // slip past the finiteness guards as an "infinite β".
+        let params = DefenseParams::new().with("beta", 1e39f64);
+        assert!(params.get_f32("beta").unwrap_err().contains("f32"));
+        assert_eq!(params.get_f64("beta").unwrap(), Some(1e39));
+        let sel = DefenseSel::parse("ours:beta=1e39").unwrap();
+        let err = sel
+            .try_build(&DefenseBuildCtx::minimal(0.05, 0.05))
+            .unwrap_err();
+        assert!(err.contains("f32"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_params_are_rejected() {
+        // CLI: `nan`/`inf` parse as strings (they would canonicalize to
+        // JSON null and collide cache keys), so typed accessors error.
+        assert_eq!(ParamValue::parse("nan"), ParamValue::Str("nan".into()));
+        assert_eq!(ParamValue::parse("-inf"), ParamValue::Str("-inf".into()));
+        let params = DefenseParams::new().with("beta", ParamValue::parse("nan"));
+        assert!(params.get_f32("beta").is_err());
+        // Wire form: a non-finite number fails deserialization.
+        let bad: Result<ParamValue, _> =
+            serde::Deserialize::from_value(&serde::Value::Number(serde::Number::F64(f64::NAN)));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_programmatic_params_panic() {
+        let _ = DefenseParams::new().with("beta", f64::INFINITY);
+    }
+
+    #[test]
+    fn param_value_types_round_trip_and_check() {
+        let params = DefenseParams::new()
+            .with("b", true)
+            .with("f", 0.5f32)
+            .with("i", 7usize)
+            .with("s", "hello");
+        assert_eq!(params.get_bool("b").unwrap(), Some(true));
+        assert_eq!(params.get_f32("f").unwrap(), Some(0.5));
+        assert_eq!(params.get_f64("i").unwrap(), Some(7.0));
+        assert_eq!(params.get_usize("i").unwrap(), Some(7));
+        assert!(params.get_bool("f").is_err());
+        assert!(params.get_f32("s").is_err());
+        assert!(params.get_usize("f").is_err());
+        assert_eq!(params.get_f32("missing").unwrap(), None);
+        assert!(params.check_known(&["b", "f", "i", "s"], "t").is_ok());
+        let err = params.check_known(&["b"], "t").unwrap_err();
+        assert!(err.contains("unknown parameter"), "{err}");
+
+        let v = serde::Serialize::to_value(&params);
+        let back: DefenseParams = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, params);
     }
 }

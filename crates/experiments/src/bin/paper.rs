@@ -13,6 +13,10 @@
 //! paper all --json out/      # everything, with JSON reports in out/
 //! paper all --cache-dir cache/ --progress run.jsonl   # cached + observable
 //! paper cache stats --cache-dir cache/                # inspect the cache
+//! paper defenses list        # defense registry: names, sides, param schemas
+//! paper attacks list         # attack registry: names and labels
+//! paper table5 --defense ours:beta=0.9,re2=false  # parameterized override
+//! paper table4 mf --dataset file:data/u.data      # real MovieLens dump
 //! ```
 //!
 //! Every command prints a Markdown report to stdout (unless `--quiet`) and
@@ -36,16 +40,57 @@ use frs_federation::CoreBudget;
 
 fn print_usage() {
     eprintln!("usage: paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]");
-    eprintln!("                       [--threads n] [--round-threads auto|n] [--json dir]");
-    eprintln!("                       [--csv dir] [--quiet] [--cache-dir dir] [--no-cache]");
-    eprintln!("                       [--progress file] [--resume]");
+    eprintln!("                       [--threads n] [--round-threads auto|n]");
+    eprintln!("                       [--defense name[:k=v,...]] [--dataset name|file:PATH]");
+    eprintln!("                       [--json dir] [--csv dir] [--quiet] [--cache-dir dir]");
+    eprintln!("                       [--no-cache] [--progress file] [--resume]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  list             list every reproduction command");
     eprintln!("  all              run every table and figure");
+    eprintln!("  attacks list     list registered attacks (name, label)");
+    eprintln!("  defenses list    list registered defenses (name, label, side, params)");
     eprintln!("  cache <stats|gc|clear>   inspect / clean a --cache-dir");
     for cmd in PaperCommand::all() {
         eprintln!("  {:<16} {}", cmd.name(), cmd.description());
+    }
+}
+
+/// `paper defenses list`: every registered defense with its label, side,
+/// and parameter schema (the keys `--defense name:k=v,…` accepts).
+fn defenses_list() {
+    println!("{:<14} {:<14} {:<7} params", "name", "label", "side");
+    for name in frs_defense::registered_defenses() {
+        let Some(factory) = frs_defense::defense_factory(&name) else {
+            continue;
+        };
+        let side = if factory.is_client_side() {
+            "client"
+        } else {
+            "server"
+        };
+        let schema = factory.param_schema();
+        let params = if schema.is_empty() {
+            "-".to_string()
+        } else {
+            schema
+                .iter()
+                .map(|p| format!("{} ({}; default: {})", p.key, p.doc, p.default))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("{:<14} {:<14} {:<7} {params}", name, factory.label(), side);
+    }
+}
+
+/// `paper attacks list`: every registered attack with its table label.
+fn attacks_list() {
+    println!("{:<22} label", "name");
+    for name in frs_attacks::registered_attacks() {
+        let Some(factory) = frs_attacks::attack_factory(&name) else {
+            continue;
+        };
+        println!("{:<22} {}", name, factory.label());
     }
 }
 
@@ -162,6 +207,23 @@ fn main() {
             }
             return;
         }
+        cmd @ ("defenses" | "attacks") => {
+            // `list` is the only action (and the default) — an unknown
+            // operand is an argument error, matching `cache`'s dispatch.
+            match args.positional.get(1).map(String::as_str) {
+                None | Some("list") => {}
+                Some(other) => {
+                    eprintln!("paper {cmd}: unknown action `{other}`; use list");
+                    std::process::exit(2);
+                }
+            }
+            if cmd == "defenses" {
+                defenses_list();
+            } else {
+                attacks_list();
+            }
+            return;
+        }
         "cache" => {
             cache_command(&args);
             return;
@@ -176,6 +238,31 @@ fn main() {
             }
         },
     };
+
+    // Validate a --defense override up front when the name already resolves
+    // (built-ins always do): typo'd keys, mistyped values, and out-of-range
+    // parameters should all be a clean exit, not a worker panic three cells
+    // into a sweep — so probe a full build against a neutral context.
+    // Unregistered names are left to runtime — table6/table9-style
+    // factories register during suite declaration.
+    if let Some(sel) = &args.defense {
+        if sel.resolve().is_some() {
+            if let Err(e) = sel.try_build(&frs_defense::DefenseBuildCtx::minimal(0.05, 0.05)) {
+                eprintln!("bad --defense {sel}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Same courtesy for --dataset file:PATH — a missing file should be a
+    // clean argument error, not a mid-sweep worker panic. (Malformed
+    // content still fails at load time with the offending line number.)
+    if let Some(frs_experiments::PaperDataset::File(path)) = &args.dataset {
+        if !std::path::Path::new(path).is_file() {
+            eprintln!("bad --dataset file:{path}: no such file");
+            std::process::exit(2);
+        }
+    }
 
     let cache = match (&args.cache_dir, args.no_cache) {
         (Some(dir), false) => Some(SuiteCache::open(dir).unwrap_or_else(|e| {

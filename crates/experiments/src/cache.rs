@@ -23,6 +23,12 @@
 //! they were built — address the same entry, and *any* config field flip
 //! addresses a different one.
 //!
+//! Defense hyper-parameters need no special handling: a `DefenseSel`
+//! carries them as a canonical params map inside the config JSON, so
+//! `ours:beta=0.5` and `ours:beta=0.6` address different entries by
+//! construction. File-backed datasets (`--dataset file:PATH`) additionally
+//! hash the file's bytes, so editing the dump re-keys its cells.
+//!
 //! **Runtime-registered factories: declare a fingerprint.** Attacks and
 //! defenses live in the config as registry *names* (`AttackSel` /
 //! `DefenseSel`), so by itself the key cannot see a factory's closed-over
@@ -34,8 +40,10 @@
 //! name-only addressing, where stale hits after a same-name re-register
 //! remain possible: use a new name or `paper cache clear`.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 use std::{fs, io};
 
@@ -51,7 +59,14 @@ use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 /// v2: `FederationConfig::n_threads` became `round_threads` (a
 /// [`RoundThreads`](frs_federation::RoundThreads) policy), outcomes record
 /// `max_round_threads`, and registry fingerprints joined the hash payload.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: defense hyper-parameters moved off the scenario
+/// (`ScenarioConfig::our_defense` is gone) and into the `DefenseSel`'s
+/// canonical params payload, so every `--defense name:k=v` override is part
+/// of the config JSON the key hashes; file-backed datasets
+/// (`DataSource::File`) additionally mix the file's SHA-256 into the
+/// payload, so a changed dump re-keys its cells.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// The content-addressed key of one scenario: SHA-256 (hex) over a
 /// schema-version salt, the canonical config JSON, and the registered
@@ -71,12 +86,51 @@ pub fn scenario_key(cfg: &ScenarioConfig) -> String {
     // the payload's line structure and collide two distinct registrations.
     let digest = |fp: Option<String>| fp.map(|s| sha256_hex(s.as_bytes())).unwrap_or_default();
     let payload = format!(
-        "frs-scenario-v{CACHE_SCHEMA_VERSION}\n{}\nattack-fingerprint:{}\ndefense-fingerprint:{}",
+        "frs-scenario-v{CACHE_SCHEMA_VERSION}\n{}\nattack-fingerprint:{}\ndefense-fingerprint:{}\ndataset-file:{}",
         normalized.canonical_json(),
         digest(cfg.attack.fingerprint()),
         digest(cfg.defense.fingerprint()),
+        dataset_file_digest(cfg),
     );
     sha256_hex(payload.as_bytes())
+}
+
+/// SHA-256 of a file-backed dataset's bytes (empty for synthetic specs),
+/// so the cache sees dump edits the config path alone cannot. Unreadable
+/// files key under a constant marker — the run itself will fail loudly at
+/// load time, so no result is ever stored under it from a good dump.
+fn dataset_file_digest(cfg: &ScenarioConfig) -> String {
+    match cfg.dataset.file_path() {
+        None => String::new(),
+        Some(path) => file_digest_memoized(path),
+    }
+}
+
+type DigestMemo = Mutex<HashMap<String, (u64, Option<std::time::SystemTime>, String)>>;
+
+/// Per-process digest memo keyed by `(len, mtime)`: a `paper all
+/// --dataset file:…` keys hundreds of cells against one dump, and hashing
+/// megabytes per cell would dominate warm replays. A changed length or
+/// mtime re-reads (the re-key path); an unchanged stat reuses the digest.
+fn file_digest_memoized(path: &str) -> String {
+    static MEMO: OnceLock<DigestMemo> = OnceLock::new();
+    let Ok(meta) = fs::metadata(path) else {
+        return "unreadable".to_string();
+    };
+    let stamp = (meta.len(), meta.modified().ok());
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some((len, mtime, digest)) = memo.lock().expect("digest memo poisoned").get(path) {
+        if (*len, *mtime) == stamp {
+            return digest.clone();
+        }
+    }
+    let digest = fs::read(path)
+        .map(|bytes| sha256_hex(&bytes))
+        .unwrap_or_else(|_| "unreadable".to_string());
+    memo.lock()
+        .expect("digest memo poisoned")
+        .insert(path.to_string(), (stamp.0, stamp.1, digest.clone()));
+    digest
 }
 
 /// One persisted cache file.
@@ -497,6 +551,29 @@ mod tests {
         let mut auto = cfg;
         auto.federation.round_threads = RoundThreads::Auto;
         assert_eq!(key, scenario_key(&auto));
+    }
+
+    #[test]
+    fn defense_params_are_part_of_the_key() {
+        use frs_defense::DefenseSel;
+
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        cfg.defense = DefenseSel::named("ours");
+        let bare = scenario_key(&cfg);
+
+        cfg.defense = DefenseSel::parse("ours:beta=0.5").unwrap();
+        let beta_half = scenario_key(&cfg);
+        assert_ne!(bare, beta_half, "an explicit param addresses a new cell");
+
+        cfg.defense = DefenseSel::parse("ours:beta=0.6").unwrap();
+        assert_ne!(beta_half, scenario_key(&cfg), "param value flips re-key");
+
+        cfg.defense = DefenseSel::named("ours").with_param("beta", 0.5f32);
+        assert_eq!(
+            beta_half,
+            scenario_key(&cfg),
+            "construction path is irrelevant"
+        );
     }
 
     #[test]

@@ -6,8 +6,10 @@
 
 use std::path::PathBuf;
 
+use frs_defense::DefenseSel;
 use frs_federation::RoundThreads;
 
+use crate::presets::PaperDataset;
 use crate::suite::{default_threads, RunOptions};
 
 /// Arguments every `paper` subcommand understands.
@@ -26,6 +28,13 @@ pub struct CommonArgs {
     /// leases each executing cell its fair share of `--threads`; a number
     /// freezes the width. Results are identical under every setting.
     pub round_threads: RoundThreads,
+    /// Defense override (`--defense name[:k=v,…]`, e.g.
+    /// `--defense ours:beta=0.5`): collapses every sweep's defense axis to
+    /// this one selection.
+    pub defense: Option<DefenseSel>,
+    /// Dataset override (`--dataset ml100k|ml1m|az|file:PATH`): collapses
+    /// every sweep's dataset axis to this one dataset.
+    pub dataset: Option<PaperDataset>,
     /// Directory to write the JSON report into (`--json out/`).
     pub json: Option<PathBuf>,
     /// Directory to write the CSV report into (`--csv out/`).
@@ -54,6 +63,8 @@ impl Default for CommonArgs {
             seed: 7,
             threads: default_threads(),
             round_threads: RoundThreads::default(),
+            defense: None,
+            dataset: None,
             json: None,
             csv: None,
             quiet: false,
@@ -103,6 +114,19 @@ impl CommonArgs {
                     out.round_threads =
                         RoundThreads::parse(&v).map_err(|e| format!("bad --round-threads: {e}"))?;
                 }
+                "--defense" => {
+                    let v = iter.next().ok_or("--defense needs a name[:k=v,...] spec")?;
+                    out.defense =
+                        Some(DefenseSel::parse(&v).map_err(|e| format!("bad --defense: {e}"))?);
+                }
+                "--dataset" => {
+                    let v = iter
+                        .next()
+                        .ok_or("--dataset needs ml100k|ml1m|az|file:PATH")?;
+                    out.dataset = Some(PaperDataset::from_name(&v).ok_or_else(|| {
+                        format!("bad --dataset: {v}; use ml100k|ml1m|az|file:PATH")
+                    })?);
+                }
                 "--json" => {
                     let v = iter.next().ok_or("--json needs a directory")?;
                     out.json = Some(PathBuf::from(v));
@@ -141,7 +165,8 @@ impl CommonArgs {
                 eprintln!("argument error: {msg}");
                 eprintln!(
                     "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
-                     [--threads n] [--round-threads auto|n] [--json dir] [--csv dir] \
+                     [--threads n] [--round-threads auto|n] [--defense name[:k=v,...]] \
+                     [--dataset ml100k|ml1m|az|file:PATH] [--json dir] [--csv dir] \
                      [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
                      [--resume] [extra...]"
                 );
@@ -163,6 +188,8 @@ impl CommonArgs {
             rounds: self.rounds,
             threads: self.threads,
             round_threads: self.round_threads,
+            defense: self.defense.clone(),
+            dataset: self.dataset.clone(),
         }
     }
 }
@@ -264,6 +291,31 @@ mod tests {
 
         let a = parse(&["table4", "--cache-dir", "cache", "--no-cache"]).unwrap();
         assert!(a.no_cache);
+    }
+
+    #[test]
+    fn parses_defense_and_dataset_overrides() {
+        let a = parse(&["table4", "--defense", "ours:beta=0.5,re2=false"]).unwrap();
+        let sel = a.defense.clone().unwrap();
+        assert_eq!(sel.name(), "ours");
+        assert_eq!(sel.params().get_f32("beta").unwrap(), Some(0.5));
+        assert_eq!(sel.params().get_bool("re2").unwrap(), Some(false));
+        assert_eq!(a.run_options().defense, a.defense);
+
+        let a = parse(&["table4", "--defense", "median"]).unwrap();
+        assert!(a.defense.unwrap().params().is_empty());
+
+        let a = parse(&["table3", "--dataset", "file:data/u.data"]).unwrap();
+        assert_eq!(a.dataset, Some(PaperDataset::File("data/u.data".into())));
+        assert_eq!(a.run_options().dataset, a.dataset);
+        let a = parse(&["table3", "--dataset", "ml1m"]).unwrap();
+        assert_eq!(a.dataset, Some(PaperDataset::Ml1m));
+
+        assert!(parse(&["--defense"]).is_err());
+        assert!(parse(&["--defense", "ours:beta"]).is_err());
+        assert!(parse(&["--dataset"]).is_err());
+        assert!(parse(&["--dataset", "ml10m"]).is_err());
+        assert!(parse(&["--dataset", "file:"]).is_err());
     }
 
     #[test]

@@ -798,13 +798,16 @@ fn fig6a(
     opts: &RunOptions,
     exec: &ExecOptions<'_>,
 ) -> Result<Report, String> {
-    let dataset = datasets_from(operands, &[PaperDataset::Ml1m])?[0];
+    let dataset = datasets_from(operands, &[PaperDataset::Ml1m])?
+        .into_iter()
+        .next()
+        .expect("datasets_from returns at least the default");
     let rounds = args.rounds_or(400);
     let every = (rounds / 20).max(1);
 
     let suite = ExperimentSuite::new("fig6a", "Fig. 6(a) — convergence trends (MF-FRS)").sweep(
         Sweep::new("trend", "trend")
-            .over_datasets([dataset])
+            .over_datasets([dataset.clone()])
             .over_attacks([AttackKind::PieckIpe, AttackKind::PieckUea])
             .rounds(rounds)
             .trend_every(every),

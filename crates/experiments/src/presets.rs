@@ -6,6 +6,12 @@
 //! client participates every round and both attack and defense dynamics
 //! change character. This module centralizes those couplings so every
 //! experiment binary builds identical baselines.
+//!
+//! Besides the three synthetic presets, [`PaperDataset::File`] points a
+//! scenario at a *real* MovieLens dump (`u.data` / `ratings.dat`) loaded
+//! through `frs_data::movielens` — `--dataset file:PATH` in the CLI. File
+//! datasets run as-is: `--scale` shrinks neither the file nor the round
+//! batch, and no poison-scale compensation applies.
 
 use frs_data::DatasetSpec;
 use frs_model::ModelKind;
@@ -13,26 +19,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::scenario::ScenarioConfig;
 
-/// Which paper dataset a scenario models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Which dataset a scenario models: one of the paper's three synthetic
+/// presets, or a real MovieLens-format file on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PaperDataset {
     Ml100k,
     Ml1m,
     Az,
+    /// A real MovieLens-format dump (`file:PATH` in the CLI). The file's
+    /// SHA-256 joins the suite cache key, so cached cells can never go
+    /// stale when the dump changes (see `crate::cache::scenario_key`).
+    File(String),
 }
 
 impl PaperDataset {
-    /// All paper datasets, in Table VIII order.
+    /// The synthetic paper datasets, in Table VIII order.
     pub fn all() -> [PaperDataset; 3] {
         [Self::Ml100k, Self::Ml1m, Self::Az]
     }
 
-    /// The CLI name.
-    pub fn name(&self) -> &'static str {
+    /// The CLI name (`ml100k`, `ml1m`, `az`, or `file:PATH`).
+    pub fn name(&self) -> String {
         match self {
-            Self::Ml100k => "ml100k",
-            Self::Ml1m => "ml1m",
-            Self::Az => "az",
+            Self::Ml100k => "ml100k".into(),
+            Self::Ml1m => "ml1m".into(),
+            Self::Az => "az".into(),
+            Self::File(path) => format!("file:{path}"),
         }
     }
 
@@ -42,54 +54,67 @@ impl PaperDataset {
             "ml100k" => Some(Self::Ml100k),
             "ml1m" => Some(Self::Ml1m),
             "az" => Some(Self::Az),
-            _ => None,
+            _ => name
+                .strip_prefix("file:")
+                .filter(|path| !path.is_empty())
+                .map(|path| Self::File(path.to_string())),
         }
     }
 
-    /// The unscaled generator spec.
+    /// The unscaled generator (or loader) spec.
     pub fn spec(&self) -> DatasetSpec {
         match self {
             Self::Ml100k => DatasetSpec::ml100k_like(),
             Self::Ml1m => DatasetSpec::ml1m_like(),
             Self::Az => DatasetSpec::az_like(),
+            Self::File(path) => DatasetSpec::from_file(path.clone()),
         }
     }
 
     /// Users sampled per round at full scale (paper Section VII-A2):
-    /// 256 everywhere except 1024 for AZ under MF.
+    /// 256 everywhere except 1024 for AZ under MF. File datasets follow the
+    /// MovieLens protocol (256).
     pub fn users_per_round(&self, kind: ModelKind) -> usize {
         match (self, kind) {
             (Self::Az, ModelKind::Mf) => 1024,
             _ => 256,
         }
     }
+
+    /// True for file-backed datasets (which ignore `--scale`).
+    pub fn is_file(&self) -> bool {
+        matches!(self, Self::File(_))
+    }
 }
 
 /// Builds the paper-faithful baseline scenario for (dataset, model) at the
 /// given scale: the dataset shrinks shape-preservingly and the per-round user
-/// batch shrinks proportionally (floored so rounds stay meaningful).
+/// batch shrinks proportionally (floored so rounds stay meaningful). File
+/// datasets are used verbatim — no shrinking, no poison-scale compensation.
 pub fn paper_scenario(
     dataset: PaperDataset,
     kind: ModelKind,
     scale: f64,
     seed: u64,
 ) -> ScenarioConfig {
-    let spec = if scale < 1.0 {
+    let shrink = scale < 1.0 && !dataset.is_file();
+    let spec = if shrink {
         dataset.spec().scaled(scale)
     } else {
         dataset.spec()
     };
     let mut cfg = ScenarioConfig::baseline(spec, kind, seed);
     let full_batch = dataset.users_per_round(kind);
-    cfg.federation.users_per_round = if scale < 1.0 {
+    cfg.federation.users_per_round = if shrink {
         (((full_batch as f64) * scale).round() as usize).max(16)
     } else {
         full_batch
     };
     // Benign per-example gradients carry a 1/|D_i| factor, so shrinking the
     // dataset by `scale` strengthens them by 1/scale relative to poison;
-    // compensate to keep the attack/defense balance scale-invariant.
-    cfg.poison_scale = (1.0 / scale) as f32;
+    // compensate to keep the attack/defense balance scale-invariant. Real
+    // files never shrink, so they need no compensation.
+    cfg.poison_scale = if shrink { (1.0 / scale) as f32 } else { 1.0 };
     cfg
 }
 
@@ -106,6 +131,20 @@ mod tests {
         assert_eq!(PaperDataset::from_name("ml1m"), Some(PaperDataset::Ml1m));
         assert_eq!(PaperDataset::from_name("az"), Some(PaperDataset::Az));
         assert_eq!(PaperDataset::from_name("x"), None);
+        assert_eq!(
+            PaperDataset::from_name("file:data/u.data"),
+            Some(PaperDataset::File("data/u.data".into()))
+        );
+        assert_eq!(PaperDataset::from_name("file:"), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for d in PaperDataset::all() {
+            assert_eq!(PaperDataset::from_name(&d.name()), Some(d));
+        }
+        let f = PaperDataset::File("/tmp/u.data".into());
+        assert_eq!(PaperDataset::from_name(&f.name()), Some(f));
     }
 
     #[test]
@@ -128,5 +167,19 @@ mod tests {
     fn batch_floor_respected() {
         let tiny = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.01, 0);
         assert!(tiny.federation.users_per_round >= 16);
+    }
+
+    #[test]
+    fn file_datasets_ignore_scale() {
+        let dataset = PaperDataset::File("/tmp/whatever_u.data".into());
+        let cfg = paper_scenario(dataset.clone(), ModelKind::Mf, 0.1, 0);
+        assert_eq!(cfg.federation.users_per_round, 256);
+        assert_eq!(cfg.poison_scale, 1.0);
+        assert_eq!(
+            cfg.dataset.file_path(),
+            Some("/tmp/whatever_u.data"),
+            "spec carries the file source"
+        );
+        assert_eq!(cfg.dataset.name, "file:/tmp/whatever_u.data");
     }
 }

@@ -41,6 +41,9 @@ pub struct CellEvent {
     pub model: String,
     pub attack: String,
     pub defense: String,
+    /// Canonical defense parameter overrides in CLI form (`beta=0.9,re2=false`;
+    /// empty when the selection carries none).
+    pub defense_params: String,
     /// Variant label (empty for the identity patch).
     pub variant: String,
     pub rounds: usize,
@@ -215,6 +218,7 @@ mod tests {
             model: "MF".into(),
             attack: "PIECK-UEA".into(),
             defense: "ours".into(),
+            defense_params: "beta=0.5".into(),
             variant: String::new(),
             rounds: 150,
             cache_hit,

@@ -10,12 +10,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use frs_attacks::{AttackBuildCtx, AttackSel};
-use frs_data::{leave_one_out, synth, Dataset, DatasetSpec, TrainTestSplit};
-use frs_defense::{DefenseBuildCtx, DefenseKind, DefenseSel};
+use frs_data::{leave_one_out, movielens, synth, DataSource, Dataset, DatasetSpec, TrainTestSplit};
+use frs_defense::{DefenseBuildCtx, DefenseSel};
 use frs_federation::{BenignClient, Client, CoreLease, FederationConfig, Simulation};
 use frs_metrics::{ExposureReport, QualityReport};
 use frs_model::{GlobalModel, ModelConfig, ModelKind};
-use pieck_core::{DefenseConfig, PieckDefense};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -28,7 +27,10 @@ pub struct ScenarioConfig {
     pub federation: FederationConfig,
     /// Attack, referenced by registry name (see `frs_attacks::registry`).
     pub attack: AttackSel,
-    /// Defense, referenced by registry name (see `frs_defense::registry`).
+    /// Defense, referenced by registry name plus a canonical parameter
+    /// payload (see `frs_defense::registry` — e.g. `ours:beta=0.9`). All
+    /// defense hyper-parameters, including the paper's β/γ and Re1/Re2
+    /// ablation switches, live here.
     pub defense: DefenseSel,
     /// Malicious fraction `p̃ = |Ũ|/|U|`.
     pub malicious_ratio: f64,
@@ -43,8 +45,6 @@ pub struct ScenarioConfig {
     /// Evaluate ER/HR every this many rounds into
     /// [`ScenarioOutcome::trend`] (0 = final evaluation only).
     pub trend_every: usize,
-    /// Defense hyper-parameters when `defense == Ours`.
-    pub our_defense: DefenseConfig,
     /// NormBound clipping threshold.
     pub norm_bound_threshold: f32,
     /// Scale factor applied to malicious uploads (see
@@ -76,17 +76,6 @@ impl ScenarioConfig {
             seed,
             ..FederationConfig::default()
         };
-        // The defense's β/γ are tuned per base model (the paper tunes them
-        // per setting): DL item updates land with a 200x smaller server
-        // learning rate, so the regularizers need proportionally more weight.
-        let our_defense = match kind {
-            ModelKind::Mf => DefenseConfig::default(),
-            ModelKind::Ncf => DefenseConfig {
-                beta: 5.0,
-                gamma: 10.0,
-                ..DefenseConfig::default()
-            },
-        };
         Self {
             dataset,
             model,
@@ -99,7 +88,6 @@ impl ScenarioConfig {
             rounds: 200,
             eval_k: 10,
             trend_every: 0,
-            our_defense,
             norm_bound_threshold: 0.05,
             poison_scale: 1.0,
         }
@@ -122,11 +110,27 @@ impl ScenarioConfig {
         ((p / (1.0 - p)) * n_benign as f64).round().max(1.0) as usize
     }
 
-    /// The registry context used to instantiate this scenario's defense.
+    /// The registry context used to instantiate this scenario's defense:
+    /// everything the paper's defense needs (mined `N`, the model family
+    /// its β/γ are tuned per, embedding dim, seed) plus the classic
+    /// server-side knobs. Selection params override these defaults.
     pub fn defense_ctx(&self) -> DefenseBuildCtx {
+        // The defense's β/γ are tuned per base model (the paper tunes them
+        // per setting): DL item updates land with a 200x smaller server
+        // learning rate, so the regularizers need proportionally more weight.
+        let (default_beta, default_gamma) = match self.model.kind {
+            ModelKind::Mf => (0.5, 0.5),
+            ModelKind::Ncf => (5.0, 10.0),
+        };
         DefenseBuildCtx {
             assumed_malicious_ratio: self.malicious_ratio,
             norm_bound_threshold: self.norm_bound_threshold,
+            mined_top_n: self.mined_top_n,
+            model: self.model.kind,
+            embedding_dim: self.model.embedding_dim,
+            default_beta,
+            default_gamma,
+            seed: self.federation.seed,
         }
     }
 
@@ -183,14 +187,33 @@ pub struct ScenarioOutcome {
 
 /// Builds the dataset/split/targets triple for a config (exposed so tests
 /// and figure commands can inspect the same world the scenario ran in).
+/// Synthetic specs generate; file-backed specs load through
+/// `frs_data::movielens` (panicking with the path on unreadable files —
+/// a misconfigured scenario, like an unregistered attack name).
 pub fn build_world(cfg: &ScenarioConfig) -> (Dataset, TrainTestSplit, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(cfg.federation.seed ^ 0xDA7A);
-    let full = synth::generate(&cfg.dataset, &mut rng);
+    let full = match &cfg.dataset.source {
+        DataSource::Synth => synth::generate(&cfg.dataset, &mut rng),
+        DataSource::File(path) => load_dataset_file(path),
+    };
     let split = leave_one_out(&full, &mut rng);
     // Targets: the coldest items in the *training* data (paper: random
     // uninteracted items; the synthetic tail is the uninteracted pool).
     let targets = split.train.coldest_items(cfg.n_targets);
     (full, split, targets)
+}
+
+/// Loads a MovieLens-format dump: `.dat` files parse as ML-1M
+/// (`::`-separated), everything else as ML-100K `u.data` (tab-separated).
+fn load_dataset_file(path: &str) -> Dataset {
+    let options = if path.ends_with(".dat") {
+        movielens::LoadOptions::ml1m()
+    } else {
+        movielens::LoadOptions::ml100k()
+    };
+    let (dataset, _maps) = movielens::load_path(std::path::Path::new(path), &options)
+        .unwrap_or_else(|e| panic!("cannot load dataset file `{path}`: {e}"));
+    dataset
 }
 
 /// Assembles the client population and simulation, with malicious clients
@@ -206,7 +229,10 @@ pub fn build_simulation_with(
     let model = GlobalModel::new(&cfg.model, train.n_items(), &mut rng);
     let n_benign = train.n_users();
     let dim = cfg.model.embedding_dim;
-    let defense_ctx = cfg.defense_ctx();
+    // Every defense — the paper's included — instantiates through the open
+    // registry: one `DefenseInstance` per scenario, whose regularizer
+    // factory arms each benign client with its own fresh regularizer.
+    let defense = cfg.defense.build(&cfg.defense_ctx());
 
     let mut clients: Vec<Box<dyn Client>> = Vec::with_capacity(n_benign + 64);
     for u in 0..n_benign {
@@ -217,14 +243,7 @@ pub fn build_simulation_with(
             cfg.model.init_scale,
             cfg.federation.seed ^ ((u as u64) << 16) ^ 0xBE9,
         );
-        if cfg.defense == DefenseKind::Ours {
-            // The paper's defense is configured from the scenario itself
-            // (`our_defense`), so the harness wires it directly.
-            let mut def_cfg = cfg.our_defense.clone();
-            def_cfg.top_n = cfg.mined_top_n.max(1);
-            client = client.with_regularizer(Box::new(PieckDefense::new(def_cfg)));
-        } else if let Some(reg) = cfg.defense.build_regularizer(&defense_ctx) {
-            // Out-of-crate client-side defenses hook in through the registry.
+        if let Some(reg) = defense.regularizer_for(u) {
             client = client.with_regularizer(reg);
         }
         clients.push(Box::new(client));
@@ -235,7 +254,7 @@ pub fn build_simulation_with(
 
     Simulation::builder(model)
         .clients(clients)
-        .aggregator(cfg.defense.build_aggregator(&defense_ctx))
+        .aggregator(defense.aggregator)
         .config(cfg.federation.clone())
         .build()
 }
@@ -334,18 +353,18 @@ mod tests {
     use super::*;
     use frs_attacks::AttackKind;
 
-    fn tiny_cfg(attack: AttackKind, defense: DefenseKind) -> ScenarioConfig {
+    fn tiny_cfg(attack: AttackKind, defense: &str) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
         cfg.federation.users_per_round = 24;
         cfg.rounds = 60;
         cfg.attack = attack.into();
-        cfg.defense = defense.into();
+        cfg.defense = DefenseSel::named(defense);
         cfg
     }
 
     #[test]
     fn baseline_learns_and_exposes_nothing() {
-        let out = run(&tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense));
+        let out = run(&tiny_cfg(AttackKind::NoAttack, "none"));
         assert!(out.hr_percent > 10.0, "HR {}", out.hr_percent);
         assert!(out.er_percent < 10.0, "ER {}", out.er_percent);
         assert_eq!(out.targets.len(), 1);
@@ -354,8 +373,8 @@ mod tests {
 
     #[test]
     fn uea_attack_exposes_target_on_mf() {
-        let base = run(&tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense));
-        let attacked = run(&tiny_cfg(AttackKind::PieckUea, DefenseKind::NoDefense));
+        let base = run(&tiny_cfg(AttackKind::NoAttack, "none"));
+        let attacked = run(&tiny_cfg(AttackKind::PieckUea, "none"));
         assert!(
             attacked.er_percent > base.er_percent + 30.0,
             "UEA should expose the target: {} vs baseline {}",
@@ -366,7 +385,7 @@ mod tests {
 
     #[test]
     fn n_malicious_matches_ratio() {
-        let mut cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::NoDefense);
+        let mut cfg = tiny_cfg(AttackKind::PieckUea, "none");
         cfg.malicious_ratio = 0.05;
         let n_mal = cfg.n_malicious(950);
         let ratio = n_mal as f64 / (950 + n_mal) as f64;
@@ -377,7 +396,7 @@ mod tests {
 
     #[test]
     fn trend_is_recorded_when_requested() {
-        let mut cfg = tiny_cfg(AttackKind::NoAttack, DefenseKind::NoDefense);
+        let mut cfg = tiny_cfg(AttackKind::NoAttack, "none");
         cfg.rounds = 20;
         cfg.trend_every = 5;
         let out = run(&cfg);
@@ -387,8 +406,8 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let a = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
-        let b = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
+        let a = run(&tiny_cfg(AttackKind::PieckIpe, "none"));
+        let b = run(&tiny_cfg(AttackKind::PieckIpe, "none"));
         assert_eq!(a.er_percent, b.er_percent);
         assert_eq!(a.hr_percent, b.hr_percent);
     }
@@ -397,16 +416,16 @@ mod tests {
     fn round_width_never_changes_outcomes() {
         use frs_federation::{CoreBudget, RoundThreads};
 
-        let sequential = run(&tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense));
+        let sequential = run(&tiny_cfg(AttackKind::PieckIpe, "none"));
         assert_eq!(sequential.max_round_threads, 1);
 
-        let mut wide_cfg = tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense);
+        let mut wide_cfg = tiny_cfg(AttackKind::PieckIpe, "none");
         wide_cfg.federation.round_threads = RoundThreads::Fixed(4);
         let wide = run(&wide_cfg);
         assert_eq!(wide.max_round_threads, 4);
 
         let budget = CoreBudget::new(8);
-        let mut auto_cfg = tiny_cfg(AttackKind::PieckIpe, DefenseKind::NoDefense);
+        let mut auto_cfg = tiny_cfg(AttackKind::PieckIpe, "none");
         auto_cfg.federation.round_threads = RoundThreads::Auto;
         let auto = run_leased(&auto_cfg, Some(budget.lease()));
         assert_eq!(auto.max_round_threads, 8, "sole lease gets the budget");
@@ -421,7 +440,7 @@ mod tests {
 
     #[test]
     fn canonical_json_is_stable_and_round_trips() {
-        let cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::Ours);
+        let cfg = tiny_cfg(AttackKind::PieckUea, "ours");
         let canonical = cfg.canonical_json();
         assert!(!canonical.contains('\n') && !canonical.contains(": "));
         // Sorted keys: "attack" precedes "defense" precedes "rounds".
@@ -433,7 +452,7 @@ mod tests {
 
     #[test]
     fn config_serializes_with_registry_names() {
-        let cfg = tiny_cfg(AttackKind::PieckUea, DefenseKind::Ours);
+        let cfg = tiny_cfg(AttackKind::PieckUea, "ours");
         let json = serde_json::to_string(&cfg).unwrap();
         assert!(json.contains("\"attack\":\"pieck-uea\""), "{json}");
         assert!(json.contains("\"defense\":\"ours\""), "{json}");

@@ -19,11 +19,13 @@
 //! seeded and results are placed by grid index), and renders a unified
 //! [`Report`] with Markdown/CSV/JSON sinks.
 //!
-//! Everything in a suite is plain serde-serializable data: attacks and
-//! defenses are registry names ([`AttackSel`] / [`DefenseSel`]), variant
+//! Everything in a suite is plain serde-serializable data: attacks are
+//! registry names ([`AttackSel`]), defenses are registry names plus a
+//! canonical params payload ([`DefenseSel`], e.g. `ours:beta=0.9`), variant
 //! axes are [`ConfigPatch`] value patches. A suite can therefore be written
-//! to JSON, inspected, or rebuilt elsewhere — and an attack registered at
-//! runtime via `frs_attacks::register_attack` sweeps exactly like a builtin.
+//! to JSON, inspected, or rebuilt elsewhere — and an attack or defense
+//! registered at runtime via `frs_attacks::register_attack` /
+//! `frs_defense::register_defense` sweeps exactly like a builtin.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -63,7 +65,10 @@ pub struct ConfigPatch {
     pub trend_every: Option<usize>,
     pub poison_scale: Option<f32>,
     pub norm_bound_threshold: Option<f32>,
-    /// `Ours`-defense ablation switches and weights (Table VI right).
+    /// `Ours`-defense ablation switches and weights (Table VI right),
+    /// written into the cell's `DefenseSel` params — and only when the
+    /// cell's defense declares the key, so defense-axis overrides to other
+    /// rules ignore them.
     pub use_re1: Option<bool>,
     pub use_re2: Option<bool>,
     pub beta: Option<f32>,
@@ -120,17 +125,37 @@ impl ConfigPatch {
         if let Some(v) = self.norm_bound_threshold {
             cfg.norm_bound_threshold = v;
         }
+        // Defense hyper-parameters route through the selection's canonical
+        // params payload — the registry API every defense (the paper's
+        // included) is configured by. A key is applied only when the cell's
+        // resolved defense declares it, so a `--defense krum` override
+        // running through table6's `ours`-specific ablation variants skips
+        // the inapplicable switches instead of panicking mid-sweep.
+        // (Unresolved names accept everything — their schema is unknowable
+        // here; the build still rejects strays.)
+        let accepts = |cfg: &ScenarioConfig, key: &str| match cfg.defense.resolve() {
+            Some(factory) => factory.param_schema().iter().any(|spec| spec.key == key),
+            None => true,
+        };
         if let Some(v) = self.use_re1 {
-            cfg.our_defense.use_re1 = v;
+            if accepts(cfg, "re1") {
+                cfg.defense.set_param("re1", v);
+            }
         }
         if let Some(v) = self.use_re2 {
-            cfg.our_defense.use_re2 = v;
+            if accepts(cfg, "re2") {
+                cfg.defense.set_param("re2", v);
+            }
         }
         if let Some(v) = self.beta {
-            cfg.our_defense.beta = v;
+            if accepts(cfg, "beta") {
+                cfg.defense.set_param("beta", v);
+            }
         }
         if let Some(v) = self.gamma {
-            cfg.our_defense.gamma = v;
+            if accepts(cfg, "gamma") {
+                cfg.defense.set_param("gamma", v);
+            }
         }
     }
 }
@@ -154,6 +179,13 @@ pub struct RunOptions {
     /// freezes the width. Execution-only: outcomes, reports, and cache keys
     /// are identical under every policy.
     pub round_threads: RoundThreads,
+    /// When set, collapses every sweep's defense axis to this single
+    /// (possibly parameterized) selection — the CLI's
+    /// `--defense name[:k=v,…]` override.
+    pub defense: Option<DefenseSel>,
+    /// When set, collapses every sweep's dataset axis to this dataset —
+    /// the CLI's `--dataset ml100k|ml1m|az|file:PATH` override.
+    pub dataset: Option<PaperDataset>,
 }
 
 impl Default for RunOptions {
@@ -164,6 +196,8 @@ impl Default for RunOptions {
             rounds: None,
             threads: default_threads(),
             round_threads: RoundThreads::default(),
+            defense: None,
+            dataset: None,
         }
     }
 }
@@ -293,15 +327,26 @@ impl Sweep {
     }
 
     /// Expands the axes into fully materialized cells, in deterministic
-    /// dataset → model → variant → attack → defense order.
+    /// dataset → model → variant → attack → defense order. The run-level
+    /// `--defense` / `--dataset` overrides (when set) collapse their axis
+    /// to the single overriding value.
     pub fn expand(&self, opts: &RunOptions) -> Vec<Cell> {
+        let datasets: Vec<PaperDataset> = match &opts.dataset {
+            Some(d) => vec![d.clone()],
+            None => self.datasets.clone(),
+        };
+        let defenses: Vec<DefenseSel> = match &opts.defense {
+            Some(d) => vec![d.clone()],
+            None => self.defenses.clone(),
+        };
         let mut cells = Vec::with_capacity(self.cell_count());
-        for &dataset in &self.datasets {
+        for dataset in &datasets {
             for &model in &self.models {
                 for variant in &self.variants {
                     for attack in &self.attacks {
-                        for defense in &self.defenses {
-                            let mut config = paper_scenario(dataset, model, opts.scale, opts.seed);
+                        for defense in &defenses {
+                            let mut config =
+                                paper_scenario(dataset.clone(), model, opts.scale, opts.seed);
                             config.attack = attack.clone();
                             config.defense = defense.clone();
                             config.federation.round_threads = opts.round_threads;
@@ -318,7 +363,7 @@ impl Sweep {
                             variant.apply(&mut config);
                             cells.push(Cell {
                                 sweep: self.name.clone(),
-                                dataset,
+                                dataset: dataset.clone(),
                                 model,
                                 attack: attack.clone(),
                                 defense: defense.clone(),
@@ -483,10 +528,13 @@ impl ExperimentSuite {
                             index: i,
                             total: n,
                             key,
-                            dataset: cell.dataset.name().to_string(),
+                            dataset: cell.dataset.name(),
                             model: cell.model.label().to_string(),
                             attack: cell.attack.label(),
                             defense: cell.defense.label(),
+                            // From the materialized config, not the axis
+                            // selection: variant patches write params too.
+                            defense_params: cell.config.defense.params().to_string(),
                             variant: cell.variant.clone(),
                             rounds: cell.config.rounds,
                             cache_hit,
@@ -579,7 +627,7 @@ pub enum Axis {
 impl Axis {
     fn key(&self, cell: &Cell) -> String {
         match self {
-            Axis::Dataset => cell.dataset.name().to_string(),
+            Axis::Dataset => cell.dataset.name(),
             Axis::Model => cell.model.label().to_string(),
             Axis::Attack => cell.attack.label(),
             Axis::Defense => cell.defense.label(),
@@ -607,7 +655,7 @@ impl SweepResult {
         ]);
         for r in &self.cells {
             table.row(&[
-                r.cell.dataset.name().to_string(),
+                r.cell.dataset.name(),
                 r.cell.model.label().to_string(),
                 r.cell.attack.label(),
                 r.cell.defense.label(),
@@ -719,7 +767,7 @@ mod tests {
             seed: 3,
             rounds: Some(8),
             threads: 2,
-            round_threads: RoundThreads::default(),
+            ..RunOptions::default()
         }
     }
 
@@ -885,6 +933,38 @@ mod tests {
         warm_keys.sort();
         assert_eq!(cold_keys, warm_keys);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_report_variant_applied_defense_params() {
+        use crate::progress::MemorySink;
+
+        let suite = ExperimentSuite::new("params", "Params").sweep(
+            Sweep::new("s", "S")
+                .over_defenses([DefenseKind::Ours])
+                .over_variants([ConfigPatch {
+                    label: "ablate".into(),
+                    use_re2: Some(false),
+                    ..ConfigPatch::default()
+                }]),
+        );
+        let sink = MemorySink::new();
+        suite
+            .run_with(
+                &tiny_opts(),
+                &ExecOptions {
+                    cache: None,
+                    sink: Some(&sink),
+                    budget: None,
+                },
+            )
+            .unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        // The params the cell actually ran with — written by the variant
+        // patch, not carried on the axis selection.
+        assert_eq!(events[0].defense_params, "re2=false");
+        assert_eq!(events[0].defense, "ours");
     }
 
     #[test]

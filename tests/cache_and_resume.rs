@@ -113,6 +113,31 @@ fn every_config_patch_field_flip_changes_the_key() {
             norm_bound_threshold: Some(0.07),
             ..ConfigPatch::default()
         },
+    ];
+
+    let mut keys = vec![base_key.clone()];
+    for patch in &flips {
+        let mut cfg = base_config();
+        patch.apply(&mut cfg);
+        let key = scenario_key(&cfg);
+        assert_ne!(
+            key, base_key,
+            "flipping `{}` must change the cache key",
+            patch.label
+        );
+        keys.push(key);
+    }
+
+    // The defense knobs write into the selection's params payload, so they
+    // re-key cells whose defense declares the key…
+    let ours_base = {
+        let mut cfg = base_config();
+        cfg.defense = DefenseKind::Ours.into();
+        cfg
+    };
+    let ours_key = scenario_key(&ours_base);
+    keys.push(ours_key.clone());
+    let defense_flips: Vec<ConfigPatch> = vec![
         ConfigPatch {
             label: "use_re1".into(),
             use_re1: Some(false),
@@ -134,19 +159,26 @@ fn every_config_patch_field_flip_changes_the_key() {
             ..ConfigPatch::default()
         },
     ];
-
-    let mut keys = vec![base_key.clone()];
-    for patch in &flips {
-        let mut cfg = base_config();
+    for patch in &defense_flips {
+        let mut cfg = ours_base.clone();
         patch.apply(&mut cfg);
         let key = scenario_key(&cfg);
         assert_ne!(
-            key, base_key,
-            "flipping `{}` must change the cache key",
+            key, ours_key,
+            "flipping `{}` on `ours` must change the cache key",
             patch.label
         );
         keys.push(key);
     }
+    // …and are inert on a defense that does not accept them (no cache
+    // duplication for parameters that cannot change the outcome).
+    let mut none_cfg = base_config();
+    defense_flips[0].apply(&mut none_cfg);
+    assert_eq!(
+        scenario_key(&none_cfg),
+        base_key,
+        "re1 on NoDefense is skipped, so the key must not move"
+    );
     // All flips address distinct cells (no accidental collisions/aliasing).
     let mut sorted = keys.clone();
     sorted.sort();

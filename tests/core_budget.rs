@@ -23,6 +23,7 @@ fn opts(threads: usize, round_threads: RoundThreads) -> RunOptions {
         rounds: Some(8),
         threads,
         round_threads,
+        ..RunOptions::default()
     }
 }
 

@@ -89,3 +89,78 @@ fn movielens_file_to_attack_pipeline() {
     // ...and the attack machinery ran against loaded data without issue.
     assert!(sim.stats().total_malicious_selected > 0);
 }
+
+/// The scenario/suite-level entry point for real dumps: a
+/// `PaperDataset::File` flows through `paper_scenario` → `scenario::run`
+/// end to end — deterministically — with no synthetic generation involved.
+#[test]
+fn file_dataset_runs_through_the_scenario_harness() {
+    use pieck_frs::attacks::AttackKind;
+    use pieck_frs::experiments::scenario;
+    use pieck_frs::experiments::{paper_scenario, PaperDataset};
+    use pieck_frs::model::ModelKind;
+
+    let path = std::env::temp_dir().join("pieck_frs_scenario_u.data");
+    write_fixture(&path);
+
+    let dataset = PaperDataset::File(path.to_string_lossy().into_owned());
+    // --scale does not shrink real files.
+    let mut cfg = paper_scenario(dataset, ModelKind::Mf, 0.1, 5);
+    assert_eq!(cfg.federation.users_per_round, 256);
+    assert_eq!(cfg.poison_scale, 1.0);
+    cfg.federation.users_per_round = 24;
+    cfg.rounds = 40;
+    cfg.attack = AttackKind::PieckUea.into();
+
+    let (full, _, targets) = scenario::build_world(&cfg);
+    assert!(full.n_users() >= 30, "file decided the shape");
+    assert_eq!(targets.len(), 1);
+
+    let a = scenario::run(&cfg);
+    let b = scenario::run(&cfg);
+    assert!(
+        a.hr_percent > 0.0,
+        "learned from the file: {}",
+        a.hr_percent
+    );
+    assert_eq!(a.er_percent, b.er_percent, "file runs are deterministic");
+    assert_eq!(a.hr_percent, b.hr_percent);
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Cache identity of file-backed cells tracks the file *content*: editing
+/// the dump re-keys the cell (no stale hits), reverting restores the key,
+/// and file specs key differently from synthetic ones.
+#[test]
+fn file_content_hash_rekeys_the_suite_cache() {
+    use pieck_frs::experiments::cache::scenario_key;
+    use pieck_frs::experiments::{paper_scenario, PaperDataset};
+    use pieck_frs::model::ModelKind;
+
+    let path = std::env::temp_dir().join("pieck_frs_cache_key_u.data");
+    write_fixture(&path);
+    let dataset = PaperDataset::File(path.to_string_lossy().into_owned());
+    let cfg = paper_scenario(dataset, ModelKind::Mf, 1.0, 5);
+
+    let original = scenario_key(&cfg);
+    assert_ne!(
+        original,
+        scenario_key(&paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 1.0, 5)),
+        "file-backed and synthetic cells never collide"
+    );
+
+    // Append one interaction: same path, different bytes ⇒ different key.
+    let unedited = std::fs::read(&path).unwrap();
+    let mut edited = unedited.clone();
+    edited.extend_from_slice(b"39\t7\t5\t0\n");
+    std::fs::write(&path, &edited).unwrap();
+    let after_edit = scenario_key(&cfg);
+    assert_ne!(original, after_edit, "editing the dump must re-key");
+
+    // Reverting the bytes restores the original key.
+    std::fs::write(&path, &unedited).unwrap();
+    assert_eq!(original, scenario_key(&cfg));
+
+    std::fs::remove_file(&path).ok();
+}

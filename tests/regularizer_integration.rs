@@ -44,9 +44,12 @@ fn defense_increases_user_popular_separation() {
         cfg.defense = defense.into();
         cfg.rounds = 80;
         // Isolate Re2 (the term under test) so Re1's feature blurring cannot
-        // mask the separation it produces at this small scale.
-        cfg.our_defense.use_re1 = false;
-        cfg.our_defense.gamma = 2.0;
+        // mask the separation it produces at this small scale. The knobs are
+        // registry params on the defense selection now.
+        if defense == DefenseKind::Ours {
+            cfg.defense.set_param("re1", false);
+            cfg.defense.set_param("gamma", 2.0f32);
+        }
         let (_, split, _) = build_world(&cfg);
         let train = Arc::new(split.train.clone());
         let mut sim = build_simulation(&cfg, Arc::clone(&train), &[]);
