@@ -15,11 +15,87 @@ use serde::{Deserialize, Serialize};
 use crate::fedrecattack::FedRecAttack;
 use crate::interaction::{AHumClient, ARaClient};
 use crate::pipattack::PipAttack;
-use crate::registry::{AttackBuildCtx, AttackFactory, AttackSel};
+use crate::registry::{AttackBuildCtx, AttackFactory, AttackParams, AttackSel, ParamSpec};
 use crate::scaled::ScaledClient;
 
 /// Norm cap applied to scaled gradient-style poison uploads.
-const POISON_NORM_CAP: f32 = 2.0;
+pub(crate) const POISON_NORM_CAP: f32 = 2.0;
+
+/// Schema entry for the poison-upload scale of gradient-style attacks.
+pub(crate) fn scale_spec() -> ParamSpec {
+    ParamSpec::new(
+        "scale",
+        "poison upload scale (wrapped in ScaledClient, norm-capped)",
+        "scenario poison_scale",
+    )
+}
+
+/// Schema entry for the mined popular-set size of PIECK variants.
+pub(crate) fn top_n_spec(default: &str) -> ParamSpec {
+    ParamSpec::new("top_n", "mined popular-set size N", default)
+}
+
+/// Schema entry for the PIECK mining-phase length R̃.
+pub(crate) fn mining_rounds_spec() -> ParamSpec {
+    ParamSpec::new(
+        "mining_rounds",
+        "R̃ mining transitions before attacking",
+        "2",
+    )
+}
+
+/// Validates the shared numeric attack params and resolves their effective
+/// values against the context defaults: `(top_n, mining_rounds, scale)`.
+/// Out-of-range explicit values are a clean `Err` — this runs before any
+/// client is constructed, so the CLI's `count = 0` probe catches them.
+pub(crate) fn resolve_pieck_knobs(
+    ctx: &AttackBuildCtx<'_>,
+    params: &AttackParams,
+) -> Result<(usize, usize, f32), String> {
+    let top_n = params.get_usize("top_n")?.unwrap_or(ctx.mined_top_n);
+    if params.get_usize("top_n")?.is_some() && top_n == 0 {
+        return Err("param `top_n` must be ≥ 1".into());
+    }
+    let mining_rounds = params.get_usize("mining_rounds")?.unwrap_or(2);
+    if mining_rounds == 0 {
+        return Err("param `mining_rounds` must be ≥ 1".into());
+    }
+    let scale = resolve_scale(ctx, params)?;
+    Ok((top_n, mining_rounds, scale))
+}
+
+/// Validates and resolves the `scale` param against the scenario default.
+pub(crate) fn resolve_scale(
+    ctx: &AttackBuildCtx<'_>,
+    params: &AttackParams,
+) -> Result<f32, String> {
+    match params.get_f32("scale")? {
+        None => Ok(ctx.poison_scale),
+        Some(s) if s > 0.0 => Ok(s),
+        Some(s) => Err(format!("param `scale` must be positive, got {s}")),
+    }
+}
+
+/// UEA's effective scale: the explicit param only (validated positive,
+/// defaulting to 1 = unscaled) — the scenario-wide poison_scale never
+/// applies to UEA's absolute displacement.
+pub(crate) fn resolve_uea_scale(params: &AttackParams) -> Result<f32, String> {
+    match params.get_f32("scale")? {
+        None => Ok(1.0),
+        Some(s) if s > 0.0 => Ok(s),
+        Some(s) => Err(format!("param `scale` must be positive, got {s}")),
+    }
+}
+
+/// Wraps a crafted client in a norm-capped [`ScaledClient`] when the scale
+/// deviates from 1 (the builtin gradient-style policy).
+pub(crate) fn maybe_scaled(client: Box<dyn Client>, scale: f32) -> Box<dyn Client> {
+    if (scale - 1.0).abs() > f32::EPSILON {
+        Box::new(ScaledClient::new(client, scale).with_cap(POISON_NORM_CAP))
+    } else {
+        client
+    }
+}
 
 /// Every attack evaluated in the paper, in Table III row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -100,18 +176,18 @@ impl AttackKind {
         seed: u64,
     ) -> Vec<Box<dyn Client>> {
         AttackSel::from(*self).build_clients(&AttackBuildCtx {
-            first_id,
-            count,
-            targets,
             mined_top_n,
             poison_scale,
             seed,
+            ..AttackBuildCtx::minimal(first_id, count, targets)
         })
     }
 }
 
 /// The builtin construction logic (the old closed-enum dispatch, now one
-/// factory implementation among equals).
+/// factory implementation among equals). Params override the scenario-level
+/// context defaults; an empty payload reproduces the pre-params wiring
+/// bit for bit.
 impl AttackFactory for AttackKind {
     fn name(&self) -> &str {
         AttackKind::name(self)
@@ -121,12 +197,63 @@ impl AttackFactory for AttackKind {
         AttackKind::label(self)
     }
 
-    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
-        if *self == AttackKind::NoAttack {
-            return Vec::new();
+    fn param_schema(&self) -> Vec<ParamSpec> {
+        match self {
+            AttackKind::NoAttack => Vec::new(),
+            AttackKind::FedRecA | AttackKind::Pipa | AttackKind::ARa | AttackKind::AHum => {
+                vec![scale_spec()]
+            }
+            AttackKind::PieckIpe => vec![
+                top_n_spec("scenario mined_top_n"),
+                mining_rounds_spec(),
+                scale_spec(),
+            ],
+            AttackKind::PieckUea => vec![
+                top_n_spec("scenario mined_top_n"),
+                mining_rounds_spec(),
+                ParamSpec::new(
+                    "scale",
+                    "explicit displacement scale (UEA's poison is an absolute \
+                     displacement, so the scenario poison_scale never applies; \
+                     an explicit value wraps in a norm-capped ScaledClient)",
+                    "1 (unscaled)",
+                ),
+            ],
         }
+    }
+
+    fn build_clients(
+        &self,
+        ctx: &AttackBuildCtx<'_>,
+        params: &AttackParams,
+    ) -> Result<Vec<Box<dyn Client>>, String> {
+        // Validation first: a `count = 0` probe must still catch unknown
+        // keys and bad values before any client is constructed.
+        let schema = AttackFactory::param_schema(self);
+        let known: Vec<&str> = schema.iter().map(|s| s.key.as_str()).collect();
+        params.check_known(&known, AttackKind::name(self))?;
+        if *self == AttackKind::NoAttack {
+            return Ok(Vec::new());
+        }
+        let pieck = matches!(self, AttackKind::PieckIpe | AttackKind::PieckUea);
+        let (top_n, mining_rounds, param_scale) = if pieck {
+            resolve_pieck_knobs(ctx, params)?
+        } else {
+            (ctx.mined_top_n, 2, resolve_scale(ctx, params)?)
+        };
+        // UEA's poison is an absolute displacement toward the locally
+        // optimized embedding — scaling it overshoots the optimum and
+        // destabilizes the attack rather than strengthening it, so the
+        // scenario-wide poison_scale never applies; only an explicit
+        // `scale` param does. All gradient-style attacks scale, with a norm
+        // cap to prevent runaway feedback (see ScaledClient::with_cap).
+        let scale = if *self == AttackKind::PieckUea {
+            resolve_uea_scale(params)?
+        } else {
+            param_scale
+        };
         let targets = ctx.targets.to_vec();
-        (0..ctx.count)
+        Ok((0..ctx.count)
             .map(|i| {
                 let id = ctx.first_id + i;
                 // One attacker controls every sybil (Section III-B), so the
@@ -153,29 +280,20 @@ impl AttackFactory for AttackKind {
                     }
                     AttackKind::PieckIpe => {
                         let mut cfg = PieckConfig::ipe(targets.clone());
-                        cfg.top_n = ctx.mined_top_n;
+                        cfg.top_n = top_n;
+                        cfg.mining_rounds = mining_rounds;
                         Box::new(PieckClient::new(id, cfg))
                     }
                     AttackKind::PieckUea => {
                         let mut cfg = PieckConfig::uea(targets.clone());
-                        cfg.top_n = ctx.mined_top_n;
+                        cfg.top_n = top_n;
+                        cfg.mining_rounds = mining_rounds;
                         Box::new(PieckClient::new(id, cfg))
                     }
                 };
-                // UEA's poison is an absolute displacement toward the locally
-                // optimized embedding — scaling it overshoots the optimum and
-                // destabilizes the attack rather than strengthening it. All
-                // gradient-style attacks scale, with a norm cap to prevent
-                // runaway feedback (see ScaledClient::with_cap).
-                let scalable = !matches!(self, AttackKind::PieckUea);
-                if scalable && (ctx.poison_scale - 1.0).abs() > f32::EPSILON {
-                    Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(POISON_NORM_CAP))
-                        as Box<dyn Client>
-                } else {
-                    client
-                }
+                maybe_scaled(client, scale)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -216,5 +334,63 @@ mod tests {
             assert_eq!(AttackKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(AttackKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn bad_param_values_are_clean_errors_even_on_a_count_zero_probe() {
+        // The CLI's startup probe builds with count = 0: unknown keys,
+        // mistyped values, and out-of-range numbers must all surface as
+        // `Err` before any client is constructed — never as a panic.
+        let probe = AttackBuildCtx::minimal(0, 0, &[]);
+        for spec in [
+            "pieck-uea:scale=-1",
+            "pieck-uea-copy:scale=-2",
+            "pieck-ipe:scale=0",
+            "pieck-ipe:top_n=0",
+            "pieck-uea:mining_rounds=0",
+            "pieck-ipe:top_n=abc",
+            "none:x=1",
+            "fedrecattack:top_n=5",
+            "a-ra:scale=true",
+        ] {
+            let sel = AttackSel::parse(spec).unwrap();
+            assert!(sel.try_build_clients(&probe).is_err(), "{spec}");
+        }
+        // The same specs with good values build (count 0 ⇒ empty vec).
+        for spec in [
+            "pieck-uea:scale=2.0",
+            "pieck-ipe:top_n=20,scale=1.5",
+            "pieck-uea-copy:scale=2",
+            "a-ra:scale=3",
+        ] {
+            let sel = AttackSel::parse(spec).unwrap();
+            assert!(sel.try_build_clients(&probe).unwrap().is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn explicit_params_change_construction() {
+        // An explicit UEA scale wraps in a norm-capped ScaledClient (the
+        // default never does), observable through the upload norm.
+        use frs_federation::RoundContext;
+        use frs_linalg::SeedStream;
+        use frs_model::{GlobalModel, LossKind, ModelConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let targets = [2u32];
+        let ctx = AttackBuildCtx::minimal(0, 1, &targets);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 8, &mut StdRng::seed_from_u64(0));
+        let round = RoundContext::new(0, 1.0, 1.0, 1, LossKind::Bce, SeedStream::new(0));
+        let norm_of = |sel: &AttackSel| {
+            let mut clients = sel.build_clients(&ctx);
+            let upload = clients[0].local_round(&round, &model);
+            frs_federation::upload_norm(&upload)
+        };
+        // A-RA scaled 1000x hits the norm cap; unscaled stays below it.
+        let plain = norm_of(&AttackSel::named("a-ra"));
+        let scaled = norm_of(&AttackSel::parse("a-ra:scale=1000").unwrap());
+        assert!(scaled >= plain, "{scaled} vs {plain}");
+        assert!(scaled <= POISON_NORM_CAP + 1e-4, "cap applies: {scaled}");
     }
 }

@@ -24,6 +24,7 @@ pub mod interaction;
 pub mod pipattack;
 pub mod registry;
 pub mod scaled;
+pub mod variants;
 
 pub use approx::{hard_user_mining, random_user_embeddings};
 pub use catalog::AttackKind;
@@ -31,7 +32,7 @@ pub use fedrecattack::FedRecAttack;
 pub use interaction::{AHumClient, ARaClient};
 pub use pipattack::PipAttack;
 pub use registry::{
-    attack_factory, register_attack, registered_attacks, AttackBuildCtx, AttackFactory, AttackSel,
-    FnAttackFactory,
+    attack_factory, register_attack, registered_attacks, AttackBuildCtx, AttackFactory,
+    AttackParams, AttackSel, FnAttackFactory, IntoAttackFactory, ParamSpec, ParamValue,
 };
 pub use scaled::ScaledClient;

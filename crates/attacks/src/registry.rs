@@ -1,19 +1,35 @@
-//! The open attack registry.
+//! The open attack registry — mirror image of `frs_defense::registry`.
 //!
-//! The experiment harness used to dispatch over the closed [`AttackKind`]
-//! enum; every new attack meant editing core crates. This module inverts
-//! that: attacks are [`AttackFactory`] trait objects registered *by name* in
-//! a process-wide table. The enum still exists as a thin, backwards
-//! compatible wrapper over registry lookups, and out-of-crate attacks plug in
-//! through [`register_attack`] without touching any core code:
+//! Attacks are [`AttackFactory`] trait objects registered by name. A factory
+//! turns a scenario-level [`AttackBuildCtx`] plus a serializable
+//! [`AttackParams`] payload into the scenario's malicious population; the
+//! enum [`AttackKind`] is a thin, backwards-compatible wrapper over registry
+//! lookups, and out-of-crate attacks plug in through [`register_attack`]
+//! without touching any core code.
+//!
+//! Scenarios reference attacks through [`AttackSel`], a `{name, params}`
+//! pair that serializes as a plain string when the params are empty
+//! (`"pieck-uea"`) and as `{"name": "pieck-uea", "params": {"scale": 2}}`
+//! otherwise. The params map is sorted-key and canonical — the same
+//! [`frs_federation::params::Params`] payload defenses use — so suite cache
+//! keys see attack hyper-parameters by construction (see
+//! `frs_experiments::cache`). The CLI form is
+//! `AttackSel::parse("pieck-uea:scale=2.0,top_n=20")`.
+//!
+//! Factories declare the keys they accept through
+//! [`AttackFactory::param_schema`]; unknown keys, mistyped values, and
+//! out-of-range parameters are a clean `Err` from
+//! [`AttackFactory::build_clients`], so a typo'd `--attack` spec fails at
+//! startup (the harness probes a full build) instead of panicking three
+//! cells into a sweep.
 //!
 //! ```
-//! use frs_attacks::{register_attack, AttackBuildCtx, AttackFactory, FnAttackFactory};
+//! use frs_attacks::{register_attack, AttackBuildCtx, AttackSel, FnAttackFactory};
 //!
 //! register_attack(FnAttackFactory::new("my-attack", "MyAttack", |ctx: &AttackBuildCtx| {
 //!     Vec::new() // build `ctx.count` malicious clients here
 //! }));
-//! assert!(frs_attacks::attack_factory("my-attack").is_some());
+//! assert!(AttackSel::named("my-attack").resolve().is_some());
 //! ```
 //!
 //! [`AttackKind`]: crate::AttackKind
@@ -22,10 +38,24 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use frs_federation::Client;
+use frs_model::ModelKind;
 
 use crate::catalog::AttackKind;
+use crate::variants::builtin_variant_factories;
 
-/// Everything a factory gets to build one scenario's malicious population.
+pub use frs_federation::params::{ParamSpec, ParamValue};
+
+/// The canonical attack hyper-parameter payload an [`AttackSel`] carries:
+/// the shared [`frs_federation::params::Params`] map (sorted keys, one
+/// variant per numeric value, no non-finite numbers — see that module for
+/// the caching invariants), aliased for readability. The defense registry
+/// aliases the same type as `frs_defense::DefenseParams`.
+pub type AttackParams = frs_federation::params::Params;
+
+/// Everything a scenario knows that an attack factory may consume when
+/// populating a run with malicious clients. Scenario-level values
+/// (`mined_top_n`, `poison_scale`) are *defaults*; selection params
+/// override them per factory schema.
 #[derive(Debug, Clone)]
 pub struct AttackBuildCtx<'a> {
     /// First client id to assign; ids must be dense `first_id..first_id+count`.
@@ -34,12 +64,45 @@ pub struct AttackBuildCtx<'a> {
     pub count: usize,
     /// Target items `T` to promote.
     pub targets: &'a [u32],
-    /// Mined popular-set size `N` (PIECK variants and mining-based attacks).
+    /// Mined popular-set size `N` of the scenario (PIECK variants and
+    /// mining-based attacks; the `top_n` param overrides).
     pub mined_top_n: usize,
-    /// Scale applied to gradient-style poison uploads.
+    /// Scale applied to gradient-style poison uploads (the `scale` param
+    /// overrides).
     pub poison_scale: f32,
     /// Scenario root seed.
     pub seed: u64,
+    /// Base-model family the federation trains.
+    pub model: ModelKind,
+    /// Item/user embedding dimension of the global model.
+    pub embedding_dim: usize,
+    /// Item-catalogue size declared by the dataset spec (0 when unknown,
+    /// e.g. not-yet-loaded file-backed dumps).
+    pub n_items: usize,
+    /// Benign-user count declared by the dataset spec (0 when unknown).
+    pub n_users: usize,
+}
+
+impl<'a> AttackBuildCtx<'a> {
+    /// A context carrying only the population coordinates; everything else
+    /// is a neutral default. Used by the legacy
+    /// [`AttackKind::build_clients`] entry point, the CLI's startup
+    /// try-build probe (`count = 0`: params are validated, no client is
+    /// constructed), and tests.
+    pub fn minimal(first_id: usize, count: usize, targets: &'a [u32]) -> Self {
+        Self {
+            first_id,
+            count,
+            targets,
+            mined_top_n: 10,
+            poison_scale: 1.0,
+            seed: 0,
+            model: ModelKind::Mf,
+            embedding_dim: 0,
+            n_items: 0,
+            n_users: 0,
+        }
+    }
 }
 
 /// A named attack that can populate a scenario with malicious clients.
@@ -52,50 +115,88 @@ pub trait AttackFactory: Send + Sync {
         self.name()
     }
 
+    /// The parameters this attack accepts, for validation and for
+    /// `paper attacks list`. Empty (the default) means "takes none".
+    fn param_schema(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+
     /// Builds `ctx.count` malicious clients with dense ids starting at
-    /// `ctx.first_id`.
-    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>>;
+    /// `ctx.first_id`. Implementations validate `params` **before**
+    /// constructing any client (unknown keys and bad values are an `Err`,
+    /// and a `count = 0` probe must still exercise the validation), falling
+    /// back to context-derived defaults for missing keys.
+    fn build_clients(
+        &self,
+        ctx: &AttackBuildCtx<'_>,
+        params: &AttackParams,
+    ) -> Result<Vec<Box<dyn Client>>, String>;
 
     /// Optional behaviour fingerprint, mixed into suite cache keys.
     ///
-    /// Scenario configs reference attacks by *name*, so a cache cannot see
-    /// the parameters a runtime-registered factory closed over — two
-    /// factories registered under the same name with different behaviour
-    /// would share cache entries. A factory that returns a fingerprint
-    /// describing its parameters (any stable string; `format!("{cfg:?}")`
-    /// of its config is typical) closes that hole: the fingerprint is
-    /// hashed alongside the scenario config, so re-registering the name
-    /// with different parameters re-keys every affected cell. `None` (the
-    /// default, and what the built-ins use — their behaviour is code,
-    /// versioned by the cache schema) keeps name-only addressing.
+    /// Selection *params* need no fingerprint — they live in the config
+    /// JSON and key the cache directly. The fingerprint covers what a
+    /// runtime-registered factory *closed over*: a factory that returns a
+    /// stable string describing its captured parameters re-keys every
+    /// affected cell when the name is re-registered with different
+    /// behaviour. `None` (the default, and what the built-ins use — their
+    /// behaviour is code, versioned by the cache schema) keeps name-only
+    /// addressing.
     fn fingerprint(&self) -> Option<String> {
         None
     }
 }
 
-type AttackBuildFn = Box<dyn Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync>;
+type AttackBuildFn = Box<
+    dyn Fn(&AttackBuildCtx<'_>, &AttackParams) -> Result<Vec<Box<dyn Client>>, String>
+        + Send
+        + Sync,
+>;
 
 /// Closure-backed [`AttackFactory`] for ad-hoc attacks (ablations, tests,
-/// downstream experiments).
+/// downstream experiments):
+///
+/// ```ignore
+/// register_attack(
+///     FnAttackFactory::parameterized("flood", "Flood", |ctx, params| {
+///         let strength = params.get_f32("strength")?.unwrap_or(1.0);
+///         Ok((0..ctx.count).map(|i| make_client(ctx.first_id + i, strength)).collect())
+///     })
+///     .with_param_schema([ParamSpec::new("strength", "upload magnitude", "1.0")])
+///     .with_fingerprint("flood-v1"),
+/// );
+/// ```
 pub struct FnAttackFactory {
     name: String,
     label: String,
     fingerprint: Option<String>,
+    schema: Vec<ParamSpec>,
+    /// Whether the build closure actually receives the params (the
+    /// [`FnAttackFactory::parameterized`] constructor). Guards
+    /// [`FnAttackFactory::with_param_schema`] against declaring keys a
+    /// params-blind closure would validate, cache-key, and then silently
+    /// ignore.
+    params_aware: bool,
     build: AttackBuildFn,
 }
 
 impl FnAttackFactory {
+    /// A parameter-less attack from an infallible closure. Chain `with_*`
+    /// builder methods for schemas and fingerprints, then hand the result
+    /// to [`register_attack`].
     pub fn new(
         name: impl Into<String>,
         label: impl Into<String>,
         build: impl Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync + 'static,
-    ) -> Arc<Self> {
-        Arc::new(Self {
+    ) -> Self {
+        Self {
             name: name.into(),
             label: label.into(),
             fingerprint: None,
-            build: Box::new(build),
-        })
+            schema: Vec::new(),
+            params_aware: false,
+            build: Box::new(move |ctx, _params| Ok(build(ctx))),
+        }
     }
 
     /// Like [`FnAttackFactory::new`], additionally carrying a behaviour
@@ -106,13 +207,55 @@ impl FnAttackFactory {
         label: impl Into<String>,
         fingerprint: impl Into<String>,
         build: impl Fn(&AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> + Send + Sync + 'static,
-    ) -> Arc<Self> {
-        Arc::new(Self {
+    ) -> Self {
+        Self::new(name, label, build).with_fingerprint(fingerprint)
+    }
+
+    /// A params-aware, fallible attack: the closure also sees the
+    /// selection's [`AttackParams`] and reports bad values as `Err`.
+    /// Declare the accepted keys with
+    /// [`FnAttackFactory::with_param_schema`], or every non-empty params
+    /// map is rejected before the closure runs.
+    pub fn parameterized(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        build: impl Fn(&AttackBuildCtx<'_>, &AttackParams) -> Result<Vec<Box<dyn Client>>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        Self {
             name: name.into(),
             label: label.into(),
-            fingerprint: Some(fingerprint.into()),
+            fingerprint: None,
+            schema: Vec::new(),
+            params_aware: true,
             build: Box::new(build),
-        })
+        }
+    }
+
+    /// Declares a behaviour fingerprint (see [`AttackFactory::fingerprint`]
+    /// — the PR-3 cache contract for runtime registrations).
+    pub fn with_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = Some(fingerprint.into());
+        self
+    }
+
+    /// Declares the accepted parameters. Without a schema, any non-empty
+    /// [`AttackParams`] fails the build. Only valid on a
+    /// [`FnAttackFactory::parameterized`] factory — a params-blind closure
+    /// with a declared schema would validate and cache-key params it then
+    /// silently ignores (the inert-knob bug class), so that combination
+    /// panics at registration time.
+    pub fn with_param_schema(mut self, schema: impl IntoIterator<Item = ParamSpec>) -> Self {
+        assert!(
+            self.params_aware,
+            "attack `{}`: with_param_schema needs FnAttackFactory::parameterized \
+             (a params-blind closure would silently ignore the declared keys)",
+            self.name
+        );
+        self.schema = schema.into_iter().collect();
+        self
     }
 }
 
@@ -125,8 +268,27 @@ impl AttackFactory for FnAttackFactory {
         &self.label
     }
 
-    fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
-        (self.build)(ctx)
+    fn param_schema(&self) -> Vec<ParamSpec> {
+        self.schema.clone()
+    }
+
+    fn build_clients(
+        &self,
+        ctx: &AttackBuildCtx<'_>,
+        params: &AttackParams,
+    ) -> Result<Vec<Box<dyn Client>>, String> {
+        if !params.is_empty() {
+            if self.schema.is_empty() {
+                return Err(format!(
+                    "attack `{}` takes no parameters (got `{params}`); declare a schema \
+                     with FnAttackFactory::with_param_schema",
+                    self.name
+                ));
+            }
+            let known: Vec<&str> = self.schema.iter().map(|s| s.key.as_str()).collect();
+            params.check_known(&known, &self.name)?;
+        }
+        (self.build)(ctx, params)
     }
 
     fn fingerprint(&self) -> Option<String> {
@@ -144,13 +306,37 @@ fn registry() -> &'static Registry {
         for kind in AttackKind::all() {
             map.insert(kind.name().to_string(), Arc::new(kind));
         }
+        // The paper's Table VI / Table IX attack variants are ordinary
+        // parameterized catalog entries — no runtime registration needed.
+        for factory in builtin_variant_factories() {
+            map.insert(factory.name().to_string(), factory);
+        }
         RwLock::new(map)
     })
 }
 
+/// Anything [`register_attack`] accepts: a factory by value (boxed into an
+/// `Arc` for you) or an already-shared `Arc<dyn AttackFactory>`.
+pub trait IntoAttackFactory {
+    fn into_attack_factory(self) -> Arc<dyn AttackFactory>;
+}
+
+impl<F: AttackFactory + 'static> IntoAttackFactory for F {
+    fn into_attack_factory(self) -> Arc<dyn AttackFactory> {
+        Arc::new(self)
+    }
+}
+
+impl IntoAttackFactory for Arc<dyn AttackFactory> {
+    fn into_attack_factory(self) -> Arc<dyn AttackFactory> {
+        self
+    }
+}
+
 /// Registers (or replaces) an attack under `factory.name()`. Returns the
 /// previously registered factory of that name, if any.
-pub fn register_attack(factory: Arc<dyn AttackFactory>) -> Option<Arc<dyn AttackFactory>> {
+pub fn register_attack(factory: impl IntoAttackFactory) -> Option<Arc<dyn AttackFactory>> {
+    let factory = factory.into_attack_factory();
     registry()
         .write()
         .expect("attack registry poisoned")
@@ -176,18 +362,25 @@ pub fn registered_attacks() -> Vec<String> {
         .collect()
 }
 
-/// A serializable, registry-backed reference to an attack — what scenario
-/// configurations carry instead of the closed enum. Serializes as its plain
-/// name string.
+/// A serializable, registry-backed reference to an attack: its registry
+/// name plus a canonical [`AttackParams`] payload — what scenario
+/// configurations carry instead of the closed enum. Serializes as the plain
+/// name string when the params are empty, as `{"name", "params"}` otherwise
+/// — both forms deserialize.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttackSel {
     name: String,
+    params: AttackParams,
 }
 
 impl AttackSel {
-    /// References a registered (or to-be-registered) attack by name.
+    /// References a registered (or to-be-registered) attack by name, with
+    /// no parameter overrides.
     pub fn named(name: impl Into<String>) -> Self {
-        Self { name: name.into() }
+        Self {
+            name: name.into(),
+            params: AttackParams::new(),
+        }
     }
 
     /// The benign baseline.
@@ -195,9 +388,40 @@ impl AttackSel {
         AttackKind::NoAttack.into()
     }
 
+    /// Parses the CLI form `name[:k=v,…]` (e.g. `pieck-uea:scale=2.0,top_n=20`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (name, params) = match spec.split_once(':') {
+            None => (spec.trim(), AttackParams::new()),
+            Some((name, list)) => (name.trim(), AttackParams::parse_list(list)?),
+        };
+        if name.is_empty() {
+            return Err("empty attack name".into());
+        }
+        Ok(Self {
+            name: name.to_string(),
+            params,
+        })
+    }
+
     /// Registry key.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The parameter payload.
+    pub fn params(&self) -> &AttackParams {
+        &self.params
+    }
+
+    /// Sets a parameter (builder form).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// Sets a parameter in place.
+    pub fn set_param(&mut self, key: impl Into<String>, value: impl Into<ParamValue>) {
+        self.params.set(key, value);
     }
 
     /// True for the no-attack baseline.
@@ -206,7 +430,8 @@ impl AttackSel {
     }
 
     /// Table row label: the factory's, falling back to the raw name for
-    /// not-yet-registered references.
+    /// not-yet-registered references. Params do not change the label —
+    /// they surface through the variant axis and progress events instead.
     pub fn label(&self) -> String {
         match attack_factory(&self.name) {
             Some(f) => f.label().to_string(),
@@ -225,25 +450,55 @@ impl AttackSel {
         self.resolve().and_then(|f| f.fingerprint())
     }
 
-    /// Builds the malicious population; panics with the list of known
-    /// attacks when the name is not registered (a configuration error).
-    pub fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
+    /// Builds the malicious population; `Err` for unregistered names or
+    /// parameter errors (unknown keys, type mismatches, out-of-range
+    /// values). The CLI probes this with a `count = 0` context at startup
+    /// so a bad `--attack` spec is a clean exit, not a mid-sweep panic.
+    pub fn try_build_clients(
+        &self,
+        ctx: &AttackBuildCtx<'_>,
+    ) -> Result<Vec<Box<dyn Client>>, String> {
         match self.resolve() {
-            Some(f) => f.build_clients(ctx),
-            None => panic!(
+            Some(f) => {
+                // Structural schema validation: every selection-driven build
+                // checks the params against the factory's declared schema
+                // here, so an out-of-crate `impl AttackFactory` that forgets
+                // its own `check_known` preamble still rejects typo'd keys
+                // instead of silently running defaults. (Factories keep
+                // their internal checks for direct `build_clients` callers.)
+                if !self.params.is_empty() {
+                    let schema = f.param_schema();
+                    if schema.is_empty() {
+                        return Err(format!(
+                            "attack `{}` takes no parameters (got `{}`)",
+                            self.name, self.params
+                        ));
+                    }
+                    let known: Vec<&str> = schema.iter().map(|s| s.key.as_str()).collect();
+                    self.params.check_known(&known, &self.name)?;
+                }
+                f.build_clients(ctx, &self.params)
+            }
+            None => Err(format!(
                 "attack `{}` is not registered (known: {:?})",
                 self.name,
                 registered_attacks()
-            ),
+            )),
         }
+    }
+
+    /// Builds the malicious population; panics on configuration errors (the
+    /// harness path — a scenario referencing a bad attack is a programming
+    /// error, mirroring `DefenseSel::build`).
+    pub fn build_clients(&self, ctx: &AttackBuildCtx<'_>) -> Vec<Box<dyn Client>> {
+        self.try_build_clients(ctx)
+            .unwrap_or_else(|e| panic!("cannot build attack `{self}`: {e}"))
     }
 }
 
 impl From<AttackKind> for AttackSel {
     fn from(kind: AttackKind) -> Self {
-        AttackSel {
-            name: kind.name().to_string(),
-        }
+        AttackSel::named(kind.name())
     }
 }
 
@@ -253,6 +508,8 @@ impl From<&AttackKind> for AttackSel {
     }
 }
 
+/// Name-only comparison: a parameterized `pieck-uea:scale=2` still *is* the
+/// `PieckUea` attack for labelling/reporting purposes.
 impl PartialEq<AttackKind> for AttackSel {
     fn eq(&self, kind: &AttackKind) -> bool {
         self.name == kind.name()
@@ -265,23 +522,53 @@ impl PartialEq<AttackSel> for AttackKind {
     }
 }
 
+/// The CLI form: `name` or `name:k=v,…`.
 impl std::fmt::Display for AttackSel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(&self.name)?;
+        if !self.params.is_empty() {
+            write!(f, ":{}", self.params)?;
+        }
+        Ok(())
     }
 }
 
 impl serde::Serialize for AttackSel {
     fn to_value(&self) -> serde::Value {
-        serde::Value::String(self.name.clone())
+        if self.params.is_empty() {
+            serde::Value::String(self.name.clone())
+        } else {
+            let mut map = serde::Map::new();
+            map.insert("name".into(), serde::Value::String(self.name.clone()));
+            map.insert("params".into(), serde::Serialize::to_value(&self.params));
+            serde::Value::Object(map)
+        }
     }
 }
 
 impl serde::Deserialize for AttackSel {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        v.as_str()
-            .map(AttackSel::named)
-            .ok_or_else(|| serde::Error::new(format!("expected attack name, got {}", v.kind())))
+        match v {
+            serde::Value::String(name) => Ok(AttackSel::named(name)),
+            serde::Value::Object(map) => {
+                let name = map
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or_else(|| serde::Error::new("attack object needs a `name` string"))?;
+                let params = match map.get("params") {
+                    None => AttackParams::new(),
+                    Some(p) => serde::Deserialize::from_value(p)?,
+                };
+                Ok(AttackSel {
+                    name: name.to_string(),
+                    params,
+                })
+            }
+            other => Err(serde::Error::new(format!(
+                "expected attack name or {{name, params}}, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -301,13 +588,12 @@ mod tests {
 
     #[test]
     fn registry_path_matches_enum_path() {
+        let targets = [3u32, 4];
         let ctx = AttackBuildCtx {
-            first_id: 40,
-            count: 2,
-            targets: &[3, 4],
             mined_top_n: 10,
             poison_scale: 1.5,
             seed: 9,
+            ..AttackBuildCtx::minimal(40, 2, &targets)
         };
         for kind in AttackKind::all() {
             let via_enum = kind.build_clients(40, 2, &[3, 4], 10, 1.5, 9);
@@ -348,15 +634,97 @@ mod tests {
         }));
         let sel = AttackSel::named("reg-test");
         assert_eq!(sel.label(), "RegTest");
-        let ctx = AttackBuildCtx {
-            first_id: 0,
-            count: 0,
-            targets: &[],
-            mined_top_n: 1,
-            poison_scale: 1.0,
-            seed: 0,
-        };
-        assert!(sel.build_clients(&ctx).is_empty());
+        assert!(sel
+            .build_clients(&AttackBuildCtx::minimal(0, 0, &[]))
+            .is_empty());
+    }
+
+    #[test]
+    fn fn_factory_rejects_params_without_schema() {
+        register_attack(FnAttackFactory::new("no-params", "NoParams", |_| {
+            Vec::new()
+        }));
+        let sel = AttackSel::named("no-params").with_param("tau", 0.5f32);
+        let err = sel
+            .try_build_clients(&AttackBuildCtx::minimal(0, 0, &[]))
+            .err()
+            .unwrap();
+        assert!(err.contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn parameterized_fn_factory_sees_params_and_validates_keys() {
+        register_attack(
+            FnAttackFactory::parameterized("param-attack", "ParamAttack", |ctx, params| {
+                let strength = params.get_f32("strength")?.unwrap_or(1.0);
+                assert_eq!(strength, 0.25);
+                assert_eq!(ctx.count, 0);
+                Ok(Vec::new())
+            })
+            .with_param_schema([ParamSpec::new("strength", "upload magnitude", "1.0")])
+            .with_fingerprint("param-attack-v1"),
+        );
+        let sel = AttackSel::named("param-attack").with_param("strength", 0.25f32);
+        assert!(sel
+            .try_build_clients(&AttackBuildCtx::minimal(0, 0, &[]))
+            .is_ok());
+        assert_eq!(
+            sel.fingerprint().as_deref(),
+            Some("param-attack-v1"),
+            "builder fingerprint surfaces"
+        );
+
+        // Unknown keys fail against the declared schema.
+        let bad = AttackSel::named("param-attack").with_param("strenght", 0.25f32);
+        let err = bad
+            .try_build_clients(&AttackBuildCtx::minimal(0, 0, &[]))
+            .err()
+            .unwrap();
+        assert!(err.contains("unknown parameter"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "with_param_schema needs FnAttackFactory::parameterized")]
+    fn schema_on_a_params_blind_closure_panics_at_registration() {
+        // A schema on a closure that never sees the params would validate
+        // and cache-key keys it silently ignores — refuse it up front.
+        let _ = FnAttackFactory::new("blind", "Blind", |_| Vec::new())
+            .with_param_schema([ParamSpec::new("x", "ignored", "1")]);
+    }
+
+    #[test]
+    fn selection_path_validates_schema_even_for_lazy_factories() {
+        /// An out-of-crate factory that "forgets" its check_known preamble.
+        struct Lazy;
+        impl AttackFactory for Lazy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn param_schema(&self) -> Vec<ParamSpec> {
+                vec![ParamSpec::new("k", "the only key", "1")]
+            }
+            fn build_clients(
+                &self,
+                _ctx: &AttackBuildCtx<'_>,
+                _params: &AttackParams,
+            ) -> Result<Vec<Box<dyn Client>>, String> {
+                Ok(Vec::new())
+            }
+        }
+        register_attack(Lazy);
+        let probe = AttackBuildCtx::minimal(0, 0, &[]);
+        // The selection path rejects typo'd keys structurally…
+        let err = AttackSel::named("lazy")
+            .with_param("kk", 1u64)
+            .try_build_clients(&probe)
+            .err()
+            .unwrap();
+        assert!(err.contains("unknown parameter"), "{err}");
+        // …and declared keys still pass through.
+        assert!(AttackSel::named("lazy")
+            .with_param("k", 1u64)
+            .try_build_clients(&probe)
+            .is_ok());
     }
 
     #[test]
@@ -372,15 +740,59 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_sel_serializes_as_object_and_round_trips() {
+        let sel = AttackSel::named("pieck-uea")
+            .with_param("scale", 2.0f32)
+            .with_param("top_n", 20usize);
+        let v = serde::Serialize::to_value(&sel);
+        let obj = v.as_object().expect("object form");
+        assert_eq!(obj.get("name").and_then(|n| n.as_str()), Some("pieck-uea"));
+        let back: AttackSel = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, sel);
+        // A params difference is a selection difference…
+        assert_ne!(sel, AttackSel::named("pieck-uea").with_param("scale", 3u64));
+        // …but name-vs-kind comparison ignores params.
+        assert_eq!(sel, AttackKind::PieckUea);
+    }
+
+    #[test]
+    fn parses_cli_specs() {
+        assert_eq!(
+            AttackSel::parse("pieck-uea").unwrap(),
+            AttackSel::named("pieck-uea")
+        );
+        let sel = AttackSel::parse("pieck-uea:scale=2.0,top_n=20").unwrap();
+        assert_eq!(sel.name(), "pieck-uea");
+        assert_eq!(sel.params().get_f32("scale").unwrap(), Some(2.0));
+        assert_eq!(sel.params().get_usize("top_n").unwrap(), Some(20));
+        // Whole floats normalize: `scale=2.0` keys and prints like `scale=2`.
+        assert_eq!(sel.to_string(), "pieck-uea:scale=2,top_n=20");
+        assert_eq!(AttackSel::parse(&sel.to_string()).unwrap(), sel);
+        assert_eq!(
+            sel,
+            AttackSel::named("pieck-uea")
+                .with_param("scale", 2.0f32)
+                .with_param("top_n", 20usize)
+        );
+
+        assert!(AttackSel::parse("").is_err());
+        assert!(AttackSel::parse("pieck-uea:scale").is_err());
+        assert!(AttackSel::parse(":scale=1").is_err());
+    }
+
+    #[test]
+    fn unknown_attack_is_a_clean_error_with_catalogue() {
+        let err = AttackSel::named("does-not-exist")
+            .try_build_clients(&AttackBuildCtx::minimal(0, 1, &[]))
+            .err()
+            .unwrap();
+        assert!(err.contains("not registered"), "{err}");
+        assert!(err.contains("pieck-uea"), "lists the catalogue: {err}");
+    }
+
+    #[test]
     #[should_panic(expected = "not registered")]
-    fn unknown_attack_panics_with_catalogue() {
-        AttackSel::named("does-not-exist").build_clients(&AttackBuildCtx {
-            first_id: 0,
-            count: 1,
-            targets: &[],
-            mined_top_n: 1,
-            poison_scale: 1.0,
-            seed: 0,
-        });
+    fn unknown_attack_panics_on_the_harness_path() {
+        AttackSel::named("does-not-exist").build_clients(&AttackBuildCtx::minimal(0, 1, &[]));
     }
 }

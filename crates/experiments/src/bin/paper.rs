@@ -14,8 +14,9 @@
 //! paper all --cache-dir cache/ --progress run.jsonl   # cached + observable
 //! paper cache stats --cache-dir cache/                # inspect the cache
 //! paper defenses list        # defense registry: names, sides, param schemas
-//! paper attacks list         # attack registry: names and labels
+//! paper attacks list         # attack registry: names, labels, param schemas
 //! paper table5 --defense ours:beta=0.9,re2=false  # parameterized override
+//! paper table3 --attack pieck-uea:scale=2.0,top_n=20  # attack-side override
 //! paper table4 mf --dataset file:data/u.data      # real MovieLens dump
 //! ```
 //!
@@ -41,14 +42,15 @@ use frs_federation::CoreBudget;
 fn print_usage() {
     eprintln!("usage: paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]");
     eprintln!("                       [--threads n] [--round-threads auto|n]");
-    eprintln!("                       [--defense name[:k=v,...]] [--dataset name|file:PATH]");
+    eprintln!("                       [--attack name[:k=v,...]] [--defense name[:k=v,...]]");
+    eprintln!("                       [--dataset name|file:PATH]");
     eprintln!("                       [--json dir] [--csv dir] [--quiet] [--cache-dir dir]");
     eprintln!("                       [--no-cache] [--progress file] [--resume]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  list             list every reproduction command");
     eprintln!("  all              run every table and figure");
-    eprintln!("  attacks list     list registered attacks (name, label)");
+    eprintln!("  attacks list     list registered attacks (name, label, params)");
     eprintln!("  defenses list    list registered defenses (name, label, side, params)");
     eprintln!("  cache <stats|gc|clear>   inspect / clean a --cache-dir");
     for cmd in PaperCommand::all() {
@@ -83,14 +85,30 @@ fn defenses_list() {
     }
 }
 
-/// `paper attacks list`: every registered attack with its table label.
+/// `paper attacks list`: every registered attack with its table label and
+/// parameter schema (the keys `--attack name:k=v,…` accepts).
 fn attacks_list() {
-    println!("{:<22} label", "name");
+    println!("{:<22} {:<14} params", "name", "label");
     for name in frs_attacks::registered_attacks() {
         let Some(factory) = frs_attacks::attack_factory(&name) else {
             continue;
         };
-        println!("{:<22} {}", name, factory.label());
+        let schema = factory.param_schema();
+        let params = if schema.is_empty() {
+            "-".to_string()
+        } else {
+            schema
+                .iter()
+                .map(|p| format!("{} ({}; default: {})", p.key, p.doc, p.default))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "{:<22} {:<14} {params}",
+            name,
+            factory.label(),
+            params = params
+        );
     }
 }
 
@@ -238,6 +256,20 @@ fn main() {
             }
         },
     };
+
+    // Validate an --attack override up front with a full try-build probe
+    // (count = 0: params are validated, no client is constructed): unknown
+    // names, typo'd keys, and mistyped/out-of-range values are all a clean
+    // exit 2 instead of a worker panic three cells into a sweep. Unlike
+    // defenses, every attack the paper CLI can sweep — the table6/table9
+    // ablation variants included — is a builtin catalog entry, so an
+    // unresolved name here is always an error.
+    if let Some(sel) = &args.attack {
+        if let Err(e) = sel.try_build_clients(&frs_attacks::AttackBuildCtx::minimal(0, 0, &[])) {
+            eprintln!("bad --attack {sel}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     // Validate a --defense override up front when the name already resolves
     // (built-ins always do): typo'd keys, mistyped values, and out-of-range

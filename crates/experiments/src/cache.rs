@@ -23,9 +23,10 @@
 //! they were built — address the same entry, and *any* config field flip
 //! addresses a different one.
 //!
-//! Defense hyper-parameters need no special handling: a `DefenseSel`
-//! carries them as a canonical params map inside the config JSON, so
-//! `ours:beta=0.5` and `ours:beta=0.6` address different entries by
+//! Attack and defense hyper-parameters need no special handling: an
+//! `AttackSel`/`DefenseSel` carries them as a canonical params map inside
+//! the config JSON, so `pieck-uea:scale=2` and `pieck-uea:scale=3` — like
+//! `ours:beta=0.5` and `ours:beta=0.6` — address different entries by
 //! construction. File-backed datasets (`--dataset file:PATH`) additionally
 //! hash the file's bytes, so editing the dump re-keys its cells.
 //!
@@ -66,7 +67,16 @@ use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 /// of the config JSON the key hashes; file-backed datasets
 /// (`DataSource::File`) additionally mix the file's SHA-256 into the
 /// payload, so a changed dump re-keys its cells.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: attack-side params parity. `AttackSel` carries a canonical params
+/// payload exactly like `DefenseSel` (so `--attack pieck-uea:scale=2`
+/// addresses its own cells by construction), the `ConfigPatch` attack knobs
+/// (`mined_top_n`, `poison_scale`) route into selection params *only when
+/// the attack's schema declares the key* (inert knob flips no longer
+/// duplicate cells), and the `table6`/`table9` ablation variants became
+/// parameterized builtins (their behaviour is now code versioned by this
+/// schema, not a runtime fingerprint).
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// The content-addressed key of one scenario: SHA-256 (hex) over a
 /// schema-version salt, the canonical config JSON, and the registered
@@ -571,6 +581,29 @@ mod tests {
         cfg.defense = DefenseSel::named("ours").with_param("beta", 0.5f32);
         assert_eq!(
             beta_half,
+            scenario_key(&cfg),
+            "construction path is irrelevant"
+        );
+    }
+
+    #[test]
+    fn attack_params_are_part_of_the_key() {
+        use frs_attacks::AttackSel;
+
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 7);
+        cfg.attack = AttackSel::named("pieck-uea");
+        let bare = scenario_key(&cfg);
+
+        cfg.attack = AttackSel::parse("pieck-uea:scale=2.0").unwrap();
+        let scale_two = scenario_key(&cfg);
+        assert_ne!(bare, scale_two, "an explicit param addresses a new cell");
+
+        cfg.attack = AttackSel::parse("pieck-uea:scale=3").unwrap();
+        assert_ne!(scale_two, scenario_key(&cfg), "param value flips re-key");
+
+        cfg.attack = AttackSel::named("pieck-uea").with_param("scale", 2.0f32);
+        assert_eq!(
+            scale_two,
             scenario_key(&cfg),
             "construction path is irrelevant"
         );

@@ -6,6 +6,7 @@
 
 use std::path::PathBuf;
 
+use frs_attacks::AttackSel;
 use frs_defense::DefenseSel;
 use frs_federation::RoundThreads;
 
@@ -28,6 +29,11 @@ pub struct CommonArgs {
     /// leases each executing cell its fair share of `--threads`; a number
     /// freezes the width. Results are identical under every setting.
     pub round_threads: RoundThreads,
+    /// Attack override (`--attack name[:k=v,…]`, e.g.
+    /// `--attack pieck-uea:scale=2.0`): collapses every sweep's attack axis
+    /// to this one selection. Probed with a full try-build at startup, so a
+    /// typo'd spec is a clean exit 2, not a mid-sweep worker panic.
+    pub attack: Option<AttackSel>,
     /// Defense override (`--defense name[:k=v,…]`, e.g.
     /// `--defense ours:beta=0.5`): collapses every sweep's defense axis to
     /// this one selection.
@@ -63,6 +69,7 @@ impl Default for CommonArgs {
             seed: 7,
             threads: default_threads(),
             round_threads: RoundThreads::default(),
+            attack: None,
             defense: None,
             dataset: None,
             json: None,
@@ -113,6 +120,11 @@ impl CommonArgs {
                         .ok_or("--round-threads needs `auto` or a count")?;
                     out.round_threads =
                         RoundThreads::parse(&v).map_err(|e| format!("bad --round-threads: {e}"))?;
+                }
+                "--attack" => {
+                    let v = iter.next().ok_or("--attack needs a name[:k=v,...] spec")?;
+                    out.attack =
+                        Some(AttackSel::parse(&v).map_err(|e| format!("bad --attack: {e}"))?);
                 }
                 "--defense" => {
                     let v = iter.next().ok_or("--defense needs a name[:k=v,...] spec")?;
@@ -165,7 +177,8 @@ impl CommonArgs {
                 eprintln!("argument error: {msg}");
                 eprintln!(
                     "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
-                     [--threads n] [--round-threads auto|n] [--defense name[:k=v,...]] \
+                     [--threads n] [--round-threads auto|n] [--attack name[:k=v,...]] \
+                     [--defense name[:k=v,...]] \
                      [--dataset ml100k|ml1m|az|file:PATH] [--json dir] [--csv dir] \
                      [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
                      [--resume] [extra...]"
@@ -188,6 +201,7 @@ impl CommonArgs {
             rounds: self.rounds,
             threads: self.threads,
             round_threads: self.round_threads,
+            attack: self.attack.clone(),
             defense: self.defense.clone(),
             dataset: self.dataset.clone(),
         }
@@ -291,6 +305,23 @@ mod tests {
 
         let a = parse(&["table4", "--cache-dir", "cache", "--no-cache"]).unwrap();
         assert!(a.no_cache);
+    }
+
+    #[test]
+    fn parses_attack_overrides() {
+        let a = parse(&["table3", "--attack", "pieck-uea:scale=2.0,top_n=20"]).unwrap();
+        let sel = a.attack.clone().unwrap();
+        assert_eq!(sel.name(), "pieck-uea");
+        assert_eq!(sel.params().get_f32("scale").unwrap(), Some(2.0));
+        assert_eq!(sel.params().get_usize("top_n").unwrap(), Some(20));
+        assert_eq!(a.run_options().attack, a.attack);
+
+        let a = parse(&["table3", "--attack", "pieck-ipe"]).unwrap();
+        assert!(a.attack.unwrap().params().is_empty());
+
+        assert!(parse(&["--attack"]).is_err());
+        assert!(parse(&["--attack", "pieck-uea:scale"]).is_err());
+        assert!(parse(&["--attack", ":scale=1"]).is_err());
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //!
 //! - [`scenario`] — one grid cell: dataset × model × attack × defense ×
 //!   hyper-parameters, run end to end into a [`scenario::ScenarioOutcome`].
-//!   Attacks are referenced by registry name ([`frs_attacks::AttackSel`]);
-//!   defenses by registry name plus a canonical params payload
-//!   ([`frs_defense::DefenseSel`], e.g. `ours:beta=0.9`) — so out-of-crate
-//!   strategies registered at runtime run through the same path as the
-//!   paper's built-ins, the paper's own defense included.
+//!   Attacks and defenses are both referenced by registry name plus a
+//!   canonical params payload ([`frs_attacks::AttackSel`], e.g.
+//!   `pieck-uea:scale=2`; [`frs_defense::DefenseSel`], e.g. `ours:beta=0.9`)
+//!   — so out-of-crate strategies registered at runtime run through the
+//!   same path as the paper's built-ins, its own attacks and defense
+//!   included.
 //! - [`suite`] — the declarative layer: a [`suite::Sweep`] names its axes
 //!   (`Sweep::over_attacks(..).over_defenses(..).over_models(..)`), an
 //!   [`suite::ExperimentSuite`] groups sweeps, expands them into a scenario

@@ -1,24 +1,24 @@
 //! One declaration per paper table/figure, consumed by the `paper` CLI.
 //!
-//! Most commands are ~20-line [`ExperimentSuite`] declarations over the
-//! sweep axes; the ablation tables (VI, IX) additionally *register ad-hoc
-//! attack factories at runtime* — the open-registry path any out-of-crate
-//! attack uses. A few figures (3, 4, 6b) and Table II need direct simulation
-//! access and build their [`Report`] by hand; every command renders through
-//! the same Markdown/CSV/JSON sinks.
+//! Every command is a declarative [`ExperimentSuite`] (or a bespoke report
+//! builder) over registry selections: the ablation tables (VI, IX) sweep
+//! the parameterized catalog entries `frs_attacks::variants` registers at
+//! startup — zero runtime `register_attack` calls, so their cells rebuild
+//! from serialized configs alone. A few figures (3, 4, 6b) and Table II
+//! need direct simulation access and build their [`Report`] by hand; every
+//! command renders through the same Markdown/CSV/JSON sinks.
 
 use std::sync::Arc;
 
-use frs_attacks::{register_attack, AttackKind, AttackSel, FnAttackFactory, ScaledClient};
+use frs_attacks::{AttackKind, AttackSel};
 use frs_data::{synth, DatasetStats};
 use frs_defense::DefenseKind;
-use frs_federation::Client;
 use frs_metrics::{
     average_recommended_popularity, catalogue_coverage, covered_users, gini_coefficient,
     pairwise_kl, recommendation_frequency, user_coverage_ratio, DeltaNormTracker,
 };
 use frs_model::{LossKind, ModelKind};
-use pieck_core::{IpeConfig, MultiTargetStrategy, PieckClient, PieckConfig, SimilarityMetric};
+use pieck_core::MultiTargetStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -304,76 +304,17 @@ fn table5() -> ExperimentSuite {
         )
 }
 
-/// Registers the Table VI L_IPE ablation variants as runtime attack
-/// factories and returns their selections — the same open-registry path an
-/// out-of-crate attack takes.
-fn register_ipe_ablations() -> Vec<AttackSel> {
-    let variants: [(&str, &str, IpeConfig); 4] = [
-        (
-            "ipe-ablation-pkl",
-            "PKL",
-            IpeConfig {
-                metric: SimilarityMetric::Kl,
-                use_rank_weights: false,
-                use_sign_partition: false,
-                lambda: 1.0,
-            },
-        ),
-        (
-            "ipe-ablation-pcos",
-            "PCOS",
-            IpeConfig {
-                metric: SimilarityMetric::Cosine,
-                use_rank_weights: false,
-                use_sign_partition: false,
-                lambda: 1.0,
-            },
-        ),
-        (
-            "ipe-ablation-pcos-k",
-            "PCOS +κ",
-            IpeConfig {
-                metric: SimilarityMetric::Cosine,
-                use_rank_weights: true,
-                use_sign_partition: false,
-                lambda: 1.0,
-            },
-        ),
-        ("ipe-ablation-full", "PCOS +κ +P±", IpeConfig::default()),
-    ];
-    variants
-        .into_iter()
-        .map(|(name, label, ipe)| {
-            // The fingerprint bakes the closed-over ablation parameters into
-            // suite cache keys, so editing a variant here re-keys its cells
-            // even though the registry name stays the same.
-            let fingerprint = format!("{ipe:?}");
-            register_attack(FnAttackFactory::fingerprinted(
-                name,
-                label,
-                fingerprint,
-                move |ctx| {
-                    (0..ctx.count)
-                        .map(|i| {
-                            let mut pieck = PieckConfig::ipe(ctx.targets.to_vec());
-                            pieck.variant = pieck_core::PieckVariant::Ipe(ipe.clone());
-                            pieck.top_n = ctx.mined_top_n;
-                            let client: Box<dyn Client> =
-                                Box::new(PieckClient::new(ctx.first_id + i, pieck));
-                            Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(2.0))
-                                as Box<dyn Client>
-                        })
-                        .collect()
-                },
-            ));
-            AttackSel::named(name)
-        })
-        .collect()
-}
-
 /// Table VI: L_IPE ablation (left) and L_def ablation (right).
 fn table6() -> ExperimentSuite {
-    let ablation_attacks = register_ipe_ablations();
+    // The ablation rows are builtin parameterized catalog entries
+    // (`frs_attacks::variants::IpeAblation`), not runtime registrations.
+    let ablation_attacks = [
+        "ipe-ablation-pkl",
+        "ipe-ablation-pcos",
+        "ipe-ablation-pcos-k",
+        "ipe-ablation-full",
+    ]
+    .map(AttackSel::named);
     let def_variants =
         [(false, false), (true, false), (false, true), (true, true)].map(|(re1, re2)| {
             ConfigPatch {
@@ -439,48 +380,17 @@ fn table7() -> ExperimentSuite {
     )
 }
 
-/// Registers PIECK variants pinned to a multi-target strategy and returns
-/// their selections (Table IX rows).
-fn register_multi_target(strategy: MultiTargetStrategy) -> Vec<AttackSel> {
-    // Explicit registry suffixes: these are stable keys (saved suite JSON
-    // references them), so they must not track the enum's Debug format.
+/// The Table IX rows: builtin catalog entries pinning PIECK to a
+/// multi-target strategy (`frs_attacks::variants::MultiTargetPieck`), with
+/// the paper's per-solution mined-set sizes as their `top_n` defaults.
+fn multi_target_attacks(strategy: MultiTargetStrategy) -> Vec<AttackSel> {
     let suffix = match strategy {
         MultiTargetStrategy::TrainTogether => "together",
         MultiTargetStrategy::TrainOneThenCopy => "copy",
     };
-    [(AttackKind::PieckIpe, 10usize), (AttackKind::PieckUea, 30)]
+    ["pieck-ipe", "pieck-uea"]
         .into_iter()
-        .map(|(kind, top_n)| {
-            let uea = kind == AttackKind::PieckUea;
-            let name = format!("{}-{suffix}", kind.name());
-            register_attack(FnAttackFactory::fingerprinted(
-                name.clone(),
-                kind.label(),
-                format!("strategy={suffix} top_n={top_n}"),
-                move |ctx| {
-                    (0..ctx.count)
-                        .map(|i| {
-                            let mut pieck = if uea {
-                                PieckConfig::uea(ctx.targets.to_vec())
-                            } else {
-                                PieckConfig::ipe(ctx.targets.to_vec())
-                            };
-                            pieck.multi_target = strategy;
-                            pieck.top_n = top_n;
-                            let client: Box<dyn Client> =
-                                Box::new(PieckClient::new(ctx.first_id + i, pieck));
-                            if uea {
-                                client
-                            } else {
-                                Box::new(ScaledClient::new(client, ctx.poison_scale).with_cap(2.0))
-                                    as Box<dyn Client>
-                            }
-                        })
-                        .collect()
-                },
-            ));
-            AttackSel::named(name)
-        })
+        .map(|base| AttackSel::named(format!("{base}-{suffix}")))
         .collect()
 }
 
@@ -504,7 +414,7 @@ fn table9() -> ExperimentSuite {
     ] {
         suite = suite.sweep(
             Sweep::new(format!("{strategy:?}"), format!("{strategy:?}"))
-                .over_attacks(register_multi_target(strategy))
+                .over_attacks(multi_target_attacks(strategy))
                 .over_variants(target_variants.clone()),
         );
     }
@@ -987,13 +897,24 @@ mod tests {
     }
 
     #[test]
-    fn ablation_factories_register_on_declaration() {
-        let _ = table6();
+    fn ablation_attacks_are_builtin_catalog_entries() {
+        // The names resolve from a cold registry, *before* any suite is
+        // declared: table6/table9 perform zero runtime registrations.
         assert!(frs_attacks::attack_factory("ipe-ablation-pkl").is_some());
         assert!(frs_attacks::attack_factory("ipe-ablation-full").is_some());
-        let _ = table9();
         assert!(frs_attacks::attack_factory("pieck-uea-copy").is_some());
         assert!(frs_attacks::attack_factory("pieck-ipe-together").is_some());
+        // And every cell the ablation suites materialize builds cleanly
+        // from its serialized config alone.
+        for suite in [table6(), table9()] {
+            for cell in suite.cells(&RunOptions::default()) {
+                let ctx = cell.config.attack_ctx(0, 0, &[]);
+                cell.config
+                    .attack
+                    .try_build_clients(&ctx)
+                    .unwrap_or_else(|e| panic!("{}: {e}", cell.config.attack));
+            }
+        }
     }
 
     #[test]

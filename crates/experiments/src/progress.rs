@@ -40,6 +40,9 @@ pub struct CellEvent {
     pub dataset: String,
     pub model: String,
     pub attack: String,
+    /// Canonical attack parameter overrides in CLI form (`scale=2,top_n=20`;
+    /// empty when the selection carries none).
+    pub attack_params: String,
     pub defense: String,
     /// Canonical defense parameter overrides in CLI form (`beta=0.9,re2=false`;
     /// empty when the selection carries none).
@@ -217,6 +220,7 @@ mod tests {
             dataset: "ml100k".into(),
             model: "MF".into(),
             attack: "PIECK-UEA".into(),
+            attack_params: "scale=2".into(),
             defense: "ours".into(),
             defense_params: "beta=0.5".into(),
             variant: String::new(),

@@ -25,7 +25,10 @@ pub struct ScenarioConfig {
     pub dataset: DatasetSpec,
     pub model: ModelConfig,
     pub federation: FederationConfig,
-    /// Attack, referenced by registry name (see `frs_attacks::registry`).
+    /// Attack, referenced by registry name plus a canonical parameter
+    /// payload (see `frs_attacks::registry` — e.g. `pieck-uea:scale=2`).
+    /// Attack hyper-parameter *overrides* live here; `mined_top_n` /
+    /// `poison_scale` below stay the scenario-level defaults.
     pub attack: AttackSel,
     /// Defense, referenced by registry name plus a canonical parameter
     /// payload (see `frs_defense::registry` — e.g. `ours:beta=0.9`). All
@@ -135,7 +138,10 @@ impl ScenarioConfig {
     }
 
     /// The registry context used to instantiate this scenario's attack for
-    /// `count` clients starting at `first_id`.
+    /// `count` clients starting at `first_id`: the scenario-level defaults
+    /// (mined `N`, poison scale) that selection params override, plus the
+    /// model family, embedding dimension, spec-declared dataset sizes, and
+    /// root seed an attack may condition on.
     pub fn attack_ctx<'a>(
         &self,
         first_id: usize,
@@ -149,6 +155,10 @@ impl ScenarioConfig {
             mined_top_n: self.mined_top_n,
             poison_scale: self.poison_scale,
             seed: self.federation.seed,
+            model: self.model.kind,
+            embedding_dim: self.model.embedding_dim,
+            n_items: self.dataset.n_items,
+            n_users: self.dataset.n_users,
         }
     }
 }

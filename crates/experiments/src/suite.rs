@@ -53,8 +53,11 @@ pub struct ConfigPatch {
     pub rounds: Option<usize>,
     pub eval_k: Option<usize>,
     pub n_targets: Option<usize>,
-    /// Overrides the mined popular-set size for every attack (the per-attack
-    /// default policy lives on the sweep).
+    /// Overrides the mined popular-set size `N` — written into the cell's
+    /// attack/defense selection params (`top_n`), and only for the sides
+    /// whose schema declares the key, so an inert flip (e.g. on a
+    /// NoAttack × NoDefense cell) does not duplicate cache cells. The
+    /// per-attack default policy lives on the sweep.
     pub mined_top_n: Option<usize>,
     pub malicious_ratio: Option<f64>,
     pub negative_ratio: Option<usize>,
@@ -63,6 +66,13 @@ pub struct ConfigPatch {
     pub client_lr_cycle: Option<(f32, f32)>,
     pub users_per_round: Option<usize>,
     pub trend_every: Option<usize>,
+    /// Overrides the poison-upload scale — written into the cell's attack
+    /// selection params (`scale`), and only when the attack's schema
+    /// declares the key (the no-attack baseline skips it instead of
+    /// duplicating cache cells). Knobs are never silently inert: PIECK-UEA
+    /// declares `scale` as an explicit-only parameter, so patching this
+    /// field *applies* to UEA cells (pre-params-parity it was ignored there
+    /// while still re-keying the cell).
     pub poison_scale: Option<f32>,
     pub norm_bound_threshold: Option<f32>,
     /// `Ours`-defense ablation switches and weights (Table VI right),
@@ -95,9 +105,6 @@ impl ConfigPatch {
         if let Some(v) = self.n_targets {
             cfg.n_targets = v;
         }
-        if let Some(v) = self.mined_top_n {
-            cfg.mined_top_n = v;
-        }
         if let Some(v) = self.malicious_ratio {
             cfg.malicious_ratio = v;
         }
@@ -119,11 +126,29 @@ impl ConfigPatch {
         if let Some(v) = self.trend_every {
             cfg.trend_every = v;
         }
-        if let Some(v) = self.poison_scale {
-            cfg.poison_scale = v;
-        }
         if let Some(v) = self.norm_bound_threshold {
             cfg.norm_bound_threshold = v;
+        }
+        // Attack hyper-parameters route through the selection's canonical
+        // params payload, mirroring the defense knobs below: a key is
+        // applied only when the cell's resolved attack declares it, so an
+        // inert knob flip (poison scale on the no-attack baseline, mined N
+        // on a mining-free attack) cannot re-key — and thereby duplicate —
+        // cache cells whose outcome it cannot change. (Unresolved names
+        // accept everything; the build still rejects strays.)
+        let attack_accepts = |cfg: &ScenarioConfig, key: &str| match cfg.attack.resolve() {
+            Some(factory) => factory.param_schema().iter().any(|spec| spec.key == key),
+            None => true,
+        };
+        if let Some(v) = self.mined_top_n {
+            if attack_accepts(cfg, "top_n") {
+                cfg.attack.set_param("top_n", v);
+            }
+        }
+        if let Some(v) = self.poison_scale {
+            if attack_accepts(cfg, "scale") {
+                cfg.attack.set_param("scale", v);
+            }
         }
         // Defense hyper-parameters route through the selection's canonical
         // params payload — the registry API every defense (the paper's
@@ -157,6 +182,14 @@ impl ConfigPatch {
                 cfg.defense.set_param("gamma", v);
             }
         }
+        // The mined-N override is shared: the paper's defense mines with
+        // the same `N` as the attacker (Section V-B), so a defense whose
+        // schema declares `top_n` receives the override too.
+        if let Some(v) = self.mined_top_n {
+            if accepts(cfg, "top_n") {
+                cfg.defense.set_param("top_n", v);
+            }
+        }
     }
 }
 
@@ -179,6 +212,10 @@ pub struct RunOptions {
     /// freezes the width. Execution-only: outcomes, reports, and cache keys
     /// are identical under every policy.
     pub round_threads: RoundThreads,
+    /// When set, collapses every sweep's attack axis to this single
+    /// (possibly parameterized) selection — the CLI's
+    /// `--attack name[:k=v,…]` override.
+    pub attack: Option<AttackSel>,
     /// When set, collapses every sweep's defense axis to this single
     /// (possibly parameterized) selection — the CLI's
     /// `--defense name[:k=v,…]` override.
@@ -196,6 +233,7 @@ impl Default for RunOptions {
             rounds: None,
             threads: default_threads(),
             round_threads: RoundThreads::default(),
+            attack: None,
             defense: None,
             dataset: None,
         }
@@ -328,12 +366,16 @@ impl Sweep {
 
     /// Expands the axes into fully materialized cells, in deterministic
     /// dataset → model → variant → attack → defense order. The run-level
-    /// `--defense` / `--dataset` overrides (when set) collapse their axis
-    /// to the single overriding value.
+    /// `--attack` / `--defense` / `--dataset` overrides (when set) collapse
+    /// their axis to the single overriding value.
     pub fn expand(&self, opts: &RunOptions) -> Vec<Cell> {
         let datasets: Vec<PaperDataset> = match &opts.dataset {
             Some(d) => vec![d.clone()],
             None => self.datasets.clone(),
+        };
+        let attacks: Vec<AttackSel> = match &opts.attack {
+            Some(a) => vec![a.clone()],
+            None => self.attacks.clone(),
         };
         let defenses: Vec<DefenseSel> = match &opts.defense {
             Some(d) => vec![d.clone()],
@@ -343,7 +385,7 @@ impl Sweep {
         for dataset in &datasets {
             for &model in &self.models {
                 for variant in &self.variants {
-                    for attack in &self.attacks {
+                    for attack in &attacks {
                         for defense in &defenses {
                             let mut config =
                                 paper_scenario(dataset.clone(), model, opts.scale, opts.seed);
@@ -531,9 +573,10 @@ impl ExperimentSuite {
                             dataset: cell.dataset.name(),
                             model: cell.model.label().to_string(),
                             attack: cell.attack.label(),
-                            defense: cell.defense.label(),
                             // From the materialized config, not the axis
                             // selection: variant patches write params too.
+                            attack_params: cell.config.attack.params().to_string(),
+                            defense: cell.defense.label(),
                             defense_params: cell.config.defense.params().to_string(),
                             variant: cell.variant.clone(),
                             rounds: cell.config.rounds,
@@ -965,6 +1008,38 @@ mod tests {
         // patch, not carried on the axis selection.
         assert_eq!(events[0].defense_params, "re2=false");
         assert_eq!(events[0].defense, "ours");
+    }
+
+    #[test]
+    fn events_report_variant_applied_attack_params() {
+        use crate::progress::MemorySink;
+
+        let suite = ExperimentSuite::new("atk-params", "Attack params").sweep(
+            Sweep::new("s", "S")
+                .over_attacks([AttackKind::PieckIpe])
+                .over_variants([ConfigPatch {
+                    label: "strong".into(),
+                    poison_scale: Some(2.5),
+                    ..ConfigPatch::default()
+                }]),
+        );
+        let sink = MemorySink::new();
+        suite
+            .run_with(
+                &tiny_opts(),
+                &ExecOptions {
+                    cache: None,
+                    sink: Some(&sink),
+                    budget: None,
+                },
+            )
+            .unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        // The params the cell actually ran with — written by the variant
+        // patch into the selection, not carried on the axis.
+        assert_eq!(events[0].attack_params, "scale=2.5");
+        assert_eq!(events[0].attack, "PIECK-IPE");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod budget;
 pub mod client;
 pub mod config;
 pub mod context;
+pub mod params;
 pub mod pool;
 pub mod server;
 pub mod stats;
@@ -39,5 +40,6 @@ pub use budget::{CoreBudget, CoreLease};
 pub use client::{BenignClient, Client, LocalRegularizer};
 pub use config::{FederationConfig, RoundThreads};
 pub use context::RoundContext;
+pub use params::{ParamSpec, ParamValue, Params};
 pub use server::{Simulation, SimulationBuilder};
 pub use stats::{RoundStats, TrainingStats};

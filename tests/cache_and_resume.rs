@@ -64,11 +64,6 @@ fn every_config_patch_field_flip_changes_the_key() {
             ..ConfigPatch::default()
         },
         ConfigPatch {
-            label: "mined_top_n".into(),
-            mined_top_n: Some(17),
-            ..ConfigPatch::default()
-        },
-        ConfigPatch {
             label: "malicious_ratio".into(),
             malicious_ratio: Some(0.11),
             ..ConfigPatch::default()
@@ -101,11 +96,6 @@ fn every_config_patch_field_flip_changes_the_key() {
         ConfigPatch {
             label: "trend_every".into(),
             trend_every: Some(5),
-            ..ConfigPatch::default()
-        },
-        ConfigPatch {
-            label: "poison_scale".into(),
-            poison_scale: Some(3.5),
             ..ConfigPatch::default()
         },
         ConfigPatch {
@@ -179,6 +169,53 @@ fn every_config_patch_field_flip_changes_the_key() {
         base_key,
         "re1 on NoDefense is skipped, so the key must not move"
     );
+
+    // The attack knobs mirror the defense hardening: they write into the
+    // attack selection's params payload, re-keying cells whose attack
+    // declares the key…
+    let ipe_base = {
+        let mut cfg = base_config();
+        cfg.attack = AttackKind::PieckIpe.into();
+        cfg
+    };
+    let ipe_key = scenario_key(&ipe_base);
+    keys.push(ipe_key.clone());
+    let attack_flips: Vec<ConfigPatch> = vec![
+        ConfigPatch {
+            label: "mined_top_n".into(),
+            mined_top_n: Some(17),
+            ..ConfigPatch::default()
+        },
+        ConfigPatch {
+            label: "poison_scale".into(),
+            poison_scale: Some(3.5),
+            ..ConfigPatch::default()
+        },
+    ];
+    for patch in &attack_flips {
+        let mut cfg = ipe_base.clone();
+        patch.apply(&mut cfg);
+        let key = scenario_key(&cfg);
+        assert_ne!(
+            key, ipe_key,
+            "flipping `{}` on pieck-ipe must change the cache key",
+            patch.label
+        );
+        keys.push(key);
+    }
+    // …and are inert on the no-attack baseline (regression: these knobs
+    // used to re-key — and thereby duplicate — every cell, including ones
+    // whose attack ignores them).
+    for patch in &attack_flips {
+        let mut cfg = base_config();
+        patch.apply(&mut cfg);
+        assert_eq!(
+            scenario_key(&cfg),
+            base_key,
+            "`{}` on NoAttack is skipped, so the key must not move",
+            patch.label
+        );
+    }
     // All flips address distinct cells (no accidental collisions/aliasing).
     let mut sorted = keys.clone();
     sorted.sort();
