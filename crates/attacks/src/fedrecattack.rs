@@ -12,6 +12,7 @@ use frs_linalg::{sigmoid, vector};
 use frs_model::{GlobalGradients, GlobalModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use frs_federation::{Client, RoundContext};
 
@@ -111,6 +112,26 @@ impl Client for FedRecAttack {
         }
         upload
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        FedRecState {
+            approx_users: self.approx_users.clone(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let state = FedRecState::from_value(state).map_err(|e| e.to_string())?;
+        self.approx_users = state.approx_users;
+        Ok(())
+    }
+}
+
+/// Serialized mutable state of a [`FedRecAttack`]: the fitted user
+/// approximations (empty until first unmasked round).
+#[derive(Serialize, Deserialize)]
+struct FedRecState {
+    approx_users: Vec<Vec<f32>>,
 }
 
 #[cfg(test)]

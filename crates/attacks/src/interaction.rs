@@ -12,6 +12,7 @@ use frs_linalg::{sigmoid, vector};
 use frs_model::{GlobalGradients, GlobalModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use frs_federation::{Client, RoundContext};
 
@@ -91,6 +92,29 @@ impl InteractionAttack {
         }
         upload
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        InteractionState {
+            round_counter: self.round_counter,
+            persistent_users: self.persistent_users.clone(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let state = InteractionState::from_value(state).map_err(|e| e.to_string())?;
+        self.round_counter = state.round_counter;
+        self.persistent_users = state.persistent_users;
+        Ok(())
+    }
+}
+
+/// Serialized mutable state of an [`InteractionAttack`]: the per-round RNG
+/// offset plus A-HUM's frozen hard-user audience.
+#[derive(Serialize, Deserialize)]
+struct InteractionState {
+    round_counter: u64,
+    persistent_users: Option<Vec<Vec<f32>>>,
 }
 
 /// A-RA: random user approximation (interaction-function poisoning).
@@ -128,6 +152,14 @@ impl Client for ARaClient {
 
     fn local_round(&mut self, _ctx: &RoundContext, model: &GlobalModel) -> GlobalGradients {
         self.inner.poison(model)
+    }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.inner.restore_state(state)
     }
 }
 
@@ -177,6 +209,14 @@ impl Client for AHumClient {
 
     fn local_round(&mut self, _ctx: &RoundContext, model: &GlobalModel) -> GlobalGradients {
         self.inner.poison(model)
+    }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.inner.restore_state(state)
     }
 }
 

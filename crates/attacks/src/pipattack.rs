@@ -13,6 +13,7 @@ use frs_linalg::{sigmoid, vector};
 use frs_model::{GlobalGradients, GlobalModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use frs_federation::{Client, RoundContext};
 
@@ -133,6 +134,37 @@ impl Client for PipAttack {
         }
         upload
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        PipState {
+            popular_labels: self.popular_labels.clone(),
+            classifier: self.classifier.clone(),
+            classifier_bias: self.classifier_bias,
+            approx_users: self.approx_users.clone(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let state = PipState::from_value(state).map_err(|e| e.to_string())?;
+        self.popular_labels = state.popular_labels;
+        self.classifier = state.classifier;
+        self.classifier_bias = state.classifier_bias;
+        self.approx_users = state.approx_users;
+        Ok(())
+    }
+}
+
+/// Serialized mutable state of a [`PipAttack`]: the (possibly randomly
+/// drawn) labels, the trained popularity estimator, and the approximated
+/// users. All are lazily initialized, so an early checkpoint round-trips
+/// them empty and the restored client re-initializes identically.
+#[derive(Serialize, Deserialize)]
+struct PipState {
+    popular_labels: Option<Vec<bool>>,
+    classifier: Vec<f32>,
+    classifier_bias: f32,
+    approx_users: Vec<Vec<f32>>,
 }
 
 #[cfg(test)]

@@ -73,6 +73,14 @@ impl Client for ScaledClient {
     fn user_embedding(&self) -> Option<&[f32]> {
         self.inner.user_embedding()
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.inner.restore_state(state)
+    }
 }
 
 #[cfg(test)]

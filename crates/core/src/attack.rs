@@ -106,6 +106,14 @@ impl Client for PieckClient {
         }
         upload
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.miner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.miner.restore_state(state)
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,14 @@ impl LocalRegularizer for PieckDefense {
     fn name(&self) -> &'static str {
         "ours"
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.miner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.miner.restore_state(state)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 use frs_linalg::Matrix;
 use frs_model::GlobalModel;
+use serde::{Deserialize, Serialize, Value};
 
 /// Incremental Δ-Norm miner (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -95,6 +96,40 @@ impl PopularItemMiner {
     pub fn top_n(&self) -> usize {
         self.top_n
     }
+
+    /// Serializes the miner's mutable progress (the last model snapshot,
+    /// accumulated Δ-Norms, and the frozen set once mined) for mid-scenario
+    /// checkpointing. The configuration (`R̃`, `N`) is rebuilt from the
+    /// scenario, not persisted.
+    pub fn checkpoint_state(&self) -> Value {
+        MinerState {
+            previous: self.previous.clone(),
+            accumulated: self.accumulated.clone(),
+            transitions_seen: self.transitions_seen,
+            mined: self.mined.clone(),
+        }
+        .to_value()
+    }
+
+    /// Overlays progress captured by [`Self::checkpoint_state`] onto a
+    /// freshly configured miner.
+    pub fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        let state = MinerState::from_value(state).map_err(|e| e.to_string())?;
+        self.previous = state.previous;
+        self.accumulated = state.accumulated;
+        self.transitions_seen = state.transitions_seen;
+        self.mined = state.mined;
+        Ok(())
+    }
+}
+
+/// Serialized mutable state of a [`PopularItemMiner`].
+#[derive(Serialize, Deserialize)]
+struct MinerState {
+    previous: Option<Matrix>,
+    accumulated: Vec<f32>,
+    transitions_seen: usize,
+    mined: Option<Vec<u32>>,
 }
 
 /// Precision of a mined set against ground-truth popularity: the fraction of
@@ -206,5 +241,49 @@ mod tests {
     #[should_panic(expected = "R̃ must be ≥ 1")]
     fn zero_mining_rounds_rejected() {
         PopularItemMiner::new(0, 5);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_mid_mining_continues_identically() {
+        let mut reference = PopularItemMiner::new(2, 2);
+        let mut model = model_with_items(8);
+        reference.observe(&model);
+        shift_item(&mut model, 6, 1.0);
+        reference.observe(&model); // 1 of 2 transitions: mid-mining state
+
+        // Snapshot, restore onto a freshly configured miner.
+        let state = reference.checkpoint_state();
+        let mut restored = PopularItemMiner::new(2, 2);
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.transitions_seen(), 1);
+        assert!(!restored.is_complete());
+
+        // Both continue with the same observation and freeze the same set.
+        shift_item(&mut model, 6, 1.0);
+        shift_item(&mut model, 2, 0.4);
+        assert!(reference.observe(&model));
+        assert!(restored.observe(&model));
+        assert_eq!(reference.mined(), restored.mined());
+        assert_eq!(reference.accumulated(), restored.accumulated());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_after_completion_keeps_frozen_set() {
+        let mut miner = PopularItemMiner::new(1, 1);
+        let mut model = model_with_items(5);
+        miner.observe(&model);
+        shift_item(&mut model, 3, 1.0);
+        miner.observe(&model);
+        let state = miner.checkpoint_state();
+        let mut restored = PopularItemMiner::new(1, 1);
+        restored.restore_state(&state).unwrap();
+        assert!(restored.is_complete());
+        assert_eq!(restored.mined(), miner.mined());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let mut miner = PopularItemMiner::new(1, 1);
+        assert!(miner.restore_state(&Value::Bool(true)).is_err());
     }
 }

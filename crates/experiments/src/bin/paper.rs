@@ -5,7 +5,8 @@
 //! paper <command> [operands] [--scale f] [--rounds n] [--seed s] [--full]
 //!                 [--threads n] [--round-threads auto|n] [--json dir]
 //!                 [--csv dir] [--quiet] [--cache-dir dir] [--no-cache]
-//!                 [--progress file] [--resume]
+//!                 [--progress file] [--resume] [--checkpoint-every n]
+//!                 [--dry-run]
 //!
 //! paper list                 # available commands
 //! paper table4 --scale 0.25  # Table IV at quarter scale
@@ -46,6 +47,7 @@ fn print_usage() {
     eprintln!("                       [--dataset name|file:PATH]");
     eprintln!("                       [--json dir] [--csv dir] [--quiet] [--cache-dir dir]");
     eprintln!("                       [--no-cache] [--progress file] [--resume]");
+    eprintln!("                       [--checkpoint-every n] [--dry-run]");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  list             list every reproduction command");
@@ -53,6 +55,7 @@ fn print_usage() {
     eprintln!("  attacks list     list registered attacks (name, label, params)");
     eprintln!("  defenses list    list registered defenses (name, label, side, params)");
     eprintln!("  cache <stats|gc|clear>   inspect / clean a --cache-dir");
+    eprintln!("  serve [mf|ncf]   top-K query daemon (--socket path, trains while serving)");
     for cmd in PaperCommand::all() {
         eprintln!("  {:<16} {}", cmd.name(), cmd.description());
     }
@@ -139,6 +142,12 @@ fn emit(report: &Report, args: &CommonArgs) {
 fn run_or_exit(cmd: PaperCommand, args: &CommonArgs, exec: &ExecOptions<'_>) -> Report {
     cmd.run(args, exec).unwrap_or_else(|msg| {
         eprintln!("paper {}: {msg}", cmd.name());
+        // A suite aborted by SIGINT/SIGTERM is a clean checkpoint-and-stop,
+        // not an argument error: exit with the conventional interrupt code
+        // so wrappers (CI, shell scripts) can tell the two apart.
+        if frs_experiments::shutdown::requested() {
+            std::process::exit(frs_experiments::shutdown::EXIT_INTERRUPTED);
+        }
         std::process::exit(2);
     })
 }
@@ -168,13 +177,15 @@ fn cache_command(args: &CommonArgs) {
         "stats" => match cache.stats() {
             Ok(stats) => {
                 println!(
-                    "cache {}: {} entries ({} live, {} stale, {} corrupt), {} bytes",
+                    "cache {}: {} files ({} live, {} stale, {} corrupt, {} checkpoints), {} bytes ({} in checkpoints)",
                     dir.display(),
                     stats.files(),
                     stats.live,
                     stats.stale,
                     stats.corrupt,
-                    stats.total_bytes
+                    stats.checkpoints,
+                    stats.total_bytes,
+                    stats.checkpoint_bytes
                 );
             }
             Err(e) => {
@@ -182,10 +193,33 @@ fn cache_command(args: &CommonArgs) {
                 std::process::exit(1);
             }
         },
+        "gc" | "clear" if args.dry_run => match cache.gc_plan(action == "clear") {
+            Ok(plan) => {
+                for doomed in &plan {
+                    println!(
+                        "would remove {} ({} bytes): {}",
+                        doomed.path.display(),
+                        doomed.bytes,
+                        doomed.reason
+                    );
+                }
+                let bytes: u64 = plan.iter().map(|d| d.bytes).sum();
+                println!(
+                    "cache {}: would remove {} files, reclaim {} bytes",
+                    dir.display(),
+                    plan.len(),
+                    bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("paper cache {action}: {e}");
+                std::process::exit(1);
+            }
+        },
         "gc" | "clear" => match cache.gc(action == "clear") {
             Ok(gc) => {
                 println!(
-                    "cache {}: removed {} entries, reclaimed {} bytes",
+                    "cache {}: removed {} files, reclaimed {} bytes",
                     dir.display(),
                     gc.removed,
                     gc.reclaimed_bytes
@@ -199,6 +233,81 @@ fn cache_command(args: &CommonArgs) {
         other => {
             eprintln!("paper cache: unknown action `{other}`; use stats|gc|clear");
             std::process::exit(2);
+        }
+    }
+}
+
+/// `paper serve [mf|ncf] --socket path.sock [--dataset d] [--cache-dir dir]
+/// [--checkpoint-every n] [--rounds n] [--scale f] [--seed s] [--attack a]
+/// [--defense d]`: train (or resume) one scenario while answering top-K
+/// queries on a Unix socket, until SIGINT/SIGTERM.
+fn serve_command(args: &CommonArgs) -> ! {
+    let Some(socket) = &args.socket else {
+        eprintln!("paper serve: needs --socket PATH");
+        std::process::exit(2);
+    };
+    let kind = match args.positional.get(1).map(String::as_str) {
+        None | Some("mf") => frs_model::ModelKind::Mf,
+        Some("ncf") => frs_model::ModelKind::Ncf,
+        Some(other) => {
+            eprintln!("paper serve: unknown model `{other}`; use mf|ncf");
+            std::process::exit(2);
+        }
+    };
+    let dataset = args
+        .dataset
+        .clone()
+        .unwrap_or(frs_experiments::PaperDataset::Ml100k);
+    let mut cfg = frs_experiments::paper_scenario(dataset, kind, args.scale, args.seed);
+    cfg.rounds = args.rounds_or(cfg.rounds);
+    if let Some(attack) = &args.attack {
+        cfg.attack = attack.clone();
+    }
+    if let Some(defense) = &args.defense {
+        cfg.defense = defense.clone();
+    }
+    cfg.federation.round_threads = args.round_threads;
+
+    let cache = match (&args.cache_dir, args.no_cache) {
+        (Some(dir), false) => Some(SuiteCache::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open cache dir {}: {e}", dir.display());
+            std::process::exit(1);
+        })),
+        _ => None,
+    };
+    // Serve is always interruptible: the whole point of the daemon is that
+    // Ctrl-C drains queries and leaves a resumable checkpoint behind.
+    frs_experiments::shutdown::install_handlers();
+    let budget = CoreBudget::new(args.threads);
+    eprintln!(
+        "paper serve: {} rounds on {}, socket {}",
+        cfg.rounds,
+        cfg.dataset.name,
+        socket.display()
+    );
+    match frs_experiments::serve_scenario(
+        &cfg,
+        socket,
+        cache.as_ref(),
+        args.checkpoint_every,
+        &budget,
+    ) {
+        Ok(summary) => {
+            eprintln!(
+                "paper serve: stopped at round {}/{} ({} queries served{})",
+                summary.rounds_done,
+                summary.target_rounds,
+                summary.queries_served,
+                match summary.resumed_from {
+                    Some(round) => format!(", resumed from round {round}"),
+                    None => String::new(),
+                }
+            );
+            std::process::exit(frs_experiments::shutdown::EXIT_INTERRUPTED);
+        }
+        Err(msg) => {
+            eprintln!("paper serve: {msg}");
+            std::process::exit(1);
         }
     }
 }
@@ -246,6 +355,7 @@ fn main() {
             cache_command(&args);
             return;
         }
+        "serve" => serve_command(&args),
         "all" => Invocation::All,
         name => match PaperCommand::from_name(name) {
             Some(cmd) => Invocation::One(cmd),
@@ -324,12 +434,18 @@ fn main() {
     // through the same ledger, so their combined fan-out never oversubscribes
     // the `--threads` grant.
     let budget = CoreBudget::new(args.threads);
+    // Checkpointed runs trade default kill-me-now signal semantics for
+    // checkpoint-and-exit-130; plain runs keep the default.
+    if args.checkpoint_every > 0 {
+        frs_experiments::shutdown::install_handlers();
+    }
     let exec = ExecOptions {
         cache: cache.as_ref(),
         sink: sink
             .as_ref()
             .map(|s| s as &dyn frs_experiments::ProgressSink),
         budget: Some(&budget),
+        checkpoint_every: args.checkpoint_every,
     };
 
     match invocation {

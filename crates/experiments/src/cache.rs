@@ -50,7 +50,7 @@ use std::{fs, io};
 
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{ScenarioConfig, ScenarioOutcome};
+use crate::scenario::{ScenarioCheckpoint, ScenarioConfig, ScenarioOutcome};
 
 /// Bump whenever the meaning of a config field, the outcome layout, or the
 /// simulation semantics change: the version salts every key, so old entries
@@ -76,7 +76,15 @@ use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 /// duplicate cells), and the `table6`/`table9` ablation variants became
 /// parameterized builtins (their behaviour is now code versioned by this
 /// schema, not a runtime fingerprint).
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: mid-run checkpoint sidecars (`<key>.ckpt.json`, see
+/// [`SuiteCache::store_checkpoint`]) joined the cache's file namespace, and
+/// every client gained `checkpoint_state`/`restore_state` hooks the round
+/// loop now drives. Entries predating the hooks were produced by a code
+/// path this schema no longer runs, so the bump re-keys them — and a
+/// checkpoint sidecar alone can never forge a warm cell: only a completed
+/// run writes `<key>.json`.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// The content-addressed key of one scenario: SHA-256 (hex) over a
 /// schema-version salt, the canonical config JSON, and the registered
@@ -155,12 +163,24 @@ struct CacheEntry {
     outcome: ScenarioOutcome,
 }
 
+/// One persisted mid-run checkpoint sidecar, written next to the entry it
+/// will eventually become (`<key>.ckpt.json` beside `<key>.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointFile {
+    /// Schema the checkpoint was written under; mismatches read as misses.
+    schema: u32,
+    /// Echo of the file's key, guarding against renamed/copied files.
+    key: String,
+    checkpoint: ScenarioCheckpoint,
+}
+
 /// Aggregate statistics over a cache directory (`paper cache stats`).
 ///
 /// Only files matching the cache's own naming scheme (`<64-hex>.json`
-/// entries and `.<64-hex>.tmp.*` temp leftovers) are counted — anything
-/// else in the directory is foreign and left strictly alone, so sharing a
-/// directory with report sinks cannot lose data to `gc`/`clear`.
+/// entries, `<64-hex>.ckpt.json` checkpoint sidecars, and
+/// `.<64-hex>[.ckpt].tmp.*` temp leftovers) are counted — anything else in
+/// the directory is foreign and left strictly alone, so sharing a directory
+/// with report sinks cannot lose data to `gc`/`clear`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Entries readable under the current schema.
@@ -169,6 +189,12 @@ pub struct CacheStats {
     pub stale: usize,
     /// Unreadable/torn entry files and leftover temp files.
     pub corrupt: usize,
+    /// Checkpoint sidecars readable under the current schema (resumable
+    /// partially-trained cells). Stale/corrupt sidecars count under
+    /// `stale`/`corrupt` like entries.
+    pub checkpoints: usize,
+    /// Bytes across all checkpoint sidecars (readable or not).
+    pub checkpoint_bytes: u64,
     /// Total bytes across all cache-owned files.
     pub total_bytes: u64,
 }
@@ -176,7 +202,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// All files the stats cover.
     pub fn files(&self) -> usize {
-        self.live + self.stale + self.corrupt
+        self.live + self.stale + self.corrupt + self.checkpoints
     }
 }
 
@@ -187,6 +213,15 @@ pub struct GcOutcome {
     pub removed: usize,
     /// Bytes reclaimed.
     pub reclaimed_bytes: u64,
+}
+
+/// One file [`SuiteCache::gc`] would remove (`paper cache gc --dry-run`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoomedFile {
+    pub path: PathBuf,
+    pub bytes: u64,
+    /// Why it is collectable (e.g. `"stale schema"`, `"orphaned checkpoint"`).
+    pub reason: &'static str,
 }
 
 /// A content-addressed store of scenario outcomes, one JSON file per key.
@@ -221,6 +256,29 @@ impl SuiteCache {
         self.dir.join(format!("{key}.json"))
     }
 
+    fn checkpoint_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt.json"))
+    }
+
+    /// Atomic write shared by [`SuiteCache::store`] and
+    /// [`SuiteCache::store_checkpoint`]: a unique temp file in the cache's
+    /// own namespace, then a rename onto `target`.
+    fn write_atomic(&self, tmp_tag: &str, target: &Path, text: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!(
+            ".{tmp_tag}.tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, text)?;
+        match fs::rename(&tmp, target) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
     /// Looks up the outcome stored under `key`. Missing, torn, schema-stale,
     /// or mis-keyed entries all read as `None` — a miss is always safe, the
     /// caller just recomputes.
@@ -245,24 +303,47 @@ impl SuiteCache {
         };
         let text = serde_json::to_string(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tmp = self.dir.join(format!(
-            ".{key}.tmp.{}.{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&tmp, text)?;
-        match fs::rename(&tmp, self.entry_path(key)) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                Err(e)
-            }
+        self.write_atomic(key, &self.entry_path(key), &text)
+    }
+
+    /// Looks up the mid-run checkpoint stored beside `key`'s entry slot.
+    /// Missing, torn, schema-stale, or mis-keyed sidecars all read as
+    /// `None` — the cell simply recomputes from round zero.
+    pub fn load_checkpoint(&self, key: &str) -> Option<ScenarioCheckpoint> {
+        let text = fs::read_to_string(self.checkpoint_path(key)).ok()?;
+        let file: CheckpointFile = serde_json::from_str(&text).ok()?;
+        if file.schema != CACHE_SCHEMA_VERSION || file.key != key {
+            return None;
+        }
+        Some(file.checkpoint)
+    }
+
+    /// Persists a mid-run checkpoint under `key` atomically. Overwrites any
+    /// previous checkpoint for the key — only the latest round matters.
+    pub fn store_checkpoint(&self, key: &str, checkpoint: &ScenarioCheckpoint) -> io::Result<()> {
+        let file = CheckpointFile {
+            schema: CACHE_SCHEMA_VERSION,
+            key: key.to_string(),
+            checkpoint: checkpoint.clone(),
+        };
+        let text = serde_json::to_string(&file)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.write_atomic(&format!("{key}.ckpt"), &self.checkpoint_path(key), &text)
+    }
+
+    /// Removes `key`'s checkpoint sidecar (a completed cell no longer needs
+    /// one). Returns whether a file was actually deleted.
+    pub fn remove_checkpoint(&self, key: &str) -> io::Result<bool> {
+        match fs::remove_file(self.checkpoint_path(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
         }
     }
 
     /// Classifies every cache-owned file in the directory (foreign files —
-    /// anything not named like an entry or one of our temp files — are
-    /// invisible to stats and untouchable by [`SuiteCache::gc`]).
+    /// anything not named like an entry, checkpoint, or one of our temp
+    /// files — are invisible to stats and untouchable by [`SuiteCache::gc`]).
     pub fn stats(&self) -> io::Result<CacheStats> {
         let mut stats = CacheStats::default();
         for (path, bytes, kind) in self.owned_files()? {
@@ -274,32 +355,89 @@ impl SuiteCache {
                     EntryState::Stale => stats.stale += 1,
                     EntryState::Corrupt => stats.corrupt += 1,
                 },
+                FileKind::Checkpoint => {
+                    stats.checkpoint_bytes += bytes;
+                    match Self::classify_checkpoint(&path) {
+                        EntryState::Live => stats.checkpoints += 1,
+                        EntryState::Stale => stats.stale += 1,
+                        EntryState::Corrupt => stats.corrupt += 1,
+                    }
+                }
             }
         }
         Ok(stats)
     }
 
-    /// Removes schema-stale and corrupt entries plus leftover temp files;
-    /// with `everything`, removes live entries too (`paper cache clear`).
-    /// Foreign files sharing the directory are never touched.
+    /// Everything a `gc(everything)` sweep would remove right now, with a
+    /// per-file reason — the `paper cache gc --dry-run` listing. Checkpoint
+    /// policy: stale/corrupt sidecars go like entries; a readable sidecar is
+    /// *orphaned* (and collected) once its cell has a live finished entry,
+    /// and *expired* (collected) once older than a week — a resume that
+    /// stale is a rerun in disguise. Fresh resumable checkpoints survive.
+    pub fn gc_plan(&self, everything: bool) -> io::Result<Vec<DoomedFile>> {
+        let mut doomed = Vec::new();
+        for (path, bytes, kind) in self.owned_files()? {
+            let reason = match kind {
+                FileKind::Temp => Some("leftover temp file"),
+                FileKind::Entry => {
+                    if everything {
+                        Some("clear")
+                    } else {
+                        match Self::classify(&path) {
+                            EntryState::Live => None,
+                            EntryState::Stale => Some("stale schema"),
+                            EntryState::Corrupt => Some("corrupt entry"),
+                        }
+                    }
+                }
+                FileKind::Checkpoint => {
+                    if everything {
+                        Some("clear")
+                    } else {
+                        match Self::classify_checkpoint(&path) {
+                            EntryState::Stale => Some("stale schema"),
+                            EntryState::Corrupt => Some("corrupt checkpoint"),
+                            EntryState::Live => {
+                                let entry = entry_path_of_checkpoint(&path);
+                                if Self::classify(&entry) == EntryState::Live {
+                                    Some("orphaned checkpoint (cell finished)")
+                                } else if file_older_than(&path, CHECKPOINT_EXPIRY_AGE) {
+                                    Some("expired checkpoint")
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some(reason) = reason {
+                doomed.push(DoomedFile {
+                    path,
+                    bytes,
+                    reason,
+                });
+            }
+        }
+        Ok(doomed)
+    }
+
+    /// Removes schema-stale and corrupt entries, leftover temp files, and
+    /// orphaned/expired checkpoint sidecars (see [`SuiteCache::gc_plan`]);
+    /// with `everything`, removes live entries and checkpoints too (`paper
+    /// cache clear`). Foreign files sharing the directory are never touched.
     pub fn gc(&self, everything: bool) -> io::Result<GcOutcome> {
         let mut out = GcOutcome::default();
-        for (path, bytes, kind) in self.owned_files()? {
-            let doomed = match kind {
-                FileKind::Temp => true,
-                FileKind::Entry => everything || Self::classify(&path) != EntryState::Live,
-            };
-            if doomed {
-                match fs::remove_file(&path) {
-                    Ok(()) => {
-                        out.removed += 1;
-                        out.reclaimed_bytes += bytes;
-                    }
-                    // A concurrent gc/clear (or external cleanup) already
-                    // removed it — the goal state is reached either way.
-                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                    Err(e) => return Err(e),
+        for file in self.gc_plan(everything)? {
+            match fs::remove_file(&file.path) {
+                Ok(()) => {
+                    out.removed += 1;
+                    out.reclaimed_bytes += file.bytes;
                 }
+                // A concurrent gc/clear (or external cleanup) already
+                // removed it — the goal state is reached either way.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
             }
         }
         Ok(out)
@@ -326,13 +464,19 @@ impl SuiteCache {
         Ok(files)
     }
 
-    /// `Some(Entry)` for `<64-hex>.json`, `Some(Temp)` for our
-    /// `.<64-hex>.tmp.*` writer leftovers, `None` for foreign files.
+    /// `Some(Entry)` for `<64-hex>.json`, `Some(Checkpoint)` for
+    /// `<64-hex>.ckpt.json`, `Some(Temp)` for our `.<64-hex>[.ckpt].tmp.*`
+    /// writer leftovers, `None` for foreign files.
     fn file_kind(path: &Path) -> Option<FileKind> {
         let name = path.file_name()?.to_str()?;
         if let Some(stem) = name.strip_suffix(".json") {
             if is_hex_key(stem) {
                 return Some(FileKind::Entry);
+            }
+            if let Some(key) = stem.strip_suffix(".ckpt") {
+                if is_hex_key(key) {
+                    return Some(FileKind::Checkpoint);
+                }
             }
         }
         // Byte-wise: foreign dotfile names may not have a char boundary at
@@ -343,7 +487,9 @@ impl SuiteCache {
                 && bytes[..64]
                     .iter()
                     .all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'));
-            if key_is_hex && bytes[64..].starts_with(b".tmp.") {
+            if key_is_hex
+                && (bytes[64..].starts_with(b".tmp.") || bytes[64..].starts_with(b".ckpt.tmp."))
+            {
                 return Some(FileKind::Temp);
             }
         }
@@ -365,6 +511,37 @@ impl SuiteCache {
             Err(_) => EntryState::Corrupt,
         }
     }
+
+    fn classify_checkpoint(path: &Path) -> EntryState {
+        // `<key>.ckpt.json` → file_stem is `<key>.ckpt`; the echo check
+        // compares against the bare key.
+        let key = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_suffix(".ckpt"));
+        let Some(key) = key else {
+            return EntryState::Corrupt;
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return EntryState::Corrupt;
+        };
+        match serde_json::from_str::<CheckpointFile>(&text) {
+            Ok(file) if file.schema == CACHE_SCHEMA_VERSION && file.key == key => EntryState::Live,
+            Ok(_) => EntryState::Stale,
+            Err(_) => EntryState::Corrupt,
+        }
+    }
+}
+
+/// `<dir>/<key>.ckpt.json` → `<dir>/<key>.json` (the entry the checkpoint
+/// would have become).
+fn entry_path_of_checkpoint(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    let key = name.strip_suffix(".ckpt.json").unwrap_or(name);
+    path.with_file_name(format!("{key}.json"))
 }
 
 /// True for a 64-char lowercase-hex cache key.
@@ -382,16 +559,28 @@ const TEMP_LEFTOVER_AGE: Duration = Duration::from_secs(3600);
 /// Unreadable or future mtimes read as "maybe in flight": never delete
 /// what might still be renamed.
 fn temp_is_leftover(path: &Path) -> bool {
+    file_older_than(path, TEMP_LEFTOVER_AGE)
+}
+
+/// Checkpoints this much older than their last write are expired for `gc`:
+/// nobody resumes a week-dead run, and the cells they'd resume into have
+/// likely been re-keyed by code changes anyway.
+const CHECKPOINT_EXPIRY_AGE: Duration = Duration::from_secs(7 * 24 * 3600);
+
+/// Whether `path`'s mtime is at least `age` in the past. Unreadable or
+/// future mtimes read as "young": never delete what might still be in use.
+fn file_older_than(path: &Path, age: Duration) -> bool {
     fs::metadata(path)
         .and_then(|meta| meta.modified())
         .ok()
         .and_then(|modified| modified.elapsed().ok())
-        .is_some_and(|age| age >= TEMP_LEFTOVER_AGE)
+        .is_some_and(|elapsed| elapsed >= age)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FileKind {
     Entry,
+    Checkpoint,
     Temp,
 }
 
@@ -828,6 +1017,179 @@ mod tests {
         assert_eq!((stats.live, stats.stale, stats.corrupt), (0, 0, 1));
         assert_eq!(cache.gc(false).unwrap().removed, 1);
         assert!(!tmp_path.exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    fn sample_checkpoint(round: usize) -> ScenarioCheckpoint {
+        use frs_model::ModelConfig;
+        let mut rng = frs_linalg::SeedStream::new(7).rng("ckpt-test", 0);
+        ScenarioCheckpoint {
+            trend: vec![TrendPoint {
+                round: 5,
+                er: 1.5,
+                hr: 2.5,
+            }],
+            sim: frs_federation::SimulationCheckpoint {
+                format: frs_federation::CHECKPOINT_FORMAT_VERSION,
+                round,
+                model: frs_model::GlobalModel::new(&ModelConfig::mf(4), 8, &mut rng),
+                stats: Default::default(),
+                clients: vec![serde::Value::Null; 3],
+                aggregator: serde::Value::Null,
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_load_remove_round_trips() {
+        let cache = temp_cache("ckpt-roundtrip");
+        let key = "a".repeat(64);
+        assert!(cache.load_checkpoint(&key).is_none());
+        cache.store_checkpoint(&key, &sample_checkpoint(5)).unwrap();
+        let back = cache.load_checkpoint(&key).unwrap();
+        assert_eq!(back.sim.round, 5);
+        assert_eq!(back.trend.len(), 1);
+        assert_eq!(back.trend[0].er, 1.5);
+        // A checkpoint sidecar must never read as a finished cell.
+        assert!(cache.load(&key).is_none());
+
+        // Overwrites keep only the latest round.
+        cache.store_checkpoint(&key, &sample_checkpoint(9)).unwrap();
+        assert_eq!(cache.load_checkpoint(&key).unwrap().sim.round, 9);
+
+        assert!(cache.remove_checkpoint(&key).unwrap());
+        assert!(!cache.remove_checkpoint(&key).unwrap(), "already gone");
+        assert!(cache.load_checkpoint(&key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn torn_or_miskeyed_checkpoints_read_as_misses() {
+        let cache = temp_cache("ckpt-misses");
+        let key = "b".repeat(64);
+        fs::write(cache.checkpoint_path(&key), "{ torn").unwrap();
+        assert!(cache.load_checkpoint(&key).is_none());
+
+        // A valid sidecar copied under another key's name misses too.
+        cache.store_checkpoint(&key, &sample_checkpoint(3)).unwrap();
+        let other = "c".repeat(64);
+        fs::copy(cache.checkpoint_path(&key), cache.checkpoint_path(&other)).unwrap();
+        assert!(cache.load_checkpoint(&other).is_none());
+        assert!(cache.load_checkpoint(&key).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_report_checkpoints_beside_entries() {
+        let cache = temp_cache("ckpt-stats");
+        cache.store(&"d".repeat(64), &sample_outcome()).unwrap();
+        cache
+            .store_checkpoint(&"e".repeat(64), &sample_checkpoint(2))
+            .unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.checkpoints), (1, 1));
+        assert_eq!(stats.files(), 2);
+        assert!(stats.checkpoint_bytes > 0);
+        assert!(stats.total_bytes > stats.checkpoint_bytes);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_keeps_fresh_resumable_checkpoints() {
+        // A checkpoint whose cell has no finished entry is a resumable run
+        // in flight — gc must leave it; only clear takes it.
+        let cache = temp_cache("ckpt-keep");
+        let key = "d".repeat(64);
+        cache.store_checkpoint(&key, &sample_checkpoint(4)).unwrap();
+        assert_eq!(cache.gc(false).unwrap().removed, 0);
+        assert!(cache.load_checkpoint(&key).is_some());
+        assert_eq!(cache.gc(true).unwrap().removed, 1);
+        assert!(cache.load_checkpoint(&key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_collects_orphaned_corrupt_and_expired_checkpoints() {
+        let cache = temp_cache("ckpt-gc");
+        // Orphaned: the cell finished (live entry), the sidecar lingers.
+        let done = "d".repeat(64);
+        cache.store(&done, &sample_outcome()).unwrap();
+        cache
+            .store_checkpoint(&done, &sample_checkpoint(6))
+            .unwrap();
+        // Corrupt sidecar.
+        let torn = "e".repeat(64);
+        fs::write(cache.checkpoint_path(&torn), "{ torn").unwrap();
+        // Expired: resumable, but a week stale.
+        let old_key = "f".repeat(64);
+        cache
+            .store_checkpoint(&old_key, &sample_checkpoint(1))
+            .unwrap();
+        let old = std::time::SystemTime::now() - CHECKPOINT_EXPIRY_AGE - Duration::from_secs(60);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(cache.checkpoint_path(&old_key))
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+
+        let plan = cache.gc_plan(false).unwrap();
+        let mut reasons: Vec<&str> = plan.iter().map(|d| d.reason).collect();
+        reasons.sort_unstable();
+        assert_eq!(
+            reasons,
+            [
+                "corrupt checkpoint",
+                "expired checkpoint",
+                "orphaned checkpoint (cell finished)",
+            ]
+        );
+
+        let gc = cache.gc(false).unwrap();
+        assert_eq!(gc.removed, 3);
+        assert!(gc.reclaimed_bytes > 0);
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.live, stats.checkpoints, stats.corrupt), (1, 0, 0));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_plan_is_a_dry_run() {
+        let cache = temp_cache("ckpt-plan");
+        let key = "a".repeat(64);
+        cache.store(&key, &sample_outcome()).unwrap();
+        cache.store_checkpoint(&key, &sample_checkpoint(2)).unwrap();
+        let plan = cache.gc_plan(true).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|d| d.reason == "clear"));
+        // Nothing was touched.
+        assert!(cache.load(&key).is_some());
+        assert!(cache.load_checkpoint(&key).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn checkpoint_temp_files_are_recognized_leftovers() {
+        let cache = temp_cache("ckpt-tmp");
+        let tmp = cache
+            .dir()
+            .join(format!(".{}.ckpt.tmp.999.0", "b".repeat(64)));
+        fs::write(&tmp, "{\"half\":").unwrap();
+        // Fresh: invisible (could be a concurrent writer).
+        assert_eq!(cache.gc(true).unwrap().removed, 0);
+        assert!(tmp.exists());
+        let old = std::time::SystemTime::now() - Duration::from_secs(2 * 3600);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&tmp)
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        let plan = cache.gc_plan(false).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].reason, "leftover temp file");
+        assert_eq!(cache.gc(false).unwrap().removed, 1);
+        assert!(!tmp.exists());
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -55,8 +55,19 @@ pub struct CommonArgs {
     /// (`--progress run.jsonl`).
     pub progress: Option<PathBuf>,
     /// Resume an interrupted run: requires `--cache-dir` (finished cells
-    /// replay as hits) and appends to `--progress` instead of truncating.
+    /// replay as hits, partially-trained cells continue from their
+    /// checkpoint) and appends to `--progress` instead of truncating.
     pub resume: bool,
+    /// Write a mid-run checkpoint every N rounds (`--checkpoint-every N`;
+    /// 0 = disabled). Requires `--cache-dir`: checkpoints live beside the
+    /// cell entries they resume into. Also arms the SIGINT/SIGTERM
+    /// final-checkpoint-then-exit-130 path.
+    pub checkpoint_every: usize,
+    /// `paper cache gc --dry-run`: list what gc would remove, remove nothing.
+    pub dry_run: bool,
+    /// Unix socket path the `paper serve` daemon listens on
+    /// (`--socket run.sock`).
+    pub socket: Option<PathBuf>,
     /// Remaining positional arguments (subcommand + operands).
     pub positional: Vec<String>,
 }
@@ -79,6 +90,9 @@ impl Default for CommonArgs {
             no_cache: false,
             progress: None,
             resume: false,
+            checkpoint_every: 0,
+            dry_run: false,
+            socket: None,
             positional: Vec::new(),
         }
     }
@@ -158,12 +172,33 @@ impl CommonArgs {
                     out.progress = Some(PathBuf::from(v));
                 }
                 "--resume" => out.resume = true,
+                "--checkpoint-every" => {
+                    let v = iter
+                        .next()
+                        .ok_or("--checkpoint-every needs a round count")?;
+                    out.checkpoint_every = v
+                        .parse()
+                        .map_err(|_| format!("bad --checkpoint-every: {v}"))?;
+                    if out.checkpoint_every == 0 {
+                        return Err("--checkpoint-every must be ≥ 1".into());
+                    }
+                }
+                "--dry-run" => out.dry_run = true,
+                "--socket" => {
+                    let v = iter.next().ok_or("--socket needs a path")?;
+                    out.socket = Some(PathBuf::from(v));
+                }
                 other => out.positional.push(other.to_string()),
             }
         }
         if out.resume && (out.cache_dir.is_none() || out.no_cache) {
             return Err("--resume needs --cache-dir (and no --no-cache): \
                         resuming replays finished cells from the cache"
+                .into());
+        }
+        if out.checkpoint_every > 0 && (out.cache_dir.is_none() || out.no_cache) {
+            return Err("--checkpoint-every needs --cache-dir (and no --no-cache): \
+                        checkpoints live beside their cell's cache entry"
                 .into());
         }
         Ok(out)
@@ -181,7 +216,8 @@ impl CommonArgs {
                      [--defense name[:k=v,...]] \
                      [--dataset ml100k|ml1m|az|file:PATH] [--json dir] [--csv dir] \
                      [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
-                     [--resume] [extra...]"
+                     [--resume] [--checkpoint-every n] [--dry-run] [--socket path] \
+                     [extra...]"
                 );
                 std::process::exit(2);
             }
@@ -356,5 +392,35 @@ mod tests {
         assert!(parse(&["--resume", "--cache-dir", "c"]).is_ok());
         assert!(parse(&["--cache-dir"]).is_err());
         assert!(parse(&["--progress"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_every_requires_a_usable_cache() {
+        let a = parse(&["table5", "--checkpoint-every", "25", "--cache-dir", "c"]).unwrap();
+        assert_eq!(a.checkpoint_every, 25);
+        assert!(parse(&["--checkpoint-every", "25"]).is_err());
+        assert!(parse(&["--checkpoint-every", "25", "--cache-dir", "c", "--no-cache"]).is_err());
+        assert!(parse(&["--checkpoint-every", "0", "--cache-dir", "c"]).is_err());
+        assert!(parse(&["--checkpoint-every"]).is_err());
+        assert!(parse(&["--checkpoint-every", "x", "--cache-dir", "c"]).is_err());
+        assert_eq!(parse(&["table5"]).unwrap().checkpoint_every, 0);
+    }
+
+    #[test]
+    fn socket_parses() {
+        let a = parse(&["serve", "--socket", "run.sock"]).unwrap();
+        assert_eq!(a.socket.as_deref(), Some(std::path::Path::new("run.sock")));
+        assert!(parse(&["serve", "--socket"]).is_err());
+        assert!(parse(&["serve"]).unwrap().socket.is_none());
+    }
+
+    #[test]
+    fn dry_run_parses() {
+        assert!(
+            parse(&["cache", "gc", "--dry-run", "--cache-dir", "c"])
+                .unwrap()
+                .dry_run
+        );
+        assert!(!parse(&["cache", "gc"]).unwrap().dry_run);
     }
 }

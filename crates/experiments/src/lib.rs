@@ -38,14 +38,21 @@ pub mod presets;
 pub mod progress;
 pub mod report;
 pub mod scenario;
+pub mod serve;
+pub mod shutdown;
 pub mod suite;
 
-pub use cache::{scenario_key, CacheStats, GcOutcome, SuiteCache, CACHE_SCHEMA_VERSION};
+pub use cache::{
+    scenario_key, CacheStats, DoomedFile, GcOutcome, SuiteCache, CACHE_SCHEMA_VERSION,
+};
 pub use cli::CommonArgs;
 pub use presets::{paper_scenario, PaperDataset};
 pub use progress::{CellEvent, JsonlSink, MemorySink, ProgressSink, SuiteAborted};
 pub use report::{Report, ReportFormat, Table};
-pub use scenario::{run, ScenarioConfig, ScenarioOutcome};
+pub use scenario::{
+    run, CheckpointCtl, Interrupted, ScenarioCheckpoint, ScenarioConfig, ScenarioOutcome,
+};
+pub use serve::{serve_scenario, ServeSummary};
 pub use suite::{
     Axis, Cell, CellResult, ConfigPatch, ExecOptions, ExperimentSuite, RunOptions, SuiteResult,
     Sweep, SweepResult,

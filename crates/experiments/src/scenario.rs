@@ -171,6 +171,35 @@ pub struct TrendPoint {
     pub hr: f64,
 }
 
+/// A mid-run snapshot of one scenario: the simulation's mutable state plus
+/// the trend points already sampled. The trend rides along because a
+/// resumed run must reproduce the uninterrupted run's report byte for byte
+/// — re-deriving pre-checkpoint trend points would need the rounds that
+/// produced them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioCheckpoint {
+    pub trend: Vec<TrendPoint>,
+    pub sim: frs_federation::SimulationCheckpoint,
+}
+
+/// Where and how often a checkpointed run persists its state: a
+/// [`SuiteCache`](crate::cache::SuiteCache) slot (`<key>.ckpt.json` beside
+/// the cell's eventual entry) written every `every` completed rounds, plus
+/// on a shutdown request.
+#[derive(Clone, Copy)]
+pub struct CheckpointCtl<'a> {
+    pub cache: &'a crate::cache::SuiteCache,
+    pub key: &'a str,
+    /// Rounds between periodic checkpoints (≥ 1; shutdown always snapshots).
+    pub every: usize,
+}
+
+/// A checkpointed run stopped early by a shutdown request
+/// ([`crate::shutdown::requested`]). Its latest state is on disk; re-running
+/// the same cell with the same [`CheckpointCtl`] continues from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
 /// Results of one scenario run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
@@ -316,6 +345,23 @@ pub fn run_leased(cfg: &ScenarioConfig, lease: Option<CoreLease>) -> ScenarioOut
     })
 }
 
+/// Like [`run_leased`], with mid-run checkpointing: an existing checkpoint
+/// for `ctl.key` is restored (skipping the rounds it covers), the state is
+/// re-persisted every `ctl.every` completed rounds and on a shutdown
+/// request, and a completed run removes its checkpoint. Restored runs are
+/// byte-identical to uninterrupted ones (`tests/checkpointing.rs`).
+pub fn run_checkpointed(
+    cfg: &ScenarioConfig,
+    lease: Option<CoreLease>,
+    ctl: &CheckpointCtl<'_>,
+) -> Result<ScenarioOutcome, Interrupted> {
+    let (_full, split, targets) = build_world(cfg);
+    let train = Arc::new(split.train.clone());
+    let mut sim = build_simulation(cfg, Arc::clone(&train), &targets);
+    sim.set_core_lease(lease);
+    finish_run_ctl(cfg, &mut sim, &split, &train, targets, Some(ctl))
+}
+
 /// Shared tail of a scenario run: the round loop, trend sampling, and the
 /// final evaluation.
 fn finish_run(
@@ -325,28 +371,83 @@ fn finish_run(
     train: &Arc<Dataset>,
     targets: Vec<u32>,
 ) -> ScenarioOutcome {
+    finish_run_ctl(cfg, sim, split, train, targets, None)
+        .expect("a run without checkpointing cannot be interrupted")
+}
+
+/// [`finish_run`] with optional checkpointing. Without a [`CheckpointCtl`]
+/// this is infallible (shutdown requests are only honoured where a
+/// checkpoint can make the stop resumable).
+fn finish_run_ctl(
+    cfg: &ScenarioConfig,
+    sim: &mut Simulation,
+    split: &TrainTestSplit,
+    train: &Arc<Dataset>,
+    targets: Vec<u32>,
+    ctl: Option<&CheckpointCtl<'_>>,
+) -> Result<ScenarioOutcome, Interrupted> {
     let benign = sim.benign_ids();
 
     let mut trend = Vec::new();
-    for r in 0..cfg.rounds {
+    let mut start = 0;
+    if let Some(ctl) = ctl {
+        if let Some(ckpt) = ctl.cache.load_checkpoint(ctl.key) {
+            if ckpt.sim.round <= cfg.rounds {
+                match sim.restore_checkpoint(&ckpt.sim) {
+                    Ok(()) => {
+                        start = ckpt.sim.round;
+                        trend = ckpt.trend;
+                    }
+                    // A checkpoint that no longer matches the rebuilt world
+                    // (e.g. hand-copied between cache dirs) is a miss, not
+                    // an abort: recompute from round zero.
+                    Err(e) => eprintln!("ignoring checkpoint for {}: {e}", ctl.key),
+                }
+            }
+        }
+    }
+
+    for r in start..cfg.rounds {
         sim.run_round();
-        if cfg.trend_every > 0 && (r + 1) % cfg.trend_every == 0 {
+        let done = r + 1;
+        if cfg.trend_every > 0 && done % cfg.trend_every == 0 {
             let embs = sim.user_embeddings();
             let er =
                 ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
             let hr = QualityReport::compute(sim.model(), &embs, &benign, split, cfg.eval_k);
             trend.push(TrendPoint {
-                round: r + 1,
+                round: done,
                 er: er.mean_percent(),
                 hr: hr.hr_percent(),
             });
+        }
+        if let Some(ctl) = ctl {
+            let interrupted = done < cfg.rounds && crate::shutdown::requested();
+            let due = ctl.every > 0 && done % ctl.every == 0 && done < cfg.rounds;
+            if due || interrupted {
+                let ckpt = ScenarioCheckpoint {
+                    trend: trend.clone(),
+                    sim: sim.capture_checkpoint(),
+                };
+                if let Err(e) = ctl.cache.store_checkpoint(ctl.key, &ckpt) {
+                    eprintln!("checkpoint write failed for {}: {e}", ctl.key);
+                }
+            }
+            if interrupted {
+                return Err(Interrupted);
+            }
         }
     }
 
     let embs = sim.user_embeddings();
     let er = ExposureReport::compute(sim.model(), &embs, &benign, train, &targets, cfg.eval_k);
     let hr = QualityReport::compute(sim.model(), &embs, &benign, split, cfg.eval_k);
-    ScenarioOutcome {
+    if let Some(ctl) = ctl {
+        // The finished outcome supersedes the sidecar; a failed removal is
+        // garbage for `gc`, never a correctness problem.
+        let _ = ctl.cache.remove_checkpoint(ctl.key);
+    }
+    Ok(ScenarioOutcome {
         er_percent: er.mean_percent(),
         hr_percent: hr.hr_percent(),
         ndcg: hr.ndcg,
@@ -355,7 +456,7 @@ fn finish_run(
         total_upload_bytes: sim.stats().total_upload_bytes,
         max_round_threads: sim.stats().max_round_threads,
         trend,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -458,6 +559,131 @@ mod tests {
         assert!(pos("attack") < pos("defense") && pos("defense") < pos("rounds"));
         let back: ScenarioConfig = serde_json::from_str(&canonical).unwrap();
         assert_eq!(back.canonical_json(), canonical);
+    }
+
+    fn temp_cache(tag: &str) -> crate::cache::SuiteCache {
+        let dir =
+            std::env::temp_dir().join(format!("frs-scenario-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::cache::SuiteCache::open(dir).unwrap()
+    }
+
+    fn assert_same_outcome(a: &ScenarioOutcome, b: &ScenarioOutcome) {
+        assert_eq!(a.er_percent, b.er_percent);
+        assert_eq!(a.hr_percent, b.hr_percent);
+        assert_eq!(a.ndcg, b.ndcg);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.total_upload_bytes, b.total_upload_bytes);
+        assert_eq!(a.trend.len(), b.trend.len());
+        for (x, y) in a.trend.iter().zip(&b.trend) {
+            assert_eq!((x.round, x.er, x.hr), (y.round, y.er, y.hr));
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let _guard = crate::shutdown::test_lock();
+        crate::shutdown::reset();
+        let mut cfg = tiny_cfg(AttackKind::PieckIpe, "ours");
+        cfg.rounds = 12;
+        cfg.trend_every = 5;
+        let plain = run(&cfg);
+
+        let cache = temp_cache("match");
+        let key = crate::cache::scenario_key(&cfg);
+        let ctl = CheckpointCtl {
+            cache: &cache,
+            key: &key,
+            every: 4,
+        };
+        let checkpointed = run_checkpointed(&cfg, None, &ctl).unwrap();
+        assert_same_outcome(&plain, &checkpointed);
+        assert!(
+            cache.load_checkpoint(&key).is_none(),
+            "completion removes the sidecar"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn run_interrupted_at_every_round_still_matches() {
+        // The harshest kill schedule: with a shutdown permanently requested,
+        // each call completes exactly one round, checkpoints, and stops —
+        // so the run is interrupted and resumed at *every* round boundary.
+        // The stitched-together outcome must match an uninterrupted run
+        // exactly, stateful attack (pieck-ipe mining) and defense included.
+        let _guard = crate::shutdown::test_lock();
+        let mut cfg = tiny_cfg(AttackKind::PieckIpe, "ours");
+        cfg.rounds = 10;
+        cfg.trend_every = 3;
+        crate::shutdown::reset();
+        let plain = run(&cfg);
+
+        let cache = temp_cache("everyround");
+        let key = crate::cache::scenario_key(&cfg);
+        let ctl = CheckpointCtl {
+            cache: &cache,
+            key: &key,
+            every: 0,
+        };
+        crate::shutdown::trigger();
+        let mut stops = 0;
+        let resumed = loop {
+            match run_checkpointed(&cfg, None, &ctl) {
+                Ok(outcome) => break outcome,
+                Err(Interrupted) => {
+                    stops += 1;
+                    assert!(
+                        cache.load_checkpoint(&key).is_some(),
+                        "an interrupt leaves a resumable checkpoint"
+                    );
+                    assert!(stops <= cfg.rounds, "no forward progress");
+                }
+            }
+        };
+        crate::shutdown::reset();
+        assert_eq!(stops, cfg.rounds - 1, "one round per interrupted call");
+        assert_same_outcome(&plain, &resumed);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mismatched_checkpoint_downgrades_to_recompute() {
+        let _guard = crate::shutdown::test_lock();
+        crate::shutdown::reset();
+        let mut cfg = tiny_cfg(AttackKind::NoAttack, "none");
+        cfg.rounds = 6;
+        let plain = run(&cfg);
+
+        let cache = temp_cache("mismatch");
+        let key = crate::cache::scenario_key(&cfg);
+        // A checkpoint for a different population (hand-copied between
+        // dirs, or a code change that re-sized the world): restore fails
+        // validation and the run recomputes from round zero.
+        let mut other = cfg.clone();
+        other.dataset.n_users /= 2;
+        let (_full, split, targets) = build_world(&other);
+        let train = Arc::new(split.train.clone());
+        let mut sim = build_simulation(&other, Arc::clone(&train), &targets);
+        sim.run_round();
+        cache
+            .store_checkpoint(
+                &key,
+                &ScenarioCheckpoint {
+                    trend: Vec::new(),
+                    sim: sim.capture_checkpoint(),
+                },
+            )
+            .unwrap();
+
+        let ctl = CheckpointCtl {
+            cache: &cache,
+            key: &key,
+            every: 3,
+        };
+        let out = run_checkpointed(&cfg, None, &ctl).unwrap();
+        assert_same_outcome(&plain, &out);
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! `paper serve`: train (or resume) one scenario while answering top-K
+//! recommendation queries on a Unix socket.
+//!
+//! This is the orchestration between the experiment layer and the
+//! [`frs_serve`] subsystem: build the scenario's world, restore any cache
+//! checkpoint for its key, publish a model [`Snapshot`] at every round
+//! boundary, and keep the daemon answering until a SIGINT/SIGTERM. The
+//! trainer and the daemon each hold a [`CoreBudget`] lease, so query
+//! handling and intra-round client fan-out split the `--threads` grant
+//! fairly rather than oversubscribing the machine.
+//!
+//! Lifecycle:
+//!
+//! 1. Socket opens immediately — queries are answerable from the restored
+//!    round (or round zero) onward, concurrently with training.
+//! 2. Every round publishes a fresh snapshot; with `--checkpoint-every N`
+//!    the run also persists a [`ScenarioCheckpoint`] every N rounds.
+//! 3. A shutdown request mid-training writes a final checkpoint, drains
+//!    in-flight queries, and returns; re-running the same command resumes
+//!    where it stopped.
+//! 4. A run that trains to completion keeps serving (and keeps its final
+//!    checkpoint on disk as the serving artifact — `cache gc` leaves
+//!    fresh checkpoints alone) until a shutdown request arrives.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use frs_federation::CoreBudget;
+use frs_serve::{Snapshot, SnapshotCell};
+
+use crate::cache::{scenario_key, SuiteCache};
+use crate::scenario::{build_simulation, build_world, ScenarioCheckpoint, ScenarioConfig};
+use crate::shutdown;
+
+/// How the serve loop idles between shutdown-flag polls once training is
+/// done (or while draining).
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// What a serve session did, for the CLI's exit report.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Rounds completed when the session ended.
+    pub rounds_done: usize,
+    /// The scenario's configured round target.
+    pub target_rounds: usize,
+    /// Round the session resumed from (`None` = fresh start).
+    pub resumed_from: Option<usize>,
+    /// Top-K queries answered over the session.
+    pub queries_served: u64,
+    /// Whether a shutdown request stopped training before the target.
+    pub interrupted: bool,
+}
+
+/// Runs the serve session: trains `cfg` toward its round target (resuming
+/// from a cache checkpoint when one exists), serving top-K queries on
+/// `socket` the whole time, until a [`shutdown`] request. See the module
+/// docs for the lifecycle. Blocks until shutdown; returns the session
+/// summary after the daemon has drained.
+pub fn serve_scenario(
+    cfg: &ScenarioConfig,
+    socket: &Path,
+    cache: Option<&SuiteCache>,
+    checkpoint_every: usize,
+    budget: &CoreBudget,
+) -> Result<ServeSummary, String> {
+    // Serve sessions never sample trend points, and their checkpoints carry
+    // an empty trend — sharing a cache key with a trend-sampling run would
+    // let a resumed report silently miss its early points.
+    if cfg.trend_every != 0 {
+        return Err("serve requires trend_every = 0 (trend sampling is a report feature)".into());
+    }
+    let key = scenario_key(cfg);
+    let (_full, split, targets) = build_world(cfg);
+    let train = Arc::new(split.train.clone());
+    let mut sim = build_simulation(cfg, Arc::clone(&train), &targets);
+
+    let mut start = 0;
+    if let Some(cache) = cache {
+        if let Some(ckpt) = cache.load_checkpoint(&key) {
+            if ckpt.sim.round <= cfg.rounds {
+                match sim.restore_checkpoint(&ckpt.sim) {
+                    Ok(()) => start = ckpt.sim.round,
+                    Err(e) => eprintln!("ignoring checkpoint for {key}: {e}"),
+                }
+            }
+        }
+    }
+    let resumed_from = (start > 0).then_some(start);
+
+    let snapshot_now = |sim: &frs_federation::Simulation, round: usize| {
+        Snapshot::new(
+            round,
+            round >= cfg.rounds,
+            sim.model().clone(),
+            sim.user_embeddings(),
+            Arc::clone(&train),
+        )
+    };
+    let cell = Arc::new(SnapshotCell::new(snapshot_now(&sim, start)));
+    let server = frs_serve::spawn(socket, Arc::clone(&cell), budget.lease())
+        .map_err(|e| format!("cannot serve on {}: {e}", socket.display()))?;
+
+    sim.set_core_lease(Some(budget.lease()));
+    let store_checkpoint = |sim: &frs_federation::Simulation| {
+        if let Some(cache) = cache {
+            let ckpt = ScenarioCheckpoint {
+                trend: Vec::new(),
+                sim: sim.capture_checkpoint(),
+            };
+            if let Err(e) = cache.store_checkpoint(&key, &ckpt) {
+                eprintln!("checkpoint write failed for {key}: {e}");
+            }
+        }
+    };
+
+    let mut done = start;
+    let mut interrupted = false;
+    for r in start..cfg.rounds {
+        if shutdown::requested() {
+            interrupted = true;
+            break;
+        }
+        sim.run_round();
+        done = r + 1;
+        cell.publish(snapshot_now(&sim, done));
+        if checkpoint_every > 0 && done % checkpoint_every == 0 && done < cfg.rounds {
+            store_checkpoint(&sim);
+        }
+    }
+    // The final state is always worth a checkpoint: interrupted runs resume
+    // from it, completed runs reload it instantly on the next serve.
+    if done > start || resumed_from.is_none() {
+        store_checkpoint(&sim);
+    }
+    sim.set_core_lease(None); // return the trainer's share to the daemon
+
+    // Serve until asked to stop (immediately, if the interrupt already
+    // arrived mid-training).
+    while !shutdown::requested() {
+        std::thread::sleep(IDLE_POLL);
+    }
+    let queries_served = server.shutdown();
+
+    Ok(ServeSummary {
+        rounds_done: done,
+        target_rounds: cfg.rounds,
+        resumed_from,
+        queries_served,
+        interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    use frs_data::DatasetSpec;
+    use frs_model::ModelKind;
+    use frs_serve::{StatusResponse, TopKResponse};
+
+    fn tiny_cfg(rounds: usize) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 21);
+        cfg.federation.users_per_round = 24;
+        cfg.rounds = rounds;
+        cfg
+    }
+
+    fn temp_cache(tag: &str) -> SuiteCache {
+        let dir = std::env::temp_dir().join(format!("frs-serve-cmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SuiteCache::open(dir).unwrap()
+    }
+
+    fn socket_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("frs-serve-cmd-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn query(stream: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        out.trim().to_string()
+    }
+
+    #[test]
+    fn serves_queries_during_training_then_drains_on_shutdown() {
+        let _guard = shutdown::test_lock();
+        shutdown::reset();
+        let cfg = tiny_cfg(40);
+        let cache = temp_cache("during");
+        let socket = socket_path("during");
+        let budget = CoreBudget::new(2);
+
+        let session = std::thread::scope(|scope| {
+            let worker =
+                scope.spawn(|| serve_scenario(&cfg, &socket, Some(&cache), 5, &budget).unwrap());
+
+            // The socket comes up while training runs; queries answer
+            // against whatever epoch is current.
+            while !socket.exists() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let mut stream = UnixStream::connect(&socket).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let status: StatusResponse =
+                serde_json::from_str(&query(&mut stream, &mut reader, "{}")).unwrap();
+            assert!(status.n_users > 0);
+            let top: TopKResponse =
+                serde_json::from_str(&query(&mut stream, &mut reader, "{\"user\":0,\"k\":3}"))
+                    .unwrap();
+            assert_eq!(top.items.len(), 3);
+
+            shutdown::trigger();
+            let session = worker.join().unwrap();
+            shutdown::reset();
+            session
+        });
+
+        assert!(session.queries_served >= 1);
+        assert!(!socket.exists(), "socket removed on shutdown");
+        // The final state left a resumable checkpoint.
+        let key = scenario_key(&cfg);
+        assert!(cache.load_checkpoint(&key).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn interrupted_session_resumes_from_its_checkpoint() {
+        let _guard = shutdown::test_lock();
+        let cfg = tiny_cfg(8);
+        let cache = temp_cache("resume");
+        let socket = socket_path("resume");
+        let budget = CoreBudget::new(2);
+
+        // A shutdown requested before the loop starts: train zero rounds,
+        // checkpoint round 0, exit.
+        shutdown::trigger();
+        let first = serve_scenario(&cfg, &socket, Some(&cache), 2, &budget).unwrap();
+        assert!(first.interrupted);
+        assert_eq!(first.rounds_done, 0);
+
+        // Second session trains to completion and reports the resume point.
+        shutdown::reset();
+        let done = std::thread::scope(|scope| {
+            let worker =
+                scope.spawn(|| serve_scenario(&cfg, &socket, Some(&cache), 2, &budget).unwrap());
+            // Watch training finish through the status endpoint, then stop
+            // the daemon.
+            while !socket.exists() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let mut stream = UnixStream::connect(&socket).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            loop {
+                let status: StatusResponse =
+                    serde_json::from_str(&query(&mut stream, &mut reader, "{}")).unwrap();
+                if status.training_done {
+                    assert_eq!(status.round, 8);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            drop(stream);
+            shutdown::trigger();
+            let done = worker.join().unwrap();
+            shutdown::reset();
+            done
+        });
+        assert!(!done.interrupted);
+        assert_eq!(done.rounds_done, 8);
+
+        // A third session resumes *at* the target: no training, serves the
+        // final model.
+        shutdown::trigger();
+        let third = serve_scenario(&cfg, &socket, Some(&cache), 2, &budget).unwrap();
+        assert_eq!(third.resumed_from, Some(8));
+        assert_eq!(third.rounds_done, 8);
+        assert!(!third.interrupted, "nothing left to interrupt");
+        shutdown::reset();
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

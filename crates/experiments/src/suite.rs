@@ -545,24 +545,49 @@ impl ExperimentSuite {
                     };
                     let cached = exec.cache.and_then(|cache| cache.load(&key));
                     let cache_hit = cached.is_some();
-                    let outcome = cached.unwrap_or_else(|| {
-                        // Only cells that will actually simulate hold a
-                        // lease — cache hits must not dilute the shares of
-                        // the cells doing real work.
-                        let lease = cell
-                            .config
-                            .federation
-                            .round_threads
-                            .is_auto()
-                            .then(|| budget.lease());
-                        let outcome = scenario::run_leased(&cell.config, lease);
-                        if let Some(cache) = exec.cache {
-                            if let Err(e) = cache.store(&key, &outcome) {
-                                eprintln!("suite cache store failed for {key}: {e}");
+                    let outcome = match cached {
+                        Some(outcome) => outcome,
+                        None => {
+                            // Only cells that will actually simulate hold a
+                            // lease — cache hits must not dilute the shares of
+                            // the cells doing real work.
+                            let lease = cell
+                                .config
+                                .federation
+                                .round_threads
+                                .is_auto()
+                                .then(|| budget.lease());
+                            let ctl = exec.cache.and_then(|cache| {
+                                (exec.checkpoint_every > 0).then_some(scenario::CheckpointCtl {
+                                    cache,
+                                    key: &key,
+                                    every: exec.checkpoint_every,
+                                })
+                            });
+                            let outcome = match ctl {
+                                Some(ctl) => {
+                                    match scenario::run_checkpointed(&cell.config, lease, &ctl) {
+                                        Ok(outcome) => outcome,
+                                        Err(scenario::Interrupted) => {
+                                            // Final checkpoint is on disk;
+                                            // leave the slot empty so the
+                                            // run surfaces as aborted with
+                                            // every finished cell cached.
+                                            stop.store(true, Ordering::SeqCst);
+                                            break;
+                                        }
+                                    }
+                                }
+                                None => scenario::run_leased(&cell.config, lease),
+                            };
+                            if let Some(cache) = exec.cache {
+                                if let Err(e) = cache.store(&key, &outcome) {
+                                    eprintln!("suite cache store failed for {key}: {e}");
+                                }
                             }
+                            outcome
                         }
-                        outcome
-                    });
+                    };
                     if let Some(sink) = exec.sink {
                         let event = CellEvent {
                             suite: self.name.clone(),
@@ -647,6 +672,12 @@ pub struct ExecOptions<'a> {
     /// CLI passes one budget across all commands of an invocation so
     /// `paper all` never oversubscribes the machine.
     pub budget: Option<&'a CoreBudget>,
+    /// Mid-run checkpoint interval in rounds (0 = off). Requires `cache`:
+    /// executing cells persist their state every N rounds beside their
+    /// eventual cache entry, resume from an existing checkpoint, and honour
+    /// shutdown requests (final checkpoint, then the run aborts with every
+    /// finished cell cached).
+    pub checkpoint_every: usize,
 }
 
 /// Results of one sweep, in grid order.
@@ -940,6 +971,7 @@ mod tests {
                     cache: Some(&cache),
                     sink: Some(&cold_sink),
                     budget: None,
+                    checkpoint_every: 0,
                 },
             )
             .unwrap();
@@ -954,6 +986,7 @@ mod tests {
                     cache: Some(&cache),
                     sink: Some(&warm_sink),
                     budget: None,
+                    checkpoint_every: 0,
                 },
             )
             .unwrap();
@@ -999,6 +1032,7 @@ mod tests {
                     cache: None,
                     sink: Some(&sink),
                     budget: None,
+                    checkpoint_every: 0,
                 },
             )
             .unwrap();
@@ -1031,6 +1065,7 @@ mod tests {
                     cache: None,
                     sink: Some(&sink),
                     budget: None,
+                    checkpoint_every: 0,
                 },
             )
             .unwrap();
@@ -1062,6 +1097,7 @@ mod tests {
                     cache: None,
                     sink: Some(&sink),
                     budget: None,
+                    checkpoint_every: 0,
                 },
             )
             .unwrap_err();

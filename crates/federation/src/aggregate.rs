@@ -25,6 +25,27 @@ pub trait Aggregator: Send + Sync {
 
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Serializable snapshot of aggregator state, for mid-scenario
+    /// checkpointing. Every builtin aggregates statelessly (`aggregate`
+    /// takes `&self`), so the `Value::Null` default is the norm; a custom
+    /// defense with interior-mutable history overrides both hooks.
+    fn checkpoint_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Overlays a snapshot captured by [`Aggregator::checkpoint_state`].
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(format!(
+                "aggregator {} holds no restorable state but checkpoint carries {}",
+                self.name(),
+                state.kind()
+            ))
+        }
+    }
 }
 
 /// The undefended baseline: plain sum (paper Section III-A step 4).

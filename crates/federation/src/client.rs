@@ -31,6 +31,30 @@ pub trait Client: Send {
     fn user_embedding(&self) -> Option<&[f32]> {
         None
     }
+
+    /// Serializable snapshot of this client's *mutable* state, for
+    /// mid-scenario checkpointing. The immutable parts (dataset, ids, seeds,
+    /// hyper-parameters) are rebuilt deterministically from the scenario
+    /// config, so stateless clients keep the `Value::Null` default.
+    fn checkpoint_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Overlays a state snapshot captured by [`Client::checkpoint_state`]
+    /// onto a freshly built client. The default accepts only `Null` — a
+    /// stateful snapshot reaching a stateless client is a config mismatch,
+    /// not something to ignore silently.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(format!(
+                "client {} holds no restorable state but checkpoint carries {}",
+                self.id(),
+                state.kind()
+            ))
+        }
+    }
 }
 
 /// Client-side defense hook (the paper's Section V-B regularizers plug in
@@ -56,6 +80,27 @@ pub trait LocalRegularizer: Send {
 
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Serializable snapshot of the regularizer's mutable state (mining
+    /// history, accumulated Δ-Norms, …). Stateless regularizers keep the
+    /// `Value::Null` default. The owning [`BenignClient`] embeds this in its
+    /// own checkpoint state.
+    fn checkpoint_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Overlays a snapshot captured by [`LocalRegularizer::checkpoint_state`].
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(format!(
+                "regularizer {} holds no restorable state but checkpoint carries {}",
+                self.name(),
+                state.kind()
+            ))
+        }
+    }
 }
 
 /// An honest user: trains on its private interactions and uploads true
@@ -218,6 +263,50 @@ impl Client for BenignClient {
     fn user_embedding(&self) -> Option<&[f32]> {
         Some(&self.user_embedding)
     }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        let state = BenignClientState {
+            user_embedding: self.user_embedding.clone(),
+            regularizer: match &self.regularizer {
+                Some(reg) => reg.checkpoint_state(),
+                None => serde::Value::Null,
+            },
+        };
+        serde::Serialize::to_value(&state)
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let state: BenignClientState =
+            serde::Deserialize::from_value(state).map_err(|e| e.to_string())?;
+        if state.user_embedding.len() != self.user_embedding.len() {
+            return Err(format!(
+                "user {} embedding dim mismatch: checkpoint {}, simulation {}",
+                self.user_id,
+                state.user_embedding.len(),
+                self.user_embedding.len()
+            ));
+        }
+        self.user_embedding = state.user_embedding;
+        match (&mut self.regularizer, &state.regularizer) {
+            (Some(reg), v) => reg.restore_state(v),
+            (None, v) if v.is_null() => Ok(()),
+            (None, v) => Err(format!(
+                "user {} has no regularizer but checkpoint carries {}",
+                self.user_id,
+                v.kind()
+            )),
+        }
+    }
+}
+
+/// Serialized mutable state of a [`BenignClient`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenignClientState {
+    user_embedding: Vec<f32>,
+    /// The installed [`LocalRegularizer`]'s own state tree (`Null` when no
+    /// defense is installed or the defense is stateless).
+    #[serde(default)]
+    regularizer: serde::Value,
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 
 pub mod aggregate;
 pub mod budget;
+pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod context;
@@ -37,6 +38,7 @@ pub use aggregate::{
     Aggregator, SumAggregator,
 };
 pub use budget::{CoreBudget, CoreLease};
+pub use checkpoint::{SimulationCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use client::{BenignClient, Client, LocalRegularizer};
 pub use config::{FederationConfig, RoundThreads};
 pub use context::RoundContext;

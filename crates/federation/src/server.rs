@@ -8,6 +8,7 @@ use rand::Rng;
 
 use crate::aggregate::{Aggregator, SumAggregator};
 use crate::budget::CoreLease;
+use crate::checkpoint::{SimulationCheckpoint, CHECKPOINT_FORMAT_VERSION};
 use crate::client::Client;
 use crate::config::{FederationConfig, RoundThreads};
 use crate::context::RoundContext;
@@ -299,6 +300,54 @@ impl Simulation {
             self.run_round();
         }
     }
+
+    /// Captures the complete mutable state of the run at the current round
+    /// boundary. Together with the (deterministic) build inputs this is
+    /// enough to continue the run bit-identically — see
+    /// [`Simulation::restore_checkpoint`].
+    pub fn capture_checkpoint(&self) -> SimulationCheckpoint {
+        SimulationCheckpoint {
+            format: CHECKPOINT_FORMAT_VERSION,
+            round: self.round,
+            model: self.model.clone(),
+            stats: self.stats.clone(),
+            clients: self.clients.iter().map(|c| c.checkpoint_state()).collect(),
+            aggregator: self.aggregator.checkpoint_state(),
+        }
+    }
+
+    /// Overlays a checkpoint captured by [`Simulation::capture_checkpoint`]
+    /// onto this simulation, which must have been freshly built from the
+    /// *same* configuration (model family, client population, seeds). After
+    /// a successful restore, `run_round` continues exactly where the
+    /// checkpointed run left off — the server's per-round RNG streams key on
+    /// `(seed, round)`, so no RNG state beyond the round counter exists.
+    pub fn restore_checkpoint(&mut self, ckpt: &SimulationCheckpoint) -> Result<(), String> {
+        ckpt.validate(self.clients.len())?;
+        if ckpt.model.kind() != self.model.kind()
+            || ckpt.model.n_items() != self.model.n_items()
+            || ckpt.model.dim() != self.model.dim()
+        {
+            return Err(format!(
+                "checkpoint model {:?} ({} items, dim {}) does not match simulation \
+                 {:?} ({} items, dim {})",
+                ckpt.model.kind(),
+                ckpt.model.n_items(),
+                ckpt.model.dim(),
+                self.model.kind(),
+                self.model.n_items(),
+                self.model.dim()
+            ));
+        }
+        for (client, state) in self.clients.iter_mut().zip(&ckpt.clients) {
+            client.restore_state(state)?;
+        }
+        self.aggregator.restore_state(&ckpt.aggregator)?;
+        self.model = ckpt.model.clone();
+        self.round = ckpt.round;
+        self.stats = ckpt.stats.clone();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -508,6 +557,52 @@ mod tests {
             sim.config().users_per_round,
             FederationConfig::default().users_per_round
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        let (mut uninterrupted, _, _) = build_sim(RoundThreads::Fixed(1), 21);
+        uninterrupted.run(10);
+
+        let (mut first, _, _) = build_sim(RoundThreads::Fixed(1), 21);
+        first.run(4);
+        let ckpt = first.capture_checkpoint();
+        assert_eq!(ckpt.round, 4);
+
+        // Round-trip the checkpoint through JSON, exactly like the on-disk
+        // path, then overlay it on a freshly built simulation.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: SimulationCheckpoint = serde_json::from_str(&json).unwrap();
+        let (mut resumed, _, _) = build_sim(RoundThreads::Fixed(1), 21);
+        resumed.restore_checkpoint(&back).unwrap();
+        assert_eq!(resumed.rounds_done(), 4);
+        resumed.run(6);
+
+        assert_eq!(uninterrupted.model().items(), resumed.model().items());
+        assert_eq!(uninterrupted.user_embeddings(), resumed.user_embeddings());
+        assert_eq!(
+            uninterrupted.stats().total_selected,
+            resumed.stats().total_selected
+        );
+        assert_eq!(uninterrupted.rounds_done(), resumed.rounds_done());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_mismatches() {
+        let (sim, _, _) = build_sim(RoundThreads::Fixed(1), 22);
+        let mut ckpt = sim.capture_checkpoint();
+
+        let (mut other, _, _) = build_sim(RoundThreads::Fixed(1), 22);
+        ckpt.format += 1;
+        assert!(other
+            .restore_checkpoint(&ckpt)
+            .unwrap_err()
+            .contains("format"));
+        ckpt.format -= 1;
+
+        ckpt.clients.pop();
+        let err = other.restore_checkpoint(&ckpt).unwrap_err();
+        assert!(err.contains("clients"), "{err}");
     }
 
     #[test]

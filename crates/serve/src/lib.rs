@@ -1,0 +1,196 @@
+//! Serving layer for the PIECK reproduction: answer top-K recommendation
+//! queries from a live or checkpointed federated training run.
+//!
+//! Three pieces, bottom up:
+//!
+//! - [`wire`] — the line-delimited JSON protocol (`{"user":3,"k":10}` in,
+//!   one response line out) spoken over a local Unix socket.
+//! - [`snapshot`] — [`Snapshot`]/[`SnapshotCell`]: the trainer publishes an
+//!   immutable model view each round; query handlers rank against the
+//!   latest epoch lock-free, so serving never blocks training and training
+//!   never tears a response.
+//! - [`server`] — the daemon: a Unix-socket accept loop whose handler
+//!   concurrency is gated by a `CoreBudget` lease (shared with the
+//!   trainer), with drain-based shutdown so an interrupt answers every
+//!   in-flight query before exiting.
+//!
+//! The `paper serve` subcommand (crate `frs-experiments`) wires these to a
+//! scenario: it trains toward — or resumes from — a cache checkpoint,
+//! publishes a snapshot per round, and serves queries the whole time. This
+//! crate stays training-agnostic: anything that can produce a
+//! [`Snapshot`] can serve.
+
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use server::{respond_line, spawn, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotCell};
+pub use wire::{ErrorResponse, Request, ScoredItem, StatusResponse, TopKResponse, DEFAULT_K};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    use frs_data::Dataset;
+    use frs_federation::CoreBudget;
+    use frs_model::{GlobalModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snapshot(round: usize, done: bool) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 8, &mut rng);
+        let train = Arc::new(Dataset::from_user_items(
+            8,
+            vec![vec![0, 1], vec![2], vec![3, 4, 5]],
+        ));
+        let users = (0..3).map(|u| vec![0.1 * (u as f32 + 1.0); 4]).collect();
+        Snapshot::new(round, done, model, users, train)
+    }
+
+    fn socket_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("frs-serve-test-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn respond_line_speaks_the_protocol() {
+        let cell = SnapshotCell::new(snapshot(5, false));
+        let queries = AtomicU64::new(0);
+
+        let status: StatusResponse =
+            serde_json::from_str(&respond_line("{}", &cell, &queries)).unwrap();
+        assert_eq!(status.round, 5);
+        assert_eq!(status.n_users, 3);
+        assert_eq!(status.n_items, 8);
+        assert_eq!(status.queries_served, 0);
+
+        let top: TopKResponse =
+            serde_json::from_str(&respond_line("{\"user\":0,\"k\":3}", &cell, &queries)).unwrap();
+        assert_eq!(top.user, 0);
+        assert_eq!(top.items.len(), 3);
+        assert!(top.items.iter().all(|s| s.item > 1), "interacted excluded");
+
+        // Default k applies when omitted; 8 items minus 2 interacted = 6.
+        let top: TopKResponse =
+            serde_json::from_str(&respond_line("{\"user\":0}", &cell, &queries)).unwrap();
+        assert_eq!(top.k, wire::DEFAULT_K);
+        assert_eq!(top.items.len(), 6);
+
+        let err: ErrorResponse =
+            serde_json::from_str(&respond_line("{\"user\":99}", &cell, &queries)).unwrap();
+        assert!(err.error.contains("out of range"), "{}", err.error);
+
+        let err: ErrorResponse =
+            serde_json::from_str(&respond_line("not json", &cell, &queries)).unwrap();
+        assert!(err.error.contains("bad request"), "{}", err.error);
+
+        let status: StatusResponse =
+            serde_json::from_str(&respond_line("{}", &cell, &queries)).unwrap();
+        assert_eq!(status.queries_served, 2, "only top-K answers count");
+    }
+
+    #[test]
+    fn daemon_answers_concurrent_clients_across_epoch_swaps() {
+        let cell = Arc::new(SnapshotCell::new(snapshot(0, false)));
+        let budget = CoreBudget::new(4);
+        let path = socket_path("concurrent");
+        let handle = spawn(&path, Arc::clone(&cell), budget.lease()).unwrap();
+
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut stream = UnixStream::connect(&path).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut answers = Vec::new();
+                    for i in 0..5 {
+                        let user = (c + i) % 3;
+                        writeln!(stream, "{{\"user\":{user},\"k\":2}}").unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        let top: TopKResponse = serde_json::from_str(line.trim()).unwrap();
+                        assert_eq!(top.user, user);
+                        assert_eq!(top.items.len(), 2);
+                        answers.push(top.round);
+                    }
+                    answers
+                })
+            })
+            .collect();
+
+        // Swap epochs while the clients hammer the socket.
+        for round in 1..4 {
+            cell.publish(snapshot(round, round == 3));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        for client in clients {
+            let rounds = client.join().unwrap();
+            // Every answer carries some published round, monotone per
+            // connection (later queries never see an older epoch).
+            for pair in rounds.windows(2) {
+                assert!(pair[0] <= pair[1], "epochs went backwards: {rounds:?}");
+            }
+        }
+
+        assert_eq!(handle.queries_served(), 20);
+        let served = handle.shutdown();
+        assert_eq!(served, 20);
+        assert!(!path.exists(), "shutdown removes the socket file");
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let cell = Arc::new(SnapshotCell::new(snapshot(2, true)));
+        let budget = CoreBudget::new(2);
+        let path = socket_path("drain");
+        let handle = spawn(&path, cell, budget.lease()).unwrap();
+
+        // Write requests but delay reading: shutdown must still answer
+        // everything already buffered before the socket closes.
+        let mut stream = UnixStream::connect(&path).unwrap();
+        for user in [0usize, 1, 2] {
+            writeln!(stream, "{{\"user\":{user},\"k\":1}}").unwrap();
+        }
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let shutdown = std::thread::spawn(move || handle.shutdown());
+        let mut reader = BufReader::new(stream);
+        let mut answered = 0;
+        for _ in 0..3 {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            let top: TopKResponse = serde_json::from_str(line.trim()).unwrap();
+            assert_eq!(top.items.len(), 1);
+            answered += 1;
+        }
+        assert_eq!(answered, 3, "drain answers every buffered request");
+        assert_eq!(shutdown.join().unwrap(), 3);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stale_socket_is_reclaimed_live_socket_is_refused() {
+        let path = socket_path("reclaim");
+        // A dead daemon's leftover: bind and drop without unlinking.
+        drop(std::os::unix::net::UnixListener::bind(&path).unwrap());
+        assert!(path.exists());
+
+        let budget = CoreBudget::new(2);
+        let cell = Arc::new(SnapshotCell::new(snapshot(0, false)));
+        let handle = spawn(&path, Arc::clone(&cell), budget.lease()).unwrap();
+
+        // A second daemon on the live socket is refused.
+        let err = spawn(&path, cell, budget.lease()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        handle.shutdown();
+    }
+}

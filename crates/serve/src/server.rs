@@ -1,0 +1,261 @@
+//! The long-lived query daemon: a Unix-socket listener answering the wire
+//! protocol against whatever [`SnapshotCell`] epoch is current.
+//!
+//! Concurrency model: the daemon holds one [`CoreLease`] from the
+//! invocation's shared `CoreBudget` — the same ledger the trainer leases
+//! from — so query handling and training split the `--threads` grant
+//! fairly instead of oversubscribing the machine. Each connection is
+//! served by its own thread, but admission is gated to the lease's
+//! current width; excess connections queue at the gate (the socket's
+//! accept backlog holds the rest).
+//!
+//! Shutdown is drain-based: [`ServerHandle::shutdown`] stops the accept
+//! loop, pokes the listener awake, and waits for every in-flight
+//! connection to answer its buffered requests and exit — no query is ever
+//! cut off mid-response. Connection reads poll with a short timeout so an
+//! idle client cannot hold the drain hostage.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use frs_federation::CoreLease;
+
+use crate::snapshot::SnapshotCell;
+use crate::wire::{ErrorResponse, Request, StatusResponse, TopKResponse, DEFAULT_K};
+
+/// How often a blocked connection read wakes up to check the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Answers one request line against `snapshot_cell`'s current epoch,
+/// returning the JSON response line (no trailing newline). Counts answered
+/// top-K queries into `queries`. Pure aside from the counter — the unit
+/// under test for protocol behaviour.
+pub fn respond_line(line: &str, cell: &SnapshotCell, queries: &AtomicU64) -> String {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return serde_json::to_string(&ErrorResponse {
+                error: format!("bad request: {e}"),
+            })
+            .expect("error response serializes")
+        }
+    };
+    let snapshot = cell.latest();
+    match request.user {
+        None => serde_json::to_string(&StatusResponse {
+            round: snapshot.round(),
+            training_done: snapshot.training_done(),
+            n_users: snapshot.n_users(),
+            n_items: snapshot.n_items(),
+            queries_served: queries.load(Ordering::SeqCst),
+        })
+        .expect("status serializes"),
+        Some(user) => {
+            let k = request.k.unwrap_or(DEFAULT_K);
+            match snapshot.top_k(user, k) {
+                Ok(items) => {
+                    queries.fetch_add(1, Ordering::SeqCst);
+                    serde_json::to_string(&TopKResponse {
+                        user,
+                        k,
+                        round: snapshot.round(),
+                        training_done: snapshot.training_done(),
+                        items,
+                    })
+                    .expect("top-k serializes")
+                }
+                Err(error) => serde_json::to_string(&ErrorResponse { error })
+                    .expect("error response serializes"),
+            }
+        }
+    }
+}
+
+/// Counting gate bounding concurrent connection handlers and supporting a
+/// full drain (shutdown waits for active == 0).
+#[derive(Debug, Default)]
+struct Gate {
+    active: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl Gate {
+    fn enter(&self, cap: usize) {
+        let mut active = self.active.lock().expect("gate poisoned");
+        while *active >= cap.max(1) {
+            active = self.changed.wait(active).expect("gate poisoned");
+        }
+        *active += 1;
+    }
+
+    fn exit(&self) {
+        *self.active.lock().expect("gate poisoned") -= 1;
+        self.changed.notify_all();
+    }
+
+    fn drain(&self) {
+        let mut active = self.active.lock().expect("gate poisoned");
+        while *active > 0 {
+            active = self.changed.wait(active).expect("gate poisoned");
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the accept thread running for the
+/// process lifetime; call `shutdown` for a clean drain.
+#[derive(Debug)]
+pub struct ServerHandle {
+    socket: PathBuf,
+    stop: Arc<AtomicBool>,
+    queries: Arc<AtomicU64>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The socket path the daemon listens on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Top-K queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains every in-flight connection, removes the
+    /// socket file, and returns the total query count.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() awake; a failure means the listener
+        // is already gone, which is the goal state.
+        let _ = UnixStream::connect(&self.socket);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        self.queries.load(Ordering::SeqCst)
+    }
+}
+
+/// Binds `socket` and spawns the accept loop. An existing socket file is
+/// reclaimed only if nothing answers on it — a live daemon is an
+/// `AddrInUse` error, a leftover from a dead one is silently replaced.
+pub fn spawn(
+    socket: impl Into<PathBuf>,
+    cell: Arc<SnapshotCell>,
+    lease: CoreLease,
+) -> io::Result<ServerHandle> {
+    let socket = socket.into();
+    if socket.exists() {
+        if UnixStream::connect(&socket).is_ok() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("{} is already being served", socket.display()),
+            ));
+        }
+        std::fs::remove_file(&socket)?;
+    }
+    let listener = UnixListener::bind(&socket)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let queries = Arc::clone(&queries);
+        std::thread::spawn(move || {
+            accept_loop(&listener, &cell, &lease, &stop, &queries);
+        })
+    };
+
+    Ok(ServerHandle {
+        socket,
+        stop,
+        queries: Arc::clone(&queries),
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: &UnixListener,
+    cell: &Arc<SnapshotCell>,
+    lease: &CoreLease,
+    stop: &Arc<AtomicBool>,
+    queries: &Arc<AtomicU64>,
+) {
+    let gate = Arc::new(Gate::default());
+    // Handler threads detach; the gate's drain is the join.
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Admission control: at most `width` concurrent handlers, where
+        // width tracks the lease's live fair share (it grows when the
+        // trainer finishes and drops its lease).
+        gate.enter(lease.width());
+        let gate = Arc::clone(&gate);
+        let cell = Arc::clone(cell);
+        let stop = Arc::clone(stop);
+        let queries = Arc::clone(queries);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &cell, &stop, &queries);
+            gate.exit();
+        });
+    }
+    gate.drain();
+}
+
+/// Serves one connection: newline-framed requests in, one response line
+/// each, until EOF or shutdown. Reads poll so a silent client can't stall
+/// the drain; buffered complete lines are always answered before exit.
+fn handle_connection(
+    mut stream: UnixStream,
+    cell: &SnapshotCell,
+    stop: &AtomicBool,
+    queries: &AtomicU64,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = respond_line(line, cell, queries);
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return Ok(()); // drained: all buffered requests answered
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Epoch-swapped model snapshots: the reader/trainer decoupling.
+//!
+//! The trainer publishes an immutable [`Snapshot`] (model, user embeddings,
+//! and the training interactions to exclude) into a [`SnapshotCell`] at
+//! every round boundary; query handlers grab the latest `Arc` and rank
+//! against it lock-free. The only shared critical section is an `Arc`
+//! pointer swap, so readers never block the trainer and the trainer never
+//! blocks readers — a query observes one consistent round, never a
+//! half-applied update.
+
+use std::sync::{Arc, Mutex};
+
+use frs_data::Dataset;
+use frs_model::GlobalModel;
+
+use crate::wire::ScoredItem;
+
+/// One immutable, consistent view of the recommender at a round boundary.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    round: usize,
+    training_done: bool,
+    model: GlobalModel,
+    /// Per-user embeddings, indexed by dense user id (benign users only —
+    /// the serving surface has no reason to recommend to attack clients).
+    users: Vec<Vec<f32>>,
+    /// Training interactions: already-seen items are excluded from top-K.
+    train: Arc<Dataset>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot. `users` must be indexed by dense user id and
+    /// at least cover `train.n_users()` rows; extra rows (attack clients
+    /// appended after the benign population) are ignored.
+    pub fn new(
+        round: usize,
+        training_done: bool,
+        model: GlobalModel,
+        mut users: Vec<Vec<f32>>,
+        train: Arc<Dataset>,
+    ) -> Self {
+        users.truncate(train.n_users());
+        Self {
+            round,
+            training_done,
+            model,
+            users,
+            train,
+        }
+    }
+
+    /// Training rounds completed when this snapshot was taken.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether training had finished by this snapshot.
+    pub fn training_done(&self) -> bool {
+        self.training_done
+    }
+
+    /// Users this snapshot can answer for.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.model.n_items()
+    }
+
+    /// The best `k` items for `user` that the user has not interacted with,
+    /// best first. Deterministic: ties break toward the lower item id.
+    pub fn top_k(&self, user: usize, k: usize) -> Result<Vec<ScoredItem>, String> {
+        let Some(emb) = self.users.get(user) else {
+            return Err(format!(
+                "user {user} out of range (snapshot serves {} users)",
+                self.users.len()
+            ));
+        };
+        let scores = self.model.scores_for_user(emb);
+        let picked =
+            frs_linalg::top_k_desc_filtered(&scores, k, |i| !self.train.interacted(user, i as u32));
+        Ok(picked
+            .into_iter()
+            .map(|i| ScoredItem {
+                item: i as u32,
+                score: scores[i],
+            })
+            .collect())
+    }
+}
+
+/// The swap point between one trainer and any number of query handlers.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    slot: Mutex<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell primed with the initial (typically round-zero) snapshot, so
+    /// queries can be answered from the moment the socket opens.
+    pub fn new(initial: Snapshot) -> Self {
+        Self {
+            slot: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// Publishes a new snapshot. Readers holding the previous `Arc` finish
+    /// their query against the old round; new queries see this one.
+    pub fn publish(&self, snapshot: Snapshot) {
+        *self.slot.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+    }
+
+    /// The latest published snapshot (an `Arc` clone; never blocks on the
+    /// trainer beyond the pointer swap).
+    pub fn latest(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.slot.lock().expect("snapshot cell poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_model::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_snapshot(round: usize) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(7 + round as u64);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 6, &mut rng);
+        // User 0 interacted with items 0 and 1; user 1 with item 5.
+        let train = Arc::new(Dataset::from_user_items(6, vec![vec![0, 1], vec![5]]));
+        let users = vec![vec![0.3, -0.1, 0.2, 0.4], vec![-0.2, 0.1, 0.5, 0.0]];
+        Snapshot::new(round, false, model, users, train)
+    }
+
+    #[test]
+    fn top_k_excludes_interacted_and_sorts_descending() {
+        let snap = tiny_snapshot(0);
+        let items = snap.top_k(0, 10).unwrap();
+        assert_eq!(items.len(), 4, "6 items minus 2 interacted");
+        assert!(items.iter().all(|s| s.item > 1), "seen items excluded");
+        for pair in items.windows(2) {
+            assert!(pair[0].score >= pair[1].score, "descending scores");
+        }
+
+        let k2 = snap.top_k(0, 2).unwrap();
+        assert_eq!(k2.len(), 2);
+        assert_eq!(
+            (k2[0].item, k2[1].item),
+            (items[0].item, items[1].item),
+            "a smaller k is a prefix of the full ranking"
+        );
+    }
+
+    #[test]
+    fn out_of_range_user_is_an_error() {
+        let snap = tiny_snapshot(0);
+        assert!(snap.top_k(2, 5).is_err());
+    }
+
+    #[test]
+    fn extra_attack_rows_are_truncated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 6, &mut rng);
+        let train = Arc::new(Dataset::from_user_items(6, vec![vec![0]]));
+        // Two rows but only one benign user: the attack client is not
+        // servable.
+        let users = vec![vec![0.1; 4], vec![0.9; 4]];
+        let snap = Snapshot::new(3, true, model, users, train);
+        assert_eq!(snap.n_users(), 1);
+        assert!(snap.top_k(1, 5).is_err());
+    }
+
+    #[test]
+    fn cell_swaps_epochs_without_disturbing_held_readers() {
+        let cell = SnapshotCell::new(tiny_snapshot(0));
+        let held = cell.latest();
+        cell.publish(tiny_snapshot(1));
+        assert_eq!(held.round(), 0, "held reader keeps its epoch");
+        assert_eq!(cell.latest().round(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! The `paper serve` wire protocol: line-delimited JSON over a Unix socket.
+//!
+//! One request per line, one response line per request, in order. Two
+//! request shapes share a single envelope:
+//!
+//! - **Top-K query** — `{"user":3,"k":10}`: rank the snapshot's items for
+//!   dense user id 3 and return the 10 best the user has not interacted
+//!   with. `k` defaults to [`DEFAULT_K`].
+//! - **Status** — `{}` (no `user`): report the snapshot round, population
+//!   sizes, and the daemon's query counter.
+//!
+//! Responses are [`TopKResponse`], [`StatusResponse`], or — for unparsable
+//! lines and out-of-range users — [`ErrorResponse`]. A malformed line never
+//! kills the connection: the daemon answers with an error and keeps
+//! reading, so a scripted client can't wedge itself off by one.
+
+use serde::{Deserialize, Serialize};
+
+/// Top-K cutoff when a query omits `k`.
+pub const DEFAULT_K: usize = 10;
+
+/// One request line. Both shapes (query / status) parse into this envelope;
+/// `user: None` means status.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Dense user id to recommend for; omit for a status request.
+    #[serde(default)]
+    pub user: Option<usize>,
+    /// Top-K cutoff (defaults to [`DEFAULT_K`]; ignored for status).
+    #[serde(default)]
+    pub k: Option<usize>,
+}
+
+impl Request {
+    /// A top-K query for `user` with the default cutoff.
+    pub fn top_k(user: usize, k: usize) -> Self {
+        Self {
+            user: Some(user),
+            k: Some(k),
+        }
+    }
+
+    /// A status request.
+    pub fn status() -> Self {
+        Self {
+            user: None,
+            k: None,
+        }
+    }
+}
+
+/// One recommended item with its model score (higher is better).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredItem {
+    pub item: u32,
+    pub score: f32,
+}
+
+/// Answer to a top-K query: the best `k` uninteracted items for `user`,
+/// best first, scored against the snapshot published at `round`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopKResponse {
+    pub user: usize,
+    pub k: usize,
+    /// Training rounds completed when the answering snapshot was published.
+    pub round: usize,
+    /// Whether training had already finished at that snapshot.
+    pub training_done: bool,
+    pub items: Vec<ScoredItem>,
+}
+
+/// Answer to a status request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Training rounds completed in the current snapshot.
+    pub round: usize,
+    pub training_done: bool,
+    /// Users the snapshot can answer for (dense ids `0..n_users`).
+    pub n_users: usize,
+    pub n_items: usize,
+    /// Top-K queries answered since the daemon started.
+    pub queries_served: u64,
+}
+
+/// Answer to an unparsable line or an invalid query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shapes_round_trip() {
+        let q: Request = serde_json::from_str("{\"user\":3,\"k\":5}").unwrap();
+        assert_eq!((q.user, q.k), (Some(3), Some(5)));
+
+        let q: Request = serde_json::from_str("{\"user\":7}").unwrap();
+        assert_eq!((q.user, q.k), (Some(7), None));
+
+        let status: Request = serde_json::from_str("{}").unwrap();
+        assert_eq!((status.user, status.k), (None, None));
+
+        let text = serde_json::to_string(&Request::top_k(2, 4)).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!((back.user, back.k), (Some(2), Some(4)));
+    }
+
+    #[test]
+    fn responses_serialize_to_single_lines() {
+        let top = TopKResponse {
+            user: 1,
+            k: 2,
+            round: 30,
+            training_done: false,
+            items: vec![
+                ScoredItem {
+                    item: 9,
+                    score: 0.75,
+                },
+                ScoredItem {
+                    item: 4,
+                    score: 0.5,
+                },
+            ],
+        };
+        let text = serde_json::to_string(&top).unwrap();
+        assert!(!text.contains('\n'));
+        let back: TopKResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.items, top.items);
+        assert_eq!(back.round, 30);
+    }
+}

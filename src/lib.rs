@@ -13,6 +13,7 @@
 //! - [`pieck`] — the paper's contribution: mining, IPE, UEA, and the defense
 //! - [`attacks`] — baselines: FedRecAttack, PipAttack, A-RA, A-HUM
 //! - [`defense`] — robust aggregators: NormBound, Median, TrimmedMean, Krum…
+//! - [`serve`] — the top-K recommendation daemon behind `paper serve`
 //! - [`experiments`] — the table/figure reproduction harness
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
@@ -26,4 +27,5 @@ pub use frs_federation as federation;
 pub use frs_linalg as linalg;
 pub use frs_metrics as metrics;
 pub use frs_model as model;
+pub use frs_serve as serve;
 pub use pieck_core as pieck;

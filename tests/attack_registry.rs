@@ -221,6 +221,7 @@ fn out_of_crate_parameterized_attack_runs_through_a_suite() {
                 cache: None,
                 sink: Some(&sink),
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap();

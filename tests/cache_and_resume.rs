@@ -319,6 +319,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
                 cache: Some(&cache),
                 sink: Some(&cold_sink),
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap();
@@ -334,6 +335,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
                 cache: Some(&cache),
                 sink: Some(&warm_sink),
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap();
@@ -383,6 +385,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
                 cache: Some(&cache),
                 sink: Some(&killer),
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap_err();
@@ -398,6 +401,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
                 cache: Some(&cache),
                 sink: Some(&resume_sink),
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap();

@@ -61,6 +61,7 @@ fn auto_cells_lease_round_width_from_the_shared_budget() {
                 cache: None,
                 sink: Some(&sink),
                 budget: Some(&budget),
+                checkpoint_every: 0,
             },
         )
         .unwrap();
@@ -89,6 +90,7 @@ fn warm_cache_replays_identically_across_widths() {
                 cache: Some(&cache),
                 sink: None,
                 budget: None,
+                checkpoint_every: 0,
             },
         )
         .unwrap();
@@ -104,6 +106,7 @@ fn warm_cache_replays_identically_across_widths() {
                 cache: Some(&cache),
                 sink: Some(&warm_sink),
                 budget: Some(&budget),
+                checkpoint_every: 0,
             },
         )
         .unwrap();

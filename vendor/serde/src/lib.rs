@@ -8,7 +8,9 @@
 //! - `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
 //!   shim) generates both for structs with named fields and for enums with
 //!   unit or newtype variants — the only shapes this workspace uses. The
-//!   `#[serde(skip, default)]` field attribute is honoured.
+//!   `#[serde(skip, default)]` field attribute is honoured, as is the bare
+//!   `#[serde(default)]` (serialized normally, missing ⇒ `Default`) used to
+//!   evolve persisted formats such as checkpoints.
 //!
 //! The sibling `serde_json` shim turns [`Value`] into JSON text and back.
 
@@ -38,6 +40,14 @@ pub enum Number {
     U64(u64),
     I64(i64),
     F64(f64),
+}
+
+impl Default for Value {
+    /// `Null` — so `#[serde(default)]` fields of type [`Value`] read back as
+    /// "absent" rather than failing.
+    fn default() -> Self {
+        Value::Null
+    }
 }
 
 impl Value {

@@ -1,0 +1,87 @@
+//! Behavioural tests for the derive shim's field attributes.
+//!
+//! The derive lives in a proc-macro crate and can only be exercised from a
+//! crate that links `serde` externally — hence an integration test here
+//! rather than a unit test in `serde_derive`.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    a: u32,
+    b: f32,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct WithSkip {
+    kept: u32,
+    #[serde(skip, default)]
+    transient: u64,
+}
+
+/// A "v2" payload: `extra` was added after `Versioned` payloads were already
+/// on disk, so it must tolerate absence.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Versioned {
+    base: u32,
+    #[serde(default)]
+    extra: Vec<f32>,
+    #[serde(default)]
+    label: String,
+}
+
+#[test]
+fn plain_round_trips() {
+    let x = Plain { a: 7, b: 1.5 };
+    assert_eq!(Plain::from_value(&x.to_value()).unwrap(), x);
+}
+
+#[test]
+fn skip_is_omitted_and_defaulted() {
+    let x = WithSkip {
+        kept: 3,
+        transient: 99,
+    };
+    let v = x.to_value();
+    let obj = v.as_object().unwrap();
+    assert!(obj.contains_key("kept"));
+    assert!(!obj.contains_key("transient"), "skip must omit the field");
+    let back = WithSkip::from_value(&v).unwrap();
+    assert_eq!(back.kept, 3);
+    assert_eq!(back.transient, 0, "skip deserializes to Default");
+}
+
+#[test]
+fn default_fields_serialize_normally() {
+    let x = Versioned {
+        base: 1,
+        extra: vec![0.5, -1.0],
+        label: "v2".into(),
+    };
+    let v = x.to_value();
+    let obj = v.as_object().unwrap();
+    assert!(obj.contains_key("extra"), "default still serializes");
+    assert!(obj.contains_key("label"));
+    assert_eq!(Versioned::from_value(&v).unwrap(), x);
+}
+
+#[test]
+fn default_fields_tolerate_missing_on_deserialize() {
+    // An old payload written before `extra`/`label` existed.
+    let old = Plain { a: 4, b: 0.0 };
+    let mut obj = old.to_value().as_object().unwrap().clone();
+    obj.remove("b");
+    obj.insert("base".into(), 4u32.to_value());
+    obj.remove("a");
+    let back = Versioned::from_value(&Value::Object(obj)).unwrap();
+    assert_eq!(back.base, 4);
+    assert_eq!(back.extra, Vec::<f32>::new());
+    assert_eq!(back.label, "");
+}
+
+#[test]
+fn missing_non_default_field_still_errors() {
+    let v = Value::Object(serde::Map::new());
+    let err = Versioned::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("missing field `base`"), "{err}");
+}

@@ -5,7 +5,10 @@
 //! `proc_macro` token stream. It supports exactly the shapes the workspace
 //! declares:
 //!
-//! - structs with named fields (honouring `#[serde(skip, default)]`);
+//! - structs with named fields (honouring `#[serde(skip, default)]` and the
+//!   bare `#[serde(default)]` — the latter serializes normally but tolerates
+//!   a missing field on deserialize, the versioned-struct-evolution hook the
+//!   checkpoint format relies on);
 //! - enums whose variants are unit or newtype (single unnamed field).
 //!
 //! Anything else (tuple structs, generics, struct variants) triggers a
@@ -22,6 +25,10 @@ struct Field {
     /// `#[serde(skip, default)]` — omit when serializing, `Default` when
     /// deserializing.
     skip: bool,
+    /// Bare `#[serde(default)]` — serialized normally; a *missing* field
+    /// falls back to `Default::default()` instead of erroring, so structs
+    /// can grow fields without invalidating previously written payloads.
+    default: bool,
 }
 
 /// One parsed enum variant.
@@ -105,6 +112,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 if f.skip {
                     inits.push_str(&format!(
                         "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: match obj.get({n:?}) {{\n\
+                             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => ::std::default::Default::default(),\n\
+                         }},\n",
                         n = f.name
                     ));
                 } else {
@@ -207,7 +222,7 @@ fn parse_fields(body: TokenStream, item: &str) -> Vec<Field> {
     let mut toks: Tokens = body.into_iter().peekable();
     let mut fields = Vec::new();
     while toks.peek().is_some() {
-        let skip = attributes_request_skip(&mut toks);
+        let attrs = field_attributes(&mut toks);
         if toks.peek().is_none() {
             break;
         }
@@ -218,7 +233,11 @@ fn parse_fields(body: TokenStream, item: &str) -> Vec<Field> {
             other => panic!("expected `:` after field `{item}.{name}`, got {other:?}"),
         }
         consume_type(&mut toks);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -306,26 +325,40 @@ fn skip_attributes(toks: &mut Tokens) {
     }
 }
 
-/// Skips attributes, reporting whether any was `#[serde(...)]` containing
-/// `skip`.
-fn attributes_request_skip(toks: &mut Tokens) -> bool {
-    let mut skip = false;
+/// Flags a `#[serde(...)]` field attribute can request.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+/// Skips attributes, collecting the `skip` / `default` flags from any
+/// `#[serde(...)]` among them.
+fn field_attributes(toks: &mut Tokens) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         toks.next();
         if let Some(TokenTree::Group(g)) = toks.next() {
             let mut inner = g.stream().into_iter();
             if matches!(&inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
                 if let Some(TokenTree::Group(args)) = inner.next() {
-                    let has = args
-                        .stream()
-                        .into_iter()
-                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
-                    skip = skip || has;
+                    for t in args.stream() {
+                        if let TokenTree::Ident(i) = &t {
+                            match i.to_string().as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                other => panic!(
+                                    "serde shim derive does not understand \
+                                     `#[serde({other})]` (use skip/default)"
+                                ),
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    skip
+    attrs
 }
 
 fn skip_visibility(toks: &mut Tokens) {
