@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! bench-gate compare --baseline BENCH_baseline.json --current BENCH_quick.json
-//!            [--threshold 1.5] [--min-ns 100] [--summary gate.md]
+//!            [--threshold 1.5] [--min-ns 100] [--summary gate.md] [--ratchet]
 //! bench-gate collect bench-lines.jsonl   # JSONL → baseline JSON on stdout
 //! ```
 //!
 //! `compare` prints the Markdown delta table (and writes it to `--summary`
 //! when given, for `$GITHUB_STEP_SUMMARY`), then exits 1 if any named
 //! benchmark regressed past the threshold or vanished from the current run.
+//! With `--ratchet` (the CI default), an *unclaimed improvement* — a bench
+//! running >25% faster than the committed baseline after drift calibration —
+//! also fails, until `BENCH_baseline.json` is refreshed in the same PR.
 //! The threshold can also come from `BENCH_GATE_THRESHOLD` (the flag wins).
 
 use std::process::exit;
@@ -18,7 +21,7 @@ use frs_bench::gate::{self, DEFAULT_MIN_NS, DEFAULT_THRESHOLD};
 fn usage() -> ! {
     eprintln!(
         "usage: bench-gate compare --baseline FILE --current FILE \
-         [--threshold x] [--min-ns n] [--summary FILE]\n\
+         [--threshold x] [--min-ns n] [--summary FILE] [--ratchet]\n\
          \x20      bench-gate collect LINES_FILE"
     );
     exit(2);
@@ -51,6 +54,7 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(DEFAULT_THRESHOLD);
             let mut min_ns = DEFAULT_MIN_NS;
+            let mut ratchet = false;
             let mut iter = args[1..].iter();
             while let Some(flag) = iter.next() {
                 let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
@@ -62,6 +66,7 @@ fn main() {
                         threshold = value().parse().unwrap_or_else(|_| usage());
                     }
                     "--min-ns" => min_ns = value().parse().unwrap_or_else(|_| usage()),
+                    "--ratchet" => ratchet = true,
                     _ => usage(),
                 }
             }
@@ -72,7 +77,13 @@ fn main() {
                 eprintln!("bench-gate: threshold must be ≥ 1.0");
                 exit(2);
             }
-            let report = gate::compare(&read(&baseline), &read(&current), threshold, min_ns);
+            let report = gate::compare(
+                &read(&baseline),
+                &read(&current),
+                threshold,
+                min_ns,
+                ratchet,
+            );
             let markdown = report.to_markdown();
             print!("{markdown}");
             if let Some(path) = summary {

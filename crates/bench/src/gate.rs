@@ -11,6 +11,15 @@
 //! otherwise it would silently dodge the gate). New benchmarks are reported
 //! but never fail — they simply have no baseline yet.
 //!
+//! The gate is also a **ratchet**: in ratchet mode (the CI default, via
+//! `bench-gate compare --ratchet`) a benchmark that runs more than 25%
+//! *faster* than its committed baseline (after machine-drift calibration and
+//! past the noise floor) is flagged as an **unclaimed improvement** and fails
+//! the gate too. A real speedup must land its new number in
+//! `BENCH_baseline.json` in the same PR, so the committed baseline only ever
+//! ratchets downward and a later regression back to the old number cannot
+//! hide inside stale slack.
+//!
 //! The comparison renders as a Markdown delta table (one row per benchmark,
 //! slowest ratio first) for the CI job summary. Regenerate the baseline
 //! with:
@@ -47,6 +56,12 @@ pub const CALIBRATION_MIN_PAIRS: usize = 8;
 
 /// Bounds on the machine-drift calibration factor.
 pub const CALIBRATION_CLAMP: f64 = 2.5;
+
+/// Ratchet trigger: a calibrated ratio below this (>25% faster than the
+/// committed baseline) that also shrinks by at least the noise floor in
+/// absolute nanoseconds is an *improvement* — which, in ratchet mode, must be
+/// claimed by refreshing the baseline in the same PR.
+pub const DEFAULT_IMPROVEMENT_RATIO: f64 = 0.75;
 
 /// One benchmark's measurement, as recorded by the vendored Criterion shim.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +134,10 @@ pub enum Delta {
     BelowFloor,
     /// Slower than `threshold ×` baseline — fails the gate.
     Regressed,
+    /// Faster than [`DEFAULT_IMPROVEMENT_RATIO`] × baseline by more than the
+    /// noise floor — informational normally, fails the gate in ratchet mode
+    /// until the baseline is refreshed.
+    Improved,
     /// In the baseline but not the current run — fails the gate.
     Missing,
     /// In the current run but not the baseline — informational.
@@ -144,16 +163,26 @@ pub struct GateReport {
     /// Machine-drift factor the ratios were divided by before thresholding
     /// (1.0 when calibration did not apply).
     pub scale: f64,
+    /// Ratchet mode: unclaimed improvements fail the gate too.
+    pub ratchet: bool,
     /// All rows, worst ratio first (rows without a ratio sort by severity).
     pub rows: Vec<BenchDelta>,
 }
 
 impl GateReport {
-    /// Benchmarks that fail the gate (regressed or missing).
+    /// Benchmarks that fail the gate: regressed or missing always, improved
+    /// (unclaimed) additionally in ratchet mode.
     pub fn failures(&self) -> impl Iterator<Item = &BenchDelta> {
-        self.rows
-            .iter()
-            .filter(|r| matches!(r.delta, Delta::Regressed | Delta::Missing))
+        self.rows.iter().filter(|r| match r.delta {
+            Delta::Regressed | Delta::Missing => true,
+            Delta::Improved => self.ratchet,
+            Delta::Ok | Delta::BelowFloor | Delta::New => false,
+        })
+    }
+
+    /// Benchmarks that beat their baseline past the improvement ratio.
+    pub fn improvements(&self) -> impl Iterator<Item = &BenchDelta> {
+        self.rows.iter().filter(|r| r.delta == Delta::Improved)
     }
 
     /// True when the gate passes.
@@ -164,15 +193,22 @@ impl GateReport {
     /// The Markdown delta table for the CI job summary.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        let verdict = if self.passed() {
-            "✅ no regression"
-        } else {
+        let hard_failure = self
+            .rows
+            .iter()
+            .any(|r| matches!(r.delta, Delta::Regressed | Delta::Missing));
+        let verdict = if hard_failure {
             "❌ REGRESSION"
+        } else if !self.passed() {
+            "❌ UNCLAIMED IMPROVEMENT — refresh BENCH_baseline.json in this PR"
+        } else {
+            "✅ no regression"
         };
+        let ratchet = if self.ratchet { ", ratchet on" } else { "" };
         let _ = writeln!(
             out,
             "### Bench gate: {verdict} (threshold {:.2}×, noise floor {} ns, \
-             machine-drift calibration {:.2}×)\n",
+             machine-drift calibration {:.2}×{ratchet})\n",
             self.threshold, self.min_ns, self.scale
         );
         out.push_str("| bench | baseline ns/iter | current ns/iter | ratio | status |\n");
@@ -184,6 +220,8 @@ impl GateReport {
                 Delta::Ok => "ok",
                 Delta::BelowFloor => "below noise floor",
                 Delta::Regressed => "**regressed**",
+                Delta::Improved if self.ratchet => "**unclaimed improvement**",
+                Delta::Improved => "improved (consider refreshing the baseline)",
                 Delta::Missing => "**missing from current run**",
                 Delta::New => "new (no baseline)",
             };
@@ -199,12 +237,15 @@ impl GateReport {
     }
 }
 
-/// Compares a current quick run against the committed baseline.
+/// Compares a current quick run against the committed baseline. With
+/// `ratchet` set, improvements past [`DEFAULT_IMPROVEMENT_RATIO`] fail the
+/// gate until the baseline is refreshed.
 pub fn compare(
     baseline: &[BenchRecord],
     current: &[BenchRecord],
     threshold: f64,
     min_ns: u64,
+    ratchet: bool,
 ) -> GateReport {
     let base: BTreeMap<&str, u64> = baseline
         .iter()
@@ -242,10 +283,17 @@ pub fn compare(
             Some(&current_ns) => {
                 let ratio = current_ns as f64 / baseline_ns.max(1) as f64;
                 let grew_past_noise = current_ns >= baseline_ns.saturating_add(min_ns);
+                // The improvement test mirrors the regression test: ratio
+                // past the (calibrated) trigger AND absolute movement past
+                // the noise floor, so micro-bench jitter never demands a
+                // baseline refresh.
+                let shrank_past_noise = current_ns.saturating_add(min_ns) <= baseline_ns;
                 let delta = if baseline_ns < min_ns && current_ns < min_ns {
                     Delta::BelowFloor
                 } else if ratio / scale > threshold && grew_past_noise {
                     Delta::Regressed
+                } else if ratio / scale < DEFAULT_IMPROVEMENT_RATIO && shrank_past_noise {
+                    Delta::Improved
                 } else {
                     Delta::Ok
                 };
@@ -282,8 +330,9 @@ pub fn compare(
         let rank = |r: &BenchDelta| match r.delta {
             Delta::Missing => 0,
             Delta::Regressed => 1,
-            Delta::Ok | Delta::BelowFloor => 2,
-            Delta::New => 3,
+            Delta::Improved => 2,
+            Delta::Ok | Delta::BelowFloor => 3,
+            Delta::New => 4,
         };
         rank(a).cmp(&rank(b)).then(
             b.ratio
@@ -297,6 +346,7 @@ pub fn compare(
         threshold,
         min_ns,
         scale,
+        ratchet,
         rows,
     }
 }
@@ -347,10 +397,16 @@ mod tests {
             &[rec("a", 1400), rec("b", 1000)],
             1.5,
             100,
+            false,
         );
         assert!(report.passed());
         assert_eq!(report.rows.len(), 2);
-        assert!(report.rows.iter().all(|r| r.delta == Delta::Ok));
+        // `a` is within tolerance; `b` halved, which is an improvement —
+        // informational outside ratchet mode.
+        let a = report.rows.iter().find(|r| r.bench == "a").unwrap();
+        assert_eq!(a.delta, Delta::Ok);
+        let b = report.rows.iter().find(|r| r.bench == "b").unwrap();
+        assert_eq!(b.delta, Delta::Improved);
     }
 
     #[test]
@@ -360,6 +416,7 @@ mod tests {
             &[rec("fast", 1001), rec("slow", 1501)],
             1.5,
             100,
+            false,
         );
         assert!(!report.passed());
         let failed: Vec<&str> = report.failures().map(|r| r.bench.as_str()).collect();
@@ -370,7 +427,7 @@ mod tests {
 
     #[test]
     fn missing_bench_fails_but_new_bench_does_not() {
-        let report = compare(&[rec("gone", 500)], &[rec("fresh", 500)], 1.5, 100);
+        let report = compare(&[rec("gone", 500)], &[rec("fresh", 500)], 1.5, 100, false);
         assert!(!report.passed());
         assert_eq!(report.failures().count(), 1);
         let gone = report.rows.iter().find(|r| r.bench == "gone").unwrap();
@@ -383,11 +440,11 @@ mod tests {
     fn sub_floor_jitter_is_ignored() {
         // 40 ns → 90 ns is a 2.25× "regression" entirely inside timer
         // jitter; both sides under the floor → ignored.
-        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 90)], 1.5, 100);
+        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 90)], 1.5, 100, false);
         assert!(report.passed());
         assert_eq!(report.rows[0].delta, Delta::BelowFloor);
         // But crossing the floor hard still fails.
-        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 400)], 1.5, 100);
+        let report = compare(&[rec("tiny", 40)], &[rec("tiny", 400)], 1.5, 100, false);
         assert!(!report.passed());
     }
 
@@ -395,11 +452,17 @@ mod tests {
     fn absolute_excess_guard_absorbs_small_ratio_excursions() {
         // A 97 ns baseline measured at 150 ns elsewhere: 1.55× but only
         // +53 ns — cross-machine jitter, not a regression.
-        let report = compare(&[rec("micro", 97)], &[rec("micro", 150)], 1.5, 100);
+        let report = compare(&[rec("micro", 97)], &[rec("micro", 150)], 1.5, 100, false);
         assert!(report.passed(), "{:?}", report.rows);
         assert_eq!(report.rows[0].delta, Delta::Ok);
         // The same ratio with real absolute growth still fails.
-        let report = compare(&[rec("big", 97_000)], &[rec("big", 150_000)], 1.5, 100);
+        let report = compare(
+            &[rec("big", 97_000)],
+            &[rec("big", 150_000)],
+            1.5,
+            100,
+            false,
+        );
         assert!(!report.passed());
     }
 
@@ -415,7 +478,7 @@ mod tests {
                 rec(&format!("b{i}"), 1_000_000 * factor)
             })
             .collect();
-        let report = compare(&baseline, &current, 1.5, 250);
+        let report = compare(&baseline, &current, 1.5, 250, false);
         assert!((report.scale - 2.0).abs() < 1e-9, "{}", report.scale);
         let failed: Vec<&str> = report.failures().map(|r| r.bench.as_str()).collect();
         assert_eq!(failed, vec!["b3"], "only the outlier fails");
@@ -423,7 +486,7 @@ mod tests {
 
         // Below the pair minimum, ratios are taken raw (scale 1.0): the
         // unit-sized comparisons elsewhere in this suite rely on that.
-        let small = compare(&baseline[..2], &current[..2], 1.5, 250);
+        let small = compare(&baseline[..2], &current[..2], 1.5, 250, false);
         assert_eq!(small.scale, 1.0);
         assert_eq!(small.failures().count(), 2);
     }
@@ -434,7 +497,7 @@ mod tests {
         // clamp caps the factor at 2.5, so every bench still fails loudly.
         let baseline: Vec<BenchRecord> = (0..10).map(|i| rec(&format!("b{i}"), 100_000)).collect();
         let current: Vec<BenchRecord> = (0..10).map(|i| rec(&format!("b{i}"), 1_000_000)).collect();
-        let report = compare(&baseline, &current, 1.5, 250);
+        let report = compare(&baseline, &current, 1.5, 250, false);
         assert_eq!(report.scale, 2.5);
         assert_eq!(report.failures().count(), 10);
     }
@@ -446,6 +509,7 @@ mod tests {
             &[rec("a", 2000), rec("c", 10)],
             1.5,
             100,
+            false,
         );
         let md = report.to_markdown();
         assert!(md.contains("❌ REGRESSION"), "{md}");
@@ -455,7 +519,65 @@ mod tests {
         );
         assert!(md.contains("**missing from current run**"), "{md}");
         assert!(md.contains("new (no baseline)"), "{md}");
-        let passing = compare(&[rec("a", 1000)], &[rec("a", 900)], 1.5, 100);
+        let passing = compare(&[rec("a", 1000)], &[rec("a", 900)], 1.5, 100, false);
         assert!(passing.to_markdown().contains("✅ no regression"));
+    }
+
+    #[test]
+    fn ratchet_fails_unclaimed_improvements() {
+        // A genuine 2× win: informational without the ratchet, a failure
+        // demanding a baseline refresh with it.
+        let baseline = [rec("hot", 10_000)];
+        let current = [rec("hot", 5_000)];
+        let advisory = compare(&baseline, &current, 1.5, 250, false);
+        assert!(advisory.passed());
+        assert_eq!(advisory.rows[0].delta, Delta::Improved);
+        assert_eq!(advisory.improvements().count(), 1);
+        assert!(advisory
+            .to_markdown()
+            .contains("improved (consider refreshing the baseline)"));
+
+        let ratchet = compare(&baseline, &current, 1.5, 250, true);
+        assert!(!ratchet.passed());
+        let failed: Vec<&str> = ratchet.failures().map(|r| r.bench.as_str()).collect();
+        assert_eq!(failed, vec!["hot"]);
+        let md = ratchet.to_markdown();
+        assert!(md.contains("❌ UNCLAIMED IMPROVEMENT"), "{md}");
+        assert!(md.contains("**unclaimed improvement**"), "{md}");
+        assert!(md.contains("ratchet on"), "{md}");
+
+        // Claiming the win (refreshing the baseline) turns the gate green.
+        let refreshed = compare(&current, &current, 1.5, 250, true);
+        assert!(refreshed.passed());
+    }
+
+    #[test]
+    fn ratchet_ignores_sub_floor_speedups() {
+        // 300 → 200 ns is a 1.5× "speedup" of 100 absolute nanoseconds —
+        // inside the noise floor, so no refresh is demanded.
+        let report = compare(&[rec("micro", 300)], &[rec("micro", 200)], 1.5, 250, true);
+        assert!(report.passed(), "{:?}", report.rows);
+        assert_eq!(report.rows[0].delta, Delta::Ok);
+    }
+
+    #[test]
+    fn ratchet_survives_a_uniformly_faster_machine() {
+        // A runner that is uniformly 2× faster than the baseline machine must
+        // not flag every bench as an unclaimed improvement: the median-drift
+        // calibration normalizes the pack before the improvement test.
+        let baseline: Vec<BenchRecord> =
+            (0..10).map(|i| rec(&format!("b{i}"), 1_000_000)).collect();
+        let current: Vec<BenchRecord> = (0..10).map(|i| rec(&format!("b{i}"), 500_000)).collect();
+        let report = compare(&baseline, &current, 1.5, 250, true);
+        assert!((report.scale - 0.5).abs() < 1e-9, "{}", report.scale);
+        assert!(report.passed(), "{:?}", report.rows);
+
+        // But a single bench that got 4× faster against the pack still
+        // surfaces as a real (unclaimed) improvement.
+        let mut current = current;
+        current[3].ns_per_iter = 250_000;
+        let report = compare(&baseline, &current, 1.5, 250, true);
+        let failed: Vec<&str> = report.failures().map(|r| r.bench.as_str()).collect();
+        assert_eq!(failed, vec!["b3"]);
     }
 }

@@ -16,45 +16,33 @@
 //!
 //! All three fall back to plain summation when the round is too small for
 //! the rule (`n ≤ f + 2`).
+//!
+//! All three consume the *same* shared pairwise-distance layer: one
+//! [`frs_federation::upload_distance_matrix`] per round (views + blocked
+//! kernels, see `UploadView`), with [`frs_linalg::DistanceMatrix::krum_scores`]
+//! on top. Bulyan's selection additionally deactivates matrix rows as it
+//! prunes instead of recomputing anything. Every path is bitwise-identical to
+//! the original scalar implementation — the `kernel-parity` CI job and the
+//! golden tests in `tests/krum_parity.rs` pin that.
 
-use frs_federation::{
-    gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_squared_distance, Aggregator,
-};
+use frs_federation::{sum_uploads, upload_distance_matrix, Aggregator};
 use frs_linalg::coordinate_trimmed_mean;
 use frs_model::GlobalGradients;
 
-/// Krum score per upload. `None` when the rule is undefined for `n`.
-#[allow(clippy::needless_range_loop)] // dist is a symmetric matrix indexed both ways
-fn krum_scores(uploads: &[GlobalGradients], f: usize) -> Option<Vec<f32>> {
-    let n = uploads.len();
-    if n <= f + 2 {
-        return None;
-    }
-    let keep = n - f - 2;
-    // Pairwise distances (symmetric; computed once).
-    let mut dist = vec![vec![0.0f32; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = upload_squared_distance(&uploads[i], &uploads[j]);
-            dist[i][j] = d;
-            dist[j][i] = d;
-        }
-    }
-    let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut row: Vec<f32> = (0..n).filter(|&j| j != i).map(|j| dist[i][j]).collect();
-        row.sort_unstable_by(|a, b| a.total_cmp(b));
-        scores.push(row[..keep.min(row.len())].iter().sum());
-    }
-    Some(scores)
+use crate::median::reduce_upload_refs;
+
+/// Krum score per upload as `(upload index, score)` pairs, via the round's
+/// shared distance matrix. `None` when the rule is undefined for `n`.
+fn krum_scores(uploads: &[GlobalGradients], f: usize) -> Option<Vec<(usize, f32)>> {
+    upload_distance_matrix(uploads).krum_scores(f)
 }
 
-/// Indices of the `m` lowest scores (ties by index).
-fn best_m(scores: &[f32], m: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
-    idx.truncate(m.max(1));
-    idx
+/// Indices of the `m` lowest-scoring uploads (ties by index).
+fn best_m(scores: &[(usize, f32)], m: usize) -> Vec<usize> {
+    let mut order = scores.to_vec();
+    order.sort_unstable_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)));
+    order.truncate(m.max(1));
+    order.into_iter().map(|(i, _)| i).collect()
 }
 
 /// Assumed malicious upload count among `n` for a configured ratio.
@@ -175,39 +163,41 @@ impl Aggregator for Bulyan {
     fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
         let n = uploads.len();
         let f = f_of(n, self.malicious_ratio);
-        let Some(scores) = krum_scores(uploads, f) else {
+        let mut matrix = upload_distance_matrix(uploads);
+        let Some(scores) = matrix.krum_scores(f) else {
             return sum_uploads(uploads);
         };
         let m = n.saturating_sub(2 * f).max(1);
-        let selected: Vec<GlobalGradients> = best_m(&scores, m)
-            .into_iter()
-            .map(|i| uploads[i].clone())
-            .collect();
+        // Pruning loop: repeatedly pick the lowest-scoring active upload
+        // (ties toward the lower index — the unique minimum under the
+        // lexicographic comparator) and deactivate its row/column, which
+        // masks it out of the shared matrix in O(1) instead of recomputing
+        // the surviving submatrix. Over fixed scores this selects exactly
+        // the `m` best, in score order.
+        let mut selected: Vec<&GlobalGradients> = Vec::with_capacity(m);
+        while selected.len() < m {
+            let Some(&(i, _)) = scores
+                .iter()
+                .filter(|&&(i, _)| matrix.is_active(i))
+                .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
+            else {
+                break;
+            };
+            matrix.deactivate(i);
+            selected.push(&uploads[i]);
+        }
         // Trimmed mean per item over the selected uploads — the trim budget
         // is proportional to the item's uploader count (a global `f` would
         // always degenerate to a median for sparsely-uploaded items) —
         // rescaled by the kept count to keep sum-like magnitude.
-        let mut out = GlobalGradients::new();
-        for (item, grads) in gather_item_gradients(&selected) {
+        reduce_upload_refs(&selected, |grads| {
             let trim = (((grads.len() as f64) * self.malicious_ratio).ceil() as usize)
                 .min(grads.len().saturating_sub(1) / 2);
-            let mut combined = coordinate_trimmed_mean(&grads, trim);
+            let mut combined = coordinate_trimmed_mean(grads, trim);
             let kept = grads.len().saturating_sub(2 * trim).max(1) as f32;
             frs_linalg::scale(&mut combined, kept);
-            out.items.insert(item, combined);
-        }
-        let mlp_uploads = gather_mlp_gradients(&selected);
-        if let Some(first) = mlp_uploads.first() {
-            let flats: Vec<Vec<f32>> = mlp_uploads.iter().map(|g| g.flatten()).collect();
-            let refs: Vec<&[f32]> = flats.iter().map(|fl| fl.as_slice()).collect();
-            let trim = (((refs.len() as f64) * self.malicious_ratio).ceil() as usize)
-                .min(refs.len().saturating_sub(1) / 2);
-            let mut combined = coordinate_trimmed_mean(&refs, trim);
-            let kept = refs.len().saturating_sub(2 * trim).max(1) as f32;
-            frs_linalg::scale(&mut combined, kept);
-            out.mlp = Some(first.unflatten_like(&combined));
-        }
-        out
+            combined
+        })
     }
 
     fn name(&self) -> &'static str {

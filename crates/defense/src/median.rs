@@ -7,34 +7,34 @@
 //! which Eq. (11) shows is barely true or false for cold target items under
 //! PIECK, and TrimmedMean's fixed trim budget is easily outnumbered.
 
-use frs_federation::{gather_item_gradients, gather_mlp_gradients, Aggregator};
+use frs_federation::{gather_item_gradients_refs, gather_mlp_gradients_refs, Aggregator};
 use frs_linalg::{coordinate_median, coordinate_trimmed_mean};
 use frs_model::GlobalGradients;
 
-/// Applies a per-item coordinate reduction plus the same rule on the MLP.
+/// Applies a per-item coordinate reduction plus the same rule on the MLP,
+/// over a *selection* of uploads by reference (so Bulyan can reduce its
+/// Krum-selected subset without cloning a single upload). The closure returns
+/// the final — already rescaled — combined vector for one gradient group.
 ///
-/// The reduced value is rescaled by the uploader count: the undefended
-/// baseline aggregator is a *sum*, so a mean-like statistic must be scaled
-/// back to sum magnitude or the server's effective learning rate collapses
-/// by a factor of the batch size and the recommender never trains (which
-/// would make every ER comparison meaningless).
-fn reduce_uploads(
-    uploads: &[GlobalGradients],
+/// On rescaling: the undefended baseline aggregator is a *sum*, so a
+/// mean-like statistic must be scaled back to sum magnitude or the server's
+/// effective learning rate collapses by a factor of the batch size and the
+/// recommender never trains (which would make every ER comparison
+/// meaningless). Median/TrimmedMean rescale by the uploader count; Bulyan by
+/// its post-trim kept count.
+pub(crate) fn reduce_upload_refs(
+    uploads: &[&GlobalGradients],
     reduce: impl Fn(&[&[f32]]) -> Vec<f32>,
 ) -> GlobalGradients {
     let mut out = GlobalGradients::new();
-    for (item, grads) in gather_item_gradients(uploads) {
-        let mut combined = reduce(&grads);
-        frs_linalg::scale(&mut combined, grads.len() as f32);
-        out.items.insert(item, combined);
+    for (item, grads) in gather_item_gradients_refs(uploads) {
+        out.items.insert(item, reduce(&grads));
     }
-    let mlp_uploads = gather_mlp_gradients(uploads);
+    let mlp_uploads = gather_mlp_gradients_refs(uploads);
     if let Some(first) = mlp_uploads.first() {
         let flats: Vec<Vec<f32>> = mlp_uploads.iter().map(|m| m.flatten()).collect();
         let refs: Vec<&[f32]> = flats.iter().map(|f| f.as_slice()).collect();
-        let mut combined = reduce(&refs);
-        frs_linalg::scale(&mut combined, refs.len() as f32);
-        out.mlp = Some(first.unflatten_like(&combined));
+        out.mlp = Some(first.unflatten_like(&reduce(&refs)));
     }
     out
 }
@@ -45,7 +45,12 @@ pub struct Median;
 
 impl Aggregator for Median {
     fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
-        reduce_uploads(uploads, coordinate_median)
+        let refs: Vec<&GlobalGradients> = uploads.iter().collect();
+        reduce_upload_refs(&refs, |grads| {
+            let mut combined = coordinate_median(grads);
+            frs_linalg::scale(&mut combined, grads.len() as f32);
+            combined
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -75,9 +80,12 @@ impl TrimmedMean {
 
 impl Aggregator for TrimmedMean {
     fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
-        reduce_uploads(uploads, |grads| {
+        let refs: Vec<&GlobalGradients> = uploads.iter().collect();
+        reduce_upload_refs(&refs, |grads| {
             let trim = ((grads.len() as f64) * self.trim_ratio).ceil() as usize;
-            coordinate_trimmed_mean(grads, trim)
+            let mut combined = coordinate_trimmed_mean(grads, trim);
+            frs_linalg::scale(&mut combined, grads.len() as f32);
+            combined
         })
     }
 

@@ -34,8 +34,9 @@ pub mod stats;
 pub mod wire;
 
 pub use aggregate::{
-    gather_item_gradients, gather_mlp_gradients, sum_uploads, upload_norm, upload_squared_distance,
-    Aggregator, SumAggregator,
+    gather_item_gradients, gather_item_gradients_refs, gather_mlp_gradients,
+    gather_mlp_gradients_refs, sum_uploads, upload_distance_matrix, upload_norm,
+    upload_squared_distance, upload_squared_distance_views, Aggregator, SumAggregator, UploadView,
 };
 pub use budget::{CoreBudget, CoreLease};
 pub use checkpoint::{SimulationCheckpoint, CHECKPOINT_FORMAT_VERSION};

@@ -1,0 +1,349 @@
+//! Shared pairwise-distance kernel for the robust aggregators.
+//!
+//! Krum, Multi-Krum, and Bulyan all start from the same object: the symmetric
+//! matrix of squared L2 distances between the round's uploads. Historically
+//! each aggregator rebuilt it from scratch; [`DistanceMatrix`] computes it
+//! once per round and every consumer reads from the same storage. Bulyan's
+//! selection loop additionally needs to *remove* uploads as it prunes — that
+//! is [`DistanceMatrix::deactivate`], which masks a row/column out of all
+//! subsequent queries instead of recomputing the surviving submatrix.
+//!
+//! # Determinism contract
+//!
+//! Every kernel in this module is bitwise-deterministic and pinned to the
+//! summation order of the naive scalar reference:
+//!
+//! - [`squared_distance_blocked`] accumulates `(a[i]-b[i])²` strictly in index
+//!   order (the unrolling only widens the independent subtract/multiply work,
+//!   never the adds), so it returns the exact same bits as
+//!   [`crate::vector::squared_l2_distance`].
+//! - [`DistanceMatrix::krum_scores`] sums each row's `keep` smallest distances
+//!   in ascending value order via a partial select
+//!   ([`crate::rank::sum_k_smallest`]), which is bitwise-identical to fully
+//!   sorting the row and summing the prefix.
+//!
+//! The `kernel-parity` CI job pins both claims with proptest suites
+//! (`cargo test --release -p frs-linalg --test kernel_parity`).
+
+/// Symmetric matrix of pairwise distances with an activity mask.
+///
+/// Stored dense and row-major (`n × n`, diagonal zero). The mask starts all
+/// active; [`deactivate`](Self::deactivate) removes an index from every later
+/// [`krum_scores`](Self::krum_scores) query in O(1) instead of shrinking the
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f32>,
+    active: Vec<bool>,
+    n_active: usize,
+}
+
+/// Tile edge used by [`DistanceMatrix::from_fn`]. Pairs are evaluated tile by
+/// tile so that the per-upload working set (gradient slices, precomputed
+/// self-dots) stays cache-resident while it is reused against a whole block of
+/// partners. Each pair is still evaluated exactly once and written to a fixed
+/// slot, so blocking cannot change any value.
+pub const DISTANCE_BLOCK: usize = 16;
+
+impl DistanceMatrix {
+    /// Build the matrix by evaluating `dist(i, j)` once for every pair
+    /// `i < j` (tiled in [`DISTANCE_BLOCK`]-sized blocks) and mirroring into
+    /// both triangles. The diagonal is zero.
+    pub fn from_fn(n: usize, dist: impl FnMut(usize, usize) -> f32) -> Self {
+        Self::from_fn_blocked(n, DISTANCE_BLOCK, dist)
+    }
+
+    /// [`from_fn`](Self::from_fn) with an explicit tile edge (`block == 0` is
+    /// treated as unblocked). Exposed so the parity suite can pin that the
+    /// result is independent of the blocking factor.
+    pub fn from_fn_blocked(
+        n: usize,
+        block: usize,
+        mut dist: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
+        let block = if block == 0 { n.max(1) } else { block };
+        let mut data = vec![0.0f32; n * n];
+        for i0 in (0..n).step_by(block) {
+            for j0 in (i0..n).step_by(block) {
+                for i in i0..(i0 + block).min(n) {
+                    let j_lo = j0.max(i + 1);
+                    for j in j_lo..(j0 + block).min(n) {
+                        let d = dist(i, j);
+                        data[i * n + j] = d;
+                        data[j * n + i] = d;
+                    }
+                }
+            }
+        }
+        DistanceMatrix {
+            n,
+            data,
+            active: vec![true; n],
+            n_active: n,
+        }
+    }
+
+    /// Total number of rows (active or not).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows still active.
+    pub fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    /// Whether row `i` is still active.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// The stored distance between `i` and `j` (zero on the diagonal),
+    /// regardless of activity.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mask row/column `i` out of all subsequent queries. Returns `false` if
+    /// it was already inactive. This is the incremental path Bulyan's pruning
+    /// loop uses: the surviving scores are exactly what a freshly built
+    /// submatrix over the active set would produce, without recomputing any
+    /// distance.
+    pub fn deactivate(&mut self, i: usize) -> bool {
+        if !self.active[i] {
+            return false;
+        }
+        self.active[i] = false;
+        self.n_active -= 1;
+        true
+    }
+
+    /// Indices still active, ascending.
+    pub fn active_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.active[i])
+    }
+
+    /// Krum score for every active row: the sum of its `n_active − f − 2`
+    /// smallest distances to other active rows (Blanchard et al.'s
+    /// closest-neighbour sum). Returns `None` when `n_active ≤ f + 2`, where
+    /// the score is undefined and callers fall back to plain averaging.
+    ///
+    /// Summation is over the selected distances in ascending value order —
+    /// bitwise-identical to sorting the whole row and summing the prefix.
+    pub fn krum_scores(&self, f: usize) -> Option<Vec<(usize, f32)>> {
+        let n_act = self.n_active;
+        if n_act <= f + 2 {
+            return None;
+        }
+        let keep = n_act - f - 2;
+        let mut row = Vec::with_capacity(n_act.saturating_sub(1));
+        let mut scores = Vec::with_capacity(n_act);
+        for i in 0..self.n {
+            if !self.active[i] {
+                continue;
+            }
+            row.clear();
+            for j in 0..self.n {
+                if j != i && self.active[j] {
+                    row.push(self.data[i * self.n + j]);
+                }
+            }
+            scores.push((i, crate::rank::sum_k_smallest(&mut row, keep)));
+        }
+        Some(scores)
+    }
+}
+
+/// Squared L2 distance with the accumulation unrolled over 4-element chunks.
+///
+/// The subtract/multiply work of a chunk is expressed as four independent
+/// temporaries (so the compiler is free to vectorize it) while the adds into
+/// the accumulator stay strictly sequential in index order. Because every
+/// floating-point operation has identical operands in an identical order, the
+/// result is bitwise-equal to [`crate::vector::squared_l2_distance`].
+pub fn squared_distance_blocked(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance over mismatched lengths");
+    // `Iterator::sum::<f32>()` folds from -0.0, the IEEE additive identity;
+    // start there so even empty/all-negative-zero inputs match bitwise.
+    let mut acc = -0.0f32;
+    let chunks = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        let s0 = d0 * d0;
+        let s1 = d1 * d1;
+        let s2 = d2 * d2;
+        let s3 = d3 * d3;
+        acc += s0;
+        acc += s1;
+        acc += s2;
+        acc += s3;
+        i += 4;
+    }
+    while i < a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+/// Dot product with the same unrolling scheme as [`squared_distance_blocked`]:
+/// independent per-lane multiplies, strictly sequential adds. Bitwise-equal to
+/// [`crate::vector::dot`].
+pub fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+    // Same -0.0 starting point as `Iterator::sum::<f32>()`; see
+    // `squared_distance_blocked`.
+    let mut acc = -0.0f32;
+    let chunks = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        let p0 = a[i] * b[i];
+        let p1 = a[i + 1] * b[i + 1];
+        let p2 = a[i + 2] * b[i + 2];
+        let p3 = a[i + 3] * b[i + 3];
+        acc += p0;
+        acc += p1;
+        acc += p2;
+        acc += p3;
+        i += 4;
+    }
+    while i < a.len() {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::squared_l2_distance;
+
+    fn demo_points() -> Vec<Vec<f32>> {
+        (0..9)
+            .map(|i| (0..7).map(|k| ((i * 7 + k) as f32 * 0.37).sin()).collect())
+            .collect()
+    }
+
+    fn demo_matrix() -> DistanceMatrix {
+        let pts = demo_points();
+        DistanceMatrix::from_fn(pts.len(), |i, j| squared_l2_distance(&pts[i], &pts[j]))
+    }
+
+    #[test]
+    fn symmetric_with_zero_diagonal() {
+        let m = demo_matrix();
+        for i in 0..m.n() {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..m.n() {
+                assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_factor_does_not_change_values() {
+        let pts = demo_points();
+        let reference = DistanceMatrix::from_fn_blocked(pts.len(), 0, |i, j| {
+            squared_l2_distance(&pts[i], &pts[j])
+        });
+        for block in [1, 2, 3, 4, 16, 64] {
+            let m = DistanceMatrix::from_fn_blocked(pts.len(), block, |i, j| {
+                squared_l2_distance(&pts[i], &pts[j])
+            });
+            for i in 0..m.n() {
+                for j in 0..m.n() {
+                    assert_eq!(
+                        m.get(i, j).to_bits(),
+                        reference.get(i, j).to_bits(),
+                        "block={block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_pair_evaluated_exactly_once() {
+        let n = 13;
+        let mut calls = std::collections::HashSet::new();
+        let m = DistanceMatrix::from_fn(n, |i, j| {
+            assert!(i < j, "only upper-triangle pairs may be requested");
+            assert!(calls.insert((i, j)), "pair ({i},{j}) evaluated twice");
+            (i + j) as f32
+        });
+        assert_eq!(calls.len(), n * (n - 1) / 2);
+        assert_eq!(m.n_active(), n);
+    }
+
+    #[test]
+    fn krum_scores_undefined_at_small_n() {
+        let m = demo_matrix(); // n = 9
+        assert!(m.krum_scores(9).is_none());
+        assert!(m.krum_scores(7).is_none()); // n_active == f + 2
+        assert!(m.krum_scores(6).is_some()); // n_active == f + 3
+    }
+
+    #[test]
+    fn krum_scores_match_full_sort_reference() {
+        let m = demo_matrix();
+        let f = 2;
+        let keep = m.n() - f - 2;
+        let got = m.krum_scores(f).expect("defined");
+        for (i, score) in got {
+            let mut row: Vec<f32> = (0..m.n())
+                .filter(|&j| j != i)
+                .map(|j| m.get(i, j))
+                .collect();
+            row.sort_unstable_by(f32::total_cmp);
+            let want: f32 = row[..keep].iter().sum();
+            assert_eq!(score.to_bits(), want.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn deactivation_matches_fresh_submatrix() {
+        let pts = demo_points();
+        let mut m = demo_matrix();
+        assert!(m.deactivate(3));
+        assert!(m.deactivate(7));
+        assert!(!m.deactivate(3), "second deactivation is a no-op");
+        assert_eq!(m.n_active(), pts.len() - 2);
+
+        let survivors: Vec<usize> = m.active_indices().collect();
+        let fresh = DistanceMatrix::from_fn(survivors.len(), |a, b| {
+            squared_l2_distance(&pts[survivors[a]], &pts[survivors[b]])
+        });
+        let f = 1;
+        let got = m.krum_scores(f).expect("defined on survivors");
+        let want = fresh.krum_scores(f).expect("defined on fresh submatrix");
+        assert_eq!(got.len(), want.len());
+        for ((gi, gs), (wi, ws)) in got.iter().zip(want.iter()) {
+            assert_eq!(*gi, survivors[*wi]);
+            assert_eq!(gs.to_bits(), ws.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_are_bitwise_scalar() {
+        let pts = demo_points();
+        for a in &pts {
+            for b in &pts {
+                assert_eq!(
+                    squared_distance_blocked(a, b).to_bits(),
+                    squared_l2_distance(a, b).to_bits()
+                );
+                assert_eq!(
+                    dot_blocked(a, b).to_bits(),
+                    crate::vector::dot(a, b).to_bits()
+                );
+            }
+        }
+    }
+}

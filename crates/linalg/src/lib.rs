@@ -4,14 +4,17 @@
 //! here: embedding vectors ([`vector`]), row-major embedding tables
 //! ([`matrix`]), numerically stable activations ([`activation`]), softmax-based
 //! KL divergence with analytic gradients ([`mod@softmax`]), robust statistics used
-//! by the server-side defenses ([`stats`]), and ranking / top-k selection used
-//! by recommendation lists and the popular-item miner ([`rank`]).
+//! by the server-side defenses ([`stats`]), ranking / top-k selection used
+//! by recommendation lists and the popular-item miner ([`rank`]), and the
+//! shared pairwise-distance kernel the robust aggregators consume
+//! ([`distance`]).
 //!
 //! The crate is deliberately dependency-light (only `rand` for initializers)
 //! and every operation is deterministic given its inputs, which keeps the whole
 //! simulation reproducible from a single seed.
 
 pub mod activation;
+pub mod distance;
 pub mod matrix;
 pub mod rank;
 pub mod rng;
@@ -22,8 +25,12 @@ pub mod vector;
 pub use activation::{
     leaky_relu, leaky_relu_grad, log_sigmoid, relu, relu_grad, relu_inplace, sigmoid,
 };
+pub use distance::{dot_blocked, squared_distance_blocked, DistanceMatrix, DISTANCE_BLOCK};
 pub use matrix::Matrix;
-pub use rank::{argsort_desc, rank_of, top_k_desc, top_k_desc_filtered};
+pub use rank::{
+    argsort_desc, rank_of, sum_k_smallest, top_k_desc, top_k_desc_filtered,
+    top_k_desc_filtered_into,
+};
 pub use rng::SeedStream;
 pub use softmax::{kl_divergence, kl_grad_wrt_p, kl_grad_wrt_q, log_softmax, softmax};
 pub use stats::{

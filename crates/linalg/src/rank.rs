@@ -39,21 +39,58 @@ pub fn top_k_desc(scores: &[f32], k: usize) -> Vec<usize> {
 pub fn top_k_desc_filtered(
     scores: &[f32],
     k: usize,
-    mut eligible: impl FnMut(usize) -> bool,
+    eligible: impl FnMut(usize) -> bool,
 ) -> Vec<usize> {
-    let candidates: Vec<usize> = (0..scores.len()).filter(|&i| eligible(i)).collect();
-    if candidates.is_empty() || k == 0 {
-        return Vec::new();
+    let mut out = Vec::new();
+    top_k_desc_filtered_into(scores, k, eligible, &mut out);
+    out
+}
+
+/// [`top_k_desc_filtered`] writing into a caller-owned buffer so per-user
+/// metric loops (ER@K over the whole population) allocate nothing after the
+/// first user. `out` is cleared, used as the candidate scratch for the partial
+/// select, and left holding the result.
+pub fn top_k_desc_filtered_into(
+    scores: &[f32],
+    k: usize,
+    mut eligible: impl FnMut(usize) -> bool,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    out.extend((0..scores.len()).filter(|&i| eligible(i)));
+    if out.is_empty() || k == 0 {
+        out.clear();
+        return;
     }
-    let mut idx = candidates;
-    if k < idx.len() {
-        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+    if k < out.len() {
+        out.select_nth_unstable_by(k - 1, |&a, &b| {
             scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
         });
-        idx.truncate(k);
+        out.truncate(k);
     }
-    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-    idx
+    out.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+}
+
+/// Sum of the `k` smallest values, accumulated in ascending value order.
+///
+/// Uses a partial `select_nth_unstable` pass and sorts only the surviving
+/// prefix, but the summed value sequence — and therefore every intermediate
+/// rounding step — is exactly the one a full ascending sort would produce, so
+/// the result is bitwise-identical to `sort + prefix sum`. (Values tied at the
+/// selection boundary are equal, so which of them land in the prefix cannot
+/// change the sum.) Reorders `values` in place.
+pub fn sum_k_smallest(values: &mut [f32], k: usize) -> f32 {
+    let k = k.min(values.len());
+    if k == 0 {
+        // `Iterator::sum::<f32>()` of nothing is -0.0 (the IEEE additive
+        // identity); return the same bits the reference prefix sum would.
+        return values[..0].iter().sum();
+    }
+    if k < values.len() {
+        values.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+    }
+    values[..k].sort_unstable_by(|a, b| a.total_cmp(b));
+    values[..k].iter().sum()
 }
 
 /// Zero-based rank of `target` when all entries are sorted descending, i.e.
@@ -114,6 +151,32 @@ mod tests {
         assert_eq!(rank_of(&scores, 2), 1);
         assert_eq!(rank_of(&scores, 0), 2);
         assert_eq!(rank_of(&scores, 3), 3); // tie resolved toward earlier index
+    }
+
+    #[test]
+    fn top_k_filtered_into_reuses_buffer() {
+        let scores = [0.3, 0.7, 0.7, -0.2, 1.5, 0.0, 0.9];
+        let mut buf = vec![99usize; 32];
+        for k in 0..=scores.len() + 1 {
+            top_k_desc_filtered_into(&scores, k, |i| i != 4, &mut buf);
+            assert_eq!(buf, top_k_desc_filtered(&scores, k, |i| i != 4), "k={k}");
+        }
+        top_k_desc_filtered_into(&scores, 3, |_| false, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn sum_k_smallest_matches_sorted_prefix() {
+        let base = [3.5f32, -1.0, 2.25, -1.0, 0.0, 7.5, 2.25, -4.0, 0.5];
+        for k in 0..=base.len() + 1 {
+            let mut xs = base.to_vec();
+            let got = sum_k_smallest(&mut xs, k);
+            let mut sorted = base.to_vec();
+            sorted.sort_unstable_by(f32::total_cmp);
+            let want: f32 = sorted[..k.min(sorted.len())].iter().sum();
+            assert_eq!(got.to_bits(), want.to_bits(), "k={k}");
+        }
+        assert_eq!(sum_k_smallest(&mut [], 3), 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! never be "newly exposed"). The attack metric is the mean over all targets.
 
 use frs_data::Dataset;
-use frs_linalg::top_k_desc_filtered;
+use frs_linalg::top_k_desc_filtered_into;
 use frs_model::GlobalModel;
 
 /// ER@K for every target plus the mean — one evaluation pass per user.
@@ -38,9 +38,14 @@ impl ExposureReport {
         let mut exposed = vec![0usize; targets.len()];
         let mut eligible_users = vec![0usize; targets.len()];
 
+        // Score and top-K buffers live across the user loop: with the
+        // partial-select `_into` path the whole population scan allocates a
+        // constant number of vectors instead of two per user.
+        let mut scores = Vec::new();
+        let mut top = Vec::new();
         for &u in benign_users {
-            let scores = model.scores_for_user(&user_embeddings[u]);
-            let top = top_k_desc_filtered(&scores, k, |j| !train.interacted(u, j as u32));
+            model.scores_for_user_into(&user_embeddings[u], &mut scores);
+            top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
             for (t, &target) in targets.iter().enumerate() {
                 if train.interacted(u, target) {
                     continue; // u ∈ Ū'_j: excluded from the denominator.

@@ -30,8 +30,11 @@ impl QualityReport {
         assert!(k > 0, "K must be positive");
         let mut hits = 0usize;
         let mut ndcg_sum = 0.0f64;
+        // One score buffer reused across the user loop (the rank pass below
+        // is already a single early-exiting scan, never a sort).
+        let mut scores = Vec::new();
         for &u in eval_users {
-            let scores = model.scores_for_user(&user_embeddings[u]);
+            model.scores_for_user_into(&user_embeddings[u], &mut scores);
             let test = split.test_item[u];
             let test_score = scores[test as usize];
             // Rank among eligible (non-train-interacted) items: count eligible

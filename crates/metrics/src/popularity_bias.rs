@@ -13,7 +13,7 @@
 //!   recommended items — how strongly lists skew popular.
 
 use frs_data::Dataset;
-use frs_linalg::top_k_desc_filtered;
+use frs_linalg::top_k_desc_filtered_into;
 use frs_model::GlobalModel;
 
 /// Per-item recommendation frequency over all users' top-K lists.
@@ -25,9 +25,12 @@ pub fn recommendation_frequency(
     k: usize,
 ) -> Vec<u32> {
     let mut freq = vec![0u32; model.n_items()];
+    let mut scores = Vec::new();
+    let mut top = Vec::new();
     for &u in users {
-        let scores = model.scores_for_user(&user_embeddings[u]);
-        for j in top_k_desc_filtered(&scores, k, |j| !train.interacted(u, j as u32)) {
+        model.scores_for_user_into(&user_embeddings[u], &mut scores);
+        top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
+        for &j in &top {
             freq[j] += 1;
         }
     }

@@ -196,21 +196,28 @@ impl GlobalModel {
     /// (top-K lists). Sigmoid is monotone so ranking on logits is identical
     /// to ranking on predicted scores.
     pub fn scores_for_user(&self, user_emb: &[f32]) -> Vec<f32> {
-        let n = self.n_items();
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(self.n_items());
+        self.scores_for_user_into(user_emb, &mut out);
+        out
+    }
+
+    /// [`Self::scores_for_user`] into a caller-owned buffer so per-user
+    /// evaluation loops reuse one allocation. For NCF the item axis runs
+    /// through a batched forward pass ([`crate::ncf::NcfModel::
+    /// scores_for_user_into`]) that amortizes the user half of the first MLP
+    /// layer; values are bitwise-identical to the per-item [`Self::logit`]
+    /// loop either way.
+    pub fn scores_for_user_into(&self, user_emb: &[f32], out: &mut Vec<f32>) {
         match self {
             GlobalModel::Mf(m) => {
-                for j in 0..n {
+                out.clear();
+                out.reserve(m.n_items());
+                for j in 0..m.n_items() {
                     out.push(m.logit(user_emb, j as u32));
                 }
             }
-            GlobalModel::Ncf(m) => {
-                for j in 0..n {
-                    out.push(m.logit(user_emb, j as u32));
-                }
-            }
+            GlobalModel::Ncf(m) => m.scores_for_user_into(user_emb, out),
         }
-        out
     }
 }
 

@@ -29,4 +29,4 @@ pub use config::{ModelConfig, ModelKind};
 pub use global::{ForwardCache, GlobalModel};
 pub use gradients::{GlobalGradients, MlpGradients};
 pub use loss::{bce_logit_delta, bce_loss, bpr_logit_deltas, bpr_loss, LossKind};
-pub use mlp::Mlp;
+pub use mlp::{BatchScorer, Mlp};

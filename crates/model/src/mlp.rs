@@ -200,6 +200,90 @@ impl Mlp {
             + self.biases.iter().map(Vec::len).sum::<usize>()
             + self.projection.len()
     }
+
+    /// Prepares a [`BatchScorer`] for a batch of inputs sharing a common
+    /// `prefix` (for NCF score-all-items, the user embedding `u` of the
+    /// `u ⊕ v ⊕ u⊙v` input): each first-layer neuron's dot product over the
+    /// prefix coordinates is folded once here and continued per item, and all
+    /// activation scratch is allocated once and reused across the batch.
+    pub fn batch_scorer(&self, prefix: &[f32]) -> BatchScorer<'_> {
+        assert!(
+            prefix.len() <= self.input_dim(),
+            "prefix longer than the MLP input"
+        );
+        let w0 = &self.weights[0];
+        let prefix_acc: Vec<f32> = (0..w0.rows())
+            .map(|r| fold_dot(-0.0, &w0.row(r)[..prefix.len()], prefix))
+            .collect();
+        BatchScorer {
+            mlp: self,
+            prefix_len: prefix.len(),
+            prefix_acc,
+            buf_a: Vec::new(),
+            buf_b: Vec::new(),
+        }
+    }
+}
+
+/// Continues a running `Iterator::sum`-style fold with the products
+/// `a[i] · b[i]` in index order. With `init = -0.0` (the fold identity of
+/// `Iterator::sum::<f32>()`) this is exactly `frs_linalg::dot`; starting from
+/// a previous partial fold it extends that dot product without re-reading the
+/// earlier coordinates.
+fn fold_dot(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = init;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Batched [`Mlp::forward_logit_only`] over inputs `prefix ⊕ suffix` with a
+/// fixed prefix — see [`Mlp::batch_scorer`].
+///
+/// Each [`logit`](Self::logit) is bitwise-identical to
+/// `forward_logit_only(prefix ⊕ suffix)`: a first-layer dot product is one
+/// left-to-right fold over the input, so resuming it from the precomputed
+/// prefix partial performs the exact same operation sequence, and the tail
+/// layers run unchanged (into reused buffers). The `kernel-parity` CI job
+/// pins this with the `batched_scoring` proptest suite.
+pub struct BatchScorer<'a> {
+    mlp: &'a Mlp,
+    prefix_len: usize,
+    prefix_acc: Vec<f32>,
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+}
+
+impl BatchScorer<'_> {
+    /// The logit for `prefix ⊕ suffix`. Allocation-free after the first call.
+    pub fn logit(&mut self, suffix: &[f32]) -> f32 {
+        let mlp = self.mlp;
+        debug_assert_eq!(self.prefix_len + suffix.len(), mlp.input_dim());
+        let w0 = &mlp.weights[0];
+        self.buf_a.clear();
+        for (r, &acc0) in self.prefix_acc.iter().enumerate() {
+            self.buf_a
+                .push(fold_dot(acc0, &w0.row(r)[self.prefix_len..], suffix));
+        }
+        vector::add_assign(&mut self.buf_a, &mlp.biases[0]);
+        for x in self.buf_a.iter_mut() {
+            *x = leaky_relu(*x, LEAK);
+        }
+        for (w, b) in mlp.weights.iter().zip(&mlp.biases).skip(1) {
+            self.buf_b.clear();
+            for r in 0..w.rows() {
+                self.buf_b.push(fold_dot(-0.0, w.row(r), &self.buf_a));
+            }
+            vector::add_assign(&mut self.buf_b, b);
+            for x in self.buf_b.iter_mut() {
+                *x = leaky_relu(*x, LEAK);
+            }
+            std::mem::swap(&mut self.buf_a, &mut self.buf_b);
+        }
+        vector::dot(&mlp.projection, &self.buf_a)
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +406,24 @@ mod tests {
         }
         let (final_logit, _) = m.forward(&input);
         assert!(final_logit.abs() < 0.05, "logit {final_logit}");
+    }
+
+    #[test]
+    fn batch_scorer_bitwise_matches_forward_logit_only() {
+        let m = mlp(); // input dim 8
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|t| (0..8).map(|i| ((t * 8 + i) as f32 * 0.61).sin()).collect())
+            .collect();
+        for split in 0..=8usize {
+            let mut scorer = m.batch_scorer(&inputs[0][..split]);
+            for input in &inputs {
+                let mut whole = inputs[0][..split].to_vec();
+                whole.extend_from_slice(&input[split..]);
+                let got = scorer.logit(&input[split..]);
+                let want = m.forward_logit_only(&whole);
+                assert_eq!(got.to_bits(), want.to_bits(), "split={split}");
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,27 @@ impl NcfModel {
         self.logit_with_embeddings(user_emb, self.item_embedding(item))
     }
 
+    /// Logits of *every* stored item for one user, batched: the MLP work that
+    /// depends only on the user slot (the first-layer fold over `u`) runs
+    /// once, and all activation scratch is reused across the item axis via
+    /// [`crate::mlp::BatchScorer`]. Bitwise-identical to calling
+    /// [`Self::logit`] per item, with zero allocations per item.
+    pub fn scores_for_user_into(&self, user_emb: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(user_emb.len(), self.dim);
+        let mut scorer = self.mlp.batch_scorer(user_emb);
+        let mut suffix = vec![0.0f32; 2 * self.dim];
+        out.clear();
+        out.reserve(self.n_items());
+        for j in 0..self.n_items() {
+            let item_emb = self.items.row(j);
+            suffix[..self.dim].copy_from_slice(item_emb);
+            for k in 0..self.dim {
+                suffix[self.dim + k] = user_emb[k] * item_emb[k];
+            }
+            out.push(scorer.logit(&suffix));
+        }
+    }
+
     /// Forward with cache for a training example.
     pub fn forward(&self, user_emb: &[f32], item: u32) -> (f32, MlpCache) {
         let mut buf = Vec::with_capacity(3 * self.dim);

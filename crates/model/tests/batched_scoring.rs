@@ -1,0 +1,68 @@
+//! Batched-forward parity: `scores_for_user` (the [`BatchScorer`]-backed
+//! evaluation path) is **bitwise** equal to scoring every item through the
+//! per-example `logit` call.
+//!
+//! The metrics crate ranks whole catalogues off `scores_for_user_into`; a
+//! single differing bit would reorder ties and change ER/HR reports. Part of
+//! the CI `kernel-parity` job; run locally with
+//!
+//! ```text
+//! cargo test --release -p frs-model --test batched_scoring
+//! ```
+
+use frs_model::{GlobalModel, ModelConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_bitwise(model: &GlobalModel, user_emb: &[f32]) -> Result<(), TestCaseError> {
+    let batched = model.scores_for_user(user_emb);
+    prop_assert_eq!(batched.len(), model.n_items());
+    for (j, score) in batched.iter().enumerate() {
+        prop_assert_eq!(score.to_bits(), model.logit(user_emb, j as u32).to_bits());
+    }
+    // The `_into` path must reuse a dirty buffer correctly.
+    let mut buf = vec![f32::NAN; 3];
+    model.scores_for_user_into(user_emb, &mut buf);
+    let a: Vec<u32> = batched.iter().map(|x| x.to_bits()).collect();
+    let b: Vec<u32> = buf.iter().map(|x| x.to_bits()).collect();
+    prop_assert_eq!(a, b);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ncf_batched_scores_are_bitwise_per_item(
+        seed in any::<u64>(),
+        user in prop::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        // ncf(8) → MLP shapes over a 24-wide input with two hidden layers:
+        // prefix folding, tail layers, and the projection all exercised.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GlobalModel::new(&ModelConfig::ncf(8), 13, &mut rng);
+        check_bitwise(&model, &user)?;
+    }
+
+    #[test]
+    fn mf_batched_scores_are_bitwise_per_item(
+        seed in any::<u64>(),
+        user in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 9, &mut rng);
+        check_bitwise(&model, &user)?;
+    }
+
+    #[test]
+    fn extreme_user_embeddings_stay_bitwise(
+        seed in any::<u64>(),
+        scale in 1.0f32..1e6,
+    ) {
+        // Saturated activations (deep in the leaky region / huge logits)
+        // must not diverge between the fused and per-item paths.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GlobalModel::new(&ModelConfig::ncf(8), 5, &mut rng);
+        let user: Vec<f32> = (0..8).map(|i| if i % 2 == 0 { scale } else { -scale }).collect();
+        check_bitwise(&model, &user)?;
+    }
+}
