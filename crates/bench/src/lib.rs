@@ -14,11 +14,11 @@ pub mod gate;
 use std::sync::Arc;
 
 use frs_attacks::AttackKind;
-use frs_data::{Dataset, DatasetSpec};
-use frs_defense::DefenseKind;
+use frs_data::{DataSource, Dataset, DatasetSpec};
+use frs_defense::{DefenseKind, DefenseSel};
 use frs_experiments::{paper_scenario, PaperDataset, ScenarioConfig};
-use frs_federation::Simulation;
-use frs_model::{GlobalGradients, GlobalModel, ModelConfig, ModelKind};
+use frs_federation::{ClientsPerRound, Simulation};
+use frs_model::{EmbeddingStore, GlobalGradients, GlobalModel, ModelConfig, ModelKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,17 +47,44 @@ pub fn bench_simulation_at_width(
     frs_experiments::scenario::build_simulation(&cfg, train, &targets)
 }
 
+/// A lazily-pooled simulation over a large synthetic long-tail population
+/// with a fixed 256-client round sample — the fixture behind the
+/// `round/sampled_*` benches, structurally the same world as the
+/// `paper scale` CI cell, two orders of magnitude smaller.
+pub fn bench_sampled_simulation(n_users: usize, defense: &str) -> Simulation {
+    let spec = DatasetSpec {
+        name: format!("bench-sampled-{n_users}"),
+        n_users,
+        n_items: 2000,
+        n_interactions: n_users * 3,
+        item_zipf_exponent: 0.9,
+        user_zipf_exponent: 0.6,
+        min_interactions_per_user: 2,
+        source: DataSource::Synth,
+    };
+    let mut cfg = ScenarioConfig::baseline(spec, ModelKind::Mf, 42);
+    cfg.attack = AttackKind::PieckUea.into();
+    cfg.defense = DefenseSel::parse(defense).expect("bench defense spec");
+    cfg.malicious_ratio = 0.001;
+    cfg.federation.clients_per_round = ClientsPerRound::Count(256);
+    let (_, split, targets) = frs_experiments::scenario::build_world(&cfg);
+    let train = Arc::new(split.train);
+    frs_experiments::scenario::build_simulation(&cfg, train, &targets)
+}
+
 /// A small trained-ish model plus dataset for metric benches.
-pub fn bench_world() -> (GlobalModel, Vec<Vec<f32>>, Arc<Dataset>) {
+pub fn bench_world() -> (GlobalModel, EmbeddingStore, Arc<Dataset>) {
     let mut rng = StdRng::seed_from_u64(7);
     let data = Arc::new(frs_data::synth::generate(
         &DatasetSpec::ml100k_like().scaled(BENCH_SCALE),
         &mut rng,
     ));
     let model = GlobalModel::new(&ModelConfig::mf(16), data.n_items(), &mut rng);
-    let users: Vec<Vec<f32>> = (0..data.n_users())
-        .map(|_| (0..16).map(|_| rng.gen_range(-0.5..0.5)).collect())
-        .collect();
+    let users = EmbeddingStore::from_rows(
+        (0..data.n_users())
+            .map(|_| (0..16).map(|_| rng.gen_range(-0.5..0.5)).collect())
+            .collect(),
+    );
     (model, users, data)
 }
 

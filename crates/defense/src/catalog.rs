@@ -11,7 +11,7 @@
 //! mining parameters from the selection's [`DefenseParams`], falling back
 //! to the model-tuned defaults the [`DefenseBuildCtx`] carries.
 
-use frs_federation::{Aggregator, SumAggregator};
+use frs_federation::{Aggregator, ShardedAggregator, SumAggregator};
 use pieck_core::{DefenseConfig, PieckDefense};
 use serde::{Deserialize, Serialize};
 
@@ -127,8 +127,16 @@ impl DefenseFactory for DefenseKind {
     }
 
     fn param_schema(&self) -> Vec<ParamSpec> {
+        let shards = || {
+            ParamSpec::new(
+                "shards",
+                "item-shard count for the aggregation (1 = dense path)",
+                "1",
+            )
+        };
         match self {
-            DefenseKind::NoDefense | DefenseKind::Median => Vec::new(),
+            DefenseKind::NoDefense => Vec::new(),
+            DefenseKind::Median => vec![shards()],
             DefenseKind::NormBound => vec![ParamSpec::new(
                 "threshold",
                 "L2 clipping threshold per upload",
@@ -137,11 +145,14 @@ impl DefenseFactory for DefenseKind {
             DefenseKind::TrimmedMean
             | DefenseKind::Krum
             | DefenseKind::MultiKrum
-            | DefenseKind::Bulyan => vec![ParamSpec::new(
-                "ratio",
-                "assumed malicious fraction p̃ (clamped to [0, 0.49])",
-                "scenario malicious_ratio",
-            )],
+            | DefenseKind::Bulyan => vec![
+                ParamSpec::new(
+                    "ratio",
+                    "assumed malicious fraction p̃ (clamped to [0, 0.49])",
+                    "scenario malicious_ratio",
+                ),
+                shards(),
+            ],
             DefenseKind::Ours => vec![
                 ParamSpec::new("beta", "weight β of Re1 (Eq. 14)", "model-tuned (ctx)"),
                 ParamSpec::new("gamma", "weight γ of Re2 (Eq. 15)", "model-tuned (ctx)"),
@@ -170,6 +181,19 @@ impl DefenseFactory for DefenseKind {
             .get_f64("ratio")?
             .unwrap_or(ctx.assumed_malicious_ratio)
             .clamp(0.0, 0.49);
+        // Robust rules optionally run item-sharded (million-client rounds);
+        // shards == 1 is the bitwise-identical dense path.
+        let shards = params.get_usize("shards")?.unwrap_or(1);
+        if shards == 0 {
+            return Err("shards must be ≥ 1".into());
+        }
+        let sharded = |agg: Box<dyn Aggregator>| -> Box<dyn Aggregator> {
+            if shards > 1 {
+                Box::new(ShardedAggregator::new(agg, shards))
+            } else {
+                agg
+            }
+        };
         Ok(match self {
             DefenseKind::NoDefense => DefenseInstance::server(Box::new(SumAggregator)),
             DefenseKind::NormBound => {
@@ -178,11 +202,15 @@ impl DefenseFactory for DefenseKind {
                     .unwrap_or(ctx.norm_bound_threshold);
                 DefenseInstance::server(Box::new(NormBound::new(threshold)))
             }
-            DefenseKind::Median => DefenseInstance::server(Box::new(Median)),
-            DefenseKind::TrimmedMean => DefenseInstance::server(Box::new(TrimmedMean::new(ratio))),
-            DefenseKind::Krum => DefenseInstance::server(Box::new(Krum::new(ratio))),
-            DefenseKind::MultiKrum => DefenseInstance::server(Box::new(MultiKrum::new(ratio))),
-            DefenseKind::Bulyan => DefenseInstance::server(Box::new(Bulyan::new(ratio))),
+            DefenseKind::Median => DefenseInstance::server(sharded(Box::new(Median))),
+            DefenseKind::TrimmedMean => {
+                DefenseInstance::server(sharded(Box::new(TrimmedMean::new(ratio))))
+            }
+            DefenseKind::Krum => DefenseInstance::server(sharded(Box::new(Krum::new(ratio)))),
+            DefenseKind::MultiKrum => {
+                DefenseInstance::server(sharded(Box::new(MultiKrum::new(ratio))))
+            }
+            DefenseKind::Bulyan => DefenseInstance::server(sharded(Box::new(Bulyan::new(ratio)))),
             DefenseKind::Ours => {
                 let config = DefenseConfig {
                     mining_rounds: params.get_usize("mining_rounds")?.unwrap_or(2),
@@ -290,6 +318,40 @@ mod tests {
             .with_param("beta", 0.9f32)
             .with_param("re2", false);
         assert!(ok.try_build(&ctx).is_ok());
+    }
+
+    #[test]
+    fn shards_param_wraps_robust_rules() {
+        use frs_model::GlobalGradients;
+        let ctx = DefenseBuildCtx::minimal(0.05, 1.0);
+        for name in ["median", "trimmed-mean", "krum", "multi-krum", "bulyan"] {
+            // shards = 0 is rejected.
+            let bad = DefenseSel::named(name).with_param("shards", 0usize);
+            assert!(
+                bad.try_build(&ctx).unwrap_err().contains("shards"),
+                "{name}"
+            );
+            // A sharded build aggregates to finite values and keeps the
+            // inner rule's display name.
+            let inst = DefenseSel::named(name)
+                .with_param("shards", 4usize)
+                .build(&ctx);
+            let mut u1 = GlobalGradients::new();
+            let mut u2 = GlobalGradients::new();
+            for item in 0..8u32 {
+                u1.add_item_grad(item, &[0.5, 0.5]);
+                u2.add_item_grad(item, &[0.4, 0.6]);
+            }
+            let out = inst.aggregator.aggregate(&[u1, u2]);
+            assert_eq!(out.n_items(), 8, "{name}");
+            assert!(
+                out.items.values().flatten().all(|v| v.is_finite()),
+                "{name}"
+            );
+        }
+        // NoDefense/NormBound/Ours do not take the param.
+        let typo = DefenseSel::named("none").with_param("shards", 2usize);
+        assert!(typo.try_build(&ctx).unwrap_err().contains("unknown"));
     }
 
     #[test]

@@ -84,7 +84,15 @@ use crate::scenario::{ScenarioCheckpoint, ScenarioConfig, ScenarioOutcome};
 /// path this schema no longer runs, so the bump re-keys them — and a
 /// checkpoint sidecar alone can never forge a warm cell: only a completed
 /// run writes `<key>.json`.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+///
+/// v6: million-client rounds. `FederationConfig::users_per_round` became
+/// `clients_per_round` (a [`ClientsPerRound`](frs_federation::ClientsPerRound)
+/// count *or* population fraction, serialized as a bare number), which
+/// renames a key in every canonical config JSON; benign clients materialize
+/// lazily from an arena pool and robust rules can run item-sharded. Both are
+/// bit-identical to the eager/dense paths, but the config shape changed, so
+/// the bump re-keys everything rather than guessing at old entries.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// The content-addressed key of one scenario: SHA-256 (hex) over a
 /// schema-version salt, the canonical config JSON, and the registered

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 
 use frs_attacks::AttackSel;
 use frs_defense::DefenseSel;
-use frs_federation::RoundThreads;
+use frs_federation::{ClientsPerRound, RoundThreads};
 
 use crate::presets::PaperDataset;
 use crate::suite::{default_threads, RunOptions};
@@ -41,6 +41,10 @@ pub struct CommonArgs {
     /// Dataset override (`--dataset ml100k|ml1m|az|file:PATH`): collapses
     /// every sweep's dataset axis to this one dataset.
     pub dataset: Option<PaperDataset>,
+    /// Per-round sample width override (`--clients-per-round 256|0.01|25%`):
+    /// overrides every cell's `|U^r|` — a count, fraction, or percentage of
+    /// the registered population.
+    pub clients_per_round: Option<ClientsPerRound>,
     /// Directory to write the JSON report into (`--json out/`).
     pub json: Option<PathBuf>,
     /// Directory to write the CSV report into (`--csv out/`).
@@ -83,6 +87,7 @@ impl Default for CommonArgs {
             attack: None,
             defense: None,
             dataset: None,
+            clients_per_round: None,
             json: None,
             csv: None,
             quiet: false,
@@ -153,6 +158,15 @@ impl CommonArgs {
                         format!("bad --dataset: {v}; use ml100k|ml1m|az|file:PATH")
                     })?);
                 }
+                "--clients-per-round" => {
+                    let v = iter
+                        .next()
+                        .ok_or("--clients-per-round needs a count, fraction, or pct%")?;
+                    out.clients_per_round = Some(
+                        ClientsPerRound::parse(&v)
+                            .map_err(|e| format!("bad --clients-per-round: {e}"))?,
+                    );
+                }
                 "--json" => {
                     let v = iter.next().ok_or("--json needs a directory")?;
                     out.json = Some(PathBuf::from(v));
@@ -214,7 +228,8 @@ impl CommonArgs {
                     "usage: paper <command> [--scale f] [--rounds n] [--seed s] [--full] \
                      [--threads n] [--round-threads auto|n] [--attack name[:k=v,...]] \
                      [--defense name[:k=v,...]] \
-                     [--dataset ml100k|ml1m|az|file:PATH] [--json dir] [--csv dir] \
+                     [--dataset ml100k|ml1m|az|file:PATH] \
+                     [--clients-per-round n|frac|pct%] [--json dir] [--csv dir] \
                      [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
                      [--resume] [--checkpoint-every n] [--dry-run] [--socket path] \
                      [extra...]"
@@ -240,6 +255,7 @@ impl CommonArgs {
             attack: self.attack.clone(),
             defense: self.defense.clone(),
             dataset: self.dataset.clone(),
+            clients_per_round: self.clients_per_round,
         }
     }
 }
@@ -404,6 +420,19 @@ mod tests {
         assert!(parse(&["--checkpoint-every"]).is_err());
         assert!(parse(&["--checkpoint-every", "x", "--cache-dir", "c"]).is_err());
         assert_eq!(parse(&["table5"]).unwrap().checkpoint_every, 0);
+    }
+
+    #[test]
+    fn parses_clients_per_round_override() {
+        assert!(parse(&[]).unwrap().clients_per_round.is_none());
+        let a = parse(&["scale", "--clients-per-round", "512"]).unwrap();
+        assert_eq!(a.clients_per_round, Some(ClientsPerRound::Count(512)));
+        assert_eq!(a.run_options().clients_per_round, a.clients_per_round);
+        let a = parse(&["scale", "--clients-per-round", "25%"]).unwrap();
+        assert_eq!(a.clients_per_round, Some(ClientsPerRound::Fraction(0.25)));
+        assert!(parse(&["--clients-per-round"]).is_err());
+        assert!(parse(&["--clients-per-round", "0"]).is_err());
+        assert!(parse(&["--clients-per-round", "150%"]).is_err());
     }
 
     #[test]

@@ -11,8 +11,9 @@
 use std::sync::Arc;
 
 use frs_attacks::{AttackKind, AttackSel};
-use frs_data::{synth, DatasetStats};
-use frs_defense::DefenseKind;
+use frs_data::{synth, DataSource, DatasetSpec, DatasetStats};
+use frs_defense::{DefenseKind, DefenseSel};
+use frs_federation::ClientsPerRound;
 use frs_metrics::{
     average_recommended_popularity, catalogue_coverage, covered_users, gini_coefficient,
     pairwise_kl, recommendation_frequency, user_coverage_ratio, DeltaNormTracker,
@@ -22,10 +23,11 @@ use pieck_core::MultiTargetStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::sha256_hex;
 use crate::cli::CommonArgs;
 use crate::presets::{paper_scenario, PaperDataset};
 use crate::report::{pct, Report, Table};
-use crate::scenario::{build_simulation, build_world};
+use crate::scenario::{build_simulation, build_world, ScenarioConfig};
 use crate::suite::{Axis, ConfigPatch, ExecOptions, ExperimentSuite, RunOptions, Sweep};
 
 /// Every subcommand of the `paper` CLI.
@@ -47,11 +49,12 @@ pub enum PaperCommand {
     Fig6b,
     Fig7,
     PopularityBias,
+    Scale,
 }
 
 impl PaperCommand {
     /// All commands, in paper order.
-    pub fn all() -> [PaperCommand; 16] {
+    pub fn all() -> [PaperCommand; 17] {
         use PaperCommand::*;
         [
             Table2,
@@ -70,6 +73,7 @@ impl PaperCommand {
             Fig6b,
             Fig7,
             PopularityBias,
+            Scale,
         ]
     }
 
@@ -92,6 +96,7 @@ impl PaperCommand {
             Self::Fig6b => "fig6b",
             Self::Fig7 => "fig7",
             Self::PopularityBias => "popularity-bias",
+            Self::Scale => "scale",
         }
     }
 
@@ -106,7 +111,7 @@ impl PaperCommand {
     pub fn emits_cell_events(&self) -> bool {
         !matches!(
             self,
-            Self::Table2 | Self::Fig3 | Self::Fig4 | Self::PopularityBias
+            Self::Table2 | Self::Fig3 | Self::Fig4 | Self::PopularityBias | Self::Scale
         )
     }
 
@@ -129,6 +134,7 @@ impl PaperCommand {
             Self::Fig6b => "cost per communication round (Fig. 6b)",
             Self::Fig7 => "HR vs negative-sampling ratio q (Fig. 7)",
             Self::PopularityBias => "popularity bias of served lists (extension)",
+            Self::Scale => "sampled million-client smoke cell (the CI scale gate)",
         }
     }
 
@@ -201,6 +207,7 @@ impl PaperCommand {
                 .map_err(|e| e.to_string())?
                 .report(),
             Self::PopularityBias => popularity_bias(args, &opts, exec),
+            Self::Scale => scale_smoke(args, operands, &opts)?,
         })
     }
 }
@@ -564,6 +571,136 @@ fn bespoke_lease(opts: &RunOptions, exec: &ExecOptions<'_>) -> Option<frs_federa
         .map(|budget| budget.lease())
 }
 
+/// `paper scale [n_users]` — the sampled million-client smoke cell (the CI
+/// scale gate). One paper-faithful MF round loop over a synthetic long-tail
+/// population of `n_users` registered clients (default 1,000,000): benign
+/// clients materialize lazily from the embedding arena, uploads stay
+/// sparse, and the default defense aggregates item-sharded
+/// (`median:shards=8`). Evaluation ranks a deterministic ~10k-user stride
+/// subsample — full-population ranking is an experiment of its own — and
+/// the report is byte-stable for a given seed: identical across
+/// `--round-threads` policies, arena backings, and replays, so CI `cmp`s
+/// two runs' reports verbatim. A SHA-256 digest over the final item table
+/// and the evaluated users' embedding bits pins the entire training
+/// trajectory, not just the headline metrics.
+fn scale_smoke(
+    args: &CommonArgs,
+    operands: &[String],
+    opts: &RunOptions,
+) -> Result<Report, String> {
+    let n_users: usize = match operands.first().map(String::as_str) {
+        Some(s) => s
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("bad population `{s}`; use a client count"))?,
+        None => 1_000_000,
+    };
+    if n_users < 100 {
+        return Err("population must be ≥ 100 (this is the scale smoke)".into());
+    }
+
+    // Million-client regimes are sparse by nature: a modest catalogue and
+    // tiny per-user histories, so the population — not the data volume —
+    // is what the cell exercises.
+    let spec = DatasetSpec {
+        name: format!("scale-{n_users}"),
+        n_users,
+        n_items: 2000,
+        n_interactions: n_users.saturating_mul(3),
+        item_zipf_exponent: 0.9,
+        user_zipf_exponent: 0.6,
+        min_interactions_per_user: 2,
+        source: DataSource::Synth,
+    };
+    let mut cfg = ScenarioConfig::baseline(spec, ModelKind::Mf, opts.seed);
+    cfg.rounds = args.rounds_or(3);
+    cfg.attack = args
+        .attack
+        .clone()
+        .unwrap_or_else(|| AttackKind::PieckUea.into());
+    cfg.defense = match &args.defense {
+        Some(d) => d.clone(),
+        None => DefenseSel::parse("median:shards=8").expect("builtin defense spec"),
+    };
+    // 0.1% malicious: ~1k boxed attacker clients at the million mark — the
+    // lazy pool keeps the other 99.9% as arena rows only.
+    cfg.malicious_ratio = 0.001;
+    cfg.federation.clients_per_round = opts
+        .clients_per_round
+        .unwrap_or(ClientsPerRound::Count(1024));
+    cfg.federation.round_threads = opts.round_threads;
+
+    let (full, split, targets) = build_world(&cfg);
+    // Every retained Dataset copy is ~100 MB at the million mark; the RSS
+    // ceiling CI asserts depends on dropping the unsplit original here.
+    drop(full);
+    let train = Arc::new(split.train.clone());
+    let mut sim = build_simulation(&cfg, Arc::clone(&train), &targets);
+    for _ in 0..cfg.rounds {
+        sim.run_round();
+    }
+
+    let stride = (n_users / 10_000).max(1);
+    let eval_users: Vec<usize> = (0..train.n_users()).step_by(stride).collect();
+    let embs = sim.user_embeddings();
+    let er = frs_metrics::ExposureReport::compute(
+        sim.model(),
+        &embs,
+        &eval_users,
+        &train,
+        &targets,
+        cfg.eval_k,
+    );
+    let hr =
+        frs_metrics::QualityReport::compute(sim.model(), &embs, &eval_users, &split, cfg.eval_k);
+
+    // Exact final-state bits: item table first, then each evaluated user's
+    // embedding row. Any nondeterminism anywhere in the run lands here.
+    let mut state = Vec::with_capacity(
+        (sim.model().items().as_slice().len() + eval_users.len() * sim.model().dim()) * 4,
+    );
+    for &x in sim.model().items().as_slice() {
+        state.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    for &u in &eval_users {
+        for &x in embs.row(u) {
+            state.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    let digest = sha256_hex(&state);
+
+    let stats = sim.stats();
+    let mut report = Report::new(
+        "scale",
+        format!("Scale smoke — sampled federation at {n_users} clients"),
+    );
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["registered clients".into(), n_users.to_string()]);
+    table.row(&[
+        "clients per round".into(),
+        format!(
+            "{} (effective {})",
+            cfg.federation.clients_per_round,
+            cfg.federation.clients_per_round.effective(sim.n_clients())
+        ),
+    ]);
+    table.row(&["rounds".into(), cfg.rounds.to_string()]);
+    table.row(&["attack".into(), cfg.attack.label()]);
+    table.row(&["defense".into(), cfg.defense.label()]);
+    table.row(&[
+        "malicious sampled".into(),
+        stats.total_malicious_selected.to_string(),
+    ]);
+    table.row(&["upload bytes".into(), stats.total_upload_bytes.to_string()]);
+    table.row(&["eval users".into(), eval_users.len().to_string()]);
+    table.row(&[format!("ER@{}", cfg.eval_k), pct(er.mean_percent())]);
+    table.row(&[format!("HR@{}", cfg.eval_k), pct(hr.hr_percent())]);
+    table.row(&["NDCG".into(), format!("{:.6}", hr.ndcg)]);
+    table.row(&["state digest".into(), digest]);
+    report.section("Sampled cell", table);
+    Ok(report)
+}
+
 /// Table II: PKL and UCR of the Δ-Norm-mined popular set, per model family.
 fn table2(args: &CommonArgs, opts: &RunOptions, exec: &ExecOptions<'_>) -> Report {
     let mut report = Report::new("table2", "Table II — PKL and UCR of mined popular sets");
@@ -595,7 +732,7 @@ fn table2(args: &CommonArgs, opts: &RunOptions, exec: &ExecOptions<'_>) -> Repor
                 .map(|&j| sim.model().item_embedding(j))
                 .collect();
             let covered = covered_users(&train, &popular);
-            let user_embs: Vec<&[f32]> = covered.iter().map(|&u| embs[u].as_slice()).collect();
+            let user_embs: Vec<&[f32]> = covered.iter().map(|&u| embs.row(u)).collect();
             table.row(&[
                 n.to_string(),
                 format!("{:.4}", pairwise_kl(&item_embs, &user_embs)),

@@ -14,6 +14,7 @@
 //! batch, and no poison-scale compensation applies.
 
 use frs_data::DatasetSpec;
+use frs_federation::ClientsPerRound;
 use frs_model::ModelKind;
 use serde::{Deserialize, Serialize};
 
@@ -71,10 +72,10 @@ impl PaperDataset {
         }
     }
 
-    /// Users sampled per round at full scale (paper Section VII-A2):
+    /// Clients sampled per round at full scale (paper Section VII-A2):
     /// 256 everywhere except 1024 for AZ under MF. File datasets follow the
     /// MovieLens protocol (256).
-    pub fn users_per_round(&self, kind: ModelKind) -> usize {
+    pub fn clients_per_round(&self, kind: ModelKind) -> usize {
         match (self, kind) {
             (Self::Az, ModelKind::Mf) => 1024,
             _ => 256,
@@ -104,12 +105,12 @@ pub fn paper_scenario(
         dataset.spec()
     };
     let mut cfg = ScenarioConfig::baseline(spec, kind, seed);
-    let full_batch = dataset.users_per_round(kind);
-    cfg.federation.users_per_round = if shrink {
+    let full_batch = dataset.clients_per_round(kind);
+    cfg.federation.clients_per_round = ClientsPerRound::Count(if shrink {
         (((full_batch as f64) * scale).round() as usize).max(16)
     } else {
         full_batch
-    };
+    });
     // Benign per-example gradients carry a 1/|D_i| factor, so shrinking the
     // dataset by `scale` strengthens them by 1/scale relative to poison;
     // compensate to keep the attack/defense balance scale-invariant. Real
@@ -149,31 +150,43 @@ mod tests {
 
     #[test]
     fn az_mf_uses_large_batch() {
-        assert_eq!(PaperDataset::Az.users_per_round(ModelKind::Mf), 1024);
-        assert_eq!(PaperDataset::Az.users_per_round(ModelKind::Ncf), 256);
-        assert_eq!(PaperDataset::Ml100k.users_per_round(ModelKind::Mf), 256);
+        assert_eq!(PaperDataset::Az.clients_per_round(ModelKind::Mf), 1024);
+        assert_eq!(PaperDataset::Az.clients_per_round(ModelKind::Ncf), 256);
+        assert_eq!(PaperDataset::Ml100k.clients_per_round(ModelKind::Mf), 256);
     }
 
     #[test]
     fn batch_scales_with_dataset() {
         let full = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 1.0, 0);
         let quarter = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.25, 0);
-        assert_eq!(full.federation.users_per_round, 256);
-        assert_eq!(quarter.federation.users_per_round, 64);
+        assert_eq!(
+            full.federation.clients_per_round,
+            ClientsPerRound::Count(256)
+        );
+        assert_eq!(
+            quarter.federation.clients_per_round,
+            ClientsPerRound::Count(64)
+        );
         assert!(quarter.dataset.n_users < full.dataset.n_users);
     }
 
     #[test]
     fn batch_floor_respected() {
         let tiny = paper_scenario(PaperDataset::Ml100k, ModelKind::Mf, 0.01, 0);
-        assert!(tiny.federation.users_per_round >= 16);
+        assert_eq!(
+            tiny.federation.clients_per_round,
+            ClientsPerRound::Count(16)
+        );
     }
 
     #[test]
     fn file_datasets_ignore_scale() {
         let dataset = PaperDataset::File("/tmp/whatever_u.data".into());
         let cfg = paper_scenario(dataset.clone(), ModelKind::Mf, 0.1, 0);
-        assert_eq!(cfg.federation.users_per_round, 256);
+        assert_eq!(
+            cfg.federation.clients_per_round,
+            ClientsPerRound::Count(256)
+        );
         assert_eq!(cfg.poison_scale, 1.0);
         assert_eq!(
             cfg.dataset.file_path(),

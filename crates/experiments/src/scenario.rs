@@ -12,7 +12,9 @@ use std::time::Duration;
 use frs_attacks::{AttackBuildCtx, AttackSel};
 use frs_data::{leave_one_out, movielens, synth, DataSource, Dataset, DatasetSpec, TrainTestSplit};
 use frs_defense::{DefenseBuildCtx, DefenseSel};
-use frs_federation::{BenignClient, Client, CoreLease, FederationConfig, Simulation};
+use frs_federation::{
+    Client, ClientPool, ClientsPerRound, CoreLease, FederationConfig, LazyClientPool, Simulation,
+};
 use frs_metrics::{ExposureReport, QualityReport};
 use frs_model::{GlobalModel, ModelConfig, ModelKind};
 use rand::rngs::StdRng;
@@ -75,7 +77,7 @@ impl ScenarioConfig {
                 // global updates (one client's gradient vs a whole batch's).
                 ModelKind::Ncf => Some(0.05),
             },
-            users_per_round: 256,
+            clients_per_round: ClientsPerRound::Count(256),
             seed,
             ..FederationConfig::default()
         };
@@ -270,29 +272,29 @@ pub fn build_simulation_with(
     let dim = cfg.model.embedding_dim;
     // Every defense — the paper's included — instantiates through the open
     // registry: one `DefenseInstance` per scenario, whose regularizer
-    // factory arms each benign client with its own fresh regularizer.
+    // factory arms each sampled benign client with its own regularizer.
     let defense = cfg.defense.build(&cfg.defense_ctx());
 
-    let mut clients: Vec<Box<dyn Client>> = Vec::with_capacity(n_benign + 64);
-    for u in 0..n_benign {
-        let mut client = BenignClient::new(
-            u,
-            Arc::clone(&train),
-            dim,
-            cfg.model.init_scale,
-            cfg.federation.seed ^ ((u as u64) << 16) ^ 0xBE9,
-        );
-        if let Some(reg) = defense.regularizer_for(u) {
-            client = client.with_regularizer(reg);
-        }
-        clients.push(Box::new(client));
-    }
-
     let n_mal = cfg.n_malicious(n_benign);
-    clients.extend(malicious_builder(n_benign, n_mal));
+    let malicious = malicious_builder(n_benign, n_mal);
+
+    // Benign clients are *lazy*: only arena rows until sampled, so a cell
+    // scales to millions of registered users without a million boxed
+    // clients. Seeds match what the eager `BenignClient::new` loop drew,
+    // so results are unchanged (the pools are bit-identical by contract).
+    let seed = cfg.federation.seed;
+    let pool = LazyClientPool::new(
+        n_benign,
+        Arc::clone(&train),
+        dim,
+        cfg.model.init_scale,
+        move |u| seed ^ ((u as u64) << 16) ^ 0xBE9,
+        defense.regularizer_factory,
+        malicious,
+    );
 
     Simulation::builder(model)
-        .clients(clients)
+        .pool(ClientPool::Lazy(pool))
         .aggregator(defense.aggregator)
         .config(cfg.federation.clone())
         .build()
@@ -466,7 +468,7 @@ mod tests {
 
     fn tiny_cfg(attack: AttackKind, defense: &str) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
-        cfg.federation.users_per_round = 24;
+        cfg.federation.clients_per_round = ClientsPerRound::Count(24);
         cfg.rounds = 60;
         cfg.attack = attack.into();
         cfg.defense = DefenseSel::named(defense);

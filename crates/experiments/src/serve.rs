@@ -163,7 +163,7 @@ mod tests {
 
     fn tiny_cfg(rounds: usize) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 21);
-        cfg.federation.users_per_round = 24;
+        cfg.federation.clients_per_round = frs_federation::ClientsPerRound::Count(24);
         cfg.rounds = rounds;
         cfg
     }

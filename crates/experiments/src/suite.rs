@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use frs_attacks::{AttackKind, AttackSel};
 use frs_defense::DefenseSel;
-use frs_federation::{CoreBudget, RoundThreads};
+use frs_federation::{ClientsPerRound, CoreBudget, RoundThreads};
 use frs_model::{LossKind, ModelKind};
 use serde::{Deserialize, Serialize};
 
@@ -64,7 +64,7 @@ pub struct ConfigPatch {
     pub loss: Option<LossKind>,
     pub client_learning_rate: Option<f32>,
     pub client_lr_cycle: Option<(f32, f32)>,
-    pub users_per_round: Option<usize>,
+    pub clients_per_round: Option<ClientsPerRound>,
     pub trend_every: Option<usize>,
     /// Overrides the poison-upload scale — written into the cell's attack
     /// selection params (`scale`), and only when the attack's schema
@@ -120,8 +120,8 @@ impl ConfigPatch {
         if let Some(v) = self.client_lr_cycle {
             cfg.federation.client_lr_cycle = Some(v);
         }
-        if let Some(v) = self.users_per_round {
-            cfg.federation.users_per_round = v;
+        if let Some(v) = self.clients_per_round {
+            cfg.federation.clients_per_round = v;
         }
         if let Some(v) = self.trend_every {
             cfg.trend_every = v;
@@ -223,6 +223,10 @@ pub struct RunOptions {
     /// When set, collapses every sweep's dataset axis to this dataset —
     /// the CLI's `--dataset ml100k|ml1m|az|file:PATH` override.
     pub dataset: Option<PaperDataset>,
+    /// When set, overrides every cell's per-round sample width `|U^r|` —
+    /// the CLI's `--clients-per-round COUNT|FRACTION|PCT%` override. Part of
+    /// the cell config, so it re-keys the cache (unlike `round_threads`).
+    pub clients_per_round: Option<ClientsPerRound>,
 }
 
 impl Default for RunOptions {
@@ -236,6 +240,7 @@ impl Default for RunOptions {
             attack: None,
             defense: None,
             dataset: None,
+            clients_per_round: None,
         }
     }
 }
@@ -392,6 +397,9 @@ impl Sweep {
                             config.attack = attack.clone();
                             config.defense = defense.clone();
                             config.federation.round_threads = opts.round_threads;
+                            if let Some(cpr) = opts.clients_per_round {
+                                config.federation.clients_per_round = cpr;
+                            }
                             config.rounds = opts.rounds.unwrap_or(self.rounds);
                             config.trend_every = self.trend_every;
                             if let Some(k) = self.eval_k {

@@ -63,6 +63,101 @@ impl Aggregator for SumAggregator {
     }
 }
 
+/// Item-sharded wrapper around any aggregation rule.
+///
+/// Uploads are sparse — a client touches only its local items — but
+/// whole-upload rules (the Krum family) still compare rounds in the full
+/// upload space, and coordinate-wise rules walk one big per-item map. At
+/// million-client round widths that is one huge working set. Sharding
+/// splits the item space by `item % shards` and runs the inner rule
+/// independently per shard over only the coordinates that shard touches,
+/// shrinking the per-invocation working set and bounding the distance
+/// matrices; MLP gradients (dense, unsharded by nature) are aggregated in
+/// one extra pass of their own.
+///
+/// Determinism and parity (pinned by `sharded_parity` in the CI
+/// `kernel-parity` job):
+/// - `shards == 1` delegates outright — bitwise-identical to the bare rule.
+/// - Coordinate-wise rules (Sum/Median/TrimmedMean) are bitwise-identical
+///   to the dense path at **any** shard count: per-item gathering is
+///   unchanged by partitioning the item space.
+/// - Whole-upload rules (Krum/MultiKrum/Bulyan) select per shard at
+///   `shards > 1` — deliberately a different (finer-grained) defense, not a
+///   drifted implementation of the same one.
+pub struct ShardedAggregator {
+    inner: Box<dyn Aggregator>,
+    shards: usize,
+}
+
+impl ShardedAggregator {
+    /// Wraps `inner`, splitting the item space into `shards` residue
+    /// classes. `shards` must be ≥ 1.
+    pub fn new(inner: Box<dyn Aggregator>, shards: usize) -> Self {
+        assert!(shards >= 1, "shards must be ≥ 1");
+        Self { inner, shards }
+    }
+
+    /// Shard count this wrapper was built with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Aggregator for ShardedAggregator {
+    fn aggregate(&self, uploads: &[GlobalGradients]) -> GlobalGradients {
+        if self.shards <= 1 {
+            return self.inner.aggregate(uploads);
+        }
+        let mut out = GlobalGradients::new();
+        // Item pass: per shard, present each upload's touched coordinates in
+        // that residue class (uploads with no items there drop out of the
+        // shard entirely). Output supports are disjoint across shards.
+        let mut shard_uploads: Vec<GlobalGradients> = Vec::with_capacity(uploads.len());
+        for s in 0..self.shards as u32 {
+            shard_uploads.clear();
+            for upload in uploads {
+                let items: BTreeMap<u32, Vec<f32>> = upload
+                    .items
+                    .iter()
+                    .filter(|(&item, _)| item % self.shards as u32 == s)
+                    .map(|(&item, grad)| (item, grad.clone()))
+                    .collect();
+                if !items.is_empty() {
+                    shard_uploads.push(GlobalGradients { items, mlp: None });
+                }
+            }
+            let combined = self.inner.aggregate(&shard_uploads);
+            out.items.extend(combined.items);
+        }
+        // MLP pass: the dense part aggregates once, over exactly the uploads
+        // that carry one.
+        let mlp_uploads: Vec<GlobalGradients> = uploads
+            .iter()
+            .filter(|u| u.mlp.is_some())
+            .map(|u| GlobalGradients {
+                items: BTreeMap::new(),
+                mlp: u.mlp.clone(),
+            })
+            .collect();
+        if !mlp_uploads.is_empty() {
+            out.mlp = self.inner.aggregate(&mlp_uploads).mlp;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn checkpoint_state(&self) -> serde::Value {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.inner.restore_state(state)
+    }
+}
+
 /// Sums a set of uploads item-wise and MLP-wise.
 pub fn sum_uploads(uploads: &[GlobalGradients]) -> GlobalGradients {
     let mut out = GlobalGradients::new();

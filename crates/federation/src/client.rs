@@ -121,17 +121,45 @@ impl BenignClient {
         init_scale: f32,
         seed: u64,
     ) -> Self {
+        Self::from_parts(
+            user_id,
+            train,
+            Self::init_embedding(dim, init_scale, seed),
+            None,
+        )
+    }
+
+    /// The seeded initial embedding draw, factored out so arena-backed
+    /// populations (see [`ClientPool`](crate::ClientPool)) initialize rows
+    /// bit-identically to eagerly constructed clients.
+    pub fn init_embedding(dim: usize, init_scale: f32, seed: u64) -> Vec<f32> {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let user_embedding = (0..dim)
+        (0..dim)
             .map(|_| rng.gen_range(-init_scale..=init_scale))
-            .collect();
+            .collect()
+    }
+
+    /// Assembles a client around an already-materialized embedding (the
+    /// lazy-pool path, which owns embeddings in a flat arena between rounds).
+    pub fn from_parts(
+        user_id: usize,
+        train: Arc<Dataset>,
+        user_embedding: Vec<f32>,
+        regularizer: Option<Box<dyn LocalRegularizer>>,
+    ) -> Self {
         Self {
             user_id,
             train,
             user_embedding,
-            regularizer: None,
+            regularizer,
         }
+    }
+
+    /// Tears the client back down into the state the lazy pool persists
+    /// between rounds: the trained embedding and the (stateful) regularizer.
+    pub fn into_parts(self) -> (Vec<f32>, Option<Box<dyn LocalRegularizer>>) {
+        (self.user_embedding, self.regularizer)
     }
 
     /// Installs the client-side defense (our Section V-B method).
@@ -299,14 +327,16 @@ impl Client for BenignClient {
     }
 }
 
-/// Serialized mutable state of a [`BenignClient`].
+/// Serialized mutable state of a [`BenignClient`]. Shared with the lazy
+/// client pool, which emits the identical shape for arena-resident users so
+/// checkpoints are interchangeable between eager and lazy populations.
 #[derive(serde::Serialize, serde::Deserialize)]
-struct BenignClientState {
-    user_embedding: Vec<f32>,
+pub(crate) struct BenignClientState {
+    pub(crate) user_embedding: Vec<f32>,
     /// The installed [`LocalRegularizer`]'s own state tree (`Null` when no
     /// defense is installed or the defense is stateless).
     #[serde(default)]
-    regularizer: serde::Value,
+    pub(crate) regularizer: serde::Value,
 }
 
 #[cfg(test)]

@@ -80,6 +80,110 @@ impl serde::Deserialize for RoundThreads {
     }
 }
 
+/// Per-round participation width `|U^r|`: how many of the registered
+/// clients the server samples each round.
+///
+/// A paper-style cell pins an absolute [`Count`](Self::Count) (256; 1024 for
+/// AZ+MF). Million-client populations instead give a
+/// [`Fraction`](Self::Fraction) of the registry, so the same config scales
+/// with `n_users`. Either way the sample is drawn by the same seeded
+/// partial Fisher–Yates shuffle, so reports are byte-stable at any round
+/// width and cache-replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientsPerRound {
+    /// Exactly `n` clients (capped at the population size).
+    Count(usize),
+    /// A fraction of the registered population, in `(0, 1]`; the effective
+    /// count is rounded to the nearest client and clamped to `[1, n]`.
+    Fraction(f64),
+}
+
+impl Default for ClientsPerRound {
+    fn default() -> Self {
+        Self::Count(256)
+    }
+}
+
+impl ClientsPerRound {
+    /// The concrete sample size for a population of `n` clients.
+    pub fn effective(&self, n: usize) -> usize {
+        match *self {
+            Self::Count(k) => k.min(n),
+            Self::Fraction(_) if n == 0 => 0,
+            Self::Fraction(f) => (((n as f64) * f).round() as usize).clamp(1, n),
+        }
+    }
+
+    /// Parses the CLI form: a count (`256`), a fraction (`0.01`), or a
+    /// percentage (`25%`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if let Some(pct) = s.strip_suffix('%') {
+            let p: f64 = pct
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad percentage `{s}`"))?;
+            return Self::Fraction(p / 100.0).validated();
+        }
+        if s.contains(['.', 'e', 'E']) {
+            let f: f64 = s.parse().map_err(|_| format!("bad fraction `{s}`"))?;
+            return Self::Fraction(f).validated();
+        }
+        match s.parse::<usize>() {
+            Ok(n) => Self::Count(n).validated(),
+            Err(_) => Err(format!(
+                "bad clients-per-round `{s}`; use a count, fraction, or percentage"
+            )),
+        }
+    }
+
+    fn validated(self) -> Result<Self, String> {
+        match self {
+            Self::Count(0) => Err("clients_per_round count must be ≥ 1".into()),
+            Self::Fraction(f) if !(f.is_finite() && f > 0.0 && f <= 1.0) => {
+                Err("clients_per_round fraction must lie in (0, 1]".into())
+            }
+            ok => Ok(ok),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientsPerRound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Count(n) => write!(f, "{n}"),
+            Self::Fraction(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+// Serialized as a bare number: integers mean a count, anything fractional a
+// fraction — matching what the CLI accepts. Deserialization matches the
+// `Number` variant directly (the shim's `as_u64` coerces integral floats,
+// which would silently turn `1.0` = "everyone" into a count of 1).
+impl serde::Serialize for ClientsPerRound {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            Self::Count(n) => serde::Value::Number(serde::Number::U64(n as u64)),
+            Self::Fraction(f) => serde::Value::Number(serde::Number::F64(f)),
+        }
+    }
+}
+
+impl serde::Deserialize for ClientsPerRound {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Number(serde::Number::U64(n)) => Ok(Self::Count(*n as usize)),
+            serde::Value::Number(serde::Number::I64(n)) if *n >= 0 => Ok(Self::Count(*n as usize)),
+            serde::Value::Number(serde::Number::F64(f)) => Ok(Self::Fraction(*f)),
+            _ => Err(serde::Error::new(format!(
+                "expected client count or fraction, got {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
 /// Protocol configuration (paper Section III-A plus the supplementary
 /// learning-rate and loss variations).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,8 +199,9 @@ pub struct FederationConfig {
     /// `(min, max)` with a 100-round period — the supplementary Table X
     /// "dynamic inconsistent learning rate" scenario.
     pub client_lr_cycle: Option<(f32, f32)>,
-    /// Users sampled per round, `|U^r|` (256 in the paper; 1024 for AZ+MF).
-    pub users_per_round: usize,
+    /// Clients sampled per round, `|U^r|` — an absolute count (256 in the
+    /// paper; 1024 for AZ+MF) or a fraction of the registered population.
+    pub clients_per_round: ClientsPerRound,
     /// Negative-sampling ratio `q` (1 by default, following \[32\]).
     pub negative_ratio: usize,
     /// Training loss (BCE by default; BPR for Table XI).
@@ -114,7 +219,7 @@ impl Default for FederationConfig {
             learning_rate: 1.0,
             client_learning_rate: None,
             client_lr_cycle: None,
-            users_per_round: 256,
+            clients_per_round: ClientsPerRound::default(),
             negative_ratio: 1,
             loss: LossKind::Bce,
             seed: 0x5eed,
@@ -155,9 +260,7 @@ impl FederationConfig {
                 return Err("client_lr_cycle must satisfy 0 < min ≤ max < ∞".into());
             }
         }
-        if self.users_per_round == 0 {
-            return Err("users_per_round must be positive".into());
-        }
+        self.clients_per_round.validated().map(|_| ())?;
         if self.negative_ratio == 0 {
             return Err("negative_ratio must be ≥ 1".into());
         }
@@ -205,7 +308,13 @@ mod tests {
         c.learning_rate = 0.0;
         assert!(c.validate().is_err());
         let mut c = FederationConfig::default();
-        c.users_per_round = 0;
+        c.clients_per_round = ClientsPerRound::Count(0);
+        assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.clients_per_round = ClientsPerRound::Fraction(0.0);
+        assert!(c.validate().is_err());
+        let mut c = FederationConfig::default();
+        c.clients_per_round = ClientsPerRound::Fraction(1.5);
         assert!(c.validate().is_err());
         let mut c = FederationConfig::default();
         c.negative_ratio = 0;
@@ -244,5 +353,67 @@ mod tests {
         }
         assert!(RoundThreads::from_value(&serde::Value::Bool(true)).is_err());
         assert!(RoundThreads::from_value(&serde::Value::String("fast".into())).is_err());
+    }
+
+    #[test]
+    fn clients_per_round_effective_counts() {
+        assert_eq!(ClientsPerRound::Count(256).effective(1000), 256);
+        assert_eq!(ClientsPerRound::Count(256).effective(100), 100, "capped");
+        assert_eq!(ClientsPerRound::Fraction(0.25).effective(1000), 250);
+        assert_eq!(ClientsPerRound::Fraction(1.0).effective(7), 7);
+        assert_eq!(
+            ClientsPerRound::Fraction(1e-9).effective(1000),
+            1,
+            "fraction never rounds to an empty round"
+        );
+        assert_eq!(ClientsPerRound::Fraction(0.5).effective(0), 0);
+    }
+
+    #[test]
+    fn clients_per_round_parse_and_display() {
+        assert_eq!(
+            ClientsPerRound::parse("256"),
+            Ok(ClientsPerRound::Count(256))
+        );
+        assert_eq!(
+            ClientsPerRound::parse("0.01"),
+            Ok(ClientsPerRound::Fraction(0.01))
+        );
+        assert_eq!(
+            ClientsPerRound::parse("25%"),
+            Ok(ClientsPerRound::Fraction(0.25))
+        );
+        assert_eq!(
+            ClientsPerRound::parse("1e-3"),
+            Ok(ClientsPerRound::Fraction(0.001))
+        );
+        assert!(ClientsPerRound::parse("0").is_err());
+        assert!(ClientsPerRound::parse("0.0").is_err());
+        assert!(ClientsPerRound::parse("1.5").is_err());
+        assert!(ClientsPerRound::parse("150%").is_err());
+        assert!(ClientsPerRound::parse("lots").is_err());
+        assert_eq!(ClientsPerRound::Count(64).to_string(), "64");
+        assert_eq!(ClientsPerRound::Fraction(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn clients_per_round_serde_round_trips() {
+        use serde::{Deserialize as _, Serialize as _};
+        for cpr in [
+            ClientsPerRound::Count(1),
+            ClientsPerRound::Count(1024),
+            ClientsPerRound::Fraction(0.25),
+            // Integral fraction: "everyone, every round". The shim's JSON
+            // writer prints this as `1.0` and the parser reads it back as an
+            // F64 — it must NOT collapse into Count(1).
+            ClientsPerRound::Fraction(1.0),
+        ] {
+            let v = cpr.to_value();
+            assert_eq!(ClientsPerRound::from_value(&v), Ok(cpr));
+            let json = serde_json::to_string(&v).expect("encode");
+            let back = serde_json::from_str(&json).expect("decode");
+            assert_eq!(ClientsPerRound::from_value(&back), Ok(cpr), "via {json}");
+        }
+        assert!(ClientsPerRound::from_value(&serde::Value::String("8".into())).is_err());
     }
 }

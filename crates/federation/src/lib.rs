@@ -29,6 +29,7 @@ pub mod config;
 pub mod context;
 pub mod params;
 pub mod pool;
+pub mod population;
 pub mod server;
 pub mod stats;
 pub mod wire;
@@ -36,13 +37,15 @@ pub mod wire;
 pub use aggregate::{
     gather_item_gradients, gather_item_gradients_refs, gather_mlp_gradients,
     gather_mlp_gradients_refs, sum_uploads, upload_distance_matrix, upload_norm,
-    upload_squared_distance, upload_squared_distance_views, Aggregator, SumAggregator, UploadView,
+    upload_squared_distance, upload_squared_distance_views, Aggregator, ShardedAggregator,
+    SumAggregator, UploadView,
 };
 pub use budget::{CoreBudget, CoreLease};
 pub use checkpoint::{SimulationCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use client::{BenignClient, Client, LocalRegularizer};
-pub use config::{FederationConfig, RoundThreads};
+pub use config::{ClientsPerRound, FederationConfig, RoundThreads};
 pub use context::RoundContext;
 pub use params::{ParamSpec, ParamValue, Params};
+pub use population::{ClientPool, LazyClientPool, RegularizerFactory};
 pub use server::{Simulation, SimulationBuilder};
 pub use stats::{RoundStats, TrainingStats};

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use frs_linalg::SeedStream;
-use frs_model::{GlobalGradients, GlobalModel};
+use frs_model::{EmbeddingStore, GlobalGradients, GlobalModel};
 use rand::Rng;
 
 use crate::aggregate::{Aggregator, SumAggregator};
@@ -12,7 +12,7 @@ use crate::checkpoint::{SimulationCheckpoint, CHECKPOINT_FORMAT_VERSION};
 use crate::client::Client;
 use crate::config::{FederationConfig, RoundThreads};
 use crate::context::RoundContext;
-use crate::pool;
+use crate::population::ClientPool;
 use crate::stats::{RoundStats, TrainingStats};
 use crate::wire;
 
@@ -28,7 +28,7 @@ use crate::wire;
 /// ```
 pub struct Simulation {
     model: GlobalModel,
-    clients: Vec<Box<dyn Client>>,
+    pool: ClientPool,
     aggregator: Box<dyn Aggregator>,
     config: FederationConfig,
     seeds: SeedStream,
@@ -45,22 +45,32 @@ pub struct Simulation {
 /// [`FederationConfig::default`]; the model and clients must be provided.
 pub struct SimulationBuilder {
     model: GlobalModel,
-    clients: Vec<Box<dyn Client>>,
+    pool: ClientPool,
     aggregator: Box<dyn Aggregator>,
     config: FederationConfig,
     lease: Option<CoreLease>,
 }
 
 impl SimulationBuilder {
-    /// Replaces the whole client population.
+    /// Replaces the whole client population with eagerly boxed clients.
     pub fn clients(mut self, clients: Vec<Box<dyn Client>>) -> Self {
-        self.clients = clients;
+        self.pool = ClientPool::Eager(clients);
         self
     }
 
-    /// Appends one client.
+    /// Replaces the whole client population (eager or lazy — the
+    /// million-client path hands a [`ClientPool::Lazy`] here).
+    pub fn pool(mut self, pool: ClientPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Appends one client to an eager population.
     pub fn client(mut self, client: impl Client + 'static) -> Self {
-        self.clients.push(Box::new(client));
+        match &mut self.pool {
+            ClientPool::Eager(clients) => clients.push(Box::new(client)),
+            ClientPool::Lazy(_) => panic!("client() cannot extend a lazy pool"),
+        }
         self
     }
 
@@ -92,21 +102,17 @@ impl SimulationBuilder {
     pub fn build(self) -> Simulation {
         let SimulationBuilder {
             model,
-            clients,
+            pool,
             aggregator,
             config,
             lease,
         } = self;
         config.validate().expect("invalid federation config");
-        let mut ids: Vec<usize> = clients.iter().map(|c| c.id()).collect();
-        ids.sort_unstable();
-        for (expect, &got) in ids.iter().enumerate() {
-            assert_eq!(expect, got, "client ids must be dense 0..n");
-        }
+        pool.assert_dense_ids();
         let seeds = SeedStream::new(config.seed);
         Simulation {
             model,
-            clients,
+            pool,
             aggregator,
             config,
             seeds,
@@ -122,7 +128,7 @@ impl Simulation {
     pub fn builder(model: GlobalModel) -> SimulationBuilder {
         SimulationBuilder {
             model,
-            clients: Vec::new(),
+            pool: ClientPool::Eager(Vec::new()),
             aggregator: Box::new(SumAggregator),
             config: FederationConfig::default(),
             lease: None,
@@ -161,39 +167,25 @@ impl Simulation {
 
     /// Number of participating clients.
     pub fn n_clients(&self) -> usize {
-        self.clients.len()
+        self.pool.len()
     }
 
     /// Ids of benign clients (the evaluation population `Ū`).
     pub fn benign_ids(&self) -> Vec<usize> {
-        self.clients
-            .iter()
-            .filter(|c| !c.is_malicious())
-            .map(|c| c.id())
-            .collect()
+        self.pool.benign_ids()
     }
 
     /// Ids of attacker-controlled clients (`Ũ`).
     pub fn malicious_ids(&self) -> Vec<usize> {
-        self.clients
-            .iter()
-            .filter(|c| c.is_malicious())
-            .map(|c| c.id())
-            .collect()
+        self.pool.malicious_ids()
     }
 
     /// Dense per-client-id embedding table for metric evaluation. Clients
-    /// without a personal embedding (malicious) get zero vectors — metrics
-    /// only ever index benign ids.
-    pub fn user_embeddings(&self) -> Vec<Vec<f32>> {
-        let dim = self.model.dim();
-        let mut out = vec![vec![0.0; dim]; self.clients.len()];
-        for c in &self.clients {
-            if let Some(emb) = c.user_embedding() {
-                out[c.id()] = emb.to_vec();
-            }
-        }
-        out
+    /// without a personal embedding (malicious) get zero rows — metrics
+    /// only ever index benign ids. For lazy pools this reads straight out
+    /// of the embedding arena.
+    pub fn user_embeddings(&self) -> EmbeddingStore {
+        self.pool.user_embeddings(self.model.dim())
     }
 
     /// Accumulated statistics.
@@ -211,10 +203,11 @@ impl Simulation {
         self.round
     }
 
-    /// Samples `users_per_round` distinct client indices for this round.
+    /// Samples `clients_per_round` distinct client indices for this round
+    /// (seeded partial Fisher–Yates — byte-stable at any round width).
     fn sample_round_clients(&self) -> Vec<usize> {
-        let n = self.clients.len();
-        let k = self.config.users_per_round.min(n);
+        let n = self.pool.len();
+        let k = self.config.clients_per_round.effective(n);
         let mut rng = self.seeds.rng("server-sample", self.round as u64);
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
@@ -246,32 +239,13 @@ impl Simulation {
         // the round pool picks the larger width up mid-run.
         let width = self.effective_round_width(selected_sorted.len());
 
-        // Pull disjoint mutable references to the sampled clients.
-        let participants: Vec<&mut Box<dyn Client>> = {
-            let mut flags = vec![false; self.clients.len()];
-            for &i in &selected_sorted {
-                flags[i] = true;
-            }
-            self.clients
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| flags[*i])
-                .map(|(_, c)| c)
-                .collect()
-        };
-
-        let model = &self.model;
         let mut uploads: Vec<(usize, GlobalGradients)> =
-            pool::map_ordered(participants, width, |c| {
-                (c.id(), c.local_round(&ctx, model))
-            });
+            self.pool
+                .run_selected(&selected_sorted, width, &ctx, &self.model);
 
         // Deterministic aggregation order regardless of thread interleaving.
         uploads.sort_unstable_by_key(|(id, _)| *id);
-        let n_malicious_selected = {
-            let mal: std::collections::HashSet<usize> = self.malicious_ids().into_iter().collect();
-            uploads.iter().filter(|(id, _)| mal.contains(id)).count()
-        };
+        let n_malicious_selected = self.pool.count_malicious(&selected_sorted);
         let upload_bytes: usize = uploads.iter().map(|(_, g)| wire::encoded_size(g)).sum();
         let grad_sets: Vec<GlobalGradients> = uploads.into_iter().map(|(_, g)| g).collect();
 
@@ -311,7 +285,7 @@ impl Simulation {
             round: self.round,
             model: self.model.clone(),
             stats: self.stats.clone(),
-            clients: self.clients.iter().map(|c| c.checkpoint_state()).collect(),
+            clients: self.pool.checkpoint_states(),
             aggregator: self.aggregator.checkpoint_state(),
         }
     }
@@ -323,7 +297,7 @@ impl Simulation {
     /// checkpointed run left off — the server's per-round RNG streams key on
     /// `(seed, round)`, so no RNG state beyond the round counter exists.
     pub fn restore_checkpoint(&mut self, ckpt: &SimulationCheckpoint) -> Result<(), String> {
-        ckpt.validate(self.clients.len())?;
+        ckpt.validate(self.pool.len())?;
         if ckpt.model.kind() != self.model.kind()
             || ckpt.model.n_items() != self.model.n_items()
             || ckpt.model.dim() != self.model.dim()
@@ -339,9 +313,7 @@ impl Simulation {
                 self.model.dim()
             ));
         }
-        for (client, state) in self.clients.iter_mut().zip(&ckpt.clients) {
-            client.restore_state(state)?;
-        }
+        self.pool.restore_states(&ckpt.clients)?;
         self.aggregator.restore_state(&ckpt.aggregator)?;
         self.model = ckpt.model.clone();
         self.round = ckpt.round;
@@ -355,12 +327,35 @@ mod tests {
     use super::*;
     use crate::budget::CoreBudget;
     use crate::client::BenignClient;
+    use crate::config::ClientsPerRound;
+    use crate::population::LazyClientPool;
     use frs_data::{leave_one_out, synth, DatasetSpec};
     use frs_metrics::hit_ratio_at_k;
     use frs_model::ModelConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
+
+    /// The single client-population construction path every test goes
+    /// through (this used to be two copy-pasted eager `(0..n_users)` loops):
+    /// benign users live in the lazy arena pool; boxed clients sit above.
+    fn lazy_pool(
+        n_benign: usize,
+        train: &Arc<frs_data::Dataset>,
+        dim: usize,
+        seed: u64,
+        boxed: Vec<Box<dyn Client>>,
+    ) -> ClientPool {
+        ClientPool::Lazy(LazyClientPool::new(
+            n_benign,
+            Arc::clone(train),
+            dim,
+            0.1,
+            move |u| seed + u as u64,
+            None,
+            boxed,
+        ))
+    }
 
     fn build_sim(
         round_threads: RoundThreads,
@@ -371,26 +366,15 @@ mod tests {
         let split = leave_one_out(&full, &mut rng);
         let train = Arc::new(split.train.clone());
         let model = GlobalModel::new(&ModelConfig::mf(8), train.n_items(), &mut rng);
-        let clients: Vec<Box<dyn Client>> = (0..train.n_users())
-            .map(|u| {
-                Box::new(BenignClient::new(
-                    u,
-                    Arc::clone(&train),
-                    8,
-                    0.1,
-                    seed + u as u64,
-                )) as Box<dyn Client>
-            })
-            .collect();
         let config = FederationConfig {
-            users_per_round: 32,
+            clients_per_round: ClientsPerRound::Count(32),
             round_threads,
             seed,
             ..FederationConfig::default()
         };
         (
             Simulation::builder(model)
-                .clients(clients)
+                .pool(lazy_pool(train.n_users(), &train, 8, seed, Vec::new()))
                 .config(config)
                 .build(),
             train,
@@ -472,6 +456,75 @@ mod tests {
         assert_eq!(seq.user_embeddings(), auto.user_embeddings());
     }
 
+    /// The load-bearing refactor invariant: a lazily-materialized arena
+    /// population is **bit-identical** to the original eager one — same
+    /// models, same embeddings, interchangeable checkpoints.
+    #[test]
+    fn lazy_pool_matches_eager_pool_bit_for_bit() {
+        let seed = 17;
+        let build_eager = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
+            let split = leave_one_out(&full, &mut rng);
+            let train = Arc::new(split.train.clone());
+            let model = GlobalModel::new(&ModelConfig::mf(8), train.n_items(), &mut rng);
+            let clients: Vec<Box<dyn Client>> = (0..train.n_users())
+                .map(|u| {
+                    Box::new(BenignClient::new(
+                        u,
+                        Arc::clone(&train),
+                        8,
+                        0.1,
+                        seed + u as u64,
+                    )) as Box<dyn Client>
+                })
+                .collect();
+            Simulation::builder(model)
+                .clients(clients)
+                .config(FederationConfig {
+                    clients_per_round: ClientsPerRound::Count(32),
+                    seed,
+                    ..FederationConfig::default()
+                })
+                .build()
+        };
+
+        let mut eager = build_eager();
+        let (mut lazy, _, _) = build_sim(RoundThreads::Fixed(1), seed);
+        assert_eq!(eager.user_embeddings(), lazy.user_embeddings(), "init");
+
+        eager.run(6);
+        lazy.run(6);
+        assert_eq!(eager.model().items(), lazy.model().items());
+        assert_eq!(eager.user_embeddings(), lazy.user_embeddings());
+
+        // Checkpoints are interchangeable: eager state restores onto a lazy
+        // population and continues identically.
+        let json = serde_json::to_string(&eager.capture_checkpoint()).unwrap();
+        let ckpt: SimulationCheckpoint = serde_json::from_str(&json).unwrap();
+        let (mut resumed, _, _) = build_sim(RoundThreads::Fixed(1), seed);
+        resumed.restore_checkpoint(&ckpt).unwrap();
+        resumed.run(4);
+        eager.run(4);
+        assert_eq!(eager.model().items(), resumed.model().items());
+        assert_eq!(eager.user_embeddings(), resumed.user_embeddings());
+    }
+
+    #[test]
+    fn fractional_sampling_scales_with_population() {
+        let (mut sim, train, _) = build_sim(RoundThreads::Fixed(1), 12);
+        let n = train.n_users();
+        let mut cfg = sim.config().clone();
+        cfg.clients_per_round = ClientsPerRound::Fraction(0.5);
+        // Rebuild with the fractional width (configs are build-time).
+        let mut frac = Simulation::builder(sim.model_mut().clone())
+            .pool(lazy_pool(n, &train, 8, 12, Vec::new()))
+            .config(cfg)
+            .build();
+        let stats = frac.run_round();
+        assert_eq!(stats.n_selected, ((n as f64) * 0.5).round() as usize);
+    }
+
     #[test]
     fn simulation_is_seed_deterministic() {
         let (mut a, _, _) = build_sim(RoundThreads::Fixed(2), 4);
@@ -513,13 +566,15 @@ mod tests {
             let full = synth::generate(&DatasetSpec::tiny(), &mut rng);
             let train = Arc::new(full);
             let model = GlobalModel::new(&ModelConfig::mf(4), train.n_items(), &mut rng);
-            let clients: Vec<Box<dyn Client>> = (0..train.n_users())
+            let exploding: Vec<Box<dyn Client>> = (0..train.n_users())
                 .map(|u| Box::new(ExplodingClient { id: u }) as Box<dyn Client>)
                 .collect();
+            // Same pool path as build_sim: zero arena users, boxed clients
+            // occupy the whole id range.
             let mut sim = Simulation::builder(model)
-                .clients(clients)
+                .pool(lazy_pool(0, &train, 4, 9, exploding))
                 .config(FederationConfig {
-                    users_per_round: 8,
+                    clients_per_round: ClientsPerRound::Count(8),
                     round_threads,
                     seed: 9,
                     ..FederationConfig::default()
@@ -554,8 +609,8 @@ mod tests {
         let sim = builder.build();
         assert_eq!(sim.n_clients(), 3);
         assert_eq!(
-            sim.config().users_per_round,
-            FederationConfig::default().users_per_round
+            sim.config().clients_per_round,
+            FederationConfig::default().clients_per_round
         );
     }
 

@@ -7,7 +7,7 @@
 
 use frs_data::Dataset;
 use frs_linalg::top_k_desc_filtered_into;
-use frs_model::GlobalModel;
+use frs_model::{GlobalModel, UserEmbeddings};
 
 /// ER@K for every target plus the mean — one evaluation pass per user.
 #[derive(Debug, Clone)]
@@ -22,13 +22,14 @@ pub struct ExposureReport {
 impl ExposureReport {
     /// Computes ER@K over `benign_users`.
     ///
-    /// `user_embeddings[u]` must hold the *current* personalized embedding of
-    /// user `u`; `train` is the training interaction data that defines which
-    /// items are eligible for a user's recommendation list (uninteracted
-    /// only, Section III-A).
-    pub fn compute(
+    /// `user_embeddings` must hold the *current* personalized embedding of
+    /// every user (any [`UserEmbeddings`] representation — nested vectors
+    /// or the simulation's flat `EmbeddingStore`); `train` is the training
+    /// interaction data that defines which items are eligible for a user's
+    /// recommendation list (uninteracted only, Section III-A).
+    pub fn compute<E: UserEmbeddings + ?Sized>(
         model: &GlobalModel,
-        user_embeddings: &[Vec<f32>],
+        user_embeddings: &E,
         benign_users: &[usize],
         train: &Dataset,
         targets: &[u32],
@@ -44,7 +45,7 @@ impl ExposureReport {
         let mut scores = Vec::new();
         let mut top = Vec::new();
         for &u in benign_users {
-            model.scores_for_user_into(&user_embeddings[u], &mut scores);
+            model.scores_for_user_into(user_embeddings.user_embedding(u), &mut scores);
             top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
             for (t, &target) in targets.iter().enumerate() {
                 if train.interacted(u, target) {
@@ -77,9 +78,9 @@ impl ExposureReport {
 }
 
 /// Convenience wrapper: mean ER@K only.
-pub fn exposure_ratio_at_k(
+pub fn exposure_ratio_at_k<E: UserEmbeddings + ?Sized>(
     model: &GlobalModel,
-    user_embeddings: &[Vec<f32>],
+    user_embeddings: &E,
     benign_users: &[usize],
     train: &Dataset,
     targets: &[u32],

@@ -6,7 +6,7 @@
 //! test item near the top: `1/log₂(rank+2)`.
 
 use frs_data::TrainTestSplit;
-use frs_model::GlobalModel;
+use frs_model::{GlobalModel, UserEmbeddings};
 
 /// HR@K and NDCG@K over a set of users.
 #[derive(Debug, Clone)]
@@ -19,10 +19,12 @@ pub struct QualityReport {
 }
 
 impl QualityReport {
-    /// Evaluates users in `eval_users` (typically the benign users).
-    pub fn compute(
+    /// Evaluates users in `eval_users` (typically the benign users). The
+    /// embedding table may be any [`UserEmbeddings`] representation — a
+    /// plain `Vec<Vec<f32>>` or the simulation's flat `EmbeddingStore`.
+    pub fn compute<E: UserEmbeddings + ?Sized>(
         model: &GlobalModel,
-        user_embeddings: &[Vec<f32>],
+        user_embeddings: &E,
         eval_users: &[usize],
         split: &TrainTestSplit,
         k: usize,
@@ -34,7 +36,7 @@ impl QualityReport {
         // is already a single early-exiting scan, never a sort).
         let mut scores = Vec::new();
         for &u in eval_users {
-            model.scores_for_user_into(&user_embeddings[u], &mut scores);
+            model.scores_for_user_into(user_embeddings.user_embedding(u), &mut scores);
             let test = split.test_item[u];
             let test_score = scores[test as usize];
             // Rank among eligible (non-train-interacted) items: count eligible
@@ -73,9 +75,9 @@ impl QualityReport {
 }
 
 /// Convenience wrapper returning HR@K only.
-pub fn hit_ratio_at_k(
+pub fn hit_ratio_at_k<E: UserEmbeddings + ?Sized>(
     model: &GlobalModel,
-    user_embeddings: &[Vec<f32>],
+    user_embeddings: &E,
     eval_users: &[usize],
     split: &TrainTestSplit,
     k: usize,
@@ -84,9 +86,9 @@ pub fn hit_ratio_at_k(
 }
 
 /// Convenience wrapper returning NDCG@K only.
-pub fn ndcg_at_k(
+pub fn ndcg_at_k<E: UserEmbeddings + ?Sized>(
     model: &GlobalModel,
-    user_embeddings: &[Vec<f32>],
+    user_embeddings: &E,
     eval_users: &[usize],
     split: &TrainTestSplit,
     k: usize,

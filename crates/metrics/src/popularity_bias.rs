@@ -14,12 +14,12 @@
 
 use frs_data::Dataset;
 use frs_linalg::top_k_desc_filtered_into;
-use frs_model::GlobalModel;
+use frs_model::{GlobalModel, UserEmbeddings};
 
 /// Per-item recommendation frequency over all users' top-K lists.
-pub fn recommendation_frequency(
+pub fn recommendation_frequency<E: UserEmbeddings + ?Sized>(
     model: &GlobalModel,
-    user_embeddings: &[Vec<f32>],
+    user_embeddings: &E,
     users: &[usize],
     train: &Dataset,
     k: usize,
@@ -28,7 +28,7 @@ pub fn recommendation_frequency(
     let mut scores = Vec::new();
     let mut top = Vec::new();
     for &u in users {
-        model.scores_for_user_into(&user_embeddings[u], &mut scores);
+        model.scores_for_user_into(user_embeddings.user_embedding(u), &mut scores);
         top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
         for &j in &top {
             freq[j] += 1;

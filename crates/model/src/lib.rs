@@ -24,9 +24,11 @@ pub mod loss;
 pub mod mf;
 pub mod mlp;
 pub mod ncf;
+pub mod store;
 
 pub use config::{ModelConfig, ModelKind};
 pub use global::{ForwardCache, GlobalModel};
 pub use gradients::{GlobalGradients, MlpGradients};
 pub use loss::{bce_logit_delta, bce_loss, bpr_logit_deltas, bpr_loss, LossKind};
 pub use mlp::{BatchScorer, Mlp};
+pub use store::{EmbeddingStore, UserEmbeddings};

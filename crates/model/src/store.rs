@@ -1,0 +1,435 @@
+//! SoA embedding arena: one flat `f32` slab addressed by row id.
+//!
+//! The million-client simulation keeps *all* personal user embeddings in a
+//! single [`EmbeddingStore`] instead of one heap `Vec<f32>` per boxed client
+//! struct: 1M users × dim 16 is a single 64 MB slab rather than a million
+//! 64-byte allocations plus pointer chasing. The same type carries the
+//! dense per-user table that metric evaluation and the serve snapshots
+//! consume (see [`UserEmbeddings`]).
+//!
+//! Backing is either an ordinary heap `Vec<f32>` or — for out-of-core
+//! catalogs/populations — an anonymous file-backed `mmap(2)` region the
+//! kernel can page to disk under memory pressure. The two backings are
+//! observationally identical: same init, same row addressing, same bytes
+//! (`tests::mmap_matches_heap`). The mapping is done through a raw
+//! `extern "C"` binding (the sanctioned crate set has no `libc`), mirroring
+//! the signal(2) shim in `frs_experiments::shutdown`.
+
+use rand::Rng;
+
+/// Row-major `rows × cols` slab of `f32` embeddings.
+pub struct EmbeddingStore {
+    rows: usize,
+    cols: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    Heap(Vec<f32>),
+    #[cfg(unix)]
+    Mmap(MmapSlab),
+}
+
+impl EmbeddingStore {
+    /// All-zeros heap-backed store.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            backing: Backing::Heap(vec![0.0; rows * cols]),
+        }
+    }
+
+    /// All-zeros store backed by an unlinked temporary file under `dir`,
+    /// mapped shared so the kernel can page cold rows out. Falls back to the
+    /// heap when the platform has no mmap or the mapping fails (the backing
+    /// is execution-only: results never depend on it).
+    pub fn zeros_mmap(rows: usize, cols: usize, dir: &std::path::Path) -> Self {
+        #[cfg(unix)]
+        {
+            if let Some(slab) = MmapSlab::zeroed(rows * cols, dir) {
+                return Self {
+                    rows,
+                    cols,
+                    backing: Backing::Mmap(slab),
+                };
+            }
+        }
+        let _ = dir;
+        Self::zeros(rows, cols)
+    }
+
+    /// Store from per-row vectors (each must have the same length).
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for row in &rows {
+            assert_eq!(row.len(), cols, "ragged embedding rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n,
+            cols,
+            backing: Backing::Heap(data),
+        }
+    }
+
+    /// Uniform random store in `[-limit, limit]`, row by row — bit-identical
+    /// to initializing each row with its own `rng` draw sequence.
+    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Self {
+            rows,
+            cols,
+            backing: Backing::Heap(data),
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        let cols = self.cols;
+        &mut self.as_mut_slice()[r * cols..(r + 1) * cols]
+    }
+
+    /// The whole slab, row-major. For mmap backings this is the mapped
+    /// region (only the first `rows * cols` floats are meaningful).
+    pub fn as_slice(&self) -> &[f32] {
+        match &self.backing {
+            Backing::Heap(v) => &v[..self.rows * self.cols],
+            #[cfg(unix)]
+            Backing::Mmap(m) => &m.as_slice()[..self.rows * self.cols],
+        }
+    }
+
+    /// Mutable whole-slab access.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        let len = self.rows * self.cols;
+        match &mut self.backing {
+            Backing::Heap(v) => &mut v[..len],
+            #[cfg(unix)]
+            Backing::Mmap(m) => &mut m.as_mut_slice()[..len],
+        }
+    }
+
+    /// True when the slab lives in a file-backed mapping.
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            Backing::Heap(_) => false,
+            #[cfg(unix)]
+            Backing::Mmap(_) => true,
+        }
+    }
+
+    /// Drops rows beyond `n` (no-op when already at most `n` rows).
+    pub fn truncate_rows(&mut self, n: usize) {
+        if n < self.rows {
+            self.rows = n;
+            if let Backing::Heap(v) = &mut self.backing {
+                v.truncate(n * self.cols);
+            }
+        }
+    }
+
+    /// Iterator over all rows in index order.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.as_slice().chunks_exact(self.cols.max(1))
+    }
+}
+
+impl Clone for EmbeddingStore {
+    /// Clones always materialize to the heap — a clone is a working copy
+    /// (metric evaluation, snapshot publication), not a second out-of-core
+    /// population.
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            backing: Backing::Heap(self.as_slice().to_vec()),
+        }
+    }
+}
+
+impl std::fmt::Debug for EmbeddingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingStore")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+impl PartialEq for EmbeddingStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
+}
+
+/// Read access to per-user embeddings, however they are stored: the legacy
+/// `Vec<Vec<f32>>` tables unit tests build by hand, and the flat
+/// [`EmbeddingStore`] the simulation exports. Metrics and the serve layer
+/// are generic over this, so both representations evaluate identically.
+pub trait UserEmbeddings {
+    /// The embedding of user `u`. Panics when `u` is out of range.
+    fn user_embedding(&self, u: usize) -> &[f32];
+
+    /// Number of users covered.
+    fn n_rows(&self) -> usize;
+}
+
+impl UserEmbeddings for [Vec<f32>] {
+    fn user_embedding(&self, u: usize) -> &[f32] {
+        &self[u]
+    }
+
+    fn n_rows(&self) -> usize {
+        self.len()
+    }
+}
+
+impl UserEmbeddings for Vec<Vec<f32>> {
+    fn user_embedding(&self, u: usize) -> &[f32] {
+        &self[u]
+    }
+
+    fn n_rows(&self) -> usize {
+        self.len()
+    }
+}
+
+impl UserEmbeddings for EmbeddingStore {
+    fn user_embedding(&self, u: usize) -> &[f32] {
+        self.row(u)
+    }
+
+    fn n_rows(&self) -> usize {
+        self.rows()
+    }
+}
+
+impl<T: UserEmbeddings + ?Sized> UserEmbeddings for &T {
+    fn user_embedding(&self, u: usize) -> &[f32] {
+        (**self).user_embedding(u)
+    }
+
+    fn n_rows(&self) -> usize {
+        (**self).n_rows()
+    }
+}
+
+#[cfg(unix)]
+mod mmap_sys {
+    //! Raw mmap(2)/munmap(2) bindings — the sanctioned crate set carries no
+    //! `libc`, same situation as the signal(2) shim in the experiments
+    //! crate. Constants are the Linux/BSD values shared by every unix this
+    //! project targets.
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+/// An owned, shared, file-backed mapping of `len` zeroed `f32`s. The backing
+/// file is unlinked immediately after mapping, so the region lives exactly
+/// as long as this value and leaves nothing behind on any exit path.
+#[cfg(unix)]
+struct MmapSlab {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: the slab owns its mapping exclusively (no aliasing handles exist);
+// &self/&mut self access follows the usual borrow rules, so cross-thread
+// moves and shared reads are as safe as for a Vec<f32>.
+#[cfg(unix)]
+unsafe impl Send for MmapSlab {}
+#[cfg(unix)]
+unsafe impl Sync for MmapSlab {}
+
+#[cfg(unix)]
+impl MmapSlab {
+    /// Maps `len` zeroed floats from a fresh unlinked file in `dir`.
+    /// Returns `None` when any step fails — callers fall back to the heap.
+    fn zeroed(len: usize, dir: &std::path::Path) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+
+        if len == 0 {
+            return None;
+        }
+        let path = dir.join(format!("frs-arena-{}-{len}.mmap", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .ok()?;
+        let bytes = len.checked_mul(std::mem::size_of::<f32>())?;
+        if file.set_len(bytes as u64).is_err() {
+            let _ = std::fs::remove_file(&path);
+            return None;
+        }
+        let ptr = unsafe {
+            mmap_sys::mmap(
+                std::ptr::null_mut(),
+                bytes,
+                mmap_sys::PROT_READ | mmap_sys::PROT_WRITE,
+                mmap_sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // The file stays alive through the mapping; unlink so nothing
+        // persists after the process (or an early-return drop of `file`).
+        let _ = std::fs::remove_file(&path);
+        if ptr.is_null() || ptr as isize == -1 {
+            return None;
+        }
+        Some(Self {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+
+    fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr/len describe the owned mapping, valid for the slab's
+        // lifetime; file-backed MAP_SHARED pages are zero-initialized.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus &mut self guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapSlab {
+    fn drop(&mut self) {
+        let bytes = self.len * std::mem::size_of::<f32>();
+        // SAFETY: unmapping the exact region this slab mapped, exactly once.
+        unsafe {
+            mmap_sys::munmap(self.ptr.cast(), bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_address_the_flat_slab() {
+        let mut s = EmbeddingStore::zeros(3, 2);
+        s.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(s.row(0), &[0.0, 0.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+        assert_eq!(s.as_slice(), &[0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(s.rows_iter().count(), 3);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let s = EmbeddingStore::from_rows(rows.clone());
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(s.row(i), row.as_slice());
+            assert_eq!(s.user_embedding(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn uniform_matches_per_row_draws() {
+        // The slab init must be bit-identical to drawing each row in order —
+        // this is what makes heap arenas reproduce eager per-client init.
+        let mut a = StdRng::seed_from_u64(9);
+        let s = EmbeddingStore::uniform(4, 3, 0.1, &mut a);
+        let mut b = StdRng::seed_from_u64(9);
+        for r in 0..4 {
+            use rand::Rng;
+            let row: Vec<f32> = (0..3).map(|_| b.gen_range(-0.1f32..=0.1)).collect();
+            assert_eq!(s.row(r), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn truncate_drops_trailing_rows() {
+        let mut s = EmbeddingStore::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        s.truncate_rows(2);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.as_slice(), &[1.0, 2.0]);
+        s.truncate_rows(5);
+        assert_eq!(s.rows(), 2, "growing truncate is a no-op");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_matches_heap() {
+        let dir = std::env::temp_dir();
+        let mut m = EmbeddingStore::zeros_mmap(5, 4, &dir);
+        assert!(m.is_mmap(), "mmap backing must engage on unix");
+        let mut h = EmbeddingStore::zeros(5, 4);
+        assert_eq!(m, h, "both start zeroed");
+        for r in 0..5 {
+            for c in 0..4 {
+                m.row_mut(r)[c] = (r * 4 + c) as f32;
+                h.row_mut(r)[c] = (r * 4 + c) as f32;
+            }
+        }
+        assert_eq!(m, h);
+        let copy = m.clone();
+        assert!(!copy.is_mmap(), "clones materialize to the heap");
+        assert_eq!(copy, h);
+    }
+
+    #[test]
+    fn user_embeddings_trait_covers_both_representations() {
+        fn first<E: UserEmbeddings + ?Sized>(e: &E) -> f32 {
+            e.user_embedding(0)[0]
+        }
+        let table = vec![vec![7.0f32], vec![8.0]];
+        assert_eq!(first(&table), 7.0);
+        assert_eq!(table.n_rows(), 2);
+        let store = EmbeddingStore::from_rows(table);
+        assert_eq!(first(&store), 7.0);
+        assert_eq!(store.n_rows(), 2);
+    }
+}

@@ -49,7 +49,9 @@ mod tests {
             8,
             vec![vec![0, 1], vec![2], vec![3, 4, 5]],
         ));
-        let users = (0..3).map(|u| vec![0.1 * (u as f32 + 1.0); 4]).collect();
+        let users = frs_model::EmbeddingStore::from_rows(
+            (0..3).map(|u| vec![0.1 * (u as f32 + 1.0); 4]).collect(),
+        );
         Snapshot::new(round, done, model, users, train)
     }
 

@@ -11,7 +11,7 @@
 use std::sync::{Arc, Mutex};
 
 use frs_data::Dataset;
-use frs_model::GlobalModel;
+use frs_model::{EmbeddingStore, GlobalModel};
 
 use crate::wire::ScoredItem;
 
@@ -23,7 +23,8 @@ pub struct Snapshot {
     model: GlobalModel,
     /// Per-user embeddings, indexed by dense user id (benign users only —
     /// the serving surface has no reason to recommend to attack clients).
-    users: Vec<Vec<f32>>,
+    /// One flat slab — the same [`EmbeddingStore`] the simulation trains in.
+    users: EmbeddingStore,
     /// Training interactions: already-seen items are excluded from top-K.
     train: Arc<Dataset>,
 }
@@ -36,10 +37,10 @@ impl Snapshot {
         round: usize,
         training_done: bool,
         model: GlobalModel,
-        mut users: Vec<Vec<f32>>,
+        mut users: EmbeddingStore,
         train: Arc<Dataset>,
     ) -> Self {
-        users.truncate(train.n_users());
+        users.truncate_rows(train.n_users());
         Self {
             round,
             training_done,
@@ -61,7 +62,7 @@ impl Snapshot {
 
     /// Users this snapshot can answer for.
     pub fn n_users(&self) -> usize {
-        self.users.len()
+        self.users.rows()
     }
 
     /// Items in the catalog.
@@ -72,13 +73,13 @@ impl Snapshot {
     /// The best `k` items for `user` that the user has not interacted with,
     /// best first. Deterministic: ties break toward the lower item id.
     pub fn top_k(&self, user: usize, k: usize) -> Result<Vec<ScoredItem>, String> {
-        let Some(emb) = self.users.get(user) else {
+        if user >= self.users.rows() {
             return Err(format!(
                 "user {user} out of range (snapshot serves {} users)",
-                self.users.len()
+                self.users.rows()
             ));
-        };
-        let scores = self.model.scores_for_user(emb);
+        }
+        let scores = self.model.scores_for_user(self.users.row(user));
         let picked =
             frs_linalg::top_k_desc_filtered(&scores, k, |i| !self.train.interacted(user, i as u32));
         Ok(picked
@@ -131,7 +132,8 @@ mod tests {
         let model = GlobalModel::new(&ModelConfig::mf(4), 6, &mut rng);
         // User 0 interacted with items 0 and 1; user 1 with item 5.
         let train = Arc::new(Dataset::from_user_items(6, vec![vec![0, 1], vec![5]]));
-        let users = vec![vec![0.3, -0.1, 0.2, 0.4], vec![-0.2, 0.1, 0.5, 0.0]];
+        let users =
+            EmbeddingStore::from_rows(vec![vec![0.3, -0.1, 0.2, 0.4], vec![-0.2, 0.1, 0.5, 0.0]]);
         Snapshot::new(round, false, model, users, train)
     }
 
@@ -167,7 +169,7 @@ mod tests {
         let train = Arc::new(Dataset::from_user_items(6, vec![vec![0]]));
         // Two rows but only one benign user: the attack client is not
         // servable.
-        let users = vec![vec![0.1; 4], vec![0.9; 4]];
+        let users = EmbeddingStore::from_rows(vec![vec![0.1; 4], vec![0.9; 4]]);
         let snap = Snapshot::new(3, true, model, users, train);
         assert_eq!(snap.n_users(), 1);
         assert!(snap.top_k(1, 5).is_err());

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use pieck_frs::data::{leave_one_out, synth, DatasetSpec};
-use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation};
+use pieck_frs::federation::{BenignClient, Client, ClientsPerRound, FederationConfig, Simulation};
 use pieck_frs::metrics::QualityReport;
 use pieck_frs::model::{GlobalModel, ModelConfig};
 use rand::rngs::StdRng;
@@ -43,7 +43,7 @@ fn main() {
         })
         .collect();
     let config = FederationConfig {
-        users_per_round: 64,
+        clients_per_round: ClientsPerRound::Count(64),
         seed: 42,
         ..Default::default()
     };

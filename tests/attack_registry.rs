@@ -25,7 +25,7 @@ use proptest::prelude::*;
 
 fn attacked_cfg(attack: AttackSel) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
-    cfg.federation.users_per_round = 24;
+    cfg.federation.clients_per_round = pieck_frs::federation::ClientsPerRound::Count(24);
     cfg.rounds = 30;
     cfg.attack = attack;
     cfg.mined_top_n = 12;

@@ -14,6 +14,7 @@ use pieck_frs::experiments::{
     paper_scenario, ConfigPatch, ExperimentSuite, PaperDataset, ReportFormat, RunOptions,
     ScenarioConfig, Sweep,
 };
+use pieck_frs::federation::ClientsPerRound;
 use pieck_frs::model::{LossKind, ModelKind};
 use proptest::prelude::*;
 
@@ -89,8 +90,8 @@ fn every_config_patch_field_flip_changes_the_key() {
             ..ConfigPatch::default()
         },
         ConfigPatch {
-            label: "users_per_round".into(),
-            users_per_round: Some(77),
+            label: "clients_per_round".into(),
+            clients_per_round: Some(ClientsPerRound::Count(77)),
             ..ConfigPatch::default()
         },
         ConfigPatch {

@@ -23,7 +23,7 @@ use proptest::prelude::*;
 
 fn ours_cfg() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::baseline(DatasetSpec::tiny(), ModelKind::Mf, 42);
-    cfg.federation.users_per_round = 24;
+    cfg.federation.clients_per_round = pieck_frs::federation::ClientsPerRound::Count(24);
     cfg.rounds = 40;
     cfg.attack = AttackKind::PieckUea.into();
     cfg.defense = DefenseSel::named("ours");

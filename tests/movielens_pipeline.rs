@@ -3,7 +3,7 @@
 //! attack — proving the library is not synthetic-data-only.
 
 use pieck_frs::data::{leave_one_out, load_movielens, LoadOptions};
-use pieck_frs::federation::{BenignClient, Client, FederationConfig, Simulation};
+use pieck_frs::federation::{BenignClient, Client, ClientsPerRound, FederationConfig, Simulation};
 use pieck_frs::metrics::hit_ratio_at_k;
 use pieck_frs::model::{GlobalModel, ModelConfig};
 use pieck_frs::pieck::{PieckClient, PieckConfig};
@@ -69,7 +69,7 @@ fn movielens_file_to_attack_pipeline() {
         clients.push(Box::new(PieckClient::new(n_benign + i, cfg)));
     }
     let config = FederationConfig {
-        users_per_round: 24,
+        clients_per_round: ClientsPerRound::Count(24),
         seed: 2,
         ..Default::default()
     };
@@ -106,9 +106,12 @@ fn file_dataset_runs_through_the_scenario_harness() {
     let dataset = PaperDataset::File(path.to_string_lossy().into_owned());
     // --scale does not shrink real files.
     let mut cfg = paper_scenario(dataset, ModelKind::Mf, 0.1, 5);
-    assert_eq!(cfg.federation.users_per_round, 256);
+    assert_eq!(
+        cfg.federation.clients_per_round,
+        ClientsPerRound::Count(256)
+    );
     assert_eq!(cfg.poison_scale, 1.0);
-    cfg.federation.users_per_round = 24;
+    cfg.federation.clients_per_round = ClientsPerRound::Count(24);
     cfg.rounds = 40;
     cfg.attack = AttackKind::PieckUea.into();
 

@@ -62,7 +62,7 @@ fn defense_increases_user_popular_separation() {
         let mut count = 0usize;
         for &u in benign.iter().take(50) {
             for &k in &popular {
-                sum += kl_divergence(sim.model().item_embedding(k), &embs[u]) as f64;
+                sum += kl_divergence(sim.model().item_embedding(k), embs.row(u)) as f64;
                 count += 1;
             }
         }
