@@ -8,7 +8,6 @@
 //! it to `FRS_BENCH_JSON` in the same record shape so the CI gate covers it
 //! like any other benchmark.
 
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,15 +18,14 @@ use frs_defense::DefenseKind;
 use frs_experiments::scenario::TrendPoint;
 use frs_experiments::{ScenarioCheckpoint, SuiteCache};
 use frs_model::ModelKind;
-use frs_serve::{respond_line, Snapshot, SnapshotCell};
+use frs_serve::{respond_line, Router, ScenarioHandle, Snapshot};
 
-fn serving_fixture() -> (Arc<SnapshotCell>, usize) {
+fn serving_fixture() -> (Arc<Router>, usize) {
     let (model, users, data) = bench_world();
     let n_users = data.n_users();
-    let cell = Arc::new(SnapshotCell::new(Snapshot::new(
-        5, false, model, users, data,
-    )));
-    (cell, n_users)
+    let snapshot = Snapshot::new(5, false, model, users, data);
+    let handle = Arc::new(ScenarioHandle::new("bench".to_string(), snapshot));
+    (Arc::new(Router::new(vec![handle]).unwrap()), n_users)
 }
 
 /// One representative mid-run checkpoint: a real simulation's captured
@@ -47,8 +45,7 @@ fn sample_checkpoint() -> ScenarioCheckpoint {
 }
 
 fn serving(c: &mut Criterion) {
-    let (cell, n_users) = serving_fixture();
-    let queries = AtomicU64::new(0);
+    let (router, n_users) = serving_fixture();
 
     let mut group = c.benchmark_group("serve");
     let mut user = 0usize;
@@ -56,11 +53,11 @@ fn serving(c: &mut Criterion) {
         b.iter(|| {
             user = (user + 7) % n_users;
             let line = format!("{{\"user\":{user},\"k\":10}}");
-            black_box(respond_line(&line, &cell, &queries))
+            black_box(respond_line(&line, &router))
         });
     });
     group.bench_function("status_query", |b| {
-        b.iter(|| black_box(respond_line("{}", &cell, &queries)));
+        b.iter(|| black_box(respond_line("{}", &router)));
     });
 
     let ckpt = sample_checkpoint();
@@ -73,12 +70,12 @@ fn serving(c: &mut Criterion) {
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);
 
-    report_p99(&cell, n_users, &queries);
+    report_p99(&router, n_users);
 }
 
 /// Measures per-query latency over a burst and reports the p99, in the same
 /// print + JSONL shape the shim uses so `bench-gate` treats it uniformly.
-fn report_p99(cell: &Arc<SnapshotCell>, n_users: usize, queries: &AtomicU64) {
+fn report_p99(router: &Router, n_users: usize) {
     let quick = std::env::var("FRS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
     let burst = if quick { 200 } else { 2000 };
     // Best-of-3 bursts: a single burst's p99 is dominated by whatever the
@@ -90,7 +87,7 @@ fn report_p99(cell: &Arc<SnapshotCell>, n_users: usize, queries: &AtomicU64) {
             for i in 0..burst {
                 let line = format!("{{\"user\":{},\"k\":10}}", (i * 7) % n_users);
                 let start = Instant::now();
-                black_box(respond_line(&line, cell, queries));
+                black_box(respond_line(&line, router));
                 lat.push(start.elapsed());
             }
             lat.sort_unstable();

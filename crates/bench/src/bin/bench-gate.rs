@@ -9,6 +9,11 @@
 //! `compare` prints the Markdown delta table (and writes it to `--summary`
 //! when given, for `$GITHUB_STEP_SUMMARY`), then exits 1 if any named
 //! benchmark regressed past the threshold or vanished from the current run.
+//! Repeatable `--only PREFIX` / `--exclude PREFIX` filters narrow both
+//! record sets by bench-id prefix before comparing — how CI splits the
+//! committed baseline between the bench-smoke job (`--exclude
+//! serve/loadtest_`) and the serve-load job (`--only serve/loadtest_`)
+//! without either flagging the other's entries as missing.
 //! With `--ratchet` (the CI default), an *unclaimed improvement* — a bench
 //! running >25% faster than the committed baseline after drift calibration —
 //! also fails, until `BENCH_baseline.json` is refreshed in the same PR.
@@ -21,7 +26,8 @@ use frs_bench::gate::{self, DEFAULT_MIN_NS, DEFAULT_THRESHOLD};
 fn usage() -> ! {
     eprintln!(
         "usage: bench-gate compare --baseline FILE --current FILE \
-         [--threshold x] [--min-ns n] [--summary FILE] [--ratchet]\n\
+         [--threshold x] [--min-ns n] [--summary FILE] [--ratchet] \
+         [--only PREFIX]... [--exclude PREFIX]...\n\
          \x20      bench-gate collect LINES_FILE"
     );
     exit(2);
@@ -55,6 +61,8 @@ fn main() {
                 .unwrap_or(DEFAULT_THRESHOLD);
             let mut min_ns = DEFAULT_MIN_NS;
             let mut ratchet = false;
+            let mut only: Vec<String> = Vec::new();
+            let mut excluded: Vec<String> = Vec::new();
             let mut iter = args[1..].iter();
             while let Some(flag) = iter.next() {
                 let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
@@ -67,6 +75,8 @@ fn main() {
                     }
                     "--min-ns" => min_ns = value().parse().unwrap_or_else(|_| usage()),
                     "--ratchet" => ratchet = true,
+                    "--only" => only.push(value()),
+                    "--exclude" => excluded.push(value()),
                     _ => usage(),
                 }
             }
@@ -78,8 +88,8 @@ fn main() {
                 exit(2);
             }
             let report = gate::compare(
-                &read(&baseline),
-                &read(&current),
+                &gate::filter_records(read(&baseline), &only, &excluded),
+                &gate::filter_records(read(&current), &only, &excluded),
                 threshold,
                 min_ns,
                 ratchet,

@@ -125,6 +125,22 @@ pub fn render_baseline(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Narrows a record set by bench-id prefix: keep records matching any
+/// `only` prefix (empty `only` = keep all), then drop records matching any
+/// `exclude` prefix. Lets one committed baseline serve several CI jobs,
+/// each comparing only the entries it actually re-measures.
+pub fn filter_records(
+    records: Vec<BenchRecord>,
+    only: &[String],
+    exclude: &[String],
+) -> Vec<BenchRecord> {
+    records
+        .into_iter()
+        .filter(|r| only.is_empty() || only.iter().any(|p| r.bench.starts_with(p.as_str())))
+        .filter(|r| !exclude.iter().any(|p| r.bench.starts_with(p.as_str())))
+        .collect()
+}
+
 /// How one benchmark moved against its baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Delta {
@@ -388,6 +404,38 @@ mod tests {
         let records = vec![rec("agg/sum", 1234), rec("round/mf", 56789)];
         let text = render_baseline(&records);
         assert_eq!(parse_records(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn prefix_filters_narrow_record_sets() {
+        let records = || {
+            vec![
+                rec("agg/sum", 10),
+                rec("serve/loadtest_ns_per_query", 20),
+                rec("serve/loadtest_p99_ns", 30),
+                rec("serve/other", 40),
+            ]
+        };
+        let no = Vec::new();
+        assert_eq!(filter_records(records(), &no, &no), records());
+        let load = vec!["serve/loadtest_".to_string()];
+        assert_eq!(
+            filter_records(records(), &load, &no),
+            vec![
+                rec("serve/loadtest_ns_per_query", 20),
+                rec("serve/loadtest_p99_ns", 30)
+            ]
+        );
+        assert_eq!(
+            filter_records(records(), &no, &load),
+            vec![rec("agg/sum", 10), rec("serve/other", 40)]
+        );
+        // --only and --exclude compose: exclude trims the only-selection.
+        let serve = vec!["serve/".to_string()];
+        assert_eq!(
+            filter_records(records(), &serve, &load),
+            vec![rec("serve/other", 40)]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ fn print_usage() {
     eprintln!("  attacks list     list registered attacks (name, label, params)");
     eprintln!("  defenses list    list registered defenses (name, label, side, params)");
     eprintln!("  cache <stats|gc|clear>   inspect / clean a --cache-dir");
-    eprintln!("  serve [mf|ncf]   top-K query daemon (--socket path, trains while serving)");
+    eprintln!("  serve [mf|ncf]   top-K query daemon (--socket/--tcp, --scenario [name=]mf|ncf");
+    eprintln!("                   repeatable; trains while serving)");
+    eprintln!("  loadtest         saturate a serve daemon (--tcp/--socket, --connections,");
+    eprintln!("                   --pipeline, --requests, --rate, --dist, --gate-json)");
     for cmd in PaperCommand::all() {
         eprintln!("  {:<16} {}", cmd.name(), cmd.description());
     }
@@ -237,21 +240,23 @@ fn cache_command(args: &CommonArgs) {
     }
 }
 
-/// `paper serve [mf|ncf] --socket path.sock [--dataset d] [--cache-dir dir]
-/// [--checkpoint-every n] [--rounds n] [--scale f] [--seed s] [--attack a]
-/// [--defense d]`: train (or resume) one scenario while answering top-K
-/// queries on a Unix socket, until SIGINT/SIGTERM.
-fn serve_command(args: &CommonArgs) -> ! {
-    let Some(socket) = &args.socket else {
-        eprintln!("paper serve: needs --socket PATH");
-        std::process::exit(2);
+/// Resolves one `--scenario [name=]mf|ncf` spec (or the bare positional
+/// model operand) into a serve spec. Every scenario shares the session's
+/// dataset/scale/seed/attack/defense overrides; the model kind is what
+/// varies per `--scenario`.
+fn serve_spec(spec: &str, args: &CommonArgs) -> Result<frs_experiments::ServeScenarioSpec, String> {
+    let (name, model) = match spec.split_once('=') {
+        Some((name, model)) if !name.is_empty() => (name.to_string(), model),
+        Some(_) => return Err(format!("bad --scenario `{spec}`: empty name")),
+        None => (spec.to_string(), spec),
     };
-    let kind = match args.positional.get(1).map(String::as_str) {
-        None | Some("mf") => frs_model::ModelKind::Mf,
-        Some("ncf") => frs_model::ModelKind::Ncf,
-        Some(other) => {
-            eprintln!("paper serve: unknown model `{other}`; use mf|ncf");
-            std::process::exit(2);
+    let kind = match model {
+        "mf" => frs_model::ModelKind::Mf,
+        "ncf" => frs_model::ModelKind::Ncf,
+        other => {
+            return Err(format!(
+                "bad --scenario `{spec}`: unknown model `{other}`; use mf|ncf"
+            ))
         }
     };
     let dataset = args
@@ -267,6 +272,41 @@ fn serve_command(args: &CommonArgs) -> ! {
         cfg.defense = defense.clone();
     }
     cfg.federation.round_threads = args.round_threads;
+    Ok(frs_experiments::ServeScenarioSpec { name, cfg })
+}
+
+/// `paper serve [mf|ncf] [--socket path.sock] [--tcp addr]
+/// [--scenario [name=]mf|ncf]... [--dataset d] [--cache-dir dir]
+/// [--checkpoint-every n] [--keep-checkpoints k] [--probe-every n]
+/// [--rounds n] [--scale f] [--seed s] [--attack a] [--defense d]`:
+/// train (or resume) every scenario while answering top-K queries on a
+/// Unix socket and/or TCP listener, until SIGINT/SIGTERM. Requests route
+/// by `{"scenario":NAME}`; the first scenario is the default.
+fn serve_command(args: &CommonArgs) -> ! {
+    if args.socket.is_none() && args.tcp.is_none() {
+        eprintln!("paper serve: needs --socket PATH and/or --tcp ADDR");
+        std::process::exit(2);
+    }
+    // `--scenario` specs win; the bare positional model operand remains the
+    // single-scenario shorthand (`paper serve ncf`).
+    let specs: Vec<String> = if args.scenarios.is_empty() {
+        vec![args
+            .positional
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "mf".to_string())]
+    } else {
+        args.scenarios.clone()
+    };
+    let specs: Vec<frs_experiments::ServeScenarioSpec> = specs
+        .iter()
+        .map(|s| {
+            serve_spec(s, args).unwrap_or_else(|e| {
+                eprintln!("paper serve: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
 
     let cache = match (&args.cache_dir, args.no_cache) {
         (Some(dir), false) => Some(SuiteCache::open(dir).unwrap_or_else(|e| {
@@ -279,34 +319,107 @@ fn serve_command(args: &CommonArgs) -> ! {
     // Ctrl-C drains queries and leaves a resumable checkpoint behind.
     frs_experiments::shutdown::install_handlers();
     let budget = CoreBudget::new(args.threads);
-    eprintln!(
-        "paper serve: {} rounds on {}, socket {}",
-        cfg.rounds,
-        cfg.dataset.name,
-        socket.display()
-    );
-    match frs_experiments::serve_scenario(
-        &cfg,
-        socket,
-        cache.as_ref(),
-        args.checkpoint_every,
-        &budget,
-    ) {
+    for spec in &specs {
+        eprintln!(
+            "paper serve: scenario `{}` — {} rounds on {}",
+            spec.name, spec.cfg.rounds, spec.cfg.dataset.name
+        );
+    }
+    let opts = frs_experiments::ServeOptions {
+        socket: args.socket.as_deref(),
+        tcp: args.tcp.as_deref(),
+        cache: cache.as_ref(),
+        checkpoint_every: args.checkpoint_every,
+        keep_checkpoints: args.keep_checkpoints,
+        probe_every: args.probe_every,
+        tcp_bound: None,
+    };
+    match frs_experiments::serve_scenarios(specs, &opts, &budget) {
         Ok(summary) => {
+            for s in &summary.scenarios {
+                eprintln!(
+                    "paper serve: `{}` stopped at round {}/{} ({} queries{})",
+                    s.name,
+                    s.rounds_done,
+                    s.target_rounds,
+                    s.queries_served,
+                    match s.resumed_from {
+                        Some(round) => format!(", resumed from round {round}"),
+                        None => String::new(),
+                    }
+                );
+            }
             eprintln!(
-                "paper serve: stopped at round {}/{} ({} queries served{})",
-                summary.rounds_done,
-                summary.target_rounds,
-                summary.queries_served,
-                match summary.resumed_from {
-                    Some(round) => format!(", resumed from round {round}"),
-                    None => String::new(),
-                }
+                "paper serve: {} queries served total",
+                summary.queries_served
             );
             std::process::exit(frs_experiments::shutdown::EXIT_INTERRUPTED);
         }
         Err(msg) => {
             eprintln!("paper serve: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `paper loadtest (--tcp addr | --socket path) [--connections n]
+/// [--pipeline n] [--requests n] [--rate r] [--dist uniform|zipf[:exp]]
+/// [--seed s] [--scenario name]... [--gate-json file]`: drive a running
+/// `paper serve` daemon to saturation and report QPS + latency quantiles.
+/// `--rate` switches from closed-loop (pipeline-limited) to open-loop
+/// (scheduled arrivals, coordinated-omission-free). `--gate-json` appends
+/// the run's bench-gate records for `bench-gate compare`.
+fn loadtest_command(args: &CommonArgs) -> ! {
+    let target = match (&args.tcp, &args.socket) {
+        (Some(addr), _) => frs_loadtest::Target::Tcp(addr.clone()),
+        (None, Some(path)) => frs_loadtest::Target::Unix(path.clone()),
+        (None, None) => {
+            eprintln!("paper loadtest: needs --tcp ADDR or --socket PATH");
+            std::process::exit(2);
+        }
+    };
+    let dist = frs_loadtest::KeyDist::parse(&args.dist).unwrap_or_else(|e| {
+        eprintln!("paper loadtest: bad --dist: {e}");
+        std::process::exit(2);
+    });
+    let opts = frs_loadtest::LoadOptions {
+        target,
+        connections: args.connections,
+        pipeline: args.pipeline,
+        requests: args.requests,
+        mode: match args.rate {
+            Some(rate) => frs_loadtest::Mode::Open { rate },
+            None => frs_loadtest::Mode::Closed,
+        },
+        dist,
+        seed: args.seed,
+        scenarios: args.scenarios.clone(),
+        ..frs_loadtest::LoadOptions::default()
+    };
+    match frs_loadtest::run(&opts) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if let Some(path) = &args.gate_json {
+                use std::io::Write as _;
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open {}: {e}", path.display());
+                        std::process::exit(1);
+                    });
+                file.write_all(report.gate_records().as_bytes())
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    });
+                eprintln!("appended gate records to {}", path.display());
+            }
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("paper loadtest: {msg}");
             std::process::exit(1);
         }
     }
@@ -356,6 +469,7 @@ fn main() {
             return;
         }
         "serve" => serve_command(&args),
+        "loadtest" => loadtest_command(&args),
         "all" => Invocation::All,
         name => match PaperCommand::from_name(name) {
             Some(cmd) => Invocation::One(cmd),
@@ -446,6 +560,7 @@ fn main() {
             .map(|s| s as &dyn frs_experiments::ProgressSink),
         budget: Some(&budget),
         checkpoint_every: args.checkpoint_every,
+        checkpoint_keep: args.keep_checkpoints,
     };
 
     match invocation {

@@ -268,6 +268,12 @@ impl SuiteCache {
         self.dir.join(format!("{key}.ckpt.json"))
     }
 
+    /// The `n`-th rotated checkpoint sidecar (`n ≥ 1`; the newest is always
+    /// the unnumbered [`SuiteCache::checkpoint_path`]).
+    fn rotated_checkpoint_path(&self, key: &str, n: usize) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt.{n}.json"))
+    }
+
     /// Atomic write shared by [`SuiteCache::store`] and
     /// [`SuiteCache::store_checkpoint`]: a unique temp file in the cache's
     /// own namespace, then a rename onto `target`.
@@ -316,9 +322,28 @@ impl SuiteCache {
 
     /// Looks up the mid-run checkpoint stored beside `key`'s entry slot.
     /// Missing, torn, schema-stale, or mis-keyed sidecars all read as
-    /// `None` — the cell simply recomputes from round zero.
+    /// `None` — the cell simply recomputes from round zero. When the newest
+    /// sidecar is unreadable but rotated generations exist (`--keep-
+    /// checkpoints K`), the freshest readable rotation is returned instead:
+    /// a torn newest file costs one checkpoint interval, not the whole run.
     pub fn load_checkpoint(&self, key: &str) -> Option<ScenarioCheckpoint> {
-        let text = fs::read_to_string(self.checkpoint_path(key)).ok()?;
+        if let Some(ckpt) = self.read_checkpoint_file(&self.checkpoint_path(key), key) {
+            return Some(ckpt);
+        }
+        for n in 1.. {
+            let path = self.rotated_checkpoint_path(key, n);
+            if !path.exists() {
+                return None;
+            }
+            if let Some(ckpt) = self.read_checkpoint_file(&path, key) {
+                return Some(ckpt);
+            }
+        }
+        None
+    }
+
+    fn read_checkpoint_file(&self, path: &Path, key: &str) -> Option<ScenarioCheckpoint> {
+        let text = fs::read_to_string(path).ok()?;
         let file: CheckpointFile = serde_json::from_str(&text).ok()?;
         if file.schema != CACHE_SCHEMA_VERSION || file.key != key {
             return None;
@@ -329,6 +354,43 @@ impl SuiteCache {
     /// Persists a mid-run checkpoint under `key` atomically. Overwrites any
     /// previous checkpoint for the key — only the latest round matters.
     pub fn store_checkpoint(&self, key: &str, checkpoint: &ScenarioCheckpoint) -> io::Result<()> {
+        self.store_checkpoint_rotating(key, checkpoint, 1)
+    }
+
+    /// Persists a mid-run checkpoint under `key`, retaining the last `keep`
+    /// generations: the previous newest becomes `<key>.ckpt.1.json`, the
+    /// one before that `.2`, and so on; anything at index ≥ `keep` is
+    /// pruned. Every step is a rename or a tmp+rename — the newest sidecar
+    /// is never deleted, only superseded, so a crash at any point leaves a
+    /// loadable checkpoint behind. `keep = 1` is the classic single-sidecar
+    /// behavior.
+    pub fn store_checkpoint_rotating(
+        &self,
+        key: &str,
+        checkpoint: &ScenarioCheckpoint,
+        keep: usize,
+    ) -> io::Result<()> {
+        let keep = keep.max(1);
+        let primary = self.checkpoint_path(key);
+        if keep > 1 && primary.exists() {
+            // Shift older generations up, newest-rotation last → first.
+            for n in (1..keep - 1).rev() {
+                let from = self.rotated_checkpoint_path(key, n);
+                if from.exists() {
+                    fs::rename(&from, self.rotated_checkpoint_path(key, n + 1))?;
+                }
+            }
+            fs::rename(&primary, self.rotated_checkpoint_path(key, 1))?;
+        }
+        // Prune generations past the retention window (rotated indices run
+        // 1..keep; this also cleans up after a `keep` shrink between runs).
+        for n in keep.. {
+            match fs::remove_file(self.rotated_checkpoint_path(key, n)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            }
+        }
         let file = CheckpointFile {
             schema: CACHE_SCHEMA_VERSION,
             key: key.to_string(),
@@ -336,17 +398,26 @@ impl SuiteCache {
         };
         let text = serde_json::to_string(&file)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.write_atomic(&format!("{key}.ckpt"), &self.checkpoint_path(key), &text)
+        self.write_atomic(&format!("{key}.ckpt"), &primary, &text)
     }
 
-    /// Removes `key`'s checkpoint sidecar (a completed cell no longer needs
-    /// one). Returns whether a file was actually deleted.
+    /// Removes `key`'s checkpoint sidecars — the newest and every rotated
+    /// generation (a completed cell no longer needs them). Returns whether
+    /// any file was actually deleted.
     pub fn remove_checkpoint(&self, key: &str) -> io::Result<bool> {
-        match fs::remove_file(self.checkpoint_path(key)) {
-            Ok(()) => Ok(true),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
-            Err(e) => Err(e),
+        let mut removed = match fs::remove_file(self.checkpoint_path(key)) {
+            Ok(()) => true,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e),
+        };
+        for n in 1.. {
+            match fs::remove_file(self.rotated_checkpoint_path(key, n)) {
+                Ok(()) => removed = true,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            }
         }
+        Ok(removed)
     }
 
     /// Classifies every cache-owned file in the directory (foreign files —
@@ -457,7 +528,13 @@ impl SuiteCache {
         let mut files = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
-            let meta = entry.metadata()?;
+            let meta = match entry.metadata() {
+                Ok(meta) => meta,
+                // A concurrent gc/clear removed it between the directory
+                // listing and the stat — it's not ours to count anymore.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
             let path = entry.path();
             if let (true, Some(kind)) = (meta.is_file(), Self::file_kind(&path)) {
                 // Fresh temp files may be a concurrent store() mid-write;
@@ -473,18 +550,17 @@ impl SuiteCache {
     }
 
     /// `Some(Entry)` for `<64-hex>.json`, `Some(Checkpoint)` for
-    /// `<64-hex>.ckpt.json`, `Some(Temp)` for our `.<64-hex>[.ckpt].tmp.*`
-    /// writer leftovers, `None` for foreign files.
+    /// `<64-hex>.ckpt.json` and rotated `<64-hex>.ckpt.<N>.json`
+    /// generations, `Some(Temp)` for our `.<64-hex>[.ckpt].tmp.*` writer
+    /// leftovers, `None` for foreign files.
     fn file_kind(path: &Path) -> Option<FileKind> {
         let name = path.file_name()?.to_str()?;
         if let Some(stem) = name.strip_suffix(".json") {
             if is_hex_key(stem) {
                 return Some(FileKind::Entry);
             }
-            if let Some(key) = stem.strip_suffix(".ckpt") {
-                if is_hex_key(key) {
-                    return Some(FileKind::Checkpoint);
-                }
+            if checkpoint_key_of_stem(stem).is_some() {
+                return Some(FileKind::Checkpoint);
             }
         }
         // Byte-wise: foreign dotfile names may not have a char boundary at
@@ -521,12 +597,12 @@ impl SuiteCache {
     }
 
     fn classify_checkpoint(path: &Path) -> EntryState {
-        // `<key>.ckpt.json` → file_stem is `<key>.ckpt`; the echo check
-        // compares against the bare key.
+        // `<key>.ckpt[.N].json` — the echo check compares against the bare
+        // key, for the newest sidecar and rotated generations alike.
         let key = path
             .file_stem()
             .and_then(|s| s.to_str())
-            .and_then(|s| s.strip_suffix(".ckpt"));
+            .and_then(checkpoint_key_of_stem);
         let Some(key) = key else {
             return EntryState::Corrupt;
         };
@@ -541,15 +617,31 @@ impl SuiteCache {
     }
 }
 
-/// `<dir>/<key>.ckpt.json` → `<dir>/<key>.json` (the entry the checkpoint
-/// would have become).
+/// `<dir>/<key>.ckpt[.N].json` → `<dir>/<key>.json` (the entry the
+/// checkpoint would have become).
 fn entry_path_of_checkpoint(path: &Path) -> PathBuf {
     let name = path
         .file_name()
         .and_then(|s| s.to_str())
         .unwrap_or_default();
-    let key = name.strip_suffix(".ckpt.json").unwrap_or(name);
+    let key = name
+        .strip_suffix(".json")
+        .and_then(checkpoint_key_of_stem)
+        .unwrap_or(name);
     path.with_file_name(format!("{key}.json"))
+}
+
+/// `<64-hex>.ckpt` or rotated `<64-hex>.ckpt.<digits>` → the bare key.
+/// `None` when the stem is not a checkpoint sidecar's.
+fn checkpoint_key_of_stem(stem: &str) -> Option<&str> {
+    let before_rotation = match stem.rsplit_once('.') {
+        Some((head, index)) if !index.is_empty() && index.bytes().all(|b| b.is_ascii_digit()) => {
+            head
+        }
+        _ => stem,
+    };
+    let key = before_rotation.strip_suffix(".ckpt")?;
+    is_hex_key(key).then_some(key)
 }
 
 /// True for a 64-char lowercase-hex cache key.
@@ -1067,6 +1159,81 @@ mod tests {
 
         assert!(cache.remove_checkpoint(&key).unwrap());
         assert!(!cache.remove_checkpoint(&key).unwrap(), "already gone");
+        assert!(cache.load_checkpoint(&key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn rotation_retains_the_last_k_generations() {
+        let cache = temp_cache("ckpt-rotate");
+        let key = "a".repeat(64);
+        for round in 1..=5 {
+            cache
+                .store_checkpoint_rotating(&key, &sample_checkpoint(round), 3)
+                .unwrap();
+        }
+        // keep=3: the newest plus two rotated generations, no more.
+        assert_eq!(cache.load_checkpoint(&key).unwrap().sim.round, 5);
+        assert!(cache.rotated_checkpoint_path(&key, 1).exists());
+        assert!(cache.rotated_checkpoint_path(&key, 2).exists());
+        assert!(!cache.rotated_checkpoint_path(&key, 3).exists());
+
+        // A torn newest sidecar falls back to the freshest rotation — one
+        // interval lost, not the whole run.
+        fs::write(cache.checkpoint_path(&key), "{ torn").unwrap();
+        assert_eq!(cache.load_checkpoint(&key).unwrap().sim.round, 4);
+
+        // remove takes every generation.
+        assert!(cache.remove_checkpoint(&key).unwrap());
+        assert!(cache.load_checkpoint(&key).is_none());
+        assert!(!cache.rotated_checkpoint_path(&key, 1).exists());
+        assert!(!cache.rotated_checkpoint_path(&key, 2).exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn shrinking_keep_prunes_old_generations() {
+        let cache = temp_cache("ckpt-shrink");
+        let key = "b".repeat(64);
+        for round in 1..=4 {
+            cache
+                .store_checkpoint_rotating(&key, &sample_checkpoint(round), 4)
+                .unwrap();
+        }
+        assert!(cache.rotated_checkpoint_path(&key, 3).exists());
+        // Back to the default single sidecar: rotations are pruned.
+        cache
+            .store_checkpoint_rotating(&key, &sample_checkpoint(5), 1)
+            .unwrap();
+        assert_eq!(cache.load_checkpoint(&key).unwrap().sim.round, 5);
+        for n in 1..=4 {
+            assert!(!cache.rotated_checkpoint_path(&key, n).exists(), "gen {n}");
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_and_gc_understand_rotated_sidecars() {
+        let cache = temp_cache("ckpt-rotate-gc");
+        let key = "c".repeat(64);
+        for round in 1..=3 {
+            cache
+                .store_checkpoint_rotating(&key, &sample_checkpoint(round), 3)
+                .unwrap();
+        }
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.checkpoints, 3, "rotations count as checkpoints");
+        // All resumable: gc leaves every generation.
+        assert_eq!(cache.gc(false).unwrap().removed, 0);
+
+        // Once the cell finishes, all generations are orphans.
+        cache.store(&key, &sample_outcome()).unwrap();
+        let plan = cache.gc_plan(false).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan
+            .iter()
+            .all(|d| d.reason == "orphaned checkpoint (cell finished)"));
+        assert_eq!(cache.gc(false).unwrap().removed, 3);
         assert!(cache.load_checkpoint(&key).is_none());
         let _ = fs::remove_dir_all(cache.dir());
     }

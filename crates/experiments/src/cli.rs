@@ -72,6 +72,33 @@ pub struct CommonArgs {
     /// Unix socket path the `paper serve` daemon listens on
     /// (`--socket run.sock`).
     pub socket: Option<PathBuf>,
+    /// TCP address `paper serve` listens on / `paper loadtest` targets
+    /// (`--tcp 127.0.0.1:7411`; port 0 binds an ephemeral port).
+    pub tcp: Option<String>,
+    /// Scenario specs for `paper serve`, repeatable
+    /// (`--scenario [name=]mf|ncf`). Empty = single scenario from the
+    /// positional model operand.
+    pub scenarios: Vec<String>,
+    /// Checkpoint generations `paper serve` retains per scenario
+    /// (`--keep-checkpoints K`, default 1 = newest only).
+    pub keep_checkpoints: usize,
+    /// Rounds between `paper serve` online ER/HR probes
+    /// (`--probe-every N`, 0 = disabled).
+    pub probe_every: usize,
+    /// `paper loadtest` concurrent connections (`--connections N`).
+    pub connections: usize,
+    /// `paper loadtest` in-flight requests per connection (`--pipeline N`).
+    pub pipeline: usize,
+    /// `paper loadtest` total requests (`--requests N`).
+    pub requests: u64,
+    /// `paper loadtest` open-loop arrival rate in req/s (`--rate R`);
+    /// absent = closed loop.
+    pub rate: Option<f64>,
+    /// `paper loadtest` key distribution (`--dist uniform|zipf[:EXP]`).
+    pub dist: String,
+    /// Where `paper loadtest` appends its bench-gate JSONL records
+    /// (`--gate-json FILE`).
+    pub gate_json: Option<PathBuf>,
     /// Remaining positional arguments (subcommand + operands).
     pub positional: Vec<String>,
 }
@@ -98,6 +125,16 @@ impl Default for CommonArgs {
             checkpoint_every: 0,
             dry_run: false,
             socket: None,
+            tcp: None,
+            scenarios: Vec::new(),
+            keep_checkpoints: 1,
+            probe_every: 0,
+            connections: 4,
+            pipeline: 8,
+            requests: 10_000,
+            rate: None,
+            dist: "uniform".to_string(),
+            gate_json: None,
             positional: Vec::new(),
         }
     }
@@ -202,6 +239,66 @@ impl CommonArgs {
                     let v = iter.next().ok_or("--socket needs a path")?;
                     out.socket = Some(PathBuf::from(v));
                 }
+                "--tcp" => {
+                    let v = iter.next().ok_or("--tcp needs an address (host:port)")?;
+                    out.tcp = Some(v);
+                }
+                "--scenario" => {
+                    let v = iter.next().ok_or("--scenario needs a [name=]mf|ncf spec")?;
+                    out.scenarios.push(v);
+                }
+                "--keep-checkpoints" => {
+                    let v = iter.next().ok_or("--keep-checkpoints needs a count")?;
+                    out.keep_checkpoints = v
+                        .parse()
+                        .map_err(|_| format!("bad --keep-checkpoints: {v}"))?;
+                    if out.keep_checkpoints == 0 {
+                        return Err("--keep-checkpoints must be ≥ 1".into());
+                    }
+                }
+                "--probe-every" => {
+                    let v = iter.next().ok_or("--probe-every needs a round count")?;
+                    out.probe_every = v.parse().map_err(|_| format!("bad --probe-every: {v}"))?;
+                    if out.probe_every == 0 {
+                        return Err("--probe-every must be ≥ 1".into());
+                    }
+                }
+                "--connections" => {
+                    let v = iter.next().ok_or("--connections needs a count")?;
+                    out.connections = v.parse().map_err(|_| format!("bad --connections: {v}"))?;
+                    if out.connections == 0 {
+                        return Err("--connections must be ≥ 1".into());
+                    }
+                }
+                "--pipeline" => {
+                    let v = iter.next().ok_or("--pipeline needs a depth")?;
+                    out.pipeline = v.parse().map_err(|_| format!("bad --pipeline: {v}"))?;
+                    if out.pipeline == 0 {
+                        return Err("--pipeline must be ≥ 1".into());
+                    }
+                }
+                "--requests" => {
+                    let v = iter.next().ok_or("--requests needs a count")?;
+                    out.requests = v.parse().map_err(|_| format!("bad --requests: {v}"))?;
+                    if out.requests == 0 {
+                        return Err("--requests must be ≥ 1".into());
+                    }
+                }
+                "--rate" => {
+                    let v = iter.next().ok_or("--rate needs requests per second")?;
+                    out.rate = Some(v.parse().map_err(|_| format!("bad --rate: {v}"))?);
+                    if !out.rate.unwrap().is_finite() || out.rate.unwrap() <= 0.0 {
+                        return Err("--rate must be a positive number".into());
+                    }
+                }
+                "--dist" => {
+                    let v = iter.next().ok_or("--dist needs uniform|zipf[:EXP]")?;
+                    out.dist = v;
+                }
+                "--gate-json" => {
+                    let v = iter.next().ok_or("--gate-json needs a file")?;
+                    out.gate_json = Some(PathBuf::from(v));
+                }
                 other => out.positional.push(other.to_string()),
             }
         }
@@ -232,6 +329,9 @@ impl CommonArgs {
                      [--clients-per-round n|frac|pct%] [--json dir] [--csv dir] \
                      [--quiet] [--cache-dir dir] [--no-cache] [--progress file] \
                      [--resume] [--checkpoint-every n] [--dry-run] [--socket path] \
+                     [--tcp addr] [--scenario [name=]mf|ncf] [--keep-checkpoints k] \
+                     [--probe-every n] [--connections n] [--pipeline n] [--requests n] \
+                     [--rate r] [--dist uniform|zipf[:exp]] [--gate-json file] \
                      [extra...]"
                 );
                 std::process::exit(2);
@@ -441,6 +541,71 @@ mod tests {
         assert_eq!(a.socket.as_deref(), Some(std::path::Path::new("run.sock")));
         assert!(parse(&["serve", "--socket"]).is_err());
         assert!(parse(&["serve"]).unwrap().socket.is_none());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let a = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--scenario",
+            "a=mf",
+            "--scenario",
+            "b=ncf",
+            "--keep-checkpoints",
+            "3",
+            "--probe-every",
+            "25",
+        ])
+        .unwrap();
+        assert_eq!(a.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.scenarios, vec!["a=mf".to_string(), "b=ncf".to_string()]);
+        assert_eq!(a.keep_checkpoints, 3);
+        assert_eq!(a.probe_every, 25);
+        // Defaults: newest-only checkpoints, no probes, no scenario specs.
+        let d = parse(&["serve"]).unwrap();
+        assert_eq!((d.keep_checkpoints, d.probe_every), (1, 0));
+        assert!(d.scenarios.is_empty() && d.tcp.is_none());
+        assert!(parse(&["serve", "--keep-checkpoints", "0"]).is_err());
+        assert!(parse(&["serve", "--probe-every", "0"]).is_err());
+        assert!(parse(&["serve", "--tcp"]).is_err());
+    }
+
+    #[test]
+    fn loadtest_flags_parse() {
+        let a = parse(&[
+            "loadtest",
+            "--tcp",
+            "127.0.0.1:7411",
+            "--connections",
+            "8",
+            "--pipeline",
+            "16",
+            "--requests",
+            "50000",
+            "--rate",
+            "2000",
+            "--dist",
+            "zipf:1.2",
+            "--gate-json",
+            "gate.jsonl",
+        ])
+        .unwrap();
+        assert_eq!((a.connections, a.pipeline, a.requests), (8, 16, 50_000));
+        assert_eq!(a.rate, Some(2000.0));
+        assert_eq!(a.dist, "zipf:1.2");
+        assert_eq!(
+            a.gate_json.as_deref(),
+            Some(std::path::Path::new("gate.jsonl"))
+        );
+        let d = parse(&["loadtest"]).unwrap();
+        assert_eq!((d.connections, d.pipeline, d.requests), (4, 8, 10_000));
+        assert_eq!((d.rate, d.dist.as_str()), (None, "uniform"));
+        assert!(parse(&["loadtest", "--connections", "0"]).is_err());
+        assert!(parse(&["loadtest", "--pipeline", "0"]).is_err());
+        assert!(parse(&["loadtest", "--requests", "0"]).is_err());
+        assert!(parse(&["loadtest", "--rate", "-1"]).is_err());
     }
 
     #[test]

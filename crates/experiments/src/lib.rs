@@ -52,7 +52,9 @@ pub use report::{Report, ReportFormat, Table};
 pub use scenario::{
     run, CheckpointCtl, Interrupted, ScenarioCheckpoint, ScenarioConfig, ScenarioOutcome,
 };
-pub use serve::{serve_scenario, ServeSummary};
+pub use serve::{
+    serve_scenarios, ScenarioServeSummary, ServeOptions, ServeScenarioSpec, ServeSummary,
+};
 pub use suite::{
     Axis, Cell, CellResult, ConfigPatch, ExecOptions, ExperimentSuite, RunOptions, SuiteResult,
     Sweep, SweepResult,

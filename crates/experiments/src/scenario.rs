@@ -194,6 +194,9 @@ pub struct CheckpointCtl<'a> {
     pub key: &'a str,
     /// Rounds between periodic checkpoints (≥ 1; shutdown always snapshots).
     pub every: usize,
+    /// Checkpoint generations retained per cell (`--keep-checkpoints`;
+    /// values ≤ 1 keep only the newest sidecar, the classic behavior).
+    pub keep: usize,
 }
 
 /// A checkpointed run stopped early by a shutdown request
@@ -431,7 +434,10 @@ fn finish_run_ctl(
                     trend: trend.clone(),
                     sim: sim.capture_checkpoint(),
                 };
-                if let Err(e) = ctl.cache.store_checkpoint(ctl.key, &ckpt) {
+                if let Err(e) = ctl
+                    .cache
+                    .store_checkpoint_rotating(ctl.key, &ckpt, ctl.keep)
+                {
                     eprintln!("checkpoint write failed for {}: {e}", ctl.key);
                 }
             }
@@ -597,6 +603,7 @@ mod tests {
             cache: &cache,
             key: &key,
             every: 4,
+            keep: 1,
         };
         let checkpointed = run_checkpointed(&cfg, None, &ctl).unwrap();
         assert_same_outcome(&plain, &checkpointed);
@@ -627,6 +634,7 @@ mod tests {
             cache: &cache,
             key: &key,
             every: 0,
+            keep: 1,
         };
         crate::shutdown::trigger();
         let mut stops = 0;
@@ -682,6 +690,7 @@ mod tests {
             cache: &cache,
             key: &key,
             every: 3,
+            keep: 1,
         };
         let out = run_checkpointed(&cfg, None, &ctl).unwrap();
         assert_same_outcome(&plain, &out);

@@ -570,6 +570,7 @@ impl ExperimentSuite {
                                     cache,
                                     key: &key,
                                     every: exec.checkpoint_every,
+                                    keep: exec.checkpoint_keep,
                                 })
                             });
                             let outcome = match ctl {
@@ -686,6 +687,9 @@ pub struct ExecOptions<'a> {
     /// shutdown requests (final checkpoint, then the run aborts with every
     /// finished cell cached).
     pub checkpoint_every: usize,
+    /// Checkpoint generations retained per cell (`--keep-checkpoints`;
+    /// 0 or 1 keep only the newest sidecar).
+    pub checkpoint_keep: usize,
 }
 
 /// Results of one sweep, in grid order.
@@ -980,6 +984,7 @@ mod tests {
                     sink: Some(&cold_sink),
                     budget: None,
                     checkpoint_every: 0,
+                    checkpoint_keep: 1,
                 },
             )
             .unwrap();
@@ -995,6 +1000,7 @@ mod tests {
                     sink: Some(&warm_sink),
                     budget: None,
                     checkpoint_every: 0,
+                    checkpoint_keep: 1,
                 },
             )
             .unwrap();
@@ -1041,6 +1047,7 @@ mod tests {
                     sink: Some(&sink),
                     budget: None,
                     checkpoint_every: 0,
+                    checkpoint_keep: 1,
                 },
             )
             .unwrap();
@@ -1074,6 +1081,7 @@ mod tests {
                     sink: Some(&sink),
                     budget: None,
                     checkpoint_every: 0,
+                    checkpoint_keep: 1,
                 },
             )
             .unwrap();
@@ -1106,6 +1114,7 @@ mod tests {
                     sink: Some(&sink),
                     budget: None,
                     checkpoint_every: 0,
+                    checkpoint_keep: 1,
                 },
             )
             .unwrap_err();

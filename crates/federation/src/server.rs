@@ -141,6 +141,14 @@ impl Simulation {
         self.lease = lease;
     }
 
+    /// Detaches and returns the attached lease, if any. The multi-scenario
+    /// serve path hands one trainer lease around a set of simulations this
+    /// way — only the one currently training holds budget width, instead of
+    /// every idle simulation counting against the shared grant.
+    pub fn take_core_lease(&mut self) -> Option<CoreLease> {
+        self.lease.take()
+    }
+
     /// The fan-out width the next round would use for `n_participants`
     /// sampled clients: the configured fixed width, or the attached lease's
     /// current fair share under [`RoundThreads::Auto`] (1 when no lease is
@@ -454,6 +462,26 @@ mod tests {
 
         assert_eq!(seq.model().items(), auto.model().items());
         assert_eq!(seq.user_embeddings(), auto.user_embeddings());
+    }
+
+    #[test]
+    fn one_lease_can_be_handed_between_simulations() {
+        let budget = CoreBudget::new(8);
+        let (mut a, _, _) = build_sim(RoundThreads::Auto, 3);
+        let (mut b, _, _) = build_sim(RoundThreads::Auto, 3);
+
+        a.set_core_lease(Some(budget.lease()));
+        assert_eq!(a.effective_round_width(32), 8, "sole lease, full width");
+        assert_eq!(b.effective_round_width(32), 1, "no lease, sequential");
+
+        // Handing the one lease over transfers the full width instead of
+        // splitting the budget between an active and an idle trainer.
+        let lease = a.take_core_lease();
+        assert!(lease.is_some());
+        assert!(a.take_core_lease().is_none(), "take detaches");
+        b.set_core_lease(lease);
+        assert_eq!(a.effective_round_width(32), 1);
+        assert_eq!(b.effective_round_width(32), 8);
     }
 
     /// The load-bearing refactor invariant: a lazily-materialized arena

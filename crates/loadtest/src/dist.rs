@@ -1,0 +1,155 @@
+//! Key (user-id) distributions for load generation.
+//!
+//! Real recommendation traffic is skewed — a small set of users generates
+//! most requests — so the harness offers a zipf sampler next to uniform.
+//! Both are driven by the caller's seeded RNG: the same seed yields the
+//! same request stream, which is what makes a loadtest report reproducible.
+
+use rand::Rng;
+
+/// Which user ids a load generator asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyDist {
+    /// Every user equally likely.
+    Uniform,
+    /// Zipf with the given exponent: user `u` drawn proportional to
+    /// `(u+1)^-s` (user 0 hottest).
+    Zipf(f64),
+}
+
+impl KeyDist {
+    /// Parses a CLI spec: `uniform`, `zipf` (exponent 1.0), or `zipf:EXP`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "uniform" => Ok(Self::Uniform),
+            "zipf" => Ok(Self::Zipf(1.0)),
+            other => match other.strip_prefix("zipf:") {
+                Some(exp) => {
+                    let s: f64 = exp
+                        .parse()
+                        .map_err(|_| format!("bad zipf exponent `{exp}`"))?;
+                    if !s.is_finite() || s <= 0.0 {
+                        return Err(format!("zipf exponent must be positive, got {s}"));
+                    }
+                    Ok(Self::Zipf(s))
+                }
+                None => Err(format!(
+                    "unknown key distribution `{other}` (expected uniform, zipf, or zipf:EXP)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Uniform => write!(f, "uniform"),
+            Self::Zipf(s) => write!(f, "zipf:{s}"),
+        }
+    }
+}
+
+/// A prepared sampler over `0..n_keys` (a CDF table for zipf; O(log n) per
+/// draw via binary search).
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    n_keys: usize,
+    /// Cumulative probabilities for zipf; empty for uniform.
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler for `dist` over `n_keys` users.
+    pub fn new(dist: &KeyDist, n_keys: usize) -> Result<Self, String> {
+        if n_keys == 0 {
+            return Err("cannot sample from zero users".into());
+        }
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf(s) => {
+                let mut cdf = Vec::with_capacity(n_keys);
+                let mut total = 0.0f64;
+                for rank in 0..n_keys {
+                    total += 1.0 / ((rank + 1) as f64).powf(*s);
+                    cdf.push(total);
+                }
+                for p in &mut cdf {
+                    *p /= total;
+                }
+                cdf
+            }
+        };
+        Ok(Self { n_keys, cdf })
+    }
+
+    /// Draws one user id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.cdf.is_empty() {
+            return rng.gen_range(0..self.n_keys);
+        }
+        let r: f64 = rng.gen();
+        // First index whose cumulative probability exceeds r.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&r).unwrap()) {
+            Ok(i) => (i + 1).min(self.n_keys - 1),
+            Err(i) => i.min(self.n_keys - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_cli_specs() {
+        assert_eq!(KeyDist::parse("uniform").unwrap(), KeyDist::Uniform);
+        assert_eq!(KeyDist::parse("zipf").unwrap(), KeyDist::Zipf(1.0));
+        assert_eq!(KeyDist::parse("zipf:1.5").unwrap(), KeyDist::Zipf(1.5));
+        assert!(KeyDist::parse("zipf:-1").is_err());
+        assert!(KeyDist::parse("pareto").is_err());
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let sampler = KeySampler::new(&KeyDist::Uniform, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all keys drawn: {seen:?}");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = KeySampler::new(&KeyDist::Zipf(1.2), 100).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 100];
+        for _ in 0..5_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[90..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "zipf head ({head}) should dwarf the tail ({tail})"
+        );
+        assert!(counts[0] > counts[10], "rank 0 hotter than rank 10");
+    }
+
+    #[test]
+    fn samples_are_seed_reproducible() {
+        let sampler = KeySampler::new(&KeyDist::Zipf(1.0), 50).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| sampler.sample(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

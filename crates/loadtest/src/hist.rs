@@ -1,0 +1,192 @@
+//! A log-bucketed latency histogram in the HDR style: fixed memory, no
+//! allocation per sample, ~1.6 % relative error at the quantiles.
+//!
+//! Values below 64 are exact; above that, each power-of-two range is
+//! split into 64 linear sub-buckets, so the bucket
+//! width is always ≤ value/64. That is all a loadtest quantile needs, and
+//! it costs one `u64` array — no external histogram crate.
+
+/// Linear sub-buckets per power-of-two major bucket (and the exact range).
+const SUB_BUCKETS: u64 = 64;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_SHIFT: u32 = 6;
+/// Majors 6..=63 each contribute 64 buckets, after the exact 0..64 range.
+const BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_SHIFT as usize) + SUB_BUCKETS as usize;
+
+/// Log-bucketed histogram over `u64` samples (nanoseconds, here).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let major = 63 - value.leading_zeros() as u64; // ≥ SUB_SHIFT
+        let shift = major - SUB_SHIFT as u64;
+        let sub = (value >> shift) - SUB_BUCKETS; // 0..SUB_BUCKETS
+        (SUB_BUCKETS * (major - SUB_SHIFT as u64) + SUB_BUCKETS + sub) as usize
+    }
+
+    /// The midpoint of a bucket's value range (its error bound).
+    fn bucket_mid(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let major = SUB_SHIFT as u64 + (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        let shift = major - SUB_SHIFT as u64;
+        let low = (SUB_BUCKETS + sub) << shift;
+        low + (1u64 << shift) / 2
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (into, from) in self.counts.iter_mut().zip(&other.counts) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded, exact.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (midpoint of its bucket, so
+    /// within ~1.6 % of the true sample). Zero for an empty histogram; the
+    /// exact max for `q = 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_mid(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn large_values_stay_within_the_error_bound() {
+        let mut h = LogHistogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000, 50_000_000] {
+            h.record(v);
+            let got = {
+                let mut one = LogHistogram::new();
+                one.record(v);
+                one.quantile(0.5)
+            };
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0, "value {v} → {got}, relative error {err}");
+        }
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = LogHistogram::new();
+        // 90 fast samples at ~1 µs, 10 slow at ~1 ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!((900..1_100).contains(&p50), "p50 near 1µs: {p50}");
+        assert!(p95 > 900_000, "p95 lands in the slow mode: {p95}");
+        assert!(p99 > 900_000 && p99 <= h.max(), "p99: {p99}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(5_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 5_000_000);
+        assert_eq!(a.quantile(0.25), 10);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn bucket_midpoints_invert_bucketing() {
+        // Every bucket's midpoint must map back into that bucket.
+        for index in (0..BUCKETS).step_by(7) {
+            let mid = LogHistogram::bucket_mid(index);
+            if mid == 0 {
+                continue;
+            }
+            assert_eq!(
+                LogHistogram::bucket(mid),
+                index,
+                "midpoint {mid} escapes bucket {index}"
+            );
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The load driver: saturate a running serve daemon and measure it.
+//!
+//! Two client models, per the classic load-testing split:
+//!
+//! - **Closed loop** — each connection keeps a fixed number of requests in
+//!   flight (`pipeline`) and sends the next as each response lands. This
+//!   finds the daemon's throughput ceiling; latency here measures service
+//!   time under full pipelines.
+//! - **Open loop** — requests are sent on a fixed schedule (`rate` per
+//!   second across all connections) regardless of response progress, and
+//!   latency is measured from the *scheduled* send time, so queueing delay
+//!   is part of the number (no coordinated omission).
+//!
+//! The request stream is seeded: the same seed, distribution, and counts
+//! produce the same user ids in the same order, making a report
+//! reproducible run to run (timing aside).
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{KeyDist, KeySampler};
+use crate::hist::LogHistogram;
+
+/// Where the daemon under test listens.
+#[derive(Debug, Clone)]
+pub enum Target {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Client model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Fixed in-flight window per connection.
+    Closed,
+    /// Fixed schedule: `rate` requests per second across all connections.
+    Open { rate: f64 },
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "closed"),
+            Self::Open { rate } => write!(f, "open@{rate}/s"),
+        }
+    }
+}
+
+/// Everything one loadtest run needs.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    pub target: Target,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// In-flight requests per connection (closed loop).
+    pub pipeline: usize,
+    /// Total requests across all connections.
+    pub requests: u64,
+    pub mode: Mode,
+    pub dist: KeyDist,
+    pub seed: u64,
+    /// Top-K cutoff each query asks for.
+    pub k: usize,
+    /// Scenario routing keys to spread requests over; empty hits the
+    /// daemon's default scenario with no routing field (the PR 6 shape).
+    pub scenarios: Vec<String>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            target: Target::Tcp("127.0.0.1:0".into()),
+            connections: 4,
+            pipeline: 8,
+            requests: 10_000,
+            mode: Mode::Closed,
+            dist: KeyDist::Uniform,
+            seed: 42,
+            k: 10,
+            scenarios: Vec::new(),
+        }
+    }
+}
+
+/// The measured outcome of a run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub target: String,
+    pub mode: String,
+    pub dist: String,
+    pub connections: usize,
+    pub pipeline: usize,
+    pub seed: u64,
+    pub sent: u64,
+    pub received: u64,
+    pub errors: u64,
+    pub elapsed_ns: u64,
+    pub qps: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    /// Wall time per answered query — the bench-gate "iteration" cost, so a
+    /// QPS floor rides the gate as a slower-than-baseline failure.
+    pub ns_per_query: u64,
+}
+
+impl LoadReport {
+    /// The run's bench-gate records, one JSON object per line, in the same
+    /// shape `frs_bench::gate` collects: `{"bench":ID,"ns_per_iter":N}`.
+    pub fn gate_records(&self) -> String {
+        format!(
+            "{{\"bench\":\"serve/loadtest_ns_per_query\",\"ns_per_iter\":{}}}\n\
+             {{\"bench\":\"serve/loadtest_p99_ns\",\"ns_per_iter\":{}}}\n",
+            self.ns_per_query.max(1),
+            self.p99_ns.max(1),
+        )
+    }
+
+    /// Human-readable summary block.
+    pub fn summary(&self) -> String {
+        format!(
+            "target        {}\n\
+             mode          {} · {} conns × pipeline {} · dist {} · seed {}\n\
+             requests      {} sent, {} answered, {} errors\n\
+             elapsed       {:.3} s\n\
+             throughput    {:.0} queries/s ({} ns/query)\n\
+             latency       p50 {} µs · p95 {} µs · p99 {} µs · max {} µs",
+            self.target,
+            self.mode,
+            self.connections,
+            self.pipeline,
+            self.dist,
+            self.seed,
+            self.sent,
+            self.received,
+            self.errors,
+            self.elapsed_ns as f64 / 1e9,
+            self.qps,
+            self.ns_per_query,
+            self.p50_ns / 1_000,
+            self.p95_ns / 1_000,
+            self.p99_ns / 1_000,
+            self.max_ns / 1_000,
+        )
+    }
+}
+
+/// A duplex client connection to either transport.
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn connect(target: &Target) -> io::Result<Self> {
+        match target {
+            Target::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Target::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+        }
+    }
+
+    fn split_reader(&self) -> io::Result<Box<dyn io::Read + Send>> {
+        match self {
+            Conn::Unix(s) => {
+                let r = s.try_clone()?;
+                r.set_read_timeout(Some(READ_TIMEOUT))?;
+                Ok(Box::new(r))
+            }
+            Conn::Tcp(s) => {
+                let r = s.try_clone()?;
+                r.set_read_timeout(Some(READ_TIMEOUT))?;
+                Ok(Box::new(r))
+            }
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// How long a client waits on a response before declaring the daemon stuck.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Wire shape of one generated query (field names match the daemon's
+/// `Request`; `scenario: None` serializes as `null`, which routes to the
+/// default scenario exactly like omitting the field).
+#[derive(Serialize)]
+struct QueryLine {
+    user: usize,
+    k: usize,
+    scenario: Option<String>,
+}
+
+/// Minimal view of the daemon's status response for bootstrapping.
+#[derive(Deserialize)]
+struct StatusProbe {
+    n_users: usize,
+    #[serde(default)]
+    scenarios: Vec<ScenarioProbe>,
+}
+
+#[derive(Deserialize)]
+struct ScenarioProbe {
+    name: String,
+    n_users: usize,
+}
+
+/// Deterministic per-connection request stream.
+struct RequestGen {
+    rng: StdRng,
+    sampler: KeySampler,
+    scenarios: Vec<String>,
+    k: usize,
+}
+
+impl RequestGen {
+    fn next_line(&mut self) -> String {
+        let user = self.sampler.sample(&mut self.rng);
+        let scenario = match self.scenarios.len() {
+            0 => None,
+            1 => Some(self.scenarios[0].clone()),
+            n => Some(self.scenarios[self.rng.gen_range(0..n)].clone()),
+        };
+        let mut line = serde_json::to_string(&QueryLine {
+            user,
+            k: self.k,
+            scenario,
+        })
+        .expect("query serializes");
+        line.push('\n');
+        line
+    }
+}
+
+/// What one connection worker measured.
+struct ConnStats {
+    hist: LogHistogram,
+    sent: u64,
+    received: u64,
+    errors: u64,
+}
+
+/// Connects (with retries while a freshly booted daemon binds), sends one
+/// status request, and returns the parsed probe.
+fn probe_status(target: &Target) -> Result<StatusProbe, String> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut conn = loop {
+        match Conn::connect(target) {
+            Ok(conn) => break conn,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("cannot reach {target}: {e}")),
+        }
+    };
+    let mut reader = BufReader::new(
+        conn.split_reader()
+            .map_err(|e| format!("status probe: {e}"))?,
+    );
+    conn.write_all(b"{}\n")
+        .map_err(|e| format!("status probe write: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("status probe read: {e}"))?;
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad status response: {e}"))
+}
+
+/// Runs one loadtest against a live daemon.
+pub fn run(opts: &LoadOptions) -> Result<LoadReport, String> {
+    if opts.connections == 0 || opts.requests == 0 {
+        return Err("need at least one connection and one request".into());
+    }
+    if opts.pipeline == 0 {
+        return Err("pipeline depth must be at least 1".into());
+    }
+    if let Mode::Open { rate } = opts.mode {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!("open-loop rate must be positive, got {rate}"));
+        }
+    }
+
+    let status = probe_status(&opts.target)?;
+    // The sampled user space must be valid for every scenario we hit.
+    let mut n_users = status.n_users;
+    for name in &opts.scenarios {
+        match status.scenarios.iter().find(|s| &s.name == name) {
+            Some(s) => n_users = n_users.min(s.n_users),
+            None => {
+                let served: Vec<&str> = status.scenarios.iter().map(|s| s.name.as_str()).collect();
+                return Err(format!(
+                    "daemon does not serve scenario `{name}` (serving: {})",
+                    served.join(", ")
+                ));
+            }
+        }
+    }
+    if n_users == 0 {
+        return Err("daemon reports zero servable users".into());
+    }
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.connections)
+        .map(|c| {
+            let quota = opts.requests / opts.connections as u64
+                + u64::from((c as u64) < opts.requests % opts.connections as u64);
+            let gen = RequestGen {
+                rng: StdRng::seed_from_u64(
+                    opts.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                sampler: KeySampler::new(&opts.dist, n_users)?,
+                scenarios: opts.scenarios.clone(),
+                k: opts.k,
+            };
+            let target = opts.target.clone();
+            let mode = opts.mode;
+            let pipeline = opts.pipeline;
+            let total_conns = opts.connections;
+            Ok(std::thread::spawn(move || {
+                run_connection(&target, mode, pipeline, total_conns, quota, gen)
+            }))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let mut hist = LogHistogram::new();
+    let (mut sent, mut received, mut errors) = (0u64, 0u64, 0u64);
+    for worker in workers {
+        let stats = worker
+            .join()
+            .map_err(|_| "loadtest worker panicked".to_string())??;
+        hist.merge(&stats.hist);
+        sent += stats.sent;
+        received += stats.received;
+        errors += stats.errors;
+    }
+    let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if received == 0 {
+        return Err("no responses received — is the daemon serving?".into());
+    }
+
+    Ok(LoadReport {
+        target: opts.target.to_string(),
+        mode: opts.mode.to_string(),
+        dist: opts.dist.to_string(),
+        connections: opts.connections,
+        pipeline: opts.pipeline,
+        seed: opts.seed,
+        sent,
+        received,
+        errors,
+        elapsed_ns,
+        qps: received as f64 / (elapsed_ns as f64 / 1e9),
+        p50_ns: hist.quantile(0.50),
+        p95_ns: hist.quantile(0.95),
+        p99_ns: hist.quantile(0.99),
+        max_ns: hist.max(),
+        ns_per_query: (elapsed_ns / received).max(1),
+    })
+}
+
+fn run_connection(
+    target: &Target,
+    mode: Mode,
+    pipeline: usize,
+    total_conns: usize,
+    quota: u64,
+    gen: RequestGen,
+) -> Result<ConnStats, String> {
+    if quota == 0 {
+        return Ok(ConnStats {
+            hist: LogHistogram::new(),
+            sent: 0,
+            received: 0,
+            errors: 0,
+        });
+    }
+    let conn = Conn::connect(target).map_err(|e| format!("connect {target}: {e}"))?;
+    match mode {
+        Mode::Closed => closed_loop(conn, pipeline, quota, gen),
+        Mode::Open { rate } => open_loop(conn, rate / total_conns as f64, quota, gen),
+    }
+}
+
+/// Keeps `pipeline` requests in flight, measuring send→response time.
+fn closed_loop(
+    mut conn: Conn,
+    pipeline: usize,
+    quota: u64,
+    mut gen: RequestGen,
+) -> Result<ConnStats, String> {
+    let mut reader = BufReader::new(conn.split_reader().map_err(|e| e.to_string())?);
+    let mut stats = ConnStats {
+        hist: LogHistogram::new(),
+        sent: 0,
+        received: 0,
+        errors: 0,
+    };
+    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(pipeline);
+    let mut line = String::new();
+    while stats.received < quota {
+        // Refill the window in one write (the pipelined batch).
+        if stats.sent < quota && inflight.len() < pipeline {
+            let mut batch = String::new();
+            let mut in_batch = 0;
+            while stats.sent < quota && inflight.len() + in_batch < pipeline {
+                batch.push_str(&gen.next_line());
+                stats.sent += 1;
+                in_batch += 1;
+            }
+            let now = Instant::now();
+            for _ in 0..in_batch {
+                inflight.push_back(now);
+            }
+            conn.write_all(batch.as_bytes())
+                .map_err(|e| format!("write: {e}"))?;
+        }
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection mid-run".into());
+        }
+        let sent_at = inflight.pop_front().expect("response matches a request");
+        stats
+            .hist
+            .record(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        stats.received += 1;
+        if line.starts_with("{\"error\"") {
+            stats.errors += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Sends on a fixed schedule; latency is measured from the scheduled send
+/// time so queueing delay counts (no coordinated omission).
+fn open_loop(
+    mut conn: Conn,
+    rate_per_conn: f64,
+    quota: u64,
+    mut gen: RequestGen,
+) -> Result<ConnStats, String> {
+    let mut reader = BufReader::new(conn.split_reader().map_err(|e| e.to_string())?);
+    let (sched_tx, sched_rx) = mpsc::channel::<Instant>();
+
+    let writer = std::thread::spawn(move || -> Result<u64, String> {
+        let start = Instant::now();
+        let mut sent = 0u64;
+        for i in 0..quota {
+            let due = start + Duration::from_nanos((i as f64 * 1e9 / rate_per_conn) as u64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            conn.write_all(gen.next_line().as_bytes())
+                .map_err(|e| format!("write: {e}"))?;
+            // Latency anchors to the *scheduled* time even when the writer
+            // itself fell behind.
+            if sched_tx.send(due).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        Ok(sent)
+    });
+
+    let mut stats = ConnStats {
+        hist: LogHistogram::new(),
+        sent: 0,
+        received: 0,
+        errors: 0,
+    };
+    let mut line = String::new();
+    for _ in 0..quota {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        let due = sched_rx.recv().map_err(|e| format!("schedule: {e}"))?;
+        stats
+            .hist
+            .record(due.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        stats.received += 1;
+        if line.starts_with("{\"error\"") {
+            stats.errors += 1;
+        }
+    }
+    stats.sent = writer
+        .join()
+        .map_err(|_| "open-loop writer panicked".to_string())??;
+    Ok(stats)
+}

@@ -1,0 +1,221 @@
+//! Multi-scenario routing: one daemon, several models behind one listener.
+//!
+//! A [`ScenarioHandle`] bundles everything the daemon tracks per hosted
+//! scenario — its epoch-swapped [`SnapshotCell`], a query counter, and the
+//! latest online-evaluation probe. A [`Router`] owns one handle per
+//! scenario, keyed by name; requests carrying `{"scenario":...}` resolve to
+//! the named handle, requests without one resolve to the first (default)
+//! scenario, which is exactly the sole scenario for single-model daemons —
+//! so clients written against the pre-routing protocol keep working.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::wire::{ProbeStatus, ScenarioStatus};
+
+/// One hosted scenario: name, live snapshot cell, and serving counters.
+#[derive(Debug)]
+pub struct ScenarioHandle {
+    name: String,
+    cell: SnapshotCell,
+    queries: AtomicU64,
+    probe: Mutex<Option<ProbeStatus>>,
+}
+
+impl ScenarioHandle {
+    /// A handle primed with the scenario's initial snapshot.
+    pub fn new(name: impl Into<String>, initial: Snapshot) -> Self {
+        Self {
+            name: name.into(),
+            cell: SnapshotCell::new(initial),
+            queries: AtomicU64::new(0),
+            probe: Mutex::new(None),
+        }
+    }
+
+    /// The routing key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Publishes a new snapshot epoch (delegates to the cell).
+    pub fn publish(&self, snapshot: Snapshot) {
+        self.cell.publish(snapshot);
+    }
+
+    /// The latest snapshot (an `Arc` clone, never blocks the trainer).
+    pub fn latest(&self) -> Arc<Snapshot> {
+        self.cell.latest()
+    }
+
+    /// Top-K queries this scenario has answered.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn count_query(&self) {
+        self.queries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Publishes the latest online-evaluation probe values.
+    pub fn set_probe(&self, probe: ProbeStatus) {
+        *self.probe.lock().expect("probe slot poisoned") = Some(probe);
+    }
+
+    /// The latest probe, if any round has been probed yet.
+    pub fn probe(&self) -> Option<ProbeStatus> {
+        self.probe.lock().expect("probe slot poisoned").clone()
+    }
+
+    /// This scenario's status-endpoint entry.
+    pub fn status(&self) -> ScenarioStatus {
+        let snapshot = self.cell.latest();
+        ScenarioStatus {
+            name: self.name.clone(),
+            epoch: self.cell.epoch(),
+            round: snapshot.round(),
+            training_done: snapshot.training_done(),
+            n_users: snapshot.n_users(),
+            n_items: snapshot.n_items(),
+            queries_served: self.queries_served(),
+            probe: self.probe(),
+        }
+    }
+}
+
+/// The daemon's scenario table. Registration order is protocol-visible:
+/// the first scenario is the default route and leads the status listing.
+#[derive(Debug)]
+pub struct Router {
+    scenarios: Vec<Arc<ScenarioHandle>>,
+    total_queries: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over `scenarios`. At least one scenario is required
+    /// and names must be unique (they are the routing keys).
+    pub fn new(scenarios: Vec<Arc<ScenarioHandle>>) -> Result<Self, String> {
+        if scenarios.is_empty() {
+            return Err("a daemon needs at least one scenario".into());
+        }
+        for (i, handle) in scenarios.iter().enumerate() {
+            if scenarios[..i].iter().any(|h| h.name() == handle.name()) {
+                return Err(format!("duplicate scenario name `{}`", handle.name()));
+            }
+        }
+        Ok(Self {
+            scenarios,
+            total_queries: AtomicU64::new(0),
+        })
+    }
+
+    /// A single-scenario router (the pre-routing daemon shape).
+    pub fn single(name: impl Into<String>, initial: Snapshot) -> (Self, Arc<ScenarioHandle>) {
+        let handle = Arc::new(ScenarioHandle::new(name, initial));
+        let router = Self::new(vec![Arc::clone(&handle)]).expect("one scenario is valid");
+        (router, handle)
+    }
+
+    /// Every hosted scenario, registration order.
+    pub fn scenarios(&self) -> &[Arc<ScenarioHandle>] {
+        &self.scenarios
+    }
+
+    /// The default scenario (first registered).
+    pub fn default_scenario(&self) -> &Arc<ScenarioHandle> {
+        &self.scenarios[0]
+    }
+
+    /// Resolves a request's scenario key: `None` routes to the default,
+    /// an unknown name is a protocol error listing what is being served.
+    pub fn resolve(&self, scenario: Option<&str>) -> Result<&Arc<ScenarioHandle>, String> {
+        match scenario {
+            None => Ok(self.default_scenario()),
+            Some(name) => self
+                .scenarios
+                .iter()
+                .find(|h| h.name() == name)
+                .ok_or_else(|| {
+                    let names: Vec<&str> = self.scenarios.iter().map(|h| h.name()).collect();
+                    format!("unknown scenario `{name}` (serving: {})", names.join(", "))
+                }),
+        }
+    }
+
+    /// Top-K queries answered across all scenarios.
+    pub fn queries_served(&self) -> u64 {
+        self.total_queries.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn count_query(&self, handle: &ScenarioHandle) {
+        handle.count_query();
+        self.total_queries.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frs_data::Dataset;
+    use frs_model::{EmbeddingStore, GlobalModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snap(round: usize) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = GlobalModel::new(&ModelConfig::mf(4), 6, &mut rng);
+        let train = Arc::new(Dataset::from_user_items(6, vec![vec![0], vec![1]]));
+        let users = EmbeddingStore::from_rows(vec![vec![0.2; 4], vec![0.4; 4]]);
+        Snapshot::new(round, false, model, users, train)
+    }
+
+    #[test]
+    fn resolves_default_named_and_unknown() {
+        let a = Arc::new(ScenarioHandle::new("a", snap(1)));
+        let b = Arc::new(ScenarioHandle::new("b", snap(2)));
+        let router = Router::new(vec![a, b]).unwrap();
+
+        assert_eq!(router.resolve(None).unwrap().name(), "a", "default=first");
+        assert_eq!(router.resolve(Some("b")).unwrap().name(), "b");
+        let err = router.resolve(Some("c")).unwrap_err();
+        assert!(err.contains("unknown scenario `c`"), "{err}");
+        assert!(err.contains("a, b"), "error lists what is served: {err}");
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_registrations() {
+        assert!(Router::new(Vec::new()).is_err());
+        let dup = Router::new(vec![
+            Arc::new(ScenarioHandle::new("x", snap(0))),
+            Arc::new(ScenarioHandle::new("x", snap(0))),
+        ]);
+        assert!(dup.unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn counters_track_per_scenario_and_total() {
+        let (router, handle) = Router::single("only", snap(0));
+        router.count_query(&handle);
+        router.count_query(&handle);
+        assert_eq!(handle.queries_served(), 2);
+        assert_eq!(router.queries_served(), 2);
+    }
+
+    #[test]
+    fn status_carries_epoch_and_probe() {
+        let handle = ScenarioHandle::new("s", snap(0));
+        assert_eq!(handle.status().epoch, 0);
+        assert!(handle.status().probe.is_none());
+
+        handle.publish(snap(1));
+        handle.set_probe(ProbeStatus {
+            round: 1,
+            er_percent: 2.0,
+            hr_percent: 8.5,
+        });
+        let status = handle.status();
+        assert_eq!((status.epoch, status.round), (1, 1));
+        assert_eq!(status.probe.unwrap().round, 1);
+    }
+}

@@ -1,155 +1,416 @@
-//! The long-lived query daemon: a Unix-socket listener answering the wire
-//! protocol against whatever [`SnapshotCell`] epoch is current.
+//! The long-lived query daemon: Unix-socket and TCP listeners answering the
+//! wire protocol against a multi-scenario [`Router`].
 //!
-//! Concurrency model: the daemon holds one [`CoreLease`] from the
-//! invocation's shared `CoreBudget` — the same ledger the trainer leases
-//! from — so query handling and training split the `--threads` grant
-//! fairly instead of oversubscribing the machine. Each connection is
-//! served by its own thread, but admission is gated to the lease's
-//! current width; excess connections queue at the gate (the socket's
-//! accept backlog holds the rest).
+//! Concurrency model: a **fixed worker pool** sized by a [`CoreLease`] from
+//! the invocation's shared `CoreBudget` — the same ledger the trainer
+//! leases from — so query handling and training split the `--threads` grant
+//! fairly instead of oversubscribing the machine. Each worker multiplexes
+//! any number of non-blocking connections (accepting from the shared
+//! listener as clients arrive), so a worker pool smaller than the
+//! connection count still serves everyone: pipelined requests on one
+//! connection are answered in order while other connections make progress.
 //!
-//! Shutdown is drain-based: [`ServerHandle::shutdown`] stops the accept
-//! loop, pokes the listener awake, and waits for every in-flight
-//! connection to answer its buffered requests and exit — no query is ever
-//! cut off mid-response. Connection reads poll with a short timeout so an
-//! idle client cannot hold the drain hostage.
+//! The read path is bounded: request lines longer than
+//! [`ServerConfig::max_line`] earn a protocol error and the connection
+//! resynchronizes at the next newline instead of growing its buffer
+//! without limit; a connection idle past [`ServerConfig::idle_timeout`] is
+//! closed, and a client that stops draining responses is disconnected once
+//! a write stalls past [`ServerConfig::write_timeout`] — a stalled client
+//! can never pin a worker.
+//!
+//! Shutdown is drain-based: [`ServerHandle::shutdown`] raises the stop
+//! flag; every worker answers the complete request lines already buffered
+//! on its connections and exits — no query is ever cut off mid-response.
 
 use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use frs_federation::CoreLease;
 
-use crate::snapshot::SnapshotCell;
+use crate::router::Router;
 use crate::wire::{ErrorResponse, Request, StatusResponse, TopKResponse, DEFAULT_K};
 
-/// How often a blocked connection read wakes up to check the stop flag.
-const READ_POLL: Duration = Duration::from_millis(50);
+/// Tuning knobs for a daemon listener. [`Default`] is the production shape;
+/// tests shrink the timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; `None` sizes the pool to the lease's width at spawn.
+    pub workers: Option<usize>,
+    /// Longest accepted request line (bytes, newline excluded).
+    pub max_line: usize,
+    /// Close a connection that has been silent this long.
+    pub idle_timeout: Duration,
+    /// Disconnect a client whose response write stalls this long.
+    pub write_timeout: Duration,
+    /// Worker sleep between sweeps when every connection is quiet.
+    pub poll: Duration,
+}
 
-/// Answers one request line against `snapshot_cell`'s current epoch,
-/// returning the JSON response line (no trailing newline). Counts answered
-/// top-K queries into `queries`. Pure aside from the counter — the unit
-/// under test for protocol behaviour.
-pub fn respond_line(line: &str, cell: &SnapshotCell, queries: &AtomicU64) -> String {
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            max_line: crate::wire::MAX_LINE_BYTES,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            poll: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Answers one request line against `router`, returning the JSON response
+/// line (no trailing newline). Counts answered top-K queries into the
+/// router's per-scenario and daemon-wide counters. Pure aside from the
+/// counters — the unit under test for protocol behaviour.
+pub fn respond_line(line: &str, router: &Router) -> String {
+    fn error(error: String) -> String {
+        serde_json::to_string(&ErrorResponse { error }).expect("error response serializes")
+    }
     let request: Request = match serde_json::from_str(line) {
         Ok(r) => r,
-        Err(e) => {
-            return serde_json::to_string(&ErrorResponse {
-                error: format!("bad request: {e}"),
-            })
-            .expect("error response serializes")
-        }
+        Err(e) => return error(format!("bad request: {e}")),
     };
-    let snapshot = cell.latest();
+    let handle = match router.resolve(request.scenario.as_deref()) {
+        Ok(handle) => handle,
+        Err(e) => return error(e),
+    };
+    let snapshot = handle.latest();
     match request.user {
         None => serde_json::to_string(&StatusResponse {
             round: snapshot.round(),
             training_done: snapshot.training_done(),
             n_users: snapshot.n_users(),
             n_items: snapshot.n_items(),
-            queries_served: queries.load(Ordering::SeqCst),
+            queries_served: router.queries_served(),
+            scenarios: router.scenarios().iter().map(|h| h.status()).collect(),
         })
         .expect("status serializes"),
         Some(user) => {
             let k = request.k.unwrap_or(DEFAULT_K);
             match snapshot.top_k(user, k) {
                 Ok(items) => {
-                    queries.fetch_add(1, Ordering::SeqCst);
+                    router.count_query(handle);
                     serde_json::to_string(&TopKResponse {
                         user,
                         k,
                         round: snapshot.round(),
                         training_done: snapshot.training_done(),
                         items,
+                        scenario: handle.name().to_string(),
                     })
                     .expect("top-k serializes")
                 }
-                Err(error) => serde_json::to_string(&ErrorResponse { error })
-                    .expect("error response serializes"),
+                Err(e) => error(e),
             }
         }
     }
 }
 
-/// Counting gate bounding concurrent connection handlers and supporting a
-/// full drain (shutdown waits for active == 0).
-#[derive(Debug, Default)]
-struct Gate {
-    active: Mutex<usize>,
-    changed: Condvar,
+/// A listening endpoint, transport-erased.
+#[derive(Debug)]
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
 }
 
-impl Gate {
-    fn enter(&self, cap: usize) {
-        let mut active = self.active.lock().expect("gate poisoned");
-        while *active >= cap.max(1) {
-            active = self.changed.wait(active).expect("gate poisoned");
-        }
-        *active += 1;
-    }
-
-    fn exit(&self) {
-        *self.active.lock().expect("gate poisoned") -= 1;
-        self.changed.notify_all();
-    }
-
-    fn drain(&self) {
-        let mut active = self.active.lock().expect("gate poisoned");
-        while *active > 0 {
-            active = self.changed.wait(active).expect("gate poisoned");
+impl Listener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
         }
     }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// An accepted connection, transport-erased.
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn configure(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(true),
+            Stream::Tcp(s) => {
+                // Pipelined line-sized responses must not wait on Nagle.
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)
+            }
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+}
+
+fn is_would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Longest a single pump may keep reading one connection before yielding to
+/// its siblings (chunks of 4 KiB — a bound on per-sweep monopoly, not on
+/// request size).
+const READS_PER_PUMP: usize = 64;
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: Stream,
+    /// Bytes received but not yet framed into a complete line.
+    buf: Vec<u8>,
+    /// An oversized line was rejected; bytes are dropped until its newline.
+    discarding: bool,
+    last_activity: Instant,
+}
+
+/// What one pump of a connection observed.
+enum Pump {
+    /// Bytes moved (or the peer closed after a final answered batch).
+    Progress,
+    /// Nothing to do.
+    Idle,
+    /// Connection finished or failed; drop it.
+    Closed,
+}
+
+impl Conn {
+    fn new(stream: Stream) -> io::Result<Self> {
+        stream.configure()?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+            discarding: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    /// Writes `bytes` fully, sleeping through `WouldBlock` up to the write
+    /// timeout — a client that stops draining responses is an error, not a
+    /// pinned worker.
+    fn write_all(&mut self, bytes: &[u8], cfg: &ServerConfig) -> io::Result<()> {
+        let deadline = Instant::now() + cfg.write_timeout;
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if is_would_block(&e) => {
+                    if Instant::now() >= deadline {
+                        return Err(io::ErrorKind::TimedOut.into());
+                    }
+                    std::thread::sleep(cfg.poll);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers every complete line currently buffered (responses batched
+    /// into one write). An `Err` means the connection is beyond saving.
+    fn answer_buffered(&mut self, router: &Router, cfg: &ServerConfig) -> io::Result<()> {
+        let mut out = Vec::new();
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            if self.discarding {
+                // The tail of a line already rejected as oversized: the
+                // error went out when the bound tripped; just resync.
+                self.discarding = false;
+                continue;
+            }
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = if line.len() > cfg.max_line {
+                oversize_error(cfg.max_line)
+            } else {
+                respond_line(line, router)
+            };
+            out.extend_from_slice(response.as_bytes());
+            out.push(b'\n');
+        }
+        // Unterminated remainder past the bound: reject now (the newline
+        // may never come), then discard until it does.
+        if !self.discarding && self.buf.len() > cfg.max_line {
+            self.buf.clear();
+            self.discarding = true;
+            out.extend_from_slice(oversize_error(cfg.max_line).as_bytes());
+            out.push(b'\n');
+        }
+        if !out.is_empty() {
+            self.write_all(&out, cfg)?;
+        }
+        Ok(())
+    }
+
+    /// One service sweep: ingest available bytes, answer complete lines.
+    fn pump(&mut self, router: &Router, cfg: &ServerConfig, chunk: &mut [u8]) -> Pump {
+        let mut moved = false;
+        for _ in 0..READS_PER_PUMP {
+            match self.stream.read(chunk) {
+                Ok(0) => {
+                    // EOF: answer what the peer already sent, then close.
+                    let _ = self.answer_buffered(router, cfg);
+                    return Pump::Closed;
+                }
+                Ok(n) => {
+                    moved = true;
+                    self.last_activity = Instant::now();
+                    self.ingest(&chunk[..n]);
+                    if self.answer_buffered(router, cfg).is_err() {
+                        return Pump::Closed;
+                    }
+                }
+                Err(e) if is_would_block(&e) => break,
+                Err(_) => return Pump::Closed,
+            }
+        }
+        if moved {
+            Pump::Progress
+        } else {
+            Pump::Idle
+        }
+    }
+
+    /// Appends received bytes, honouring discard mode (bytes belonging to a
+    /// rejected oversized line are dropped up to and including its newline).
+    fn ingest(&mut self, bytes: &[u8]) {
+        if !self.discarding {
+            self.buf.extend_from_slice(bytes);
+            return;
+        }
+        // Otherwise we're still inside the oversized line: drop everything
+        // up to (and including) its terminating newline.
+        if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+            self.discarding = false;
+            self.buf.extend_from_slice(&bytes[pos + 1..]);
+        }
+    }
+}
+
+fn oversize_error(max_line: usize) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: format!("request line exceeds {max_line} bytes"),
+    })
+    .expect("error response serializes")
+}
+
+/// Where a running daemon listens.
+#[derive(Debug)]
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
 }
 
 /// A running daemon. Dropping the handle without calling
-/// [`shutdown`](Self::shutdown) leaves the accept thread running for the
-/// process lifetime; call `shutdown` for a clean drain.
+/// [`shutdown`](Self::shutdown) leaves the workers running for the process
+/// lifetime; call `shutdown` for a clean drain.
 #[derive(Debug)]
 pub struct ServerHandle {
-    socket: PathBuf,
+    endpoint: Endpoint,
     stop: Arc<AtomicBool>,
-    queries: Arc<AtomicU64>,
-    accept: Option<JoinHandle<()>>,
+    router: Arc<Router>,
+    workers: Vec<JoinHandle<()>>,
+    /// Keeps the daemon's share of the core budget accounted until shutdown.
+    _lease: CoreLease,
 }
 
 impl ServerHandle {
-    /// The socket path the daemon listens on.
-    pub fn socket(&self) -> &Path {
-        &self.socket
+    /// The Unix socket path this daemon listens on, if it is a Unix daemon.
+    pub fn socket(&self) -> Option<&Path> {
+        match &self.endpoint {
+            Endpoint::Unix(path) => Some(path),
+            Endpoint::Tcp(_) => None,
+        }
     }
 
-    /// Top-K queries answered so far.
+    /// The bound TCP address, if this is a TCP daemon (with port 0 in the
+    /// bind address, this is where the kernel actually put the listener).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.endpoint {
+            Endpoint::Unix(_) => None,
+            Endpoint::Tcp(addr) => Some(*addr),
+        }
+    }
+
+    /// The scenario router this daemon answers from.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Top-K queries answered so far (all scenarios, all transports sharing
+    /// the router).
     pub fn queries_served(&self) -> u64 {
-        self.queries.load(Ordering::SeqCst)
+        self.router.queries_served()
     }
 
-    /// Stops accepting, drains every in-flight connection, removes the
-    /// socket file, and returns the total query count.
+    /// Stops accepting, drains every buffered request, removes the socket
+    /// file (Unix), and returns the router's total query count.
     pub fn shutdown(mut self) -> u64 {
         self.stop.store(true, Ordering::SeqCst);
-        // Poke the blocking accept() awake; a failure means the listener
-        // is already gone, which is the goal state.
-        let _ = UnixStream::connect(&self.socket);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
-        let _ = std::fs::remove_file(&self.socket);
-        self.queries.load(Ordering::SeqCst)
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        self.router.queries_served()
     }
 }
 
-/// Binds `socket` and spawns the accept loop. An existing socket file is
-/// reclaimed only if nothing answers on it — a live daemon is an
-/// `AddrInUse` error, a leftover from a dead one is silently replaced.
+/// Binds `socket` and spawns the worker pool with default tuning. An
+/// existing socket file is reclaimed only if nothing answers on it — a live
+/// daemon is an `AddrInUse` error, a leftover from a dead one is silently
+/// replaced.
 pub fn spawn(
     socket: impl Into<PathBuf>,
-    cell: Arc<SnapshotCell>,
+    router: Arc<Router>,
     lease: CoreLease,
+) -> io::Result<ServerHandle> {
+    spawn_with(socket, router, lease, ServerConfig::default())
+}
+
+/// [`spawn`] with explicit [`ServerConfig`] tuning.
+pub fn spawn_with(
+    socket: impl Into<PathBuf>,
+    router: Arc<Router>,
+    lease: CoreLease,
+    config: ServerConfig,
 ) -> io::Result<ServerHandle> {
     let socket = socket.into();
     if socket.exists() {
@@ -162,100 +423,108 @@ pub fn spawn(
         std::fs::remove_file(&socket)?;
     }
     let listener = UnixListener::bind(&socket)?;
+    spawn_pool(
+        Listener::Unix(listener),
+        Endpoint::Unix(socket),
+        router,
+        lease,
+        config,
+    )
+}
+
+/// Binds a TCP address (e.g. `127.0.0.1:7411`, or port `0` for an
+/// ephemeral port — read it back via [`ServerHandle::local_addr`]) and
+/// spawns the worker pool with default tuning.
+pub fn spawn_tcp(addr: &str, router: Arc<Router>, lease: CoreLease) -> io::Result<ServerHandle> {
+    spawn_tcp_with(addr, router, lease, ServerConfig::default())
+}
+
+/// [`spawn_tcp`] with explicit [`ServerConfig`] tuning.
+pub fn spawn_tcp_with(
+    addr: &str,
+    router: Arc<Router>,
+    lease: CoreLease,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    spawn_pool(
+        Listener::Tcp(listener),
+        Endpoint::Tcp(bound),
+        router,
+        lease,
+        config,
+    )
+}
+
+fn spawn_pool(
+    listener: Listener,
+    endpoint: Endpoint,
+    router: Arc<Router>,
+    lease: CoreLease,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    listener.set_nonblocking()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let queries = Arc::new(AtomicU64::new(0));
-
-    let accept = {
-        let stop = Arc::clone(&stop);
-        let queries = Arc::clone(&queries);
-        std::thread::spawn(move || {
-            accept_loop(&listener, &cell, &lease, &stop, &queries);
+    // The pool is *fixed* at spawn: the lease's width is the daemon's fair
+    // share of the budget at boot (workers multiplex connections, so a
+    // small pool still serves any number of clients).
+    let n_workers = config.workers.unwrap_or_else(|| lease.width()).max(1);
+    let listener = Arc::new(listener);
+    let workers = (0..n_workers)
+        .map(|_| {
+            let listener = Arc::clone(&listener);
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || worker_loop(&listener, &router, &config, &stop))
         })
-    };
-
+        .collect();
     Ok(ServerHandle {
-        socket,
+        endpoint,
         stop,
-        queries: Arc::clone(&queries),
-        accept: Some(accept),
+        router,
+        workers,
+        _lease: lease,
     })
 }
 
-fn accept_loop(
-    listener: &UnixListener,
-    cell: &Arc<SnapshotCell>,
-    lease: &CoreLease,
-    stop: &Arc<AtomicBool>,
-    queries: &Arc<AtomicU64>,
-) {
-    let gate = Arc::new(Gate::default());
-    // Handler threads detach; the gate's drain is the join.
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-        };
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        // Admission control: at most `width` concurrent handlers, where
-        // width tracks the lease's live fair share (it grows when the
-        // trainer finishes and drops its lease).
-        gate.enter(lease.width());
-        let gate = Arc::clone(&gate);
-        let cell = Arc::clone(cell);
-        let stop = Arc::clone(stop);
-        let queries = Arc::clone(queries);
-        std::thread::spawn(move || {
-            let _ = handle_connection(stream, &cell, &stop, &queries);
-            gate.exit();
-        });
-    }
-    gate.drain();
-}
-
-/// Serves one connection: newline-framed requests in, one response line
-/// each, until EOF or shutdown. Reads poll so a silent client can't stall
-/// the drain; buffered complete lines are always answered before exit.
-fn handle_connection(
-    mut stream: UnixStream,
-    cell: &SnapshotCell,
-    stop: &AtomicBool,
-    queries: &AtomicU64,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_POLL))?;
-    let mut buf = Vec::new();
+/// One pool worker: accept whatever is pending, pump every owned
+/// connection, sleep only when fully quiet. On stop, answer the complete
+/// lines already buffered (the drain guarantee) and exit.
+fn worker_loop(listener: &Listener, router: &Router, cfg: &ServerConfig, stop: &AtomicBool) {
+    let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
-        // Answer every complete line already buffered.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]);
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                        progressed = true;
+                    }
+                }
+                Err(e) if is_would_block(&e) => break,
+                Err(_) => break, // listener hiccup; retry next sweep
             }
-            let response = respond_line(line, cell, queries);
-            stream.write_all(response.as_bytes())?;
-            stream.write_all(b"\n")?;
         }
         if stop.load(Ordering::SeqCst) {
-            return Ok(()); // drained: all buffered requests answered
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
+            for conn in &mut conns {
+                let _ = conn.answer_buffered(router, cfg);
             }
-            Err(e) => return Err(e),
+            return;
+        }
+        conns.retain_mut(|conn| match conn.pump(router, cfg, &mut chunk) {
+            Pump::Progress => {
+                progressed = true;
+                true
+            }
+            Pump::Idle => conn.last_activity.elapsed() < cfg.idle_timeout,
+            Pump::Closed => false,
+        });
+        if !progressed {
+            std::thread::sleep(cfg.poll);
         }
     }
 }

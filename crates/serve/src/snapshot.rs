@@ -8,6 +8,7 @@
 //! blocks readers — a query observes one consistent round, never a
 //! half-applied update.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use frs_data::Dataset;
@@ -96,6 +97,8 @@ impl Snapshot {
 #[derive(Debug)]
 pub struct SnapshotCell {
     slot: Mutex<Arc<Snapshot>>,
+    /// Publishes since construction — the status endpoint's epoch counter.
+    epoch: AtomicU64,
 }
 
 impl SnapshotCell {
@@ -104,6 +107,7 @@ impl SnapshotCell {
     pub fn new(initial: Snapshot) -> Self {
         Self {
             slot: Mutex::new(Arc::new(initial)),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +115,13 @@ impl SnapshotCell {
     /// their query against the old round; new queries see this one.
     pub fn publish(&self, snapshot: Snapshot) {
         *self.slot.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many snapshots have been published since the cell was primed
+    /// (the initial snapshot is epoch 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// The latest published snapshot (an `Arc` clone; never blocks on the
@@ -178,9 +189,11 @@ mod tests {
     #[test]
     fn cell_swaps_epochs_without_disturbing_held_readers() {
         let cell = SnapshotCell::new(tiny_snapshot(0));
+        assert_eq!(cell.epoch(), 0);
         let held = cell.latest();
         cell.publish(tiny_snapshot(1));
         assert_eq!(held.round(), 0, "held reader keeps its epoch");
         assert_eq!(cell.latest().round(), 1);
+        assert_eq!(cell.epoch(), 1, "publish bumps the epoch counter");
     }
 }

@@ -1,23 +1,38 @@
-//! The `paper serve` wire protocol: line-delimited JSON over a Unix socket.
+//! The `paper serve` wire protocol: line-delimited JSON over a Unix socket
+//! or TCP connection.
 //!
-//! One request per line, one response line per request, in order. Two
-//! request shapes share a single envelope:
+//! One request per line, one response line per request, in order. Clients
+//! may pipeline: many request lines can be in flight on one connection, and
+//! the daemon answers them strictly in arrival order. Two request shapes
+//! share a single envelope:
 //!
-//! - **Top-K query** — `{"user":3,"k":10}`: rank the snapshot's items for
-//!   dense user id 3 and return the 10 best the user has not interacted
-//!   with. `k` defaults to [`DEFAULT_K`].
-//! - **Status** — `{}` (no `user`): report the snapshot round, population
-//!   sizes, and the daemon's query counter.
+//! - **Top-K query** — `{"scenario":"table5/mf","user":3,"k":10}`: rank the
+//!   named scenario's snapshot for dense user id 3 and return the 10 best
+//!   items the user has not interacted with. `k` defaults to [`DEFAULT_K`];
+//!   `scenario` defaults to the daemon's first (default) scenario, which
+//!   keeps single-scenario clients from before multi-scenario routing
+//!   working unchanged.
+//! - **Status** — `{}` (no `user`): report the resolved scenario's round
+//!   and population sizes, the daemon-wide query counter, and one
+//!   [`ScenarioStatus`] per hosted scenario.
 //!
 //! Responses are [`TopKResponse`], [`StatusResponse`], or — for unparsable
-//! lines and out-of-range users — [`ErrorResponse`]. A malformed line never
-//! kills the connection: the daemon answers with an error and keeps
-//! reading, so a scripted client can't wedge itself off by one.
+//! lines, unknown scenarios, oversized lines, and out-of-range users —
+//! [`ErrorResponse`]. A malformed line never kills the connection: the
+//! daemon answers with an error and keeps reading, so a scripted client
+//! can't wedge itself off by one. Request lines are bounded by
+//! [`MAX_LINE_BYTES`]; longer lines earn a protocol error and the
+//! connection resynchronizes at the next newline.
 
 use serde::{Deserialize, Serialize};
 
 /// Top-K cutoff when a query omits `k`.
 pub const DEFAULT_K: usize = 10;
+
+/// Longest request line the daemon accepts (bytes, newline excluded).
+/// Anything larger is answered with a protocol error instead of growing the
+/// connection buffer unboundedly.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// One request line. Both shapes (query / status) parse into this envelope;
 /// `user: None` means status.
@@ -29,14 +44,27 @@ pub struct Request {
     /// Top-K cutoff (defaults to [`DEFAULT_K`]; ignored for status).
     #[serde(default)]
     pub k: Option<usize>,
+    /// Scenario to route to; omit for the daemon's default scenario.
+    #[serde(default)]
+    pub scenario: Option<String>,
 }
 
 impl Request {
-    /// A top-K query for `user` with the default cutoff.
+    /// A top-K query for `user` against the default scenario.
     pub fn top_k(user: usize, k: usize) -> Self {
         Self {
             user: Some(user),
             k: Some(k),
+            scenario: None,
+        }
+    }
+
+    /// A top-K query routed to a named scenario.
+    pub fn top_k_in(scenario: &str, user: usize, k: usize) -> Self {
+        Self {
+            user: Some(user),
+            k: Some(k),
+            scenario: Some(scenario.to_string()),
         }
     }
 
@@ -45,6 +73,7 @@ impl Request {
         Self {
             user: None,
             k: None,
+            scenario: None,
         }
     }
 }
@@ -67,19 +96,61 @@ pub struct TopKResponse {
     /// Whether training had already finished at that snapshot.
     pub training_done: bool,
     pub items: Vec<ScoredItem>,
+    /// Scenario that answered (the default one when the query named none).
+    #[serde(default)]
+    pub scenario: String,
 }
 
-/// Answer to a status request.
+/// The latest online evaluation probe for one scenario (`paper serve
+/// --probe-every N`): stride-sampled ER@K/HR@K against the live snapshot.
+/// Timing-free by design — identical state yields byte-identical values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeStatus {
+    /// Round the probe evaluated.
+    pub round: usize,
+    /// Mean target exposure rate ER@K, percent.
+    pub er_percent: f64,
+    /// Recommendation quality HR@K, percent.
+    pub hr_percent: f64,
+}
+
+/// Per-scenario entry in a [`StatusResponse`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct StatusResponse {
+pub struct ScenarioStatus {
+    /// Routing key (`{"scenario":...}`) for this entry.
+    pub name: String,
+    /// Snapshots published since the daemon started (the swap counter).
+    pub epoch: u64,
     /// Training rounds completed in the current snapshot.
     pub round: usize,
     pub training_done: bool,
     /// Users the snapshot can answer for (dense ids `0..n_users`).
     pub n_users: usize,
     pub n_items: usize,
-    /// Top-K queries answered since the daemon started.
+    /// Top-K queries this scenario answered since the daemon started.
     pub queries_served: u64,
+    /// Latest online evaluation probe, when `--probe-every` is armed.
+    #[serde(default)]
+    pub probe: Option<ProbeStatus>,
+}
+
+/// Answer to a status request. The top-level fields describe the resolved
+/// scenario (the named one, or the default) — the shape single-scenario
+/// clients have always parsed — while `scenarios` enumerates every hosted
+/// scenario for multi-scenario deployments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Training rounds completed in the resolved scenario's snapshot.
+    pub round: usize,
+    pub training_done: bool,
+    /// Users the resolved scenario can answer for.
+    pub n_users: usize,
+    pub n_items: usize,
+    /// Top-K queries answered since the daemon started, all scenarios.
+    pub queries_served: u64,
+    /// Every hosted scenario, in registration order (first = default).
+    #[serde(default)]
+    pub scenarios: Vec<ScenarioStatus>,
 }
 
 /// Answer to an unparsable line or an invalid query.
@@ -96,6 +167,7 @@ mod tests {
     fn request_shapes_round_trip() {
         let q: Request = serde_json::from_str("{\"user\":3,\"k\":5}").unwrap();
         assert_eq!((q.user, q.k), (Some(3), Some(5)));
+        assert_eq!(q.scenario, None);
 
         let q: Request = serde_json::from_str("{\"user\":7}").unwrap();
         assert_eq!((q.user, q.k), (Some(7), None));
@@ -106,6 +178,17 @@ mod tests {
         let text = serde_json::to_string(&Request::top_k(2, 4)).unwrap();
         let back: Request = serde_json::from_str(&text).unwrap();
         assert_eq!((back.user, back.k), (Some(2), Some(4)));
+    }
+
+    #[test]
+    fn scenario_key_routes_and_round_trips() {
+        let q: Request =
+            serde_json::from_str("{\"scenario\":\"table5/mf\",\"user\":1,\"k\":2}").unwrap();
+        assert_eq!(q.scenario.as_deref(), Some("table5/mf"));
+
+        let text = serde_json::to_string(&Request::top_k_in("a", 2, 4)).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.scenario.as_deref(), Some("a"));
     }
 
     #[test]
@@ -125,11 +208,73 @@ mod tests {
                     score: 0.5,
                 },
             ],
+            scenario: "mf".to_string(),
         };
         let text = serde_json::to_string(&top).unwrap();
         assert!(!text.contains('\n'));
         let back: TopKResponse = serde_json::from_str(&text).unwrap();
         assert_eq!(back.items, top.items);
         assert_eq!(back.round, 30);
+        assert_eq!(back.scenario, "mf");
+    }
+
+    #[test]
+    fn status_enumerates_scenarios() {
+        let status = StatusResponse {
+            round: 4,
+            training_done: false,
+            n_users: 10,
+            n_items: 20,
+            queries_served: 7,
+            scenarios: vec![ScenarioStatus {
+                name: "mf".to_string(),
+                epoch: 5,
+                round: 4,
+                training_done: false,
+                n_users: 10,
+                n_items: 20,
+                queries_served: 7,
+                probe: Some(ProbeStatus {
+                    round: 4,
+                    er_percent: 1.5,
+                    hr_percent: 9.0,
+                }),
+            }],
+        };
+        let text = serde_json::to_string(&status).unwrap();
+        assert!(!text.contains('\n'));
+        let back: StatusResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.scenarios.len(), 1);
+        assert_eq!(back.scenarios[0].epoch, 5);
+        assert_eq!(back.scenarios[0].probe.as_ref().unwrap().round, 4);
+    }
+
+    #[test]
+    fn pre_scenario_clients_still_parse_the_status_shape() {
+        // Regression pin for the PR 6 protocol: a client compiled against
+        // the original five-field StatusResponse must keep parsing today's
+        // responses (the deserializer ignores unknown fields).
+        #[derive(Deserialize)]
+        struct OldStatus {
+            round: usize,
+            training_done: bool,
+            n_users: usize,
+            n_items: usize,
+            queries_served: u64,
+        }
+        let now = StatusResponse {
+            round: 3,
+            training_done: true,
+            n_users: 5,
+            n_items: 9,
+            queries_served: 2,
+            scenarios: Vec::new(),
+        };
+        let old: OldStatus = serde_json::from_str(&serde_json::to_string(&now).unwrap()).unwrap();
+        assert_eq!(
+            (old.round, old.training_done, old.n_users, old.n_items),
+            (3, true, 5, 9)
+        );
+        assert_eq!(old.queries_served, 2);
     }
 }

@@ -222,6 +222,7 @@ fn out_of_crate_parameterized_attack_runs_through_a_suite() {
                 sink: Some(&sink),
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();

@@ -321,6 +321,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
                 sink: Some(&cold_sink),
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();
@@ -337,6 +338,7 @@ fn warm_run_is_all_hits_and_byte_identical() {
                 sink: Some(&warm_sink),
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();
@@ -387,6 +389,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
                 sink: Some(&killer),
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap_err();
@@ -403,6 +406,7 @@ fn aborted_run_resumes_from_cache_executing_only_the_remainder() {
                 sink: Some(&resume_sink),
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();

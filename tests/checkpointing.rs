@@ -95,6 +95,7 @@ fn every_interval_by_kill_round_pair_resumes_identical() {
                 cache: &cache,
                 key: &key,
                 every: 0,
+                keep: 1,
             };
             // A hard kill at `kill_round` leaves the last periodic write.
             let persisted = kill_round / interval * interval;
@@ -112,6 +113,7 @@ fn every_interval_by_kill_round_pair_resumes_identical() {
                     cache: &cache,
                     key: &key,
                     every: interval,
+                    keep: 1,
                 },
             )
             .expect("no shutdown requested: the resumed run must finish");
@@ -147,12 +149,12 @@ proptest! {
         let reference = scenario::run(&cfg);
 
         let cache = temp_cache(&format!("prop-{attack_idx}-{defense_on}-{interval}-{kill_round}"));
-        let ctl = CheckpointCtl { cache: &cache, key: &key, every: 0 };
+        let ctl = CheckpointCtl { cache: &cache, key: &key, every: 0, keep: 1 };
         kill_after(&cfg, &ctl, kill_round / interval * interval);
         let resumed = scenario::run_checkpointed(
             &cfg,
             None,
-            &CheckpointCtl { cache: &cache, key: &key, every: interval },
+            &CheckpointCtl { cache: &cache, key: &key, every: interval, keep: 1 },
         )
         .expect("no shutdown requested: the resumed run must finish");
         assert_same(&reference, &resumed, &format!("{attack:?}/{defense:?}"));

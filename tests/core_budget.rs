@@ -62,6 +62,7 @@ fn auto_cells_lease_round_width_from_the_shared_budget() {
                 sink: Some(&sink),
                 budget: Some(&budget),
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();
@@ -91,6 +92,7 @@ fn warm_cache_replays_identically_across_widths() {
                 sink: None,
                 budget: None,
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();
@@ -107,6 +109,7 @@ fn warm_cache_replays_identically_across_widths() {
                 sink: Some(&warm_sink),
                 budget: Some(&budget),
                 checkpoint_every: 0,
+                checkpoint_keep: 1,
             },
         )
         .unwrap();
