@@ -86,7 +86,7 @@ impl PipAttack {
     fn train_classifier(&mut self, model: &GlobalModel, lr: f32) {
         let labels = self.popular_labels.as_ref().expect("initialized");
         for j in 0..model.n_items() {
-            let emb = model.item_embedding(j as u32);
+            let emb = model.item_embedding(j as u32); // lint:allow(lossy-index-cast): j < n_items and the catalog is u32-keyed by the wire format
             let logit = vector::dot(&self.classifier, emb) + self.classifier_bias;
             let delta = sigmoid(logit) - if labels[j] { 1.0 } else { 0.0 };
             vector::axpy(-lr * delta, emb, &mut self.classifier);

@@ -19,6 +19,12 @@
 //! also fails, until `BENCH_baseline.json` is refreshed in the same PR.
 //! The threshold can also come from `BENCH_GATE_THRESHOLD` (the flag wins).
 
+// Exit codes are this tool's interface (0 pass, 1 gate failure, 2 usage/IO),
+// and the diverging `usage() -> !` / mid-closure error paths need
+// `process::exit` — the workspace-wide deny exists to keep `exit` out of
+// library code, not out of a CLI's top level.
+#![allow(clippy::exit)]
+
 use std::process::exit;
 
 use frs_bench::gate::{self, DEFAULT_MIN_NS, DEFAULT_THRESHOLD};

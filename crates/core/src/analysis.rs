@@ -32,6 +32,7 @@ pub fn p_j(data: &Dataset, sampler: &NegativeSampler, item: u32) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    // lint:allow(float-reduction-order): sequential fold in ascending user order — the range pins the order
     (0..n).map(|u| p_ij(data, sampler, u, item)).sum::<f64>() / n as f64
 }
 

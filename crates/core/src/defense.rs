@@ -79,7 +79,7 @@ pub fn exp_inverse_rank_weights(n: usize) -> Vec<f32> {
         return Vec::new();
     }
     let raw: Vec<f32> = (0..n).map(|rank| (-(rank as f32)).exp()).collect();
-    let total: f32 = raw.iter().sum();
+    let total = raw.iter().sum::<f32>(); // lint:allow(float-reduction-order): sequential fold in rank order over a fixed slice
     raw.into_iter().map(|w| w / total).collect()
 }
 
@@ -127,7 +127,7 @@ impl PieckDefense {
             .map(|(rank, &k)| {
                 kappa[rank] * frs_linalg::kl_divergence(model.item_embedding(k), user_emb)
             })
-            .sum()
+            .sum::<f32>() // lint:allow(float-reduction-order): sequential fold in neighbour-rank order, fixed by the k-NN list
     }
 }
 

@@ -56,7 +56,7 @@ pub fn inverse_rank_weights(n: usize) -> Vec<f32> {
     if n == 0 {
         return Vec::new();
     }
-    let total: f32 = (1..=n).map(|r| r as f32).sum();
+    let total = (1..=n).map(|r| r as f32).sum::<f32>(); // lint:allow(float-reduction-order): sequential fold in ascending rank order
     (0..n).map(|rank| (n - rank) as f32 / total).collect()
 }
 

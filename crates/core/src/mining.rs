@@ -63,6 +63,7 @@ impl PopularItemMiner {
         self.previous = Some(items.clone());
         if self.transitions_seen >= self.mining_rounds {
             let top = frs_linalg::top_k_desc(&self.accumulated, self.top_n);
+            // lint:allow(lossy-index-cast): top_k_desc indices are below the u32-keyed catalog size
             self.mined = Some(top.into_iter().map(|i| i as u32).collect());
             // The snapshot is no longer needed; drop the memory.
             self.previous = None;

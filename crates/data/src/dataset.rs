@@ -53,7 +53,7 @@ impl Dataset {
 
     /// Total interaction count.
     pub fn n_interactions(&self) -> usize {
-        self.user_items.iter().map(Vec::len).sum()
+        self.user_items.iter().map(Vec::len).sum::<usize>()
     }
 
     /// The ascending interacted-item list `D⁺_u` of user `u`.
@@ -77,7 +77,7 @@ impl Dataset {
     /// Item ids sorted by descending popularity (ties by ascending id) —
     /// the ground-truth "popularity ranking" axis of Fig. 3 and Fig. 4.
     pub fn popularity_ranking(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = (0..self.n_items as u32).collect();
+        let mut ids: Vec<u32> = (0..self.n_items as u32).collect(); // lint:allow(lossy-index-cast): loaders reject catalogs past the u32 id space
         ids.sort_unstable_by(|&a, &b| {
             self.item_pop[b as usize]
                 .cmp(&self.item_pop[a as usize])

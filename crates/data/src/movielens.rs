@@ -14,7 +14,7 @@
 //! positive feedback (the standard implicit-ization used by NCF \[16\] and the
 //! FRS attack literature).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
@@ -97,7 +97,10 @@ impl From<std::io::Error> for LoadError {
 #[derive(Debug, Clone, Default)]
 pub struct IdMaps {
     /// `original user id → dense index`.
-    pub user_to_dense: HashMap<u64, usize>,
+    /// Ordered so consumers that iterate (reports, ID dumps) see a
+    /// deterministic sequence — user numbering once followed `HashMap`
+    /// iteration order here and broke seeded replay (see PR 4).
+    pub user_to_dense: BTreeMap<u64, usize>,
     /// `dense item index → original item id`.
     pub item_from_dense: Vec<u64>,
 }
@@ -113,8 +116,8 @@ pub fn load_reader<R: Read>(
     reader: R,
     options: &LoadOptions,
 ) -> Result<(Dataset, IdMaps), LoadError> {
-    let mut user_to_dense: HashMap<u64, usize> = HashMap::new();
-    let mut item_to_dense: HashMap<u64, usize> = HashMap::new();
+    let mut user_to_dense: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut item_to_dense: BTreeMap<u64, usize> = BTreeMap::new();
     let mut item_from_dense: Vec<u64> = Vec::new();
     let mut per_user: Vec<Vec<u32>> = Vec::new();
 
@@ -161,7 +164,10 @@ pub fn load_reader<R: Read>(
             item_from_dense.push(item);
             next_item
         });
-        per_user[u].push(j as u32);
+        let j = u32::try_from(j).map_err(|_| {
+            LoadError::Parse(line_no, "item catalog exceeds the u32 id space".to_string())
+        })?;
+        per_user[u].push(j);
     }
 
     // Drop users below the interaction floor. Survivors keep their dense
@@ -185,7 +191,7 @@ pub fn load_reader<R: Read>(
             final_lists.push(items.clone());
         }
     }
-    let final_user_map: HashMap<u64, usize> = user_to_dense
+    let final_user_map: BTreeMap<u64, usize> = user_to_dense
         .iter()
         .filter_map(|(orig, &dense)| new_index[dense].map(|n| (*orig, n)))
         .collect();

@@ -90,14 +90,14 @@ impl CumulativeSampler {
 /// Fraction of total weight carried by the `top_fraction` heaviest ranks —
 /// the Fig. 3 calibration measure (top 15% of items vs share of interactions).
 pub fn head_share(weights: &[f64], top_fraction: f64) -> f64 {
-    let total: f64 = weights.iter().sum();
+    let total = weights.iter().sum::<f64>(); // lint:allow(float-reduction-order): sequential fold in the caller's fixed weight order
     if total <= 0.0 {
         return 0.0;
     }
     let mut sorted = weights.to_vec();
     sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
     let head = ((weights.len() as f64 * top_fraction).ceil() as usize).min(weights.len());
-    sorted[..head].iter().sum::<f64>() / total
+    sorted[..head].iter().sum::<f64>() / total // lint:allow(float-reduction-order): sequential fold in descending sorted order
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ impl NegativeSampler {
         // When we need most of the complement, enumerate it and do a partial
         // Fisher-Yates; otherwise rejection-sample (the common, sparse case).
         if want * 3 >= available {
+            // lint:allow(lossy-index-cast): loaders reject catalogs past the u32 id space
             let mut complement: Vec<u32> = (0..n_items as u32)
                 .filter(|&j| !data.interacted(user, j))
                 .collect();
@@ -56,7 +57,7 @@ impl NegativeSampler {
             let mut out = Vec::with_capacity(want);
             let mut seen = std::collections::HashSet::with_capacity(want * 2);
             while out.len() < want {
-                let j = rng.gen_range(0..n_items as u32);
+                let j = rng.gen_range(0..n_items as u32); // lint:allow(lossy-index-cast): loaders reject catalogs past the u32 id space
                 if !data.interacted(user, j) && seen.insert(j) {
                     out.push(j);
                 }

@@ -47,7 +47,7 @@ impl DatasetStats {
         let head_sum: u64 = self.popularity_curve[..head]
             .iter()
             .map(|&c| c as u64)
-            .sum();
+            .sum::<u64>();
         head_sum as f64 / self.n_interactions as f64
     }
 

@@ -38,6 +38,7 @@ pub fn generate<R: Rng + ?Sized>(spec: &DatasetSpec, rng: &mut R) -> Dataset {
     );
 
     // Step 1: scatter popularity ranks across item ids.
+    // lint:allow(lossy-index-cast): synthesis specs are validated against the u32 id space before generation
     let mut rank_to_item: Vec<u32> = (0..spec.n_items as u32).collect();
     rank_to_item.shuffle(rng);
 
@@ -76,7 +77,7 @@ fn user_budgets<R: Rng + ?Sized>(spec: &DatasetSpec, rng: &mut R) -> Vec<usize> 
     rank_of_user.shuffle(rng);
 
     let weights = zipf_weights(n, spec.user_zipf_exponent);
-    let weight_sum: f64 = weights.iter().sum();
+    let weight_sum = weights.iter().sum::<f64>(); // lint:allow(float-reduction-order): sequential fold in ascending rank order over the Zipf table
 
     let spare = total.saturating_sub(n * floor) as f64;
     let mut budgets = vec![floor; n];

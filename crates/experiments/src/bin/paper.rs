@@ -34,6 +34,11 @@
 //! commands) replay instead of recomputing — an interrupted `paper all`
 //! restarted with `--resume` executes only the missing cells. `--progress`
 //! streams one JSONL event per finished cell for mid-flight observability.
+// Exit codes are the `paper` CLI's documented interface (0 ok, 1 failure,
+// 2 usage, EXIT_INTERRUPTED for checkpoint-then-stop): the workspace-wide
+// `clippy::exit` deny keeps `exit` out of library code, not out of the
+// binary's command dispatch.
+#![allow(clippy::exit)]
 
 use frs_experiments::paper::PaperCommand;
 use frs_experiments::suite::ExecOptions;
@@ -206,7 +211,7 @@ fn cache_command(args: &CommonArgs) {
                         doomed.reason
                     );
                 }
-                let bytes: u64 = plan.iter().map(|d| d.bytes).sum();
+                let bytes: u64 = plan.iter().map(|d| d.bytes).sum::<u64>();
                 println!(
                     "cache {}: would remove {} files, reclaim {} bytes",
                     dir.display(),

@@ -316,6 +316,10 @@ impl CommonArgs {
     }
 
     /// Parses from the process environment, exiting with a message on error.
+    // This helper IS the binary's CLI entry (exit 2 = usage, the contract CI
+    // scripts test); everything else in the crate returns `Result` and the
+    // workspace-wide `clippy::exit` deny keeps it that way.
+    #[allow(clippy::exit)]
     pub fn parse() -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(args) => args,

@@ -476,7 +476,7 @@ impl ExperimentSuite {
 
     /// Total cells across all sweeps.
     pub fn cell_count(&self) -> usize {
-        self.sweeps.iter().map(Sweep::cell_count).sum()
+        self.sweeps.iter().map(Sweep::cell_count).sum::<usize>()
     }
 
     /// The full expanded grid, in declaration order.
@@ -543,9 +543,9 @@ impl ExperimentSuite {
                         break;
                     }
                     let cell = &cells[i];
-                    let started = Instant::now();
-                    // Canonical-JSON + SHA-256 per cell is only worth paying
-                    // when something consumes the key.
+                    let started = Instant::now(); // lint:allow(unseeded-entropy): wall-clock progress logging only; durations never reach reports or cache keys
+                                                  // Canonical-JSON + SHA-256 per cell is only worth paying
+                                                  // when something consumes the key.
                     let key = if exec.cache.is_some() || exec.sink.is_some() {
                         scenario_key(&cell.config)
                     } else {

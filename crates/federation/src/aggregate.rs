@@ -113,13 +113,19 @@ impl Aggregator for ShardedAggregator {
         // that residue class (uploads with no items there drop out of the
         // shard entirely). Output supports are disjoint across shards.
         let mut shard_uploads: Vec<GlobalGradients> = Vec::with_capacity(uploads.len());
+        #[allow(clippy::cast_possible_truncation)]
+        // lint:allow(lossy-index-cast): shard counts are small config values (thread-scale, not catalog-scale)
         for s in 0..self.shards as u32 {
             shard_uploads.clear();
             for upload in uploads {
                 let items: BTreeMap<u32, Vec<f32>> = upload
                     .items
                     .iter()
-                    .filter(|(&item, _)| item % self.shards as u32 == s)
+                    .filter(|(&item, _)| {
+                        #[allow(clippy::cast_possible_truncation)]
+                        let shards = self.shards as u32; // lint:allow(lossy-index-cast): shard counts are small config values
+                        item % shards == s
+                    })
                     .map(|(&item, grad)| (item, grad.clone()))
                     .collect();
                 if !items.is_empty() {

@@ -68,7 +68,9 @@ impl serde::Serialize for RoundThreads {
 impl serde::Deserialize for RoundThreads {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         if let Some(n) = v.as_u64() {
-            return Ok(Self::Fixed(n as usize));
+            return usize::try_from(n)
+                .map(Self::Fixed)
+                .map_err(|_| serde::Error::new(format!("thread count {n} exceeds usize")));
         }
         match v.as_str() {
             Some("auto") => Ok(Self::Auto),
@@ -110,6 +112,9 @@ impl ClientsPerRound {
         match *self {
             Self::Count(k) => k.min(n),
             Self::Fraction(_) if n == 0 => 0,
+            // Rounding to an integer count is the point of the cast; the
+            // clamp keeps it in [1, n] regardless of f.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             Self::Fraction(f) => (((n as f64) * f).round() as usize).clamp(1, n),
         }
     }
@@ -173,8 +178,12 @@ impl serde::Serialize for ClientsPerRound {
 impl serde::Deserialize for ClientsPerRound {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         match v {
-            serde::Value::Number(serde::Number::U64(n)) => Ok(Self::Count(*n as usize)),
-            serde::Value::Number(serde::Number::I64(n)) if *n >= 0 => Ok(Self::Count(*n as usize)),
+            serde::Value::Number(serde::Number::U64(n)) => usize::try_from(*n)
+                .map(Self::Count)
+                .map_err(|_| serde::Error::new(format!("client count {n} exceeds usize"))),
+            serde::Value::Number(serde::Number::I64(n)) if *n >= 0 => usize::try_from(*n)
+                .map(Self::Count)
+                .map_err(|_| serde::Error::new(format!("client count {n} exceeds usize"))),
             serde::Value::Number(serde::Number::F64(f)) => Ok(Self::Fraction(*f)),
             _ => Err(serde::Error::new(format!(
                 "expected client count or fraction, got {}",

@@ -20,6 +20,10 @@
 //! leased per round from a shared [`CoreBudget`]
 //! ([`config::RoundThreads::Auto`]), so a simulation can widen mid-run as
 //! sibling workloads on the same machine finish.
+// Federation state is indexed at the million-client scale PR 7 opened:
+// a silently truncating cast is a corrupted round, so truncation must be
+// explicit (`try_from`) or locally allowed with a range proof.
+#![cfg_attr(not(test), deny(clippy::cast_possible_truncation))]
 
 pub mod aggregate;
 pub mod budget;

@@ -95,6 +95,8 @@ impl std::fmt::Display for ParamValue {
 /// every path still agrees.)
 fn normalized_float(v: f64) -> ParamValue {
     if v.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&v) {
+        // The guard admits only integral values inside u64's range.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         ParamValue::Int(v as u64)
     } else {
         ParamValue::Float(v)
@@ -245,6 +247,9 @@ impl Params {
         match self.get_f64(key)? {
             None => Ok(None),
             Some(x) => {
+                // Narrowing is the accessor's contract; the finiteness check
+                // below rejects values outside f32's range.
+                #[allow(clippy::cast_possible_truncation)]
                 let narrowed = x as f32;
                 if narrowed.is_finite() {
                     Ok(Some(narrowed))
@@ -278,7 +283,9 @@ impl Params {
     pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(ParamValue::Int(i)) => Ok(Some(*i as usize)),
+            Some(ParamValue::Int(i)) => usize::try_from(*i)
+                .map(Some)
+                .map_err(|_| format!("param `{key}` = {i} does not fit a usize")),
             Some(other) => Err(format!("param `{key}` must be an integer, got `{other}`")),
         }
     }

@@ -228,7 +228,7 @@ impl Simulation {
 
     /// Executes one communication round (Section III-A steps 1–4).
     pub fn run_round(&mut self) -> RoundStats {
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(unseeded-entropy): wall-clock diagnostics; round_time is serde-skipped and never reaches reports or cache keys
         let ctx = RoundContext::new(
             self.round,
             self.config.learning_rate,
@@ -254,7 +254,10 @@ impl Simulation {
         // Deterministic aggregation order regardless of thread interleaving.
         uploads.sort_unstable_by_key(|(id, _)| *id);
         let n_malicious_selected = self.pool.count_malicious(&selected_sorted);
-        let upload_bytes: usize = uploads.iter().map(|(_, g)| wire::encoded_size(g)).sum();
+        let upload_bytes: usize = uploads
+            .iter()
+            .map(|(_, g)| wire::encoded_size(g))
+            .sum::<usize>();
         let grad_sets: Vec<GlobalGradients> = uploads.into_iter().map(|(_, g)| g).collect();
 
         let combined = self.aggregator.aggregate(&grad_sets);

@@ -54,7 +54,11 @@ impl TrainingStats {
         if self.rounds == 0 {
             Duration::ZERO
         } else {
-            self.total_elapsed / self.rounds as u32
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                // lint:allow(lossy-index-cast): round counts are experiment-scale, far below u32
+                self.total_elapsed / self.rounds as u32
+            }
         }
     }
 

@@ -41,12 +41,15 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Serializes one upload.
+// The u32 length prefixes below are all id-space or dimension counts; the
+// adjacent waivers carry the per-site range proofs.
+#[allow(clippy::cast_possible_truncation)]
 pub fn encode(grads: &GlobalGradients) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_size(grads));
-    buf.put_u32_le(grads.items.len() as u32);
+    buf.put_u32_le(grads.items.len() as u32); // lint:allow(lossy-index-cast): items are keyed by u32 ids, so the count fits the prefix
     for (&item, grad) in &grads.items {
         buf.put_u32_le(item);
-        buf.put_u32_le(grad.len() as u32);
+        buf.put_u32_le(grad.len() as u32); // lint:allow(lossy-index-cast): gradient length is the embedding dimension, far below u32
         for &v in grad {
             buf.put_f32_le(v);
         }
@@ -55,21 +58,21 @@ pub fn encode(grads: &GlobalGradients) -> Bytes {
         None => buf.put_u8(0),
         Some(mlp) => {
             buf.put_u8(1);
-            buf.put_u32_le(mlp.weights.len() as u32);
+            buf.put_u32_le(mlp.weights.len() as u32); // lint:allow(lossy-index-cast): MLP layer count is single digits
             for w in &mlp.weights {
-                buf.put_u32_le(w.rows() as u32);
-                buf.put_u32_le(w.cols() as u32);
+                buf.put_u32_le(w.rows() as u32); // lint:allow(lossy-index-cast): layer dimensions are config-bounded, far below u32
+                buf.put_u32_le(w.cols() as u32); // lint:allow(lossy-index-cast): layer dimensions are config-bounded, far below u32
                 for &v in w.as_slice() {
                     buf.put_f32_le(v);
                 }
             }
             for b in &mlp.biases {
-                buf.put_u32_le(b.len() as u32);
+                buf.put_u32_le(b.len() as u32); // lint:allow(lossy-index-cast): bias length is a layer dimension, far below u32
                 for &v in b {
                     buf.put_f32_le(v);
                 }
             }
-            buf.put_u32_le(mlp.projection.len() as u32);
+            buf.put_u32_le(mlp.projection.len() as u32); // lint:allow(lossy-index-cast): projection length is the embedding dimension, far below u32
             for &v in &mlp.projection {
                 buf.put_f32_le(v);
             }

@@ -1,0 +1,9 @@
+//! Clean fixture: exact integer reductions, element types annotated.
+
+pub fn count_sum(ns: &[u64]) -> u64 {
+    ns.iter().sum::<u64>()
+}
+
+pub fn int_total(ns: &[u64]) -> u64 {
+    ns.iter().fold(0, |acc, n| acc + n)
+}

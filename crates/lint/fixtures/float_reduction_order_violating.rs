@@ -1,0 +1,14 @@
+//! Violating fixture: unordered / unannotated float reductions.
+
+pub fn mean(xs: &[f32]) -> f32 {
+    let total: f32 = xs.iter().sum();
+    total / 2.0
+}
+
+pub fn dot(xs: &[f32], ys: &[f32]) -> f32 {
+    xs.iter().zip(ys).map(|(x, y)| x * y).sum::<f32>()
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, x| acc + x)
+}

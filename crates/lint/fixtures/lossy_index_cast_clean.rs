@@ -1,0 +1,9 @@
+//! Clean fixture: checked narrowing and lossless widening.
+
+pub fn item_id(index: usize) -> Option<u32> {
+    u32::try_from(index).ok()
+}
+
+pub fn widen(id: u32) -> u64 {
+    u64::from(id)
+}

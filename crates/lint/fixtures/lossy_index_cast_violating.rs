@@ -1,0 +1,9 @@
+//! Violating fixture: silently truncating index casts.
+
+pub fn item_id(index: usize) -> u32 {
+    index as u32
+}
+
+pub fn delta(count: usize) -> i32 {
+    count as i32
+}

@@ -1,0 +1,15 @@
+//! Clean fixture: the same shapes over an ordered container.
+
+use std::collections::BTreeMap;
+
+pub fn result_order(counts: &BTreeMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (user, _) in counts {
+        out.push(*user);
+    }
+    out
+}
+
+pub fn key_order(counts: &BTreeMap<u64, u64>) -> Vec<u64> {
+    counts.keys().copied().collect()
+}

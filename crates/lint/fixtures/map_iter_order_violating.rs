@@ -1,0 +1,16 @@
+//! Violating fixture: iterates hash containers in allocator order.
+//! Not compiled — `fixtures/` is outside every cargo target tree.
+
+use std::collections::HashMap;
+
+pub fn result_order(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (user, _) in counts {
+        out.push(*user);
+    }
+    out
+}
+
+pub fn key_order(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    counts.keys().copied().collect()
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: the same handler answering errors instead of panicking.
+
+pub fn answer(payload: Option<String>, buf: &[u8]) -> Result<String, String> {
+    let body = payload.ok_or_else(|| "missing payload".to_string())?;
+    let first = buf.first().copied().unwrap_or(0);
+    if first == 0 {
+        return Err("empty frame".to_string());
+    }
+    Ok(body)
+}

@@ -1,0 +1,10 @@
+//! Violating fixture: a request handler that can take its worker down.
+
+pub fn answer(payload: Option<String>, buf: &[u8]) -> String {
+    let body = payload.unwrap();
+    let first = buf[0];
+    if first == 0 {
+        panic!("empty frame");
+    }
+    body
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: every random draw flows from an explicit seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub fn sample_users(seed: u64) -> u32 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,12 @@
+//! Violating fixture: ambient entropy and wall clocks in result-path code.
+
+use std::time::Instant;
+
+pub fn stamp_results() -> Instant {
+    Instant::now()
+}
+
+pub fn sample_users() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}

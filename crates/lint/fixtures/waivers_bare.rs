@@ -1,0 +1,5 @@
+//! Fixture: a bare waiver — it silences nothing and is itself flagged.
+
+pub fn item_id(index: usize) -> u32 {
+    index as u32 // lint:allow(lossy-index-cast)
+}

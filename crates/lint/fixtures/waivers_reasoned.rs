@@ -1,0 +1,12 @@
+//! Fixture: real violations, each silenced by a reasoned waiver — the
+//! report should show them as waived and the run as clean.
+
+pub fn item_id(index: usize) -> u32 {
+    index as u32 // lint:allow(lossy-index-cast): fixture ids are catalog-bounded below u32::MAX
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    // lint:allow(float-reduction-order): sequential fold in slice order, byte-stable by construction
+    let total = xs.iter().sum::<f32>();
+    total
+}

@@ -1,0 +1,4 @@
+//! Fixture: a waiver naming a rule that does not exist.
+
+// lint:allow(no-such-rule): deliberately names a non-builtin rule id
+pub fn noop() {}

@@ -1,0 +1,169 @@
+//! frs-lint: run the workspace determinism-and-robustness lint pass.
+//!
+//! ```text
+//! frs-lint [--root DIR] [--config FILE] [--json] [--list-rules]
+//!          [--explain-scope] [--verbose] [FILE.rs ...]
+//! ```
+//!
+//! With no positional files, lints every workspace package per the
+//! committed `lint.toml`. With files, lints just those (files outside any
+//! package get every rule, unscoped — the CI fixture-injection path).
+//!
+//! Exit codes: 0 = clean, 1 = unwaived violations, 2 = bad config/CLI/IO.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use frs_lint::{
+    builtin_rule_ids, lint_paths, lint_workspace, rule_listing, scope_listing, LintConfig,
+};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    verbose: bool,
+    list_rules: bool,
+    explain_scope: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        verbose: false,
+        list_rules: false,
+        explain_scope: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--config needs a file".to_string())?,
+                ));
+            }
+            "--json" => args.json = true,
+            "--verbose" => args.verbose = true,
+            "--list-rules" => args.list_rules = true,
+            "--explain-scope" => args.explain_scope = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // empty = print usage, exit 0 handled below
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other} (see --help)"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+frs-lint: workspace determinism-and-robustness lints
+
+USAGE:
+    frs-lint [OPTIONS] [FILE.rs ...]
+
+OPTIONS:
+    --root DIR       workspace root (default: .)
+    --config FILE    lint config (default: <root>/lint.toml)
+    --json           machine-readable report on stdout
+    --verbose        also list waived violations in human output
+    --list-rules     print rule ids and summaries, then exit
+    --explain-scope  print which rules audit which packages, then exit
+
+EXIT CODES:
+    0  no unwaived violations
+    1  unwaived violations found
+    2  configuration, CLI, or IO error";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("frs-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, summary) in rule_listing() {
+            println!("{id}: {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("frs-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match LintConfig::parse(&config_text, &builtin_rule_ids()) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("frs-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.explain_scope {
+        return match scope_listing(&args.root, &config) {
+            Ok(scopes) => {
+                for (package, rules) in scopes {
+                    println!("{package}: {}", rules.join(", "));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("frs-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = if args.files.is_empty() {
+        lint_workspace(&args.root, &config)
+    } else {
+        lint_paths(&args.root, &config, &args.files)
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("frs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human(args.verbose));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,175 @@
+//! `lint.toml`: which rules audit which crates.
+//!
+//! The committed config is the contract — a rule with no `[rule.<id>]`
+//! section runs nowhere, and every key is validated against the builtin
+//! registry so a typo ( `crates` vs `crate`, a misspelled rule id, an
+//! unknown package name at runtime) is a configuration error (exit 2),
+//! never a silently skipped check.
+//!
+//! ```toml
+//! [rule.unseeded-entropy]
+//! crates = ["*"]                      # every workspace package…
+//! exclude = ["frs-serve", "frs-bench"] # …except these
+//! skip_tests = true                    # default: tests/benches/examples
+//!                                      # and #[cfg(test)] regions exempt
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::toml_mini;
+
+/// Where one rule applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleScope {
+    /// Package names, or the single entry `"*"` for every package.
+    pub crates: Vec<String>,
+    /// Packages carved out of a `"*"` (or explicit) scope.
+    pub exclude: Vec<String>,
+    /// Skip `tests/`, `benches/`, `examples/` targets and `#[cfg(test)]`
+    /// regions (default `true`).
+    pub skip_tests: bool,
+}
+
+impl RuleScope {
+    /// Does this scope cover the named package?
+    pub fn covers(&self, package: &str) -> bool {
+        if self.exclude.iter().any(|c| c == package) {
+            return false;
+        }
+        self.crates.iter().any(|c| c == "*" || c == package)
+    }
+}
+
+/// The parsed, validated lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// rule id → scope. Only rules present here run at all.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl LintConfig {
+    /// Parses and validates `lint.toml` text. `known_rules` is the builtin
+    /// registry's id list; sections for unknown rules are errors.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Self, String> {
+        let doc = toml_mini::parse(text)?;
+        let mut rules = BTreeMap::new();
+        for (section, entries) in &doc {
+            if section.is_empty() {
+                for key in entries.keys() {
+                    if key != "version" {
+                        return Err(format!("unknown top-level key `{key}`"));
+                    }
+                }
+                continue;
+            }
+            let rule_id = section
+                .strip_prefix("rule.")
+                .ok_or_else(|| format!("unknown section [{section}] (expected [rule.<id>])"))?;
+            if !known_rules.contains(&rule_id) {
+                return Err(format!(
+                    "[rule.{rule_id}] does not name a builtin rule (known: {})",
+                    known_rules.join(", ")
+                ));
+            }
+            let mut scope = RuleScope {
+                crates: Vec::new(),
+                exclude: Vec::new(),
+                skip_tests: true,
+            };
+            for (key, value) in entries {
+                match key.as_str() {
+                    "crates" => {
+                        scope.crates = value
+                            .as_str_array()
+                            .ok_or_else(|| format!("[rule.{rule_id}] crates must be an array"))?
+                            .to_vec();
+                    }
+                    "exclude" => {
+                        scope.exclude = value
+                            .as_str_array()
+                            .ok_or_else(|| format!("[rule.{rule_id}] exclude must be an array"))?
+                            .to_vec();
+                    }
+                    "skip_tests" => {
+                        scope.skip_tests = value
+                            .as_bool()
+                            .ok_or_else(|| format!("[rule.{rule_id}] skip_tests must be a bool"))?;
+                    }
+                    other => {
+                        return Err(format!("[rule.{rule_id}] unknown key `{other}`"));
+                    }
+                }
+            }
+            if scope.crates.is_empty() {
+                return Err(format!(
+                    "[rule.{rule_id}] needs a non-empty `crates` list (use [\"*\"] for all)"
+                ));
+            }
+            rules.insert(rule_id.to_string(), scope);
+        }
+        Ok(Self { rules })
+    }
+
+    /// Validates that every crate name the config mentions is a real
+    /// workspace package — a renamed crate must not quietly un-scope a rule.
+    pub fn check_crate_names(&self, packages: &[String]) -> Result<(), String> {
+        for (rule, scope) in &self.rules {
+            for name in scope.crates.iter().chain(&scope.exclude) {
+                if name != "*" && !packages.iter().any(|p| p == name) {
+                    return Err(format!(
+                        "[rule.{rule}] names `{name}`, which is not a workspace package \
+                         (packages: {})",
+                        packages.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KNOWN: &[&str] = &["map-iter-order", "unseeded-entropy"];
+
+    #[test]
+    fn parses_scopes_with_defaults() {
+        let cfg = LintConfig::parse(
+            "version = 1\n\
+             [rule.map-iter-order]\ncrates = [\"*\"]\nexclude = [\"frs-bench\"]\n\
+             [rule.unseeded-entropy]\ncrates = [\"frs-data\"]\nskip_tests = false\n",
+            KNOWN,
+        )
+        .unwrap();
+        let mio = &cfg.rules["map-iter-order"];
+        assert!(mio.covers("frs-data"));
+        assert!(!mio.covers("frs-bench"), "excluded from *");
+        assert!(mio.skip_tests, "defaults on");
+        let entropy = &cfg.rules["unseeded-entropy"];
+        assert!(entropy.covers("frs-data"));
+        assert!(!entropy.covers("frs-model"));
+        assert!(!entropy.skip_tests);
+    }
+
+    #[test]
+    fn unknown_rule_key_or_section_is_an_error() {
+        assert!(LintConfig::parse("[rule.nope]\ncrates = [\"*\"]\n", KNOWN).is_err());
+        assert!(LintConfig::parse("[other.thing]\nk = 1\n", KNOWN).is_err());
+        assert!(
+            LintConfig::parse("[rule.map-iter-order]\ncrate = [\"*\"]\n", KNOWN).is_err(),
+            "misspelled `crates` must not silently scope the rule to nothing"
+        );
+        assert!(LintConfig::parse("[rule.map-iter-order]\ncrates = []\n", KNOWN).is_err());
+        assert!(LintConfig::parse("stray = 1\n", KNOWN).is_err());
+    }
+
+    #[test]
+    fn crate_name_validation() {
+        let cfg =
+            LintConfig::parse("[rule.map-iter-order]\ncrates = [\"frs-data\"]\n", KNOWN).unwrap();
+        assert!(cfg.check_crate_names(&["frs-data".into()]).is_ok());
+        assert!(cfg.check_crate_names(&["frs-model".into()]).is_err());
+    }
+}

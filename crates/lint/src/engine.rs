@@ -1,0 +1,530 @@
+//! The lint engine: workspace discovery, per-file rule dispatch, waiver
+//! application, and reporting.
+//!
+//! Discovery walks the repo for `Cargo.toml` manifests (skipping `target/`,
+//! `vendor/`, and hidden directories), reads each `[package] name`, and
+//! lints the package's `src/`, `tests/`, `benches/`, and `examples/`
+//! trees. Which rules run on which package comes from the committed
+//! `lint.toml` ([`LintConfig`]); violations inside `#[cfg(test)]` regions
+//! or non-`src` targets are dropped for rules with `skip_tests` (the
+//! default). Output order is deterministic: files sorted by path,
+//! violations by (line, column, rule).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::config::LintConfig;
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{builtin_rules, Rule, INVALID_WAIVER};
+use crate::waiver::{self, Waiver};
+
+/// One reported violation. `waived = true` entries are kept in the report
+/// (they are part of the audit trail) but do not fail the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Root-relative path, `/`-separated.
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub rule: String,
+    pub message: String,
+    pub waived: bool,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Serialize)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub unwaived: usize,
+    pub waived: usize,
+}
+
+impl LintReport {
+    /// No unwaived violations — the exit-0 condition.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived == 0
+    }
+
+    /// `path:line:col: rule: message` lines plus a summary, the human
+    /// format. Waived entries are listed only with `verbose`.
+    pub fn human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            if v.waived && !verbose {
+                continue;
+            }
+            let tag = if v.waived { " (waived)" } else { "" };
+            out.push_str(&format!(
+                "{}:{}:{}: {}{tag}: {}\n",
+                v.file, v.line, v.col, v.rule, v.message
+            ));
+        }
+        out.push_str(&format!(
+            "frs-lint: {} violation{} ({} waived) across {} files\n",
+            self.unwaived,
+            if self.unwaived == 1 { "" } else { "s" },
+            self.waived,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// The machine format (stable key order via canonical serialization).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| {
+            // The report is plain structs of strings and numbers; if
+            // serialization ever fails, say so in valid JSON rather than
+            // panicking inside a linter.
+            "{\"error\":\"report serialization failed\"}".to_string()
+        })
+    }
+}
+
+/// One discovered workspace package.
+#[derive(Debug)]
+pub struct Package {
+    pub name: String,
+    /// Directory containing its `Cargo.toml`, root-relative.
+    pub dir: PathBuf,
+}
+
+/// Finds workspace packages under `root`: every directory with a
+/// `Cargo.toml` declaring `[package] name`, except `target/`, `vendor/`
+/// (offline shims for external crates — not this workspace's code), and
+/// dot-directories. Deterministic order (sorted by path).
+pub fn discover_packages(root: &Path) -> Result<Vec<Package>, String> {
+    let mut manifests = Vec::new();
+    find_manifests(root, Path::new(""), &mut manifests)?;
+    manifests.sort();
+    let mut packages = Vec::new();
+    for rel in manifests {
+        let path = root.join(&rel);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(name) = package_name(&text) {
+            packages.push(Package {
+                name,
+                dir: rel.parent().unwrap_or(Path::new("")).to_path_buf(),
+            });
+        }
+    }
+    Ok(packages)
+}
+
+fn find_manifests(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub = rel.join(name.as_ref());
+        let file_type = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        if file_type.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            find_manifests(root, &sub, out)?;
+        } else if name == "Cargo.toml" {
+            out.push(sub);
+        }
+    }
+    Ok(())
+}
+
+/// Pulls `name = "…"` out of a manifest's `[package]` section with a line
+/// scan — full TOML is not needed for the four manifests shapes we own.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start();
+                if let Some(value) = value.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `.rs` files under the package's lintable trees, sorted. The bool marks
+/// test-like targets (`tests/`, `benches/`, `examples/` — everything but
+/// `src/`).
+fn package_sources(root: &Path, pkg: &Package) -> Result<Vec<(PathBuf, bool)>, String> {
+    let mut files = Vec::new();
+    for (tree, test_like) in [
+        ("src", false),
+        ("tests", true),
+        ("benches", true),
+        ("examples", true),
+    ] {
+        let dir = pkg.dir.join(tree);
+        if root.join(&dir).is_dir() {
+            collect_rs(root, &dir, test_like, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(
+    root: &Path,
+    rel: &Path,
+    test_like: bool,
+    out: &mut Vec<(PathBuf, bool)>,
+) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub = rel.join(name.as_ref());
+        let file_type = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        if file_type.is_dir() {
+            collect_rs(root, &sub, test_like, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((sub, test_like));
+        }
+    }
+    Ok(())
+}
+
+/// Line ranges covered by `#[cfg(test)]` items (typically `mod tests`):
+/// the attribute through its item's closing brace.
+pub fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct("#")
+            && tokens[i + 1].is_punct("[")
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct("(")
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(")")
+            && tokens[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the item body: the first `{` at bracket depth 0 after the
+        // attribute (skipping any further attributes), or a `;` for
+        // body-less items.
+        let mut j = i + 7;
+        let mut depth = 0i64;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        // Match braces to the item's close.
+                        let mut braces = 1i64;
+                        let mut k = j + 1;
+                        while k < tokens.len() && braces > 0 {
+                            if tokens[k].is_punct("{") {
+                                braces += 1;
+                            } else if tokens[k].is_punct("}") {
+                                braces -= 1;
+                            }
+                            k += 1;
+                        }
+                        end_line = tokens[k.saturating_sub(1)].line;
+                        j = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line.max(start_line)));
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// Lints one source text as `file` (root-relative display path) for
+/// `package`, with the scoped rule set. Exposed for fixture tests.
+pub fn lint_source(
+    file: &str,
+    source: &str,
+    package: &str,
+    config: &LintConfig,
+    rules: &[Box<dyn Rule>],
+    test_like_target: bool,
+) -> Vec<Violation> {
+    let tokens = lexer::lex(source);
+    let regions = test_regions(&tokens);
+    let waivers = waiver::collect(&tokens);
+    let known: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+
+    let mut out = Vec::new();
+    for rule in rules {
+        let Some(scope) = config.rules.get(rule.id()) else {
+            continue;
+        };
+        if !scope.covers(package) {
+            continue;
+        }
+        if scope.skip_tests && test_like_target {
+            continue;
+        }
+        for raw in rule.check(&tokens) {
+            if scope.skip_tests && in_regions(&regions, raw.line) {
+                continue;
+            }
+            let waived = waivers.iter().any(|w| w.silences(rule.id(), raw.line));
+            out.push(Violation {
+                file: file.to_string(),
+                line: raw.line,
+                col: raw.col,
+                rule: rule.id().to_string(),
+                message: raw.message,
+                waived,
+            });
+        }
+    }
+    // Waiver hygiene is unconditional: a bare waiver or one naming an
+    // unknown rule is a violation wherever it appears, test code included —
+    // otherwise stale waivers rot in place.
+    for w in &waivers {
+        out.extend(waiver_problems(file, w, &known));
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    out
+}
+
+fn waiver_problems(file: &str, w: &Waiver, known: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |message: String| {
+        out.push(Violation {
+            file: file.to_string(),
+            line: w.comment_line,
+            col: 1,
+            rule: INVALID_WAIVER.to_string(),
+            message,
+            waived: false,
+        });
+    };
+    if w.rules.is_empty() {
+        push("waiver names no rule: write `lint:allow(rule-id): reason`".to_string());
+    }
+    for rule in &w.rules {
+        if !known.contains(&rule.as_str()) {
+            push(format!(
+                "waiver names unknown rule `{rule}` (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    if w.reason.is_empty() {
+        push(
+            "bare waiver: a `lint:allow` must carry a reason — `lint:allow(rule): why this \
+             is sound`"
+                .to_string(),
+        );
+    }
+    out
+}
+
+/// Lints the whole workspace under `root` with `config`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, String> {
+    let packages = discover_packages(root)?;
+    let names: Vec<String> = packages.iter().map(|p| p.name.clone()).collect();
+    config.check_crate_names(&names)?;
+    let rules = builtin_rules();
+
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for pkg in &packages {
+        for (rel, test_like) in package_sources(root, pkg)? {
+            let path = root.join(&rel);
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            files_scanned += 1;
+            let display = rel.to_string_lossy().replace('\\', "/");
+            violations.extend(lint_source(
+                &display, &source, &pkg.name, config, &rules, test_like,
+            ));
+        }
+    }
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(summarize(violations, files_scanned))
+}
+
+/// Lints explicit files. Files inside a discovered package use that
+/// package's scoped rules; files outside any package get every rule
+/// (strict mode — the fixture-injection path).
+pub fn lint_paths(
+    root: &Path,
+    config: &LintConfig,
+    paths: &[PathBuf],
+) -> Result<LintReport, String> {
+    let packages = discover_packages(root)?;
+    let rules = builtin_rules();
+    let mut strict_config = LintConfig::default();
+    for rule in &rules {
+        strict_config.rules.insert(
+            rule.id().to_string(),
+            crate::config::RuleScope {
+                crates: vec!["*".to_string()],
+                exclude: Vec::new(),
+                skip_tests: false,
+            },
+        );
+    }
+
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in paths {
+        let abs = if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        };
+        let source =
+            std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        files_scanned += 1;
+        let rel = abs.strip_prefix(root).unwrap_or(&abs);
+        let display = rel.to_string_lossy().replace('\\', "/");
+        let owner = packages
+            .iter()
+            .filter(|p| rel.starts_with(&p.dir))
+            .max_by_key(|p| p.dir.components().count());
+        let (cfg, package, test_like) = match owner {
+            Some(pkg) => {
+                let within = rel.strip_prefix(&pkg.dir).unwrap_or(rel);
+                let test_like = ["tests", "benches", "examples"]
+                    .iter()
+                    .any(|t| within.starts_with(t));
+                (config, pkg.name.as_str(), test_like)
+            }
+            None => (&strict_config, "<none>", false),
+        };
+        violations.extend(lint_source(
+            &display, &source, package, cfg, &rules, test_like,
+        ));
+    }
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(summarize(violations, files_scanned))
+}
+
+fn summarize(violations: Vec<Violation>, files_scanned: usize) -> LintReport {
+    let waived = violations.iter().filter(|v| v.waived).count();
+    let unwaived = violations.len() - waived;
+    LintReport {
+        violations,
+        files_scanned,
+        unwaived,
+        waived,
+    }
+}
+
+/// Rule ids and summaries, for `--list-rules`.
+pub fn rule_listing() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = builtin_rules()
+        .iter()
+        .map(|r| (r.id().to_string(), r.summary().to_string()))
+        .collect();
+    out.push((
+        INVALID_WAIVER.to_string(),
+        "meta: every `lint:allow` waiver must name a known rule and carry a reason".to_string(),
+    ));
+    out
+}
+
+/// Packages and the rules scoped to each — `--explain-scope` output and
+/// the self-lint test's sanity surface.
+pub fn scope_listing(
+    root: &Path,
+    config: &LintConfig,
+) -> Result<BTreeMap<String, Vec<String>>, String> {
+    let packages = discover_packages(root)?;
+    let mut out = BTreeMap::new();
+    for pkg in &packages {
+        let rules: Vec<String> = config
+            .rules
+            .iter()
+            .filter(|(_, scope)| scope.covers(&pkg.name))
+            .map(|(id, _)| id.clone())
+            .collect();
+        out.insert(pkg.name.clone(), rules);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_the_package_section_only() {
+        let manifest = "[workspace]\nmembers = [\"x\"]\n\n[package]\nname = \"frs-lint\"\n\
+                        [dependencies]\nname-like = \"1\"\n";
+        assert_eq!(package_name(manifest).as_deref(), Some("frs-lint"));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_items() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn b() {}\n\
+                   }\n\
+                   fn c() {}\n\
+                   #[cfg(test)]\n\
+                   use helper::thing;\n";
+        let tokens = lexer::lex(src);
+        let regions = test_regions(&tokens);
+        assert_eq!(regions, vec![(2, 5), (7, 8)]);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn a() {}\n#[cfg(feature = \"x\")]\nfn b() {}\n";
+        assert!(test_regions(&lexer::lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,496 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The rule engine works on token streams, never raw text, so a mention of
+//! `thread_rng` inside a string literal, a doc comment, or a raw string
+//! must not trip a rule. This lexer exists to make that distinction — it
+//! understands exactly as much Rust surface syntax as is needed to
+//! classify every byte of the workspace into comments, string/char
+//! literals, numbers, identifiers, and punctuation, with line/column
+//! positions for reporting:
+//!
+//! - `//` line comments (incl. doc comments) and *nested* `/* */` block
+//!   comments;
+//! - `"…"` strings with escapes, byte strings `b"…"`, and raw strings
+//!   `r"…"` / `r#"…"#` / `br##"…"##` with any hash depth;
+//! - char literals (`'a'`, `'\n'`, `'\u{1F600}'`) vs lifetimes (`'a`,
+//!   `'_`), raw identifiers (`r#type`);
+//! - numbers including floats, exponents, radix prefixes, and type
+//!   suffixes;
+//! - `::` folded into a single punctuation token (the only multi-char
+//!   operator the rules match on).
+//!
+//! It is *not* a parser: it never builds a syntax tree, and it does not
+//! validate the source. Invalid Rust lexes into *something* rather than
+//! erroring, which is the right behaviour for a linter that runs before
+//! the compiler gets a say.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, `r#type`, …).
+    Ident,
+    /// Numeric literal, including suffix (`1`, `0x7f`, `1.5e-9f64`).
+    Number,
+    /// String-like literal: `"…"`, `b"…"`, and raw forms. Content skipped.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// `// …` to end of line (incl. `///` and `//!`). Text kept for
+    /// waiver parsing.
+    LineComment,
+    /// `/* … */`, nesting honoured. Text kept for waiver parsing.
+    BlockComment,
+    /// Any other single character, except `::` which is one token.
+    Punct,
+}
+
+/// One token with its position (1-based line and column of its first
+/// character).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text (`"."`, `"::"`, …)?
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+
+    /// Is this a comment of either flavour?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals or comments
+/// simply extend to end of input.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => {
+                    let text = self.string_body();
+                    self.push(TokKind::Str, text, line, col);
+                }
+                'b' if matches!(self.peek(1), Some('"')) => {
+                    self.bump();
+                    let text = self.string_body();
+                    self.push(TokKind::Str, format!("b{text}"), line, col);
+                }
+                'b' if matches!(self.peek(1), Some('\'')) => {
+                    self.bump();
+                    let text = self.char_body();
+                    self.push(TokKind::Char, format!("b{text}"), line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_follows(2) => {
+                    self.bump();
+                    self.bump();
+                    let text = self.raw_string_body();
+                    self.push(TokKind::Str, format!("br{text}"), line, col);
+                }
+                'r' if self.raw_string_follows(1) => {
+                    self.bump();
+                    let text = self.raw_string_body();
+                    self.push(TokKind::Str, format!("r{text}"), line, col);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#type: token text is the bare name so
+                    // rules match it like any other identifier.
+                    self.bump();
+                    self.bump();
+                    let name = self.ident_body();
+                    self.push(TokKind::Ident, name, line, col);
+                }
+                '\'' => self.lifetime_or_char(line, col),
+                c if c.is_ascii_digit() => {
+                    let text = self.number_body();
+                    self.push(TokKind::Number, text, line, col);
+                }
+                c if is_ident_start(Some(c)) => {
+                    let name = self.ident_body();
+                    self.push(TokKind::Ident, name, line, col);
+                }
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line, col);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize, col: usize) {
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line, col);
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote; returns the
+    /// raw text including quotes.
+    fn string_body(&mut self) -> String {
+        let mut text = String::new();
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// Does `r`/`br` at the current position start a raw string? True when
+    /// the chars at `ahead` are zero or more `#` followed by `"`.
+    fn raw_string_follows(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// Consumes `#*"…"#*` (hashes balanced); cursor sits on the first `#`
+    /// or `"`. Returns the consumed text.
+    fn raw_string_body(&mut self) -> String {
+        let mut text = String::new();
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                if closes {
+                    text.push('"');
+                    self.bump();
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    /// Consumes a char literal starting at `'`; returns text with quotes.
+    fn char_body(&mut self) -> String {
+        let mut text = String::new();
+        text.push('\'');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '\'' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// `'` is ambiguous: `'a'` is a char, `'a` is a lifetime. A backslash
+    /// right after the quote forces char; otherwise it is a char exactly
+    /// when the character after the next one closes the quote.
+    fn lifetime_or_char(&mut self, line: usize, col: usize) {
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            let text = self.char_body();
+            self.push(TokKind::Char, text, line, col);
+        } else {
+            let mut text = String::from("'");
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn ident_body(&mut self) -> String {
+        let mut name = String::new();
+        while is_ident_continue(self.peek(0)) {
+            if let Some(c) = self.bump() {
+                name.push(c);
+            }
+        }
+        name
+    }
+
+    /// Number: digits, radix/alnum body, `.` only when a digit follows
+    /// (so `0..n` and `1.max(2)` stop at the dot), exponent signs only
+    /// right after `e`/`E`.
+    fn number_body(&mut self) -> String {
+        let mut text = String::new();
+        let mut prev = '\0';
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) && prev != '.')
+                || ((c == '+' || c == '-') && matches!(prev, 'e' | 'E'));
+            if !take {
+                break;
+            }
+            text.push(c);
+            prev = c;
+            self.bump();
+        }
+        text
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_matching() {
+        let toks = lex(r#"let s = "thread_rng() /* not a comment */";"#);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        assert!(!toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(!toks.iter().any(|t| t.is_comment()));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_depths() {
+        let toks = kinds(r##"let s = r#"a "quoted" thing"#; x"##);
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert_eq!(toks[3].1, r##"r#"a "quoted" thing"#"##);
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("x"));
+
+        let toks = kinds(r##"r"plain" b"bytes" br#"raw bytes"# y"##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Str);
+        assert_eq!(toks[3].1, "y");
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let toks = lex("a /* outer /* inner */ still */ b // tail\nc");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.is_comment()).count(),
+            2,
+            "one block, one line comment"
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_stop_at_ranges_and_method_calls() {
+        let toks = kinds("0..n 1.max(2) 1.5e-9f64 0x7f_u8");
+        assert_eq!(toks[0], (TokKind::Number, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert!(toks.iter().any(|t| t.1 == "max"));
+        assert!(toks.iter().any(|t| t.1 == "1.5e-9f64"));
+        assert!(toks.iter().any(|t| t.1 == "0x7f_u8"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = kinds("SystemTime::now()");
+        assert_eq!(toks[1], (TokKind::Punct, "::".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "now".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let toks = kinds("r#type r#match");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "match".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_without_panicking() {
+        assert!(!lex("let s = \"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! frs-lint: determinism-and-robustness static analysis for this workspace.
+//!
+//! The experiment pipeline's contract is byte-identical reports for
+//! identical configs, and the serving tier's contract is that a malformed
+//! request never takes the daemon down. Both are easy to break with one
+//! innocuous line — iterating a `HashMap` on a result path, an `unwrap()`
+//! in a connection loop, a `thread_rng()` in cache-keyed code — and none
+//! of those are compile errors. This crate is the guard rail: a small
+//! hand-rolled lexer (`lexer`) feeds a token-level rule engine (`rules`,
+//! `engine`) scoped per crate by the committed `lint.toml` (`config`),
+//! with mandatory-reason inline waivers (`waiver`).
+//!
+//! The rules are deliberately project-specific and deliberately shallow:
+//! they see tokens, not types, so they trade a few waivable false
+//! positives for zero build-time dependencies (the container is offline —
+//! no `syn`, no `toml`) and sub-second whole-workspace runs.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod toml_mini;
+pub mod waiver;
+
+pub use config::{LintConfig, RuleScope};
+pub use engine::{
+    discover_packages, lint_paths, lint_source, lint_workspace, rule_listing, scope_listing,
+    LintReport, Violation,
+};
+pub use rules::{builtin_rule_ids, builtin_rules, INVALID_WAIVER};

@@ -1,0 +1,668 @@
+//! The builtin rule registry.
+//!
+//! Every rule is a pure function over one file's token stream. The ids
+//! (and what each protects):
+//!
+//! - `map-iter-order` — iterating a `HashMap`/`HashSet` leaks allocator
+//!   randomness into whatever consumes the order. The movielens loader
+//!   shipped exactly this bug (user numbering followed map order, breaking
+//!   seeded replay) before PR 4 fixed it. Use `BTreeMap`/`BTreeSet` or
+//!   sort before iterating.
+//! - `unseeded-entropy` — `thread_rng`, `SystemTime::now`, `Instant::now`,
+//!   `RandomState`, `from_entropy` in result-path code make a run depend on
+//!   the machine and the moment; all randomness must flow from the
+//!   scenario seed, all timing must stay out of reports and cache keys.
+//! - `panic-in-daemon` — `unwrap`/`expect`/`panic!`-family and slice
+//!   indexing in the serving crates: one bad request must earn an error
+//!   response, never take a connection's worker thread down.
+//! - `float-reduction-order` — float summation order is part of the
+//!   bitwise-reproducibility contract. Outside `frs_linalg`'s audited
+//!   kernels, every `.sum()`/`.product()` must name its element type (so
+//!   the auditor can see what is being reduced) and float reductions must
+//!   justify their ordering or move into the kernel layer.
+//! - `lossy-index-cast` — `as u32`/`as i32`/(and narrower) casts truncate
+//!   silently; at the 10M-client scale PR 8 opened, a truncated client or
+//!   item index is a wrong answer, not a crash. Widen, `try_from`, or
+//!   justify the bound.
+//!
+//! Rules are heuristic token matchers, not type checkers — they
+//! over-approximate and rely on reasoned waivers (see [`crate::waiver`])
+//! for the sites that are provably fine. That trade is deliberate: the
+//! waiver comment *is* the audit trail.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One rule hit, before waiver/test-region filtering.
+#[derive(Debug, Clone)]
+pub struct RawViolation {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+/// A lint rule: an id, a one-line summary, and a token-stream check.
+pub trait Rule: Sync {
+    fn id(&self) -> &'static str;
+    fn summary(&self) -> &'static str;
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation>;
+}
+
+/// Every builtin rule, registry order = documentation order.
+pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(MapIterOrder),
+        Box::new(UnseededEntropy),
+        Box::new(PanicInDaemon),
+        Box::new(FloatReductionOrder),
+        Box::new(LossyIndexCast),
+    ]
+}
+
+/// The ids of every builtin rule, registry order.
+pub fn builtin_rule_ids() -> Vec<&'static str> {
+    builtin_rules().iter().map(|r| r.id()).collect()
+}
+
+/// The engine-level meta rule id for malformed waivers (always on).
+pub const INVALID_WAIVER: &str = "invalid-waiver";
+
+fn hit(tok: &Tok, message: String) -> RawViolation {
+    RawViolation {
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// Walks left from the token *before* a `.method` chain link to the chain's
+/// base identifier: skips balanced `(…)`/`[…]` groups and `.`-linked
+/// segments, returning the left-most identifier of the receiver chain
+/// (e.g. `self.counts.clone().iter()` → `counts`... walking to `self`'s
+/// successor is handled by returning every identifier seen, outermost
+/// last).
+fn receiver_idents(tokens: &[Tok], dot_idx: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = dot_idx; // index of the `.` punct
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = i - 1;
+        match &tokens[prev].kind {
+            TokKind::Punct if tokens[prev].text == ")" || tokens[prev].text == "]" => {
+                // Skip the balanced group, then expect its head (a method
+                // name or the base) just left of the opener.
+                let open = if tokens[prev].text == ")" { "(" } else { "[" };
+                let close = &tokens[prev].text;
+                let mut depth = 0usize;
+                let mut j = prev;
+                loop {
+                    if tokens[j].is_punct(close) {
+                        depth += 1;
+                    } else if tokens[j].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        return names;
+                    }
+                    j -= 1;
+                }
+                i = j;
+            }
+            TokKind::Ident => {
+                names.push(tokens[prev].text.clone());
+                // Continue through `a.b` / `a::b` chains.
+                if prev == 0 {
+                    break;
+                }
+                let link = &tokens[prev - 1];
+                if link.is_punct(".") || link.is_punct("::") {
+                    i = prev - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// map-iter-order
+// ---------------------------------------------------------------------------
+
+struct MapIterOrder;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+impl MapIterOrder {
+    /// Identifiers bound to `HashMap`/`HashSet` values in this file: `let`
+    /// bindings and struct-field/const declarations whose statement
+    /// mentions a hash type.
+    fn hash_bound_names(tokens: &[Tok]) -> Vec<String> {
+        let mut names = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident || !HASH_TYPES.contains(&tok.text.as_str()) {
+                continue;
+            }
+            // Walk back to the start of the statement / declaration.
+            let start = tokens[..i]
+                .iter()
+                .rposition(|t| {
+                    t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_punct(",")
+                })
+                .map_or(0, |p| p + 1);
+            let span = &tokens[start..i];
+            // `let [mut] NAME` anywhere in the span.
+            if let Some(let_pos) = span.iter().position(|t| t.is_ident("let")) {
+                let mut j = let_pos + 1;
+                while j < span.len() && span[j].is_ident("mut") {
+                    j += 1;
+                }
+                if j < span.len() && span[j].kind == TokKind::Ident {
+                    names.push(span[j].text.clone());
+                    continue;
+                }
+            }
+            // `NAME : …HashMap…` — a struct field or typed parameter.
+            if let Some(colon_pos) = span.iter().position(|t| t.is_punct(":")) {
+                if colon_pos >= 1 && span[colon_pos - 1].kind == TokKind::Ident {
+                    names.push(span[colon_pos - 1].text.clone());
+                }
+            }
+        }
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+impl Rule for MapIterOrder {
+    fn id(&self) -> &'static str {
+        "map-iter-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort"
+    }
+
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation> {
+        let names = Self::hash_bound_names(tokens);
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            // `recv.iter()`-style: an iteration method whose receiver chain
+            // bottoms out in a hash-bound name.
+            if tok.kind == TokKind::Ident
+                && ITER_METHODS.contains(&tok.text.as_str())
+                && i >= 1
+                && tokens[i - 1].is_punct(".")
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct("(") || t.is_punct("::"))
+                && receiver_idents(tokens, i - 1)
+                    .iter()
+                    .any(|n| names.contains(n))
+            {
+                out.push(hit(
+                    tok,
+                    format!(
+                        "`.{}()` on a HashMap/HashSet-bound value iterates in \
+                         nondeterministic order",
+                        tok.text
+                    ),
+                ));
+            }
+            // `for x in &name` / `for x in name`.
+            if tok.is_ident("in") {
+                let mut j = i + 1;
+                while tokens.get(j).is_some_and(|t| t.is_punct("&")) {
+                    j += 1;
+                }
+                if let Some(t) = tokens.get(j) {
+                    if t.kind == TokKind::Ident
+                        && names.contains(&t.text)
+                        && tokens
+                            .get(j + 1)
+                            .is_some_and(|n| t.line == n.line && n.is_punct("{"))
+                    {
+                        out.push(hit(
+                            t,
+                            format!(
+                                "`for … in {}` iterates a HashMap/HashSet in \
+                                 nondeterministic order",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unseeded-entropy
+// ---------------------------------------------------------------------------
+
+struct UnseededEntropy;
+
+impl Rule for UnseededEntropy {
+    fn id(&self) -> &'static str {
+        "unseeded-entropy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "ambient randomness/clocks (thread_rng, SystemTime::now, Instant::now, RandomState) in result-path code"
+    }
+
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation> {
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            match tok.text.as_str() {
+                "thread_rng" | "RandomState" | "from_entropy" => {
+                    out.push(hit(
+                        tok,
+                        format!(
+                            "`{}` draws ambient entropy; all randomness must come from the \
+                             scenario seed",
+                            tok.text
+                        ),
+                    ));
+                }
+                "now" if i >= 2 && tokens[i - 1].is_punct("::") => {
+                    let base = &tokens[i - 2];
+                    if base.is_ident("SystemTime") || base.is_ident("Instant") {
+                        out.push(hit(
+                            base,
+                            format!(
+                                "`{}::now()` reads the wall clock; timing must not reach \
+                                 reports or cache keys",
+                                base.text
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic-in-daemon
+// ---------------------------------------------------------------------------
+
+struct PanicInDaemon;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can precede `[` only in type or array-literal position
+/// (`&mut [u8]`, `dyn [T]`, `return [a, b]`), never as an indexed place.
+const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
+    "mut", "dyn", "in", "as", "impl", "ref", "move", "return", "break", "else", "match", "const",
+    "static", "where",
+];
+
+impl Rule for PanicInDaemon {
+    fn id(&self) -> &'static str {
+        "panic-in-daemon"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/slice-indexing in serving code; answer an error, keep the connection"
+    }
+
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation> {
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            match tok.kind {
+                TokKind::Ident
+                    if (tok.text == "unwrap" || tok.text == "expect")
+                        && i >= 1
+                        && tokens[i - 1].is_punct(".")
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct("(")) =>
+                {
+                    out.push(hit(
+                        tok,
+                        format!(
+                            "`.{}()` panics the worker thread; return an error response instead",
+                            tok.text
+                        ),
+                    ));
+                }
+                TokKind::Ident
+                    if PANIC_MACROS.contains(&tok.text.as_str())
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct("!")) =>
+                {
+                    out.push(hit(
+                        tok,
+                        format!("`{}!` takes the connection's worker down", tok.text),
+                    ));
+                }
+                // Index/slice expressions: `expr[…]` — `[` directly after an
+                // identifier or a closing `)`/`]`. Types (`[u8; 4]`),
+                // attributes (`#[…]`), and macros (`vec![…]`) are preceded
+                // by punctuation and never match.
+                TokKind::Punct
+                    if tok.text == "["
+                        && i >= 1
+                        && ((tokens[i - 1].kind == TokKind::Ident
+                            && !KEYWORDS_BEFORE_BRACKET
+                                .contains(&tokens[i - 1].text.as_str()))
+                            || tokens[i - 1].is_punct(")")
+                            || tokens[i - 1].is_punct("]")) =>
+                {
+                    out.push(hit(
+                        tok,
+                        "indexing may panic on a bad request; use `.get(…)` and answer an error"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-reduction-order
+// ---------------------------------------------------------------------------
+
+struct FloatReductionOrder;
+
+impl Rule for FloatReductionOrder {
+    fn id(&self) -> &'static str {
+        "float-reduction-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unordered float reductions outside frs_linalg's audited kernels; annotate, justify, or move"
+    }
+
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation> {
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident || i == 0 || !tokens[i - 1].is_punct(".") {
+                continue;
+            }
+            match tok.text.as_str() {
+                "sum" | "product" => {
+                    // `.sum::<T>()` — float T is the reduction we audit;
+                    // integer T is exact and fine. A bare `.sum()` hides the
+                    // type from this audit, so it must be annotated.
+                    if tokens.get(i + 1).is_some_and(|t| t.is_punct("::")) {
+                        if let Some(ty) = tokens.get(i + 3) {
+                            if ty.is_ident("f32") || ty.is_ident("f64") {
+                                out.push(hit(
+                                    tok,
+                                    format!(
+                                        "float `.{}::<{}>()` reduction: summation order is part \
+                                         of the reproducibility contract — justify the ordering \
+                                         or use frs_linalg's audited kernels",
+                                        tok.text, ty.text
+                                    ),
+                                ));
+                            }
+                        }
+                    } else if tokens.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                        out.push(hit(
+                            tok,
+                            format!(
+                                "`.{}()` without a turbofish hides the element type from the \
+                                 reduction audit; write `.{}::<T>()`",
+                                tok.text, tok.text
+                            ),
+                        ));
+                    }
+                }
+                "fold" if tokens.get(i + 1).is_some_and(|t| t.is_punct("(")) => {
+                    // `.fold(0.0, …)` / `.fold(-0.0f32, …)`: a float seed
+                    // marks a float accumulation.
+                    let mut j = i + 2;
+                    while tokens.get(j).is_some_and(|t| t.is_punct("-")) {
+                        j += 1;
+                    }
+                    if let Some(seed) = tokens.get(j) {
+                        if seed.kind == TokKind::Number
+                            && (seed.text.contains('.')
+                                || seed.text.contains("f32")
+                                || seed.text.contains("f64"))
+                        {
+                            out.push(hit(
+                                tok,
+                                "float `.fold(…)` accumulation: justify the ordering or use \
+                                 frs_linalg's audited kernels"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lossy-index-cast
+// ---------------------------------------------------------------------------
+
+struct LossyIndexCast;
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Rule for LossyIndexCast {
+    fn id(&self) -> &'static str {
+        "lossy-index-cast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "truncating `as` casts to ≤32-bit integers; widen, try_from, or justify the bound"
+    }
+
+    fn check(&self, tokens: &[Tok]) -> Vec<RawViolation> {
+        let mut out = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if !tok.is_ident("as") {
+                continue;
+            }
+            // `use x as y` aliases and `<T as Trait>` qualifications only
+            // match when the alias happens to *be* a primitive name, which
+            // is exactly the confusing case worth flagging anyway.
+            if let Some(ty) = tokens.get(i + 1) {
+                if ty.kind == TokKind::Ident && NARROW_INTS.contains(&ty.text.as_str()) {
+                    out.push(hit(
+                        tok,
+                        format!(
+                            "`as {}` truncates silently at scale; use `{}::try_from` or \
+                             justify why the value fits",
+                            ty.text, ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: &dyn Rule, src: &str) -> Vec<RawViolation> {
+        rule.check(&lex(src))
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let ids = builtin_rule_ids();
+        assert_eq!(
+            ids,
+            vec![
+                "map-iter-order",
+                "unseeded-entropy",
+                "panic-in-daemon",
+                "float-reduction-order",
+                "lossy-index-cast",
+            ]
+        );
+    }
+
+    #[test]
+    fn map_iter_order_flags_iteration_not_lookup() {
+        let src = "fn f() {\n\
+            let mut m: HashMap<u32, u32> = HashMap::new();\n\
+            m.insert(1, 2);\n\
+            let hit = m.get(&1);\n\
+            for (k, v) in &m { use_it(k, v); }\n\
+            let ks: Vec<_> = m.keys().collect();\n\
+        }\n";
+        let rule = MapIterOrder;
+        let hits = run(&rule, src);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 5, "for-loop hit");
+        assert_eq!(hits[1].line, 6, "keys() hit");
+    }
+
+    #[test]
+    fn map_iter_order_sees_fields_and_chains() {
+        let src = "struct S { counts: HashSet<u32> }\n\
+            impl S {\n\
+            fn g(&self) { for c in &self.counts { h(c); } }\n\
+            fn k(&self) -> Vec<u32> { self.counts.iter().copied().collect() }\n\
+        }\n";
+        let hits = run(&MapIterOrder, src);
+        // The `for … in &self.counts` form reaches the name through a path,
+        // which the `for`-matcher intentionally leaves to the method
+        // matcher; `.iter()` is caught.
+        assert!(
+            hits.iter().any(|h| h.line == 4),
+            "field chain .iter() flagged: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn map_iter_order_ignores_btree_and_vec() {
+        let src = "fn f() {\n\
+            let m: BTreeMap<u32, u32> = BTreeMap::new();\n\
+            for (k, v) in &m {}\n\
+            let v = vec![1];\n\
+            let s: u32 = v.iter().copied().collect();\n\
+        }\n";
+        assert!(run(&MapIterOrder, src).is_empty());
+    }
+
+    #[test]
+    fn unseeded_entropy_flags_each_source() {
+        let src = "fn f() {\n\
+            let r = thread_rng();\n\
+            let t = SystemTime::now();\n\
+            let i = std::time::Instant::now();\n\
+            let s: RandomState = Default::default();\n\
+            let g = StdRng::from_entropy();\n\
+        }\n";
+        let hits = run(&UnseededEntropy, src);
+        assert_eq!(hits.len(), 5, "{hits:?}");
+    }
+
+    #[test]
+    fn unseeded_entropy_ignores_seeded_and_strings() {
+        let src = "fn f() {\n\
+            let rng = StdRng::seed_from_u64(42);\n\
+            let s = \"thread_rng\";\n\
+            // thread_rng in a comment is fine\n\
+            let now = checkpoint.now_field;\n\
+        }\n";
+        assert!(run(&UnseededEntropy, src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_daemon_flags_panics_and_indexing() {
+        let src = "fn f(v: &[u32], m: Res) {\n\
+            let a = m.payload.unwrap();\n\
+            let b = m.other.expect(\"x\");\n\
+            panic!(\"boom\");\n\
+            unreachable!();\n\
+            let c = v[0];\n\
+            let d = &v[1..3];\n\
+        }\n";
+        let hits = run(&PanicInDaemon, src);
+        assert_eq!(hits.len(), 6, "{hits:?}");
+    }
+
+    #[test]
+    fn panic_in_daemon_ignores_fallbacks_types_attrs_macros() {
+        let src = "#[derive(Debug)]\n\
+            struct S { buf: [u8; 4] }\n\
+            fn f(x: Option<u32>) -> u32 {\n\
+            let v = vec![1, 2];\n\
+            let s: &[u8] = &[1];\n\
+            fn g(buf: &mut [u8]) {}\n\
+            x.unwrap_or(3) + x.unwrap_or_else(|| 4) + v.get(0).copied().unwrap_or(0)\n\
+        }\n";
+        assert!(run(&PanicInDaemon, src).is_empty());
+    }
+
+    #[test]
+    fn float_reduction_flags_float_and_bare_not_integer() {
+        let src = "fn f(v: &[f32], n: &[usize]) {\n\
+            let a: f32 = v.iter().sum();\n\
+            let b = v.iter().sum::<f32>();\n\
+            let c = n.iter().sum::<usize>();\n\
+            let d = v.iter().fold(0.0f32, |acc, x| acc + x);\n\
+            let e = v.iter().copied().product::<f64>();\n\
+        }\n";
+        let hits = run(&FloatReductionOrder, src);
+        // a (bare), b (f32), d (float fold), e (f64) — c is exact.
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert!(hits.iter().all(|h| h.line != 4), "integer sum exempt");
+    }
+
+    #[test]
+    fn float_fold_with_integer_seed_is_exempt() {
+        let src = "fn f(v: &[usize]) { let a = v.iter().fold(0, |acc, x| acc + x); }\n";
+        assert!(run(&FloatReductionOrder, src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flags_narrow_not_wide() {
+        let src = "fn f(j: usize) {\n\
+            let a = j as u32;\n\
+            let b = j as i32;\n\
+            let c = j as u64;\n\
+            let d = j as f32;\n\
+            let e = j as usize;\n\
+        }\n";
+        let hits = run(&LossyIndexCast, src);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+    }
+}

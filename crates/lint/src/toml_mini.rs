@@ -1,0 +1,245 @@
+//! A hand-rolled parser for the TOML subset `lint.toml` uses.
+//!
+//! The container has no registry access and the vendor tree has no TOML
+//! crate, so the lint configuration sticks to a small, strictly parsed
+//! subset: `[section.sub]` headers, `key = value` pairs where a value is a
+//! string, boolean, integer, or a (possibly multi-line) array of strings,
+//! and `#` comments. Anything outside the subset is a hard error — a
+//! config typo must fail the run (exit 2), never silently relax a rule.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    /// The value as a string-array, if it is one.
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: section name (dotted, e.g. `rule.map-iter-order`) →
+/// key → value. Keys before any section header live under `""`.
+pub type Doc = BTreeMap<String, BTreeMap<String, Value>>;
+
+/// Parses the subset, with line numbers in every error.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc: Doc = BTreeMap::new();
+    let mut section = String::new();
+    doc.entry(section.clone()).or_default();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {line_no}: unterminated section header"))?
+                .trim();
+            if header.is_empty() {
+                return Err(format!("line {line_no}: empty section name"));
+            }
+            section = header.to_string();
+            if doc.contains_key(&section) && !section.is_empty() {
+                return Err(format!("line {line_no}: duplicate section [{section}]"));
+            }
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected `key = value`, got {line:?}"))?;
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(format!("line {line_no}: empty key"));
+        }
+        let mut value_text = value_text.trim().to_string();
+        // A multi-line array: keep consuming lines until the bracket closes.
+        if value_text.starts_with('[') && !balanced_array(&value_text) {
+            for (_, cont) in lines.by_ref() {
+                value_text.push(' ');
+                value_text.push_str(strip_comment(cont).trim());
+                if balanced_array(&value_text) {
+                    break;
+                }
+            }
+            if !balanced_array(&value_text) {
+                return Err(format!(
+                    "line {line_no}: unterminated array for key `{key}`"
+                ));
+            }
+        }
+        let value = parse_value(&value_text)
+            .map_err(|e| format!("line {line_no}: bad value for `{key}`: {e}"))?;
+        let entries = doc.entry(section.clone()).or_default();
+        if entries.insert(key.clone(), value).is_some() {
+            return Err(format!("line {line_no}: duplicate key `{key}`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Is the `[` array literal closed (brackets outside strings balanced)?
+fn balanced_array(text: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for piece in split_array_items(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece)? {
+                Value::Str(s) => items.push(s),
+                other => return Err(format!("arrays may only hold strings, got {other:?}")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err("escapes and embedded quotes are outside the subset".to_string());
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(format!(
+        "{text:?} is not a string, bool, integer, or string array"
+    ))
+}
+
+/// Splits array items on commas outside quotes.
+fn split_array_items(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_value_shapes() {
+        let doc = parse(
+            "version = 1\n\
+             [rule.map-iter-order]  # trailing comment\n\
+             crates = [\"a\", \"b\"]\n\
+             skip_tests = false\n\
+             label = \"x\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc[""]["version"], Value::Int(1));
+        let section = &doc["rule.map-iter-order"];
+        assert_eq!(
+            section["crates"],
+            Value::StrArray(vec!["a".into(), "b".into()])
+        );
+        assert_eq!(section["skip_tests"], Value::Bool(false));
+        assert_eq!(section["label"], Value::Str("x".into()));
+    }
+
+    #[test]
+    fn multi_line_arrays() {
+        let doc = parse("[s]\ncrates = [\n  \"one\",  # first\n  \"two\",\n]\n").unwrap();
+        assert_eq!(
+            doc["s"]["crates"],
+            Value::StrArray(vec!["one".into(), "two".into()])
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[s]\nname = \"a#b\"\n").unwrap();
+        assert_eq!(doc["s"]["name"], Value::Str("a#b".into()));
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(parse("[unterminated\n").is_err());
+        assert!(parse("just a line\n").is_err());
+        assert!(parse("[s]\nk = [1, 2]\n").is_err(), "non-string array");
+        assert!(parse("[s]\nk = maybe\n").is_err());
+        assert!(parse("[s]\nk = 1\nk = 2\n").is_err(), "duplicate key");
+        assert!(parse("[s]\n[s]\n").is_err(), "duplicate section");
+        assert!(parse("[s]\nk = [\"open\n").is_err(), "unterminated array");
+    }
+}

@@ -1,0 +1,173 @@
+//! Inline waivers.
+//!
+//! A waiver comment is the marker `lint:allow` followed immediately by a
+//! parenthesized rule list and a mandatory `: reason` tail. It silences
+//! the named rules on one line — either the line it shares with the
+//! offending code (trailing comment) or, when the comment stands alone,
+//! the next line that carries any code. The reason is an auditable claim
+//! ("this map iteration feeds a sort", "this timer never reaches a
+//! report"): a bare waiver with no reason is itself a violation and waives
+//! nothing. Several rules can share one waiver by comma-separating them
+//! inside the parentheses.
+//!
+//! (This module's own prose never writes the marker adjacent to its `(` —
+//! the engine lints this crate too, and an example naming a made-up rule
+//! would be flagged as an invalid waiver.)
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules the waiver names (verbatim; validated by the engine).
+    pub rules: Vec<String>,
+    /// The justification after the colon (trimmed). Empty = bare waiver.
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub comment_line: usize,
+    /// Line whose violations it silences.
+    pub target_line: usize,
+}
+
+impl Waiver {
+    /// Does this waiver silence `rule` on `line`? Bare waivers never do.
+    pub fn silences(&self, rule: &str, line: usize) -> bool {
+        !self.reason.is_empty() && self.target_line == line && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+const MARKER: &str = "lint:allow(";
+
+/// Extracts every waiver from a token stream, resolving each comment to
+/// its target line.
+pub fn collect(tokens: &[Tok]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let Some(parsed) = parse_comment(&tok.text) else {
+            continue;
+        };
+        // The comment's last line (block comments can span several).
+        let end_line = tok.line + tok.text.matches('\n').count();
+        let code_on_own_line = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !t.is_comment());
+        let target_line = if code_on_own_line {
+            tok.line
+        } else {
+            // Stand-alone comment: target the next code-bearing line.
+            tokens[i + 1..]
+                .iter()
+                .find(|t| !t.is_comment())
+                .map_or(end_line + 1, |t| t.line)
+        };
+        let (rules, reason) = parsed;
+        waivers.push(Waiver {
+            rules,
+            reason,
+            comment_line: tok.line,
+            target_line,
+        });
+    }
+    waivers
+}
+
+/// Parses the waiver syntax out of a comment's text, if present.
+fn parse_comment(text: &str) -> Option<(Vec<String>, String)> {
+    let start = text.find(MARKER)?;
+    let after = &text[start + MARKER.len()..];
+    let close = after.find(')')?;
+    let rules: Vec<String> = after[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut rest = after[close + 1..].trim_start();
+    let mut reason = String::new();
+    if let Some(tail) = rest.strip_prefix(':') {
+        rest = tail;
+        reason = rest
+            .trim()
+            .trim_end_matches("*/") // block-comment close is not reason text
+            .trim()
+            .to_string();
+    }
+    Some((rules, reason))
+}
+
+/// True when any token on `line` is code (not a comment) — used by the
+/// engine to sanity-check waiver placement in tests.
+pub fn line_has_code(tokens: &[Tok], line: usize) -> bool {
+    tokens
+        .iter()
+        .any(|t| t.line == line && !t.is_comment() && t.kind != TokKind::Lifetime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let toks = lex("let x = 1; // lint:allow(some-rule): bounded by construction\n");
+        let ws = collect(&toks);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, vec!["some-rule"]);
+        assert_eq!(ws[0].reason, "bounded by construction");
+        assert_eq!(ws[0].target_line, 1);
+        assert!(ws[0].silences("some-rule", 1));
+        assert!(!ws[0].silences("other-rule", 1));
+        assert!(!ws[0].silences("some-rule", 2));
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let toks = lex("// lint:allow(some-rule): the next statement is fine\n\
+             // another unrelated comment\n\
+             let x = 1;\n");
+        let ws = collect(&toks);
+        assert_eq!(ws[0].target_line, 3, "skips interleaved comments");
+    }
+
+    #[test]
+    fn bare_waiver_never_silences() {
+        for bare in ["// lint:allow(some-rule)", "// lint:allow(some-rule):   "] {
+            let toks = lex(&format!("{bare}\nlet x = 1;\n"));
+            let ws = collect(&toks);
+            assert_eq!(ws.len(), 1, "{bare}");
+            assert!(ws[0].reason.is_empty());
+            assert!(!ws[0].silences("some-rule", 2));
+        }
+    }
+
+    #[test]
+    fn multi_rule_and_block_comment_forms() {
+        let toks = lex("/* lint:allow(a, b): shared reason */ let x = 1;\n");
+        let ws = collect(&toks);
+        assert_eq!(ws[0].rules, vec!["a", "b"]);
+        assert_eq!(ws[0].reason, "shared reason");
+        // Leading block comment counts as stand-alone: nothing but the
+        // comment precedes it on the line, so it targets the code line it
+        // opens — which is the same line here.
+        assert_eq!(ws[0].target_line, 1);
+        assert!(ws[0].silences("a", 1) && ws[0].silences("b", 1));
+    }
+
+    #[test]
+    fn waivers_inside_strings_do_not_parse() {
+        let toks = lex("let s = \"// lint:allow(x): nope\";\n");
+        assert!(collect(&toks).is_empty());
+    }
+
+    #[test]
+    fn line_has_code_ignores_comments() {
+        let toks = lex("// only a comment\nlet x = 1;\n");
+        assert!(!line_has_code(&toks, 1));
+        assert!(line_has_code(&toks, 2));
+    }
+}

@@ -1,0 +1,81 @@
+//! The `frs-lint` binary's contract: exit codes 0/1/2, JSON output, and
+//! the rule listing.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn frs_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_frs-lint"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("run frs-lint")
+}
+
+#[test]
+fn workspace_run_exits_zero() {
+    let out = frs_lint(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violating_file_exits_one_with_json_detail() {
+    let out = frs_lint(&[
+        "--json",
+        "crates/lint/fixtures/lossy_index_cast_violating.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\":\"lossy-index-cast\""), "{stdout}");
+    assert!(stdout.contains("\"unwaived\":2"), "{stdout}");
+}
+
+#[test]
+fn missing_config_exits_two() {
+    let out = frs_lint(&["--config", "does-not-exist.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = frs_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_every_builtin_and_the_meta_rule() {
+    let out = frs_lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "map-iter-order",
+        "unseeded-entropy",
+        "panic-in-daemon",
+        "float-reduction-order",
+        "lossy-index-cast",
+        "invalid-waiver",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn explain_scope_lists_every_package() {
+    let out = frs_lint(&["--explain-scope"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for pkg in ["frs-serve", "frs-lint", "frs-federation"] {
+        assert!(stdout.contains(pkg), "missing {pkg} in:\n{stdout}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Every builtin rule against its committed clean/violating fixture pair,
+//! plus the waiver fixtures. Fixtures live in `crates/lint/fixtures/`,
+//! outside every cargo target tree, so they are neither compiled nor
+//! scanned by the workspace self-lint.
+
+use std::path::Path;
+
+use frs_lint::{builtin_rule_ids, builtin_rules, lint_source, LintConfig, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// A config scoping every builtin rule to every package — fixtures are
+/// linted as production code of a synthetic package.
+fn all_rules_config() -> LintConfig {
+    let ids = builtin_rule_ids();
+    let text: String = ids
+        .iter()
+        .map(|id| format!("[rule.{id}]\ncrates = [\"*\"]\n"))
+        .collect();
+    LintConfig::parse(&text, &ids).expect("synthetic config parses")
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    lint_source(
+        name,
+        &fixture(name),
+        "fixture-pkg",
+        &all_rules_config(),
+        &builtin_rules(),
+        false,
+    )
+}
+
+#[test]
+fn each_rule_fires_on_its_violating_fixture_only() {
+    let cases = [
+        ("map-iter-order", "map_iter_order", 2),
+        ("unseeded-entropy", "unseeded_entropy", 2),
+        ("panic-in-daemon", "panic_in_daemon", 3),
+        ("float-reduction-order", "float_reduction_order", 3),
+        ("lossy-index-cast", "lossy_index_cast", 2),
+    ];
+    for (rule, stem, expected) in cases {
+        let bad = lint_fixture(&format!("{stem}_violating.rs"));
+        assert_eq!(
+            bad.iter().filter(|v| v.rule == rule).count(),
+            expected,
+            "{rule} on its violating fixture: {bad:?}"
+        );
+        assert_eq!(
+            bad.len(),
+            expected,
+            "{stem}_violating.rs must trigger only {rule}: {bad:?}"
+        );
+        assert!(bad.iter().all(|v| !v.waived), "no waivers in {stem}");
+    }
+}
+
+#[test]
+fn clean_fixtures_produce_nothing_under_every_rule() {
+    for stem in [
+        "map_iter_order",
+        "unseeded_entropy",
+        "panic_in_daemon",
+        "float_reduction_order",
+        "lossy_index_cast",
+    ] {
+        let good = lint_fixture(&format!("{stem}_clean.rs"));
+        assert!(good.is_empty(), "{stem}_clean.rs: {good:?}");
+    }
+}
+
+#[test]
+fn reasoned_waivers_silence_but_stay_in_the_report() {
+    let vs = lint_fixture("waivers_reasoned.rs");
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.waived),
+        "every violation carries a reasoned waiver: {vs:?}"
+    );
+    let rules: Vec<&str> = vs.iter().map(|v| v.rule.as_str()).collect();
+    assert!(rules.contains(&"lossy-index-cast") && rules.contains(&"float-reduction-order"));
+}
+
+#[test]
+fn bare_waiver_silences_nothing_and_is_itself_flagged() {
+    let vs = lint_fixture("waivers_bare.rs");
+    let unwaived: Vec<&Violation> = vs.iter().filter(|v| !v.waived).collect();
+    assert_eq!(unwaived.len(), 2, "{vs:?}");
+    assert!(unwaived.iter().any(|v| v.rule == "lossy-index-cast"));
+    assert!(unwaived
+        .iter()
+        .any(|v| v.rule == "invalid-waiver" && v.message.contains("reason")));
+}
+
+#[test]
+fn unknown_rule_waiver_is_flagged() {
+    let vs = lint_fixture("waivers_unknown_rule.rs");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].rule, "invalid-waiver");
+    assert!(vs[0].message.contains("no-such-rule"), "{}", vs[0].message);
+    assert!(!vs[0].waived);
+}

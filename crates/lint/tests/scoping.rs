@@ -1,0 +1,123 @@
+//! `lint.toml` scoping semantics, end to end through `lint_source` and a
+//! synthetic on-disk workspace through `lint_workspace`/`lint_paths`.
+
+use std::path::{Path, PathBuf};
+
+use frs_lint::{
+    builtin_rule_ids, builtin_rules, lint_paths, lint_source, lint_workspace, LintConfig,
+};
+
+const CAST_SRC: &str = "pub fn f(i: usize) -> u32 { i as u32 }\n";
+
+fn parse(text: &str) -> LintConfig {
+    LintConfig::parse(text, &builtin_rule_ids()).expect("config parses")
+}
+
+fn violations(config: &LintConfig, package: &str, test_like: bool, src: &str) -> usize {
+    lint_source("x.rs", src, package, config, &builtin_rules(), test_like).len()
+}
+
+#[test]
+fn a_rule_absent_from_the_config_runs_nowhere() {
+    let config = parse("[rule.map-iter-order]\ncrates = [\"*\"]\n");
+    assert_eq!(violations(&config, "any-pkg", false, CAST_SRC), 0);
+}
+
+#[test]
+fn crates_and_exclude_pick_packages() {
+    let config = parse(
+        "[rule.lossy-index-cast]\ncrates = [\"*\"]\nexclude = [\"frs-bench\"]\n\
+         [rule.unseeded-entropy]\ncrates = [\"frs-data\"]\n",
+    );
+    assert_eq!(violations(&config, "frs-data", false, CAST_SRC), 1);
+    assert_eq!(violations(&config, "frs-bench", false, CAST_SRC), 0);
+    let clock = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(violations(&config, "frs-data", false, clock), 1);
+    assert_eq!(violations(&config, "frs-model", false, clock), 0);
+}
+
+#[test]
+fn skip_tests_exempts_test_targets_and_cfg_test_regions() {
+    let scoped = parse("[rule.lossy-index-cast]\ncrates = [\"*\"]\n");
+    let strict = parse("[rule.lossy-index-cast]\ncrates = [\"*\"]\nskip_tests = false\n");
+    // Test-like target (tests/, benches/, examples/): exempt by default.
+    assert_eq!(violations(&scoped, "p", true, CAST_SRC), 0);
+    assert_eq!(violations(&strict, "p", true, CAST_SRC), 1);
+    // #[cfg(test)] region inside src/: exempt by default.
+    let with_region = "pub fn f(i: usize) -> u32 { i as u32 }\n\
+                       #[cfg(test)]\n\
+                       mod tests {\n\
+                       pub fn g(i: usize) -> u32 { i as u32 }\n\
+                       }\n";
+    assert_eq!(violations(&scoped, "p", false, with_region), 1);
+    assert_eq!(violations(&strict, "p", false, with_region), 2);
+}
+
+/// Lays out a throwaway two-package workspace under the target directory
+/// (which workspace discovery itself skips when scanning the real repo).
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("lint-scoping-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for (pkg, src) in [("pkg-a", CAST_SRC), ("pkg-b", "pub fn ok() {}\n")] {
+            let dir = root.join(pkg).join("src");
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            std::fs::write(
+                root.join(pkg).join("Cargo.toml"),
+                format!("[package]\nname = \"{pkg}\"\n"),
+            )
+            .expect("manifest");
+            std::fs::write(dir.join("lib.rs"), src).expect("source");
+        }
+        Self { root }
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn workspace_scan_honors_package_scoping() {
+    let ws = TempWorkspace::new("scan");
+    let scoped = parse("[rule.lossy-index-cast]\ncrates = [\"pkg-a\"]\n");
+    let report = lint_workspace(&ws.root, &scoped).expect("scan");
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.unwaived, 1, "{}", report.human(true));
+    let off_target = parse("[rule.lossy-index-cast]\ncrates = [\"pkg-b\"]\n");
+    let report = lint_workspace(&ws.root, &off_target).expect("scan");
+    assert!(report.is_clean(), "{}", report.human(true));
+}
+
+#[test]
+fn config_naming_an_unknown_package_is_a_hard_error() {
+    let ws = TempWorkspace::new("badname");
+    let config = parse("[rule.lossy-index-cast]\ncrates = [\"pkg-zzz\"]\n");
+    let err = lint_workspace(&ws.root, &config).expect_err("must reject");
+    assert!(err.contains("pkg-zzz"), "{err}");
+}
+
+#[test]
+fn files_outside_any_package_get_every_rule_unscoped() {
+    // The CI fixture-injection path: an empty config silences everything
+    // inside packages, but a stray file still gets the full strict set.
+    let ws = TempWorkspace::new("stray");
+    let stray = ws.root.join("stray.rs");
+    std::fs::write(&stray, CAST_SRC).expect("stray");
+    let empty = parse("version = 1\n");
+    let report = lint_paths(&ws.root, &empty, &[stray]).expect("lint");
+    assert_eq!(report.unwaived, 1, "{}", report.human(true));
+    // The same content inside pkg-a is silent under the empty config.
+    let inside = ws.root.join("pkg-a/src/lib.rs");
+    let report = lint_paths(&ws.root, &empty, &[inside]).expect("lint");
+    assert!(report.is_clean(), "{}", report.human(true));
+}

@@ -1,0 +1,53 @@
+//! The self-lint gate: the committed `lint.toml` over the real workspace
+//! must come back clean — every remaining hit carries a reasoned waiver.
+
+use std::path::{Path, PathBuf};
+
+use frs_lint::{builtin_rule_ids, lint_workspace, scope_listing, LintConfig};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn committed_config() -> LintConfig {
+    let path = repo_root().join("lint.toml");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    LintConfig::parse(&text, &builtin_rule_ids()).expect("committed lint.toml is valid")
+}
+
+#[test]
+fn workspace_is_clean_under_the_committed_config() {
+    let report = lint_workspace(&repo_root(), &committed_config()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "unwaived violations — fix them or add a reasoned waiver:\n{}",
+        report.human(false)
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously small scan ({} files) — discovery is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.waived > 0,
+        "the audit trail should record the reasoned waivers"
+    );
+}
+
+#[test]
+fn committed_config_scopes_every_rule_somewhere() {
+    let scopes = scope_listing(&repo_root(), &committed_config()).expect("scope listing");
+    assert!(scopes.contains_key("frs-lint"), "{scopes:?}");
+    for rule in builtin_rule_ids() {
+        assert!(
+            scopes.values().any(|rules| rules.iter().any(|r| r == rule)),
+            "rule {rule} is scoped to no package at all — dead config"
+        );
+    }
+    // The serving crates are exactly where panic-in-daemon patrols.
+    let serve = &scopes["frs-serve"];
+    assert!(
+        serve.iter().any(|r| r == "panic-in-daemon"),
+        "frs-serve must keep its no-panic contract: {serve:?}"
+    );
+}

@@ -89,8 +89,10 @@ impl KeySampler {
             return rng.gen_range(0..self.n_keys);
         }
         let r: f64 = rng.gen();
-        // First index whose cumulative probability exceeds r.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&r).unwrap()) {
+        // First index whose cumulative probability exceeds r. `total_cmp`
+        // orders identically to `partial_cmp` here (the CDF and `r` are
+        // finite) without an unwrap that could drop a worker on a NaN.
+        match self.cdf.binary_search_by(|p| p.total_cmp(&r)) {
             Ok(i) => (i + 1).min(self.n_keys - 1),
             Err(i) => i.min(self.n_keys - 1),
         }

@@ -17,6 +17,12 @@
 //! over it; CI's `serve-load` job feeds the gate records
 //! into `bench-gate compare` against `BENCH_baseline.json`, which is what
 //! turns "the daemon is fast" into a ratcheted, regression-gated number.
+// The loadtest drivers run on worker threads whose panics would silently
+// shrink the measured load: panic-class calls are denied outside tests.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod dist;
 pub mod hist;

@@ -250,21 +250,21 @@ struct RequestGen {
 }
 
 impl RequestGen {
-    fn next_line(&mut self) -> String {
+    fn next_line(&mut self) -> Result<String, String> {
         let user = self.sampler.sample(&mut self.rng);
         let scenario = match self.scenarios.len() {
             0 => None,
-            1 => Some(self.scenarios[0].clone()),
-            n => Some(self.scenarios[self.rng.gen_range(0..n)].clone()),
+            1 => Some(self.scenarios[0].clone()), // lint:allow(panic-in-daemon): this match arm runs only when len() == 1
+            n => Some(self.scenarios[self.rng.gen_range(0..n)].clone()), // lint:allow(panic-in-daemon): gen_range(0..n) is below len() by construction
         };
         let mut line = serde_json::to_string(&QueryLine {
             user,
             k: self.k,
             scenario,
         })
-        .expect("query serializes");
+        .map_err(|e| format!("query serialization: {e}"))?;
         line.push('\n');
-        line
+        Ok(line)
     }
 }
 
@@ -440,7 +440,7 @@ fn closed_loop(
             let mut batch = String::new();
             let mut in_batch = 0;
             while stats.sent < quota && inflight.len() + in_batch < pipeline {
-                batch.push_str(&gen.next_line());
+                batch.push_str(&gen.next_line()?);
                 stats.sent += 1;
                 in_batch += 1;
             }
@@ -458,7 +458,9 @@ fn closed_loop(
         if n == 0 {
             return Err("daemon closed the connection mid-run".into());
         }
-        let sent_at = inflight.pop_front().expect("response matches a request");
+        let sent_at = inflight
+            .pop_front()
+            .ok_or_else(|| "daemon answered more lines than were sent".to_string())?;
         stats
             .hist
             .record(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
@@ -490,7 +492,7 @@ fn open_loop(
             if due > now {
                 std::thread::sleep(due - now);
             }
-            conn.write_all(gen.next_line().as_bytes())
+            conn.write_all(gen.next_line()?.as_bytes())
                 .map_err(|e| format!("write: {e}"))?;
             // Latency anchors to the *scheduled* time even when the writer
             // itself fell behind.

@@ -59,7 +59,7 @@ impl DeltaNormTracker {
     pub fn top_n(&self, n: usize) -> Vec<u32> {
         frs_linalg::top_k_desc(&self.accumulated, n)
             .into_iter()
-            .map(|i| i as u32)
+            .map(|i| i as u32) // lint:allow(lossy-index-cast): top_k_desc indices are below the u32-keyed catalog size
             .collect()
     }
 

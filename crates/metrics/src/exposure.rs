@@ -46,6 +46,7 @@ impl ExposureReport {
         let mut top = Vec::new();
         for &u in benign_users {
             model.scores_for_user_into(user_embeddings.user_embedding(u), &mut scores);
+            // lint:allow(lossy-index-cast): j indexes the score slice, whose length is the u32-keyed catalog size
             top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
             for (t, &target) in targets.iter().enumerate() {
                 if train.interacted(u, target) {
@@ -63,6 +64,7 @@ impl ExposureReport {
             .zip(&eligible_users)
             .map(|(&e, &n)| if n == 0 { 0.0 } else { e as f64 / n as f64 })
             .collect();
+        // lint:allow(float-reduction-order): sequential fold in target order, fixed by the scenario's target list
         let mean = per_target.iter().sum::<f64>() / per_target.len() as f64;
         Self {
             per_target,

@@ -44,9 +44,11 @@ impl QualityReport {
             // consistent with frs_linalg::rank_of).
             let mut rank = 0usize;
             for (j, &s) in scores.iter().enumerate() {
+                // lint:allow(lossy-index-cast): j indexes the score slice, whose length is the u32-keyed catalog size
                 if j as u32 == test || !split.eligible_for_ranking(u, j as u32) {
                     continue;
                 }
+                // lint:allow(lossy-index-cast): j indexes the score slice, whose length is the u32-keyed catalog size
                 if s > test_score || (s == test_score && (j as u32) < test) {
                     rank += 1;
                     if rank >= k {

@@ -29,6 +29,7 @@ pub fn recommendation_frequency<E: UserEmbeddings + ?Sized>(
     let mut top = Vec::new();
     for &u in users {
         model.scores_for_user_into(user_embeddings.user_embedding(u), &mut scores);
+        // lint:allow(lossy-index-cast): j indexes the score slice, whose length is the u32-keyed catalog size
         top_k_desc_filtered_into(&scores, k, |j| !train.interacted(u, j as u32), &mut top);
         for &j in &top {
             freq[j] += 1;
@@ -51,7 +52,7 @@ pub fn gini_coefficient(frequency: &[u32]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let total: u64 = frequency.iter().map(|&f| f as u64).sum();
+    let total: u64 = frequency.iter().map(|&f| f as u64).sum::<u64>();
     if total == 0 {
         return 0.0;
     }
@@ -62,14 +63,14 @@ pub fn gini_coefficient(frequency: &[u32]) -> f64 {
         .iter()
         .enumerate()
         .map(|(i, &x)| (i as u64 + 1) * x)
-        .sum();
+        .sum::<u64>();
     (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
 /// Mean training-interaction count of recommended items (weighted by how
 /// often each item is recommended).
 pub fn average_recommended_popularity(frequency: &[u32], train: &Dataset) -> f64 {
-    let total: u64 = frequency.iter().map(|&f| f as u64).sum();
+    let total: u64 = frequency.iter().map(|&f| f as u64).sum::<u64>();
     if total == 0 {
         return 0.0;
     }
@@ -77,7 +78,7 @@ pub fn average_recommended_popularity(frequency: &[u32], train: &Dataset) -> f64
         .iter()
         .zip(train.item_popularity())
         .map(|(&f, &pop)| f as u64 * pop as u64)
-        .sum();
+        .sum::<u64>();
     weighted as f64 / total as f64
 }
 

@@ -212,8 +212,9 @@ impl GlobalModel {
             GlobalModel::Mf(m) => {
                 out.clear();
                 out.reserve(m.n_items());
+                #[allow(clippy::cast_possible_truncation)]
                 for j in 0..m.n_items() {
-                    out.push(m.logit(user_emb, j as u32));
+                    out.push(m.logit(user_emb, j as u32)); // lint:allow(lossy-index-cast): j < n_items and the catalog is u32-keyed
                 }
             }
             GlobalModel::Ncf(m) => m.scores_for_user_into(user_emb, out),

@@ -16,6 +16,10 @@
 //!
 //! Losses live in [`loss`]: pointwise BCE (Eq. 2, the default) and pairwise
 //! BPR (supplementary Table XI).
+// Item and user indices flow through u32 wire ids and usize slabs; a
+// silently truncating cast corrupts an embedding row, so truncation must
+// be explicit (`try_from`) or locally allowed with a range proof.
+#![cfg_attr(not(test), deny(clippy::cast_possible_truncation))]
 
 pub mod config;
 pub mod global;

@@ -25,6 +25,13 @@
 //! publishes a snapshot per round per scenario, and serves queries the
 //! whole time. This crate stays training-agnostic: anything that can
 //! produce a [`Snapshot`] can serve.
+// A query daemon must answer a bad request with an error line, never die on
+// it: panic-class calls are denied crate-wide outside tests (the frs-lint
+// `panic-in-daemon` rule catches the slice-indexing clippy cannot).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod router;
 pub mod server;

@@ -9,7 +9,7 @@
 //! so clients written against the pre-routing protocol keep working.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::wire::{ProbeStatus, ScenarioStatus};
@@ -58,14 +58,20 @@ impl ScenarioHandle {
         self.queries.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Publishes the latest online-evaluation probe values.
+    /// Publishes the latest online-evaluation probe values. The slot holds
+    /// a plain value swap, so a poisoned lock (a panicked writer) leaves
+    /// nothing half-updated — recover the guard rather than spreading the
+    /// panic into every serving thread that reads a probe afterwards.
     pub fn set_probe(&self, probe: ProbeStatus) {
-        *self.probe.lock().expect("probe slot poisoned") = Some(probe);
+        *self.probe.lock().unwrap_or_else(PoisonError::into_inner) = Some(probe);
     }
 
     /// The latest probe, if any round has been probed yet.
     pub fn probe(&self) -> Option<ProbeStatus> {
-        self.probe.lock().expect("probe slot poisoned").clone()
+        self.probe
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// This scenario's status-endpoint entry.
@@ -100,7 +106,7 @@ impl Router {
             return Err("a daemon needs at least one scenario".into());
         }
         for (i, handle) in scenarios.iter().enumerate() {
-            if scenarios[..i].iter().any(|h| h.name() == handle.name()) {
+            if scenarios.iter().take(i).any(|h| h.name() == handle.name()) {
                 return Err(format!("duplicate scenario name `{}`", handle.name()));
             }
         }
@@ -110,10 +116,15 @@ impl Router {
         })
     }
 
-    /// A single-scenario router (the pre-routing daemon shape).
+    /// A single-scenario router (the pre-routing daemon shape). Built
+    /// directly — a one-element table needs neither the emptiness nor the
+    /// duplicate-name check, so there is no error path to unwrap.
     pub fn single(name: impl Into<String>, initial: Snapshot) -> (Self, Arc<ScenarioHandle>) {
         let handle = Arc::new(ScenarioHandle::new(name, initial));
-        let router = Self::new(vec![Arc::clone(&handle)]).expect("one scenario is valid");
+        let router = Self {
+            scenarios: vec![Arc::clone(&handle)],
+            total_queries: AtomicU64::new(0),
+        };
         (router, handle)
     }
 
@@ -122,16 +133,21 @@ impl Router {
         &self.scenarios
     }
 
-    /// The default scenario (first registered).
-    pub fn default_scenario(&self) -> &Arc<ScenarioHandle> {
-        &self.scenarios[0]
+    /// The default scenario (first registered). Both constructors
+    /// guarantee at least one scenario, so the emptiness arm is
+    /// unreachable in practice — but a daemon answers it as a protocol
+    /// error rather than trusting an invariant with a worker thread.
+    pub fn default_scenario(&self) -> Result<&Arc<ScenarioHandle>, String> {
+        self.scenarios
+            .first()
+            .ok_or_else(|| "daemon hosts no scenarios".to_string())
     }
 
     /// Resolves a request's scenario key: `None` routes to the default,
     /// an unknown name is a protocol error listing what is being served.
     pub fn resolve(&self, scenario: Option<&str>) -> Result<&Arc<ScenarioHandle>, String> {
         match scenario {
-            None => Ok(self.default_scenario()),
+            None => self.default_scenario(),
             Some(name) => self
                 .scenarios
                 .iter()

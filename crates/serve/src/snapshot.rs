@@ -9,7 +9,7 @@
 //! half-applied update.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use frs_data::Dataset;
 use frs_model::{EmbeddingStore, GlobalModel};
@@ -81,13 +81,14 @@ impl Snapshot {
             ));
         }
         let scores = self.model.scores_for_user(self.users.row(user));
-        let picked =
-            frs_linalg::top_k_desc_filtered(&scores, k, |i| !self.train.interacted(user, i as u32));
+        let picked = frs_linalg::top_k_desc_filtered(&scores, k, |i| {
+            !self.train.interacted(user, i as u32) // lint:allow(lossy-index-cast): the catalog is keyed by u32 item ids, so every score index fits
+        });
         Ok(picked
             .into_iter()
             .map(|i| ScoredItem {
-                item: i as u32,
-                score: scores[i],
+                item: i as u32, // lint:allow(lossy-index-cast): index into `scores`, whose length is the u32-keyed catalog size
+                score: scores[i], // lint:allow(panic-in-daemon): top_k_desc_filtered returns in-bounds indices into the slice it ranked
             })
             .collect())
     }
@@ -113,8 +114,11 @@ impl SnapshotCell {
 
     /// Publishes a new snapshot. Readers holding the previous `Arc` finish
     /// their query against the old round; new queries see this one.
+    /// The slot only ever holds a fully-built `Arc`, so a poisoned lock
+    /// (a panic elsewhere while holding it) cannot expose a torn value —
+    /// recover the guard instead of cascading the panic into the daemon.
     pub fn publish(&self, snapshot: Snapshot) {
-        *self.slot.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -127,7 +131,7 @@ impl SnapshotCell {
     /// The latest published snapshot (an `Arc` clone; never blocks on the
     /// trainer beyond the pointer swap).
     pub fn latest(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.slot.lock().expect("snapshot cell poisoned"))
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
